@@ -1,0 +1,246 @@
+//! Adaptive partitioning-depth selection (paper §V-C).
+//!
+//! "In earlier work \[26\], we propose to select this depth adaptively:
+//! start with a private hash table of fixed size; while the number of
+//! groups is lower than the threshold, process all input this way; if and
+//! when the threshold is crossed, add a level of partitioning and recurse.
+//! This has virtually no overhead, so the resulting runtime essentially
+//! corresponds to the optimal partitioning depth for any given input."
+//!
+//! The paper determines depths offline instead ("incorporation into our
+//! algorithm is only a matter of implementation time"); this module
+//! implements the described mechanism, removing the need to know the group
+//! count in advance:
+//!
+//! 1. aggregate input into a bounded hash table;
+//! 2. if the table's group count crosses the in-cache threshold at input
+//!    position `i`, partition the *remaining* input (one radix pass),
+//!    scatter the already-aggregated partial states into those partitions
+//!    as carry-in, and recurse per partition with the next radix window.
+//!
+//! Because partial states merge exactly, the early-aggregated prefix and
+//! the recursively-aggregated suffix combine bit-reproducibly — the output
+//! is identical to any fixed-depth execution (asserted by tests).
+
+use crate::agg_fn::AggFn;
+use crate::hash_table::{AggHashTable, HashKind};
+use rfa_core::CacheModel;
+
+/// Configuration for adaptive aggregation.
+#[derive(Clone, Copy, Debug)]
+pub struct AdaptiveConfig {
+    pub hash: HashKind,
+    /// Group-count threshold that triggers a partitioning pass (the
+    /// in-cache bound of [`CacheModel::in_cache_groups`]).
+    pub threshold: usize,
+    /// log2 fan-out per partitioning pass.
+    pub fanout_bits: u32,
+    /// Recursion guard; beyond this depth the operator aggregates
+    /// whatever it has (the paper needs ≤ 2 levels for 2^30 rows).
+    pub max_depth: u32,
+}
+
+impl Default for AdaptiveConfig {
+    fn default() -> Self {
+        let model = CacheModel::default();
+        AdaptiveConfig {
+            hash: HashKind::Identity,
+            threshold: model.in_cache_groups(8),
+            fanout_bits: model.fanout_bits,
+            max_depth: 3,
+        }
+    }
+}
+
+/// Adaptive GROUPBY: no group-count hint needed. Returns `(key, output)`
+/// sorted by key.
+pub fn adaptive_aggregate<F>(
+    f: &F,
+    keys: &[u32],
+    values: &[F::Input],
+    cfg: &AdaptiveConfig,
+) -> Vec<(u32, F::Output)>
+where
+    F: AggFn,
+{
+    assert_eq!(keys.len(), values.len());
+    let mut out = Vec::new();
+    recurse(f, keys, values, Vec::new(), 0, cfg, &mut out);
+    out.sort_unstable_by_key(|(k, _)| *k);
+    out
+}
+
+/// One adaptive level: aggregate until the threshold trips, then partition
+/// the rest (plus the accumulated partial states) and descend.
+fn recurse<F>(
+    f: &F,
+    keys: &[u32],
+    values: &[F::Input],
+    carry_in: Vec<(u32, F::State)>,
+    level: u32,
+    cfg: &AdaptiveConfig,
+    out: &mut Vec<(u32, F::Output)>,
+) where
+    F: AggFn,
+{
+    let template = f.new_state();
+    // Start small and let the table grow toward the threshold: slots are
+    // initialized with state clones (summation buffers are not free), so
+    // pre-sizing to the threshold would dominate small inputs.
+    let mut table = AggHashTable::with_capacity(
+        cfg.threshold.clamp(8, 256),
+        cfg.hash,
+        &template,
+    );
+    for (k, s) in carry_in {
+        f.merge(table.slot_mut(k, &template), s);
+    }
+
+    let give_up = level >= cfg.max_depth;
+    let mut crossed_at = keys.len();
+    for (i, (&k, &v)) in keys.iter().zip(values.iter()).enumerate() {
+        if !give_up && table.len() >= cfg.threshold && table.get(k).is_none() {
+            // Threshold crossed by a *new* group: stop early-aggregating.
+            crossed_at = i;
+            break;
+        }
+        f.step(table.slot_mut(k, &template), v);
+    }
+
+    if crossed_at == keys.len() {
+        // Everything fit: emit.
+        out.extend(table.drain().map(|(k, s)| (k, f.output(s))));
+        return;
+    }
+
+    // Partition the remaining input on this level's radix window...
+    let fanout = 1usize << cfg.fanout_bits;
+    let rest_keys = &keys[crossed_at..];
+    let rest_values = &values[crossed_at..];
+    let parts = crate::partition::partition_serial(
+        rest_keys,
+        rest_values,
+        cfg.hash,
+        cfg.fanout_bits,
+        level,
+    );
+    // ... and scatter the prefix's partial states into the same buckets.
+    let mut carry: Vec<Vec<(u32, F::State)>> = (0..fanout).map(|_| Vec::new()).collect();
+    let mask = (fanout - 1) as u64;
+    for (k, s) in table.drain() {
+        let b = ((cfg.hash.hash(k) >> (level * cfg.fanout_bits)) & mask) as usize;
+        carry[b].push((k, s));
+    }
+    for (p, (pk, pv)) in parts.into_iter().enumerate() {
+        let c = core::mem::take(&mut carry[p]);
+        if pk.is_empty() && c.is_empty() {
+            continue;
+        }
+        recurse(f, &pk, &pv, c, level + 1, cfg, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agg_fn::{BufferedReproAgg, ReproAgg, SumAgg};
+    use crate::hash_agg::hash_aggregate;
+
+    fn workload(n: usize, groups: u32) -> (Vec<u32>, Vec<f64>) {
+        let mut s = 0x51D5_1D51u64;
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            s
+        };
+        (
+            (0..n).map(|_| (next() % groups as u64) as u32).collect(),
+            (0..n)
+                .map(|_| (next() >> 11) as f64 / (1u64 << 53) as f64 - 0.5)
+                .collect(),
+        )
+    }
+
+    fn assert_bit_equal(a: &[(u32, f64)], b: &[(u32, f64)]) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x.0, y.0);
+            assert_eq!(x.1.to_bits(), y.1.to_bits(), "group {}", x.0);
+        }
+    }
+
+    #[test]
+    fn small_inputs_never_partition() {
+        let (keys, values) = workload(5_000, 64);
+        let f = ReproAgg::<f64, 2>::new();
+        let cfg = AdaptiveConfig { threshold: 1024, ..Default::default() };
+        let out = adaptive_aggregate(&f, &keys, &values, &cfg);
+        let reference = hash_aggregate(&f, &keys, &values, HashKind::Identity, 64);
+        assert_bit_equal(&reference, &out);
+    }
+
+    #[test]
+    fn threshold_crossing_matches_fixed_depth_bitwise() {
+        // Tiny threshold forces the adaptive mechanism to trip mid-input.
+        let (keys, values) = workload(50_000, 4096);
+        let f = ReproAgg::<f64, 2>::new();
+        let cfg = AdaptiveConfig { threshold: 256, ..Default::default() };
+        let adaptive = adaptive_aggregate(&f, &keys, &values, &cfg);
+        let reference = hash_aggregate(&f, &keys, &values, HashKind::Identity, 4096);
+        assert_bit_equal(&reference, &adaptive);
+    }
+
+    #[test]
+    fn multi_level_recursion() {
+        // Threshold so small that two radix passes are needed.
+        let (keys, values) = workload(30_000, 8192);
+        let f = ReproAgg::<f64, 2>::new();
+        let cfg = AdaptiveConfig {
+            threshold: 32,
+            fanout_bits: 4,
+            ..Default::default()
+        };
+        let adaptive = adaptive_aggregate(&f, &keys, &values, &cfg);
+        let reference = hash_aggregate(&f, &keys, &values, HashKind::Identity, 8192);
+        assert_bit_equal(&reference, &adaptive);
+    }
+
+    #[test]
+    fn works_with_buffered_states_and_integers() {
+        let (keys, values) = workload(40_000, 2000);
+        let buffered = BufferedReproAgg::<f64, 3>::new(64);
+        let cfg = AdaptiveConfig { threshold: 128, ..Default::default() };
+        let a = adaptive_aggregate(&buffered, &keys, &values, &cfg);
+        let b = hash_aggregate(&buffered, &keys, &values, HashKind::Identity, 2000);
+        assert_bit_equal(&b, &a);
+
+        let ivalues: Vec<u64> = (0..keys.len() as u64).collect();
+        let f = SumAgg::<u64>::new();
+        let ai = adaptive_aggregate(&f, &keys, &ivalues, &cfg);
+        let bi = hash_aggregate(&f, &keys, &ivalues, HashKind::Identity, 2000);
+        assert_eq!(ai, bi);
+    }
+
+    #[test]
+    fn depth_guard_terminates_on_pathological_threshold() {
+        let (keys, values) = workload(5_000, 5_000);
+        let f = ReproAgg::<f64, 2>::new();
+        // threshold 1 would recurse forever without the guard.
+        let cfg = AdaptiveConfig {
+            threshold: 1,
+            fanout_bits: 2,
+            max_depth: 3,
+            ..Default::default()
+        };
+        let out = adaptive_aggregate(&f, &keys, &values, &cfg);
+        let reference = hash_aggregate(&f, &keys, &values, HashKind::Identity, 5000);
+        assert_bit_equal(&reference, &out);
+    }
+
+    #[test]
+    fn empty_input() {
+        let f = ReproAgg::<f64, 2>::new();
+        assert!(adaptive_aggregate(&f, &[], &[], &AdaptiveConfig::default()).is_empty());
+    }
+}

@@ -1,0 +1,266 @@
+//! Aggregate-function abstraction and the paper's aggregate states.
+//!
+//! GROUPBY operators in this crate are generic over an [`AggFn`]: a
+//! factory-plus-transition-function bundle describing how per-group
+//! intermediate aggregates are created, updated per tuple, merged across
+//! threads / partitions, and finalized. The paper's comparison grid maps to:
+//!
+//! | paper data type              | this crate                         |
+//! |------------------------------|------------------------------------|
+//! | `uint32_t`, `float`, `double`| [`SumAgg<u32>`], [`SumAgg<f32>`], [`SumAgg<f64>`] |
+//! | `DECIMAL(9/18/38)`           | [`SumAgg<Decimal9<S>>`] …          |
+//! | `repro<ScalarT, L>` (§IV)    | [`ReproAgg<T, L>`]                 |
+//! | summation buffers (§V-A)     | [`BufferedReproAgg<T, L>`]         |
+
+use rfa_core::{ReproFloat, ReproSum, SummationBuffer};
+use rfa_decimal::{Decimal18, Decimal38, Decimal9};
+
+/// An aggregate function: state factory, per-tuple transition, merge and
+/// finalization. `Send + Sync` so operators can share it across threads.
+pub trait AggFn: Send + Sync {
+    /// Per-tuple input value type.
+    type Input: Copy + Send + Sync;
+    /// Intermediate per-group aggregate.
+    type State: Clone + Send;
+    /// Finalized per-group result.
+    type Output: Send;
+
+    /// Creates the identity state for a fresh group.
+    fn new_state(&self) -> Self::State;
+    /// Folds one value into a group's state.
+    fn step(&self, state: &mut Self::State, value: Self::Input);
+    /// Merges a state produced elsewhere (other thread/partition) into
+    /// `into`. For reproducible states this is exact and associative.
+    fn merge(&self, into: &mut Self::State, from: Self::State);
+    /// Finalizes a group's state.
+    fn output(&self, state: Self::State) -> Self::Output;
+}
+
+/// Scalar types with a plain (non-reproducible for floats, wrapping for
+/// integers) `+=`, used by [`SumAgg`].
+pub trait PlainSummable: Copy + Default + Send + Sync + 'static {
+    fn accumulate(&mut self, v: Self);
+}
+
+impl PlainSummable for f32 {
+    #[inline(always)]
+    fn accumulate(&mut self, v: Self) {
+        *self += v;
+    }
+}
+impl PlainSummable for f64 {
+    #[inline(always)]
+    fn accumulate(&mut self, v: Self) {
+        *self += v;
+    }
+}
+impl PlainSummable for u32 {
+    #[inline(always)]
+    fn accumulate(&mut self, v: Self) {
+        *self = self.wrapping_add(v); // C unsigned overflow semantics
+    }
+}
+impl PlainSummable for u64 {
+    #[inline(always)]
+    fn accumulate(&mut self, v: Self) {
+        *self = self.wrapping_add(v);
+    }
+}
+impl<const S: u32> PlainSummable for Decimal9<S> {
+    #[inline(always)]
+    fn accumulate(&mut self, v: Self) {
+        *self += v;
+    }
+}
+impl<const S: u32> PlainSummable for Decimal18<S> {
+    #[inline(always)]
+    fn accumulate(&mut self, v: Self) {
+        *self += v;
+    }
+}
+impl<const S: u32> PlainSummable for Decimal38<S> {
+    #[inline(always)]
+    fn accumulate(&mut self, v: Self) {
+        *self += v;
+    }
+}
+
+/// Plain SUM over a scalar: the state is the scalar itself (the paper's
+/// built-in/DECIMAL baselines; for floats this is the fast but
+/// order-dependent reference point).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SumAgg<T>(core::marker::PhantomData<T>);
+
+impl<T> SumAgg<T> {
+    pub fn new() -> Self {
+        SumAgg(core::marker::PhantomData)
+    }
+}
+
+impl<T: PlainSummable> AggFn for SumAgg<T> {
+    type Input = T;
+    type State = T;
+    type Output = T;
+
+    #[inline(always)]
+    fn new_state(&self) -> T {
+        T::default()
+    }
+    #[inline(always)]
+    fn step(&self, state: &mut T, value: T) {
+        state.accumulate(value);
+    }
+    #[inline(always)]
+    fn merge(&self, into: &mut T, from: T) {
+        into.accumulate(from);
+    }
+    #[inline(always)]
+    fn output(&self, state: T) -> T {
+        state
+    }
+}
+
+/// Reproducible SUM using `repro<ScalarT, L>` as drop-in intermediate
+/// aggregate (§IV): every `step` performs the full extraction cascade.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ReproAgg<T, const L: usize>(core::marker::PhantomData<T>);
+
+impl<T, const L: usize> ReproAgg<T, L> {
+    pub fn new() -> Self {
+        ReproAgg(core::marker::PhantomData)
+    }
+}
+
+impl<T: ReproFloat, const L: usize> AggFn for ReproAgg<T, L> {
+    type Input = T;
+    type State = ReproSum<T, L>;
+    type Output = T;
+
+    #[inline(always)]
+    fn new_state(&self) -> Self::State {
+        ReproSum::new()
+    }
+    #[inline(always)]
+    fn step(&self, state: &mut Self::State, value: T) {
+        state.add(value);
+    }
+    #[inline(always)]
+    fn merge(&self, into: &mut Self::State, from: Self::State) {
+        into.merge(&from);
+    }
+    #[inline(always)]
+    fn output(&self, state: Self::State) -> T {
+        state.finalize()
+    }
+}
+
+/// Reproducible SUM with summation buffers (§V-A): `step` appends to the
+/// group's buffer; full buffers are flushed through the vectorized kernel.
+/// `buffer_size` is the paper's `bsz` (tuned via Eq. 4, see
+/// [`rfa_core::tuning`]).
+#[derive(Clone, Copy, Debug)]
+pub struct BufferedReproAgg<T, const L: usize> {
+    buffer_size: usize,
+    _marker: core::marker::PhantomData<T>,
+}
+
+impl<T, const L: usize> BufferedReproAgg<T, L> {
+    pub fn new(buffer_size: usize) -> Self {
+        assert!(buffer_size > 0);
+        BufferedReproAgg {
+            buffer_size,
+            _marker: core::marker::PhantomData,
+        }
+    }
+
+    pub fn buffer_size(&self) -> usize {
+        self.buffer_size
+    }
+}
+
+impl<T: ReproFloat, const L: usize> AggFn for BufferedReproAgg<T, L> {
+    type Input = T;
+    type State = SummationBuffer<T, L>;
+    type Output = T;
+
+    #[inline]
+    fn new_state(&self) -> Self::State {
+        SummationBuffer::new(self.buffer_size)
+    }
+    #[inline(always)]
+    fn step(&self, state: &mut Self::State, value: T) {
+        state.push(value);
+    }
+    fn merge(&self, into: &mut Self::State, mut from: Self::State) {
+        into.merge(&mut from);
+    }
+    fn output(&self, state: Self::State) -> T {
+        state.finalize()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sum_agg_basics() {
+        let f = SumAgg::<f64>::new();
+        let mut s = f.new_state();
+        f.step(&mut s, 1.5);
+        f.step(&mut s, 2.5);
+        let mut t = f.new_state();
+        f.step(&mut t, -1.0);
+        f.merge(&mut s, t);
+        assert_eq!(f.output(s), 3.0);
+    }
+
+    #[test]
+    fn u32_wraps_like_c() {
+        let f = SumAgg::<u32>::new();
+        let mut s = f.new_state();
+        f.step(&mut s, u32::MAX);
+        f.step(&mut s, 2);
+        assert_eq!(f.output(s), 1);
+    }
+
+    #[test]
+    fn repro_agg_merge_is_exact() {
+        let f = ReproAgg::<f64, 2>::new();
+        let values = [2.5e-16, 0.999_999_999_999_999, 2.5e-16];
+        let mut whole = f.new_state();
+        for &v in &values {
+            f.step(&mut whole, v);
+        }
+        let mut a = f.new_state();
+        let mut b = f.new_state();
+        f.step(&mut a, values[0]);
+        f.step(&mut b, values[1]);
+        f.step(&mut b, values[2]);
+        f.merge(&mut a, b);
+        assert_eq!(f.output(whole).to_bits(), f.output(a).to_bits());
+    }
+
+    #[test]
+    fn buffered_matches_unbuffered() {
+        let plain = ReproAgg::<f32, 2>::new();
+        let buffered = BufferedReproAgg::<f32, 2>::new(16);
+        let values: Vec<f32> = (0..1000).map(|i| (i as f32) * 0.31 - 150.0).collect();
+        let mut p = plain.new_state();
+        let mut b = buffered.new_state();
+        for &v in &values {
+            plain.step(&mut p, v);
+            buffered.step(&mut b, v);
+        }
+        assert_eq!(plain.output(p).to_bits(), buffered.output(b).to_bits());
+    }
+
+    #[test]
+    fn decimal_agg() {
+        let f = SumAgg::<Decimal9<2>>::new();
+        let mut s = f.new_state();
+        f.step(&mut s, "1.10".parse().unwrap());
+        f.step(&mut s, "2.15".parse().unwrap());
+        assert_eq!(f.output(s).to_string(), "3.25");
+    }
+}

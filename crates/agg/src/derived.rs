@@ -1,0 +1,215 @@
+//! Derived statistical aggregates on top of reproducible SUM.
+//!
+//! The paper (§I, footnote 2): "With a reproducible aggregate function for
+//! floating-point SUM, all aggregate functions in SQL can be made
+//! reproducible as well, including non-standard ones such as VARIANCE,
+//! STDDEV, and some statistical functions, all of which can be computed
+//! using SUM." This module substantiates that claim: [`MomentsAgg`]
+//! maintains reproducible Σx and Σx² (plus an exact integer COUNT) and
+//! derives AVG, VAR_POP, VAR_SAMP and STDDEV from them.
+//!
+//! Every derived quantity is a fixed arithmetic expression over
+//! bit-reproducible inputs, hence itself bit-reproducible. (Numerically,
+//! the Σx² formulation suffers cancellation for tiny variances just like
+//! any single-pass implementation; the high-accuracy levels `L ≥ 3` push
+//! that floor far below conventional float behaviour.)
+
+use crate::agg_fn::AggFn;
+use rfa_core::{ReproFloat, ReproSum};
+
+/// Reproducible first and second moments of a group.
+#[derive(Clone, Debug)]
+pub struct MomentsState<T: ReproFloat, const L: usize> {
+    count: u64,
+    sum: ReproSum<T, L>,
+    sum_sq: ReproSum<T, L>,
+}
+
+/// Finalized statistics of one group.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Moments<T> {
+    pub count: u64,
+    pub sum: T,
+    /// `NULL` (None) for empty groups, like SQL `AVG`.
+    pub avg: Option<T>,
+    /// Population variance `Σ(x-μ)²/n` (`VAR_POP`).
+    pub var_pop: Option<T>,
+    /// Sample variance `Σ(x-μ)²/(n-1)` (`VAR_SAMP`); `None` for n < 2.
+    pub var_samp: Option<T>,
+    /// Population standard deviation.
+    pub stddev_pop: Option<T>,
+}
+
+/// Aggregate function computing reproducible COUNT/SUM/AVG/VARIANCE/STDDEV
+/// in one pass.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MomentsAgg<T, const L: usize>(core::marker::PhantomData<T>);
+
+impl<T, const L: usize> MomentsAgg<T, L> {
+    pub fn new() -> Self {
+        MomentsAgg(core::marker::PhantomData)
+    }
+}
+
+impl<T: ReproFloat, const L: usize> AggFn for MomentsAgg<T, L> {
+    type Input = T;
+    type State = MomentsState<T, L>;
+    type Output = Moments<T>;
+
+    fn new_state(&self) -> Self::State {
+        MomentsState {
+            count: 0,
+            sum: ReproSum::new(),
+            sum_sq: ReproSum::new(),
+        }
+    }
+
+    #[inline]
+    fn step(&self, state: &mut Self::State, v: T) {
+        state.count += 1;
+        state.sum.add(v);
+        // v*v is a single deterministic rounding of the input — identical
+        // for every execution — so Σx² stays reproducible.
+        state.sum_sq.add(v * v);
+    }
+
+    fn merge(&self, into: &mut Self::State, from: Self::State) {
+        into.count += from.count;
+        into.sum.merge(&from.sum);
+        into.sum_sq.merge(&from.sum_sq);
+    }
+
+    fn output(&self, state: Self::State) -> Moments<T> {
+        let count = state.count;
+        let sum = state.sum.value();
+        let sum_sq = state.sum_sq.value();
+        if count == 0 {
+            return Moments {
+                count,
+                sum,
+                avg: None,
+                var_pop: None,
+                var_samp: None,
+                stddev_pop: None,
+            };
+        }
+        let n = T::from_i64(count as i64);
+        let avg = sum / n;
+        // Single-pass variance: E[x²] - E[x]², clamped at zero (the
+        // subtraction can go epsilon-negative).
+        let raw = sum_sq / n - avg * avg;
+        let var_pop = if raw < T::ZERO { T::ZERO } else { raw };
+        let var_samp = if count >= 2 {
+            let scale = n / T::from_i64(count as i64 - 1);
+            Some(var_pop * scale)
+        } else {
+            None
+        };
+        Moments {
+            count,
+            sum,
+            avg: Some(avg),
+            var_pop: Some(var_pop),
+            var_samp,
+            stddev_pop: Some(T::from_f64(var_pop.to_f64().sqrt())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hash_agg::hash_aggregate;
+    use crate::hash_table::HashKind;
+
+    #[test]
+    fn moments_match_reference() {
+        let keys = vec![0u32; 5];
+        let values = vec![2.0, 4.0, 4.0, 4.0, 6.0];
+        let f = MomentsAgg::<f64, 3>::new();
+        let out = hash_aggregate(&f, &keys, &values, HashKind::Identity, 1);
+        let m = out[0].1;
+        assert_eq!(m.count, 5);
+        assert_eq!(m.sum, 20.0);
+        assert_eq!(m.avg, Some(4.0));
+        assert!((m.var_pop.unwrap() - 1.6).abs() < 1e-12);
+        assert!((m.var_samp.unwrap() - 2.0).abs() < 1e-12);
+        assert!((m.stddev_pop.unwrap() - 1.6f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn variance_is_permutation_invariant() {
+        let n = 10_000;
+        let keys = vec![0u32; n];
+        let values: Vec<f64> = (0..n).map(|i| ((i * 31) % 997) as f64 * 0.01).collect();
+        let f = MomentsAgg::<f64, 2>::new();
+        let fwd = hash_aggregate(&f, &keys, &values, HashKind::Identity, 1);
+        let rkeys = keys.clone();
+        let rvalues: Vec<f64> = values.iter().rev().copied().collect();
+        let bwd = hash_aggregate(&f, &rkeys, &rvalues, HashKind::Identity, 1);
+        let (a, b) = (fwd[0].1, bwd[0].1);
+        assert_eq!(a.sum.to_bits(), b.sum.to_bits());
+        assert_eq!(
+            a.var_pop.unwrap().to_bits(),
+            b.var_pop.unwrap().to_bits(),
+            "variance must be bit-reproducible"
+        );
+        assert_eq!(
+            a.stddev_pop.unwrap().to_bits(),
+            b.stddev_pop.unwrap().to_bits()
+        );
+    }
+
+    #[test]
+    fn merge_matches_sequential() {
+        let values: Vec<f64> = (0..1000).map(|i| (i as f64).sin() * 100.0).collect();
+        let f = MomentsAgg::<f64, 2>::new();
+        let mut whole = f.new_state();
+        for &v in &values {
+            f.step(&mut whole, v);
+        }
+        let mut left = f.new_state();
+        let mut right = f.new_state();
+        for &v in &values[..321] {
+            f.step(&mut left, v);
+        }
+        for &v in &values[321..] {
+            f.step(&mut right, v);
+        }
+        f.merge(&mut left, right);
+        let a = f.output(whole);
+        let b = f.output(left);
+        assert_eq!(a.sum.to_bits(), b.sum.to_bits());
+        assert_eq!(a.var_pop.unwrap().to_bits(), b.var_pop.unwrap().to_bits());
+    }
+
+    #[test]
+    fn empty_and_singleton_groups() {
+        let f = MomentsAgg::<f64, 2>::new();
+        let empty = f.output(f.new_state());
+        assert_eq!(empty.count, 0);
+        assert_eq!(empty.avg, None);
+        assert_eq!(empty.var_samp, None);
+
+        let mut s = f.new_state();
+        f.step(&mut s, 42.0);
+        let one = f.output(s);
+        assert_eq!(one.count, 1);
+        assert_eq!(one.avg, Some(42.0));
+        assert_eq!(one.var_pop, Some(0.0));
+        assert_eq!(one.var_samp, None); // n-1 = 0
+    }
+
+    #[test]
+    fn constant_group_has_zero_variance() {
+        let f = MomentsAgg::<f64, 3>::new();
+        let mut s = f.new_state();
+        for _ in 0..1000 {
+            f.step(&mut s, 0.1);
+        }
+        let m = f.output(s);
+        // Clamped, non-negative, and tiny.
+        let v = m.var_pop.unwrap();
+        assert!((0.0..1e-12).contains(&v), "var = {v}");
+    }
+}

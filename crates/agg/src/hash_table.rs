@@ -1,0 +1,211 @@
+//! Open-addressing aggregation hash table (paper §IV / §VI-A).
+//!
+//! The table maps `u32` keys to per-group aggregate states with linear
+//! probing over a power-of-two slot array. Two hash functions are offered:
+//!
+//! * [`HashKind::Identity`] — the paper's default: "we use IDENTITYHASHING
+//!   instead of multiplicative hashing. This is not unrealistic in column
+//!   stores, where dense ranges are common due to domain encoding";
+//! * [`HashKind::Multiplicative`] — Fibonacci multiplicative hashing for
+//!   non-dense key domains (using a real hash function slows all algorithms
+//!   by the same constant, §VI-A).
+//!
+//! One key value (`u32::MAX`) is reserved as the empty-slot sentinel; the
+//! operators in this crate never produce it (group ids are dense).
+
+/// Hash function selector for aggregation and partitioning.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum HashKind {
+    /// `h(k) = k` — the paper's choice for domain-encoded (dense) keys.
+    #[default]
+    Identity,
+    /// Fibonacci multiplicative hashing (Knuth).
+    Multiplicative,
+}
+
+impl HashKind {
+    /// Hashes a key to a full-width value; callers take whatever bits they
+    /// need (table mask, partition radix).
+    #[inline(always)]
+    pub fn hash(self, key: u32) -> u64 {
+        match self {
+            HashKind::Identity => key as u64,
+            HashKind::Multiplicative => {
+                // 64-bit Fibonacci hashing; high bits well mixed, so fold
+                // them down for users that mask low bits.
+                let h = (key as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                h ^ (h >> 32)
+            }
+        }
+    }
+}
+
+/// Reserved key marking an empty slot.
+const EMPTY: u32 = u32::MAX;
+
+/// An open-addressing hash table of per-group aggregate states.
+pub struct AggHashTable<S> {
+    keys: Vec<u32>,
+    states: Vec<S>,
+    mask: usize,
+    len: usize,
+    hash: HashKind,
+}
+
+impl<S: Clone> AggHashTable<S> {
+    /// Creates a table able to hold `capacity_hint` groups without
+    /// resizing. Every slot is initialized with a clone of `template`
+    /// (mirrors the paper's layout: the intermediate aggregate, including
+    /// its summation buffer, lives inline in the table).
+    pub fn with_capacity(capacity_hint: usize, hash: HashKind, template: &S) -> Self {
+        let slots = (capacity_hint.max(8) * 4 / 3).next_power_of_two();
+        AggHashTable {
+            keys: vec![EMPTY; slots],
+            states: vec![template.clone(); slots],
+            mask: slots - 1,
+            len: 0,
+            hash,
+        }
+    }
+
+    /// Number of distinct keys inserted.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Returns the state slot for `key`, inserting a clone of `template`
+    /// on first sight. Grows (doubling + rehash) at 75% load.
+    #[inline]
+    pub fn slot_mut(&mut self, key: u32, template: &S) -> &mut S {
+        debug_assert_ne!(key, EMPTY, "u32::MAX is the reserved empty sentinel");
+        if (self.len + 1) * 4 > self.keys.len() * 3 {
+            self.grow(template);
+        }
+        let mut i = self.hash.hash(key) as usize & self.mask;
+        loop {
+            let k = self.keys[i];
+            if k == key {
+                return &mut self.states[i];
+            }
+            if k == EMPTY {
+                self.keys[i] = key;
+                self.len += 1;
+                return &mut self.states[i];
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    /// Looks up a key without inserting.
+    pub fn get(&self, key: u32) -> Option<&S> {
+        let mut i = self.hash.hash(key) as usize & self.mask;
+        loop {
+            let k = self.keys[i];
+            if k == key {
+                return Some(&self.states[i]);
+            }
+            if k == EMPTY {
+                return None;
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    #[cold]
+    fn grow(&mut self, template: &S) {
+        let new_slots = self.keys.len() * 2;
+        let old_keys = core::mem::replace(&mut self.keys, vec![EMPTY; new_slots]);
+        let old_states =
+            core::mem::replace(&mut self.states, vec![template.clone(); new_slots]);
+        self.mask = new_slots - 1;
+        for (k, s) in old_keys.into_iter().zip(old_states) {
+            if k != EMPTY {
+                let mut i = self.hash.hash(k) as usize & self.mask;
+                while self.keys[i] != EMPTY {
+                    i = (i + 1) & self.mask;
+                }
+                self.keys[i] = k;
+                self.states[i] = s;
+            }
+        }
+    }
+
+    /// Drains all (key, state) pairs in unspecified order.
+    pub fn drain(self) -> impl Iterator<Item = (u32, S)> {
+        self.keys
+            .into_iter()
+            .zip(self.states)
+            .filter(|(k, _)| *k != EMPTY)
+    }
+
+    /// Iterates (key, &state) pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &S)> {
+        self.keys
+            .iter()
+            .zip(self.states.iter())
+            .filter(|(k, _)| **k != EMPTY)
+            .map(|(k, s)| (*k, s))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_lookup() {
+        let mut t = AggHashTable::<f64>::with_capacity(4, HashKind::Identity, &0.0);
+        *t.slot_mut(7, &0.0) += 1.5;
+        *t.slot_mut(3, &0.0) += 2.0;
+        *t.slot_mut(7, &0.0) += 0.5;
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.get(7), Some(&2.0));
+        assert_eq!(t.get(3), Some(&2.0));
+        assert_eq!(t.get(4), None);
+    }
+
+    #[test]
+    fn growth_preserves_contents() {
+        let mut t = AggHashTable::<u64>::with_capacity(2, HashKind::Multiplicative, &0);
+        for k in 0..10_000u32 {
+            *t.slot_mut(k, &0) += k as u64;
+        }
+        // Second pass hits existing slots.
+        for k in 0..10_000u32 {
+            *t.slot_mut(k, &0) += 1;
+        }
+        assert_eq!(t.len(), 10_000);
+        for k in (0..10_000u32).step_by(997) {
+            assert_eq!(t.get(k), Some(&(k as u64 + 1)));
+        }
+    }
+
+    #[test]
+    fn colliding_keys_probe_linearly() {
+        // With identity hashing, keys equal mod capacity collide.
+        let mut t = AggHashTable::<u32>::with_capacity(8, HashKind::Identity, &0);
+        let cap = 16; // 8*4/3 -> 16 slots
+        *t.slot_mut(1, &0) += 10;
+        *t.slot_mut(1 + cap, &0) += 20;
+        *t.slot_mut(1 + 2 * cap, &0) += 30;
+        assert_eq!(t.get(1), Some(&10));
+        assert_eq!(t.get(1 + cap), Some(&20));
+        assert_eq!(t.get(1 + 2 * cap), Some(&30));
+    }
+
+    #[test]
+    fn drain_yields_all_groups() {
+        let mut t = AggHashTable::<u32>::with_capacity(16, HashKind::Identity, &0);
+        for k in 0..100u32 {
+            *t.slot_mut(k, &0) = k;
+        }
+        let mut pairs: Vec<_> = t.drain().collect();
+        pairs.sort_unstable();
+        assert_eq!(pairs.len(), 100);
+        assert_eq!(pairs[42], (42, 42));
+    }
+}

@@ -1,0 +1,323 @@
+//! PARTITIONANDAGGREGATE — the paper's Algorithm 4.
+//!
+//! ```text
+//! 1: partitions ← PARALLELPARTITION(input, key, F = f^d)
+//! 2: for each partition p parallel do
+//! 3:     privateTables[i] ← HASHAGGREGATION(p)
+//! 4..6: merge private tables into the shared result
+//! ```
+//!
+//! The partitioning depth `d` (0 = no partitioning) and the aggregate
+//! function (built-in, DECIMAL, `repro`, buffered `repro`) are pluggable;
+//! with reproducible states the whole operator is bit-reproducible for any
+//! input permutation, thread count, and partition assignment, because state
+//! merging is exact and associative.
+
+use crate::agg_fn::AggFn;
+use crate::hash_agg::hash_aggregate_states;
+use crate::hash_table::{AggHashTable, HashKind};
+use crate::partition::{partition_parallel, partition_serial, Partition};
+use rayon::prelude::*;
+
+/// Configuration of the GROUPBY operator.
+#[derive(Clone, Copy, Debug)]
+pub struct GroupByConfig {
+    /// Hash function for both partitioning and table probing.
+    pub hash: HashKind,
+    /// Number of partitioning passes (`d`; fan-out `F = 2^(fanout_bits·d)`).
+    pub depth: u32,
+    /// log2 of the per-pass fan-out (paper: 8, i.e. F = 256).
+    pub fanout_bits: u32,
+    /// Expected number of groups (sizes hash tables; growth handles
+    /// underestimates).
+    pub groups_hint: usize,
+    /// Worker threads for partitioning and per-partition aggregation.
+    pub threads: usize,
+}
+
+impl Default for GroupByConfig {
+    fn default() -> Self {
+        GroupByConfig {
+            hash: HashKind::Identity,
+            depth: 0,
+            fanout_bits: 8,
+            groups_hint: 1024,
+            threads: std::thread::available_parallelism().map_or(1, |p| p.get()),
+        }
+    }
+}
+
+impl GroupByConfig {
+    /// Derives depth and buffer size from the paper's cache model for a
+    /// given group count (§V-C; see [`rfa_core::tuning`]).
+    pub fn tuned_for(groups: usize, value_size: usize, model: &rfa_core::CacheModel) -> Self {
+        GroupByConfig {
+            depth: model.partition_depth(groups, value_size),
+            groups_hint: groups,
+            fanout_bits: model.fanout_bits,
+            ..Default::default()
+        }
+    }
+}
+
+/// Runs PARTITIONANDAGGREGATE and returns `(key, output)` pairs sorted by
+/// key.
+pub fn partition_and_aggregate<F>(
+    f: &F,
+    keys: &[u32],
+    values: &[F::Input],
+    cfg: &GroupByConfig,
+) -> Vec<(u32, F::Output)>
+where
+    F: AggFn,
+    F::Output: Send,
+{
+    assert_eq!(keys.len(), values.len());
+    let mut out = if cfg.depth == 0 {
+        aggregate_unpartitioned(f, keys, values, cfg)
+    } else {
+        let parts = partition_parallel(
+            keys,
+            values,
+            cfg.hash,
+            cfg.fanout_bits,
+            0,
+            cfg.threads,
+        );
+        let per_part_hint =
+            (cfg.groups_hint >> cfg.fanout_bits).max(8);
+        if cfg.threads <= 1 {
+            parts
+                .into_iter()
+                .flat_map(|p| aggregate_partition(f, p, cfg, cfg.depth - 1, per_part_hint))
+                .collect()
+        } else {
+            let mut results: Vec<Vec<(u32, F::Output)>> = Vec::new();
+            parts
+                .into_par_iter()
+                .map(|p| aggregate_partition(f, p, cfg, cfg.depth - 1, per_part_hint))
+                .collect_into_vec(&mut results);
+            results.into_iter().flatten().collect()
+        }
+    };
+    out.sort_unstable_by_key(|(k, _)| *k);
+    out
+}
+
+/// `d = 0`: each thread aggregates a chunk into a private table; private
+/// tables merge into the shared result in thread order (Algorithm 4 lines
+/// 4–6). With few groups this final phase is negligible (paper §V-B).
+fn aggregate_unpartitioned<F>(
+    f: &F,
+    keys: &[u32],
+    values: &[F::Input],
+    cfg: &GroupByConfig,
+) -> Vec<(u32, F::Output)>
+where
+    F: AggFn,
+    F::Output: Send,
+{
+    let n = keys.len();
+    let threads = cfg.threads.max(1);
+    if threads == 1 || n < 1 << 14 {
+        let table = hash_aggregate_states(f, keys, values, cfg.hash, cfg.groups_hint);
+        return finalize(f, table);
+    }
+    let chunk = n.div_ceil(threads);
+    let tables: Vec<AggHashTable<F::State>> = (0..threads)
+        .into_par_iter()
+        .map(|t| {
+            let lo = (t * chunk).min(n);
+            let hi = ((t + 1) * chunk).min(n);
+            hash_aggregate_states(f, &keys[lo..hi], &values[lo..hi], cfg.hash, cfg.groups_hint)
+        })
+        .collect();
+    // Deterministic merge order: thread index. Merging reproducible states
+    // is exact, so even a different thread count yields identical bits.
+    let mut iter = tables.into_iter();
+    let mut shared = iter.next().expect("threads >= 1");
+    let template = f.new_state();
+    for t in iter {
+        for (k, s) in t.drain() {
+            f.merge(shared.slot_mut(k, &template), s);
+        }
+    }
+    finalize(f, shared)
+}
+
+/// Aggregates one partition, recursing through the remaining passes.
+fn aggregate_partition<F>(
+    f: &F,
+    (keys, values): Partition<F::Input>,
+    cfg: &GroupByConfig,
+    remaining_depth: u32,
+    groups_hint: usize,
+) -> Vec<(u32, F::Output)>
+where
+    F: AggFn,
+    F::Output: Send,
+{
+    if remaining_depth == 0 {
+        let table = hash_aggregate_states(f, &keys, &values, cfg.hash, groups_hint);
+        return finalize(f, table);
+    }
+    let level = cfg.depth - remaining_depth;
+    let parts = partition_serial(&keys, &values, cfg.hash, cfg.fanout_bits, level);
+    drop((keys, values));
+    let hint = (groups_hint >> cfg.fanout_bits).max(8);
+    parts
+        .into_iter()
+        .flat_map(|p| aggregate_partition(f, p, cfg, remaining_depth - 1, hint))
+        .collect()
+}
+
+fn finalize<F: AggFn>(f: &F, table: AggHashTable<F::State>) -> Vec<(u32, F::Output)> {
+    table.drain().map(|(k, s)| (k, f.output(s))).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agg_fn::{BufferedReproAgg, ReproAgg, SumAgg};
+
+    fn workload(n: usize, groups: u32) -> (Vec<u32>, Vec<f64>) {
+        let mut state = 0x123_4567_89AB_CDEFu64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let keys: Vec<u32> = (0..n).map(|_| (next() % groups as u64) as u32).collect();
+        let values: Vec<f64> = (0..n)
+            .map(|_| (next() >> 11) as f64 / (1u64 << 53) as f64 - 0.5)
+            .collect();
+        (keys, values)
+    }
+
+    fn reference_sums(keys: &[u32], values: &[f64], groups: u32) -> Vec<f64> {
+        // Exact per-group reference via the oracle.
+        let mut buckets: Vec<Vec<f64>> = vec![Vec::new(); groups as usize];
+        for (&k, &v) in keys.iter().zip(values.iter()) {
+            buckets[k as usize].push(v);
+        }
+        buckets
+            .iter()
+            .map(|b| rfa_exact::exact_sum_f64(b))
+            .collect()
+    }
+
+    #[test]
+    fn depths_agree_for_repro_types_bitwise() {
+        let (keys, values) = workload(200_000, 3000);
+        let f = ReproAgg::<f64, 2>::new();
+        let base = GroupByConfig {
+            groups_hint: 3000,
+            ..Default::default()
+        };
+        let d0 = partition_and_aggregate(&f, &keys, &values, &GroupByConfig { depth: 0, ..base });
+        let d1 = partition_and_aggregate(&f, &keys, &values, &GroupByConfig { depth: 1, ..base });
+        let d2 = partition_and_aggregate(&f, &keys, &values, &GroupByConfig { depth: 2, ..base });
+        assert_eq!(d0.len(), d1.len());
+        assert_eq!(d0.len(), d2.len());
+        for ((a, b), c) in d0.iter().zip(d1.iter()).zip(d2.iter()) {
+            assert_eq!(a.0, b.0);
+            assert_eq!(a.1.to_bits(), b.1.to_bits(), "group {} d0 vs d1", a.0);
+            assert_eq!(a.1.to_bits(), c.1.to_bits(), "group {} d0 vs d2", a.0);
+        }
+    }
+
+    #[test]
+    fn thread_count_does_not_change_bits() {
+        let (keys, values) = workload(100_000, 64);
+        let f = ReproAgg::<f64, 3>::new();
+        let mk = |threads| GroupByConfig {
+            threads,
+            groups_hint: 64,
+            ..Default::default()
+        };
+        let t1 = partition_and_aggregate(&f, &keys, &values, &mk(1));
+        let t2 = partition_and_aggregate(&f, &keys, &values, &mk(2));
+        let t7 = partition_and_aggregate(&f, &keys, &values, &mk(7));
+        for ((a, b), c) in t1.iter().zip(t2.iter()).zip(t7.iter()) {
+            assert_eq!(a.1.to_bits(), b.1.to_bits());
+            assert_eq!(a.1.to_bits(), c.1.to_bits());
+        }
+    }
+
+    #[test]
+    fn results_are_accurate_vs_oracle() {
+        let groups = 100;
+        let (keys, values) = workload(50_000, groups);
+        let f = ReproAgg::<f64, 3>::new();
+        let out = partition_and_aggregate(
+            &f,
+            &keys,
+            &values,
+            &GroupByConfig { depth: 1, groups_hint: groups as usize, ..Default::default() },
+        );
+        let reference = reference_sums(&keys, &values, groups);
+        for &(k, s) in &out {
+            let exact = reference[k as usize];
+            let err = (s - exact).abs();
+            assert!(
+                err <= 1e-9 * exact.abs().max(1.0),
+                "group {k}: {s} vs {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn buffered_and_unbuffered_agree_across_depths() {
+        let (keys, values) = workload(100_000, 500);
+        let plain = ReproAgg::<f32, 2>::new();
+        let fvalues: Vec<f32> = values.iter().map(|&v| v as f32).collect();
+        let cfg = GroupByConfig { depth: 1, groups_hint: 500, ..Default::default() };
+        let a = partition_and_aggregate(&plain, &keys, &fvalues, &cfg);
+        let buffered = BufferedReproAgg::<f32, 2>::new(256);
+        let b = partition_and_aggregate(&buffered, &keys, &fvalues, &cfg);
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x.1.to_bits(), y.1.to_bits(), "group {}", x.0);
+        }
+    }
+
+    #[test]
+    fn plain_u32_sums_are_exact() {
+        let n = 100_000usize;
+        let keys: Vec<u32> = (0..n).map(|i| (i % 10) as u32).collect();
+        let values: Vec<u32> = (0..n).map(|i| i as u32).collect();
+        let out = partition_and_aggregate(
+            &SumAgg::<u32>::new(),
+            &keys,
+            &values,
+            &GroupByConfig { depth: 1, groups_hint: 10, ..Default::default() },
+        );
+        assert_eq!(out.len(), 10);
+        let mut reference = [0u32; 10];
+        for i in 0..n {
+            reference[i % 10] = reference[i % 10].wrapping_add(i as u32);
+        }
+        for &(k, s) in &out {
+            assert_eq!(s, reference[k as usize]);
+        }
+    }
+
+    #[test]
+    fn distinct_keys_stress() {
+        // Every key unique (the paper's "almost distinct" regime).
+        let n = 50_000u32;
+        let keys: Vec<u32> = (0..n).collect();
+        let values: Vec<f64> = (0..n).map(|i| i as f64 * 0.5).collect();
+        let f = ReproAgg::<f64, 2>::new();
+        let out = partition_and_aggregate(
+            &f,
+            &keys,
+            &values,
+            &GroupByConfig { depth: 2, groups_hint: n as usize, ..Default::default() },
+        );
+        assert_eq!(out.len(), n as usize);
+        for &(k, s) in out.iter().step_by(4999) {
+            assert_eq!(s, k as f64 * 0.5);
+        }
+    }
+}

@@ -1,0 +1,195 @@
+//! SHAREDAGGREGATION — aggregation into one table shared by all threads
+//! (paper §VII, following Cieslewicz & Ross).
+//!
+//! "For the case where the result is larger than a private cache, but
+//! smaller than the combined shared cache of all threads, Cieslewicz and
+//! Ross show that SHAREDAGGREGATION may be a better solution … which uses
+//! a shared (lock-free) hash table, at least in the absence of skew."
+//!
+//! This implementation shards the shared table by key-hash into
+//! `2^shard_bits` lock-striped segments (parking_lot mutexes standing in
+//! for the paper's lock-free CAS loops — same sharing semantics, simpler
+//! correctness argument). Each worker thread walks its input chunk and
+//! batches consecutive tuples per shard to amortize lock traffic.
+//!
+//! **The reproducibility point:** with plain float states, the shared
+//! table interleaves additions from different threads nondeterministically
+//! — a *scheduling*-dependent result, even worse than input-order
+//! sensitivity. With `repro` states, interleaving is harmless: every
+//! deposit commutes exactly, so the output is bit-identical to any other
+//! algorithm in this crate. The test suite asserts both directions.
+
+use crate::agg_fn::AggFn;
+use crate::hash_table::{AggHashTable, HashKind};
+use parking_lot::Mutex;
+
+/// Configuration for the shared-table operator.
+#[derive(Clone, Copy, Debug)]
+pub struct SharedAggConfig {
+    pub hash: HashKind,
+    /// log2 of the number of lock-striped shards.
+    pub shard_bits: u32,
+    pub threads: usize,
+    pub groups_hint: usize,
+}
+
+impl Default for SharedAggConfig {
+    fn default() -> Self {
+        SharedAggConfig {
+            hash: HashKind::Identity,
+            shard_bits: 6,
+            threads: std::thread::available_parallelism().map_or(1, |p| p.get()),
+            groups_hint: 1024,
+        }
+    }
+}
+
+/// Aggregates into a lock-striped shared table; returns `(key, output)`
+/// sorted by key.
+pub fn shared_aggregate<F>(
+    f: &F,
+    keys: &[u32],
+    values: &[F::Input],
+    cfg: &SharedAggConfig,
+) -> Vec<(u32, F::Output)>
+where
+    F: AggFn,
+    F::Output: Send,
+{
+    assert_eq!(keys.len(), values.len());
+    let shards = 1usize << cfg.shard_bits;
+    let template = f.new_state();
+    let shard_tables: Vec<Mutex<AggHashTable<F::State>>> = (0..shards)
+        .map(|_| {
+            Mutex::new(AggHashTable::with_capacity(
+                (cfg.groups_hint / shards).max(8),
+                cfg.hash,
+                &template,
+            ))
+        })
+        .collect();
+
+    let threads = cfg.threads.max(1);
+    let n = keys.len();
+    let chunk = n.div_ceil(threads);
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let lo = (t * chunk).min(n);
+            let hi = ((t + 1) * chunk).min(n);
+            let shard_tables = &shard_tables;
+            // Per-thread template clone: `State` is Send but not
+            // necessarily Sync.
+            let template = f.new_state();
+            let keys = &keys[lo..hi];
+            let values = &values[lo..hi];
+            scope.spawn(move || {
+                let template = &template;
+                // Batch consecutive same-shard tuples to amortize locking.
+                let shard_of =
+                    |k: u32| (cfg.hash.hash(k) >> (32 - cfg.shard_bits.min(31))) as usize & (shards - 1);
+                let mut i = 0;
+                while i < keys.len() {
+                    let s = shard_of(keys[i]);
+                    let mut j = i + 1;
+                    while j < keys.len() && shard_of(keys[j]) == s && j - i < 256 {
+                        j += 1;
+                    }
+                    let mut table = shard_tables[s].lock();
+                    for idx in i..j {
+                        f.step(table.slot_mut(keys[idx], template), values[idx]);
+                    }
+                    drop(table);
+                    i = j;
+                }
+            });
+        }
+    });
+
+    let mut out: Vec<(u32, F::Output)> = shard_tables
+        .into_iter()
+        .flat_map(|m| m.into_inner().drain())
+        .map(|(k, s)| (k, f.output(s)))
+        .collect();
+    out.sort_unstable_by_key(|(k, _)| *k);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agg_fn::{ReproAgg, SumAgg};
+    use crate::hash_agg::hash_aggregate;
+
+    fn workload(n: usize, groups: u32) -> (Vec<u32>, Vec<f64>) {
+        let mut s = 0xABCDEFu64;
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            s
+        };
+        (
+            (0..n).map(|_| (next() % groups as u64) as u32).collect(),
+            (0..n)
+                .map(|_| (next() >> 11) as f64 / (1u64 << 53) as f64 - 0.5)
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn matches_hash_aggregation_bitwise_for_repro() {
+        let (keys, values) = workload(100_000, 512);
+        let f = ReproAgg::<f64, 2>::new();
+        let reference = hash_aggregate(&f, &keys, &values, HashKind::Identity, 512);
+        for threads in [1, 2, 4] {
+            let cfg = SharedAggConfig {
+                threads,
+                groups_hint: 512,
+                ..Default::default()
+            };
+            let out = shared_aggregate(&f, &keys, &values, &cfg);
+            assert_eq!(reference.len(), out.len());
+            for (a, b) in reference.iter().zip(out.iter()) {
+                assert_eq!(a.0, b.0);
+                assert_eq!(a.1.to_bits(), b.1.to_bits(), "threads {threads} group {}", a.0);
+            }
+        }
+    }
+
+    #[test]
+    fn exact_for_integer_states() {
+        let n = 50_000usize;
+        let keys: Vec<u32> = (0..n).map(|i| (i % 100) as u32).collect();
+        let values: Vec<u64> = (0..n as u64).collect();
+        let f = SumAgg::<u64>::new();
+        let out = shared_aggregate(&f, &keys, &values, &SharedAggConfig::default());
+        assert_eq!(out.len(), 100);
+        for &(k, s) in &out {
+            let expected: u64 = (0..n as u64).filter(|i| i % 100 == k as u64).sum();
+            assert_eq!(s, expected, "group {k}");
+        }
+    }
+
+    #[test]
+    fn multiplicative_hash_spreads_shards() {
+        let (keys, values) = workload(30_000, 64);
+        let f = ReproAgg::<f64, 2>::new();
+        let cfg = SharedAggConfig {
+            hash: HashKind::Multiplicative,
+            shard_bits: 4,
+            ..Default::default()
+        };
+        let out = shared_aggregate(&f, &keys, &values, &cfg);
+        let reference = hash_aggregate(&f, &keys, &values, HashKind::Identity, 64);
+        for (a, b) in reference.iter().zip(out.iter()) {
+            assert_eq!(a.1.to_bits(), b.1.to_bits());
+        }
+    }
+
+    #[test]
+    fn empty_input() {
+        let f = SumAgg::<f64>::new();
+        let out = shared_aggregate(&f, &[], &[], &SharedAggConfig::default());
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,157 @@
+//! Property-based tests of the GROUPBY operators: every algorithm, every
+//! depth, every thread count and every physical input order must yield the
+//! same groups — bit-identically so for reproducible aggregate types, and
+//! matching an exact per-group oracle within the error bound.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use rfa_agg::{
+    hash_aggregate, partition_and_aggregate, partition_serial, sort_aggregate, GroupByConfig,
+    HashKind, ReproAgg, SumAgg,
+};
+
+fn pairs(max_len: usize, max_key: u32) -> impl Strategy<Value = (Vec<u32>, Vec<f64>)> {
+    vec((0..max_key, -1.0e6..1.0e6f64), 0..max_len)
+        .prop_map(|v| v.into_iter().unzip())
+}
+
+fn shuffle<T: Copy>(data: &[T], seed: u64) -> Vec<T> {
+    let mut out = data.to_vec();
+    let mut s = seed | 1;
+    for i in (1..out.len()).rev() {
+        s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let j = (s >> 33) as usize % (i + 1);
+        out.swap(i, j);
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn all_algorithms_agree_bitwise_for_repro(
+        (keys, values) in pairs(400, 37),
+    ) {
+        let f = ReproAgg::<f64, 2>::new();
+        let hashed = hash_aggregate(&f, &keys, &values, HashKind::Identity, 37);
+        let sorted = sort_aggregate(&f, &keys, &values);
+        let cfg = GroupByConfig { depth: 1, groups_hint: 37, ..Default::default() };
+        let pna = partition_and_aggregate(&f, &keys, &values, &cfg);
+        prop_assert_eq!(hashed.len(), sorted.len());
+        prop_assert_eq!(hashed.len(), pna.len());
+        for ((h, s), p) in hashed.iter().zip(&sorted).zip(&pna) {
+            prop_assert_eq!(h.0, s.0);
+            prop_assert_eq!(h.0, p.0);
+            prop_assert_eq!(h.1.to_bits(), s.1.to_bits());
+            prop_assert_eq!(h.1.to_bits(), p.1.to_bits());
+        }
+    }
+
+    #[test]
+    fn physical_order_invariance(
+        (keys, values) in pairs(500, 16),
+        seed in any::<u64>(),
+    ) {
+        // Shuffle keys and values *together* (same row permutation).
+        let idx: Vec<u32> = shuffle(&(0..keys.len() as u32).collect::<Vec<_>>(), seed);
+        let skeys: Vec<u32> = idx.iter().map(|&i| keys[i as usize]).collect();
+        let svalues: Vec<f64> = idx.iter().map(|&i| values[i as usize]).collect();
+        let f = ReproAgg::<f64, 3>::new();
+        let a = hash_aggregate(&f, &keys, &values, HashKind::Identity, 16);
+        let b = hash_aggregate(&f, &skeys, &svalues, HashKind::Multiplicative, 16);
+        prop_assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b.iter()) {
+            prop_assert_eq!(x.0, y.0);
+            prop_assert_eq!(x.1.to_bits(), y.1.to_bits());
+        }
+    }
+
+    #[test]
+    fn groups_match_oracle(
+        (keys, values) in pairs(400, 8),
+    ) {
+        let f = ReproAgg::<f64, 3>::new();
+        let out = hash_aggregate(&f, &keys, &values, HashKind::Identity, 8);
+        // Exact oracle per group.
+        for &(k, sum) in &out {
+            let group: Vec<f64> = keys
+                .iter()
+                .zip(values.iter())
+                .filter(|(&kk, _)| kk == k)
+                .map(|(_, &v)| v)
+                .collect();
+            let exact = rfa_exact::exact_sum_f64(&group);
+            let max_abs = group.iter().fold(0.0f64, |m, v| m.max(v.abs()));
+            let bound = rfa_core::analysis::reproducible_bound_anchored::<f64>(group.len(), 3, max_abs)
+                + f64::EPSILON * exact.abs();
+            prop_assert!((sum - exact).abs() <= bound.max(5e-324),
+                "group {k}: {sum} vs exact {exact}");
+        }
+        // Every key present, none invented.
+        let mut expected: Vec<u32> = keys.clone();
+        expected.sort_unstable();
+        expected.dedup();
+        let got: Vec<u32> = out.iter().map(|&(k, _)| k).collect();
+        prop_assert_eq!(expected, got);
+    }
+
+    #[test]
+    fn partitioning_is_exhaustive_and_disjoint(
+        (keys, values) in pairs(600, 1000),
+        bits in 1u32..8,
+        level in 0u32..3,
+    ) {
+        let parts = partition_serial(&keys, &values, HashKind::Multiplicative, bits, level);
+        prop_assert_eq!(parts.len(), 1 << bits);
+        let total: usize = parts.iter().map(|(k, _)| k.len()).sum();
+        prop_assert_eq!(total, keys.len());
+        // Multiset equality of (key, value bits).
+        let mut orig: Vec<(u32, u64)> = keys.iter().zip(values.iter())
+            .map(|(&k, &v)| (k, v.to_bits())).collect();
+        let mut flat: Vec<(u32, u64)> = parts.iter().flat_map(|(ks, vs)| {
+            ks.iter().zip(vs.iter()).map(|(&k, &v)| (k, v.to_bits())).collect::<Vec<_>>()
+        }).collect();
+        orig.sort_unstable();
+        flat.sort_unstable();
+        prop_assert_eq!(orig, flat);
+        // Keys never split across partitions.
+        for key in keys.iter().take(20) {
+            let homes = parts.iter().filter(|(ks, _)| ks.contains(key)).count();
+            prop_assert_eq!(homes, 1);
+        }
+    }
+
+    #[test]
+    fn depth_and_threads_equivalence(
+        (keys, values) in pairs(800, 64),
+        depth in 0u32..3,
+        threads in 1usize..5,
+    ) {
+        let f = ReproAgg::<f64, 2>::new();
+        let reference = hash_aggregate(&f, &keys, &values, HashKind::Identity, 64);
+        let cfg = GroupByConfig { depth, threads, groups_hint: 64, ..Default::default() };
+        let out = partition_and_aggregate(&f, &keys, &values, &cfg);
+        prop_assert_eq!(reference.len(), out.len());
+        for (a, b) in reference.iter().zip(out.iter()) {
+            prop_assert_eq!(a.0, b.0);
+            prop_assert_eq!(a.1.to_bits(), b.1.to_bits(), "group {}", a.0);
+        }
+    }
+
+    #[test]
+    fn plain_u64_sums_are_exact_everywhere(
+        kv in vec((0u32..32, 0u64..1 << 40), 0..500),
+        depth in 0u32..2,
+    ) {
+        let (keys, values): (Vec<u32>, Vec<u64>) = kv.into_iter().unzip();
+        let f = SumAgg::<u64>::new();
+        let cfg = GroupByConfig { depth, groups_hint: 32, ..Default::default() };
+        let out = partition_and_aggregate(&f, &keys, &values, &cfg);
+        for &(k, sum) in &out {
+            let expected: u64 = keys.iter().zip(values.iter())
+                .filter(|(&kk, _)| kk == k).map(|(_, &v)| v).sum();
+            prop_assert_eq!(sum, expected);
+        }
+    }
+}

@@ -1,0 +1,107 @@
+//! Ablations of the design choices DESIGN.md carries over from the paper:
+//!
+//! 1. **Identity vs. multiplicative hashing** (§VI-A: identity hashing is
+//!    realistic for domain-encoded keys and makes the baseline as fast as
+//!    the state of the art; a real hash slows *all* variants equally, so
+//!    relative overheads are unaffected).
+//! 2. **Partitioning fan-out 256** (§V-B: modern cores sustain radix
+//!    fan-outs of ~256 per pass; smaller fan-outs need more passes,
+//!    much larger ones thrash the TLB/store buffers).
+
+use rfa_agg::{BufferedReproAgg, GroupByConfig, HashKind, ReproAgg, SumAgg};
+use rfa_bench::{f2, ns_per_elem, time_min, BenchConfig, ResultTable};
+use rfa_workloads::{GroupedPairs, ValueDist};
+
+fn groupby_ns_cfg<F>(
+    f: &F,
+    keys: &[u32],
+    values: &[F::Input],
+    cfg: &GroupByConfig,
+    reps: usize,
+) -> f64
+where
+    F: rfa_agg::AggFn,
+    F::Output: Send,
+{
+    let d = time_min(reps, || {
+        std::hint::black_box(rfa_agg::partition_and_aggregate(f, keys, values, cfg));
+    });
+    ns_per_elem(d, keys.len())
+}
+
+fn ablate_hashing(cfg: &BenchConfig) {
+    let mut table = ResultTable::new(
+        "Ablation 1: identity vs multiplicative hashing (ns/elem, d = 1)",
+        &["log2(groups)", "float id", "float mult", "r<f,2> id", "r<f,2> mult", "repro overhead id", "repro overhead mult"],
+    );
+    for ge in [6u32, 12, 16] {
+        if ge > cfg.max_group_exp() {
+            continue;
+        }
+        let groups = 1u32 << ge;
+        let g = groups as usize;
+        let w = GroupedPairs::generate(cfg.n, groups, ValueDist::Uniform01, 31 + ge as u64);
+        let v32 = w.values_f32();
+        let mk = |hash| GroupByConfig { hash, depth: 1, groups_hint: g, threads: 1, ..Default::default() };
+        let float_id = groupby_ns_cfg(&SumAgg::<f32>::new(), &w.keys, &v32, &mk(HashKind::Identity), cfg.reps);
+        let float_mu = groupby_ns_cfg(&SumAgg::<f32>::new(), &w.keys, &v32, &mk(HashKind::Multiplicative), cfg.reps);
+        let repro_id = groupby_ns_cfg(&ReproAgg::<f32, 2>::new(), &w.keys, &v32, &mk(HashKind::Identity), cfg.reps);
+        let repro_mu = groupby_ns_cfg(&ReproAgg::<f32, 2>::new(), &w.keys, &v32, &mk(HashKind::Multiplicative), cfg.reps);
+        table.row(vec![
+            ge.to_string(),
+            f2(float_id),
+            f2(float_mu),
+            f2(repro_id),
+            f2(repro_mu),
+            format!("{:.2}x", repro_id / float_id),
+            format!("{:.2}x", repro_mu / float_mu),
+        ]);
+    }
+    table.print();
+    table.write_csv("ablation_hashing");
+    println!(
+        "  claim checked: a real hash function slows both baseline and repro by a\n  \
+         similar constant, leaving the relative overhead of reproducibility intact."
+    );
+}
+
+fn ablate_fanout(cfg: &BenchConfig) {
+    let mut table = ResultTable::new(
+        "Ablation 2: partitioning fan-out per pass (repro<f,2> buffered, ns/elem)",
+        &["log2(groups)", "F=16 (d=2)", "F=64 (d=2)", "F=256 (d=1)", "F=1024 (d=1)"],
+    );
+    for ge in [12u32, 16, 18] {
+        if ge > cfg.max_group_exp() {
+            continue;
+        }
+        let groups = 1u32 << ge;
+        let g = groups as usize;
+        let w = GroupedPairs::generate(cfg.n, groups, ValueDist::Uniform01, 37 + ge as u64);
+        let v32 = w.values_f32();
+        let f = BufferedReproAgg::<f32, 2>::new(64);
+        let mut row = vec![ge.to_string()];
+        for (bits, depth) in [(4u32, 2u32), (6, 2), (8, 1), (10, 1)] {
+            let cfg2 = GroupByConfig {
+                fanout_bits: bits,
+                depth,
+                groups_hint: g,
+                threads: 1,
+                ..Default::default()
+            };
+            row.push(f2(groupby_ns_cfg(&f, &w.keys, &v32, &cfg2, cfg.reps)));
+        }
+        table.row(row);
+    }
+    table.print();
+    table.write_csv("ablation_fanout");
+    println!(
+        "  claim checked: F = 256 in one pass beats smaller fan-outs needing two\n  \
+         passes; pushing far beyond 256 stops helping."
+    );
+}
+
+fn main() {
+    let cfg = BenchConfig::from_env();
+    ablate_hashing(&cfg);
+    ablate_fanout(&cfg);
+}

@@ -1,0 +1,85 @@
+//! Criterion micro-benchmarks of the core primitives underlying every
+//! figure: scalar deposits, the vectorized kernel, radix partitioning and
+//! hash-table aggregation.
+//!
+//! These complement the custom figure harnesses with statistically
+//! rigorous single-primitive measurements (useful when tuning the kernel).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use rfa_agg::{hash_aggregate, partition_serial, HashKind, ReproAgg, SumAgg};
+use rfa_core::{simd, ReproSum};
+use rfa_workloads::{GroupedPairs, ValueDist};
+use std::hint::black_box;
+
+const N: usize = 1 << 16;
+
+fn bench_summation(c: &mut Criterion) {
+    let w = GroupedPairs::generate(N, 16, ValueDist::Uniform01, 21);
+    let values = &w.values;
+    let mut g = c.benchmark_group("summation");
+    g.throughput(Throughput::Elements(N as u64));
+    g.bench_function("conventional_f64", |b| {
+        b.iter(|| black_box(values.iter().sum::<f64>()))
+    });
+    g.bench_function("repro_scalar_f64_L2", |b| {
+        b.iter(|| {
+            let mut acc = ReproSum::<f64, 2>::new();
+            acc.add_all(values);
+            black_box(acc.value())
+        })
+    });
+    g.bench_function("repro_simd_f64_L2", |b| {
+        b.iter(|| {
+            let mut acc = ReproSum::<f64, 2>::new();
+            simd::add_slice(&mut acc, values);
+            black_box(acc.value())
+        })
+    });
+    g.finish();
+}
+
+fn bench_operators(c: &mut Criterion) {
+    let w = GroupedPairs::generate(N, 1024, ValueDist::Uniform01, 22);
+    let mut g = c.benchmark_group("operators");
+    g.throughput(Throughput::Elements(N as u64));
+    g.bench_function("partition_serial_256", |b| {
+        b.iter(|| black_box(partition_serial(&w.keys, &w.values, HashKind::Identity, 8, 0)))
+    });
+    g.bench_function("hash_agg_f64", |b| {
+        b.iter(|| {
+            black_box(hash_aggregate(
+                &SumAgg::<f64>::new(),
+                &w.keys,
+                &w.values,
+                HashKind::Identity,
+                1024,
+            ))
+        })
+    });
+    g.bench_function("hash_agg_repro_f64_L2", |b| {
+        b.iter(|| {
+            black_box(hash_aggregate(
+                &ReproAgg::<f64, 2>::new(),
+                &w.keys,
+                &w.values,
+                HashKind::Identity,
+                1024,
+            ))
+        })
+    });
+    g.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(800))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_summation, bench_operators
+}
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Figure 12 (Appendix B) — impact of the buffer size on
+//! PARTITIONANDAGGREGATE with one partitioning pass (fan-out 256, d = 1).
+//!
+//! Paper shape: qualitatively identical to Figure 8, shifted by the
+//! fan-out: the per-bsz performance cliff appears at 256× the group count,
+//! and all curves carry the constant partitioning cost.
+
+use rfa_agg::BufferedReproAgg;
+use rfa_bench::{f2, runner::groupby_ns, BenchConfig, ResultTable};
+use rfa_workloads::{GroupedPairs, ValueDist};
+
+fn panel_ab(cfg: &BenchConfig, groups: u32, csv: &str) {
+    let groups = groups.min(1 << cfg.max_group_exp());
+    let w = GroupedPairs::generate(cfg.n, groups, ValueDist::Uniform01, 14);
+    let v32 = w.values_f32();
+    let mut table = ResultTable::new(
+        format!("Figure 12: {groups} groups, d = 1 (fan-out 256), ns/elem"),
+        &["bsz", "r<f,2>", "r<f,3>", "r<d,2>", "r<d,3>"],
+    );
+    for exp in 4..=10u32 {
+        let bsz = 1usize << exp;
+        let g = groups as usize;
+        table.row(vec![
+            bsz.to_string(),
+            f2(groupby_ns(&BufferedReproAgg::<f32, 2>::new(bsz), &w.keys, &v32, 1, g, cfg.reps)),
+            f2(groupby_ns(&BufferedReproAgg::<f32, 3>::new(bsz), &w.keys, &v32, 1, g, cfg.reps)),
+            f2(groupby_ns(&BufferedReproAgg::<f64, 2>::new(bsz), &w.keys, &w.values, 1, g, cfg.reps)),
+            f2(groupby_ns(&BufferedReproAgg::<f64, 3>::new(bsz), &w.keys, &w.values, 1, g, cfg.reps)),
+        ]);
+    }
+    table.print();
+    table.write_csv(csv);
+}
+
+fn panel_c(cfg: &BenchConfig) {
+    let mut table = ResultTable::new(
+        "Figure 12c: repro<float,2>, d = 1, ns/elem across group counts",
+        &["log2(groups)", "bsz=16", "bsz=64", "bsz=256", "bsz=1024"],
+    );
+    let max_exp = cfg.max_group_exp();
+    for ge in (8..=max_exp.min(22)).step_by(2) {
+        let groups = 1u32 << ge;
+        let w = GroupedPairs::generate(cfg.n, groups, ValueDist::Uniform01, 15 + ge as u64);
+        let v32 = w.values_f32();
+        let mut row = vec![ge.to_string()];
+        for bsz in [16usize, 64, 256, 1024] {
+            row.push(f2(groupby_ns(
+                &BufferedReproAgg::<f32, 2>::new(bsz),
+                &w.keys,
+                &v32,
+                1,
+                groups as usize,
+                cfg.reps,
+            )));
+        }
+        table.row(row);
+    }
+    table.print();
+    table.write_csv("fig12c_buffer_size_groups_d1");
+}
+
+fn main() {
+    let cfg = BenchConfig::from_env();
+    panel_ab(&cfg, 4096, "fig12a_buffer_size_4096groups");
+    panel_ab(&cfg, 262_144, "fig12b_buffer_size_262144groups");
+    panel_c(&cfg);
+    println!(
+        "\n  paper shape: same as Figure 8, shifted by the fan-out of 256 (the cliff\n  \
+         appears 256x later in group count) plus a constant partitioning cost."
+    );
+}

@@ -1,0 +1,91 @@
+//! Figure 4 — HASHAGGREGATION with different reproducible data types and
+//! 16 groups.
+//!
+//! Paper result: with only 16 groups (no cache or partitioning effects),
+//! `repro<ScalarT, L>` is 3.7×–12.3× slower than built-in types, growing
+//! with L; float and double behave alike (the cascade is compute-bound
+//! and latency-dominated, not width-dominated).
+
+use rfa_agg::{hash_aggregate, AggFn, HashKind, ReproAgg, SumAgg};
+use rfa_bench::{f2, ns_per_elem, time_min, BenchConfig, ResultTable};
+use rfa_workloads::{GroupedPairs, ValueDist};
+
+const GROUPS: u32 = 16;
+
+fn run<F>(f: &F, keys: &[u32], values: &[F::Input], reps: usize) -> f64
+where
+    F: AggFn,
+{
+    let d = time_min(reps, || {
+        std::hint::black_box(hash_aggregate(
+            f,
+            keys,
+            values,
+            HashKind::Identity,
+            GROUPS as usize,
+        ));
+    });
+    ns_per_elem(d, keys.len())
+}
+
+fn main() {
+    let cfg = BenchConfig::from_env();
+    let w = GroupedPairs::generate(cfg.n, GROUPS, ValueDist::Uniform01, 4);
+    let v64 = &w.values;
+    let v32 = w.values_f32();
+    let vu32: Vec<u32> = w.values.iter().map(|&v| (v * 1e6) as u32).collect();
+
+    let mut rows: Vec<(String, f64)> = Vec::new();
+    rows.push((
+        "uint32_t".into(),
+        run(&SumAgg::<u32>::new(), &w.keys, &vu32, cfg.reps),
+    ));
+    rows.push((
+        "float".into(),
+        run(&SumAgg::<f32>::new(), &w.keys, &v32, cfg.reps),
+    ));
+    rows.push((
+        "double".into(),
+        run(&SumAgg::<f64>::new(), &w.keys, v64, cfg.reps),
+    ));
+    macro_rules! repro_rows {
+        ($t:ty, $vals:expr, $name:literal) => {
+            rows.push((
+                format!("repro<{},1>", $name),
+                run(&ReproAgg::<$t, 1>::new(), &w.keys, $vals, cfg.reps),
+            ));
+            rows.push((
+                format!("repro<{},2>", $name),
+                run(&ReproAgg::<$t, 2>::new(), &w.keys, $vals, cfg.reps),
+            ));
+            rows.push((
+                format!("repro<{},3>", $name),
+                run(&ReproAgg::<$t, 3>::new(), &w.keys, $vals, cfg.reps),
+            ));
+            rows.push((
+                format!("repro<{},4>", $name),
+                run(&ReproAgg::<$t, 4>::new(), &w.keys, $vals, cfg.reps),
+            ));
+        };
+    }
+    repro_rows!(f32, &v32, "float");
+    repro_rows!(f64, v64, "double");
+
+    let baseline = rows[0].1;
+    let mut table = ResultTable::new(
+        format!(
+            "Figure 4: HASHAGGREGATION per data type, {GROUPS} groups, n = 2^{}",
+            cfg.n.trailing_zeros()
+        ),
+        &["data type", "ns/elem", "slowdown vs uint32"],
+    );
+    for (name, ns) in &rows {
+        table.row(vec![name.clone(), f2(*ns), format!("{:.2}x", ns / baseline)]);
+    }
+    table.print();
+    table.write_csv("fig4_hashagg_types");
+    println!(
+        "  paper shape: uint32≈float≈double; repro 4x-12x slower, growing with L,\n  \
+         float and double repro variants nearly identical."
+    );
+}

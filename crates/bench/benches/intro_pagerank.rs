@@ -1,0 +1,55 @@
+//! §I intro experiment — PageRank rank swaps across edge permutations.
+//!
+//! The paper: "We ran PageRank on different permutations of a small web
+//! graph with 900 k pages … from one run to the next, the ranks of about
+//! 10-20 pages would be different enough to swap ranks with another page."
+//!
+//! We run plain-float and reproducible PageRank over several deterministic
+//! edge permutations of a synthetic scale-free graph and count the pages
+//! whose ordinal rank changes.
+
+use rfa_bench::{BenchConfig, ResultTable};
+use rfa_workloads::{pagerank, pagerank_repro, rank_swaps, Graph, PageRankConfig};
+
+fn main() {
+    let cfg = BenchConfig::from_env();
+    // Scale the graph with the configured input size (900k pages at paper
+    // scale, fewer by default).
+    let nodes = (cfg.n / 16).clamp(2_000, 900_000);
+    let graph = Graph::preferential_attachment(nodes, 4, 0xF00D);
+    let pr_cfg = PageRankConfig::default();
+
+    let base_plain = pagerank(&graph, &graph.edges, &pr_cfg);
+    let base_repro = pagerank_repro::<2>(&graph, &graph.edges, &pr_cfg);
+
+    let mut table = ResultTable::new(
+        format!("Intro: PageRank rank swaps across edge permutations ({nodes} pages)"),
+        &["permutation", "plain: swapped ranks", "repro<double,2>: swapped ranks", "plain bit-identical?"],
+    );
+    for seed in 1..=5u64 {
+        let edges = graph.permuted_edges(seed);
+        let plain = pagerank(&graph, &edges, &pr_cfg);
+        let repro = pagerank_repro::<2>(&graph, &edges, &pr_cfg);
+        let identical = base_plain
+            .iter()
+            .zip(plain.iter())
+            .all(|(a, b)| a.to_bits() == b.to_bits());
+        let repro_identical = base_repro
+            .iter()
+            .zip(repro.iter())
+            .all(|(a, b)| a.to_bits() == b.to_bits());
+        assert!(repro_identical, "reproducible PageRank must not vary");
+        table.row(vec![
+            format!("#{seed}"),
+            rank_swaps(&base_plain, &plain).to_string(),
+            rank_swaps(&base_repro, &repro).to_string(),
+            if identical { "yes" } else { "no" }.to_string(),
+        ]);
+    }
+    table.print();
+    table.write_csv("intro_pagerank");
+    println!(
+        "  paper shape: plain PageRank swaps the ranks of ~10-20 pages per permutation\n  \
+         (growing with graph size); the reproducible variant swaps exactly 0."
+    );
+}

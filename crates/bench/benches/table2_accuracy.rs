@@ -1,0 +1,111 @@
+//! Table II — maximum absolute error of conventional and reproducible
+//! summation in double precision.
+//!
+//! Paper reports the *a-priori error bounds* (Eq. 5/6) for U[1,2) and
+//! Exp(1) at n = 10^3 and 10^6: conventional ≈ 1.7e-10 / 1.1e-10 /
+//! 1.7e-4 / 1.1e-4; RSUM L=1 ≈ 1e3…1.1e7 (uselessly loose), L=2
+//! comparable to conventional, L=3 far tighter. We print those bounds
+//! plus the *measured* errors against the exact Kulisch oracle —
+//! demonstrating the paper's remark that the reproducible bounds are up
+//! to 2^(W-1) more pessimistic than observed errors.
+
+use rfa_bench::{sci, BenchConfig, ResultTable};
+use rfa_core::analysis::{conventional_bound, reproducible_bound};
+use rfa_core::reproducible_sum;
+use rfa_exact::{abs_error_f64, exact_sum_f64};
+use rfa_workloads::{values_only, ValueDist};
+
+struct Config {
+    n: usize,
+    dist: ValueDist,
+    label: &'static str,
+}
+
+fn measured_rsum_error<const L: usize>(values: &[f64]) -> f64 {
+    let s = reproducible_sum::<f64, L>(values);
+    abs_error_f64(values, s)
+}
+
+fn main() {
+    let _ = BenchConfig::from_env(); // Table II sizes are fixed by the paper
+    let configs = [
+        Config { n: 1_000, dist: ValueDist::Uniform12, label: "n=10^3 U[1,2)" },
+        Config { n: 1_000, dist: ValueDist::Exp1, label: "n=10^3 Exp(1)" },
+        Config { n: 1_000_000, dist: ValueDist::Uniform12, label: "n=10^6 U[1,2)" },
+        Config { n: 1_000_000, dist: ValueDist::Exp1, label: "n=10^6 Exp(1)" },
+    ];
+
+    let mut bounds = ResultTable::new(
+        "Table II (bounds): max abs error bounds, double precision",
+        &["algorithm", configs[0].label, configs[1].label, configs[2].label, configs[3].label],
+    );
+    let mut measured = ResultTable::new(
+        "Table II (measured): actual |error| vs exact oracle",
+        &["algorithm", configs[0].label, configs[1].label, configs[2].label, configs[3].label],
+    );
+
+    // Precompute per-config data and statistics.
+    let data: Vec<Vec<f64>> = configs
+        .iter()
+        .enumerate()
+        .map(|(i, c)| values_only(c.n, c.dist, 0xB0B5 + i as u64))
+        .collect();
+    let sum_abs: Vec<f64> = data.iter().map(|d| d.iter().map(|v| v.abs()).sum()).collect();
+    // The paper bounds Exp(1) by the 22 quantile argument; we use the
+    // actual max, which is what the bound formula takes.
+    let max_abs: Vec<f64> = data
+        .iter()
+        .map(|d| d.iter().fold(0.0f64, |m, &v| m.max(v.abs())))
+        .collect();
+
+    // Bounds rows.
+    let mut conv_row = vec!["Conventional".to_string()];
+    for (i, c) in configs.iter().enumerate() {
+        conv_row.push(sci(conventional_bound::<f64>(c.n, sum_abs[i])));
+    }
+    bounds.row(conv_row);
+    for l in 1..=3usize {
+        let mut row = vec![format!("RSUM (L={l})")];
+        for (i, c) in configs.iter().enumerate() {
+            row.push(sci(reproducible_bound::<f64>(c.n, l, max_abs[i])));
+        }
+        bounds.row(row);
+    }
+
+    // Measured rows.
+    let mut conv_row = vec!["Conventional".to_string()];
+    for d in &data {
+        let s: f64 = d.iter().sum();
+        conv_row.push(sci(abs_error_f64(d, s)));
+    }
+    measured.row(conv_row);
+    let mut rows: [Vec<String>; 3] = [
+        vec!["RSUM (L=1)".to_string()],
+        vec!["RSUM (L=2)".to_string()],
+        vec!["RSUM (L=3)".to_string()],
+    ];
+    for d in &data {
+        rows[0].push(sci(measured_rsum_error::<1>(d)));
+        rows[1].push(sci(measured_rsum_error::<2>(d)));
+        rows[2].push(sci(measured_rsum_error::<3>(d)));
+    }
+    for r in rows {
+        measured.row(r);
+    }
+    // Exact-oracle sanity line: correctly rounded result has error <= 1/2 ulp.
+    let mut exact_row = vec!["Exact (oracle)".to_string()];
+    for d in &data {
+        exact_row.push(sci(abs_error_f64(d, exact_sum_f64(d))));
+    }
+    measured.row(exact_row);
+
+    bounds.print();
+    bounds.write_csv("table2_bounds");
+    measured.print();
+    measured.write_csv("table2_measured");
+    println!(
+        "  paper shape: conventional bound ~1e-10 (n=10^3) / ~1e-4 (n=10^6);\n  \
+         RSUM L=1 bound uselessly large, L=2 comparable to conventional, L=3 ~1e-21/1e-18;\n  \
+         measured errors far below bounds (the paper notes up to 2^(W-1) slack)."
+    );
+}

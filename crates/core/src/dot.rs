@@ -1,0 +1,210 @@
+//! Reproducible dot products and norms.
+//!
+//! The paper's closing direction (§VIII): "we intend to look into
+//! operators for machine learning, vector manipulation, and series
+//! analysis based on the algorithms presented in this paper." The dot
+//! product is the canonical such operator, and it reduces exactly to
+//! reproducible summation via an *error-free product*: with an FMA,
+//!
+//! ```text
+//! p = x·y (rounded);   e = fma(x, y, -p)   ⇒   p + e = x·y  exactly
+//! ```
+//!
+//! Depositing both `p` and `e` into a [`ReproSum`] therefore yields a
+//! bit-reproducible, high-accuracy dot product for any input order or
+//! parallel split (the ReproBLAS `rdot` construction).
+
+use crate::float::ReproFloat;
+use crate::repro::ReproSum;
+use crate::simd;
+
+/// Error-free product: returns `(p, e)` with `p + e == x * y` exactly
+/// (requires a fused multiply-add, which Rust's `mul_add` guarantees).
+#[inline(always)]
+pub fn two_product<T: ReproFloat>(x: T, y: T) -> (T, T) {
+    let p = x * y;
+    let e = x.mul_add_(y, -p);
+    (p, e)
+}
+
+/// A reproducible dot-product accumulator.
+///
+/// ```
+/// use rfa_core::dot::ReproDot;
+/// let x = [1e8f64, 1.0, -1e8];
+/// let y = [1e8f64, 1.0, 1e8];
+/// let mut d = ReproDot::<f64, 3>::new();
+/// d.add_pairs(&x, &y);
+/// assert_eq!(d.finalize(), 1.0); // 1e16 + 1 - 1e16, no cancellation loss
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct ReproDot<T: ReproFloat, const L: usize> {
+    acc: ReproSum<T, L>,
+}
+
+impl<T: ReproFloat, const L: usize> ReproDot<T, L> {
+    pub fn new() -> Self {
+        ReproDot { acc: ReproSum::new() }
+    }
+
+    /// Adds one product term.
+    #[inline]
+    pub fn add_pair(&mut self, x: T, y: T) {
+        let (p, e) = two_product(x, y);
+        self.acc.add(p);
+        self.acc.add(e);
+    }
+
+    /// Adds many product terms through the vectorized kernel: products and
+    /// error terms are materialized in blocks and summed with
+    /// [`simd::add_slice`].
+    pub fn add_pairs(&mut self, xs: &[T], ys: &[T]) {
+        assert_eq!(xs.len(), ys.len());
+        const BLOCK: usize = 2048;
+        let mut products = [T::ZERO; BLOCK];
+        let mut errors = [T::ZERO; BLOCK];
+        let mut xs_chunks = xs.chunks(BLOCK);
+        let mut ys_chunks = ys.chunks(BLOCK);
+        while let (Some(xc), Some(yc)) = (xs_chunks.next(), ys_chunks.next()) {
+            for i in 0..xc.len() {
+                let (p, e) = two_product(xc[i], yc[i]);
+                products[i] = p;
+                errors[i] = e;
+            }
+            simd::add_slice(&mut self.acc, &products[..xc.len()]);
+            simd::add_slice(&mut self.acc, &errors[..xc.len()]);
+        }
+    }
+
+    /// Merges another dot accumulator (exact, associative).
+    pub fn merge(&mut self, other: &Self) {
+        self.acc.merge(&other.acc);
+    }
+
+    /// Rounds to the scalar type.
+    pub fn finalize(self) -> T {
+        self.acc.finalize()
+    }
+
+    pub fn value(&self) -> T {
+        self.acc.value()
+    }
+}
+
+/// One-shot reproducible dot product.
+pub fn reproducible_dot<T: ReproFloat, const L: usize>(xs: &[T], ys: &[T]) -> T {
+    let mut d = ReproDot::<T, L>::new();
+    d.add_pairs(xs, ys);
+    d.finalize()
+}
+
+/// Reproducible squared Euclidean norm `Σ xᵢ²`.
+pub fn reproducible_norm_sq<T: ReproFloat, const L: usize>(xs: &[T]) -> T {
+    reproducible_dot::<T, L>(xs, xs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_product_is_exact() {
+        for (x, y) in [(0.1f64, 0.3), (1e150, 1e-150), (3.5, -7.25), (1.0 + 2e-16, 1.0 - 2e-16)] {
+            let (p, e) = two_product(x, y);
+            // p + e == x*y exactly: verify via exact accumulator.
+            let mut oracle = rfa_exact::ExactSum::new();
+            oracle.add(p);
+            oracle.add(e);
+            // x*y as exact product: split x into hi/lo halves is overkill;
+            // instead verify the defining property e == fma(x,y,-p).
+            assert_eq!(e, x.mul_add(y, -p));
+            assert_eq!(oracle.round_f64(), p + e);
+        }
+    }
+
+    #[test]
+    fn cancellation_heavy_dot() {
+        let x = [1e8f64, 1.0, -1e8];
+        let y = [1e8f64, 1.0, 1e8];
+        // Plain dot loses the 1.0 entirely.
+        let plain: f64 = x.iter().zip(y.iter()).map(|(a, b)| a * b).sum();
+        assert_eq!(plain, 0.0);
+        assert_eq!(reproducible_dot::<f64, 3>(&x, &y), 1.0);
+    }
+
+    #[test]
+    fn permutation_invariance() {
+        let n = 10_000;
+        let xs: Vec<f64> = (0..n).map(|i| ((i * 37) % 1009) as f64 * 0.013 - 5.0).collect();
+        let ys: Vec<f64> = (0..n).map(|i| ((i * 61) % 997) as f64 * 0.017 - 8.0).collect();
+        let fwd = reproducible_dot::<f64, 2>(&xs, &ys);
+        let rxs: Vec<f64> = xs.iter().rev().copied().collect();
+        let rys: Vec<f64> = ys.iter().rev().copied().collect();
+        let bwd = reproducible_dot::<f64, 2>(&rxs, &rys);
+        assert_eq!(fwd.to_bits(), bwd.to_bits());
+    }
+
+    #[test]
+    fn scalar_and_blocked_paths_agree() {
+        let xs: Vec<f64> = (0..5000).map(|i| (i as f64).cos()).collect();
+        let ys: Vec<f64> = (0..5000).map(|i| (i as f64).sin()).collect();
+        let mut scalar = ReproDot::<f64, 2>::new();
+        for (&x, &y) in xs.iter().zip(ys.iter()) {
+            scalar.add_pair(x, y);
+        }
+        let mut blocked = ReproDot::<f64, 2>::new();
+        blocked.add_pairs(&xs, &ys);
+        assert_eq!(scalar.value().to_bits(), blocked.value().to_bits());
+    }
+
+    #[test]
+    fn merge_matches_sequential() {
+        let xs: Vec<f64> = (0..1000).map(|i| i as f64 * 0.25).collect();
+        let ys: Vec<f64> = (0..1000).map(|i| 1.0 / (i as f64 + 1.0)).collect();
+        let mut whole = ReproDot::<f64, 2>::new();
+        whole.add_pairs(&xs, &ys);
+        let mut a = ReproDot::<f64, 2>::new();
+        let mut b = ReproDot::<f64, 2>::new();
+        a.add_pairs(&xs[..400], &ys[..400]);
+        b.add_pairs(&xs[400..], &ys[400..]);
+        a.merge(&b);
+        assert_eq!(whole.value().to_bits(), a.value().to_bits());
+    }
+
+    #[test]
+    fn accuracy_vs_oracle() {
+        // Exact oracle: p + e decomposition makes each term exact, so the
+        // exact dot is the exact sum of all (p, e).
+        let xs: Vec<f64> = (0..2000).map(|i| ((i * 7) % 101) as f64 * 1e5 - 5e6).collect();
+        let ys: Vec<f64> = (0..2000).map(|i| ((i * 13) % 97) as f64 * 1e-7).collect();
+        let mut oracle = rfa_exact::ExactSum::new();
+        for (&x, &y) in xs.iter().zip(ys.iter()) {
+            let (p, e) = two_product(x, y);
+            oracle.add(p);
+            oracle.add(e);
+        }
+        let exact = oracle.round_f64();
+        let repro = reproducible_dot::<f64, 3>(&xs, &ys);
+        let rel = ((repro - exact) / exact.abs().max(1e-300)).abs();
+        assert!(rel < 1e-13, "rel {rel}");
+    }
+
+    #[test]
+    fn norm_is_nonnegative_and_accurate() {
+        let xs: Vec<f64> = (0..300).map(|i| (i as f64 - 150.0) * 1e-3).collect();
+        let n2 = reproducible_norm_sq::<f64, 2>(&xs);
+        let reference: f64 = xs.iter().map(|&x| x * x).sum();
+        assert!(n2 >= 0.0);
+        assert!((n2 - reference).abs() < 1e-9 * reference);
+    }
+
+    #[test]
+    fn f32_dot() {
+        let xs: Vec<f32> = (0..1000).map(|i| i as f32 * 0.1).collect();
+        let ys: Vec<f32> = (0..1000).map(|i| 1.0 - i as f32 * 1e-4).collect();
+        let fwd = reproducible_dot::<f32, 2>(&xs, &ys);
+        let rxs: Vec<f32> = xs.iter().rev().copied().collect();
+        let rys: Vec<f32> = ys.iter().rev().copied().collect();
+        assert_eq!(fwd.to_bits(), reproducible_dot::<f32, 2>(&rxs, &rys).to_bits());
+    }
+}

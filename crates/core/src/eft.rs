@@ -1,0 +1,111 @@
+//! Error-free transformations (paper §III-B, Figure 1).
+//!
+//! The floating-point sum of two numbers `a ⊕ b = rd(a + b)` generally loses
+//! the low-order bits of the smaller operand. An *error-free transformation*
+//! splits a value `b` against an *extractor* `a` into a contribution
+//! `q := (a ⊕ b) ⊖ a` — an integer multiple of `ulp(a)` — and a remainder
+//! `r := b ⊖ q`, such that `q + r = b` holds exactly. Contributions of many
+//! values against the same extractor share a grid and therefore sum without
+//! rounding error, which is the core mechanism behind reproducible
+//! summation (Ogita, Rump & Oishi 2004; Demmel & Nguyen 2013/2015).
+
+use crate::float::ReproFloat;
+
+/// Splits `b` against extractor `m` into `(q, r)` with `q + r == b` exactly,
+/// `q` an integer multiple of `ulp(m)`.
+///
+/// Correctness requires `|b| < 2^{W-1} · ulp(m)` relative to the extractor's
+/// format so that `m ⊕ b` cannot change `m`'s exponent; the accumulators in
+/// this crate guarantee that invariant via the bin ladder.
+///
+/// ```
+/// use rfa_core::eft::extract;
+/// // Figure 1 of the paper: extractor 1024, value 179.25 (m = 52 here, so
+/// // nothing is lost; with a coarser grid the remainder becomes non-zero).
+/// let (q, r) = extract(1.5f64 * 1024.0, 179.25);
+/// assert_eq!(q + r, 179.25);
+/// ```
+#[inline(always)]
+pub fn extract<T: ReproFloat>(m: T, b: T) -> (T, T) {
+    let s = m + b;
+    let q = s - m;
+    let r = b - q;
+    (q, r)
+}
+
+/// Knuth's TwoSum: `a + b = s + e` exactly, `s = a ⊕ b`.
+///
+/// Not used on the hot path (it costs 6 flops and is *not* associative
+/// across reorderings), but handy for building reference computations and
+/// for tests.
+#[inline]
+pub fn two_sum<T: ReproFloat>(a: T, b: T) -> (T, T) {
+    let s = a + b;
+    let ap = s - b;
+    let bp = s - ap;
+    let da = a - ap;
+    let db = b - bp;
+    (s, da + db)
+}
+
+/// Dekker's FastTwoSum, valid when `|a| >= |b|`.
+#[inline]
+pub fn fast_two_sum<T: ReproFloat>(a: T, b: T) -> (T, T) {
+    debug_assert!(a.abs() >= b.abs() || a + b == a);
+    let s = a + b;
+    let e = b - (s - a);
+    (s, e)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extract_is_error_free() {
+        // Against extractor 1.5·2^10: grid is 2^(10-52).
+        let m = 1.5 * f64::exp2i(10);
+        for b in [179.25f64, -56.0625, 30.390625, 1e-30, -0.0, 0.0] {
+            let (q, r) = extract(m, b);
+            assert_eq!(q + r, b, "b = {b}");
+            // q is a multiple of ulp(m) = 2^(10-52).
+            let ulp = f64::exp2i(10 - 52);
+            assert_eq!((q / ulp).fract(), 0.0);
+        }
+    }
+
+    #[test]
+    fn extract_toy_example_from_figure_1() {
+        // The paper's Figure 1 uses an 11-bit mantissa; we emulate the grid
+        // by picking an extractor whose ulp is 1/16 in f64: e = 52 - 4.
+        let m = 1.5 * f64::exp2i(48);
+        let values = [179.25, 56.0625, 30.390625];
+        let mut q_sum = 0.0;
+        let mut r_sum_exact: f64 = 0.0;
+        for &b in &values {
+            let (q, r) = extract(m, b);
+            q_sum += q; // exact: all multiples of 2^-4
+            r_sum_exact += r;
+        }
+        assert_eq!(q_sum + r_sum_exact, 179.25 + 56.0625 + 30.390625);
+    }
+
+    #[test]
+    fn contributions_sum_order_independently() {
+        let m = 1.5 * f64::exp2i(20);
+        let values = [0.1, 0.7, -0.3, 123.456, -99.9, 3.25e-5];
+        let forward: f64 = values.iter().map(|&b| extract(m, b).0).sum();
+        let backward: f64 = values.iter().rev().map(|&b| extract(m, b).0).sum();
+        assert_eq!(forward.to_bits(), backward.to_bits());
+    }
+
+    #[test]
+    fn two_sum_recovers_error() {
+        let (s, e) = two_sum(1e16, 1.0);
+        assert_eq!(s, 1e16); // the 1.0 is lost in s ...
+        assert_eq!(e, 1.0); // ... but recovered exactly in e
+        let (s, e) = fast_two_sum(1e16, 1.0);
+        assert_eq!(s + e, 1e16 + 1.0);
+        assert_eq!(e, 1.0);
+    }
+}

@@ -1,0 +1,628 @@
+//! The reproducible, associative floating-point accumulator
+//! `repro<ScalarT, L>` (paper §III-C and §IV, Algorithm 2).
+//!
+//! [`ReproSum<T, L>`] holds `L` levels of running sums and carry-bit
+//! counters. Each level `l` owns a rung of the format's global bin ladder
+//! (see [`crate::float`]) with extractor `M_l = 1.5 · 2^{e_l}`,
+//! `e_l = e_top - l·W`. Adding a value performs the extraction cascade of
+//! Algorithm 2 lines 8–13:
+//!
+//! ```text
+//! r⁰ = b;   qˡ = (Mˡ ⊕ rˡ⁻¹) ⊖ Mˡ;   Aˡ += qˡ;   rˡ = rˡ⁻¹ ⊖ qˡ
+//! ```
+//!
+//! Every operation is exact: `qˡ` is a multiple of `ulp(Mˡ)` and the
+//! accumulated `Aˡ` stays far below `2^{m+1} · ulp(Mˡ)` thanks to carry-bit
+//! propagation every `NB` deposits (lines 14–18). The paper's running sum
+//! `S(l)` is exactly `Mˡ + Aˡ`; keeping the extractor constant and the
+//! accumulation separate is the *binned* formulation (ReproBLAS), which
+//! strengthens the running-sum formulation: round-to-nearest-even
+//! tie-breaking then never depends on previously accumulated bits, so the
+//! final state is a pure function of the input *multiset* — bit-identical
+//! for any permutation, chunking, thread schedule or merge tree.
+//!
+//! ## Accuracy
+//!
+//! With `L` levels the result carries roughly `L·W` significant bits
+//! below `max |input|` (error bound Eq. 6): `L = 2` is comparable to
+//! conventional summation, `L = 3` is far more accurate (Table II).
+//!
+//! ## Special values and limits
+//!
+//! NaN and ±∞ inputs follow IEEE addition semantics via a sticky state.
+//! Finite inputs with `|b| ≥ 2^HUGE_EXP` (`2^1005` for f64, `2^120` for
+//! f32) cannot be binned and are deterministically treated as overflow
+//! (sticky ±∞) — documented domain limit, far outside realistic data.
+
+use crate::float::ReproFloat;
+
+/// Sticky special-value state (IEEE addition semantics).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum Special {
+    /// All inputs so far are finite and in range.
+    Finite = 0,
+    /// Positive overflow / +∞ seen.
+    PosInf = 1,
+    /// Negative overflow / −∞ seen.
+    NegInf = 2,
+    /// NaN seen, or both infinities.
+    Nan = 3,
+}
+
+impl Special {
+    #[inline]
+    fn combine(self, other: Special) -> Special {
+        use Special::*;
+        match (self, other) {
+            (Finite, s) | (s, Finite) => s,
+            (Nan, _) | (_, Nan) => Nan,
+            (PosInf, PosInf) => PosInf,
+            (NegInf, NegInf) => NegInf,
+            (PosInf, NegInf) | (NegInf, PosInf) => Nan,
+        }
+    }
+}
+
+/// A bit-reproducible, associative floating-point accumulator with `L`
+/// levels of accuracy (the paper's `repro<ScalarT, L>` data type).
+///
+/// `ReproSum` supports only addition — in a real system it is an internal
+/// type of the execution layer (paper footnote 7). It is a drop-in
+/// aggregate state: `+=` a scalar, `+=` another accumulator (exact,
+/// associative merge), and [`value`](Self::value)/[`finalize`](Self::finalize)
+/// to round to the scalar type.
+///
+/// ```
+/// use rfa_core::ReproSum;
+/// let mut a: ReproSum<f64, 2> = ReproSum::new();
+/// a += 2.5e-16;
+/// a += 0.999999999999999;
+/// a += 2.5e-16;
+/// let mut b: ReproSum<f64, 2> = ReproSum::new();
+/// b += 0.999999999999999; // any other order ...
+/// b += 2.5e-16;
+/// b += 2.5e-16;
+/// assert_eq!(a.value().to_bits(), b.value().to_bits()); // ... same bits
+/// ```
+#[derive(Clone, Debug)]
+pub struct ReproSum<T: ReproFloat, const L: usize> {
+    /// Per-level accumulated contributions `A_l` (exact multiples of the
+    /// level's ulp; the paper's `S(l)` is `extractor(l) + sums[l]`).
+    sums: [T; L],
+    /// Cached extractors of the levels' rungs (function of `top`).
+    extractors: [T; L],
+    /// Per-level carry-bit counters `C(l)`.
+    carries: [i64; L],
+    /// Ladder rung owned by level 0 (decreases as larger values arrive).
+    top: u32,
+    /// Deposits since the last carry propagation (Algorithm 3's `NB` tile).
+    pending: u32,
+    /// Cached deposit limit of the top rung (Algorithm 2 line 4 threshold).
+    threshold: T,
+    special: Special,
+}
+
+impl<T: ReproFloat, const L: usize> Default for ReproSum<T, L> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: ReproFloat, const L: usize> ReproSum<T, L> {
+    /// Creates an empty accumulator (sums to `+0.0`).
+    ///
+    /// The ladder starts at the bottom rung; the first large-enough input
+    /// promotes it, so an empty accumulator is the exact identity element
+    /// of [`merge`](Self::merge).
+    pub fn new() -> Self {
+        const { assert!(L >= 1 && L <= 8, "supported level counts are 1..=8") };
+        let top = (T::NUM_BINS - 1) as u32;
+        let mut extractors = [T::ZERO; L];
+        for (l, m) in extractors.iter_mut().enumerate() {
+            *m = T::extractor(top as usize + l);
+        }
+        ReproSum {
+            sums: [T::ZERO; L],
+            extractors,
+            carries: [0; L],
+            top,
+            pending: 0,
+            threshold: T::deposit_limit(top as usize),
+            special: Special::Finite,
+        }
+    }
+
+    /// Adds one value (Algorithm 2 body).
+    #[inline]
+    pub fn add(&mut self, b: T) {
+        // NaN/∞ fail this comparison and take the cold path, as do values
+        // needing a ladder promotion (Algorithm 2 line 4).
+        if b.abs() < self.threshold {
+            self.deposit(b);
+        } else {
+            self.add_cold(b);
+        }
+    }
+
+    /// The extraction cascade (Algorithm 2 lines 8–13). Caller guarantees
+    /// `|b| < threshold` (so `b` is finite and fits the top rung).
+    #[inline]
+    fn deposit(&mut self, b: T) {
+        let mut r = b;
+        for l in 0..L {
+            // Levels whose rung falls off the bottom of the ladder use the
+            // sentinel top extractor: the remainder reaching them is below
+            // half its ulp, extracts to zero, and the level stays empty.
+            let m = self.extractors[l];
+            let s = m + r;
+            let q = s - m;
+            self.sums[l] += q;
+            r -= q;
+        }
+        self.pending += 1;
+        if self.pending as usize >= T::BLOCK {
+            self.propagate_carries();
+        }
+    }
+
+    /// Cold path: special values, overflow-magnitude values, and ladder
+    /// promotion for values exceeding the top rung's deposit limit.
+    #[cold]
+    fn add_cold(&mut self, b: T) {
+        if b.is_nan() {
+            self.special = self.special.combine(Special::Nan);
+            return;
+        }
+        if b.is_infinite() || T::bin_for(b).is_none() {
+            // ±∞, or finite but too large to bin (documented overflow).
+            let s = if b.is_sign_negative() {
+                Special::NegInf
+            } else {
+                Special::PosInf
+            };
+            self.special = self.special.combine(s);
+            return;
+        }
+        // In-range value above the current window: promote the ladder
+        // (Algorithm 2 lines 4–7) and deposit.
+        let new_top = T::bin_for(b).expect("checked above") as u32;
+        debug_assert!(new_top < self.top);
+        self.promote(new_top);
+        self.deposit(b);
+    }
+
+    /// Shifts the level window up to `new_top` (Algorithm 2 lines 5–7:
+    /// each level demotes by `k` positions, the deepest `k` are discarded —
+    /// their content is provably below the deepest surviving rung's
+    /// round-off and cannot affect surviving levels in any input order).
+    fn promote(&mut self, new_top: u32) {
+        debug_assert!(new_top < self.top);
+        let k = (self.top - new_top) as usize;
+        for l in (0..L).rev() {
+            if l >= k {
+                self.sums[l] = self.sums[l - k];
+                self.carries[l] = self.carries[l - k];
+            } else {
+                self.sums[l] = T::ZERO;
+                self.carries[l] = 0;
+            }
+        }
+        self.top = new_top;
+        self.threshold = T::deposit_limit(new_top as usize);
+        for (l, m) in self.extractors.iter_mut().enumerate() {
+            *m = T::extractor(new_top as usize + l);
+        }
+    }
+
+    /// Carry-bit propagation (Algorithm 2 lines 14–18): renormalizes each
+    /// level's accumulation into `[-⅛, ⅛] · 2^{e_l}` by moving multiples of
+    /// the carry unit `0.25 · 2^{e_l}` into the integer counter `C(l)`.
+    /// All arithmetic is exact.
+    pub(crate) fn propagate_carries(&mut self) {
+        for l in 0..L {
+            let bin = self.top as usize + l;
+            if bin >= T::NUM_BINS {
+                break;
+            }
+            let unit = T::carry_unit(bin);
+            let d = (self.sums[l] / unit).round_ties_even_();
+            if d != T::ZERO {
+                self.sums[l] -= d * unit;
+                self.carries[l] += d.to_i64();
+            }
+        }
+        self.pending = 0;
+    }
+
+    /// Adds every element of a slice through the scalar path. See
+    /// [`crate::simd::add_slice`] for the vectorized equivalent
+    /// (bit-identical result).
+    pub fn add_all(&mut self, values: &[T]) {
+        for &v in values {
+            self.add(v);
+        }
+    }
+
+    /// Merges another accumulator into this one. Exact, associative and
+    /// commutative: any merge tree over any partitioning of the input
+    /// produces bit-identical state.
+    pub fn merge(&mut self, other: &Self) {
+        self.special = self.special.combine(other.special);
+        if other.top < self.top {
+            self.promote(other.top);
+        }
+        let offset = (other.top - self.top) as usize;
+        for l in 0..L {
+            let target = l + offset;
+            if target >= L {
+                break;
+            }
+            // Same absolute rung => same ulp grid => exact addition.
+            self.sums[target] += other.sums[l];
+            self.carries[target] += other.carries[l];
+        }
+        self.propagate_carries();
+    }
+
+    /// Rounds the accumulated sum to the scalar type without consuming the
+    /// accumulator (finalization sum of Eq. 1, evaluated from the deepest
+    /// level upward to avoid cancellation).
+    pub fn value(&self) -> T {
+        match self.special {
+            Special::Nan => return T::nan(),
+            Special::PosInf => return T::infinity(),
+            Special::NegInf => return T::neg_infinity(),
+            Special::Finite => {}
+        }
+        let mut canon = self.clone();
+        canon.propagate_carries();
+        let mut acc = T::ZERO;
+        for l in (0..L).rev() {
+            let bin = canon.top as usize + l;
+            if bin >= T::NUM_BINS {
+                continue;
+            }
+            let term = canon.sums[l] + T::carry_unit(bin) * T::from_i64(canon.carries[l]);
+            acc += term;
+        }
+        acc
+    }
+
+    /// Consumes the accumulator and returns the rounded sum.
+    pub fn finalize(self) -> T {
+        self.value()
+    }
+
+    /// The sticky special-value state.
+    pub fn special(&self) -> Special {
+        self.special
+    }
+
+    /// Canonicalizes and exposes the raw state `(top rung, A_l, C_l)` —
+    /// the complete summation state of the paper (§III-C). Two accumulators
+    /// fed the same multiset of values expose identical state.
+    pub fn canonical_state(&self) -> (u32, [u64; L], [i64; L]) {
+        let mut canon = self.clone();
+        canon.propagate_carries();
+        let mut bits = [0u64; L];
+        for (b, s) in bits.iter_mut().zip(canon.sums.iter()) {
+            // +0.0 and -0.0 canonicalize to the same bits for comparison.
+            let v = if *s == T::ZERO { T::ZERO } else { *s };
+            *b = v.to_f64().to_bits();
+        }
+        (canon.top, bits, canon.carries)
+    }
+
+    pub(crate) fn top_rung(&self) -> u32 {
+        self.top
+    }
+
+    pub(crate) fn raw_parts_mut(&mut self) -> (&mut [T; L], &mut [i64; L]) {
+        // Used by the vectorized path to fold lane state in exactly.
+        let Self { sums, carries, .. } = self;
+        (sums, carries)
+    }
+
+    /// Rebuilds an accumulator from decoded state (see [`crate::wire`]).
+    pub(crate) fn from_raw_state(
+        top: u32,
+        sums: [T; L],
+        carries: [i64; L],
+        special: Special,
+    ) -> Self {
+        let mut acc = Self::new();
+        if top < acc.top {
+            acc.promote(top);
+        }
+        acc.sums = sums;
+        acc.carries = carries;
+        acc.special = special;
+        acc
+    }
+
+    pub(crate) fn promote_for(&mut self, max_abs: T) -> bool {
+        // Ensures the window admits `max_abs`; returns false if it is
+        // unbinnable (caller falls back to the scalar cold path).
+        match T::bin_for(max_abs) {
+            Some(bin) => {
+                let bin = bin as u32;
+                if bin < self.top {
+                    self.promote(bin);
+                }
+                true
+            }
+            None => false,
+        }
+    }
+
+    pub(crate) fn extractor_cache(&self) -> [T; L] {
+        self.extractors
+    }
+}
+
+impl<T: ReproFloat, const L: usize> core::ops::AddAssign<T> for ReproSum<T, L> {
+    #[inline]
+    fn add_assign(&mut self, rhs: T) {
+        self.add(rhs);
+    }
+}
+
+impl<T: ReproFloat, const L: usize> core::ops::AddAssign<&ReproSum<T, L>> for ReproSum<T, L> {
+    #[inline]
+    fn add_assign(&mut self, rhs: &ReproSum<T, L>) {
+        self.merge(rhs);
+    }
+}
+
+impl<T: ReproFloat, const L: usize> core::iter::Sum<T> for ReproSum<T, L> {
+    fn sum<I: Iterator<Item = T>>(iter: I) -> Self {
+        let mut acc = Self::new();
+        for v in iter {
+            acc.add(v);
+        }
+        acc
+    }
+}
+
+impl<T: ReproFloat, const L: usize> Extend<T> for ReproSum<T, L> {
+    fn extend<I: IntoIterator<Item = T>>(&mut self, iter: I) {
+        for v in iter {
+            self.add(v);
+        }
+    }
+}
+
+/// Convenience: reproducible sum of a slice using the vectorized kernel.
+pub fn reproducible_sum<T: ReproFloat, const L: usize>(values: &[T]) -> T {
+    let mut acc = ReproSum::<T, L>::new();
+    crate::simd::add_slice(&mut acc, values);
+    acc.finalize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn repro_sum2(values: &[f64]) -> f64 {
+        let mut acc = ReproSum::<f64, 2>::new();
+        acc.add_all(values);
+        acc.finalize()
+    }
+
+    #[test]
+    fn empty_is_positive_zero() {
+        let acc = ReproSum::<f64, 3>::new();
+        assert_eq!(acc.value().to_bits(), 0.0f64.to_bits());
+    }
+
+    #[test]
+    fn single_value_roundtrips() {
+        for v in [1.0, -2.5, 1e-300, 3.5e300, f64::from_bits(1), -0.1] {
+            let mut acc = ReproSum::<f64, 2>::new();
+            acc.add(v);
+            assert_eq!(acc.value(), v, "value {v}");
+        }
+        // Note: f32 values beyond 2^HUGE_EXP = 2^120 are a documented domain
+        // limit (treated as overflow), so stay below it here. With L = 2 a
+        // single f32 value carries only ~W = 18 bits below the top rung's
+        // grid (Eq. 6), so exact round-trip needs L = 3; L = 2 must be
+        // within the bound.
+        for v in [1.0f32, -2.5, 1e-40, 1.0e35, -0.1] {
+            let mut acc = ReproSum::<f32, 3>::new();
+            acc.add(v);
+            assert_eq!(acc.value(), v, "value {v} (L=3)");
+
+            let mut acc = ReproSum::<f32, 2>::new();
+            acc.add(v);
+            let err = (acc.value() - v).abs() as f64;
+            let bound = crate::analysis::reproducible_bound_anchored::<f32>(1, 2, v.abs() as f64);
+            assert!(err <= bound, "value {v}: err {err:e} > bound {bound:e}");
+        }
+    }
+
+    #[test]
+    fn permutations_are_bit_identical() {
+        let values = [2.5e-16, 0.999_999_999_999_999, 2.5e-16, -1e10, 1e10, 0.25];
+        let forward = repro_sum2(&values);
+        let mut rev = values;
+        rev.reverse();
+        assert_eq!(forward.to_bits(), repro_sum2(&rev).to_bits());
+        // A rotation mixing large/small arrival order.
+        let rotated = [0.25, 2.5e-16, 0.999_999_999_999_999, 2.5e-16, -1e10, 1e10];
+        assert_eq!(forward.to_bits(), repro_sum2(&rotated).to_bits());
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let values: Vec<f64> = (0..1000).map(|i| ((i * 37) % 101) as f64 * 0.01 - 0.5).collect();
+        let mut whole = ReproSum::<f64, 3>::new();
+        whole.add_all(&values);
+        let mut left = ReproSum::<f64, 3>::new();
+        let mut right = ReproSum::<f64, 3>::new();
+        left.add_all(&values[..321]);
+        right.add_all(&values[321..]);
+        left.merge(&right);
+        assert_eq!(whole.value().to_bits(), left.value().to_bits());
+        assert_eq!(whole.canonical_state(), left.canonical_state());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = ReproSum::<f64, 2>::new();
+        a.add_all(&[1.5, -0.25, 3e-7]);
+        let before = a.canonical_state();
+        a.merge(&ReproSum::new());
+        assert_eq!(before, a.canonical_state());
+        let mut b = ReproSum::<f64, 2>::new();
+        b.merge(&a);
+        assert_eq!(before, b.canonical_state());
+    }
+
+    #[test]
+    fn ladder_promotion_is_order_independent() {
+        // Tiny value first vs. huge value first: the tiny value's natural
+        // rung falls outside the surviving window either way.
+        let tiny = 2f64.powi(-300);
+        let huge = 2f64.powi(300);
+        let a = repro_sum2(&[tiny, huge]);
+        let b = repro_sum2(&[huge, tiny]);
+        assert_eq!(a.to_bits(), b.to_bits());
+        assert_eq!(a, huge);
+        // Partially overlapping windows (value within W·L of the max).
+        let mid = 2f64.powi(300 - 45);
+        let c = repro_sum2(&[mid, huge]);
+        let d = repro_sum2(&[huge, mid]);
+        assert_eq!(c.to_bits(), d.to_bits());
+    }
+
+    #[test]
+    fn half_ulp_tie_values_are_reproducible() {
+        // Values sitting exactly on half-ulp boundaries of the bin grid are
+        // the adversarial case for running-sum extractors; the fixed
+        // extractor handles them order-independently.
+        let base = 2f64.powi(10);
+        let tie = 2f64.powi(10 - 53); // half ulp of numbers near 2^10
+        let values = [base, tie, tie, -base, tie];
+        // a handful of distinct permutations
+        let perms: Vec<Vec<f64>> = vec![
+            values.to_vec(),
+            vec![tie, tie, tie, base, -base],
+            vec![tie, base, tie, -base, tie],
+            vec![-base, base, tie, tie, tie],
+        ];
+        let first = repro_sum2(&perms[0]);
+        for p in &perms[1..] {
+            assert_eq!(first.to_bits(), repro_sum2(p).to_bits(), "perm {p:?}");
+        }
+    }
+
+    #[test]
+    fn carry_propagation_keeps_sums_small() {
+        // 1.0 lands on rung e = 22 (carry unit 2^20), so ~2M additions push
+        // the level sum well past half a carry unit and carries must fire.
+        let mut acc = ReproSum::<f64, 2>::new();
+        const N: usize = 2_000_000;
+        for _ in 0..N {
+            acc.add(1.0);
+        }
+        assert_eq!(acc.value(), N as f64);
+        let (_, _, carries) = acc.canonical_state();
+        assert!(carries[0] != 0, "expected carry activity, got {carries:?}");
+    }
+
+    #[test]
+    fn f64_domain_limit_is_generous() {
+        // The documented overflow threshold for f64 is 2^1005 ≈ 3.4e302:
+        // everything below sums normally.
+        let v = 1e302;
+        let mut acc = ReproSum::<f64, 2>::new();
+        acc.add(v);
+        acc.add(v);
+        assert_eq!(acc.value(), 2e302);
+        assert_eq!(acc.special(), Special::Finite);
+    }
+
+    #[test]
+    fn minimal_denormal_roundtrips() {
+        // The bottom rung's grid equals the minimal denormal, so even the
+        // smallest f64/f32 survive exactly.
+        let mut acc = ReproSum::<f64, 1>::new();
+        acc.add(f64::from_bits(1));
+        assert_eq!(acc.value().to_bits(), 1);
+        let mut acc = ReproSum::<f32, 1>::new();
+        acc.add(f32::from_bits(1));
+        assert_eq!(acc.value().to_bits(), 1);
+    }
+
+    #[test]
+    fn signed_cancellation_is_exactish() {
+        let mut acc = ReproSum::<f64, 2>::new();
+        for _ in 0..1000 {
+            acc.add(0.1);
+            acc.add(-0.1);
+        }
+        // 0.1 + (-0.1) cancels exactly in every level.
+        assert_eq!(acc.value().to_bits(), 0.0f64.to_bits());
+    }
+
+    #[test]
+    fn specials_follow_ieee() {
+        let mut acc = ReproSum::<f64, 2>::new();
+        acc.add(f64::INFINITY);
+        acc.add(1.0);
+        assert_eq!(acc.value(), f64::INFINITY);
+        acc.add(f64::NEG_INFINITY);
+        assert!(acc.value().is_nan());
+
+        let mut acc = ReproSum::<f64, 2>::new();
+        acc.add(f64::NAN);
+        assert!(acc.value().is_nan());
+
+        // Huge-but-finite values overflow deterministically.
+        let mut acc = ReproSum::<f64, 2>::new();
+        acc.add(f64::MAX);
+        assert_eq!(acc.value(), f64::INFINITY);
+        assert_eq!(acc.special(), Special::PosInf);
+    }
+
+    #[test]
+    fn denormal_inputs_are_handled() {
+        let d = 2f64.powi(-1074);
+        let mut acc = ReproSum::<f64, 2>::new();
+        for _ in 0..1024 {
+            acc.add(d);
+        }
+        assert_eq!(acc.value(), d * 1024.0);
+    }
+
+    #[test]
+    fn f32_accumulator_matches_f32_semantics() {
+        let values = [1.5f32, -0.25, 1e-20, 3.0e10, -3.0e10];
+        let mut acc = ReproSum::<f32, 3>::new();
+        acc.add_all(&values);
+        let mut rev = values;
+        rev.reverse();
+        let mut acc2 = ReproSum::<f32, 3>::new();
+        acc2.add_all(&rev);
+        assert_eq!(acc.value().to_bits(), acc2.value().to_bits());
+    }
+
+    #[test]
+    fn accuracy_l2_close_to_exact() {
+        // Sum of n copies of 0.1 — conventional summation drifts, L=2 stays
+        // within the Eq. 6 bound.
+        let n = 100_000;
+        let values = vec![0.1f64; n];
+        let repro = repro_sum2(&values);
+        let exact = n as f64 * 0.1; // representable product within 1 ulp
+        let rel = ((repro - exact) / exact).abs();
+        assert!(rel < 1e-12, "rel err {rel}");
+    }
+
+    #[test]
+    fn sum_trait_impl() {
+        let s: ReproSum<f64, 2> = [1.0, 2.0, 3.0].into_iter().sum();
+        assert_eq!(s.value(), 6.0);
+    }
+}

@@ -1,0 +1,252 @@
+//! Paper-literal RSUM SCALAR (Algorithm 2): the running sum `S(l)` itself
+//! is the extractor, kept in `[1.5·ufp(S), 1.75·ufp(S))` by per-element
+//! carry-bit propagation.
+//!
+//! This module exists for fidelity and for evidence: it implements
+//! Algorithm 2 exactly as printed (running-sum extractor, level demotion,
+//! per-element carry propagation, Eq. 1 finalization in reverse level
+//! order), and the test suite uses it to
+//!
+//! 1. **cross-validate** the production [`crate::ReproSum`]: on inputs
+//!    with no half-ulp ties the two produce *bit-identical* results
+//!    (`S(l) = M_l + A_l` is the same computation in different
+//!    bookkeeping), and
+//! 2. **demonstrate the tie hazard** that motivates the binned
+//!    strengthening described in DESIGN.md §3: when an input lands
+//!    exactly on a half-ulp boundary of the current grid,
+//!    round-to-nearest-even consults the *parity of the running sum's
+//!    last mantissa bit* — which depends on previously accumulated values
+//!    and therefore on input order. The test
+//!    `half_ulp_tie_breaks_permutation_invariance` constructs such an
+//!    input and shows this variant returning different bits for two
+//!    permutations, while [`crate::ReproSum`] (whose extractor parity is
+//!    fixed) does not.
+//!
+//! The ladder here is anchored on the same global grid as
+//! [`crate::ReproSum`] (initial `f` = the first value's natural rung
+//! exponent), so point 1 is a meaningful bit-level comparison. Only `f64`
+//! is provided — this is a reference implementation, not a production
+//! path.
+
+use crate::float::ReproFloat;
+
+/// Unit in the first place: `2^floor(log2 |x|)` (Goldberg; paper §III-A).
+#[inline]
+fn ufp(x: f64) -> f64 {
+    debug_assert!(x.is_finite() && x != 0.0);
+    f64::exp2i(x.exponent())
+}
+
+/// Paper-literal Algorithm 2 accumulator (reference implementation).
+#[derive(Clone, Debug)]
+pub struct PaperRsum<const L: usize> {
+    /// Running sums `S(l)`, each `∈ [1.5·ufp, 1.75·ufp)`.
+    s: [f64; L],
+    /// Carry-bit counters `C(l)`.
+    c: [i64; L],
+    initialized: bool,
+}
+
+impl<const L: usize> Default for PaperRsum<L> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<const L: usize> PaperRsum<L> {
+    pub fn new() -> Self {
+        PaperRsum {
+            s: [0.0; L],
+            c: [0; L],
+            initialized: false,
+        }
+    }
+
+    /// Threshold of Algorithm 2 line 4: `2^(W-1) · ulp(S(1))`.
+    #[inline]
+    fn demote_threshold(&self) -> f64 {
+        ufp(self.s[0]) * f64::exp2i(f64::W - 1 - f64::MANTISSA_BITS)
+    }
+
+    /// Adds one finite value (Algorithm 2 lines 2–18). Specials are not
+    /// handled here — reference implementation.
+    pub fn add(&mut self, b: f64) {
+        assert!(b.is_finite(), "reference implementation: finite inputs only");
+        if !self.initialized {
+            // First extractor: the paper allows any f with
+            // f > log2|b1| + m - W + 1; we pick the first value's natural
+            // rung on the global ladder so results are comparable
+            // bit-for-bit with ReproSum.
+            let bin = if b == 0.0 {
+                f64::NUM_BINS - 1
+            } else {
+                f64::bin_for(b).expect("value within domain")
+            };
+            for l in 0..L {
+                self.s[l] = f64::extractor(bin + l); // 1.5 · 2^{e - l·W}
+                self.c[l] = 0;
+            }
+            self.initialized = true;
+        }
+        // Lines 3–7: check extractor validity, demote levels if needed.
+        while b != 0.0 && b.abs() >= self.demote_threshold() {
+            for l in (1..L).rev() {
+                self.s[l] = self.s[l - 1];
+                self.c[l] = self.c[l - 1];
+            }
+            self.s[0] = 1.5 * f64::exp2i(f64::W) * ufp(self.s[if L > 1 { 1 } else { 0 }]);
+            self.c[0] = 0;
+        }
+        // Lines 8–13: extraction cascade with the running sums as
+        // extractors.
+        let mut r = b;
+        for l in 0..L {
+            let q = (r + self.s[l]) - self.s[l];
+            self.s[l] += q;
+            r -= q;
+        }
+        // Lines 14–18: carry-bit propagation, every element.
+        for l in 0..L {
+            let u = ufp(self.s[l]);
+            let d = ((self.s[l] / u - 1.5) * 4.0).floor();
+            if d != 0.0 {
+                self.s[l] -= d * 0.25 * u;
+                self.c[l] += d as i64;
+            }
+        }
+    }
+
+    /// Finalization (Eq. 1), performed from the last level upward.
+    pub fn finalize(&self) -> f64 {
+        if !self.initialized {
+            return 0.0;
+        }
+        let mut q = 0.0;
+        for l in (0..L).rev() {
+            let u = ufp(self.s[l]);
+            q += (self.s[l] - 1.5 * u) + 0.25 * u * self.c[l] as f64;
+        }
+        q
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ReproSum;
+
+    /// Values on a coarse grid (20 fractional bits) can never land on a
+    /// half-ulp boundary of any rung that admits them, so both
+    /// formulations compute the identical extraction for every value.
+    fn tie_free_values(n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| {
+                let h = (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                ((h >> 44) as i64 - (1 << 19)) as f64 * 2f64.powi(-10)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matches_binned_variant_bitwise_on_tie_free_data() {
+        let values = tie_free_values(50_000);
+        let mut paper = PaperRsum::<2>::new();
+        let mut binned = ReproSum::<f64, 2>::new();
+        for &v in &values {
+            paper.add(v);
+            binned.add(v);
+        }
+        assert_eq!(paper.finalize().to_bits(), binned.value().to_bits());
+
+        let mut paper = PaperRsum::<3>::new();
+        let mut binned = ReproSum::<f64, 3>::new();
+        for &v in &values {
+            paper.add(v);
+            binned.add(v);
+        }
+        assert_eq!(paper.finalize().to_bits(), binned.value().to_bits());
+    }
+
+    #[test]
+    fn demotion_paths_agree_with_binned_variant() {
+        // Small values first, then a much larger one: exercises lines 3–7.
+        let mut values = tie_free_values(1000);
+        values.push(1e18);
+        values.extend(tie_free_values(1000));
+        let mut paper = PaperRsum::<4>::new();
+        let mut binned = ReproSum::<f64, 4>::new();
+        for &v in &values {
+            paper.add(v);
+            binned.add(v);
+        }
+        assert_eq!(paper.finalize().to_bits(), binned.value().to_bits());
+    }
+
+    /// The demonstration behind DESIGN.md §3: with the running sum as
+    /// extractor, a value exactly on a half-ulp boundary is rounded by
+    /// the *parity of the accumulated sum*, so input order changes the
+    /// result. The binned variant is immune.
+    #[test]
+    fn half_ulp_tie_breaks_permutation_invariance() {
+        // Rung for max ≈ 640: e = 58, so ulp(S(1)) = 2^6 = 64.
+        let big = 640.0; // 10 · 64  (keeps S's last bit even)
+        let odd = 192.0; //  3 · 64  (flips S's last bit to odd)
+        let tie = 32.0; //  exactly half an ulp
+        let sum_a = {
+            let mut acc = PaperRsum::<1>::new();
+            for v in [big, odd, tie] {
+                acc.add(v);
+            }
+            acc.finalize()
+        };
+        let sum_b = {
+            let mut acc = PaperRsum::<1>::new();
+            for v in [big, tie, odd] {
+                acc.add(v);
+            }
+            acc.finalize()
+        };
+        // The paper-literal variant: order-dependent on the tie.
+        assert_ne!(
+            sum_a.to_bits(),
+            sum_b.to_bits(),
+            "expected the running-sum extractor to be order-sensitive here"
+        );
+        // The binned variant: bit-identical for both orders.
+        let binned = |values: [f64; 3]| {
+            let mut acc = ReproSum::<f64, 1>::new();
+            for v in values {
+                acc.add(v);
+            }
+            acc.finalize()
+        };
+        assert_eq!(
+            binned([big, odd, tie]).to_bits(),
+            binned([big, tie, odd]).to_bits()
+        );
+    }
+
+    #[test]
+    fn empty_and_zero_inputs() {
+        let acc = PaperRsum::<2>::new();
+        assert_eq!(acc.finalize(), 0.0);
+        let mut acc = PaperRsum::<2>::new();
+        acc.add(0.0);
+        acc.add(0.0);
+        assert_eq!(acc.finalize(), 0.0);
+    }
+
+    #[test]
+    fn carry_propagation_keeps_invariant() {
+        let mut acc = PaperRsum::<2>::new();
+        for _ in 0..100_000 {
+            acc.add(1.0);
+        }
+        // S(l) ∈ [1.5·ufp, 1.75·ufp) after every add.
+        for l in 0..2 {
+            let u = ufp(acc.s[l]);
+            assert!(acc.s[l] >= 1.5 * u && acc.s[l] < 1.75 * u, "level {l}");
+        }
+        assert_eq!(acc.finalize(), 100_000.0);
+    }
+}

@@ -1,0 +1,172 @@
+//! Cache-footprint tuning of buffer size and partitioning depth
+//! (paper §V-C).
+//!
+//! Aggregation with summation buffers has two knobs:
+//!
+//! * the buffer size `bsz` — larger buffers amortize the vectorized
+//!   kernel's start-up cost, but every group's buffer sits in the working
+//!   set, so buffers must collectively fit in cache (Eq. 4);
+//! * the partitioning depth `d` — each partitioning pass (fan-out `F`)
+//!   divides the number of groups a single HASHAGGREGATION sees by `F`,
+//!   shrinking the working set at the price of one extra pass over the
+//!   data.
+
+/// Hardware/model parameters for the tuning equations.
+#[derive(Clone, Copy, Debug)]
+pub struct CacheModel {
+    /// Last-level cache capacity *available to one worker thread*, in
+    /// bytes. The paper's machine has a 20 MiB LLC shared by 8 cores and
+    /// uses ~1 MiB per thread as the effective budget (§VI-D observes the
+    /// performance cliff when the working set exceeds half the per-core
+    /// share).
+    pub cache_per_thread: usize,
+    /// Largest buffer size worth using (`bsz_max`); beyond ~2^10 the
+    /// kernel's start-up cost is fully amortized (Figure 6).
+    pub max_buffer: usize,
+    /// Smallest buffer size; below one SIMD block the kernel degenerates.
+    pub min_buffer: usize,
+    /// Partitioning fan-out `F = 2^fanout_bits` per pass (the paper uses
+    /// 256, the sweet spot of radix partitioning on modern cores).
+    pub fanout_bits: u32,
+}
+
+impl Default for CacheModel {
+    fn default() -> Self {
+        CacheModel {
+            cache_per_thread: 1 << 20, // 1 MiB, the paper's effective budget
+            max_buffer: 1 << 10,
+            min_buffer: 1 << 4,
+            fanout_bits: 8,
+        }
+    }
+}
+
+impl CacheModel {
+    /// Fan-out per partitioning pass.
+    pub fn fanout(&self) -> usize {
+        1usize << self.fanout_bits
+    }
+
+    /// Eq. 4: buffer size for aggregating `groups` groups of `value_size`-
+    /// byte values after `depth` partitioning passes, rounded down to a
+    /// power of two (the paper tunes in powers of two) and clamped to
+    /// `[min_buffer, max_buffer]`.
+    pub fn buffer_size(&self, groups: usize, value_size: usize, depth: u32) -> usize {
+        let per_partition = groups_per_partition(groups, self.fanout_bits, depth);
+        let raw = self.cache_per_thread / (per_partition.max(1) * value_size.max(1));
+        let pow2 = if raw == 0 { 1 } else { prev_power_of_two(raw) };
+        pow2.clamp(self.min_buffer, self.max_buffer)
+    }
+
+    /// Number of groups a single in-cache HASHAGGREGATION handles well with
+    /// the minimum buffer size (the threshold at which one more
+    /// partitioning pass starts to pay off; §VI-D finds 2^10 per 1 MiB for
+    /// 4-byte values with `bsz = min`).
+    pub fn in_cache_groups(&self, value_size: usize) -> usize {
+        self.cache_per_thread / (self.min_buffer * value_size.max(1))
+    }
+
+    /// Recommended partitioning depth for `groups` groups: the smallest
+    /// `d` such that `groups / F^d` fits the in-cache threshold. The paper
+    /// determines this offline per data type (§V-C); this model captures
+    /// the same crossovers (Figure 9: d=1 pays off from 2^10 groups,
+    /// d=2 from 2^18, i.e. 2^10 per partition).
+    pub fn partition_depth(&self, groups: usize, value_size: usize) -> u32 {
+        let threshold = self.in_cache_groups(value_size).max(1);
+        let mut depth = 0;
+        while groups_per_partition(groups, self.fanout_bits, depth) > threshold {
+            depth += 1;
+            if depth >= 4 {
+                break; // paper never needs more than 2 for 2^30 rows
+            }
+        }
+        depth
+    }
+}
+
+fn groups_per_partition(groups: usize, fanout_bits: u32, depth: u32) -> usize {
+    let shift = (fanout_bits * depth).min(usize::BITS - 1);
+    (groups >> shift).max(1)
+}
+
+fn prev_power_of_two(v: usize) -> usize {
+    debug_assert!(v > 0);
+    1usize << (usize::BITS - 1 - v.leading_zeros())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buffer_size_follows_eq4() {
+        let m = CacheModel::default();
+        // 16 groups of f32: cache/(16·4) = 2^16 -> clamped to max 2^10.
+        assert_eq!(m.buffer_size(16, 4, 0), 1 << 10);
+        // 1024 groups of f32: 2^20/(2^10·4) = 256.
+        assert_eq!(m.buffer_size(1024, 4, 0), 256);
+        // 1024 groups of f64: half of that.
+        assert_eq!(m.buffer_size(1024, 8, 0), 128);
+        // Huge group counts clamp to the minimum.
+        assert_eq!(m.buffer_size(1 << 24, 4, 0), m.min_buffer);
+        // One partitioning pass divides groups by 256: same bsz as 2^16/256.
+        assert_eq!(m.buffer_size(1 << 16, 4, 1), m.buffer_size(1 << 8, 4, 0));
+    }
+
+    #[test]
+    fn depth_crossovers_match_paper_shape() {
+        let m = CacheModel::default();
+        // With 4-byte values the in-cache threshold is 2^20/(16·4) = 2^14.
+        let t = m.in_cache_groups(4);
+        assert_eq!(t, 1 << 14);
+        assert_eq!(m.partition_depth(t, 4), 0);
+        assert_eq!(m.partition_depth(t * 2, 4), 1);
+        assert_eq!(m.partition_depth(t * 256, 4), 1);
+        assert_eq!(m.partition_depth(t * 512, 4), 2);
+    }
+
+    #[test]
+    fn power_of_two_helper() {
+        assert_eq!(prev_power_of_two(1), 1);
+        assert_eq!(prev_power_of_two(255), 128);
+        assert_eq!(prev_power_of_two(256), 256);
+    }
+
+    #[test]
+    fn fanout_and_partition_helpers() {
+        let m = CacheModel::default();
+        assert_eq!(m.fanout(), 256);
+        assert_eq!(groups_per_partition(1 << 20, 8, 1), 1 << 12);
+        assert_eq!(groups_per_partition(1 << 20, 8, 2), 1 << 4);
+        // Never returns zero, and saturates at extreme depths.
+        assert_eq!(groups_per_partition(10, 8, 3), 1);
+        assert_eq!(groups_per_partition(1, 8, 30), 1);
+    }
+
+    #[test]
+    fn custom_cache_model_shifts_thresholds() {
+        // A machine with a 4x larger per-thread budget tolerates 4x more
+        // groups before needing a partitioning pass.
+        let small = CacheModel { cache_per_thread: 1 << 19, ..Default::default() };
+        let large = CacheModel { cache_per_thread: 1 << 21, ..Default::default() };
+        assert_eq!(
+            large.in_cache_groups(4),
+            4 * small.in_cache_groups(4)
+        );
+        let g = small.in_cache_groups(4) * 2;
+        assert_eq!(small.partition_depth(g, 4), 1);
+        assert_eq!(large.partition_depth(g, 4), 0);
+        // Buffer size scales with the budget at fixed group count.
+        assert_eq!(
+            large.buffer_size(1 << 10, 4, 0),
+            (4 * small.buffer_size(1 << 10, 4, 0)).min(large.max_buffer)
+        );
+    }
+
+    #[test]
+    fn depth_is_capped() {
+        let m = CacheModel::default();
+        // Absurd group counts hit the depth guard rather than looping.
+        assert!(m.partition_depth(usize::MAX, 16) <= 4);
+    }
+}

@@ -1,0 +1,169 @@
+//! Property-based tests of the core reproducibility invariants.
+//!
+//! These are the load-bearing guarantees of the paper (§II-A): the
+//! accumulator state — and therefore the finalized sum — must be a pure
+//! function of the input *multiset*, regardless of order, chunking, merge
+//! tree, or scalar/vectorized code path; and the result must stay within
+//! the Eq. 6 error bound of the exact sum.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use rfa_core::{simd, ReproSum};
+
+/// Finite f64 values spanning many binades, including denormals, zeros and
+/// sign mixes — but inside the documented 2^1005 domain.
+fn finite_f64() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        5 => -1.0e3..1.0e3f64,
+        2 => (-1.0..1.0f64).prop_map(|v| v * 1e300),
+        2 => (-1.0..1.0f64).prop_map(|v| v * 1e-300),
+        1 => Just(0.0),
+        1 => Just(-0.0),
+        1 => Just(5e-324),
+        1 => Just(-5e-324),
+        1 => (1i32..1000).prop_map(|k| k as f64 * 2f64.powi(-53)), // half-ulp ties
+    ]
+}
+
+fn finite_f32() -> impl Strategy<Value = f32> {
+    prop_oneof![
+        5 => -1.0e3..1.0e3f32,
+        2 => (-1.0..1.0f32).prop_map(|v| v * 1e30),
+        2 => (-1.0..1.0f32).prop_map(|v| v * 1e-30),
+        1 => Just(0.0f32),
+        1 => Just(f32::from_bits(1)),
+    ]
+}
+
+fn sum2(values: &[f64]) -> ReproSum<f64, 2> {
+    let mut acc = ReproSum::new();
+    acc.add_all(values);
+    acc
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn permutation_invariance_f64(values in vec(finite_f64(), 0..200), seed in any::<u64>()) {
+        let base = sum2(&values);
+        // Deterministic shuffle from the seed.
+        let mut shuffled = values.clone();
+        let mut s = seed;
+        for i in (1..shuffled.len()).rev() {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let j = (s >> 33) as usize % (i + 1);
+            shuffled.swap(i, j);
+        }
+        let other = sum2(&shuffled);
+        prop_assert_eq!(base.value().to_bits(), other.value().to_bits());
+        prop_assert_eq!(base.canonical_state(), other.canonical_state());
+    }
+
+    #[test]
+    fn merge_is_associative_and_commutative(
+        a in vec(finite_f64(), 0..60),
+        b in vec(finite_f64(), 0..60),
+        c in vec(finite_f64(), 0..60),
+    ) {
+        let (sa, sb, sc) = (sum2(&a), sum2(&b), sum2(&c));
+        // (a ∪ b) ∪ c
+        let mut left = sa.clone();
+        left.merge(&sb);
+        left.merge(&sc);
+        // a ∪ (b ∪ c)
+        let mut right_inner = sb.clone();
+        right_inner.merge(&sc);
+        let mut right = sa.clone();
+        right.merge(&right_inner);
+        prop_assert_eq!(left.canonical_state(), right.canonical_state());
+        // c ∪ b ∪ a (commutativity)
+        let mut rev = sc.clone();
+        rev.merge(&sb);
+        rev.merge(&sa);
+        prop_assert_eq!(left.canonical_state(), rev.canonical_state());
+        // And all equal the sequential whole.
+        let mut whole: Vec<f64> = a.clone();
+        whole.extend(&b);
+        whole.extend(&c);
+        prop_assert_eq!(left.value().to_bits(), sum2(&whole).value().to_bits());
+    }
+
+    #[test]
+    fn simd_path_is_bit_identical(values in vec(finite_f64(), 0..5000)) {
+        let scalar = sum2(&values);
+        let mut vectorized = ReproSum::<f64, 2>::new();
+        simd::add_slice(&mut vectorized, &values);
+        prop_assert_eq!(scalar.canonical_state(), vectorized.canonical_state());
+    }
+
+    #[test]
+    fn chunking_does_not_change_bits(values in vec(finite_f64(), 0..2000), chunk in 1usize..300) {
+        let whole = sum2(&values);
+        let mut chunked = ReproSum::<f64, 2>::new();
+        for c in values.chunks(chunk) {
+            simd::add_slice(&mut chunked, c);
+        }
+        prop_assert_eq!(whole.canonical_state(), chunked.canonical_state());
+    }
+
+    #[test]
+    fn error_within_eq6_bound(values in vec(finite_f64(), 1..500)) {
+        let n = values.len();
+        let max_abs = values.iter().fold(0.0f64, |m, v| m.max(v.abs()));
+        let result = sum2(&values).finalize();
+        let err = rfa_exact::abs_error_f64(&values, result);
+        // Anchored-ladder Eq. 6 (the 2x accounts for W-spaced rung
+        // quantization; see analysis.rs) plus the final-rounding half-ulp.
+        let bound = rfa_core::analysis::reproducible_bound_anchored::<f64>(n, 2, max_abs)
+            + f64::EPSILON * result.abs();
+        prop_assert!(err <= bound.max(5e-324), "err {err:e} > bound {bound:e}");
+    }
+
+    #[test]
+    fn l3_is_at_least_as_accurate_as_l2(values in vec(finite_f64(), 1..300)) {
+        let r2 = sum2(&values).finalize();
+        let mut a3 = ReproSum::<f64, 3>::new();
+        a3.add_all(&values);
+        let r3 = a3.finalize();
+        let e2 = rfa_exact::abs_error_f64(&values, r2);
+        let e3 = rfa_exact::abs_error_f64(&values, r3);
+        // Allow equality (both may be exact).
+        prop_assert!(e3 <= e2 + e2 * 1e-15, "L3 err {e3:e} > L2 err {e2:e}");
+    }
+
+    #[test]
+    fn f32_permutation_invariance(values in vec(finite_f32(), 0..300)) {
+        let mut fwd = ReproSum::<f32, 2>::new();
+        fwd.add_all(&values);
+        let rev: Vec<f32> = values.iter().rev().copied().collect();
+        let mut bwd = ReproSum::<f32, 2>::new();
+        bwd.add_all(&rev);
+        prop_assert_eq!(fwd.value().to_bits(), bwd.value().to_bits());
+    }
+
+    #[test]
+    fn buffered_equals_unbuffered(values in vec(finite_f64(), 0..2000), bsz in 1usize..600) {
+        let mut buffered = rfa_core::SummationBuffer::<f64, 2>::new(bsz);
+        for &v in &values {
+            buffered.push(v);
+        }
+        prop_assert_eq!(
+            buffered.finalize().to_bits(),
+            sum2(&values).finalize().to_bits()
+        );
+    }
+
+    #[test]
+    fn high_levels_roundtrip_singletons(v in finite_f64()) {
+        // With L = 4 any single in-domain value round-trips exactly.
+        let mut acc = ReproSum::<f64, 4>::new();
+        acc.add(v);
+        let out = acc.finalize();
+        if v == 0.0 {
+            prop_assert_eq!(out, 0.0);
+        } else {
+            prop_assert_eq!(out.to_bits(), v.to_bits());
+        }
+    }
+}

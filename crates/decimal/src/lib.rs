@@ -1,0 +1,325 @@
+//! # rfa-decimal — fixed-point DECIMAL types
+//!
+//! The paper's evaluation (§VI-C) compares reproducible floating-point
+//! aggregation against `DECIMAL(p)` columns, "implemented as built-in
+//! integers of size 32, 64, and 128 bit for p = 9, 19, 38 … which is a
+//! typical way to implement them". This crate provides those baseline
+//! types: thin wrappers over `i32`/`i64`/`i128` with a fixed decimal scale
+//! carried at the type level.
+//!
+//! Integer addition is associative, so decimal aggregation is trivially
+//! bit-reproducible — *when it applies*. The paper's point (§II-C) is that
+//! it often does not: values must share a smallest unit and a bounded
+//! magnitude range, which measurements, ML features and scientific data do
+//! not. The bench suite uses these types exactly as the paper does: as a
+//! reference point, not as a substitute for floats.
+//!
+//! Overflow semantics: the `+`/`+=`/`Sum` operators wrap (two's complement,
+//! like the paper's C implementation); `checked_add`/`checked_sum` report
+//! overflow, mirroring the overflow-checked style of MonetDB's operators.
+//!
+//! ```
+//! use rfa_decimal::Decimal9;
+//! let a: Decimal9<2> = "123.45".parse().unwrap();   // scale 2 = cents
+//! let b = Decimal9::<2>::from_f64(0.55).unwrap();
+//! assert_eq!((a + b).to_string(), "124.00");
+//! ```
+
+use core::fmt;
+use core::iter::Sum;
+use core::ops::{Add, AddAssign, Neg, Sub};
+use core::str::FromStr;
+
+/// Error type for decimal parsing and range conversion.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecimalError {
+    /// Input does not parse as a decimal number.
+    Syntax,
+    /// Value does not fit the precision (overflow) or loses sub-scale
+    /// digits.
+    OutOfRange,
+}
+
+impl fmt::Display for DecimalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecimalError::Syntax => write!(f, "invalid decimal syntax"),
+            DecimalError::OutOfRange => write!(f, "value out of range for decimal type"),
+        }
+    }
+}
+
+impl std::error::Error for DecimalError {}
+
+macro_rules! decimal_type {
+    ($(#[$doc:meta])* $name:ident, $int:ty, $precision:expr) => {
+        $(#[$doc])*
+        ///
+        /// `S` is the decimal scale: stored value = logical value · 10^S.
+        #[derive(Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        #[repr(transparent)]
+        pub struct $name<const S: u32>($int);
+
+        impl<const S: u32> $name<S> {
+            /// Total decimal digits of the underlying integer type.
+            pub const PRECISION: u32 = $precision;
+            /// The zero value.
+            pub const ZERO: Self = Self(0);
+
+            /// Constructs from the raw scaled integer representation.
+            #[inline]
+            pub const fn from_raw(raw: $int) -> Self {
+                Self(raw)
+            }
+
+            /// The raw scaled integer representation.
+            #[inline]
+            pub const fn raw(self) -> $int {
+                self.0
+            }
+
+            /// Converts a float, rounding to the nearest representable
+            /// value at scale `S`. Fails on NaN/∞ or overflow.
+            pub fn from_f64(v: f64) -> Result<Self, DecimalError> {
+                if !v.is_finite() {
+                    return Err(DecimalError::Syntax);
+                }
+                let scaled = (v * pow10_f64(S)).round();
+                if scaled < <$int>::MIN as f64 || scaled > <$int>::MAX as f64 {
+                    return Err(DecimalError::OutOfRange);
+                }
+                Ok(Self(scaled as $int))
+            }
+
+            /// Converts back to `f64` (rounded; deterministic).
+            #[inline]
+            pub fn to_f64(self) -> f64 {
+                self.0 as f64 / pow10_f64(S)
+            }
+
+            /// Overflow-checked addition (MonetDB-style).
+            #[inline]
+            pub fn checked_add(self, rhs: Self) -> Option<Self> {
+                self.0.checked_add(rhs.0).map(Self)
+            }
+
+            /// Overflow-checked sum of a slice.
+            pub fn checked_sum(values: &[Self]) -> Option<Self> {
+                let mut acc: $int = 0;
+                for v in values {
+                    acc = acc.checked_add(v.0)?;
+                }
+                Some(Self(acc))
+            }
+        }
+
+        impl<const S: u32> Add for $name<S> {
+            type Output = Self;
+            #[inline]
+            fn add(self, rhs: Self) -> Self {
+                Self(self.0.wrapping_add(rhs.0))
+            }
+        }
+
+        impl<const S: u32> AddAssign for $name<S> {
+            #[inline]
+            fn add_assign(&mut self, rhs: Self) {
+                self.0 = self.0.wrapping_add(rhs.0);
+            }
+        }
+
+        impl<const S: u32> Sub for $name<S> {
+            type Output = Self;
+            #[inline]
+            fn sub(self, rhs: Self) -> Self {
+                Self(self.0.wrapping_sub(rhs.0))
+            }
+        }
+
+        impl<const S: u32> Neg for $name<S> {
+            type Output = Self;
+            #[inline]
+            fn neg(self) -> Self {
+                Self(self.0.wrapping_neg())
+            }
+        }
+
+        impl<const S: u32> Sum for $name<S> {
+            fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+                let mut acc = Self::ZERO;
+                for v in iter {
+                    acc += v;
+                }
+                acc
+            }
+        }
+
+        impl<const S: u32> fmt::Display for $name<S> {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                let neg = self.0 < 0;
+                let mag = (self.0 as i128).unsigned_abs();
+                let div = 10u128.pow(S);
+                let int = mag / div;
+                if neg {
+                    write!(f, "-")?;
+                }
+                if S == 0 {
+                    write!(f, "{int}")
+                } else {
+                    write!(f, "{int}.{:0width$}", mag % div, width = S as usize)
+                }
+            }
+        }
+
+        impl<const S: u32> fmt::Debug for $name<S> {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{}({})", stringify!($name), self)
+            }
+        }
+
+        impl<const S: u32> FromStr for $name<S> {
+            type Err = DecimalError;
+
+            fn from_str(s: &str) -> Result<Self, DecimalError> {
+                let (neg, body) = match s.strip_prefix('-') {
+                    Some(rest) => (true, rest),
+                    None => (false, s.strip_prefix('+').unwrap_or(s)),
+                };
+                if body.is_empty() {
+                    return Err(DecimalError::Syntax);
+                }
+                let (int_part, frac_part) = match body.split_once('.') {
+                    Some((i, fr)) => (i, fr),
+                    None => (body, ""),
+                };
+                if int_part.is_empty() && frac_part.is_empty() {
+                    return Err(DecimalError::Syntax);
+                }
+                if !int_part.chars().chain(frac_part.chars()).all(|c| c.is_ascii_digit()) {
+                    return Err(DecimalError::Syntax);
+                }
+                if frac_part.len() > S as usize {
+                    return Err(DecimalError::OutOfRange); // would lose digits
+                }
+                let mut acc: $int = 0;
+                for c in int_part.chars().chain(frac_part.chars()) {
+                    let d = c.to_digit(10).ok_or(DecimalError::Syntax)? as $int;
+                    acc = acc
+                        .checked_mul(10)
+                        .and_then(|a| a.checked_add(d))
+                        .ok_or(DecimalError::OutOfRange)?;
+                }
+                // Pad missing fractional digits.
+                for _ in frac_part.len()..S as usize {
+                    acc = acc.checked_mul(10).ok_or(DecimalError::OutOfRange)?;
+                }
+                Ok(Self(if neg { acc.wrapping_neg() } else { acc }))
+            }
+        }
+    };
+}
+
+decimal_type!(
+    /// `DECIMAL(9)` — 32-bit backing integer (paper Figure 7/10 baseline).
+    Decimal9, i32, 9
+);
+decimal_type!(
+    /// `DECIMAL(18)` — 64-bit backing integer.
+    Decimal18, i64, 18
+);
+decimal_type!(
+    /// `DECIMAL(38)` — 128-bit backing integer (GCC `__int128` in the
+    /// paper).
+    Decimal38, i128, 38
+);
+
+fn pow10_f64(s: u32) -> f64 {
+    10f64.powi(s as i32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_display_roundtrip() {
+        let d: Decimal9<2> = "123.45".parse().unwrap();
+        assert_eq!(d.raw(), 12345);
+        assert_eq!(d.to_string(), "123.45");
+        let d: Decimal9<2> = "-0.05".parse().unwrap();
+        assert_eq!(d.raw(), -5);
+        assert_eq!(d.to_string(), "-0.05");
+        let d: Decimal18<0> = "42".parse().unwrap();
+        assert_eq!(d.to_string(), "42");
+        let d: Decimal38<10> = "1234567890.0123456789".parse().unwrap();
+        assert_eq!(d.to_string(), "1234567890.0123456789");
+        let d: Decimal9<3> = "1.5".parse().unwrap(); // padded fraction
+        assert_eq!(d.raw(), 1500);
+    }
+
+    #[test]
+    fn parse_rejects_bad_input() {
+        assert_eq!("".parse::<Decimal9<2>>(), Err(DecimalError::Syntax));
+        assert_eq!("-".parse::<Decimal9<2>>(), Err(DecimalError::Syntax));
+        assert_eq!(".".parse::<Decimal9<2>>(), Err(DecimalError::Syntax));
+        assert_eq!("1.2.3".parse::<Decimal9<2>>(), Err(DecimalError::Syntax));
+        assert_eq!("abc".parse::<Decimal9<2>>(), Err(DecimalError::Syntax));
+        // Too many fractional digits would silently lose value.
+        assert_eq!("1.234".parse::<Decimal9<2>>(), Err(DecimalError::OutOfRange));
+        // Overflow of the backing integer.
+        assert_eq!(
+            "99999999999".parse::<Decimal9<2>>(),
+            Err(DecimalError::OutOfRange)
+        );
+    }
+
+    #[test]
+    fn arithmetic_is_integer_exact() {
+        let a = Decimal9::<2>::from_f64(0.1).unwrap();
+        let b = Decimal9::<2>::from_f64(0.2).unwrap();
+        assert_eq!((a + b).to_f64(), 0.3); // no float drift
+        assert_eq!((a - b).to_string(), "-0.10");
+        assert_eq!((-a).raw(), -10);
+    }
+
+    #[test]
+    fn sum_is_order_independent() {
+        let values: Vec<Decimal18<4>> = (0..1000)
+            .map(|i| Decimal18::from_raw((i * 7919 - 350_000) as i64))
+            .collect();
+        let fwd: Decimal18<4> = values.iter().copied().sum();
+        let bwd: Decimal18<4> = values.iter().rev().copied().sum();
+        assert_eq!(fwd, bwd);
+    }
+
+    #[test]
+    fn checked_sum_detects_overflow() {
+        let values = vec![Decimal9::<0>::from_raw(i32::MAX), Decimal9::from_raw(1)];
+        assert_eq!(Decimal9::checked_sum(&values), None);
+        let ok = vec![Decimal9::<0>::from_raw(5), Decimal9::from_raw(-3)];
+        assert_eq!(Decimal9::checked_sum(&ok), Some(Decimal9::from_raw(2)));
+    }
+
+    #[test]
+    fn wrapping_matches_c_semantics() {
+        let a = Decimal9::<0>::from_raw(i32::MAX);
+        let b = Decimal9::<0>::from_raw(1);
+        assert_eq!((a + b).raw(), i32::MIN);
+    }
+
+    #[test]
+    fn from_f64_rounds_to_scale() {
+        assert_eq!(Decimal9::<2>::from_f64(1.004).unwrap().raw(), 100);
+        assert_eq!(Decimal9::<2>::from_f64(1.006).unwrap().raw(), 101);
+        assert_eq!(Decimal9::<2>::from_f64(-12.34).unwrap().raw(), -1234);
+        assert_eq!(Decimal18::<6>::from_f64(3.25).unwrap().raw(), 3_250_000);
+    }
+
+    #[test]
+    fn from_f64_range_checks() {
+        assert!(Decimal9::<2>::from_f64(f64::NAN).is_err());
+        assert!(Decimal9::<2>::from_f64(f64::INFINITY).is_err());
+        assert!(Decimal9::<2>::from_f64(1e9).is_err()); // raw 1e11 > i32::MAX
+        assert!(Decimal38::<2>::from_f64(1e9).is_ok());
+    }
+}

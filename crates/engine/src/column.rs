@@ -1,0 +1,276 @@
+//! Columnar storage: typed columns and tables with *physical* row order.
+//!
+//! The storage layer deliberately exposes physical order operations,
+//! because that is the paper's problem statement: logical content is
+//! preserved while physical order changes (MVCC updates, compaction,
+//! backup/restore), and any order-sensitive aggregate then violates data
+//! independence (§I, Algorithm 1).
+
+use std::fmt;
+
+/// A typed column (subset sufficient for the paper's workloads).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Column {
+    F64(Vec<f64>),
+    F32(Vec<f32>),
+    I32(Vec<i32>),
+    U8(Vec<u8>),
+}
+
+impl Column {
+    pub fn len(&self) -> usize {
+        match self {
+            Column::F64(v) => v.len(),
+            Column::F32(v) => v.len(),
+            Column::I32(v) => v.len(),
+            Column::U8(v) => v.len(),
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub fn as_f64(&self) -> &[f64] {
+        match self {
+            Column::F64(v) => v,
+            other => panic!("expected F64 column, found {}", other.type_name()),
+        }
+    }
+
+    pub fn as_i32(&self) -> &[i32] {
+        match self {
+            Column::I32(v) => v,
+            other => panic!("expected I32 column, found {}", other.type_name()),
+        }
+    }
+
+    pub fn as_u8(&self) -> &[u8] {
+        match self {
+            Column::U8(v) => v,
+            other => panic!("expected U8 column, found {}", other.type_name()),
+        }
+    }
+
+    fn type_name(&self) -> &'static str {
+        match self {
+            Column::F64(_) => "F64",
+            Column::F32(_) => "F32",
+            Column::I32(_) => "I32",
+            Column::U8(_) => "U8",
+        }
+    }
+
+    /// Applies a row permutation (`perm[i]` = source row of new row `i`).
+    fn permute(&mut self, perm: &[u32]) {
+        fn apply<T: Copy>(data: &mut Vec<T>, perm: &[u32]) {
+            let out: Vec<T> = perm.iter().map(|&i| data[i as usize]).collect();
+            *data = out;
+        }
+        match self {
+            Column::F64(v) => apply(v, perm),
+            Column::F32(v) => apply(v, perm),
+            Column::I32(v) => apply(v, perm),
+            Column::U8(v) => apply(v, perm),
+        }
+    }
+}
+
+/// A named collection of equal-length columns.
+pub struct Table {
+    pub name: String,
+    columns: Vec<(String, Column)>,
+    rows: usize,
+}
+
+/// Errors raised by table operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TableError {
+    ColumnLengthMismatch { column: String, expected: usize, found: usize },
+    DuplicateColumn(String),
+    NoSuchColumn(String),
+}
+
+impl fmt::Display for TableError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TableError::ColumnLengthMismatch { column, expected, found } => write!(
+                f,
+                "column {column:?} has {found} rows, expected {expected}"
+            ),
+            TableError::DuplicateColumn(c) => write!(f, "duplicate column {c:?}"),
+            TableError::NoSuchColumn(c) => write!(f, "no such column {c:?}"),
+        }
+    }
+}
+
+impl std::error::Error for TableError {}
+
+impl Table {
+    pub fn new(name: impl Into<String>) -> Self {
+        Table {
+            name: name.into(),
+            columns: Vec::new(),
+            rows: 0,
+        }
+    }
+
+    /// Adds a column; all columns must have equal length.
+    pub fn add_column(
+        &mut self,
+        name: impl Into<String>,
+        column: Column,
+    ) -> Result<(), TableError> {
+        let name = name.into();
+        if self.columns.iter().any(|(n, _)| *n == name) {
+            return Err(TableError::DuplicateColumn(name));
+        }
+        if self.columns.is_empty() {
+            self.rows = column.len();
+        } else if column.len() != self.rows {
+            return Err(TableError::ColumnLengthMismatch {
+                column: name,
+                expected: self.rows,
+                found: column.len(),
+            });
+        }
+        self.columns.push((name, column));
+        Ok(())
+    }
+
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    pub fn column(&self, name: &str) -> Result<&Column, TableError> {
+        self.columns
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, c)| c)
+            .ok_or_else(|| TableError::NoSuchColumn(name.to_string()))
+    }
+
+    /// Physically reorders all rows (models compaction/placement changes).
+    /// `perm` must be a permutation of `0..rows`.
+    pub fn reorder(&mut self, perm: &[u32]) {
+        assert_eq!(perm.len(), self.rows);
+        debug_assert!({
+            let mut seen = vec![false; self.rows];
+            perm.iter().all(|&i| {
+                let ok = !seen[i as usize];
+                seen[i as usize] = true;
+                ok
+            })
+        });
+        for (_, c) in &mut self.columns {
+            c.permute(perm);
+        }
+    }
+
+    /// Models an MVCC-style UPDATE (the PostgreSQL behaviour behind the
+    /// paper's Algorithm 1): rows matched by `predicate` on column
+    /// `pred_col` are *re-inserted at the end* of the table (new row
+    /// version), with `update` applied to their value in `set_col`. The
+    /// logical content of all other columns is unchanged — only the
+    /// physical order differs.
+    pub fn mvcc_update_i32(
+        &mut self,
+        pred_col: &str,
+        predicate: impl Fn(i32) -> bool,
+        update: impl Fn(i32) -> i32,
+    ) -> Result<usize, TableError> {
+        let matches: Vec<bool> = self
+            .column(pred_col)?
+            .as_i32()
+            .iter()
+            .map(|&v| predicate(v))
+            .collect();
+        let updated = matches.iter().filter(|&&m| m).count();
+        // New physical order: unmatched rows first (original order), then
+        // the new versions of the updated rows.
+        let perm: Vec<u32> = (0..self.rows as u32)
+            .filter(|&i| !matches[i as usize])
+            .chain((0..self.rows as u32).filter(|&i| matches[i as usize]))
+            .collect();
+        self.reorder(&perm);
+        // Apply the update to the relocated rows (now at the tail).
+        let tail = self.rows - updated;
+        for (n, c) in &mut self.columns {
+            if n == pred_col {
+                if let Column::I32(v) = c {
+                    for x in &mut v[tail..] {
+                        *x = update(*x);
+                    }
+                }
+            }
+        }
+        Ok(updated)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn algorithm1_table() -> Table {
+        // CREATE TABLE R (i int, f float); INSERT 3 rows.
+        let mut t = Table::new("R");
+        t.add_column("i", Column::I32(vec![1, 2, 3])).unwrap();
+        t.add_column(
+            "f",
+            Column::F64(vec![2.5e-16, 0.999_999_999_999_999, 2.5e-16]),
+        )
+        .unwrap();
+        t
+    }
+
+    #[test]
+    fn mvcc_update_reorders_rows() {
+        let mut t = algorithm1_table();
+        // UPDATE R SET i = i + 1 WHERE i = 2;
+        let n = t.mvcc_update_i32("i", |i| i == 2, |i| i + 1).unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(t.column("i").unwrap().as_i32(), &[1, 3, 3]);
+        // 'f' content unchanged, physically reordered: updated row moved
+        // to the end.
+        assert_eq!(
+            t.column("f").unwrap().as_f64(),
+            &[2.5e-16, 2.5e-16, 0.999_999_999_999_999]
+        );
+    }
+
+    #[test]
+    fn algorithm_1_plain_sum_changes() {
+        let mut t = algorithm1_table();
+        let before: f64 = t.column("f").unwrap().as_f64().iter().sum();
+        t.mvcc_update_i32("i", |i| i == 2, |i| i + 1).unwrap();
+        let after: f64 = t.column("f").unwrap().as_f64().iter().sum();
+        // The paper's headline bug: the same query returns different bits
+        // before and after an unrelated UPDATE; at PostgreSQL's default
+        // 15-digit float display the two results even *print* differently
+        // ("0.999999999999999" vs "1").
+        assert_ne!(before.to_bits(), after.to_bits());
+        assert_eq!(format!("{before:.15}"), "0.999999999999999");
+        assert_eq!(format!("{after:.15}"), "1.000000000000000");
+    }
+
+    #[test]
+    fn column_length_mismatch_rejected() {
+        let mut t = Table::new("t");
+        t.add_column("a", Column::F64(vec![1.0, 2.0])).unwrap();
+        let err = t.add_column("b", Column::I32(vec![1])).unwrap_err();
+        assert!(matches!(err, TableError::ColumnLengthMismatch { .. }));
+        let err = t.add_column("a", Column::I32(vec![1, 2])).unwrap_err();
+        assert!(matches!(err, TableError::DuplicateColumn(_)));
+    }
+
+    #[test]
+    fn reorder_applies_to_all_columns() {
+        let mut t = Table::new("t");
+        t.add_column("x", Column::I32(vec![10, 20, 30])).unwrap();
+        t.add_column("y", Column::U8(b"abc".to_vec())).unwrap();
+        t.reorder(&[2, 0, 1]);
+        assert_eq!(t.column("x").unwrap().as_i32(), &[30, 10, 20]);
+        assert_eq!(t.column("y").unwrap().as_u8(), b"cab");
+    }
+}

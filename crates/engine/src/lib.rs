@@ -1,0 +1,36 @@
+//! # rfa-engine — a columnar execution engine with reproducible SUM
+//!
+//! A small column-store executor standing in for MonetDB in the paper's
+//! end-to-end experiment (§VI-E, Table IV) and for PostgreSQL in the
+//! motivating example (Algorithm 1):
+//!
+//! * [`mod@column`] — typed columns and tables with explicit *physical* row
+//!   order, including an MVCC-style UPDATE that reorders rows exactly like
+//!   the paper's PostgreSQL example;
+//! * [`sum_op`] — the grouped SUM operator with pluggable backends: plain
+//!   overflow-checked doubles (MonetDB behaviour), `repro<double, 4>`
+//!   with/without summation buffers, and the sorted-input baseline;
+//! * [`q1`] — TPC-H Query 1 as a vectorized pipeline with the CPU-time
+//!   split ("aggregation" vs "other") that Table IV reports.
+//!
+//! ```
+//! use rfa_engine::{run_q1, SumBackend};
+//! use rfa_workloads::Lineitem;
+//!
+//! let lineitem = Lineitem::generate(10_000, 42);
+//! let (rows, timing) = run_q1(&lineitem, SumBackend::ReproBuffered { buffer_size: 1024 }).unwrap();
+//! assert_eq!(rows.len(), 4); // A/F, N/F, N/O, R/F
+//! assert!(timing.total().as_nanos() > 0);
+//! ```
+
+pub mod column;
+pub mod expr;
+pub mod q1;
+pub mod q6;
+pub mod sum_op;
+
+pub use column::{Column, Table, TableError};
+pub use expr::Expr;
+pub use q1::{run_q1, PhaseTiming, Q1Row};
+pub use q6::run_q6;
+pub use sum_op::{count_grouped, sum_grouped, OverflowError, SumBackend};

@@ -1,0 +1,236 @@
+//! TPC-H Query 1 (paper §VI-E, Table IV).
+//!
+//! ```sql
+//! SELECT l_returnflag, l_linestatus,
+//!        sum(l_quantity), sum(l_extendedprice),
+//!        sum(l_extendedprice * (1 - l_discount)),
+//!        sum(l_extendedprice * (1 - l_discount) * (1 + l_tax)),
+//!        avg(l_quantity), avg(l_extendedprice), avg(l_discount), count(*)
+//! FROM lineitem
+//! WHERE l_shipdate <= date '1998-12-01' - interval '90' day
+//! GROUP BY l_returnflag, l_linestatus
+//! ORDER BY l_returnflag, l_linestatus;
+//! ```
+//!
+//! The implementation is a vectorized columnar pipeline (selection vector →
+//! expression evaluation → grouped aggregation → finalization), with CPU
+//! time split into *aggregation* and *other* exactly as Table IV reports.
+//! For [`SumBackend::SortedDouble`] the pipeline first sorts the selected
+//! rows into a total deterministic order — the only way to make the plain
+//! double sum reproducible, and the expensive baseline of Table IV.
+
+use crate::sum_op::{count_grouped, sum_grouped, OverflowError, SumBackend};
+use rfa_workloads::tpch::{Lineitem, Q1_SHIPDATE_CUTOFF};
+use std::time::{Duration, Instant};
+
+/// CPU-time split of a query execution (Table IV's rows).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PhaseTiming {
+    pub aggregation: Duration,
+    pub other: Duration,
+}
+
+impl PhaseTiming {
+    pub fn total(&self) -> Duration {
+        self.aggregation + self.other
+    }
+}
+
+/// One output row of Q1.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Q1Row {
+    pub returnflag: char,
+    pub linestatus: char,
+    pub sum_qty: f64,
+    pub sum_base_price: f64,
+    pub sum_disc_price: f64,
+    pub sum_charge: f64,
+    pub avg_qty: f64,
+    pub avg_price: f64,
+    pub avg_disc: f64,
+    pub count: u64,
+}
+
+const GROUPS: usize = 6; // 3 returnflags × 2 linestatuses (dense encoding)
+
+/// Executes Q1 over a lineitem table with the chosen SUM backend.
+pub fn run_q1(
+    lineitem: &Lineitem,
+    backend: SumBackend,
+) -> Result<(Vec<Q1Row>, PhaseTiming), OverflowError> {
+    let mut timing = PhaseTiming::default();
+    let t0 = Instant::now();
+
+    // --- other: selection vector (l_shipdate <= cutoff) ------------------
+    let sel: Vec<u32> = lineitem
+        .shipdate
+        .iter()
+        .enumerate()
+        .filter(|(_, &d)| d <= Q1_SHIPDATE_CUTOFF)
+        .map(|(i, _)| i as u32)
+        .collect();
+
+    // --- other: gather + expression evaluation ---------------------------
+    let n = sel.len();
+    let mut group_ids = Vec::with_capacity(n);
+    let mut qty = Vec::with_capacity(n);
+    let mut price = Vec::with_capacity(n);
+    let mut disc = Vec::with_capacity(n);
+    let mut disc_price = Vec::with_capacity(n);
+    let mut charge = Vec::with_capacity(n);
+    for &i in &sel {
+        let i = i as usize;
+        let p = lineitem.extendedprice[i];
+        let d = lineitem.discount[i];
+        let t = lineitem.tax[i];
+        let dp = p * (1.0 - d);
+        group_ids.push(lineitem.q1_group(i));
+        qty.push(lineitem.quantity[i]);
+        price.push(p);
+        disc.push(d);
+        disc_price.push(dp);
+        charge.push(dp * (1.0 + t));
+    }
+
+    // --- other (SortedDouble only): sort into a total deterministic order.
+    if backend == SumBackend::SortedDouble {
+        let mut order: Vec<u32> = (0..n as u32).collect();
+        // Total order: group, then the bit patterns of every aggregated
+        // column (ties are then bit-identical rows, so unstable sorting
+        // cannot introduce non-determinism).
+        order.sort_unstable_by_key(|&i| {
+            let i = i as usize;
+            (
+                group_ids[i],
+                qty[i].to_bits(),
+                price[i].to_bits(),
+                disc_price[i].to_bits(),
+                charge[i].to_bits(),
+                disc[i].to_bits(),
+            )
+        });
+        let apply = |v: &mut Vec<f64>| {
+            let out: Vec<f64> = order.iter().map(|&i| v[i as usize]).collect();
+            *v = out;
+        };
+        let gids: Vec<u32> = order.iter().map(|&i| group_ids[i as usize]).collect();
+        group_ids = gids;
+        apply(&mut qty);
+        apply(&mut price);
+        apply(&mut disc);
+        apply(&mut disc_price);
+        apply(&mut charge);
+    }
+    timing.other += t0.elapsed();
+
+    // --- aggregation: five grouped SUMs + COUNT --------------------------
+    let t1 = Instant::now();
+    let sum_qty = sum_grouped(backend, &group_ids, &qty, GROUPS)?;
+    let sum_price = sum_grouped(backend, &group_ids, &price, GROUPS)?;
+    let sum_disc_price = sum_grouped(backend, &group_ids, &disc_price, GROUPS)?;
+    let sum_charge = sum_grouped(backend, &group_ids, &charge, GROUPS)?;
+    let sum_disc = sum_grouped(backend, &group_ids, &disc, GROUPS)?;
+    let counts = count_grouped(&group_ids, GROUPS);
+    timing.aggregation += t1.elapsed();
+
+    // --- other: finalization (averages, output order) --------------------
+    let t2 = Instant::now();
+    let mut rows = Vec::new();
+    for g in 0..GROUPS as u32 {
+        if counts[g as usize] == 0 {
+            continue; // (A, O) never occurs in TPC-H data
+        }
+        let c = counts[g as usize] as f64;
+        let (rf, ls) = Lineitem::decode_group(g);
+        rows.push(Q1Row {
+            returnflag: rf,
+            linestatus: ls,
+            sum_qty: sum_qty[g as usize],
+            sum_base_price: sum_price[g as usize],
+            sum_disc_price: sum_disc_price[g as usize],
+            sum_charge: sum_charge[g as usize],
+            avg_qty: sum_qty[g as usize] / c,
+            avg_price: sum_price[g as usize] / c,
+            avg_disc: sum_disc[g as usize] / c,
+            count: counts[g as usize],
+        });
+    }
+    timing.other += t2.elapsed();
+    Ok((rows, timing))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> Lineitem {
+        Lineitem::generate(120_000, 7)
+    }
+
+    #[test]
+    fn q1_produces_the_four_tpch_groups() {
+        let (rows, _) = run_q1(&table(), SumBackend::Double).unwrap();
+        let groups: Vec<(char, char)> =
+            rows.iter().map(|r| (r.returnflag, r.linestatus)).collect();
+        assert_eq!(groups, vec![('A', 'F'), ('N', 'F'), ('N', 'O'), ('R', 'F')]);
+    }
+
+    #[test]
+    fn backends_agree_numerically() {
+        let t = table();
+        let (d, _) = run_q1(&t, SumBackend::Double).unwrap();
+        let (u, _) = run_q1(&t, SumBackend::ReproUnbuffered).unwrap();
+        let (b, _) = run_q1(&t, SumBackend::ReproBuffered { buffer_size: 1024 }).unwrap();
+        let (s, _) = run_q1(&t, SumBackend::SortedDouble).unwrap();
+        for (((rd, ru), rb), rs) in d.iter().zip(&u).zip(&b).zip(&s) {
+            let close = |a: f64, b: f64| (a - b).abs() <= 1e-9 * a.abs().max(1.0);
+            assert!(close(rd.sum_charge, ru.sum_charge));
+            assert!(close(rd.sum_charge, rs.sum_charge));
+            // Both repro variants are bit-identical to each other.
+            assert_eq!(ru.sum_qty.to_bits(), rb.sum_qty.to_bits());
+            assert_eq!(ru.sum_charge.to_bits(), rb.sum_charge.to_bits());
+            assert_eq!(rd.count, ru.count);
+        }
+    }
+
+    #[test]
+    fn repro_backend_survives_physical_reorder() {
+        let t = table();
+        let (u1, _) = run_q1(&t, SumBackend::ReproUnbuffered).unwrap();
+        // Reorder the table physically (reverse) and re-run.
+        let n = t.len();
+        let perm: Vec<usize> = (0..n).rev().collect();
+        let reordered = Lineitem {
+            quantity: perm.iter().map(|&i| t.quantity[i]).collect(),
+            extendedprice: perm.iter().map(|&i| t.extendedprice[i]).collect(),
+            discount: perm.iter().map(|&i| t.discount[i]).collect(),
+            tax: perm.iter().map(|&i| t.tax[i]).collect(),
+            shipdate: perm.iter().map(|&i| t.shipdate[i]).collect(),
+            returnflag: perm.iter().map(|&i| t.returnflag[i]).collect(),
+            linestatus: perm.iter().map(|&i| t.linestatus[i]).collect(),
+        };
+        let (u2, _) = run_q1(&reordered, SumBackend::ReproUnbuffered).unwrap();
+        for (a, b) in u1.iter().zip(u2.iter()) {
+            assert_eq!(a.sum_qty.to_bits(), b.sum_qty.to_bits());
+            assert_eq!(a.sum_base_price.to_bits(), b.sum_base_price.to_bits());
+            assert_eq!(a.sum_disc_price.to_bits(), b.sum_disc_price.to_bits());
+            assert_eq!(a.sum_charge.to_bits(), b.sum_charge.to_bits());
+        }
+        // The sorted baseline is also reproducible.
+        let (s1, _) = run_q1(&t, SumBackend::SortedDouble).unwrap();
+        let (s2, _) = run_q1(&reordered, SumBackend::SortedDouble).unwrap();
+        for (a, b) in s1.iter().zip(s2.iter()) {
+            assert_eq!(a.sum_charge.to_bits(), b.sum_charge.to_bits());
+        }
+    }
+
+    #[test]
+    fn averages_are_consistent() {
+        let (rows, _) = run_q1(&table(), SumBackend::ReproUnbuffered).unwrap();
+        for r in &rows {
+            assert!((r.avg_qty - r.sum_qty / r.count as f64).abs() < 1e-12);
+            assert!((1.0..=50.0).contains(&r.avg_qty));
+            assert!((0.0..=0.10).contains(&r.avg_disc));
+        }
+    }
+}

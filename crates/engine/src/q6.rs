@@ -1,0 +1,154 @@
+//! TPC-H Query 6 — the forecasting-revenue-change query.
+//!
+//! ```sql
+//! SELECT sum(l_extendedprice * l_discount) AS revenue
+//! FROM lineitem
+//! WHERE l_shipdate >= date '1994-01-01'
+//!   AND l_shipdate <  date '1995-01-01'
+//!   AND l_discount BETWEEN 0.05 AND 0.07
+//!   AND l_quantity < 24;
+//! ```
+//!
+//! Q6 is the purest aggregation query in TPC-H: one un-grouped SUM over a
+//! selective predicate. It complements Q1 in the evaluation: Q1 stresses
+//! grouped aggregation, Q6 stresses the single-accumulator path (the §III
+//! summation kernel), and its result is a *single* float — the sharpest
+//! possible demonstration of run-to-run result flips.
+
+use crate::column::Table;
+use crate::expr::Expr;
+use crate::q1::PhaseTiming;
+use crate::sum_op::{sum_grouped, OverflowError, SumBackend};
+use rfa_workloads::tpch::Lineitem;
+use std::time::Instant;
+
+/// Q6 date window in days since 1992-01-01: [1994-01-01, 1995-01-01).
+pub const Q6_DATE_LO: i32 = 2 * 365;
+pub const Q6_DATE_HI: i32 = 3 * 365;
+
+/// Builds an engine [`Table`] view of the lineitem columns Q6 needs.
+pub fn lineitem_table(t: &Lineitem) -> Table {
+    use crate::column::Column;
+    let mut table = Table::new("lineitem");
+    table
+        .add_column("l_quantity", Column::F64(t.quantity.clone()))
+        .expect("fresh table");
+    table
+        .add_column("l_extendedprice", Column::F64(t.extendedprice.clone()))
+        .expect("fresh table");
+    table
+        .add_column("l_discount", Column::F64(t.discount.clone()))
+        .expect("fresh table");
+    table
+        .add_column("l_shipdate", Column::I32(t.shipdate.clone()))
+        .expect("fresh table");
+    table
+}
+
+/// Executes Q6 with the chosen backend; returns (revenue, timing split).
+pub fn run_q6(
+    lineitem: &Lineitem,
+    backend: SumBackend,
+) -> Result<(f64, PhaseTiming), OverflowError> {
+    let mut timing = PhaseTiming::default();
+    let t0 = Instant::now();
+
+    // --- other: selection -------------------------------------------------
+    let sel: Vec<u32> = (0..lineitem.len() as u32)
+        .filter(|&i| {
+            let i = i as usize;
+            let d = lineitem.shipdate[i];
+            (Q6_DATE_LO..Q6_DATE_HI).contains(&d)
+                && (0.05..=0.07).contains(&lineitem.discount[i])
+                && lineitem.quantity[i] < 24.0
+        })
+        .collect();
+
+    // --- other: expression evaluation ------------------------------------
+    let table = lineitem_table(lineitem);
+    let revenue_terms = Expr::col("l_extendedprice")
+        .mul(Expr::col("l_discount"))
+        .eval(&table, &sel)
+        .expect("columns exist");
+    timing.other += t0.elapsed();
+
+    // --- aggregation: one un-grouped SUM ----------------------------------
+    let t1 = Instant::now();
+    let group_ids = vec![0u32; revenue_terms.len()];
+    let (terms, ids) = if backend == SumBackend::SortedDouble {
+        // Deterministic total order for the sorted baseline.
+        let t2 = Instant::now();
+        let mut order: Vec<u32> = (0..revenue_terms.len() as u32).collect();
+        order.sort_unstable_by_key(|&i| revenue_terms[i as usize].to_bits());
+        let sorted: Vec<f64> = order.iter().map(|&i| revenue_terms[i as usize]).collect();
+        timing.other += t2.elapsed();
+        (sorted, group_ids)
+    } else {
+        (revenue_terms, group_ids)
+    };
+    let revenue = sum_grouped(backend, &ids, &terms, 1)?[0];
+    timing.aggregation += t1.elapsed();
+    Ok((revenue, timing))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> Lineitem {
+        Lineitem::generate(100_000, 11)
+    }
+
+    #[test]
+    fn q6_selects_a_plausible_fraction() {
+        let t = table();
+        let sel = (0..t.len())
+            .filter(|&i| {
+                (Q6_DATE_LO..Q6_DATE_HI).contains(&t.shipdate[i])
+                    && (0.05..=0.07).contains(&t.discount[i])
+                    && t.quantity[i] < 24.0
+            })
+            .count();
+        // Spec selectivity is ~2%; synthetic data lands in the same range.
+        let frac = sel as f64 / t.len() as f64;
+        assert!((0.005..0.06).contains(&frac), "selectivity {frac}");
+    }
+
+    #[test]
+    fn backends_agree() {
+        let t = table();
+        let (d, _) = run_q6(&t, SumBackend::Double).unwrap();
+        let (r, _) = run_q6(&t, SumBackend::Rsum { levels: 3 }).unwrap();
+        let (b, _) = run_q6(&t, SumBackend::RsumBuffered { levels: 3, buffer_size: 512 }).unwrap();
+        let (s, _) = run_q6(&t, SumBackend::SortedDouble).unwrap();
+        assert!((d - r).abs() <= 1e-9 * d.abs());
+        assert!((d - s).abs() <= 1e-9 * d.abs());
+        assert_eq!(r.to_bits(), b.to_bits());
+        assert!(d > 0.0);
+    }
+
+    #[test]
+    fn repro_backend_is_reorder_invariant() {
+        let t = table();
+        let (r1, _) = run_q6(&t, SumBackend::Rsum { levels: 2 }).unwrap();
+        // Physically reverse all columns.
+        let rev = Lineitem {
+            quantity: t.quantity.iter().rev().copied().collect(),
+            extendedprice: t.extendedprice.iter().rev().copied().collect(),
+            discount: t.discount.iter().rev().copied().collect(),
+            tax: t.tax.iter().rev().copied().collect(),
+            shipdate: t.shipdate.iter().rev().copied().collect(),
+            returnflag: t.returnflag.iter().rev().copied().collect(),
+            linestatus: t.linestatus.iter().rev().copied().collect(),
+        };
+        let (r2, _) = run_q6(&rev, SumBackend::Rsum { levels: 2 }).unwrap();
+        assert_eq!(r1.to_bits(), r2.to_bits());
+        // And the plain double is not (on 100k rows it virtually always
+        // differs in the last bits; if equal, the test data got lucky —
+        // use the sum-of-permutation check instead of a hard inequality).
+        let (d1, _) = run_q6(&t, SumBackend::Double).unwrap();
+        let (d2, _) = run_q6(&rev, SumBackend::Double).unwrap();
+        assert!((d1 - d2).abs() <= 1e-6 * d1.abs()); // numerically equal...
+        // ...but generally not bitwise (not asserted: probabilistic).
+    }
+}

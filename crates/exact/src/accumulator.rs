@@ -1,0 +1,317 @@
+//! The fixed-point superaccumulator itself.
+//!
+//! Layout: a 2240-bit two's-complement integer stored as 35 little-endian
+//! `u64` limbs. Bit `i` has weight `2^(i + LSB_EXP)` with `LSB_EXP = -1100`,
+//! so the register spans weights `2^-1100 ..= 2^1139`:
+//!
+//! * every finite `f64` is an integer multiple of `2^-1074 > 2^-1100`;
+//! * the largest finite `f64` is `< 2^1024`, leaving over 100 bits of
+//!   headroom before the sign bit — enough for the exact sum of more than
+//!   `2^100` maximal values, far beyond anything addressable.
+
+use crate::round;
+
+/// Weight exponent of bit 0 of the register.
+pub(crate) const LSB_EXP: i32 = -1100;
+/// Number of 64-bit limbs.
+pub(crate) const LIMBS: usize = 35;
+
+/// An exact accumulator for `f64` values (also usable for `f32` via the
+/// exact `f32 -> f64` conversion).
+///
+/// `add` is exact: no information is ever lost, so the final rounded result
+/// is independent of insertion order and grouping. IEEE special values are
+/// tracked separately and reproduce IEEE addition semantics on rounding
+/// (any NaN → NaN, +∞ and −∞ together → NaN, otherwise the infinity wins).
+#[derive(Clone)]
+pub struct ExactSum {
+    limbs: [u64; LIMBS],
+    nan: bool,
+    pos_inf: bool,
+    neg_inf: bool,
+}
+
+impl Default for ExactSum {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ExactSum {
+    /// Creates an empty accumulator (sums to `+0.0`).
+    pub fn new() -> Self {
+        ExactSum {
+            limbs: [0; LIMBS],
+            nan: false,
+            pos_inf: false,
+            neg_inf: false,
+        }
+    }
+
+    /// Adds one value exactly.
+    pub fn add(&mut self, v: f64) {
+        self.add_signed(v, false);
+    }
+
+    /// Subtracts one value exactly.
+    pub fn sub(&mut self, v: f64) {
+        self.add_signed(v, true);
+    }
+
+    /// Merges another accumulator into this one (exact, associative,
+    /// commutative).
+    pub fn merge(&mut self, other: &ExactSum) {
+        self.nan |= other.nan;
+        self.pos_inf |= other.pos_inf;
+        self.neg_inf |= other.neg_inf;
+        let mut carry = 0u64;
+        for i in 0..LIMBS {
+            let (s1, c1) = self.limbs[i].overflowing_add(other.limbs[i]);
+            let (s2, c2) = s1.overflowing_add(carry);
+            self.limbs[i] = s2;
+            carry = (c1 as u64) + (c2 as u64);
+        }
+        // Two's-complement wraparound at the top is intentional.
+    }
+
+    fn add_signed(&mut self, v: f64, flip: bool) {
+        if v == 0.0 {
+            return;
+        }
+        if v.is_nan() {
+            self.nan = true;
+            return;
+        }
+        let negative = v.is_sign_negative() ^ flip;
+        if v.is_infinite() {
+            if negative {
+                self.neg_inf = true;
+            } else {
+                self.pos_inf = true;
+            }
+            return;
+        }
+        let bits = v.to_bits();
+        let exp_field = ((bits >> 52) & 0x7ff) as i32;
+        let frac = bits & ((1u64 << 52) - 1);
+        // Decompose |v| = mantissa * 2^shift with integral mantissa.
+        let (mantissa, shift) = if exp_field == 0 {
+            (frac, -1074) // denormal
+        } else {
+            (frac | (1u64 << 52), exp_field - 1023 - 52)
+        };
+        let offset = (shift - LSB_EXP) as usize;
+        self.add_magnitude(mantissa, offset, negative);
+    }
+
+    /// Adds (or subtracts) `mantissa * 2^(offset + LSB_EXP)` to the register.
+    fn add_magnitude(&mut self, mantissa: u64, offset: usize, negative: bool) {
+        let limb = offset / 64;
+        let shift = offset % 64;
+        let wide = (mantissa as u128) << shift; // ≤ 53 + 63 = 116 bits
+        let lo = wide as u64;
+        let hi = (wide >> 64) as u64;
+        if negative {
+            let mut borrow = self.sub_at(limb, lo);
+            if hi != 0 || borrow {
+                let b2 = self.sub_at(limb + 1, hi.wrapping_add(borrow as u64));
+                // hi + borrow cannot overflow: hi < 2^52, so hi + 1 fits.
+                borrow = b2;
+                let mut i = limb + 2;
+                while borrow && i < LIMBS {
+                    let (r, b) = self.limbs[i].overflowing_sub(1);
+                    self.limbs[i] = r;
+                    borrow = b;
+                    i += 1;
+                }
+            }
+        } else {
+            let mut carry = self.add_at(limb, lo);
+            if hi != 0 || carry {
+                let c2 = self.add_at(limb + 1, hi.wrapping_add(carry as u64));
+                carry = c2;
+                let mut i = limb + 2;
+                while carry && i < LIMBS {
+                    let (r, c) = self.limbs[i].overflowing_add(1);
+                    self.limbs[i] = r;
+                    carry = c;
+                    i += 1;
+                }
+            }
+        }
+    }
+
+    #[inline]
+    fn add_at(&mut self, i: usize, v: u64) -> bool {
+        let (r, c) = self.limbs[i].overflowing_add(v);
+        self.limbs[i] = r;
+        c
+    }
+
+    #[inline]
+    fn sub_at(&mut self, i: usize, v: u64) -> bool {
+        let (r, b) = self.limbs[i].overflowing_sub(v);
+        self.limbs[i] = r;
+        b
+    }
+
+    /// True if the fixed-point part is exactly zero (ignores specials).
+    pub fn is_zero(&self) -> bool {
+        self.limbs.iter().all(|&l| l == 0)
+    }
+
+    pub(crate) fn special(&self) -> Option<f64> {
+        if self.nan || (self.pos_inf && self.neg_inf) {
+            Some(f64::NAN)
+        } else if self.pos_inf {
+            Some(f64::INFINITY)
+        } else if self.neg_inf {
+            Some(f64::NEG_INFINITY)
+        } else {
+            None
+        }
+    }
+
+    /// Returns the sign and magnitude limbs of the register.
+    pub(crate) fn sign_magnitude(&self) -> (bool, [u64; LIMBS]) {
+        let negative = self.limbs[LIMBS - 1] >> 63 == 1;
+        if !negative {
+            return (false, self.limbs);
+        }
+        // Two's-complement negate: invert all limbs, add 1.
+        let mut mag = [0u64; LIMBS];
+        let mut carry = true;
+        for (m, limb) in mag.iter_mut().zip(self.limbs.iter()) {
+            let (r, c) = (!limb).overflowing_add(carry as u64);
+            *m = r;
+            carry = c;
+        }
+        (true, mag)
+    }
+
+    /// Rounds the exact sum to the nearest `f64` (ties to even).
+    pub fn round_f64(&self) -> f64 {
+        if let Some(s) = self.special() {
+            return s;
+        }
+        let (neg, mag) = self.sign_magnitude();
+        round::round_f64(neg, &mag)
+    }
+
+    /// Rounds the exact sum to the nearest `f32` (ties to even), directly
+    /// from the register (no intermediate f64 rounding).
+    pub fn round_f32(&self) -> f32 {
+        if let Some(s) = self.special() {
+            return s as f32;
+        }
+        let (neg, mag) = self.sign_magnitude();
+        round::round_f32(neg, &mag)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_then_sub_is_zero() {
+        let mut acc = ExactSum::new();
+        for v in [1.0, 2.5e-300, -7.25e300, f64::MIN_POSITIVE, 5e-324] {
+            acc.add(v);
+        }
+        for v in [1.0, 2.5e-300, -7.25e300, f64::MIN_POSITIVE, 5e-324] {
+            acc.sub(v);
+        }
+        assert!(acc.is_zero());
+        assert_eq!(acc.round_f64(), 0.0);
+    }
+
+    #[test]
+    fn roundtrips_single_values() {
+        for v in [
+            1.0,
+            -1.0,
+            0.1,
+            -12345.6789,
+            f64::MAX,
+            f64::MIN_POSITIVE,
+            5e-324,   // min denormal
+            -2.5e-310, // denormal
+            1.2345e308,
+        ] {
+            let mut acc = ExactSum::new();
+            acc.add(v);
+            assert_eq!(acc.round_f64().to_bits(), v.to_bits(), "value {v}");
+        }
+    }
+
+    #[test]
+    fn negative_magnitude() {
+        let mut acc = ExactSum::new();
+        acc.add(-3.0);
+        acc.add(1.0);
+        assert_eq!(acc.round_f64(), -2.0);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let xs = [1e300, -2e-300, 3.5, -1e300];
+        let mut a = ExactSum::new();
+        let mut b = ExactSum::new();
+        a.add(xs[0]);
+        a.add(xs[1]);
+        b.add(xs[2]);
+        b.add(xs[3]);
+        a.merge(&b);
+        let mut c = ExactSum::new();
+        for &x in &xs {
+            c.add(x);
+        }
+        assert_eq!(a.round_f64().to_bits(), c.round_f64().to_bits());
+    }
+
+    #[test]
+    fn specials_follow_ieee() {
+        let mut acc = ExactSum::new();
+        acc.add(f64::INFINITY);
+        assert_eq!(acc.round_f64(), f64::INFINITY);
+        acc.add(f64::NEG_INFINITY);
+        assert!(acc.round_f64().is_nan());
+
+        let mut acc = ExactSum::new();
+        acc.add(f64::NAN);
+        acc.add(1.0);
+        assert!(acc.round_f64().is_nan());
+    }
+
+    #[test]
+    fn correct_rounding_at_halfway() {
+        // 1.0 + 2^-53 is exactly halfway between 1.0 and 1.0+2^-52:
+        // ties-to-even keeps 1.0.
+        let mut acc = ExactSum::new();
+        acc.add(1.0);
+        acc.add(2f64.powi(-53));
+        assert_eq!(acc.round_f64(), 1.0);
+        // Adding any additional tiny amount breaks the tie upward.
+        acc.add(5e-324);
+        assert_eq!(acc.round_f64(), 1.0 + 2f64.powi(-52));
+    }
+
+    #[test]
+    fn f32_rounding_avoids_double_rounding() {
+        // Construct a sum whose f64 rounding would round-to-even one way
+        // and direct f32 rounding the other: x = 1 + 2^-24 + 2^-54.
+        let mut acc = ExactSum::new();
+        acc.add(1.0);
+        acc.add(2f64.powi(-24));
+        acc.add(2f64.powi(-54));
+        // Exact value is just above the f32 halfway point, so f32 result
+        // must round up.
+        assert_eq!(acc.round_f32(), 1.0 + 2f32.powi(-23));
+        // Double rounding through f64 would first round 1 + 2^-24 + 2^-54
+        // to 1 + 2^-24 (tie in f64? no — representable), then f32 tie-to-even
+        // would keep 1.0. Direct rounding is the correct behaviour.
+        let via_f64 = (acc.round_f64()) as f32;
+        assert_eq!(via_f64, 1.0); // demonstrates the double-rounding trap
+    }
+}

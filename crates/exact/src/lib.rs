@@ -1,0 +1,105 @@
+//! Exact (Kulisch) superaccumulators for IEEE-754 binary floating point.
+//!
+//! A Kulisch accumulator is a fixed-point register wide enough to hold the
+//! exact sum of any sequence of floating-point numbers: every `f64` is an
+//! integer multiple of `2^-1074`, bounded by `2^1024`, so a two's-complement
+//! register spanning those weights (plus headroom for carries) represents
+//! every partial sum *exactly*. Addition of such registers is associative and
+//! commutative, which makes the accumulator an ideal ground-truth oracle for
+//! the reproducible summation algorithms in this workspace: any candidate
+//! algorithm can be checked against the correctly-rounded exact sum.
+//!
+//! This is the verification substrate referenced by DESIGN.md (S11). It is
+//! *not* the paper's algorithm — the paper's point is precisely that a full
+//! exact accumulator is too heavy for per-tuple RDBMS aggregation — but it
+//! lets the test suite assert both bit-reproducibility and accuracy bounds.
+
+mod accumulator;
+mod round;
+
+pub use accumulator::ExactSum;
+
+/// Computes the correctly rounded (round-to-nearest-even) `f64` sum of a
+/// slice, independent of input order.
+pub fn exact_sum_f64(values: &[f64]) -> f64 {
+    let mut acc = ExactSum::new();
+    for &v in values {
+        acc.add(v);
+    }
+    acc.round_f64()
+}
+
+/// Computes the correctly rounded `f32` sum of a slice.
+///
+/// The accumulation is exact; rounding to `f32` happens once at the end
+/// (directly from the fixed-point register, avoiding double rounding through
+/// `f64`).
+pub fn exact_sum_f32(values: &[f32]) -> f32 {
+    let mut acc = ExactSum::new();
+    for &v in values {
+        acc.add(v as f64); // f32 -> f64 is exact
+    }
+    acc.round_f32()
+}
+
+/// Returns the absolute error of `candidate` versus the exact sum of
+/// `values`, i.e. `|candidate - exact_sum(values)|`, with the subtraction
+/// carried out inside the exact register.
+pub fn abs_error_f64(values: &[f64], candidate: f64) -> f64 {
+    let mut acc = ExactSum::new();
+    for &v in values {
+        acc.add(v);
+    }
+    acc.sub(candidate);
+    acc.round_f64().abs()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_sum_is_zero() {
+        assert_eq!(exact_sum_f64(&[]), 0.0);
+        assert_eq!(exact_sum_f32(&[]), 0.0);
+    }
+
+    #[test]
+    fn classic_cancellation() {
+        // 1e16 + 1 - 1e16 loses the 1 in plain f64 left-to-right summation
+        // but the exact sum is 1.
+        let values = [1e16, 1.0, -1e16];
+        assert_eq!(values.iter().sum::<f64>(), 1.0 - 1.0 + 0.0); // 0.0: the 1 is lost
+        assert_eq!(exact_sum_f64(&values), 1.0);
+    }
+
+    #[test]
+    fn paper_intro_example() {
+        // Algorithm 1 from the paper: 2.5e-16 + 0.999999999999999 + 2.5e-16.
+        let a = 2.5e-16;
+        let b = 0.999_999_999_999_999_f64;
+        let lo_first = a + a + b;
+        let hi_first = (a + b) + a;
+        // The two evaluation orders differ (this is the paper's motivating bug).
+        assert_ne!(lo_first.to_bits(), hi_first.to_bits());
+        // The exact sum is order-independent and correctly rounded.
+        let e1 = exact_sum_f64(&[a, b, a]);
+        let e2 = exact_sum_f64(&[a, a, b]);
+        assert_eq!(e1.to_bits(), e2.to_bits());
+    }
+
+    #[test]
+    fn error_of_correctly_rounded_sum_is_below_half_ulp() {
+        // The correctly rounded sum differs from the exact (real-number)
+        // sum by at most half an ulp of the result.
+        let values = [1.5, -2.25, 1e100, -1e100, 3.5e-200];
+        let s = exact_sum_f64(&values);
+        assert_eq!(s, -0.75); // the 3.5e-200 tail is below half an ulp
+        let err = abs_error_f64(&values, s);
+        assert!(err <= 0.5 * f64::EPSILON * s.abs(), "err = {err}");
+        // And a sum that is exactly representable has error zero.
+        let values = [1.5, -2.25, 4.0];
+        let s = exact_sum_f64(&values);
+        assert_eq!(abs_error_f64(&values, s), 0.0);
+    }
+}

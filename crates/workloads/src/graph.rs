@@ -1,0 +1,105 @@
+//! Synthetic web-graph generation (paper §I substitution).
+//!
+//! The paper's intro experiment runs PageRank "on different permutations of
+//! a small web graph with 900 k pages" (the SNAP web-Google dataset) and
+//! observes rank swaps between runs. The dataset is external; we substitute
+//! a preferential-attachment (Barabási–Albert style) random graph, which
+//! shares the relevant property — a heavy-tailed in-degree distribution, so
+//! many pages have near-identical ranks whose comparison is sensitive to
+//! last-bit differences in the floating-point score sums.
+
+use crate::rng::SplitMix64;
+
+/// A directed graph in CSR-like edge-list form.
+pub struct Graph {
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Directed edges `(from, to)`.
+    pub edges: Vec<(u32, u32)>,
+}
+
+impl Graph {
+    /// Generates a preferential-attachment graph: each new node emits
+    /// `out_degree` edges; targets are chosen preferentially by current
+    /// in-degree (approximated by sampling the existing edge list, the
+    /// standard trick) with occasional uniform jumps.
+    pub fn preferential_attachment(nodes: usize, out_degree: usize, seed: u64) -> Self {
+        assert!(nodes >= 2 && out_degree >= 1);
+        let mut rng = SplitMix64::new(seed ^ 0x6EA9_0000_0000_0001);
+        let mut edges: Vec<(u32, u32)> = Vec::with_capacity(nodes * out_degree);
+        edges.push((1, 0));
+        for v in 2..nodes as u32 {
+            for _ in 0..out_degree {
+                // 80% preferential (copy the target of a random existing
+                // edge), 20% uniform — keeps the graph connected-ish and
+                // heavy-tailed.
+                let target = if rng.below(5) != 0 {
+                    edges[rng.below(edges.len() as u64) as usize].1
+                } else {
+                    rng.below(v as u64) as u32
+                };
+                if target != v {
+                    edges.push((v, target));
+                }
+            }
+        }
+        Graph { nodes, edges }
+    }
+
+    /// Out-degree per node.
+    pub fn out_degrees(&self) -> Vec<u32> {
+        let mut deg = vec![0u32; self.nodes];
+        for &(from, _) in &self.edges {
+            deg[from as usize] += 1;
+        }
+        deg
+    }
+
+    /// Returns the edge list in a deterministically permuted order — the
+    /// "physical reordering" the intro experiment exercises.
+    pub fn permuted_edges(&self, seed: u64) -> Vec<(u32, u32)> {
+        let mut edges = self.edges.clone();
+        SplitMix64::new(seed ^ 0x0bf5_ca7e_0000_0002).shuffle(&mut edges);
+        edges
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_requested_shape() {
+        let g = Graph::preferential_attachment(1000, 3, 1);
+        assert_eq!(g.nodes, 1000);
+        assert!(g.edges.len() > 2500);
+        for &(f, t) in &g.edges {
+            assert!((f as usize) < g.nodes && (t as usize) < g.nodes);
+            assert_ne!(f, t, "no self loops");
+        }
+    }
+
+    #[test]
+    fn degree_distribution_is_heavy_tailed() {
+        let g = Graph::preferential_attachment(10_000, 4, 2);
+        let mut indeg = vec![0u32; g.nodes];
+        for &(_, t) in &g.edges {
+            indeg[t as usize] += 1;
+        }
+        let max = *indeg.iter().max().unwrap();
+        let mean = g.edges.len() as f64 / g.nodes as f64;
+        // Hubs collect orders of magnitude more than the mean.
+        assert!(max as f64 > 20.0 * mean, "max {max}, mean {mean}");
+    }
+
+    #[test]
+    fn permutation_preserves_edges() {
+        let g = Graph::preferential_attachment(500, 2, 3);
+        let mut a = g.edges.clone();
+        let mut b = g.permuted_edges(77);
+        assert_ne!(a, b);
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+}

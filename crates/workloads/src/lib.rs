@@ -1,0 +1,24 @@
+//! # rfa-workloads — deterministic workload generators
+//!
+//! Every experiment input used by the paper's evaluation, generated
+//! deterministically (seeded; replayable bit-for-bit across runs and
+//! machines):
+//!
+//! * [`pairs`] — the §VI-A microbenchmark workload: `n` `⟨key, value⟩`
+//!   pairs, keys uniform over `[0, ngroups)`, value distributions for the
+//!   accuracy study (U[1,2), Exp(1)) and the performance sweeps;
+//! * [`tpch`] — synthetic TPC-H `lineitem` for Query 1 (§VI-E);
+//! * [`graph`] + [`mod@pagerank`] — the intro's PageRank rank-swap experiment;
+//! * [`rng`] — the self-contained SplitMix64 generator underneath it all.
+
+pub mod graph;
+pub mod pagerank;
+pub mod pairs;
+pub mod rng;
+pub mod tpch;
+
+pub use graph::Graph;
+pub use pagerank::{pagerank, pagerank_repro, rank_swaps, PageRankConfig};
+pub use pairs::{values_only, zipf_pairs, GroupedPairs, ValueDist, Zipf};
+pub use rng::SplitMix64;
+pub use tpch::Lineitem;

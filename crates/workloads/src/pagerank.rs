@@ -1,0 +1,177 @@
+//! PageRank with plain vs. reproducible score accumulation (paper §I).
+//!
+//! The paper's motivating observation: running PageRank on permutations of
+//! the same web graph makes "the ranks of about 10-20 pages … different
+//! enough to swap ranks with another page", because each iteration sums
+//! incoming score contributions in physical edge order with non-associative
+//! floating-point addition.
+//!
+//! [`pagerank`] accumulates per-node contributions in edge-list order
+//! (order-sensitive, like any real implementation over a physically
+//! reordered edge table); [`pagerank_repro`] replaces every accumulation by
+//! a [`ReproSum`] and is bit-identical across edge permutations.
+
+use crate::graph::Graph;
+use rfa_core::ReproSum;
+
+/// PageRank parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct PageRankConfig {
+    /// Damping factor (classic 0.85).
+    pub damping: f64,
+    /// Fixed number of power iterations.
+    pub iterations: usize,
+}
+
+impl Default for PageRankConfig {
+    fn default() -> Self {
+        PageRankConfig {
+            damping: 0.85,
+            iterations: 30,
+        }
+    }
+}
+
+/// Plain-float PageRank over an explicit edge order. The returned scores
+/// depend (in the last bits) on the order of `edges` — this is the
+/// non-reproducibility under study, so the edge order is a parameter.
+pub fn pagerank(graph: &Graph, edges: &[(u32, u32)], cfg: &PageRankConfig) -> Vec<f64> {
+    let n = graph.nodes;
+    let out_deg = graph.out_degrees();
+    let mut scores = vec![1.0 / n as f64; n];
+    let mut incoming = vec![0.0f64; n];
+    for _ in 0..cfg.iterations {
+        incoming.iter_mut().for_each(|v| *v = 0.0);
+        // Order-sensitive accumulation: plain `+=` per edge.
+        for &(from, to) in edges {
+            incoming[to as usize] += scores[from as usize] / out_deg[from as usize] as f64;
+        }
+        // Dangling nodes donate uniformly (order-sensitive sum as well).
+        let mut dangling = 0.0f64;
+        for v in 0..n {
+            if out_deg[v] == 0 {
+                dangling += scores[v];
+            }
+        }
+        let base = (1.0 - cfg.damping) / n as f64 + cfg.damping * dangling / n as f64;
+        for v in 0..n {
+            scores[v] = base + cfg.damping * incoming[v];
+        }
+    }
+    scores
+}
+
+/// Reproducible PageRank: all per-node and global accumulations use
+/// `ReproSum<f64, L>`, so the scores are bit-identical for every edge
+/// permutation.
+pub fn pagerank_repro<const L: usize>(
+    graph: &Graph,
+    edges: &[(u32, u32)],
+    cfg: &PageRankConfig,
+) -> Vec<f64> {
+    let n = graph.nodes;
+    let out_deg = graph.out_degrees();
+    let mut scores = vec![1.0 / n as f64; n];
+    for _ in 0..cfg.iterations {
+        let mut incoming: Vec<ReproSum<f64, L>> = vec![ReproSum::new(); n];
+        for &(from, to) in edges {
+            incoming[to as usize].add(scores[from as usize] / out_deg[from as usize] as f64);
+        }
+        let mut dangling: ReproSum<f64, L> = ReproSum::new();
+        for v in 0..n {
+            if out_deg[v] == 0 {
+                dangling.add(scores[v]);
+            }
+        }
+        let base = (1.0 - cfg.damping) / n as f64 + cfg.damping * dangling.value() / n as f64;
+        for v in 0..n {
+            scores[v] = base + cfg.damping * incoming[v].value();
+        }
+    }
+    scores
+}
+
+/// Counts pages whose ordinal rank position differs between two score
+/// vectors (the paper's "swap ranks with another page" metric).
+pub fn rank_swaps(a: &[f64], b: &[f64]) -> usize {
+    assert_eq!(a.len(), b.len());
+    let order = |scores: &[f64]| {
+        let mut idx: Vec<u32> = (0..scores.len() as u32).collect();
+        // Total order: score desc, node id asc as tiebreak.
+        idx.sort_unstable_by(|&x, &y| {
+            scores[y as usize]
+                .partial_cmp(&scores[x as usize])
+                .unwrap()
+                .then(x.cmp(&y))
+        });
+        let mut rank = vec![0u32; scores.len()];
+        for (pos, &node) in idx.iter().enumerate() {
+            rank[node as usize] = pos as u32;
+        }
+        rank
+    };
+    let ra = order(a);
+    let rb = order(b);
+    ra.iter().zip(rb.iter()).filter(|(x, y)| x != y).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_graph() -> Graph {
+        Graph::preferential_attachment(2000, 3, 42)
+    }
+
+    #[test]
+    fn scores_sum_to_one() {
+        let g = small_graph();
+        let cfg = PageRankConfig::default();
+        let s = pagerank(&g, &g.edges, &cfg);
+        let total: f64 = s.iter().sum();
+        assert!((total - 1.0).abs() < 1e-9, "total {total}");
+        let sr = pagerank_repro::<2>(&g, &g.edges, &cfg);
+        let total: f64 = sr.iter().sum();
+        assert!((total - 1.0).abs() < 1e-9, "total {total}");
+    }
+
+    #[test]
+    fn plain_pagerank_is_permutation_sensitive() {
+        let g = small_graph();
+        let cfg = PageRankConfig::default();
+        let s1 = pagerank(&g, &g.edges, &cfg);
+        let s2 = pagerank(&g, &g.permuted_edges(7), &cfg);
+        // Same mathematical result ...
+        for (a, b) in s1.iter().zip(s2.iter()) {
+            assert!((a - b).abs() < 1e-12);
+        }
+        // ... but not bit-identical (the paper's observation).
+        let identical = s1
+            .iter()
+            .zip(s2.iter())
+            .all(|(a, b)| a.to_bits() == b.to_bits());
+        assert!(!identical, "expected last-bit differences");
+    }
+
+    #[test]
+    fn repro_pagerank_is_permutation_invariant() {
+        let g = small_graph();
+        let cfg = PageRankConfig::default();
+        let s1 = pagerank_repro::<2>(&g, &g.edges, &cfg);
+        for seed in [7, 8, 9] {
+            let s2 = pagerank_repro::<2>(&g, &g.permuted_edges(seed), &cfg);
+            for (a, b) in s1.iter().zip(s2.iter()) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+        assert_eq!(rank_swaps(&s1, &pagerank_repro::<2>(&g, &g.permuted_edges(7), &cfg)), 0);
+    }
+
+    #[test]
+    fn rank_swaps_counts_position_changes() {
+        let a = [0.5, 0.3, 0.2];
+        let b = [0.5, 0.2, 0.3];
+        assert_eq!(rank_swaps(&a, &a), 0);
+        assert_eq!(rank_swaps(&a, &b), 2);
+    }
+}

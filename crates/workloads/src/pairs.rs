@@ -1,0 +1,241 @@
+//! Grouped `⟨key, value⟩` workloads (paper §VI-A).
+//!
+//! "We use n = 2^30 ⟨key, value⟩ pairs as input, where the key is of type
+//! uint32_t … keys are drawn uniformly at random from [0, ngroups)" — with
+//! the caveat the paper notes: for `ngroups ≈ n` the realized number of
+//! distinct groups is smaller than `ngroups`.
+//!
+//! Value distributions cover the accuracy experiments (Table II: U[1,2)
+//! and Exp(1)) and generic signed data for the performance sweeps.
+
+use crate::rng::SplitMix64;
+
+/// Value distribution of the generated pairs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ValueDist {
+    /// Uniform in `[0, 1)`.
+    Uniform01,
+    /// Uniform in `[1, 2)` (Table II) — all values same binade.
+    Uniform12,
+    /// Exponential with λ = 1 (Table II) — mixes magnitudes.
+    Exp1,
+    /// Uniform in `[-1, 1)` — signed, cancellations occur.
+    Signed,
+}
+
+impl ValueDist {
+    #[inline]
+    pub fn sample(self, rng: &mut SplitMix64) -> f64 {
+        match self {
+            ValueDist::Uniform01 => rng.unit_f64(),
+            ValueDist::Uniform12 => 1.0 + rng.unit_f64(),
+            // Inverse CDF; 1 - u in (0, 1] avoids ln(0).
+            ValueDist::Exp1 => -(-rng.unit_f64()).ln_1p(),
+            ValueDist::Signed => 2.0 * rng.unit_f64() - 1.0,
+        }
+    }
+}
+
+/// A generated GROUPBY workload.
+pub struct GroupedPairs {
+    pub keys: Vec<u32>,
+    pub values: Vec<f64>,
+    /// The key-domain size the keys were drawn from (actual distinct count
+    /// can be lower for sparse draws).
+    pub key_domain: u32,
+}
+
+impl GroupedPairs {
+    /// Generates `n` pairs with keys uniform in `[0, key_domain)` and
+    /// values from `dist`, deterministically from `seed`.
+    pub fn generate(n: usize, key_domain: u32, dist: ValueDist, seed: u64) -> Self {
+        assert!(key_domain > 0);
+        let mut rng = SplitMix64::new(seed ^ 0xC0FF_EE00_D15E_A5E5);
+        let keys: Vec<u32> = (0..n).map(|_| rng.below(key_domain as u64) as u32).collect();
+        let values: Vec<f64> = (0..n).map(|_| dist.sample(&mut rng)).collect();
+        GroupedPairs {
+            keys,
+            values,
+            key_domain,
+        }
+    }
+
+    /// `f32` copy of the values (for single-precision experiments; the
+    /// conversion is value-rounding but deterministic).
+    pub fn values_f32(&self) -> Vec<f32> {
+        self.values.iter().map(|&v| v as f32).collect()
+    }
+
+    /// Returns a deterministic permutation of this workload (same multiset
+    /// of pairs, different physical order) — the paper's data-independence
+    /// scenario.
+    pub fn permuted(&self, seed: u64) -> Self {
+        let mut idx: Vec<u32> = (0..self.keys.len() as u32).collect();
+        SplitMix64::new(seed ^ 0x5EED_5EED_5EED_5EED).shuffle(&mut idx);
+        GroupedPairs {
+            keys: idx.iter().map(|&i| self.keys[i as usize]).collect(),
+            values: idx.iter().map(|&i| self.values[i as usize]).collect(),
+            key_domain: self.key_domain,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+}
+
+/// Generates just values (aggregation without grouping, §III experiments).
+pub fn values_only(n: usize, dist: ValueDist, seed: u64) -> Vec<f64> {
+    let mut rng = SplitMix64::new(seed ^ 0x7A1E_5000_0000_0001);
+    (0..n).map(|_| dist.sample(&mut rng)).collect()
+}
+
+/// A pre-tabulated Zipf(s) sampler over `[0, domain)`.
+///
+/// The paper's evaluation uses uniform keys and notes that "known
+/// techniques to handle data skew are orthogonal to the topic of this
+/// paper"; this sampler exists so the test suite can verify that
+/// *reproducibility* (unlike load balance) is unaffected by skew.
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds the sampler (`O(domain)` memory; intended for test/bench
+    /// domains up to a few million keys).
+    pub fn new(domain: u32, exponent: f64) -> Self {
+        assert!(domain > 0 && exponent >= 0.0);
+        let mut cdf = Vec::with_capacity(domain as usize);
+        let mut total = 0.0f64;
+        for k in 0..domain {
+            total += 1.0 / ((k + 1) as f64).powf(exponent);
+            cdf.push(total);
+        }
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Draws one key.
+    pub fn sample(&self, rng: &mut SplitMix64) -> u32 {
+        let u = rng.unit_f64();
+        self.cdf.partition_point(|&c| c < u) as u32
+    }
+}
+
+/// Generates a skewed GROUPBY workload with Zipf-distributed keys.
+pub fn zipf_pairs(
+    n: usize,
+    key_domain: u32,
+    exponent: f64,
+    dist: ValueDist,
+    seed: u64,
+) -> GroupedPairs {
+    let zipf = Zipf::new(key_domain, exponent);
+    let mut rng = SplitMix64::new(seed ^ 0x21BF_5EED_0000_0003);
+    let keys: Vec<u32> = (0..n).map(|_| zipf.sample(&mut rng)).collect();
+    let values: Vec<f64> = (0..n).map(|_| dist.sample(&mut rng)).collect();
+    GroupedPairs {
+        keys,
+        values,
+        key_domain,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keys_cover_domain() {
+        let w = GroupedPairs::generate(10_000, 16, ValueDist::Uniform01, 1);
+        let mut seen = [false; 16];
+        for &k in &w.keys {
+            assert!(k < 16);
+            seen[k as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn deterministic_by_seed() {
+        let a = GroupedPairs::generate(1000, 100, ValueDist::Exp1, 7);
+        let b = GroupedPairs::generate(1000, 100, ValueDist::Exp1, 7);
+        assert_eq!(a.keys, b.keys);
+        assert_eq!(a.values, b.values);
+        let c = GroupedPairs::generate(1000, 100, ValueDist::Exp1, 8);
+        assert_ne!(a.values, c.values);
+    }
+
+    #[test]
+    fn distributions_have_expected_ranges() {
+        let mut rng = SplitMix64::new(11);
+        for _ in 0..10_000 {
+            let u12 = ValueDist::Uniform12.sample(&mut rng);
+            assert!((1.0..2.0).contains(&u12));
+            let e = ValueDist::Exp1.sample(&mut rng);
+            assert!(e >= 0.0 && e.is_finite());
+            let s = ValueDist::Signed.sample(&mut rng);
+            assert!((-1.0..1.0).contains(&s));
+        }
+    }
+
+    #[test]
+    fn exp1_mean_is_one() {
+        let mut rng = SplitMix64::new(13);
+        let n = 200_000;
+        let mean: f64 = (0..n).map(|_| ValueDist::Exp1.sample(&mut rng)).sum::<f64>() / n as f64;
+        assert!((mean - 1.0).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn zipf_is_skewed_and_deterministic() {
+        let w = zipf_pairs(50_000, 1000, 1.0, ValueDist::Uniform01, 5);
+        let w2 = zipf_pairs(50_000, 1000, 1.0, ValueDist::Uniform01, 5);
+        assert_eq!(w.keys, w2.keys);
+        // Key 0 should dominate: expected share ~1/H(1000) ≈ 13%.
+        let head = w.keys.iter().filter(|&&k| k == 0).count() as f64 / 50_000.0;
+        assert!(head > 0.08, "head share {head}");
+        // The tail is still populated.
+        let distinct: std::collections::HashSet<u32> = w.keys.iter().copied().collect();
+        assert!(distinct.len() > 400, "distinct {}", distinct.len());
+    }
+
+    #[test]
+    fn zipf_zero_exponent_is_uniform() {
+        let w = zipf_pairs(100_000, 16, 0.0, ValueDist::Uniform01, 6);
+        let mut counts = [0usize; 16];
+        for &k in &w.keys {
+            counts[k as usize] += 1;
+        }
+        let (min, max) = (counts.iter().min().unwrap(), counts.iter().max().unwrap());
+        assert!((*max as f64) < 1.25 * *min as f64, "min {min} max {max}");
+    }
+
+    #[test]
+    fn permutation_preserves_multiset() {
+        let w = GroupedPairs::generate(5000, 64, ValueDist::Signed, 3);
+        let p = w.permuted(99);
+        let mut a: Vec<(u32, u64)> = w
+            .keys
+            .iter()
+            .zip(w.values.iter())
+            .map(|(&k, &v)| (k, v.to_bits()))
+            .collect();
+        let mut b: Vec<(u32, u64)> = p
+            .keys
+            .iter()
+            .zip(p.values.iter())
+            .map(|(&k, &v)| (k, v.to_bits()))
+            .collect();
+        assert_ne!(a, b, "order should change");
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b, "content should not");
+    }
+}

@@ -1,0 +1,91 @@
+//! Distributed reproducible aggregation: shard → serialize → ship → merge.
+//!
+//! RSUM comes from the MPI world (local sums reduced with `MPI_Reduce`,
+//! paper §III-D). This example simulates a scatter/gather deployment:
+//! worker threads sum disjoint shards, serialize their accumulator *state*
+//! (not the rounded value!) with the wire format, and a coordinator merges
+//! the states. Because merging is exact and associative, the final bits
+//! are identical for any shard count, shard assignment, arrival order, or
+//! reduction-tree shape.
+//!
+//! Run with: `cargo run --release --example distributed_sum`
+
+use rfa::core::wire::WireError;
+use rfa::prelude::*;
+use rfa::workloads::SplitMix64;
+use std::thread;
+
+const N: usize = 1_000_000;
+
+fn generate() -> Vec<f64> {
+    let mut rng = SplitMix64::new(0xD157);
+    (0..N)
+        .map(|_| (rng.unit_f64() - 0.5) * 10f64.powi((rng.below(12) as i32) - 6))
+        .collect()
+}
+
+/// One "node": sums a shard, returns the serialized accumulator state.
+fn worker(shard: &[f64]) -> Vec<u8> {
+    let mut acc: ReproSum<f64, 3> = ReproSum::new();
+    rfa::core::simd::add_slice(&mut acc, shard);
+    acc.to_bytes() // 56 bytes over the wire, regardless of shard size
+}
+
+fn gather(states: &[Vec<u8>]) -> Result<f64, WireError> {
+    let mut total: ReproSum<f64, 3> = ReproSum::new();
+    for bytes in states {
+        total.merge(&ReproSum::from_bytes(bytes)?);
+    }
+    Ok(total.finalize())
+}
+
+fn main() {
+    let data = generate();
+    println!("summing {N} mixed-magnitude values across simulated clusters\n");
+
+    let mut results = Vec::new();
+    for workers in [1usize, 2, 3, 5, 8, 13] {
+        let chunk = N.div_ceil(workers);
+        let states: Vec<Vec<u8>> = thread::scope(|scope| {
+            let handles: Vec<_> = data
+                .chunks(chunk)
+                .map(|shard| scope.spawn(move || worker(shard)))
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("worker")).collect()
+        });
+        let bytes: usize = states.iter().map(|s| s.len()).sum();
+        let total = gather(&states).expect("valid states");
+        println!(
+            "{workers:>2} workers -> {:>3} wire bytes, total = {total:.17}",
+            bytes
+        );
+        results.push(total);
+    }
+
+    // Every topology produced identical bits.
+    for r in &results[1..] {
+        assert_eq!(results[0].to_bits(), r.to_bits());
+    }
+    println!("\nall shard counts produced bit-identical totals ✓");
+
+    // Compare with the naive approach of shipping rounded partial sums.
+    let naive: Vec<f64> = vec![
+        data[..N / 2].iter().sum::<f64>() + data[N / 2..].iter().sum::<f64>(),
+        data[..N / 3].iter().sum::<f64>()
+            + data[N / 3..2 * N / 3].iter().sum::<f64>()
+            + data[2 * N / 3..].iter().sum::<f64>(),
+    ];
+    println!(
+        "naive rounded partial sums, 2 vs 3 shards: {} vs {} (bits {})",
+        naive[0],
+        naive[1],
+        if naive[0].to_bits() == naive[1].to_bits() {
+            "EQUAL (lucky)"
+        } else {
+            "DIFFER — the usual outcome"
+        }
+    );
+    let exact = exact_sum_f64(&data);
+    println!("\nexact sum     : {exact:.17}");
+    println!("repro L3 sum  : {:.17} (err {:.2e})", results[0], (results[0] - exact).abs());
+}

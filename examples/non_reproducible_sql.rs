@@ -1,0 +1,63 @@
+//! The paper's Algorithm 1, reproduced end-to-end on the mini engine:
+//! an UPDATE of an *unrelated* column physically reorders rows (MVCC) and
+//! silently changes the result of `SELECT SUM(f) FROM R` — unless the
+//! aggregation uses the reproducible SUM operator.
+//!
+//! Run with: `cargo run --release --example non_reproducible_sql`
+
+use rfa::engine::{sum_grouped, Column, SumBackend, Table};
+
+fn select_sum(table: &Table, backend: SumBackend) -> f64 {
+    let f = table.column("f").expect("column f");
+    let group_ids = vec![0u32; f.len()]; // un-grouped SUM = one group
+    sum_grouped(backend, &group_ids, f.as_f64(), 1).expect("no overflow")[0]
+}
+
+fn main() {
+    // CREATE TABLE R (i int, f float);
+    // INSERT INTO R VALUES (1, 2.5e-16), (2, 0.999999999999999), (3, 2.5e-16);
+    let mut r = Table::new("R");
+    r.add_column("i", Column::I32(vec![1, 2, 3])).unwrap();
+    r.add_column(
+        "f",
+        Column::F64(vec![2.5e-16, 0.999_999_999_999_999, 2.5e-16]),
+    )
+    .unwrap();
+
+    // SELECT SUM(f) FROM R;
+    let before_plain = select_sum(&r, SumBackend::Double);
+    let before_repro = select_sum(&r, SumBackend::ReproUnbuffered);
+    println!("SELECT SUM(f)          -- plain double: {before_plain:.15}");
+    println!("SELECT SUM(f)          -- repro<d,4> : {before_repro:.15}");
+
+    // UPDATE R SET i = i + 1 WHERE i = 2;
+    // 'f' is unchanged, but rows are physically reordered (MVCC: the old
+    // version is masked, the new version appended).
+    r.mvcc_update_i32("i", |i| i == 2, |i| i + 1).unwrap();
+    println!("\nUPDATE R SET i = i + 1 WHERE i = 2;  -- f untouched, rows reordered\n");
+
+    let after_plain = select_sum(&r, SumBackend::Double);
+    let after_repro = select_sum(&r, SumBackend::ReproUnbuffered);
+    println!("SELECT SUM(f)          -- plain double: {after_plain:.15}");
+    println!("SELECT SUM(f)          -- repro<d,4> : {after_repro:.15}");
+
+    println!();
+    if before_plain.to_bits() != after_plain.to_bits() {
+        println!(
+            "plain double SUM changed: {before_plain:.17} -> {after_plain:.17}  (data independence violated!)"
+        );
+    }
+    assert_ne!(before_plain.to_bits(), after_plain.to_bits());
+    assert_eq!(before_repro.to_bits(), after_repro.to_bits());
+    println!("reproducible SUM unchanged: {before_repro:.17}  ✓");
+
+    // With a HAVING SUM(f) >= 1 clause this row would flicker in and out
+    // of the result set across runs — the paper's misclassification risk.
+    let threshold = 1.0;
+    println!(
+        "\nHAVING SUM(f) >= 1: plain says {} before vs {} after; repro is stable at {}",
+        before_plain >= threshold,
+        after_plain >= threshold,
+        before_repro >= threshold,
+    );
+}

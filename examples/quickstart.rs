@@ -1,0 +1,71 @@
+//! Quickstart: reproducible floating-point SUM and GROUPBY in 60 lines.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use rfa::prelude::*;
+
+fn main() {
+    // ------------------------------------------------------------------
+    // 1. Floating-point addition is not associative.
+    // ------------------------------------------------------------------
+    let data = [2.5e-16, 0.999_999_999_999_999, 2.5e-16];
+    let physical_order_a: f64 = data.iter().sum(); // small, big, small
+    let physical_order_b: f64 = [data[0], data[2], data[1]].iter().sum();
+    println!("plain sum, order A: {physical_order_a:.17}");
+    println!("plain sum, order B: {physical_order_b:.17}");
+    assert_ne!(physical_order_a.to_bits(), physical_order_b.to_bits());
+
+    // ------------------------------------------------------------------
+    // 2. ReproSum is associative: same bits for any order.
+    // ------------------------------------------------------------------
+    let r1 = reproducible_sum::<f64, 2>(&data);
+    let r2 = reproducible_sum::<f64, 2>(&[data[0], data[2], data[1]]);
+    println!("repro sum, any order: {r1:.17}");
+    assert_eq!(r1.to_bits(), r2.to_bits());
+
+    // ------------------------------------------------------------------
+    // 3. Accumulators merge exactly — parallel schedules are safe.
+    // ------------------------------------------------------------------
+    let values: Vec<f64> = (0..100_000).map(|i| (i as f64).sin()).collect();
+    let mut whole: ReproSum<f64, 3> = ReproSum::new();
+    whole.add_all(&values);
+    let mut left: ReproSum<f64, 3> = ReproSum::new();
+    let mut right: ReproSum<f64, 3> = ReproSum::new();
+    left.add_all(&values[..33_333]);
+    right.add_all(&values[33_333..]);
+    left.merge(&right);
+    assert_eq!(whole.value().to_bits(), left.value().to_bits());
+    println!("sequential == merged: {} (bit-exact)", whole.value());
+
+    // ------------------------------------------------------------------
+    // 4. Reproducible GROUPBY with the full operator stack.
+    // ------------------------------------------------------------------
+    let keys: Vec<u32> = (0..100_000u32).map(|i| i % 100).collect();
+    let f = BufferedReproAgg::<f64, 2>::new(256);
+    let cfg = GroupByConfig {
+        depth: 1, // one radix-partitioning pass, fan-out 256
+        groups_hint: 100,
+        ..Default::default()
+    };
+    let out = partition_and_aggregate(&f, &keys, &values, &cfg);
+    println!("groupby produced {} groups; group 0 sum = {}", out.len(), out[0].1);
+
+    // Any permutation, any thread count, any partitioning: same bits.
+    let rev_keys: Vec<u32> = keys.iter().rev().copied().collect();
+    let rev_vals: Vec<f64> = values.iter().rev().copied().collect();
+    let out2 = partition_and_aggregate(&f, &rev_keys, &rev_vals, &cfg);
+    for (a, b) in out.iter().zip(out2.iter()) {
+        assert_eq!(a.1.to_bits(), b.1.to_bits());
+    }
+    println!("reversed input produced bit-identical group sums ✓");
+
+    // ------------------------------------------------------------------
+    // 5. Accuracy: compare against the exact oracle.
+    // ------------------------------------------------------------------
+    let exact = exact_sum_f64(&values);
+    let repro = reproducible_sum::<f64, 3>(&values);
+    let plain: f64 = values.iter().sum();
+    println!("exact   : {exact:.17}");
+    println!("repro L3: {repro:.17} (err {:.3e})", (repro - exact).abs());
+    println!("plain   : {plain:.17} (err {:.3e})", (plain - exact).abs());
+}

@@ -1,0 +1,63 @@
+//! # rfa — Reproducible Floating-Point Aggregation
+//!
+//! Facade crate re-exporting the whole workspace, a from-scratch Rust
+//! reproduction of
+//!
+//! > I. Müller, A. Arteaga, T. Hoefler, G. Alonso:
+//! > *"Reproducible Floating-Point Aggregation in RDBMSs"*, ICDE 2018
+//! > (extended version: arXiv:1802.09883).
+//!
+//! See `README.md` for a tour, `DESIGN.md` for the system inventory, and
+//! `EXPERIMENTS.md` for the paper-vs-measured record of every table and
+//! figure.
+//!
+//! * [`core`] — reproducible summation: `ReproSum<T, L>`
+//!   accumulators, vectorized kernel, summation buffers, tuning model and
+//!   error bounds.
+//! * [`agg`] — GROUPBY operators: hash aggregation, radix
+//!   partitioning, PARTITIONANDAGGREGATE, sort aggregation.
+//! * [`decimal`] — DECIMAL(9/18/38) fixed-point baselines.
+//! * [`exact`] — Kulisch superaccumulator ground-truth oracle.
+//! * [`engine`] — columnar mini-engine with a reproducible SUM
+//!   operator and TPC-H Q1.
+//! * [`workloads`] — deterministic data generators
+//!   (grouped pairs, distributions, TPC-H lineitem, graphs, PageRank).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use rfa::prelude::*;
+//!
+//! // A reproducible GROUPBY SUM over float data:
+//! let keys = vec![0u32, 1, 0, 1];
+//! let vals = vec![0.1f64, 2.5e-16, 0.2, 1.0];
+//! let out = partition_and_aggregate(
+//!     &ReproAgg::<f64, 2>::new(),
+//!     &keys,
+//!     &vals,
+//!     &GroupByConfig::default(),
+//! );
+//! assert_eq!(out.len(), 2);
+//! ```
+
+pub use rfa_agg as agg;
+pub use rfa_core as core;
+pub use rfa_decimal as decimal;
+pub use rfa_engine as engine;
+pub use rfa_exact as exact;
+pub use rfa_workloads as workloads;
+
+/// Commonly used items in one import.
+pub mod prelude {
+    pub use rfa_agg::{
+        adaptive_aggregate, hash_aggregate, partition_and_aggregate, shared_aggregate,
+        sort_aggregate, AdaptiveConfig, AggFn, BufferedReproAgg, GroupByConfig, HashKind,
+        Moments, MomentsAgg, ReproAgg, SharedAggConfig, SumAgg,
+    };
+    pub use rfa_core::{
+        reproducible_dot, reproducible_norm_sq, reproducible_sum, CacheModel, ReproDot,
+        ReproFloat, ReproSum, SummationBuffer,
+    };
+    pub use rfa_decimal::{Decimal18, Decimal38, Decimal9};
+    pub use rfa_exact::{exact_sum_f32, exact_sum_f64, ExactSum};
+}

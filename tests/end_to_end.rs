@@ -1,0 +1,261 @@
+//! Cross-crate integration tests: the full stack — workload generators,
+//! operators, engine, core accumulators, exact oracle — wired together the
+//! way a deployment would use it.
+
+use rfa::prelude::*;
+use rfa::engine::{run_q1, SumBackend};
+use rfa::workloads::{GroupedPairs, Lineitem, SplitMix64, ValueDist};
+
+/// The paper's data-independence requirement, end to end: physically
+/// permuting the stored data must not change any reproducible group sum,
+/// across every operator and configuration.
+#[test]
+fn groupby_is_reproducible_across_physical_orders_and_configs() {
+    let w = GroupedPairs::generate(60_000, 500, ValueDist::Exp1, 99);
+    let p = w.permuted(12345);
+
+    let f = BufferedReproAgg::<f64, 2>::new(128);
+    let mut reference: Option<Vec<(u32, f64)>> = None;
+    for (keys, values) in [(&w.keys, &w.values), (&p.keys, &p.values)] {
+        for depth in 0..=2u32 {
+            for threads in [1usize, 2, 3] {
+                let cfg = GroupByConfig {
+                    depth,
+                    threads,
+                    groups_hint: 500,
+                    ..Default::default()
+                };
+                let out = partition_and_aggregate(&f, keys, values, &cfg);
+                match &reference {
+                    None => reference = Some(out),
+                    Some(r) => {
+                        assert_eq!(r.len(), out.len());
+                        for (a, b) in r.iter().zip(out.iter()) {
+                            assert_eq!(a.0, b.0);
+                            assert_eq!(
+                                a.1.to_bits(),
+                                b.1.to_bits(),
+                                "depth {depth} threads {threads} group {}",
+                                a.0
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Plain float aggregation really is order-sensitive on this workload
+/// (otherwise the reproducibility tests above prove nothing).
+#[test]
+fn plain_float_aggregation_is_order_sensitive() {
+    let w = GroupedPairs::generate(60_000, 16, ValueDist::Exp1, 7);
+    let p = w.permuted(999);
+    let f = SumAgg::<f64>::new();
+    let cfg = GroupByConfig { groups_hint: 16, threads: 1, ..Default::default() };
+    let a = partition_and_aggregate(&f, &w.keys, &w.values, &cfg);
+    let b = partition_and_aggregate(&f, &p.keys, &p.values, &cfg);
+    let diffs = a
+        .iter()
+        .zip(b.iter())
+        .filter(|(x, y)| x.1.to_bits() != y.1.to_bits())
+        .count();
+    assert!(diffs > 0, "expected at least one group to differ in the last bit");
+}
+
+/// Reproducible sums agree with the exact oracle within Eq. 6 and beat
+/// plain summation accuracy on mixed-magnitude data.
+#[test]
+fn accuracy_against_oracle_end_to_end() {
+    let mut rng = SplitMix64::new(1);
+    let values: Vec<f64> = (0..100_000)
+        .map(|i| {
+            let scale = 10f64.powi(i % 13 - 6);
+            (rng.unit_f64() - 0.5) * scale
+        })
+        .collect();
+    let exact = exact_sum_f64(&values);
+    let plain: f64 = values.iter().sum();
+    let repro3 = reproducible_sum::<f64, 3>(&values);
+    let e_plain = (plain - exact).abs();
+    let e_repro = (repro3 - exact).abs();
+    assert!(
+        e_repro <= e_plain.max(f64::EPSILON * exact.abs()),
+        "repro L3 err {e_repro:e} vs plain err {e_plain:e}"
+    );
+}
+
+/// The engine's Q1 is bit-stable across backends that claim reproducibility
+/// and across table reorderings; the sorted baseline agrees with the repro
+/// backends to within conventional float error.
+#[test]
+fn tpch_q1_cross_backend_consistency() {
+    let t = Lineitem::generate(50_000, 3);
+    let (unbuf, _) = run_q1(&t, SumBackend::ReproUnbuffered).unwrap();
+    let (buf, _) = run_q1(&t, SumBackend::ReproBuffered { buffer_size: 256 }).unwrap();
+    let (sorted, _) = run_q1(&t, SumBackend::SortedDouble).unwrap();
+    let (plain, _) = run_q1(&t, SumBackend::Double).unwrap();
+    assert_eq!(unbuf.len(), 4);
+    for (((u, b), s), d) in unbuf.iter().zip(&buf).zip(&sorted).zip(&plain) {
+        // Repro unbuffered == repro buffered, bitwise.
+        assert_eq!(u.sum_disc_price.to_bits(), b.sum_disc_price.to_bits());
+        assert_eq!(u.sum_charge.to_bits(), b.sum_charge.to_bits());
+        // All four agree numerically to float accuracy.
+        for (x, y) in [
+            (u.sum_qty, s.sum_qty),
+            (u.sum_charge, s.sum_charge),
+            (u.sum_charge, d.sum_charge),
+        ] {
+            assert!((x - y).abs() <= 1e-9 * x.abs().max(1.0));
+        }
+        assert_eq!(u.count, d.count);
+    }
+}
+
+/// GROUPBY over every aggregate data type produces the same group *keys*
+/// and consistent values (the paper's comparison grid in one test).
+#[test]
+fn every_data_type_runs_the_same_operator() {
+    let w = GroupedPairs::generate(20_000, 50, ValueDist::Uniform01, 17);
+    let v32 = w.values_f32();
+    let d9: Vec<Decimal9<4>> = w
+        .values
+        .iter()
+        .map(|&v| Decimal9::from_raw((v * 1e4) as i32))
+        .collect();
+    let cfg = GroupByConfig { depth: 1, groups_hint: 50, ..Default::default() };
+
+    let f64_out = partition_and_aggregate(&SumAgg::<f64>::new(), &w.keys, &w.values, &cfg);
+    let f32_out = partition_and_aggregate(&SumAgg::<f32>::new(), &w.keys, &v32, &cfg);
+    let dec_out = partition_and_aggregate(&SumAgg::<Decimal9<4>>::new(), &w.keys, &d9, &cfg);
+    let rep_out = partition_and_aggregate(&ReproAgg::<f64, 2>::new(), &w.keys, &w.values, &cfg);
+    let buf_out =
+        partition_and_aggregate(&BufferedReproAgg::<f32, 2>::new(64), &w.keys, &v32, &cfg);
+
+    let keys: Vec<u32> = f64_out.iter().map(|&(k, _)| k).collect();
+    assert_eq!(keys, f32_out.iter().map(|&(k, _)| k).collect::<Vec<_>>());
+    assert_eq!(keys, dec_out.iter().map(|&(k, _)| k).collect::<Vec<_>>());
+    assert_eq!(keys, rep_out.iter().map(|&(k, _)| k).collect::<Vec<_>>());
+    assert_eq!(keys, buf_out.iter().map(|&(k, _)| k).collect::<Vec<_>>());
+
+    for i in 0..keys.len() {
+        let f = f64_out[i].1;
+        assert!((f32_out[i].1 as f64 - f).abs() < 1e-2 * f.abs().max(1.0));
+        assert!((dec_out[i].1.to_f64() - f).abs() < 1e-2 * f.abs().max(1.0));
+        assert!((rep_out[i].1 - f).abs() < 1e-6 * f.abs().max(1.0));
+    }
+}
+
+/// Merging partial aggregations from "different machines" (serialization
+/// boundary simulated by cloning state) stays exact.
+#[test]
+fn distributed_style_merge() {
+    let w = GroupedPairs::generate(30_000, 1, ValueDist::Signed, 5);
+    // Shard across 7 "nodes", each summing locally.
+    let shards: Vec<ReproSum<f64, 2>> = w
+        .values
+        .chunks(w.values.len() / 7 + 1)
+        .map(|chunk| {
+            let mut acc = ReproSum::new();
+            rfa::core::simd::add_slice(&mut acc, chunk);
+            acc
+        })
+        .collect();
+    // Reduce in two different tree shapes.
+    let mut linear = ReproSum::<f64, 2>::new();
+    for s in &shards {
+        linear.merge(s);
+    }
+    let mut pairwise = shards.clone();
+    while pairwise.len() > 1 {
+        let mut next = Vec::new();
+        for pair in pairwise.chunks(2) {
+            let mut m = pair[0].clone();
+            if let Some(b) = pair.get(1) {
+                m.merge(b);
+            }
+            next.push(m);
+        }
+        pairwise = next;
+    }
+    assert_eq!(
+        linear.value().to_bits(),
+        pairwise[0].value().to_bits(),
+        "reduction tree shape must not matter"
+    );
+}
+
+/// Failure injection: specials and domain-edge values flow through the
+/// whole stack deterministically.
+#[test]
+fn special_values_through_the_stack() {
+    let keys = vec![0u32, 0, 1, 1, 2, 2];
+    let values = vec![1.0, f64::NAN, f64::INFINITY, 1.0, 1e302, 1e302];
+    let f = ReproAgg::<f64, 2>::new();
+    let out = hash_aggregate(&f, &keys, &values, HashKind::Identity, 3);
+    assert!(out[0].1.is_nan());
+    assert_eq!(out[1].1, f64::INFINITY);
+    assert_eq!(out[2].1, 2e302);
+    // Same through the buffered and partitioned paths.
+    let cfg = GroupByConfig { depth: 1, groups_hint: 3, ..Default::default() };
+    let out2 = partition_and_aggregate(&BufferedReproAgg::<f64, 2>::new(16), &keys, &values, &cfg);
+    assert!(out2[0].1.is_nan());
+    assert_eq!(out2[1].1, f64::INFINITY);
+    assert_eq!(out2[2].1, 2e302);
+}
+
+/// TPC-H Q1's five aggregates validated per group against the exact
+/// oracle (recomputing the expressions independently of the engine).
+#[test]
+fn tpch_q1_aggregates_match_oracle() {
+    use rfa::workloads::tpch::Q1_SHIPDATE_CUTOFF;
+    let t = Lineitem::generate(30_000, 9);
+    let (rows, _) = run_q1(&t, SumBackend::ReproBuffered { buffer_size: 128 }).unwrap();
+    for row in &rows {
+        let mut qty = ExactSum::new();
+        let mut price = ExactSum::new();
+        let mut disc_price = ExactSum::new();
+        let mut charge = ExactSum::new();
+        let mut count = 0u64;
+        for i in 0..t.len() {
+            if t.shipdate[i] > Q1_SHIPDATE_CUTOFF {
+                continue;
+            }
+            let (rf, ls) = Lineitem::decode_group(t.q1_group(i));
+            if (rf, ls) != (row.returnflag, row.linestatus) {
+                continue;
+            }
+            count += 1;
+            qty.add(t.quantity[i]);
+            price.add(t.extendedprice[i]);
+            // Recompute the expressions exactly as the engine rounds them
+            // per row (whole-expression evaluation is deterministic), then
+            // sum exactly.
+            let dp = t.extendedprice[i] * (1.0 - t.discount[i]);
+            disc_price.add(dp);
+            charge.add(dp * (1.0 + t.tax[i]));
+        }
+        assert_eq!(row.count, count);
+        assert_eq!(row.sum_qty, qty.round_f64()); // integral quantities: exact
+        let close = |a: f64, b: f64| (a - b).abs() <= 1e-9 * b.abs().max(1.0);
+        assert!(close(row.sum_base_price, price.round_f64()));
+        assert!(close(row.sum_disc_price, disc_price.round_f64()));
+        assert!(close(row.sum_charge, charge.round_f64()));
+    }
+}
+
+/// Empty and degenerate inputs.
+#[test]
+fn degenerate_inputs() {
+    let f = ReproAgg::<f64, 2>::new();
+    let cfg = GroupByConfig::default();
+    assert!(partition_and_aggregate(&f, &[], &[], &cfg).is_empty());
+    let one = partition_and_aggregate(&f, &[7], &[1.25], &cfg);
+    assert_eq!(one, vec![(7, 1.25)]);
+    // All rows in one group, value zero.
+    let keys = vec![3u32; 1000];
+    let values = vec![0.0f64; 1000];
+    let out = partition_and_aggregate(&f, &keys, &values, &cfg);
+    assert_eq!(out, vec![(3, 0.0)]);
+}

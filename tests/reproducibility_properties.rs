@@ -1,0 +1,104 @@
+//! Workspace-level property tests: randomized cross-crate invariants that
+//! tie the operator stack to the exact oracle and to the paper's
+//! reproducibility definition (§II-A: "the aggregate of each group has
+//! exactly the same bit pattern for any execution").
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use rfa::prelude::*;
+
+fn rows() -> impl Strategy<Value = Vec<(u32, f64)>> {
+    vec(
+        (
+            0u32..64,
+            prop_oneof![
+                4 => -1.0e9..1.0e9f64,
+                1 => (-1.0..1.0f64).prop_map(|v| v * 1e-200),
+                1 => (-1.0..1.0f64).prop_map(|v| v * 1e200),
+                1 => Just(0.0),
+            ],
+        ),
+        0..300,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Any execution = any (algorithm, depth, hash, physical order): all
+    /// produce identical bits per group.
+    #[test]
+    fn any_execution_same_bits(kv in rows(), seed in any::<u64>()) {
+        let (keys, values): (Vec<u32>, Vec<f64>) = kv.iter().copied().unzip();
+        // Reference: sort-based execution.
+        let f = ReproAgg::<f64, 2>::new();
+        let reference = sort_aggregate(&f, &keys, &values);
+
+        // Permuted physical order.
+        let mut perm: Vec<usize> = (0..kv.len()).collect();
+        let mut s = seed | 1;
+        for i in (1..perm.len()).rev() {
+            s = s.wrapping_mul(0x5851_F42D_4C95_7F2D).wrapping_add(0x14057B7EF767814F);
+            perm.swap(i, (s >> 33) as usize % (i + 1));
+        }
+        let pkeys: Vec<u32> = perm.iter().map(|&i| keys[i]).collect();
+        let pvalues: Vec<f64> = perm.iter().map(|&i| values[i]).collect();
+
+        for depth in 0..=1u32 {
+            for hash in [HashKind::Identity, HashKind::Multiplicative] {
+                let cfg = GroupByConfig { depth, hash, groups_hint: 64, ..Default::default() };
+                let out = partition_and_aggregate(&f, &pkeys, &pvalues, &cfg);
+                prop_assert_eq!(reference.len(), out.len());
+                for (a, b) in reference.iter().zip(out.iter()) {
+                    prop_assert_eq!(a.0, b.0);
+                    prop_assert_eq!(a.1.to_bits(), b.1.to_bits());
+                }
+            }
+        }
+    }
+
+    /// The reproducible result never loses to plain summation against the
+    /// exact oracle by more than the final-rounding ulp.
+    #[test]
+    fn repro_l3_at_least_as_accurate_as_plain(kv in rows()) {
+        let (keys, values): (Vec<u32>, Vec<f64>) = kv.iter().copied().unzip();
+        let repro = hash_aggregate(
+            &ReproAgg::<f64, 3>::new(), &keys, &values, HashKind::Identity, 64);
+        let plain = hash_aggregate(
+            &SumAgg::<f64>::new(), &keys, &values, HashKind::Identity, 64);
+        for (&(k, r), &(_, p)) in repro.iter().zip(plain.iter()) {
+            let group: Vec<f64> = keys.iter().zip(values.iter())
+                .filter(|(&kk, _)| kk == k).map(|(_, &v)| v).collect();
+            let exact = exact_sum_f64(&group);
+            let er = (r - exact).abs();
+            let ep = (p - exact).abs();
+            prop_assert!(
+                er <= ep + f64::EPSILON * exact.abs(),
+                "group {k}: repro err {er:e} vs plain err {ep:e}"
+            );
+        }
+    }
+
+    /// DECIMAL and reproducible floats agree on data that is exactly
+    /// representable in both (the regime where the paper says DECIMAL is a
+    /// legitimate alternative).
+    #[test]
+    fn decimal_and_repro_agree_on_exact_data(
+        kv in vec((0u32..16, -100_000i32..100_000), 0..300),
+    ) {
+        let keys: Vec<u32> = kv.iter().map(|&(k, _)| k).collect();
+        // Cent amounts: exactly representable as Decimal<2> and as f64.
+        let dec: Vec<Decimal9<2>> = kv.iter().map(|&(_, c)| Decimal9::from_raw(c)).collect();
+        let flt: Vec<f64> = kv.iter().map(|&(_, c)| c as f64 / 100.0).collect();
+        let a = hash_aggregate(&SumAgg::<Decimal9<2>>::new(), &keys, &dec, HashKind::Identity, 16);
+        let b = hash_aggregate(&ReproAgg::<f64, 3>::new(), &keys, &flt, HashKind::Identity, 16);
+        for (&(k, d), &(_, f)) in a.iter().zip(b.iter()) {
+            // The decimal sum is exact; repro must match it to the last
+            // bit after rounding to 2 decimals.
+            prop_assert!(
+                (d.to_f64() - f).abs() < 5e-3,
+                "group {k}: decimal {d} vs repro {f}"
+            );
+        }
+    }
+}
