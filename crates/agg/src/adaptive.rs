@@ -87,11 +87,7 @@ fn recurse<F>(
     // Start small and let the table grow toward the threshold: slots are
     // initialized with state clones (summation buffers are not free), so
     // pre-sizing to the threshold would dominate small inputs.
-    let mut table = AggHashTable::with_capacity(
-        cfg.threshold.clamp(8, 256),
-        cfg.hash,
-        &template,
-    );
+    let mut table = AggHashTable::with_capacity(cfg.threshold.clamp(8, 256), cfg.hash, &template);
     for (k, s) in carry_in {
         f.merge(table.slot_mut(k, &template), s);
     }
@@ -174,7 +170,10 @@ mod tests {
     fn small_inputs_never_partition() {
         let (keys, values) = workload(5_000, 64);
         let f = ReproAgg::<f64, 2>::new();
-        let cfg = AdaptiveConfig { threshold: 1024, ..Default::default() };
+        let cfg = AdaptiveConfig {
+            threshold: 1024,
+            ..Default::default()
+        };
         let out = adaptive_aggregate(&f, &keys, &values, &cfg);
         let reference = hash_aggregate(&f, &keys, &values, HashKind::Identity, 64);
         assert_bit_equal(&reference, &out);
@@ -185,7 +184,10 @@ mod tests {
         // Tiny threshold forces the adaptive mechanism to trip mid-input.
         let (keys, values) = workload(50_000, 4096);
         let f = ReproAgg::<f64, 2>::new();
-        let cfg = AdaptiveConfig { threshold: 256, ..Default::default() };
+        let cfg = AdaptiveConfig {
+            threshold: 256,
+            ..Default::default()
+        };
         let adaptive = adaptive_aggregate(&f, &keys, &values, &cfg);
         let reference = hash_aggregate(&f, &keys, &values, HashKind::Identity, 4096);
         assert_bit_equal(&reference, &adaptive);
@@ -210,7 +212,10 @@ mod tests {
     fn works_with_buffered_states_and_integers() {
         let (keys, values) = workload(40_000, 2000);
         let buffered = BufferedReproAgg::<f64, 3>::new(64);
-        let cfg = AdaptiveConfig { threshold: 128, ..Default::default() };
+        let cfg = AdaptiveConfig {
+            threshold: 128,
+            ..Default::default()
+        };
         let a = adaptive_aggregate(&buffered, &keys, &values, &cfg);
         let b = hash_aggregate(&buffered, &keys, &values, HashKind::Identity, 2000);
         assert_bit_equal(&b, &a);

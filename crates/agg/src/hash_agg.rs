@@ -40,10 +40,7 @@ pub fn hash_aggregate<F: AggFn>(
     capacity_hint: usize,
 ) -> Vec<(u32, F::Output)> {
     let table = hash_aggregate_states(f, keys, values, hash, capacity_hint);
-    let mut out: Vec<(u32, F::Output)> = table
-        .drain()
-        .map(|(k, s)| (k, f.output(s)))
-        .collect();
+    let mut out: Vec<(u32, F::Output)> = table.drain().map(|(k, s)| (k, f.output(s))).collect();
     out.sort_unstable_by_key(|(k, _)| *k);
     out
 }
@@ -63,7 +60,13 @@ mod tests {
     #[test]
     fn grouped_sums_match_reference() {
         let (keys, values) = sample();
-        let out = hash_aggregate(&SumAgg::<f64>::new(), &keys, &values, HashKind::Identity, 16);
+        let out = hash_aggregate(
+            &SumAgg::<f64>::new(),
+            &keys,
+            &values,
+            HashKind::Identity,
+            16,
+        );
         assert_eq!(out.len(), 16);
         // Reference: sequential per-group sums in input order.
         let mut reference = [0.0f64; 16];

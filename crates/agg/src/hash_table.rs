@@ -119,8 +119,7 @@ impl<S: Clone> AggHashTable<S> {
     fn grow(&mut self, template: &S) {
         let new_slots = self.keys.len() * 2;
         let old_keys = core::mem::replace(&mut self.keys, vec![EMPTY; new_slots]);
-        let old_states =
-            core::mem::replace(&mut self.states, vec![template.clone(); new_slots]);
+        let old_states = core::mem::replace(&mut self.states, vec![template.clone(); new_slots]);
         self.mask = new_slots - 1;
         for (k, s) in old_keys.into_iter().zip(old_states) {
             if k != EMPTY {

@@ -156,10 +156,7 @@ mod tests {
         let l1 = partition_serial(&keys, &values, HashKind::Identity, 8, 1);
         // With ~2^20 distinct keys, level-0 and level-1 bucketings must
         // differ (same bucketing would defeat recursion).
-        let same = l0
-            .iter()
-            .zip(l1.iter())
-            .all(|((a, _), (b, _))| a == b);
+        let same = l0.iter().zip(l1.iter()).all(|((a, _), (b, _))| a == b);
         assert!(!same);
     }
 

@@ -76,16 +76,8 @@ where
     let mut out = if cfg.depth == 0 {
         aggregate_unpartitioned(f, keys, values, cfg)
     } else {
-        let parts = partition_parallel(
-            keys,
-            values,
-            cfg.hash,
-            cfg.fanout_bits,
-            0,
-            cfg.threads,
-        );
-        let per_part_hint =
-            (cfg.groups_hint >> cfg.fanout_bits).max(8);
+        let parts = partition_parallel(keys, values, cfg.hash, cfg.fanout_bits, 0, cfg.threads);
+        let per_part_hint = (cfg.groups_hint >> cfg.fanout_bits).max(8);
         if cfg.threads <= 1 {
             parts
                 .into_iter()
@@ -254,7 +246,11 @@ mod tests {
             &f,
             &keys,
             &values,
-            &GroupByConfig { depth: 1, groups_hint: groups as usize, ..Default::default() },
+            &GroupByConfig {
+                depth: 1,
+                groups_hint: groups as usize,
+                ..Default::default()
+            },
         );
         let reference = reference_sums(&keys, &values, groups);
         for &(k, s) in &out {
@@ -272,7 +268,11 @@ mod tests {
         let (keys, values) = workload(100_000, 500);
         let plain = ReproAgg::<f32, 2>::new();
         let fvalues: Vec<f32> = values.iter().map(|&v| v as f32).collect();
-        let cfg = GroupByConfig { depth: 1, groups_hint: 500, ..Default::default() };
+        let cfg = GroupByConfig {
+            depth: 1,
+            groups_hint: 500,
+            ..Default::default()
+        };
         let a = partition_and_aggregate(&plain, &keys, &fvalues, &cfg);
         let buffered = BufferedReproAgg::<f32, 2>::new(256);
         let b = partition_and_aggregate(&buffered, &keys, &fvalues, &cfg);
@@ -290,7 +290,11 @@ mod tests {
             &SumAgg::<u32>::new(),
             &keys,
             &values,
-            &GroupByConfig { depth: 1, groups_hint: 10, ..Default::default() },
+            &GroupByConfig {
+                depth: 1,
+                groups_hint: 10,
+                ..Default::default()
+            },
         );
         assert_eq!(out.len(), 10);
         let mut reference = [0u32; 10];
@@ -313,7 +317,11 @@ mod tests {
             &f,
             &keys,
             &values,
-            &GroupByConfig { depth: 2, groups_hint: n as usize, ..Default::default() },
+            &GroupByConfig {
+                depth: 2,
+                groups_hint: n as usize,
+                ..Default::default()
+            },
         );
         assert_eq!(out.len(), n as usize);
         for &(k, s) in out.iter().step_by(4999) {

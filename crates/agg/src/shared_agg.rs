@@ -85,8 +85,9 @@ where
             scope.spawn(move || {
                 let template = &template;
                 // Batch consecutive same-shard tuples to amortize locking.
-                let shard_of =
-                    |k: u32| (cfg.hash.hash(k) >> (32 - cfg.shard_bits.min(31))) as usize & (shards - 1);
+                let shard_of = |k: u32| {
+                    (cfg.hash.hash(k) >> (32 - cfg.shard_bits.min(31))) as usize & (shards - 1)
+                };
                 let mut i = 0;
                 while i < keys.len() {
                     let s = shard_of(keys[i]);
@@ -151,7 +152,12 @@ mod tests {
             assert_eq!(reference.len(), out.len());
             for (a, b) in reference.iter().zip(out.iter()) {
                 assert_eq!(a.0, b.0);
-                assert_eq!(a.1.to_bits(), b.1.to_bits(), "threads {threads} group {}", a.0);
+                assert_eq!(
+                    a.1.to_bits(),
+                    b.1.to_bits(),
+                    "threads {threads} group {}",
+                    a.0
+                );
             }
         }
     }

@@ -73,7 +73,8 @@ where
     F::Input: OrderedBits,
 {
     assert_eq!(keys.len(), values.len());
-    let mut pairs: Vec<(u32, F::Input)> = keys.iter().copied().zip(values.iter().copied()).collect();
+    let mut pairs: Vec<(u32, F::Input)> =
+        keys.iter().copied().zip(values.iter().copied()).collect();
     // Total order: key first, then raw value bits. Unstable sort is safe
     // because remaining ties are bit-identical values.
     pairs.par_sort_unstable_by_key(|&(k, v)| (k, v.order_bits()));
@@ -88,7 +89,10 @@ where
     f.step(&mut state, first_val);
     for (k, v) in iter {
         if k != run_key {
-            out.push((run_key, f.output(core::mem::replace(&mut state, f.new_state()))));
+            out.push((
+                run_key,
+                f.output(core::mem::replace(&mut state, f.new_state())),
+            ));
             run_key = k;
         }
         f.step(&mut state, v);

@@ -11,15 +11,16 @@ use rfa_agg::{
 };
 
 fn pairs(max_len: usize, max_key: u32) -> impl Strategy<Value = (Vec<u32>, Vec<f64>)> {
-    vec((0..max_key, -1.0e6..1.0e6f64), 0..max_len)
-        .prop_map(|v| v.into_iter().unzip())
+    vec((0..max_key, -1.0e6..1.0e6f64), 0..max_len).prop_map(|v| v.into_iter().unzip())
 }
 
 fn shuffle<T: Copy>(data: &[T], seed: u64) -> Vec<T> {
     let mut out = data.to_vec();
     let mut s = seed | 1;
     for i in (1..out.len()).rev() {
-        s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        s = s
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         let j = (s >> 33) as usize % (i + 1);
         out.swap(i, j);
     }

@@ -32,7 +32,15 @@ where
 fn ablate_hashing(cfg: &BenchConfig) {
     let mut table = ResultTable::new(
         "Ablation 1: identity vs multiplicative hashing (ns/elem, d = 1)",
-        &["log2(groups)", "float id", "float mult", "r<f,2> id", "r<f,2> mult", "repro overhead id", "repro overhead mult"],
+        &[
+            "log2(groups)",
+            "float id",
+            "float mult",
+            "r<f,2> id",
+            "r<f,2> mult",
+            "repro overhead id",
+            "repro overhead mult",
+        ],
     );
     for ge in [6u32, 12, 16] {
         if ge > cfg.max_group_exp() {
@@ -42,11 +50,41 @@ fn ablate_hashing(cfg: &BenchConfig) {
         let g = groups as usize;
         let w = GroupedPairs::generate(cfg.n, groups, ValueDist::Uniform01, 31 + ge as u64);
         let v32 = w.values_f32();
-        let mk = |hash| GroupByConfig { hash, depth: 1, groups_hint: g, threads: 1, ..Default::default() };
-        let float_id = groupby_ns_cfg(&SumAgg::<f32>::new(), &w.keys, &v32, &mk(HashKind::Identity), cfg.reps);
-        let float_mu = groupby_ns_cfg(&SumAgg::<f32>::new(), &w.keys, &v32, &mk(HashKind::Multiplicative), cfg.reps);
-        let repro_id = groupby_ns_cfg(&ReproAgg::<f32, 2>::new(), &w.keys, &v32, &mk(HashKind::Identity), cfg.reps);
-        let repro_mu = groupby_ns_cfg(&ReproAgg::<f32, 2>::new(), &w.keys, &v32, &mk(HashKind::Multiplicative), cfg.reps);
+        let mk = |hash| GroupByConfig {
+            hash,
+            depth: 1,
+            groups_hint: g,
+            threads: 1,
+            ..Default::default()
+        };
+        let float_id = groupby_ns_cfg(
+            &SumAgg::<f32>::new(),
+            &w.keys,
+            &v32,
+            &mk(HashKind::Identity),
+            cfg.reps,
+        );
+        let float_mu = groupby_ns_cfg(
+            &SumAgg::<f32>::new(),
+            &w.keys,
+            &v32,
+            &mk(HashKind::Multiplicative),
+            cfg.reps,
+        );
+        let repro_id = groupby_ns_cfg(
+            &ReproAgg::<f32, 2>::new(),
+            &w.keys,
+            &v32,
+            &mk(HashKind::Identity),
+            cfg.reps,
+        );
+        let repro_mu = groupby_ns_cfg(
+            &ReproAgg::<f32, 2>::new(),
+            &w.keys,
+            &v32,
+            &mk(HashKind::Multiplicative),
+            cfg.reps,
+        );
         table.row(vec![
             ge.to_string(),
             f2(float_id),
@@ -68,7 +106,13 @@ fn ablate_hashing(cfg: &BenchConfig) {
 fn ablate_fanout(cfg: &BenchConfig) {
     let mut table = ResultTable::new(
         "Ablation 2: partitioning fan-out per pass (repro<f,2> buffered, ns/elem)",
-        &["log2(groups)", "F=16 (d=2)", "F=64 (d=2)", "F=256 (d=1)", "F=1024 (d=1)"],
+        &[
+            "log2(groups)",
+            "F=16 (d=2)",
+            "F=64 (d=2)",
+            "F=256 (d=1)",
+            "F=1024 (d=1)",
+        ],
     );
     for ge in [12u32, 16, 18] {
         if ge > cfg.max_group_exp() {

@@ -43,7 +43,15 @@ fn bench_operators(c: &mut Criterion) {
     let mut g = c.benchmark_group("operators");
     g.throughput(Throughput::Elements(N as u64));
     g.bench_function("partition_serial_256", |b| {
-        b.iter(|| black_box(partition_serial(&w.keys, &w.values, HashKind::Identity, 8, 0)))
+        b.iter(|| {
+            black_box(partition_serial(
+                &w.keys,
+                &w.values,
+                HashKind::Identity,
+                8,
+                0,
+            ))
+        })
     });
     g.bench_function("hash_agg_f64", |b| {
         b.iter(|| {

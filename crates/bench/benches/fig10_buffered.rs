@@ -19,15 +19,34 @@ fn main() {
     let max_exp = cfg.max_group_exp();
 
     let mut abs = ResultTable::new(
-        format!("Figure 10: buffered aggregation, ns/elem, n = 2^{}", cfg.n.trailing_zeros()),
+        format!(
+            "Figure 10: buffered aggregation, ns/elem, n = 2^{}",
+            cfg.n.trailing_zeros()
+        ),
         &[
-            "log2(groups)", "float", "r<f,2>b", "r<f,3>b", "r<d,2>b", "r<d,3>b",
-            "DEC(9)", "DEC(18)", "DEC(38)",
+            "log2(groups)",
+            "float",
+            "r<f,2>b",
+            "r<f,3>b",
+            "r<d,2>b",
+            "r<d,3>b",
+            "DEC(9)",
+            "DEC(18)",
+            "DEC(38)",
         ],
     );
     let mut slow = ResultTable::new(
         "Figure 10 (middle): slowdown compared to float",
-        &["log2(groups)", "r<f,2>b", "r<f,3>b", "r<d,2>b", "r<d,3>b", "DEC(9)", "DEC(18)", "DEC(38)"],
+        &[
+            "log2(groups)",
+            "r<f,2>b",
+            "r<f,3>b",
+            "r<d,2>b",
+            "r<d,3>b",
+            "DEC(9)",
+            "DEC(18)",
+            "DEC(38)",
+        ],
     );
     let mut speedup = ResultTable::new(
         "Figure 10 (lower): speedup of buffered over unbuffered repro",
@@ -39,9 +58,21 @@ fn main() {
         let g = groups as usize;
         let w = GroupedPairs::generate(cfg.n, groups, ValueDist::Uniform01, 11 + ge as u64);
         let v32 = w.values_f32();
-        let d9: Vec<Decimal9<4>> = w.values.iter().map(|&v| Decimal9::from_raw((v * 1e4) as i32)).collect();
-        let d18: Vec<Decimal18<4>> = w.values.iter().map(|&v| Decimal18::from_raw((v * 1e4) as i64)).collect();
-        let d38: Vec<Decimal38<4>> = w.values.iter().map(|&v| Decimal38::from_raw((v * 1e4) as i128)).collect();
+        let d9: Vec<Decimal9<4>> = w
+            .values
+            .iter()
+            .map(|&v| Decimal9::from_raw((v * 1e4) as i32))
+            .collect();
+        let d18: Vec<Decimal18<4>> = w
+            .values
+            .iter()
+            .map(|&v| Decimal18::from_raw((v * 1e4) as i64))
+            .collect();
+        let d38: Vec<Decimal38<4>> = w
+            .values
+            .iter()
+            .map(|&v| Decimal38::from_raw((v * 1e4) as i128))
+            .collect();
 
         let depth32 = model.partition_depth(g, 4);
         let depth64 = model.partition_depth(g, 8);
@@ -49,26 +80,116 @@ fn main() {
         let bsz64 = model.buffer_size(g, 8, depth64);
 
         let t_f32 = groupby_ns(&SumAgg::<f32>::new(), &w.keys, &v32, depth32, g, cfg.reps);
-        let bf2 = groupby_ns(&BufferedReproAgg::<f32, 2>::new(bsz32), &w.keys, &v32, depth32, g, cfg.reps);
-        let bf3 = groupby_ns(&BufferedReproAgg::<f32, 3>::new(bsz32), &w.keys, &v32, depth32, g, cfg.reps);
-        let bd2 = groupby_ns(&BufferedReproAgg::<f64, 2>::new(bsz64), &w.keys, &w.values, depth64, g, cfg.reps);
-        let bd3 = groupby_ns(&BufferedReproAgg::<f64, 3>::new(bsz64), &w.keys, &w.values, depth64, g, cfg.reps);
-        let t_d9 = groupby_ns(&SumAgg::<Decimal9<4>>::new(), &w.keys, &d9, depth32, g, cfg.reps);
-        let t_d18 = groupby_ns(&SumAgg::<Decimal18<4>>::new(), &w.keys, &d18, depth64, g, cfg.reps);
-        let t_d38 = groupby_ns(&SumAgg::<Decimal38<4>>::new(), &w.keys, &d38, model.partition_depth(g, 16), g, cfg.reps);
-        let uf2 = groupby_ns(&ReproAgg::<f32, 2>::new(), &w.keys, &v32, depth32, g, cfg.reps);
-        let uf3 = groupby_ns(&ReproAgg::<f32, 3>::new(), &w.keys, &v32, depth32, g, cfg.reps);
-        let ud2 = groupby_ns(&ReproAgg::<f64, 2>::new(), &w.keys, &w.values, depth64, g, cfg.reps);
-        let ud3 = groupby_ns(&ReproAgg::<f64, 3>::new(), &w.keys, &w.values, depth64, g, cfg.reps);
+        let bf2 = groupby_ns(
+            &BufferedReproAgg::<f32, 2>::new(bsz32),
+            &w.keys,
+            &v32,
+            depth32,
+            g,
+            cfg.reps,
+        );
+        let bf3 = groupby_ns(
+            &BufferedReproAgg::<f32, 3>::new(bsz32),
+            &w.keys,
+            &v32,
+            depth32,
+            g,
+            cfg.reps,
+        );
+        let bd2 = groupby_ns(
+            &BufferedReproAgg::<f64, 2>::new(bsz64),
+            &w.keys,
+            &w.values,
+            depth64,
+            g,
+            cfg.reps,
+        );
+        let bd3 = groupby_ns(
+            &BufferedReproAgg::<f64, 3>::new(bsz64),
+            &w.keys,
+            &w.values,
+            depth64,
+            g,
+            cfg.reps,
+        );
+        let t_d9 = groupby_ns(
+            &SumAgg::<Decimal9<4>>::new(),
+            &w.keys,
+            &d9,
+            depth32,
+            g,
+            cfg.reps,
+        );
+        let t_d18 = groupby_ns(
+            &SumAgg::<Decimal18<4>>::new(),
+            &w.keys,
+            &d18,
+            depth64,
+            g,
+            cfg.reps,
+        );
+        let t_d38 = groupby_ns(
+            &SumAgg::<Decimal38<4>>::new(),
+            &w.keys,
+            &d38,
+            model.partition_depth(g, 16),
+            g,
+            cfg.reps,
+        );
+        let uf2 = groupby_ns(
+            &ReproAgg::<f32, 2>::new(),
+            &w.keys,
+            &v32,
+            depth32,
+            g,
+            cfg.reps,
+        );
+        let uf3 = groupby_ns(
+            &ReproAgg::<f32, 3>::new(),
+            &w.keys,
+            &v32,
+            depth32,
+            g,
+            cfg.reps,
+        );
+        let ud2 = groupby_ns(
+            &ReproAgg::<f64, 2>::new(),
+            &w.keys,
+            &w.values,
+            depth64,
+            g,
+            cfg.reps,
+        );
+        let ud3 = groupby_ns(
+            &ReproAgg::<f64, 3>::new(),
+            &w.keys,
+            &w.values,
+            depth64,
+            g,
+            cfg.reps,
+        );
 
         abs.row(vec![
             ge.to_string(),
-            f2(t_f32), f2(bf2), f2(bf3), f2(bd2), f2(bd3), f2(t_d9), f2(t_d18), f2(t_d38),
+            f2(t_f32),
+            f2(bf2),
+            f2(bf3),
+            f2(bd2),
+            f2(bd3),
+            f2(t_d9),
+            f2(t_d18),
+            f2(t_d38),
         ]);
         let x = |v: f64| format!("{:.2}x", v / t_f32);
         slow.row(vec![
             ge.to_string(),
-            x(bf2), x(bf3), x(bd2), x(bd3), x(t_d9), x(t_d18), x(t_d38),
+            x(bf2),
+            x(bf3),
+            x(bd2),
+            x(bd3),
+            x(t_d9),
+            x(t_d18),
+            x(t_d38),
         ]);
         speedup.row(vec![
             ge.to_string(),

@@ -23,7 +23,11 @@ fn main() {
     );
     println!(
         "  input sizes: {}",
-        n_exps.iter().map(|e| format!("2^{e}")).collect::<Vec<_>>().join(", ")
+        n_exps
+            .iter()
+            .map(|e| format!("2^{e}"))
+            .collect::<Vec<_>>()
+            .join(", ")
     );
 
     // Collect measurements per group-count row across the input sizes.
@@ -41,7 +45,14 @@ fn main() {
             let v32 = w.values_f32();
             let depth = model.partition_depth(groups as usize, 4);
             let f = BufferedReproAgg::<f32, 2>::new(256);
-            row.push(f2(groupby_ns(&f, &w.keys, &v32, depth, groups as usize, cfg.reps)));
+            row.push(f2(groupby_ns(
+                &f,
+                &w.keys,
+                &v32,
+                depth,
+                groups as usize,
+                cfg.reps,
+            )));
         }
         table.row(row);
     }

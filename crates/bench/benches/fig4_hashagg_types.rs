@@ -80,7 +80,11 @@ fn main() {
         &["data type", "ns/elem", "slowdown vs uint32"],
     );
     for (name, ns) in &rows {
-        table.row(vec![name.clone(), f2(*ns), format!("{:.2}x", ns / baseline)]);
+        table.row(vec![
+            name.clone(),
+            f2(*ns),
+            format!("{:.2}x", ns / baseline),
+        ]);
     }
     table.print();
     table.write_csv("fig4_hashagg_types");

@@ -38,7 +38,14 @@ fn bench_type<T: ReproFloat, const L: usize>(
 
     let mut table = ResultTable::new(
         format!("Figure 6: {label}, n = 2^{}", n.trailing_zeros()),
-        &["c", "scalar ns/elem", "simd ns/elem", "scalar slowdown", "simd slowdown", "simd(c=inf) slowdown"],
+        &[
+            "c",
+            "scalar ns/elem",
+            "simd ns/elem",
+            "scalar slowdown",
+            "simd slowdown",
+            "simd(c=inf) slowdown",
+        ],
     );
     let conv_ns = conv.as_secs_f64() * 1e9 / n as f64;
     let inf_slow = simd_inf.as_secs_f64() / conv.as_secs_f64();
@@ -76,16 +83,25 @@ fn main() {
     let cfg = BenchConfig::from_env();
     let values = values_only(cfg.n, ValueDist::Uniform01, 6);
     for (label, table) in [
-        ("single precision, 2 levels", bench_type::<f32, 2>("repro<float,2>", &values, &cfg)),
-        ("single precision, 3 levels", bench_type::<f32, 3>("repro<float,3>", &values, &cfg)),
-        ("double precision, 2 levels", bench_type::<f64, 2>("repro<double,2>", &values, &cfg)),
-        ("double precision, 3 levels", bench_type::<f64, 3>("repro<double,3>", &values, &cfg)),
+        (
+            "single precision, 2 levels",
+            bench_type::<f32, 2>("repro<float,2>", &values, &cfg),
+        ),
+        (
+            "single precision, 3 levels",
+            bench_type::<f32, 3>("repro<float,3>", &values, &cfg),
+        ),
+        (
+            "double precision, 2 levels",
+            bench_type::<f64, 2>("repro<double,2>", &values, &cfg),
+        ),
+        (
+            "double precision, 3 levels",
+            bench_type::<f64, 3>("repro<double,3>", &values, &cfg),
+        ),
     ] {
         table.print();
-        table.write_csv(&format!(
-            "fig6_{}",
-            label.replace([' ', ','], "_")
-        ));
+        table.write_csv(&format!("fig6_{}", label.replace([' ', ','], "_")));
     }
     println!(
         "\n  paper shape: scalar flat across c; simd slower than scalar at c<=8-32,\n  \

@@ -20,17 +20,35 @@ fn main() {
     let group_exps: Vec<u32> = (0..=max_exp).step_by(2).collect();
 
     let mut table = ResultTable::new(
-        format!("Figure 7: unbuffered aggregation, ns/elem, n = 2^{}", cfg.n.trailing_zeros()),
+        format!(
+            "Figure 7: unbuffered aggregation, ns/elem, n = 2^{}",
+            cfg.n.trailing_zeros()
+        ),
         &[
-            "log2(groups)", "float", "double", "DEC(9)", "DEC(18)", "DEC(38)",
-            "r<f,2>", "r<f,3>", "r<d,2>", "r<d,3>",
+            "log2(groups)",
+            "float",
+            "double",
+            "DEC(9)",
+            "DEC(18)",
+            "DEC(38)",
+            "r<f,2>",
+            "r<f,3>",
+            "r<d,2>",
+            "r<d,3>",
         ],
     );
     let mut slowdown = ResultTable::new(
         "Figure 7 (lower): slowdown compared to float",
         &[
-            "log2(groups)", "double", "DEC(9)", "DEC(18)", "DEC(38)",
-            "r<f,2>", "r<f,3>", "r<d,2>", "r<d,3>",
+            "log2(groups)",
+            "double",
+            "DEC(9)",
+            "DEC(18)",
+            "DEC(38)",
+            "r<f,2>",
+            "r<f,3>",
+            "r<d,2>",
+            "r<d,3>",
         ],
     );
 
@@ -38,26 +56,101 @@ fn main() {
         let groups = 1u32 << ge;
         let w = GroupedPairs::generate(cfg.n, groups, ValueDist::Uniform01, 7 + ge as u64);
         let v32 = w.values_f32();
-        let d9: Vec<Decimal9<4>> = w.values.iter().map(|&v| Decimal9::from_raw((v * 1e4) as i32)).collect();
-        let d18: Vec<Decimal18<4>> = w.values.iter().map(|&v| Decimal18::from_raw((v * 1e4) as i64)).collect();
-        let d38: Vec<Decimal38<4>> = w.values.iter().map(|&v| Decimal38::from_raw((v * 1e4) as i128)).collect();
+        let d9: Vec<Decimal9<4>> = w
+            .values
+            .iter()
+            .map(|&v| Decimal9::from_raw((v * 1e4) as i32))
+            .collect();
+        let d18: Vec<Decimal18<4>> = w
+            .values
+            .iter()
+            .map(|&v| Decimal18::from_raw((v * 1e4) as i64))
+            .collect();
+        let d38: Vec<Decimal38<4>> = w
+            .values
+            .iter()
+            .map(|&v| Decimal38::from_raw((v * 1e4) as i128))
+            .collect();
         let g = groups as usize;
         let depth = |vsize: usize| model.partition_depth(g, vsize);
 
         let t_f32 = groupby_ns(&SumAgg::<f32>::new(), &w.keys, &v32, depth(4), g, cfg.reps);
-        let t_f64 = groupby_ns(&SumAgg::<f64>::new(), &w.keys, &w.values, depth(8), g, cfg.reps);
-        let t_d9 = groupby_ns(&SumAgg::<Decimal9<4>>::new(), &w.keys, &d9, depth(4), g, cfg.reps);
-        let t_d18 = groupby_ns(&SumAgg::<Decimal18<4>>::new(), &w.keys, &d18, depth(8), g, cfg.reps);
-        let t_d38 = groupby_ns(&SumAgg::<Decimal38<4>>::new(), &w.keys, &d38, depth(16), g, cfg.reps);
-        let t_rf2 = groupby_ns(&ReproAgg::<f32, 2>::new(), &w.keys, &v32, depth(4), g, cfg.reps);
-        let t_rf3 = groupby_ns(&ReproAgg::<f32, 3>::new(), &w.keys, &v32, depth(4), g, cfg.reps);
-        let t_rd2 = groupby_ns(&ReproAgg::<f64, 2>::new(), &w.keys, &w.values, depth(8), g, cfg.reps);
-        let t_rd3 = groupby_ns(&ReproAgg::<f64, 3>::new(), &w.keys, &w.values, depth(8), g, cfg.reps);
+        let t_f64 = groupby_ns(
+            &SumAgg::<f64>::new(),
+            &w.keys,
+            &w.values,
+            depth(8),
+            g,
+            cfg.reps,
+        );
+        let t_d9 = groupby_ns(
+            &SumAgg::<Decimal9<4>>::new(),
+            &w.keys,
+            &d9,
+            depth(4),
+            g,
+            cfg.reps,
+        );
+        let t_d18 = groupby_ns(
+            &SumAgg::<Decimal18<4>>::new(),
+            &w.keys,
+            &d18,
+            depth(8),
+            g,
+            cfg.reps,
+        );
+        let t_d38 = groupby_ns(
+            &SumAgg::<Decimal38<4>>::new(),
+            &w.keys,
+            &d38,
+            depth(16),
+            g,
+            cfg.reps,
+        );
+        let t_rf2 = groupby_ns(
+            &ReproAgg::<f32, 2>::new(),
+            &w.keys,
+            &v32,
+            depth(4),
+            g,
+            cfg.reps,
+        );
+        let t_rf3 = groupby_ns(
+            &ReproAgg::<f32, 3>::new(),
+            &w.keys,
+            &v32,
+            depth(4),
+            g,
+            cfg.reps,
+        );
+        let t_rd2 = groupby_ns(
+            &ReproAgg::<f64, 2>::new(),
+            &w.keys,
+            &w.values,
+            depth(8),
+            g,
+            cfg.reps,
+        );
+        let t_rd3 = groupby_ns(
+            &ReproAgg::<f64, 3>::new(),
+            &w.keys,
+            &w.values,
+            depth(8),
+            g,
+            cfg.reps,
+        );
 
         table.row(vec![
             ge.to_string(),
-            f2(t_f32), f2(t_f64), f2(t_d9), f2(t_d18), f2(t_d38),
-            f2(t_rf2), f2(t_rf3), f2(t_rd2), f2(t_rd3),
+            f2(t_f32),
+            f2(t_f64),
+            f2(t_d9),
+            f2(t_d18),
+            f2(t_d38),
+            f2(t_rf2),
+            f2(t_rf3),
+            f2(t_rd2),
+            f2(t_rd3),
         ]);
         slowdown.row(vec![
             ge.to_string(),

@@ -23,10 +23,38 @@ fn panel_ab(cfg: &BenchConfig, groups: u32, csv: &str) {
         let g = groups as usize;
         table.row(vec![
             bsz.to_string(),
-            f2(groupby_ns(&BufferedReproAgg::<f32, 2>::new(bsz), &w.keys, &v32, 0, g, cfg.reps)),
-            f2(groupby_ns(&BufferedReproAgg::<f32, 3>::new(bsz), &w.keys, &v32, 0, g, cfg.reps)),
-            f2(groupby_ns(&BufferedReproAgg::<f64, 2>::new(bsz), &w.keys, &w.values, 0, g, cfg.reps)),
-            f2(groupby_ns(&BufferedReproAgg::<f64, 3>::new(bsz), &w.keys, &w.values, 0, g, cfg.reps)),
+            f2(groupby_ns(
+                &BufferedReproAgg::<f32, 2>::new(bsz),
+                &w.keys,
+                &v32,
+                0,
+                g,
+                cfg.reps,
+            )),
+            f2(groupby_ns(
+                &BufferedReproAgg::<f32, 3>::new(bsz),
+                &w.keys,
+                &v32,
+                0,
+                g,
+                cfg.reps,
+            )),
+            f2(groupby_ns(
+                &BufferedReproAgg::<f64, 2>::new(bsz),
+                &w.keys,
+                &w.values,
+                0,
+                g,
+                cfg.reps,
+            )),
+            f2(groupby_ns(
+                &BufferedReproAgg::<f64, 3>::new(bsz),
+                &w.keys,
+                &w.values,
+                0,
+                g,
+                cfg.reps,
+            )),
         ]);
     }
     table.print();

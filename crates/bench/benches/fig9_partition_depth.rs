@@ -21,7 +21,14 @@ fn main() {
             "Figure 9: repro<float,2> buffered, ns/elem by partition depth, n = 2^{}",
             cfg.n.trailing_zeros()
         ),
-        &["log2(groups)", "d=0", "d=1", "d=2", "Eq4 bsz(d=0)", "model depth"],
+        &[
+            "log2(groups)",
+            "d=0",
+            "d=1",
+            "d=2",
+            "Eq4 bsz(d=0)",
+            "model depth",
+        ],
     );
 
     for ge in (0..=max_exp).step_by(2) {

@@ -24,7 +24,12 @@ fn main() {
 
     let mut table = ResultTable::new(
         format!("Intro: PageRank rank swaps across edge permutations ({nodes} pages)"),
-        &["permutation", "plain: swapped ranks", "repro<double,2>: swapped ranks", "plain bit-identical?"],
+        &[
+            "permutation",
+            "plain: swapped ranks",
+            "repro<double,2>: swapped ranks",
+            "plain bit-identical?",
+        ],
     );
     for seed in 1..=5u64 {
         let edges = graph.permuted_edges(seed);

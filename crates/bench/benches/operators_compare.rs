@@ -27,7 +27,13 @@ fn main() {
             "Operator comparison: repro<float,2> buffered, ns/elem, n = 2^{}",
             cfg.n.trailing_zeros()
         ),
-        &["log2(groups)", "part+agg (model d)", "hash only (d=0)", "shared table", "adaptive"],
+        &[
+            "log2(groups)",
+            "part+agg (model d)",
+            "hash only (d=0)",
+            "shared table",
+            "adaptive",
+        ],
     );
 
     for ge in (2..=cfg.max_group_exp()).step_by(4) {
@@ -39,16 +45,30 @@ fn main() {
         let bsz = model.buffer_size(g, 4, depth);
         let f = BufferedReproAgg::<f32, 2>::new(bsz);
 
-        let pna_cfg = GroupByConfig { depth, groups_hint: g, threads: 1, ..Default::default() };
+        let pna_cfg = GroupByConfig {
+            depth,
+            groups_hint: g,
+            threads: 1,
+            ..Default::default()
+        };
         let pna = time_min(cfg.reps, || {
             std::hint::black_box(partition_and_aggregate(&f, &w.keys, &v32, &pna_cfg));
         });
-        let hash_cfg = GroupByConfig { depth: 0, groups_hint: g, threads: 1, ..Default::default() };
+        let hash_cfg = GroupByConfig {
+            depth: 0,
+            groups_hint: g,
+            threads: 1,
+            ..Default::default()
+        };
         let f0 = BufferedReproAgg::<f32, 2>::new(model.buffer_size(g, 4, 0));
         let hash = time_min(cfg.reps, || {
             std::hint::black_box(partition_and_aggregate(&f0, &w.keys, &v32, &hash_cfg));
         });
-        let shared_cfg = SharedAggConfig { threads: 2, groups_hint: g, ..Default::default() };
+        let shared_cfg = SharedAggConfig {
+            threads: 2,
+            groups_hint: g,
+            ..Default::default()
+        };
         let shared = time_min(cfg.reps, || {
             std::hint::black_box(shared_aggregate(&f0, &w.keys, &v32, &shared_cfg));
         });
@@ -78,7 +98,12 @@ fn main() {
         &f,
         &w.keys,
         &v32,
-        &GroupByConfig { depth: 1, groups_hint: 1 << 12, threads: 1, ..Default::default() },
+        &GroupByConfig {
+            depth: 1,
+            groups_hint: 1 << 12,
+            threads: 1,
+            ..Default::default()
+        },
     );
     let b = shared_aggregate(&f, &w.keys, &v32, &SharedAggConfig::default());
     let c = adaptive_aggregate(&f, &w.keys, &v32, &AdaptiveConfig::default());

@@ -29,19 +29,47 @@ fn measured_rsum_error<const L: usize>(values: &[f64]) -> f64 {
 fn main() {
     let _ = BenchConfig::from_env(); // Table II sizes are fixed by the paper
     let configs = [
-        Config { n: 1_000, dist: ValueDist::Uniform12, label: "n=10^3 U[1,2)" },
-        Config { n: 1_000, dist: ValueDist::Exp1, label: "n=10^3 Exp(1)" },
-        Config { n: 1_000_000, dist: ValueDist::Uniform12, label: "n=10^6 U[1,2)" },
-        Config { n: 1_000_000, dist: ValueDist::Exp1, label: "n=10^6 Exp(1)" },
+        Config {
+            n: 1_000,
+            dist: ValueDist::Uniform12,
+            label: "n=10^3 U[1,2)",
+        },
+        Config {
+            n: 1_000,
+            dist: ValueDist::Exp1,
+            label: "n=10^3 Exp(1)",
+        },
+        Config {
+            n: 1_000_000,
+            dist: ValueDist::Uniform12,
+            label: "n=10^6 U[1,2)",
+        },
+        Config {
+            n: 1_000_000,
+            dist: ValueDist::Exp1,
+            label: "n=10^6 Exp(1)",
+        },
     ];
 
     let mut bounds = ResultTable::new(
         "Table II (bounds): max abs error bounds, double precision",
-        &["algorithm", configs[0].label, configs[1].label, configs[2].label, configs[3].label],
+        &[
+            "algorithm",
+            configs[0].label,
+            configs[1].label,
+            configs[2].label,
+            configs[3].label,
+        ],
     );
     let mut measured = ResultTable::new(
         "Table II (measured): actual |error| vs exact oracle",
-        &["algorithm", configs[0].label, configs[1].label, configs[2].label, configs[3].label],
+        &[
+            "algorithm",
+            configs[0].label,
+            configs[1].label,
+            configs[2].label,
+            configs[3].label,
+        ],
     );
 
     // Precompute per-config data and statistics.
@@ -50,7 +78,10 @@ fn main() {
         .enumerate()
         .map(|(i, c)| values_only(c.n, c.dist, 0xB0B5 + i as u64))
         .collect();
-    let sum_abs: Vec<f64> = data.iter().map(|d| d.iter().map(|v| v.abs()).sum()).collect();
+    let sum_abs: Vec<f64> = data
+        .iter()
+        .map(|d| d.iter().map(|v| v.abs()).sum())
+        .collect();
     // The paper bounds Exp(1) by the 22 quantile argument; we use the
     // actual max, which is what the bound formula takes.
     let max_abs: Vec<f64> = data

@@ -11,7 +11,12 @@ use rfa_bench::{geomean, runner::groupby_ns, BenchConfig, ResultTable};
 use rfa_core::CacheModel;
 use rfa_workloads::{GroupedPairs, ValueDist};
 
-fn sweep<F>(make: impl Fn(usize) -> F, value_size: usize, cfg: &BenchConfig, f32_path: bool) -> Vec<f64>
+fn sweep<F>(
+    make: impl Fn(usize) -> F,
+    value_size: usize,
+    cfg: &BenchConfig,
+    f32_path: bool,
+) -> Vec<f64>
 where
     F: AggFn<Input = f32>,
     F::Output: Send,
@@ -48,7 +53,14 @@ where
         let depth = model.partition_depth(g, 8);
         let bsz = model.buffer_size(g, 8, depth);
         // The paper's baseline for all slowdowns is the float algorithm.
-        let t_base = groupby_ns(&SumAgg::<f32>::new(), &w.keys, &v32, model.partition_depth(g, 4), g, cfg.reps);
+        let t_base = groupby_ns(
+            &SumAgg::<f32>::new(),
+            &w.keys,
+            &v32,
+            model.partition_depth(g, 4),
+            g,
+            cfg.reps,
+        );
         let t = groupby_ns(&make(bsz), &w.keys, &w.values, depth, g, cfg.reps);
         out.push(t / t_base);
     }

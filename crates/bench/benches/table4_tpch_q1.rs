@@ -43,8 +43,16 @@ fn main() {
     let pct = |d: std::time::Duration| format!("{:.1}", 100.0 * d.as_secs_f64() / base);
 
     let mut table = ResultTable::new(
-        format!("Table IV: TPC-H Q1 CPU time relative to double total (%), {rows_n} rows, bsz={bsz}"),
-        &["phase", "double", "repro<d,4> unbuffered", "repro<d,4> buffered", "double (sorted)"],
+        format!(
+            "Table IV: TPC-H Q1 CPU time relative to double total (%), {rows_n} rows, bsz={bsz}"
+        ),
+        &[
+            "phase",
+            "double",
+            "repro<d,4> unbuffered",
+            "repro<d,4> buffered",
+            "double (sorted)",
+        ],
     );
     table.row(vec![
         "Aggregations".into(),

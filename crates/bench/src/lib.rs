@@ -75,7 +75,10 @@ impl BenchConfig {
 }
 
 fn env_flag(name: &str) -> bool {
-    matches!(std::env::var(name).as_deref(), Ok("1") | Ok("true") | Ok("yes"))
+    matches!(
+        std::env::var(name).as_deref(),
+        Ok("1") | Ok("true") | Ok("yes")
+    )
 }
 
 /// Times `f` (after one warm-up run) and returns the minimum duration over

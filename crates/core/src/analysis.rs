@@ -66,10 +66,7 @@ pub struct ErrorBounds {
 pub fn bounds_for<T: ReproFloat>(values: &[T]) -> ErrorBounds {
     let n = values.len();
     let sum_abs: f64 = values.iter().map(|v| v.abs().to_f64()).sum();
-    let max_abs: f64 = values
-        .iter()
-        .map(|v| v.abs().to_f64())
-        .fold(0.0, f64::max);
+    let max_abs: f64 = values.iter().map(|v| v.abs().to_f64()).fold(0.0, f64::max);
     ErrorBounds {
         conventional: conventional_bound::<T>(n, sum_abs),
         rsum: [

@@ -44,7 +44,9 @@ pub struct ReproDot<T: ReproFloat, const L: usize> {
 
 impl<T: ReproFloat, const L: usize> ReproDot<T, L> {
     pub fn new() -> Self {
-        ReproDot { acc: ReproSum::new() }
+        ReproDot {
+            acc: ReproSum::new(),
+        }
     }
 
     /// Adds one product term.
@@ -109,7 +111,12 @@ mod tests {
 
     #[test]
     fn two_product_is_exact() {
-        for (x, y) in [(0.1f64, 0.3), (1e150, 1e-150), (3.5, -7.25), (1.0 + 2e-16, 1.0 - 2e-16)] {
+        for (x, y) in [
+            (0.1f64, 0.3),
+            (1e150, 1e-150),
+            (3.5, -7.25),
+            (1.0 + 2e-16, 1.0 - 2e-16),
+        ] {
             let (p, e) = two_product(x, y);
             // p + e == x*y exactly: verify via exact accumulator.
             let mut oracle = rfa_exact::ExactSum::new();
@@ -135,8 +142,12 @@ mod tests {
     #[test]
     fn permutation_invariance() {
         let n = 10_000;
-        let xs: Vec<f64> = (0..n).map(|i| ((i * 37) % 1009) as f64 * 0.013 - 5.0).collect();
-        let ys: Vec<f64> = (0..n).map(|i| ((i * 61) % 997) as f64 * 0.017 - 8.0).collect();
+        let xs: Vec<f64> = (0..n)
+            .map(|i| ((i * 37) % 1009) as f64 * 0.013 - 5.0)
+            .collect();
+        let ys: Vec<f64> = (0..n)
+            .map(|i| ((i * 61) % 997) as f64 * 0.017 - 8.0)
+            .collect();
         let fwd = reproducible_dot::<f64, 2>(&xs, &ys);
         let rxs: Vec<f64> = xs.iter().rev().copied().collect();
         let rys: Vec<f64> = ys.iter().rev().copied().collect();
@@ -175,7 +186,9 @@ mod tests {
     fn accuracy_vs_oracle() {
         // Exact oracle: p + e decomposition makes each term exact, so the
         // exact dot is the exact sum of all (p, e).
-        let xs: Vec<f64> = (0..2000).map(|i| ((i * 7) % 101) as f64 * 1e5 - 5e6).collect();
+        let xs: Vec<f64> = (0..2000)
+            .map(|i| ((i * 7) % 101) as f64 * 1e5 - 5e6)
+            .collect();
         let ys: Vec<f64> = (0..2000).map(|i| ((i * 13) % 97) as f64 * 1e-7).collect();
         let mut oracle = rfa_exact::ExactSum::new();
         for (&x, &y) in xs.iter().zip(ys.iter()) {
@@ -205,6 +218,9 @@ mod tests {
         let fwd = reproducible_dot::<f32, 2>(&xs, &ys);
         let rxs: Vec<f32> = xs.iter().rev().copied().collect();
         let rys: Vec<f32> = ys.iter().rev().copied().collect();
-        assert_eq!(fwd.to_bits(), reproducible_dot::<f32, 2>(&rxs, &rys).to_bits());
+        assert_eq!(
+            fwd.to_bits(),
+            reproducible_dot::<f32, 2>(&rxs, &rys).to_bits()
+        );
     }
 }

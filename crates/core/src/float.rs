@@ -268,10 +268,30 @@ macro_rules! impl_repro_float {
 // 2^-1074: every non-zero f64 then lies on some rung's grid and even a
 // single denormal input round-trips exactly. The f32 anchor 126 already has
 // this property (126 - 14·18 = -126, ulp 2^-149).
-impl_repro_float!(f64, bits = u64, mant = 52, w = 40, lanes = 4, block = 1024,
-    bias = 1023, anchor = 1018, min_norm = -1022, min_denorm = -1074);
-impl_repro_float!(f32, bits = u32, mant = 23, w = 18, lanes = 8, block = 16,
-    bias = 127, anchor = 126, min_norm = -126, min_denorm = -149);
+impl_repro_float!(
+    f64,
+    bits = u64,
+    mant = 52,
+    w = 40,
+    lanes = 4,
+    block = 1024,
+    bias = 1023,
+    anchor = 1018,
+    min_norm = -1022,
+    min_denorm = -1074
+);
+impl_repro_float!(
+    f32,
+    bits = u32,
+    mant = 23,
+    w = 18,
+    lanes = 8,
+    block = 16,
+    bias = 127,
+    anchor = 126,
+    min_norm = -126,
+    min_denorm = -149
+);
 
 #[cfg(test)]
 mod tests {

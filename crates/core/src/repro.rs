@@ -455,7 +455,9 @@ mod tests {
 
     #[test]
     fn merge_equals_sequential() {
-        let values: Vec<f64> = (0..1000).map(|i| ((i * 37) % 101) as f64 * 0.01 - 0.5).collect();
+        let values: Vec<f64> = (0..1000)
+            .map(|i| ((i * 37) % 101) as f64 * 0.01 - 0.5)
+            .collect();
         let mut whole = ReproSum::<f64, 3>::new();
         whole.add_all(&values);
         let mut left = ReproSum::<f64, 3>::new();

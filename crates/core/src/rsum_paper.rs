@@ -71,7 +71,10 @@ impl<const L: usize> PaperRsum<L> {
     /// Adds one finite value (Algorithm 2 lines 2–18). Specials are not
     /// handled here — reference implementation.
     pub fn add(&mut self, b: f64) {
-        assert!(b.is_finite(), "reference implementation: finite inputs only");
+        assert!(
+            b.is_finite(),
+            "reference implementation: finite inputs only"
+        );
         if !self.initialized {
             // First extractor: the paper allows any f with
             // f > log2|b1| + m - W + 1; we pick the first value's natural

@@ -196,11 +196,7 @@ mod tests {
             scalar.add_all(&values);
             let mut simd = ReproSum::<f64, 3>::new();
             add_slice(&mut simd, &values);
-            assert_eq!(
-                scalar.value().to_bits(),
-                simd.value().to_bits(),
-                "n = {n}"
-            );
+            assert_eq!(scalar.value().to_bits(), simd.value().to_bits(), "n = {n}");
             assert_eq!(scalar.canonical_state(), simd.canonical_state(), "n = {n}");
         }
     }

@@ -147,12 +147,15 @@ mod tests {
     fn custom_cache_model_shifts_thresholds() {
         // A machine with a 4x larger per-thread budget tolerates 4x more
         // groups before needing a partitioning pass.
-        let small = CacheModel { cache_per_thread: 1 << 19, ..Default::default() };
-        let large = CacheModel { cache_per_thread: 1 << 21, ..Default::default() };
-        assert_eq!(
-            large.in_cache_groups(4),
-            4 * small.in_cache_groups(4)
-        );
+        let small = CacheModel {
+            cache_per_thread: 1 << 19,
+            ..Default::default()
+        };
+        let large = CacheModel {
+            cache_per_thread: 1 << 21,
+            ..Default::default()
+        };
+        assert_eq!(large.in_cache_groups(4), 4 * small.in_cache_groups(4));
         let g = small.in_cache_groups(4) * 2;
         assert_eq!(small.partition_depth(g, 4), 1);
         assert_eq!(large.partition_depth(g, 4), 0);

@@ -108,9 +108,8 @@ impl<T: ReproFloat, const L: usize> ReproSum<T, L> {
             if sums[l].to_f64() != raw {
                 return Err(WireError::OutOfRange); // not representable in T
             }
-            carries[l] = i64::from_le_bytes(
-                bytes[off + 8..off + 16].try_into().expect("length checked"),
-            );
+            carries[l] =
+                i64::from_le_bytes(bytes[off + 8..off + 16].try_into().expect("length checked"));
         }
         Ok(ReproSum::from_raw_state(top, sums, carries, special))
     }

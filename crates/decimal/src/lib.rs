@@ -265,7 +265,10 @@ mod tests {
         assert_eq!("1.2.3".parse::<Decimal9<2>>(), Err(DecimalError::Syntax));
         assert_eq!("abc".parse::<Decimal9<2>>(), Err(DecimalError::Syntax));
         // Too many fractional digits would silently lose value.
-        assert_eq!("1.234".parse::<Decimal9<2>>(), Err(DecimalError::OutOfRange));
+        assert_eq!(
+            "1.234".parse::<Decimal9<2>>(),
+            Err(DecimalError::OutOfRange)
+        );
         // Overflow of the backing integer.
         assert_eq!(
             "99999999999".parse::<Decimal9<2>>(),

@@ -86,7 +86,11 @@ pub struct Table {
 /// Errors raised by table operations.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum TableError {
-    ColumnLengthMismatch { column: String, expected: usize, found: usize },
+    ColumnLengthMismatch {
+        column: String,
+        expected: usize,
+        found: usize,
+    },
     DuplicateColumn(String),
     NoSuchColumn(String),
 }
@@ -94,10 +98,11 @@ pub enum TableError {
 impl fmt::Display for TableError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            TableError::ColumnLengthMismatch { column, expected, found } => write!(
-                f,
-                "column {column:?} has {found} rows, expected {expected}"
-            ),
+            TableError::ColumnLengthMismatch {
+                column,
+                expected,
+                found,
+            } => write!(f, "column {column:?} has {found} rows, expected {expected}"),
             TableError::DuplicateColumn(c) => write!(f, "duplicate column {c:?}"),
             TableError::NoSuchColumn(c) => write!(f, "no such column {c:?}"),
         }

@@ -78,7 +78,8 @@ mod tests {
         let mut t = Table::new("t");
         t.add_column("price", Column::F64(vec![100.0, 200.0, 300.0]))
             .unwrap();
-        t.add_column("disc", Column::F64(vec![0.1, 0.0, 0.5])).unwrap();
+        t.add_column("disc", Column::F64(vec![0.1, 0.0, 0.5]))
+            .unwrap();
         t
     }
 
@@ -111,7 +112,9 @@ mod tests {
         // Same row through different selection orders: identical bits
         // (footnote 3: whole-expression evaluation is reproducible).
         let t = table();
-        let e = Expr::col("price").mul(Expr::col("disc")).add(Expr::lit(0.1));
+        let e = Expr::col("price")
+            .mul(Expr::col("disc"))
+            .add(Expr::lit(0.1));
         let a = e.eval(&t, &[0, 1, 2]).unwrap();
         let b = e.eval(&t, &[2, 1, 0]).unwrap();
         assert_eq!(a[0].to_bits(), b[2].to_bits());

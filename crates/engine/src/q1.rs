@@ -170,8 +170,7 @@ mod tests {
     #[test]
     fn q1_produces_the_four_tpch_groups() {
         let (rows, _) = run_q1(&table(), SumBackend::Double).unwrap();
-        let groups: Vec<(char, char)> =
-            rows.iter().map(|r| (r.returnflag, r.linestatus)).collect();
+        let groups: Vec<(char, char)> = rows.iter().map(|r| (r.returnflag, r.linestatus)).collect();
         assert_eq!(groups, vec![('A', 'F'), ('N', 'F'), ('N', 'O'), ('R', 'F')]);
     }
 

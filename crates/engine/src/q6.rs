@@ -119,7 +119,14 @@ mod tests {
         let t = table();
         let (d, _) = run_q6(&t, SumBackend::Double).unwrap();
         let (r, _) = run_q6(&t, SumBackend::Rsum { levels: 3 }).unwrap();
-        let (b, _) = run_q6(&t, SumBackend::RsumBuffered { levels: 3, buffer_size: 512 }).unwrap();
+        let (b, _) = run_q6(
+            &t,
+            SumBackend::RsumBuffered {
+                levels: 3,
+                buffer_size: 512,
+            },
+        )
+        .unwrap();
         let (s, _) = run_q6(&t, SumBackend::SortedDouble).unwrap();
         assert!((d - r).abs() <= 1e-9 * d.abs());
         assert!((d - s).abs() <= 1e-9 * d.abs());
@@ -149,6 +156,6 @@ mod tests {
         let (d1, _) = run_q6(&t, SumBackend::Double).unwrap();
         let (d2, _) = run_q6(&rev, SumBackend::Double).unwrap();
         assert!((d1 - d2).abs() <= 1e-6 * d1.abs()); // numerically equal...
-        // ...but generally not bitwise (not asserted: probabilistic).
+                                                     // ...but generally not bitwise (not asserted: probabilistic).
     }
 }

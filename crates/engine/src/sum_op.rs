@@ -82,23 +82,27 @@ pub fn sum_grouped(
             Ok(acc)
         }
         SumBackend::ReproUnbuffered => Ok(repro_sum_grouped::<LEVELS>(group_ids, values, groups)),
-        SumBackend::ReproBuffered { buffer_size } => {
-            Ok(repro_sum_buffered::<LEVELS>(group_ids, values, groups, buffer_size))
-        }
+        SumBackend::ReproBuffered { buffer_size } => Ok(repro_sum_buffered::<LEVELS>(
+            group_ids,
+            values,
+            groups,
+            buffer_size,
+        )),
         SumBackend::Rsum { levels } => Ok(dispatch_levels(levels, |l| match l {
             1 => repro_sum_grouped::<1>(group_ids, values, groups),
             2 => repro_sum_grouped::<2>(group_ids, values, groups),
             3 => repro_sum_grouped::<3>(group_ids, values, groups),
             _ => repro_sum_grouped::<4>(group_ids, values, groups),
         })),
-        SumBackend::RsumBuffered { levels, buffer_size } => {
-            Ok(dispatch_levels(levels, |l| match l {
-                1 => repro_sum_buffered::<1>(group_ids, values, groups, buffer_size),
-                2 => repro_sum_buffered::<2>(group_ids, values, groups, buffer_size),
-                3 => repro_sum_buffered::<3>(group_ids, values, groups, buffer_size),
-                _ => repro_sum_buffered::<4>(group_ids, values, groups, buffer_size),
-            }))
-        }
+        SumBackend::RsumBuffered {
+            levels,
+            buffer_size,
+        } => Ok(dispatch_levels(levels, |l| match l {
+            1 => repro_sum_buffered::<1>(group_ids, values, groups, buffer_size),
+            2 => repro_sum_buffered::<2>(group_ids, values, groups, buffer_size),
+            3 => repro_sum_buffered::<3>(group_ids, values, groups, buffer_size),
+            _ => repro_sum_buffered::<4>(group_ids, values, groups, buffer_size),
+        })),
     }
 }
 
@@ -108,11 +112,7 @@ fn dispatch_levels<R>(levels: u8, run: impl FnOnce(u8) -> R) -> R {
     run(levels)
 }
 
-fn repro_sum_grouped<const L: usize>(
-    group_ids: &[u32],
-    values: &[f64],
-    groups: usize,
-) -> Vec<f64> {
+fn repro_sum_grouped<const L: usize>(group_ids: &[u32], values: &[f64], groups: usize) -> Vec<f64> {
     let mut acc: Vec<ReproSum<f64, L>> = vec![ReproSum::new(); groups];
     for (&g, &v) in group_ids.iter().zip(values.iter()) {
         acc[g as usize].add(v);
@@ -126,8 +126,9 @@ fn repro_sum_buffered<const L: usize>(
     groups: usize,
     buffer_size: usize,
 ) -> Vec<f64> {
-    let mut acc: Vec<SummationBuffer<f64, L>> =
-        (0..groups).map(|_| SummationBuffer::new(buffer_size)).collect();
+    let mut acc: Vec<SummationBuffer<f64, L>> = (0..groups)
+        .map(|_| SummationBuffer::new(buffer_size))
+        .collect();
     for (&g, &v) in group_ids.iter().zip(values.iter()) {
         acc[g as usize].push(v);
     }
@@ -175,7 +176,10 @@ mod tests {
         )
         .unwrap();
         for g in 0..4 {
-            assert!((d[g] - u[g]).abs() < 1e-6 * d[g].abs().max(1.0), "group {g}");
+            assert!(
+                (d[g] - u[g]).abs() < 1e-6 * d[g].abs().max(1.0),
+                "group {g}"
+            );
             assert_eq!(u[g].to_bits(), b[g].to_bits(), "group {g}");
         }
     }
@@ -229,7 +233,10 @@ mod tests {
         )
         .unwrap();
         let dynamic = sum_grouped(
-            SumBackend::RsumBuffered { levels: 4, buffer_size: 128 },
+            SumBackend::RsumBuffered {
+                levels: 4,
+                buffer_size: 128,
+            },
             &ids,
             &values,
             4,

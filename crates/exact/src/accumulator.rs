@@ -235,7 +235,7 @@ mod tests {
             -12345.6789,
             f64::MAX,
             f64::MIN_POSITIVE,
-            5e-324,   // min denormal
+            5e-324,    // min denormal
             -2.5e-310, // denormal
             1.2345e308,
         ] {

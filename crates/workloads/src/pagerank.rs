@@ -164,7 +164,10 @@ mod tests {
                 assert_eq!(a.to_bits(), b.to_bits());
             }
         }
-        assert_eq!(rank_swaps(&s1, &pagerank_repro::<2>(&g, &g.permuted_edges(7), &cfg)), 0);
+        assert_eq!(
+            rank_swaps(&s1, &pagerank_repro::<2>(&g, &g.permuted_edges(7), &cfg)),
+            0
+        );
     }
 
     #[test]

@@ -51,7 +51,9 @@ impl GroupedPairs {
     pub fn generate(n: usize, key_domain: u32, dist: ValueDist, seed: u64) -> Self {
         assert!(key_domain > 0);
         let mut rng = SplitMix64::new(seed ^ 0xC0FF_EE00_D15E_A5E5);
-        let keys: Vec<u32> = (0..n).map(|_| rng.below(key_domain as u64) as u32).collect();
+        let keys: Vec<u32> = (0..n)
+            .map(|_| rng.below(key_domain as u64) as u32)
+            .collect();
         let values: Vec<f64> = (0..n).map(|_| dist.sample(&mut rng)).collect();
         GroupedPairs {
             keys,
@@ -189,7 +191,10 @@ mod tests {
     fn exp1_mean_is_one() {
         let mut rng = SplitMix64::new(13);
         let n = 200_000;
-        let mean: f64 = (0..n).map(|_| ValueDist::Exp1.sample(&mut rng)).sum::<f64>() / n as f64;
+        let mean: f64 = (0..n)
+            .map(|_| ValueDist::Exp1.sample(&mut rng))
+            .sum::<f64>()
+            / n as f64;
         assert!((mean - 1.0).abs() < 0.01, "mean {mean}");
     }
 

@@ -51,7 +51,10 @@ fn main() {
                 .chunks(chunk)
                 .map(|shard| scope.spawn(move || worker(shard)))
                 .collect();
-            handles.into_iter().map(|h| h.join().expect("worker")).collect()
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker"))
+                .collect()
         });
         let bytes: usize = states.iter().map(|s| s.len()).sum();
         let total = gather(&states).expect("valid states");
@@ -87,5 +90,9 @@ fn main() {
     );
     let exact = exact_sum_f64(&data);
     println!("\nexact sum     : {exact:.17}");
-    println!("repro L3 sum  : {:.17} (err {:.2e})", results[0], (results[0] - exact).abs());
+    println!(
+        "repro L3 sum  : {:.17} (err {:.2e})",
+        results[0],
+        (results[0] - exact).abs()
+    );
 }

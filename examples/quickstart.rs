@@ -48,7 +48,11 @@ fn main() {
         ..Default::default()
     };
     let out = partition_and_aggregate(&f, &keys, &values, &cfg);
-    println!("groupby produced {} groups; group 0 sum = {}", out.len(), out[0].1);
+    println!(
+        "groupby produced {} groups; group 0 sum = {}",
+        out.len(),
+        out[0].1
+    );
 
     // Any permutation, any thread count, any partitioning: same bits.
     let rev_keys: Vec<u32> = keys.iter().rev().copied().collect();

@@ -47,7 +47,10 @@ fn main() {
     let keys2: Vec<u32> = perm.iter().map(|&i| keys[i as usize]).collect();
     let values2: Vec<f64> = perm.iter().map(|&i| values[i as usize]).collect();
 
-    let cfg = GroupByConfig { groups_hint: SENSORS as usize, ..Default::default() };
+    let cfg = GroupByConfig {
+        groups_hint: SENSORS as usize,
+        ..Default::default()
+    };
 
     // Plain double aggregation: fast, but run-dependent.
     let plain = SumAgg::<f64>::new();
@@ -71,7 +74,10 @@ fn main() {
         .count();
     println!("repro<d,3>    : {repro_diffs}/{SENSORS} sensor totals differ between the two runs");
     assert_eq!(repro_diffs, 0);
-    assert!(plain_diffs > 0, "mixed-magnitude data should expose order sensitivity");
+    assert!(
+        plain_diffs > 0,
+        "mixed-magnitude data should expose order sensitivity"
+    );
 
     // Accuracy check against the exact oracle for the worst sensor.
     let mut per_sensor: Vec<Vec<f64>> = vec![Vec::new(); SENSORS as usize];

@@ -14,7 +14,10 @@ fn main() {
     let backends = [
         ("double (MonetDB baseline)", SumBackend::Double),
         ("repro<double,4> unbuffered", SumBackend::ReproUnbuffered),
-        ("repro<double,4> buffered", SumBackend::ReproBuffered { buffer_size: 1024 }),
+        (
+            "repro<double,4> buffered",
+            SumBackend::ReproBuffered { buffer_size: 1024 },
+        ),
         ("double over sorted input", SumBackend::SortedDouble),
     ];
 
@@ -53,8 +56,13 @@ fn main() {
             for r in &result {
                 println!(
                     "     {}    {} | {:>12.2} | {:>16.2} | {:>16.2} | {:>16.2} | {:>6}",
-                    r.returnflag, r.linestatus, r.sum_qty, r.sum_base_price, r.sum_disc_price,
-                    r.sum_charge, r.count,
+                    r.returnflag,
+                    r.linestatus,
+                    r.sum_qty,
+                    r.sum_base_price,
+                    r.sum_disc_price,
+                    r.sum_charge,
+                    r.count,
                 );
             }
             println!();

@@ -51,13 +51,31 @@ pub use rfa_workloads as workloads;
 pub mod prelude {
     pub use rfa_agg::{
         adaptive_aggregate, hash_aggregate, partition_and_aggregate, shared_aggregate,
-        sort_aggregate, AdaptiveConfig, AggFn, BufferedReproAgg, GroupByConfig, HashKind,
-        Moments, MomentsAgg, ReproAgg, SharedAggConfig, SumAgg,
+        sort_aggregate, AdaptiveConfig, AggFn, BufferedReproAgg, GroupByConfig, HashKind, Moments,
+        MomentsAgg, ReproAgg, SharedAggConfig, SumAgg,
     };
     pub use rfa_core::{
-        reproducible_dot, reproducible_norm_sq, reproducible_sum, CacheModel, ReproDot,
-        ReproFloat, ReproSum, SummationBuffer,
+        reproducible_dot, reproducible_norm_sq, reproducible_sum, CacheModel, ReproDot, ReproFloat,
+        ReproSum, SummationBuffer,
     };
     pub use rfa_decimal::{Decimal18, Decimal38, Decimal9};
     pub use rfa_exact::{exact_sum_f32, exact_sum_f64, ExactSum};
+}
+
+/// Short names for the paper's `repro<ScalarT, L>` instantiations
+/// (§IV): `ReproDouble2` is the paper's default GROUPBY configuration,
+/// `ReproDouble3`/`ReproDouble4` trade throughput for accuracy.
+pub mod aliases {
+    use rfa_core::ReproSum;
+
+    /// `repro<double, 2>` — the paper's default accumulator.
+    pub type ReproDouble2 = ReproSum<f64, 2>;
+    /// `repro<double, 3>` — one extra accuracy level.
+    pub type ReproDouble3 = ReproSum<f64, 3>;
+    /// `repro<double, 4>` — the engine's SUM backend configuration.
+    pub type ReproDouble4 = ReproSum<f64, 4>;
+    /// `repro<float, 2>`.
+    pub type ReproFloat2 = ReproSum<f32, 2>;
+    /// `repro<float, 3>`.
+    pub type ReproFloat3 = ReproSum<f32, 3>;
 }

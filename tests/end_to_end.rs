@@ -2,8 +2,8 @@
 //! operators, engine, core accumulators, exact oracle — wired together the
 //! way a deployment would use it.
 
-use rfa::prelude::*;
 use rfa::engine::{run_q1, SumBackend};
+use rfa::prelude::*;
 use rfa::workloads::{GroupedPairs, Lineitem, SplitMix64, ValueDist};
 
 /// The paper's data-independence requirement, end to end: physically
@@ -53,7 +53,11 @@ fn plain_float_aggregation_is_order_sensitive() {
     let w = GroupedPairs::generate(60_000, 16, ValueDist::Exp1, 7);
     let p = w.permuted(999);
     let f = SumAgg::<f64>::new();
-    let cfg = GroupByConfig { groups_hint: 16, threads: 1, ..Default::default() };
+    let cfg = GroupByConfig {
+        groups_hint: 16,
+        threads: 1,
+        ..Default::default()
+    };
     let a = partition_and_aggregate(&f, &w.keys, &w.values, &cfg);
     let b = partition_and_aggregate(&f, &p.keys, &p.values, &cfg);
     let diffs = a
@@ -61,7 +65,10 @@ fn plain_float_aggregation_is_order_sensitive() {
         .zip(b.iter())
         .filter(|(x, y)| x.1.to_bits() != y.1.to_bits())
         .count();
-    assert!(diffs > 0, "expected at least one group to differ in the last bit");
+    assert!(
+        diffs > 0,
+        "expected at least one group to differ in the last bit"
+    );
 }
 
 /// Reproducible sums agree with the exact oracle within Eq. 6 and beat
@@ -124,7 +131,11 @@ fn every_data_type_runs_the_same_operator() {
         .iter()
         .map(|&v| Decimal9::from_raw((v * 1e4) as i32))
         .collect();
-    let cfg = GroupByConfig { depth: 1, groups_hint: 50, ..Default::default() };
+    let cfg = GroupByConfig {
+        depth: 1,
+        groups_hint: 50,
+        ..Default::default()
+    };
 
     let f64_out = partition_and_aggregate(&SumAgg::<f64>::new(), &w.keys, &w.values, &cfg);
     let f32_out = partition_and_aggregate(&SumAgg::<f32>::new(), &w.keys, &v32, &cfg);
@@ -198,7 +209,11 @@ fn special_values_through_the_stack() {
     assert_eq!(out[1].1, f64::INFINITY);
     assert_eq!(out[2].1, 2e302);
     // Same through the buffered and partitioned paths.
-    let cfg = GroupByConfig { depth: 1, groups_hint: 3, ..Default::default() };
+    let cfg = GroupByConfig {
+        depth: 1,
+        groups_hint: 3,
+        ..Default::default()
+    };
     let out2 = partition_and_aggregate(&BufferedReproAgg::<f64, 2>::new(16), &keys, &values, &cfg);
     assert!(out2[0].1.is_nan());
     assert_eq!(out2[1].1, f64::INFINITY);

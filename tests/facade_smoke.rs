@@ -1,0 +1,104 @@
+//! Workspace-level smoke test of the facade: the `rfa::prelude` re-exports
+//! must resolve against what the member crates actually export, and the
+//! `aliases` shortcuts must reproduce Algorithm 1's motivating example
+//! order-independently.
+
+use rfa::aliases::ReproDouble2;
+use rfa::prelude::*;
+
+/// Algorithm 1 of the paper: the same three rows before and after an
+/// UPDATE that moves the large row to the end of the physical order.
+const BEFORE: [f64; 3] = [2.5e-16, 0.999_999_999_999_999, 2.5e-16];
+const AFTER: [f64; 3] = [2.5e-16, 2.5e-16, 0.999_999_999_999_999];
+
+#[test]
+fn aliases_sum_algorithm1_rows_order_independently() {
+    // Plain f64 summation depends on the physical order (the paper's
+    // motivating observation) ...
+    let plain_before: f64 = BEFORE.iter().sum();
+    let plain_after: f64 = AFTER.iter().sum();
+    assert_ne!(
+        plain_before.to_bits(),
+        plain_after.to_bits(),
+        "Algorithm 1 rows must expose plain-float order dependence"
+    );
+
+    // ... while the aliased reproducible accumulator does not.
+    let mut acc_before = ReproDouble2::new();
+    acc_before.add_all(&BEFORE);
+    let mut acc_after = ReproDouble2::new();
+    acc_after.add_all(&AFTER);
+    assert_eq!(
+        acc_before.value().to_bits(),
+        acc_after.value().to_bits(),
+        "repro<double, 2> must be independent of physical row order"
+    );
+    assert_eq!(acc_before.canonical_state(), acc_after.canonical_state());
+}
+
+#[test]
+fn prelude_names_resolve_and_cooperate() {
+    // Touch one export from every member crate through the prelude, wired
+    // together the way user code would.
+    let keys = [0u32, 1, 0, 1, 0];
+    let values = [1e16, 1.0, 1.0, 2.5e-16, -1e16];
+
+    let repro = partition_and_aggregate(
+        &ReproAgg::<f64, 3>::new(),
+        &keys,
+        &values,
+        &GroupByConfig::default(),
+    );
+    let sorted = sort_aggregate(&ReproAgg::<f64, 3>::new(), &keys, &values);
+    let hashed = hash_aggregate(
+        &ReproAgg::<f64, 3>::new(),
+        &keys,
+        &values,
+        HashKind::Identity,
+        2,
+    );
+    assert_eq!(repro.len(), 2);
+    for ((a, b), c) in repro.iter().zip(&sorted).zip(&hashed) {
+        assert_eq!(a.0, b.0);
+        assert_eq!(a.1.to_bits(), b.1.to_bits());
+        assert_eq!(a.1.to_bits(), c.1.to_bits());
+    }
+
+    // Group 0 sums 1e16 + 1.0 - 1e16: the exact oracle keeps the 1.0 and
+    // so must repro at L = 3.
+    let group0: Vec<f64> = keys
+        .iter()
+        .zip(values.iter())
+        .filter(|(&k, _)| k == 0)
+        .map(|(_, &v)| v)
+        .collect();
+    assert_eq!(exact_sum_f64(&group0), 1.0);
+    assert_eq!(repro[0].1, 1.0);
+
+    // Scalar helpers and decimal baselines resolve too.
+    assert_eq!(reproducible_sum::<f64, 3>(&group0), 1.0);
+    let cents: Vec<Decimal9<2>> = [150, 275].iter().map(|&c| Decimal9::from_raw(c)).collect();
+    let total: Decimal9<2> = cents.iter().copied().sum();
+    assert_eq!(total.raw(), 425);
+}
+
+#[test]
+fn facade_module_paths_reexport_member_crates() {
+    // The module re-exports (`rfa::core`, `rfa::agg`, ...) are the same
+    // items as the underlying crates, so fully-qualified paths work.
+    let mut acc = rfa::core::ReproSum::<f64, 2>::new();
+    acc.add(1.5);
+    assert_eq!(acc.value(), 1.5);
+
+    let pairs =
+        rfa::workloads::GroupedPairs::generate(1024, 8, rfa::workloads::ValueDist::Uniform01, 7);
+    assert_eq!(pairs.keys.len(), 1024);
+    let out = rfa::agg::hash_aggregate(
+        &rfa::agg::ReproAgg::<f64, 2>::new(),
+        &pairs.keys,
+        &pairs.values,
+        rfa::agg::HashKind::Identity,
+        8,
+    );
+    assert_eq!(out.len(), 8);
+}

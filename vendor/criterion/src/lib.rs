@@ -1,0 +1,313 @@
+//! Vendored shim for the `criterion` crate: the subset of the benchmarking
+//! API this workspace's micro-benchmarks use, backed by a plain
+//! min-of-samples timer.
+//!
+//! The workspace builds hermetically (no registry access). This harness
+//! accepts the same builder calls as real criterion and prints one line per
+//! benchmark (`<group>/<name>  time: ... ns/iter  thrpt: ...`), but does no
+//! statistical analysis, outlier detection, or HTML reporting. Swap the
+//! real `criterion` back in via the workspace manifest for those.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Throughput annotation for a benchmark group.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// Parameterized benchmark identifier (`BenchmarkId::new("op", n)`).
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Measurement configuration and entry point (real criterion's `Criterion`).
+#[derive(Clone, Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(100),
+            measurement_time: Duration::from_millis(500),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    pub fn configure_from_args(self) -> Self {
+        // cargo bench forwards harness flags (e.g. `--bench`); nothing to
+        // configure in the shim.
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, name: impl std::fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = name.to_string();
+        run_benchmark(self, &name, None, f);
+        self
+    }
+
+    pub fn final_summary(&self) {}
+}
+
+/// A named group of benchmarks sharing throughput configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size = n;
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.criterion.measurement_time = d;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, name: impl std::fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.name, name);
+        run_benchmark(self.criterion, &id, self.throughput, f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = format!("{}/{}", self.name, id);
+        run_benchmark(self.criterion, &id, self.throughput, |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Timing driver handed to benchmark closures.
+pub struct Bencher {
+    iters_per_sample: u64,
+    samples: usize,
+    /// Best observed per-iteration time, in seconds.
+    best: f64,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                black_box(f());
+            }
+            let per_iter = start.elapsed().as_secs_f64() / self.iters_per_sample as f64;
+            self.best = self.best.min(per_iter);
+        }
+    }
+
+    pub fn iter_with_large_drop<O, F: FnMut() -> O>(&mut self, f: F) {
+        self.iter(f)
+    }
+}
+
+fn run_benchmark<F>(c: &Criterion, id: &str, throughput: Option<Throughput>, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    // Warm-up + calibration: find an iteration count whose sample fits the
+    // per-sample time budget.
+    let mut calib = Bencher {
+        iters_per_sample: 1,
+        samples: 1,
+        best: f64::INFINITY,
+    };
+    let warm_up_start = Instant::now();
+    f(&mut calib);
+    while warm_up_start.elapsed() < c.warm_up_time {
+        f(&mut calib);
+    }
+    let per_sample = (c.measurement_time.as_secs_f64() / c.sample_size as f64).max(1e-4);
+    let iters = if calib.best.is_finite() && calib.best > 0.0 {
+        ((per_sample / calib.best) as u64).clamp(1, 1 << 24)
+    } else {
+        1
+    };
+
+    let mut bencher = Bencher {
+        iters_per_sample: iters,
+        samples: c.sample_size,
+        best: f64::INFINITY,
+    };
+    f(&mut bencher);
+
+    let best = if bencher.best.is_finite() {
+        bencher.best
+    } else {
+        0.0 // closure never called `iter`
+    };
+    let line = match throughput {
+        Some(Throughput::Elements(n)) if best > 0.0 => format!(
+            "{id:<40}  time: {:>12}  thrpt: {:.1} Melem/s",
+            format_time(best),
+            n as f64 / best / 1e6
+        ),
+        Some(Throughput::Bytes(n)) if best > 0.0 => format!(
+            "{id:<40}  time: {:>12}  thrpt: {:.1} MiB/s",
+            format_time(best),
+            n as f64 / best / (1024.0 * 1024.0)
+        ),
+        _ => format!("{id:<40}  time: {:>12}", format_time(best)),
+    };
+    println!("{line}");
+}
+
+fn format_time(seconds: f64) -> String {
+    if seconds >= 1.0 {
+        format!("{seconds:.3} s")
+    } else if seconds >= 1e-3 {
+        format!("{:.3} ms", seconds * 1e3)
+    } else if seconds >= 1e-6 {
+        format!("{:.3} µs", seconds * 1e6)
+    } else {
+        format!("{:.1} ns", seconds * 1e9)
+    }
+}
+
+/// `criterion_group!` — both the struct-ish and plain forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// `criterion_main!` — a `main` that runs each group and ignores harness
+/// CLI flags (cargo bench passes `--bench`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_reports_positive_time() {
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5));
+        let mut ran = false;
+        c.bench_function("spin", |b| {
+            ran = true;
+            b.iter(|| (0..100u64).sum::<u64>())
+        });
+        assert!(ran);
+    }
+
+    #[test]
+    fn group_with_throughput() {
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5));
+        let mut g = c.benchmark_group("g");
+        g.throughput(Throughput::Elements(100));
+        g.bench_function("sum", |b| b.iter(|| black_box(1 + 1)));
+        g.bench_with_input(BenchmarkId::new("param", 7), &7u64, |b, &x| {
+            b.iter(|| black_box(x * 2))
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn id_formatting() {
+        assert_eq!(BenchmarkId::new("op", 32).to_string(), "op/32");
+        assert_eq!(BenchmarkId::from_parameter(9).to_string(), "9");
+    }
+}

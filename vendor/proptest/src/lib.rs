@@ -1,0 +1,475 @@
+//! Vendored shim for the `proptest` crate: the subset of the strategy API
+//! and the `proptest!` macro this workspace's property tests use.
+//!
+//! The workspace builds hermetically (no registry access), so this shim
+//! stands in for the real crate. Differences from real proptest:
+//!
+//! * **No shrinking.** A failing case panics with the generated inputs via
+//!   the ordinary assert message; it does not minimize.
+//! * **Deterministic generation.** Cases derive from a fixed seed, the
+//!   test's `module_path!()` + name, and the case index — every run and
+//!   every machine sees the same inputs (good for reproducibility-themed
+//!   tests; real proptest would randomize unless `PROPTEST_RNG_SEED` is
+//!   pinned).
+//!
+//! Swap the real `proptest` back in via the workspace manifest for
+//! shrinking and persistence.
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+
+    /// A generator of values of type `Self::Value` (real proptest's
+    /// `Strategy`, minus value trees and shrinking).
+    pub trait Strategy {
+        type Value;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U,
+        {
+            Map { base: self, f }
+        }
+
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            Box::new(self)
+        }
+    }
+
+    /// Type-erased strategy, used by `prop_oneof!` to mix arm types.
+    pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (**self).generate(rng)
+        }
+    }
+
+    /// Strategy that always yields a clone of one value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Output of [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        base: S,
+        f: F,
+    }
+
+    impl<S, U, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> U,
+    {
+        type Value = U;
+        fn generate(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.base.generate(rng))
+        }
+    }
+
+    /// Weighted union of boxed strategies (output of `prop_oneof!`).
+    pub struct OneOf<T> {
+        arms: Vec<(u32, BoxedStrategy<T>)>,
+        total_weight: u64,
+    }
+
+    impl<T> OneOf<T> {
+        pub fn new(arms: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            let total_weight = arms.iter().map(|&(w, _)| w as u64).sum();
+            assert!(total_weight > 0, "prop_oneof! weights must not all be zero");
+            OneOf { arms, total_weight }
+        }
+    }
+
+    impl<T> Strategy for OneOf<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let mut pick = rng.next_u64() % self.total_weight;
+            for (w, strat) in &self.arms {
+                if pick < *w as u64 {
+                    return strat.generate(rng);
+                }
+                pick -= *w as u64;
+            }
+            unreachable!("weight sum covered above")
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let offset = (rng.next_u64() as u128) % span;
+                    (self.start as i128 + offset as i128) as $t
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi as i128 - lo as i128) as u128 + 1;
+                    let offset = (rng.next_u64() as u128) % span;
+                    (lo as i128 + offset as i128) as $t
+                }
+            }
+        )*};
+    }
+    int_range_strategy!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+    macro_rules! float_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let u01 = rng.unit_f64() as $t;
+                    let v = self.start + u01 * (self.end - self.start);
+                    // Guard the half-open contract against rounding up.
+                    if v >= self.end { self.start } else { v }
+                }
+            }
+        )*};
+    }
+    float_range_strategy!(f32, f64);
+
+    macro_rules! tuple_strategy {
+        ($(($($name:ident),+))*) => {$(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    #[allow(non_snake_case)]
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+    tuple_strategy! {
+        (A)
+        (A, B)
+        (A, B, C)
+        (A, B, C, D)
+        (A, B, C, D, E)
+    }
+
+    /// Types with a default "any value" strategy (real proptest's
+    /// `Arbitrary`).
+    pub trait ArbitraryValue {
+        fn generate_any(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl ArbitraryValue for $t {
+                fn generate_any(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl ArbitraryValue for u128 {
+        fn generate_any(rng: &mut TestRng) -> u128 {
+            ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+        }
+    }
+
+    impl ArbitraryValue for bool {
+        fn generate_any(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl ArbitraryValue for f64 {
+        fn generate_any(rng: &mut TestRng) -> f64 {
+            // Finite values across many binades (real proptest generates
+            // non-finite values too; tests here expect finite inputs).
+            let mantissa = rng.unit_f64() * 2.0 - 1.0;
+            let exp = (rng.next_u64() % 600) as i32 - 300;
+            mantissa * 2f64.powi(exp)
+        }
+    }
+
+    impl ArbitraryValue for f32 {
+        fn generate_any(rng: &mut TestRng) -> f32 {
+            let mantissa = (rng.unit_f64() * 2.0 - 1.0) as f32;
+            let exp = (rng.next_u64() % 60) as i32 - 30;
+            mantissa * 2f32.powi(exp)
+        }
+    }
+
+    /// Strategy returned by [`any`].
+    pub struct Any<T>(std::marker::PhantomData<T>);
+
+    impl<T: ArbitraryValue> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::generate_any(rng)
+        }
+    }
+
+    /// `any::<T>()` — the default strategy for `T`.
+    pub fn any<T: ArbitraryValue>() -> Any<T> {
+        Any(std::marker::PhantomData)
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// Strategy for `Vec<S::Value>` with length drawn from a range.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// `collection::vec(element, len_range)` — mirrors real proptest's
+    /// signature for `Range<usize>` sizes (the only form used here).
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "empty vec size range");
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.end - self.size.start) as u64;
+            let len = self.size.start + (rng.next_u64() % span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod test_runner {
+    /// Per-test configuration (real proptest's `ProptestConfig`, reduced to
+    /// the knobs used here).
+    #[derive(Clone, Copy, Debug)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    /// SplitMix64 — deterministic, seedable, and stable across platforms.
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// RNG for one test case, keyed by the test's identity and the
+        /// case index so every property sees an independent stream.
+        pub fn for_case(test_id: &str, case: u64) -> Self {
+            let mut h = 0xcbf29ce484222325u64; // FNV-1a offset basis
+            for b in test_id.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100000001b3);
+            }
+            TestRng {
+                state: h ^ case.wrapping_mul(0x9E3779B97F4A7C15),
+            }
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform draw from `[0, 1)` with 53 random bits.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::strategy::{any, BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Defines property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` running `cases` deterministic iterations.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_body! { config = $cfg; $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_body! {
+            config = $crate::test_runner::ProptestConfig::default();
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    (
+        config = $cfg:expr;
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __cfg: $crate::test_runner::ProptestConfig = $cfg;
+                for __case in 0..__cfg.cases {
+                    let mut __rng = $crate::test_runner::TestRng::for_case(
+                        concat!(module_path!(), "::", stringify!($name)),
+                        __case as u64,
+                    );
+                    $(
+                        let $pat = $crate::strategy::Strategy::generate(&$strat, &mut __rng);
+                    )+
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// `prop_assert!` — plain `assert!` (no shrinking in the shim).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// `prop_assert_eq!` — plain `assert_eq!` (no shrinking in the shim).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// `prop_assert_ne!` — plain `assert_ne!` (no shrinking in the shim).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Weighted (`w => strategy`) or unweighted union of strategies.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = TestRng::for_case("ranges", 0);
+        for _ in 0..10_000 {
+            let v = Strategy::generate(&(-5i32..7), &mut rng);
+            assert!((-5..7).contains(&v));
+            let f = Strategy::generate(&(-1.0..1.0f64), &mut rng);
+            assert!((-1.0..1.0).contains(&f));
+            let u = Strategy::generate(&(3usize..4), &mut rng);
+            assert_eq!(u, 3);
+        }
+    }
+
+    #[test]
+    fn determinism_across_runs() {
+        let gen = |n: u64| {
+            let mut rng = TestRng::for_case("det", n);
+            crate::collection::vec(0u32..1000, 1..50).generate(&mut rng)
+        };
+        assert_eq!(gen(7), gen(7));
+        assert_ne!(gen(7), gen(8));
+    }
+
+    #[test]
+    fn oneof_hits_all_arms() {
+        let strat = prop_oneof![
+            3 => 0i32..1,
+            1 => 100i32..101,
+        ];
+        let mut rng = TestRng::for_case("oneof", 0);
+        let mut low = 0;
+        let mut high = 0;
+        for _ in 0..1000 {
+            match strat.generate(&mut rng) {
+                0 => low += 1,
+                100 => high += 1,
+                other => panic!("impossible value {other}"),
+            }
+        }
+        assert!(low > 500 && high > 100, "low {low}, high {high}");
+    }
+
+    #[test]
+    fn prop_map_and_tuples() {
+        let strat = (0u32..10, (0u32..5).prop_map(|v| v * 2));
+        let mut rng = TestRng::for_case("map", 1);
+        for _ in 0..100 {
+            let (a, b) = strat.generate(&mut rng);
+            assert!(a < 10);
+            assert!(b % 2 == 0 && b < 10);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn macro_smoke(v in crate::collection::vec(0u64..100, 0..20), flag in any::<bool>()) {
+            prop_assert!(v.len() < 20);
+            prop_assert_eq!(flag as u64 * 2, if flag { 2 } else { 0 });
+            for x in v {
+                prop_assert!(x < 100);
+            }
+        }
+    }
+}

@@ -1,0 +1,265 @@
+//! Vendored shim for the `rayon` crate, implementing the subset of the
+//! parallel-iterator API this workspace uses on top of `std::thread::scope`.
+//!
+//! The workspace builds hermetically (no registry access). Fan-out uses one
+//! OS thread per chunk up to `available_parallelism`, and results are
+//! concatenated in input order — the same ordering guarantee rayon's
+//! indexed parallel iterators provide, which the operators rely on for
+//! deterministic output. Swap the real `rayon` back in via the workspace
+//! manifest to get work-stealing and parallel sorts.
+
+pub mod prelude {
+    pub use crate::iter::{IntoParallelIterator, ParallelIterator};
+    pub use crate::slice::ParallelSliceMut;
+}
+
+/// Splits `items` into at most `available_parallelism` chunks, maps each
+/// chunk on its own scoped thread, and concatenates results in order.
+fn par_apply<T, U, F>(items: Vec<T>, f: &F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+{
+    let n = items.len();
+    let threads = std::thread::available_parallelism()
+        .map_or(1, |p| p.get())
+        .min(n.max(1));
+    if threads <= 1 || n <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let chunk = n.div_ceil(threads);
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
+    let mut items = items.into_iter();
+    loop {
+        let c: Vec<T> = items.by_ref().take(chunk).collect();
+        if c.is_empty() {
+            break;
+        }
+        chunks.push(c);
+    }
+    std::thread::scope(|s| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|c| s.spawn(move || c.into_iter().map(f).collect::<Vec<U>>()))
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("rayon-shim worker panicked"))
+            .collect()
+    })
+}
+
+pub mod iter {
+    use super::par_apply;
+    use std::ops::Range;
+
+    /// Conversion into a parallel iterator (rayon's entry-point trait).
+    pub trait IntoParallelIterator {
+        type Item: Send;
+        type Iter: ParallelIterator<Item = Self::Item>;
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    /// The subset of rayon's `ParallelIterator`/`IndexedParallelIterator`
+    /// interface the workspace uses. `drive` materializes the items in
+    /// input order.
+    pub trait ParallelIterator: Sized {
+        type Item: Send;
+
+        fn drive(self) -> Vec<Self::Item>;
+
+        fn map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            U: Send,
+            F: Fn(Self::Item) -> U + Sync,
+        {
+            Map { base: self, f }
+        }
+
+        fn collect<C>(self) -> C
+        where
+            C: FromParallelIterator<Self::Item>,
+        {
+            C::from_ordered_items(self.drive())
+        }
+
+        fn collect_into_vec(self, target: &mut Vec<Self::Item>) {
+            *target = self.drive();
+        }
+    }
+
+    /// Collection from an ordered parallel computation (rayon's
+    /// `FromParallelIterator`, restricted to ordered sources).
+    pub trait FromParallelIterator<T: Send> {
+        fn from_ordered_items(items: Vec<T>) -> Self;
+    }
+
+    impl<T: Send> FromParallelIterator<T> for Vec<T> {
+        fn from_ordered_items(items: Vec<T>) -> Self {
+            items
+        }
+    }
+
+    /// Parallel iterator over a `Range<usize>`.
+    pub struct RangeIter {
+        range: Range<usize>,
+    }
+
+    impl IntoParallelIterator for Range<usize> {
+        type Item = usize;
+        type Iter = RangeIter;
+        fn into_par_iter(self) -> RangeIter {
+            RangeIter { range: self }
+        }
+    }
+
+    impl ParallelIterator for RangeIter {
+        type Item = usize;
+        fn drive(self) -> Vec<usize> {
+            self.range.collect()
+        }
+    }
+
+    /// Parallel iterator over an owned `Vec<T>`.
+    pub struct VecIter<T: Send> {
+        items: Vec<T>,
+    }
+
+    impl<T: Send> IntoParallelIterator for Vec<T> {
+        type Item = T;
+        type Iter = VecIter<T>;
+        fn into_par_iter(self) -> VecIter<T> {
+            VecIter { items: self }
+        }
+    }
+
+    impl<T: Send> ParallelIterator for VecIter<T> {
+        type Item = T;
+        fn drive(self) -> Vec<T> {
+            self.items
+        }
+    }
+
+    /// Mapped parallel iterator; `drive` is where the actual thread fan-out
+    /// happens.
+    pub struct Map<B, F> {
+        base: B,
+        f: F,
+    }
+
+    impl<B, U, F> ParallelIterator for Map<B, F>
+    where
+        B: ParallelIterator,
+        U: Send,
+        F: Fn(B::Item) -> U + Sync,
+    {
+        type Item = U;
+        fn drive(self) -> Vec<U> {
+            par_apply(self.base.drive(), &self.f)
+        }
+    }
+}
+
+pub mod slice {
+    /// The subset of rayon's `ParallelSliceMut` the workspace uses. The
+    /// shim sorts sequentially; `sort_unstable_by_key` is already
+    /// deterministic, so only wall-clock differs from real rayon.
+    pub trait ParallelSliceMut<T: Send> {
+        fn as_mut_slice(&mut self) -> &mut [T];
+
+        fn par_sort_unstable_by_key<K, F>(&mut self, f: F)
+        where
+            K: Ord,
+            F: Fn(&T) -> K + Sync,
+        {
+            self.as_mut_slice().sort_unstable_by_key(f);
+        }
+
+        fn par_sort_unstable(&mut self)
+        where
+            T: Ord,
+        {
+            self.as_mut_slice().sort_unstable();
+        }
+    }
+
+    impl<T: Send> ParallelSliceMut<T> for [T] {
+        fn as_mut_slice(&mut self) -> &mut [T] {
+            self
+        }
+    }
+}
+
+/// Current number of worker threads a parallel operation may use.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, |p| p.get())
+}
+
+/// Runs two closures, potentially in parallel, returning both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    std::thread::scope(|s| {
+        let hb = s.spawn(b);
+        let ra = a();
+        (ra, hb.join().expect("rayon-shim join worker panicked"))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn range_map_collect_preserves_order() {
+        let out: Vec<usize> = (0..1000).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(out.len(), 1000);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, i * 2);
+        }
+    }
+
+    #[test]
+    fn vec_map_collect_into_vec() {
+        let items: Vec<u64> = (0..513).collect();
+        let mut out = Vec::new();
+        items
+            .into_par_iter()
+            .map(|v| v + 1)
+            .collect_into_vec(&mut out);
+        assert_eq!(out, (1..514).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let out: Vec<usize> = (0..0).into_par_iter().map(|i| i).collect();
+        assert!(out.is_empty());
+        let mut target = vec![1usize];
+        Vec::<usize>::new()
+            .into_par_iter()
+            .map(|i| i)
+            .collect_into_vec(&mut target);
+        assert!(target.is_empty());
+    }
+
+    #[test]
+    fn par_sort_matches_sequential() {
+        let mut a: Vec<i64> = (0..5000).map(|i| (i * 7919) % 1000 - 500).collect();
+        let mut b = a.clone();
+        a.par_sort_unstable_by_key(|&v| (v.abs(), v));
+        b.sort_unstable_by_key(|&v| (v.abs(), v));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn join_runs_both() {
+        let (a, b) = crate::join(|| 1 + 1, || "x".repeat(3));
+        assert_eq!(a, 2);
+        assert_eq!(b, "xxx");
+    }
+}
