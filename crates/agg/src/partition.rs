@@ -12,13 +12,20 @@
 //! exactly like multi-pass radix sort; modern hardware sustains fan-outs up
 //! to ~256 efficiently, hence the paper's `F = 256` per pass.
 //!
-//! Parallelization follows the paper: each thread partitions an arbitrary
-//! chunk of the input into thread-local partitions, and global partition
-//! `p` is the (order-deterministic) concatenation of the threads' local
-//! `p` partitions.
+//! Parallelization follows the paper, morsel-driven: the input is cut into
+//! fixed-size morsels, idle pool workers steal morsels, each morsel is
+//! partitioned into morsel-local partitions, and global partition `p` is
+//! the concatenation of the morsels' local `p` partitions *in morsel
+//! order* — deterministic content for a given input and morsel size, no
+//! matter which worker ran which morsel.
 
 use crate::hash_table::HashKind;
 use rayon::prelude::*;
+
+/// Rows per partitioning morsel. Large enough that the per-morsel radix
+/// histogram amortizes, small enough that work-stealing can balance a
+/// handful of workers on laptop-scale inputs.
+pub(crate) const PARTITION_MORSEL_ROWS: usize = 1 << 16;
 
 /// One output partition: parallel key/value columns.
 pub type Partition<V> = (Vec<u32>, Vec<V>);
@@ -57,10 +64,10 @@ pub fn partition_serial<V: Copy>(
     parts
 }
 
-/// Parallel radix partitioning: thread-local partitioning of input chunks
-/// followed by per-partition concatenation in chunk order (deterministic
-/// content; and aggregation over reproducible states is order-independent
-/// anyway).
+/// Parallel radix partitioning: morsel-local partitioning (morsels
+/// dispatched to the pool's work-stealing deques) followed by
+/// per-partition concatenation in morsel order (deterministic content; and
+/// aggregation over reproducible states is order-independent anyway).
 pub fn partition_parallel<V: Copy + Send + Sync>(
     keys: &[u32],
     values: &[V],
@@ -70,15 +77,17 @@ pub fn partition_parallel<V: Copy + Send + Sync>(
     threads: usize,
 ) -> Vec<Partition<V>> {
     let n = keys.len();
-    if threads <= 1 || n < 1 << 16 {
+    let morsel = PARTITION_MORSEL_ROWS;
+    if threads <= 1 || rayon::current_num_threads() <= 1 || n <= morsel {
         return partition_serial(keys, values, hash, bits, level);
     }
-    let chunk = n.div_ceil(threads);
-    let locals: Vec<Vec<Partition<V>>> = (0..threads)
+    let morsels = n.div_ceil(morsel);
+    let locals: Vec<Vec<Partition<V>>> = (0..morsels)
         .into_par_iter()
-        .map(|t| {
-            let lo = (t * chunk).min(n);
-            let hi = ((t + 1) * chunk).min(n);
+        .with_min_len(1)
+        .map(|m| {
+            let lo = m * morsel;
+            let hi = (lo + morsel).min(n);
             partition_serial(&keys[lo..hi], &values[lo..hi], hash, bits, level)
         })
         .collect();

@@ -31,8 +31,14 @@ pub struct GroupByConfig {
     /// Expected number of groups (sizes hash tables; growth handles
     /// underestimates).
     pub groups_hint: usize,
-    /// Worker threads for partitioning and per-partition aggregation.
+    /// Worker threads for partitioning and per-partition aggregation
+    /// (`<= 1` forces the serial path; above 1 the global pool runs the
+    /// morsels).
     pub threads: usize,
+    /// Rows per aggregation morsel; 0 picks automatically (about four
+    /// morsels per pool worker, clamped to `[2^13, 2^17]`). Exposed mainly
+    /// so tests can drive the parallel path with small inputs.
+    pub morsel_rows: usize,
 }
 
 impl Default for GroupByConfig {
@@ -43,6 +49,7 @@ impl Default for GroupByConfig {
             fanout_bits: 8,
             groups_hint: 1024,
             threads: std::thread::available_parallelism().map_or(1, |p| p.get()),
+            morsel_rows: 0,
         }
     }
 }
@@ -57,6 +64,21 @@ impl GroupByConfig {
             fanout_bits: model.fanout_bits,
             ..Default::default()
         }
+    }
+
+    /// Effective rows per morsel for an `n`-row input. Auto sizing targets
+    /// about four morsels per worker, clamped to `[2^13, 2^17]`, but never
+    /// below a few rows per expected group: each morsel carries a private
+    /// table of `groups_hint` states, and that fixed cost must amortize
+    /// over the morsel's rows or parallelism costs more than it buys.
+    fn morsel_len(&self, n: usize) -> usize {
+        if self.morsel_rows > 0 {
+            return self.morsel_rows;
+        }
+        let workers = rayon::current_num_threads().max(1);
+        (n / (4 * workers))
+            .clamp(1 << 13, 1 << 17)
+            .max(32 * self.groups_hint)
     }
 }
 
@@ -84,21 +106,32 @@ where
                 .flat_map(|p| aggregate_partition(f, p, cfg, cfg.depth - 1, per_part_hint))
                 .collect()
         } else {
-            let mut results: Vec<Vec<(u32, F::Output)>> = Vec::new();
+            // One partition = one morsel (partitions are already
+            // cache-sized units of work; stealing balances skew).
             parts
                 .into_par_iter()
+                .with_min_len(1)
                 .map(|p| aggregate_partition(f, p, cfg, cfg.depth - 1, per_part_hint))
-                .collect_into_vec(&mut results);
-            results.into_iter().flatten().collect()
+                .fold(Vec::new, |mut all, mut part| {
+                    all.append(&mut part);
+                    all
+                })
+                .reduce(Vec::new, |mut a, mut b| {
+                    a.append(&mut b);
+                    a
+                })
         }
     };
     out.sort_unstable_by_key(|(k, _)| *k);
     out
 }
 
-/// `d = 0`: each thread aggregates a chunk into a private table; private
-/// tables merge into the shared result in thread order (Algorithm 4 lines
-/// 4–6). With few groups this final phase is negligible (paper §V-B).
+/// `d = 0`: each *morsel* aggregates into a private table; tables merge
+/// pairwise along the split tree of the parallel reduction (Algorithm 4
+/// lines 4–6). The tree shape is a pure function of input length and
+/// morsel size — and merging reproducible states is exact and associative
+/// anyway — so any thread count and any stealing schedule yield identical
+/// bits. With few groups this merge phase is negligible (paper §V-B).
 fn aggregate_unpartitioned<F>(
     f: &F,
     keys: &[u32],
@@ -110,30 +143,39 @@ where
     F::Output: Send,
 {
     let n = keys.len();
-    let threads = cfg.threads.max(1);
-    if threads == 1 || n < 1 << 14 {
+    let morsel = cfg.morsel_len(n);
+    if cfg.threads <= 1 || rayon::current_num_threads() <= 1 || n <= morsel {
         let table = hash_aggregate_states(f, keys, values, cfg.hash, cfg.groups_hint);
         return finalize(f, table);
     }
-    let chunk = n.div_ceil(threads);
-    let tables: Vec<AggHashTable<F::State>> = (0..threads)
+    let morsels = n.div_ceil(morsel);
+    let shared = (0..morsels)
         .into_par_iter()
-        .map(|t| {
-            let lo = (t * chunk).min(n);
-            let hi = ((t + 1) * chunk).min(n);
+        .with_min_len(1)
+        .map(|m| {
+            let lo = m * morsel;
+            let hi = (lo + morsel).min(n);
             hash_aggregate_states(f, &keys[lo..hi], &values[lo..hi], cfg.hash, cfg.groups_hint)
         })
-        .collect();
-    // Deterministic merge order: thread index. Merging reproducible states
-    // is exact, so even a different thread count yields identical bits.
-    let mut iter = tables.into_iter();
-    let mut shared = iter.next().expect("threads >= 1");
-    let template = f.new_state();
-    for t in iter {
-        for (k, s) in t.drain() {
-            f.merge(shared.slot_mut(k, &template), s);
-        }
-    }
+        .reduce(
+            || {
+                let template = f.new_state();
+                AggHashTable::with_capacity(0, cfg.hash, &template)
+            },
+            |a, b| {
+                // Drain the smaller table into the larger — which also
+                // makes the identity-seeded leaf merges free (the empty
+                // identity drains into the morsel table, not vice versa).
+                // Merging is commutative (exact for repro states), so the
+                // accumulator choice cannot change result bits.
+                let (mut into, from) = if a.len() >= b.len() { (a, b) } else { (b, a) };
+                let template = f.new_state();
+                for (k, s) in from.drain() {
+                    f.merge(into.slot_mut(k, &template), s);
+                }
+                into
+            },
+        );
     finalize(f, shared)
 }
 

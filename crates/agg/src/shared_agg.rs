@@ -9,8 +9,11 @@
 //! This implementation shards the shared table by key-hash into
 //! `2^shard_bits` lock-striped segments (parking_lot mutexes standing in
 //! for the paper's lock-free CAS loops — same sharing semantics, simpler
-//! correctness argument). Each worker thread walks its input chunk and
-//! batches consecutive tuples per shard to amortize lock traffic.
+//! correctness argument). The scan is morsel-driven on the global
+//! work-stealing pool (`rayon::scope`): each task walks one fixed-size
+//! input morsel and batches consecutive tuples per shard to amortize lock
+//! traffic. A panicking task's payload is re-raised at the `scope` call
+//! site after the remaining tasks finish.
 //!
 //! **The reproducibility point:** with plain float states, the shared
 //! table interleaves additions from different threads nondeterministically
@@ -31,6 +34,10 @@ pub struct SharedAggConfig {
     pub shard_bits: u32,
     pub threads: usize,
     pub groups_hint: usize,
+    /// Rows per scan morsel; 0 picks automatically (about four morsels per
+    /// pool worker, clamped to `[2^13, 2^17]`). Exposed mainly so tests
+    /// can drive the parallel path with small inputs.
+    pub morsel_rows: usize,
 }
 
 impl Default for SharedAggConfig {
@@ -40,7 +47,18 @@ impl Default for SharedAggConfig {
             shard_bits: 6,
             threads: std::thread::available_parallelism().map_or(1, |p| p.get()),
             groups_hint: 1024,
+            morsel_rows: 0,
         }
+    }
+}
+
+impl SharedAggConfig {
+    fn morsel_len(&self, n: usize) -> usize {
+        if self.morsel_rows > 0 {
+            return self.morsel_rows;
+        }
+        let workers = rayon::current_num_threads().max(1);
+        (n / (4 * workers)).clamp(1 << 13, 1 << 17)
     }
 }
 
@@ -69,42 +87,28 @@ where
         })
         .collect();
 
-    let threads = cfg.threads.max(1);
     let n = keys.len();
-    let chunk = n.div_ceil(threads);
-    std::thread::scope(|scope| {
-        for t in 0..threads {
-            let lo = (t * chunk).min(n);
-            let hi = ((t + 1) * chunk).min(n);
-            let shard_tables = &shard_tables;
-            // Per-thread template clone: `State` is Send but not
-            // necessarily Sync.
-            let template = f.new_state();
-            let keys = &keys[lo..hi];
-            let values = &values[lo..hi];
-            scope.spawn(move || {
-                let template = &template;
-                // Batch consecutive same-shard tuples to amortize locking.
-                let shard_of = |k: u32| {
-                    (cfg.hash.hash(k) >> (32 - cfg.shard_bits.min(31))) as usize & (shards - 1)
-                };
-                let mut i = 0;
-                while i < keys.len() {
-                    let s = shard_of(keys[i]);
-                    let mut j = i + 1;
-                    while j < keys.len() && shard_of(keys[j]) == s && j - i < 256 {
-                        j += 1;
-                    }
-                    let mut table = shard_tables[s].lock();
-                    for idx in i..j {
-                        f.step(table.slot_mut(keys[idx], template), values[idx]);
-                    }
-                    drop(table);
-                    i = j;
-                }
-            });
-        }
-    });
+    let morsel = cfg.morsel_len(n);
+    if cfg.threads <= 1 || rayon::current_num_threads() <= 1 || n <= morsel {
+        scan_into_shards(f, keys, values, cfg, shards, &shard_tables);
+    } else {
+        // Morsel-driven fan-out on the pool: one scope task per morsel,
+        // scheduled by work stealing. `scope` re-raises a worker panic
+        // with its originating payload once all tasks have completed.
+        rayon::scope(|s| {
+            let mut lo = 0;
+            while lo < n {
+                let hi = (lo + morsel).min(n);
+                let shard_tables = &shard_tables;
+                let keys = &keys[lo..hi];
+                let values = &values[lo..hi];
+                s.spawn(move |_| {
+                    scan_into_shards(f, keys, values, cfg, shards, shard_tables);
+                });
+                lo = hi;
+            }
+        });
+    }
 
     let mut out: Vec<(u32, F::Output)> = shard_tables
         .into_iter()
@@ -113,6 +117,39 @@ where
         .collect();
     out.sort_unstable_by_key(|(k, _)| *k);
     out
+}
+
+/// Walks one morsel, depositing each tuple into its shard's table. Batches
+/// consecutive same-shard tuples to amortize lock traffic.
+fn scan_into_shards<F>(
+    f: &F,
+    keys: &[u32],
+    values: &[F::Input],
+    cfg: &SharedAggConfig,
+    shards: usize,
+    shard_tables: &[Mutex<AggHashTable<F::State>>],
+) where
+    F: AggFn,
+{
+    // Task-local template clone: `State` is Send but not necessarily Sync.
+    let template = f.new_state();
+    let template = &template;
+    let shard_of =
+        |k: u32| (cfg.hash.hash(k) >> (32 - cfg.shard_bits.min(31))) as usize & (shards - 1);
+    let mut i = 0;
+    while i < keys.len() {
+        let s = shard_of(keys[i]);
+        let mut j = i + 1;
+        while j < keys.len() && shard_of(keys[j]) == s && j - i < 256 {
+            j += 1;
+        }
+        let mut table = shard_tables[s].lock();
+        for idx in i..j {
+            f.step(table.slot_mut(keys[idx], template), values[idx]);
+        }
+        drop(table);
+        i = j;
+    }
 }
 
 #[cfg(test)]

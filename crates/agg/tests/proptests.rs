@@ -6,9 +6,21 @@
 use proptest::collection::vec;
 use proptest::prelude::*;
 use rfa_agg::{
-    hash_aggregate, partition_and_aggregate, partition_serial, sort_aggregate, GroupByConfig,
-    HashKind, ReproAgg, SumAgg,
+    hash_aggregate, partition_and_aggregate, partition_serial, shared_aggregate, sort_aggregate,
+    GroupByConfig, HashKind, ReproAgg, SharedAggConfig, SumAgg,
 };
+
+/// Requests an 8-worker pool for this test binary so the parallel
+/// machinery genuinely runs multi-threaded even on small CI boxes. Every
+/// test calls this before touching an operator; whichever runs first
+/// initializes the pool and the rest get (and ignore) the
+/// already-initialized error. A pinned `RFA_THREADS` (the CI matrix leg)
+/// still takes precedence inside the builder.
+fn force_pool() {
+    let _ = rayon::ThreadPoolBuilder::new()
+        .num_threads(8)
+        .build_global();
+}
 
 fn pairs(max_len: usize, max_key: u32) -> impl Strategy<Value = (Vec<u32>, Vec<f64>)> {
     vec((0..max_key, -1.0e6..1.0e6f64), 0..max_len).prop_map(|v| v.into_iter().unzip())
@@ -34,6 +46,7 @@ proptest! {
     fn all_algorithms_agree_bitwise_for_repro(
         (keys, values) in pairs(400, 37),
     ) {
+        force_pool();
         let f = ReproAgg::<f64, 2>::new();
         let hashed = hash_aggregate(&f, &keys, &values, HashKind::Identity, 37);
         let sorted = sort_aggregate(&f, &keys, &values);
@@ -54,6 +67,7 @@ proptest! {
         (keys, values) in pairs(500, 16),
         seed in any::<u64>(),
     ) {
+        force_pool();
         // Shuffle keys and values *together* (same row permutation).
         let idx: Vec<u32> = shuffle(&(0..keys.len() as u32).collect::<Vec<_>>(), seed);
         let skeys: Vec<u32> = idx.iter().map(|&i| keys[i as usize]).collect();
@@ -72,6 +86,7 @@ proptest! {
     fn groups_match_oracle(
         (keys, values) in pairs(400, 8),
     ) {
+        force_pool();
         let f = ReproAgg::<f64, 3>::new();
         let out = hash_aggregate(&f, &keys, &values, HashKind::Identity, 8);
         // Exact oracle per group.
@@ -103,6 +118,7 @@ proptest! {
         bits in 1u32..8,
         level in 0u32..3,
     ) {
+        force_pool();
         let parts = partition_serial(&keys, &values, HashKind::Multiplicative, bits, level);
         prop_assert_eq!(parts.len(), 1 << bits);
         let total: usize = parts.iter().map(|(k, _)| k.len()).sum();
@@ -129,6 +145,7 @@ proptest! {
         depth in 0u32..3,
         threads in 1usize..5,
     ) {
+        force_pool();
         let f = ReproAgg::<f64, 2>::new();
         let reference = hash_aggregate(&f, &keys, &values, HashKind::Identity, 64);
         let cfg = GroupByConfig { depth, threads, groups_hint: 64, ..Default::default() };
@@ -141,10 +158,91 @@ proptest! {
     }
 
     #[test]
+    fn operators_and_thread_counts_are_bit_invariant_f64(
+        (keys, values) in pairs(2000, 33),
+        depth in 0u32..2,
+    ) {
+        force_pool();
+        let f = ReproAgg::<f64, 3>::new();
+        let serial = partition_and_aggregate(&f, &keys, &values, &GroupByConfig {
+            threads: 1, depth, groups_hint: 33, ..Default::default()
+        });
+        // Tiny morsels force real morsel fan-out even on proptest-sized
+        // inputs; the pool is pinned at 8 workers.
+        for threads in [1usize, 2, 8] {
+            let cfg = GroupByConfig {
+                threads, depth, groups_hint: 33, morsel_rows: 64, ..Default::default()
+            };
+            let out = partition_and_aggregate(&f, &keys, &values, &cfg);
+            prop_assert_eq!(serial.len(), out.len());
+            for (a, b) in serial.iter().zip(out.iter()) {
+                prop_assert_eq!(a.0, b.0);
+                prop_assert_eq!(a.1.to_bits(), b.1.to_bits(),
+                    "partitioned, {} threads, group {}", threads, a.0);
+            }
+            let shared = shared_aggregate(&f, &keys, &values, &SharedAggConfig {
+                threads, groups_hint: 33, morsel_rows: 64, ..Default::default()
+            });
+            prop_assert_eq!(serial.len(), shared.len());
+            for (a, b) in serial.iter().zip(shared.iter()) {
+                prop_assert_eq!(a.0, b.0);
+                prop_assert_eq!(a.1.to_bits(), b.1.to_bits(),
+                    "shared, {} threads, group {}", threads, a.0);
+            }
+        }
+        // Sort-based baseline (parallel merge sort underneath).
+        let sorted = sort_aggregate(&f, &keys, &values);
+        prop_assert_eq!(serial.len(), sorted.len());
+        for (a, b) in serial.iter().zip(sorted.iter()) {
+            prop_assert_eq!(a.1.to_bits(), b.1.to_bits(), "sorted, group {}", a.0);
+        }
+    }
+
+    #[test]
+    fn operators_and_thread_counts_are_bit_invariant_f32(
+        (keys, values64) in pairs(1500, 17),
+        depth in 0u32..2,
+    ) {
+        force_pool();
+        let values: Vec<f32> = values64.iter().map(|&v| v as f32).collect();
+        let f = ReproAgg::<f32, 2>::new();
+        let serial = partition_and_aggregate(&f, &keys, &values, &GroupByConfig {
+            threads: 1, depth, groups_hint: 17, ..Default::default()
+        });
+        for threads in [1usize, 2, 8] {
+            let cfg = GroupByConfig {
+                threads, depth, groups_hint: 17, morsel_rows: 64, ..Default::default()
+            };
+            let out = partition_and_aggregate(&f, &keys, &values, &cfg);
+            prop_assert_eq!(serial.len(), out.len());
+            for (a, b) in serial.iter().zip(out.iter()) {
+                prop_assert_eq!(a.0, b.0);
+                prop_assert_eq!(a.1.to_bits(), b.1.to_bits(),
+                    "partitioned, {} threads, group {}", threads, a.0);
+            }
+            let shared = shared_aggregate(&f, &keys, &values, &SharedAggConfig {
+                threads, groups_hint: 17, morsel_rows: 64, ..Default::default()
+            });
+            prop_assert_eq!(serial.len(), shared.len());
+            for (a, b) in serial.iter().zip(shared.iter()) {
+                prop_assert_eq!(a.0, b.0);
+                prop_assert_eq!(a.1.to_bits(), b.1.to_bits(),
+                    "shared, {} threads, group {}", threads, a.0);
+            }
+        }
+        let sorted = sort_aggregate(&f, &keys, &values);
+        prop_assert_eq!(serial.len(), sorted.len());
+        for (a, b) in serial.iter().zip(sorted.iter()) {
+            prop_assert_eq!(a.1.to_bits(), b.1.to_bits(), "sorted, group {}", a.0);
+        }
+    }
+
+    #[test]
     fn plain_u64_sums_are_exact_everywhere(
         kv in vec((0u32..32, 0u64..1 << 40), 0..500),
         depth in 0u32..2,
     ) {
+        force_pool();
         let (keys, values): (Vec<u32>, Vec<u64>) = kv.into_iter().unzip();
         let f = SumAgg::<u64>::new();
         let cfg = GroupByConfig { depth, groups_hint: 32, ..Default::default() };

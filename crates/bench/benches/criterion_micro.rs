@@ -78,6 +78,51 @@ fn bench_operators(c: &mut Criterion) {
     g.finish();
 }
 
+/// Pool primitives: the same grouped aggregation serial vs morsel-parallel
+/// (read the speedup straight off the thrpt column), plus the parallel
+/// merge sort against std's sequential sort.
+fn bench_parallel(c: &mut Criterion) {
+    use rfa_agg::{partition_and_aggregate, GroupByConfig};
+
+    const NP: usize = 1 << 19;
+    let pool = rayon::current_num_threads();
+    let w = GroupedPairs::generate(NP, 1024, ValueDist::Uniform01, 23);
+    let mut g = c.benchmark_group("parallel");
+    g.throughput(Throughput::Elements(NP as u64));
+    let cfg = |threads| GroupByConfig {
+        groups_hint: 1024,
+        threads,
+        ..Default::default()
+    };
+    g.bench_function("groupby_repro_serial", |b| {
+        let f = ReproAgg::<f64, 2>::new();
+        b.iter(|| black_box(partition_and_aggregate(&f, &w.keys, &w.values, &cfg(1))))
+    });
+    g.bench_function(format!("groupby_repro_pool_{pool}t"), |b| {
+        let f = ReproAgg::<f64, 2>::new();
+        b.iter(|| black_box(partition_and_aggregate(&f, &w.keys, &w.values, &cfg(pool))))
+    });
+    let unsorted: Vec<u64> = (0..NP as u64)
+        .map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .collect();
+    g.bench_function("sort_u64_seq", |b| {
+        b.iter(|| {
+            let mut v = unsorted.clone();
+            v.sort_unstable();
+            black_box(v)
+        })
+    });
+    g.bench_function(format!("sort_u64_pool_{pool}t"), |b| {
+        use rayon::prelude::*;
+        b.iter(|| {
+            let mut v = unsorted.clone();
+            v.par_sort_unstable();
+            black_box(v)
+        })
+    });
+    g.finish();
+}
+
 fn config() -> Criterion {
     Criterion::default()
         .sample_size(10)
@@ -88,6 +133,6 @@ fn config() -> Criterion {
 criterion_group! {
     name = benches;
     config = config();
-    targets = bench_summation, bench_operators
+    targets = bench_summation, bench_operators, bench_parallel
 }
 criterion_main!(benches);

@@ -8,7 +8,11 @@
 //! at small group counts, dipping below 1 only for nearly distinct keys.
 
 use rfa_agg::{BufferedReproAgg, ReproAgg, SumAgg};
-use rfa_bench::{f2, runner::groupby_ns, BenchConfig, ResultTable};
+use rfa_bench::{
+    f2,
+    runner::{groupby_ns, groupby_ns_threads},
+    BenchConfig, ResultTable,
+};
 use rfa_core::CacheModel;
 use rfa_decimal::{Decimal18, Decimal38, Decimal9};
 use rfa_workloads::{GroupedPairs, ValueDist};
@@ -209,4 +213,28 @@ fn main() {
         "  paper shape: buffered repro levels nearly coincide; slowdown vs float mostly\n  \
          1.3x-2.5x; buffered beats unbuffered 2x-5x except for nearly distinct keys."
     );
+
+    // --- parallel panel: buffered repro<f64,2>, serial vs pool -----------
+    let pool = rayon::current_num_threads();
+    let mut par = ResultTable::new(
+        format!("Figure 10 (parallel): r<d,2>b, serial vs pool ({pool} workers), ns/elem"),
+        &["log2(groups)", "serial", "pool", "speedup"],
+    );
+    for ge in (0..=max_exp).step_by(4) {
+        let groups = 1u32 << ge;
+        let g = groups as usize;
+        let w = GroupedPairs::generate(cfg.n, groups, ValueDist::Uniform01, 40 + ge as u64);
+        let depth = model.partition_depth(g, 8);
+        let f = BufferedReproAgg::<f64, 2>::new(model.buffer_size(g, 8, depth));
+        let serial = groupby_ns(&f, &w.keys, &w.values, depth, g, cfg.reps);
+        let parallel = groupby_ns_threads(&f, &w.keys, &w.values, depth, g, cfg.reps, pool);
+        par.row(vec![
+            ge.to_string(),
+            f2(serial),
+            f2(parallel),
+            format!("{:.2}x", serial / parallel),
+        ]);
+    }
+    par.print();
+    par.write_csv("fig10_parallel");
 }

@@ -6,8 +6,17 @@
 //! of cache — crossovers at ~2^10 groups (d0→d1) and ~2^18 (d1→d2),
 //! i.e. 2^10 groups per partition either way.
 
+//! A second panel measures the same operator serial vs on the
+//! work-stealing pool (wall clock), and records one representative
+//! serial/parallel pair into `results/bench_smoke.json` — the CI smoke
+//! artifact for parallel speedup.
+
 use rfa_agg::BufferedReproAgg;
-use rfa_bench::{f2, runner::groupby_ns, BenchConfig, ResultTable};
+use rfa_bench::{
+    f2,
+    runner::{groupby_ns, groupby_ns_threads},
+    write_bench_smoke, BenchConfig, ResultTable,
+};
 use rfa_core::CacheModel;
 use rfa_workloads::{GroupedPairs, ValueDist};
 
@@ -53,5 +62,60 @@ fn main() {
         "  paper shape: d=0 fastest for few groups; d=1 wins beyond ~2^10 groups;\n  \
          d=2 wins beyond ~2^18 (same 2^10-per-partition threshold); the 'model depth'\n  \
          column shows the Eq. 4 cache model's offline choice."
+    );
+
+    // --- parallel panel: serial vs work-stealing pool, wall clock --------
+    let pool = rayon::current_num_threads();
+    let mut par_table = ResultTable::new(
+        format!("Figure 9 (parallel): model-depth operator, serial vs pool ({pool} workers)"),
+        &[
+            "log2(groups)",
+            "depth",
+            "serial ns/elem",
+            "pool ns/elem",
+            "speedup",
+        ],
+    );
+    let mut smoke: Option<(u32, f64, f64)> = None;
+    for ge in [4u32, 10, max_exp] {
+        let ge = ge.min(max_exp);
+        if smoke.as_ref().is_some_and(|&(g, _, _)| g == ge) {
+            continue; // deduplicate when max_exp is small
+        }
+        let groups = 1u32 << ge;
+        let g = groups as usize;
+        let w = GroupedPairs::generate(cfg.n, groups, ValueDist::Uniform01, 30 + ge as u64);
+        let v32 = w.values_f32();
+        let depth = model.partition_depth(g, 4);
+        let f = BufferedReproAgg::<f32, 2>::new(model.buffer_size(g, 4, depth));
+        let serial = groupby_ns(&f, &w.keys, &v32, depth, g, cfg.reps);
+        let parallel = groupby_ns_threads(&f, &w.keys, &v32, depth, g, cfg.reps, pool);
+        par_table.row(vec![
+            ge.to_string(),
+            depth.to_string(),
+            f2(serial),
+            f2(parallel),
+            format!("{:.2}x", serial / parallel),
+        ]);
+        // Smoke artifact: keep the largest sweep point (most work to
+        // parallelize, the headline configuration).
+        smoke = Some((ge, serial, parallel));
+    }
+    par_table.print();
+    par_table.write_csv("fig9_parallel");
+    if let Some((ge, serial, parallel)) = smoke {
+        write_bench_smoke(
+            "fig9_partition_depth",
+            &format!("repro<f32,2> buffered, groups=2^{ge}, model depth"),
+            cfg.n,
+            pool,
+            serial,
+            parallel,
+        );
+    }
+    println!(
+        "  parallel shape: wall-clock speedup approaches the worker count once the\n  \
+         input spans enough morsels; on a single-core host both columns coincide\n  \
+         (the split tree is identical — only the scheduling differs)."
     );
 }

@@ -32,6 +32,8 @@
 //! * `RFA_FULL=1` — paper-scale `n = 2^30` (needs ~8+ GiB and patience).
 //! * `RFA_QUICK=1` — smoke-test scale `n = 2^16`.
 //! * `RFA_REPS=<num>` — timing repetitions (default 3, min is reported).
+//! * `RFA_THREADS=<num>` — worker count of the global pool used by the
+//!   parallel panels (default: `available_parallelism`).
 
 use std::fmt::Display;
 use std::fs;
@@ -94,8 +96,10 @@ pub fn time_min<F: FnMut()>(reps: usize, mut f: F) -> Duration {
     best
 }
 
-/// "CPU time per element" in nanoseconds (paper §VI-A: `T · P / n`; all
-/// measured code paths here run single-threaded, so `P = 1`).
+/// Wall-clock time per element in nanoseconds. For single-threaded runs
+/// this is the paper's "CPU time per element" (§VI-A: `T · P / n` with
+/// `P = 1`); for pool runs it is wall clock, so serial ÷ parallel reads
+/// directly as speedup.
 pub fn ns_per_elem(d: Duration, n: usize) -> f64 {
     d.as_secs_f64() * 1e9 / n as f64
 }
@@ -200,6 +204,37 @@ pub fn geomean(values: &[f64]) -> f64 {
     (values.iter().map(|v| v.ln()).sum::<f64>() / values.len() as f64).exp()
 }
 
+/// Writes `results/bench_smoke.json` — the CI smoke artifact recording
+/// serial vs pool wall-clock ns/elem (and their ratio) for one
+/// representative configuration of a bench target.
+pub fn write_bench_smoke(
+    bench: &str,
+    config: &str,
+    n: usize,
+    pool_threads: usize,
+    serial_ns_per_elem: f64,
+    parallel_ns_per_elem: f64,
+) {
+    let dir = results_dir();
+    if fs::create_dir_all(&dir).is_err() {
+        return; // benches must not fail on read-only filesystems
+    }
+    let path = dir.join("bench_smoke.json");
+    let speedup = if parallel_ns_per_elem > 0.0 {
+        serial_ns_per_elem / parallel_ns_per_elem
+    } else {
+        0.0
+    };
+    let json = format!(
+        "{{\n  \"bench\": \"{bench}\",\n  \"config\": \"{config}\",\n  \"n\": {n},\n  \
+         \"pool_threads\": {pool_threads},\n  \"serial_ns_per_elem\": {serial_ns_per_elem:.3},\n  \
+         \"parallel_ns_per_elem\": {parallel_ns_per_elem:.3},\n  \"speedup\": {speedup:.3}\n}}\n"
+    );
+    if fs::write(&path, json).is_ok() {
+        println!("  [json] {}", path.display());
+    }
+}
+
 /// Shared measurement drivers for the GROUPBY benches.
 pub mod runner {
     use rfa_agg::{partition_and_aggregate, AggFn, GroupByConfig};
@@ -219,10 +254,29 @@ pub mod runner {
         F: AggFn,
         F::Output: Send,
     {
+        groupby_ns_threads(f, keys, values, depth, groups_hint, reps, 1)
+    }
+
+    /// Times PARTITIONANDAGGREGATE with the given worker-thread budget
+    /// (above 1, morsels run on the global work-stealing pool) and returns
+    /// *wall-clock* ns/element — so serial ÷ parallel is the speedup.
+    pub fn groupby_ns_threads<F>(
+        f: &F,
+        keys: &[u32],
+        values: &[F::Input],
+        depth: u32,
+        groups_hint: usize,
+        reps: usize,
+        threads: usize,
+    ) -> f64
+    where
+        F: AggFn,
+        F::Output: Send,
+    {
         let cfg = GroupByConfig {
             depth,
             groups_hint,
-            threads: 1,
+            threads,
             ..Default::default()
         };
         let d = crate::time_min(reps, || {

@@ -11,7 +11,10 @@
 //!   overflow-checked doubles (MonetDB behaviour), `repro<double, 4>`
 //!   with/without summation buffers, and the sorted-input baseline;
 //! * [`q1`] — TPC-H Query 1 as a vectorized pipeline with the CPU-time
-//!   split ("aggregation" vs "other") that Table IV reports.
+//!   split ("aggregation" vs "other") that Table IV reports, plus a
+//!   morsel-driven parallel scan path ([`run_q1_par`], [`run_q6_par`])
+//!   whose `repro`-backend results are bit-identical to the serial
+//!   pipeline for any thread count.
 //!
 //! ```
 //! use rfa_engine::{run_q1, SumBackend};
@@ -31,6 +34,8 @@ pub mod sum_op;
 
 pub use column::{Column, Table, TableError};
 pub use expr::Expr;
-pub use q1::{run_q1, PhaseTiming, Q1Row};
-pub use q6::run_q6;
-pub use sum_op::{count_grouped, sum_grouped, OverflowError, SumBackend};
+pub use q1::{run_q1, run_q1_par, PhaseTiming, Q1Row};
+pub use q6::{run_q6, run_q6_par};
+pub use sum_op::{
+    count_grouped, sum_grouped, sum_grouped_par, OverflowError, SumBackend, SCAN_MORSEL_ROWS,
+};

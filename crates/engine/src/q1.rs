@@ -19,7 +19,10 @@
 //! rows into a total deterministic order — the only way to make the plain
 //! double sum reproducible, and the expensive baseline of Table IV.
 
-use crate::sum_op::{count_grouped, sum_grouped, OverflowError, SumBackend};
+use crate::sum_op::{
+    count_grouped, sum_grouped, sum_grouped_par, OverflowError, SumBackend, SCAN_MORSEL_ROWS,
+};
+use rayon::prelude::*;
 use rfa_workloads::tpch::{Lineitem, Q1_SHIPDATE_CUTOFF};
 use std::time::{Duration, Instant};
 
@@ -159,6 +162,143 @@ pub fn run_q1(
     Ok((rows, timing))
 }
 
+/// One morsel's worth of selected-and-projected Q1 columns.
+#[derive(Default)]
+struct Q1ScanCols {
+    group_ids: Vec<u32>,
+    qty: Vec<f64>,
+    price: Vec<f64>,
+    disc: Vec<f64>,
+    disc_price: Vec<f64>,
+    charge: Vec<f64>,
+}
+
+impl Q1ScanCols {
+    fn append(&mut self, other: &mut Q1ScanCols) {
+        self.group_ids.append(&mut other.group_ids);
+        self.qty.append(&mut other.qty);
+        self.price.append(&mut other.price);
+        self.disc.append(&mut other.disc);
+        self.disc_price.append(&mut other.disc_price);
+        self.charge.append(&mut other.charge);
+    }
+}
+
+/// Morsel-driven parallel Q1: the scan (selection + gather + expression
+/// evaluation) runs as fixed-size morsels on the work-stealing pool, with
+/// per-morsel column fragments concatenated in morsel order — the same
+/// row order the serial scan produces. Aggregation uses
+/// [`sum_grouped_par`], whose exact state merging makes the `repro`
+/// backends **bit-identical to [`run_q1`]** for any thread count (asserted
+/// in the test suite). [`SumBackend::SortedDouble`] sorts with the pool's
+/// parallel merge sort into the same total order as the serial path, then
+/// sums sequentially, so it is bit-identical too; plain
+/// [`SumBackend::Double`] differs in merge order and therefore (generally)
+/// in final bits — plain doubles are the paper's non-reproducible
+/// baseline.
+pub fn run_q1_par(
+    lineitem: &Lineitem,
+    backend: SumBackend,
+) -> Result<(Vec<Q1Row>, PhaseTiming), OverflowError> {
+    let mut timing = PhaseTiming::default();
+    let t0 = Instant::now();
+
+    // --- other: morsel-parallel selection + gather + expression eval -----
+    let n = lineitem.len();
+    let mut cols = (0..n.div_ceil(SCAN_MORSEL_ROWS))
+        .into_par_iter()
+        .with_min_len(1)
+        .fold(Q1ScanCols::default, |mut acc, m| {
+            let lo = m * SCAN_MORSEL_ROWS;
+            let hi = (lo + SCAN_MORSEL_ROWS).min(n);
+            for i in lo..hi {
+                if lineitem.shipdate[i] > Q1_SHIPDATE_CUTOFF {
+                    continue;
+                }
+                let p = lineitem.extendedprice[i];
+                let d = lineitem.discount[i];
+                let t = lineitem.tax[i];
+                let dp = p * (1.0 - d);
+                acc.group_ids.push(lineitem.q1_group(i));
+                acc.qty.push(lineitem.quantity[i]);
+                acc.price.push(p);
+                acc.disc.push(d);
+                acc.disc_price.push(dp);
+                acc.charge.push(dp * (1.0 + t));
+            }
+            acc
+        })
+        .reduce(Q1ScanCols::default, |mut a, mut b| {
+            a.append(&mut b);
+            a
+        });
+
+    // --- other (SortedDouble only): parallel sort into the same total
+    // deterministic order the serial path uses.
+    if backend == SumBackend::SortedDouble {
+        let rows = cols.group_ids.len();
+        let mut order: Vec<u32> = (0..rows as u32).collect();
+        order.par_sort_unstable_by_key(|&i| {
+            let i = i as usize;
+            (
+                cols.group_ids[i],
+                cols.qty[i].to_bits(),
+                cols.price[i].to_bits(),
+                cols.disc_price[i].to_bits(),
+                cols.charge[i].to_bits(),
+                cols.disc[i].to_bits(),
+            )
+        });
+        let apply = |v: &mut Vec<f64>| {
+            let out: Vec<f64> = order.iter().map(|&i| v[i as usize]).collect();
+            *v = out;
+        };
+        cols.group_ids = order.iter().map(|&i| cols.group_ids[i as usize]).collect();
+        apply(&mut cols.qty);
+        apply(&mut cols.price);
+        apply(&mut cols.disc);
+        apply(&mut cols.disc_price);
+        apply(&mut cols.charge);
+    }
+    timing.other += t0.elapsed();
+
+    // --- aggregation: five morsel-parallel grouped SUMs + COUNT ----------
+    let t1 = Instant::now();
+    let g = &cols.group_ids;
+    let sum_qty = sum_grouped_par(backend, g, &cols.qty, GROUPS)?;
+    let sum_price = sum_grouped_par(backend, g, &cols.price, GROUPS)?;
+    let sum_disc_price = sum_grouped_par(backend, g, &cols.disc_price, GROUPS)?;
+    let sum_charge = sum_grouped_par(backend, g, &cols.charge, GROUPS)?;
+    let sum_disc = sum_grouped_par(backend, g, &cols.disc, GROUPS)?;
+    let counts = count_grouped(g, GROUPS);
+    timing.aggregation += t1.elapsed();
+
+    // --- other: finalization ---------------------------------------------
+    let t2 = Instant::now();
+    let mut rows = Vec::new();
+    for group in 0..GROUPS as u32 {
+        if counts[group as usize] == 0 {
+            continue;
+        }
+        let c = counts[group as usize] as f64;
+        let (rf, ls) = Lineitem::decode_group(group);
+        rows.push(Q1Row {
+            returnflag: rf,
+            linestatus: ls,
+            sum_qty: sum_qty[group as usize],
+            sum_base_price: sum_price[group as usize],
+            sum_disc_price: sum_disc_price[group as usize],
+            sum_charge: sum_charge[group as usize],
+            avg_qty: sum_qty[group as usize] / c,
+            avg_price: sum_price[group as usize] / c,
+            avg_disc: sum_disc[group as usize] / c,
+            count: counts[group as usize],
+        });
+    }
+    timing.other += t2.elapsed();
+    Ok((rows, timing))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -220,6 +360,58 @@ mod tests {
         let (s2, _) = run_q1(&reordered, SumBackend::SortedDouble).unwrap();
         for (a, b) in s1.iter().zip(s2.iter()) {
             assert_eq!(a.sum_charge.to_bits(), b.sum_charge.to_bits());
+        }
+    }
+
+    #[test]
+    fn parallel_scan_is_bit_identical_to_serial_for_repro_backends() {
+        let t = table();
+        for backend in [
+            SumBackend::ReproUnbuffered,
+            SumBackend::ReproBuffered { buffer_size: 512 },
+            SumBackend::Rsum { levels: 3 },
+            SumBackend::RsumBuffered {
+                levels: 3,
+                buffer_size: 256,
+            },
+            SumBackend::SortedDouble,
+        ] {
+            let (serial, _) = run_q1(&t, backend).unwrap();
+            let (parallel, _) = run_q1_par(&t, backend).unwrap();
+            assert_eq!(serial.len(), parallel.len(), "{backend:?}");
+            for (s, p) in serial.iter().zip(parallel.iter()) {
+                assert_eq!(s.returnflag, p.returnflag);
+                assert_eq!(s.count, p.count, "{backend:?}");
+                assert_eq!(s.sum_qty.to_bits(), p.sum_qty.to_bits(), "{backend:?}");
+                assert_eq!(
+                    s.sum_base_price.to_bits(),
+                    p.sum_base_price.to_bits(),
+                    "{backend:?}"
+                );
+                assert_eq!(
+                    s.sum_disc_price.to_bits(),
+                    p.sum_disc_price.to_bits(),
+                    "{backend:?}"
+                );
+                assert_eq!(
+                    s.sum_charge.to_bits(),
+                    p.sum_charge.to_bits(),
+                    "{backend:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_scan_matches_serial_numerically_for_double() {
+        // Plain doubles merge in a different order on the parallel path, so
+        // only numerical (not bitwise) agreement is guaranteed.
+        let t = table();
+        let (serial, _) = run_q1(&t, SumBackend::Double).unwrap();
+        let (parallel, _) = run_q1_par(&t, SumBackend::Double).unwrap();
+        for (s, p) in serial.iter().zip(parallel.iter()) {
+            assert_eq!(s.count, p.count);
+            assert!((s.sum_charge - p.sum_charge).abs() <= 1e-9 * s.sum_charge.abs());
         }
     }
 

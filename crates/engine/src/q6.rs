@@ -18,7 +18,8 @@
 use crate::column::Table;
 use crate::expr::Expr;
 use crate::q1::PhaseTiming;
-use crate::sum_op::{sum_grouped, OverflowError, SumBackend};
+use crate::sum_op::{sum_grouped, sum_grouped_par, OverflowError, SumBackend, SCAN_MORSEL_ROWS};
+use rayon::prelude::*;
 use rfa_workloads::tpch::Lineitem;
 use std::time::Instant;
 
@@ -72,21 +73,80 @@ pub fn run_q6(
         .expect("columns exist");
     timing.other += t0.elapsed();
 
-    // --- aggregation: one un-grouped SUM ----------------------------------
-    let t1 = Instant::now();
-    let group_ids = vec![0u32; revenue_terms.len()];
-    let (terms, ids) = if backend == SumBackend::SortedDouble {
-        // Deterministic total order for the sorted baseline.
+    // --- other (SortedDouble only): deterministic total order ------------
+    let terms = if backend == SumBackend::SortedDouble {
         let t2 = Instant::now();
         let mut order: Vec<u32> = (0..revenue_terms.len() as u32).collect();
         order.sort_unstable_by_key(|&i| revenue_terms[i as usize].to_bits());
         let sorted: Vec<f64> = order.iter().map(|&i| revenue_terms[i as usize]).collect();
         timing.other += t2.elapsed();
-        (sorted, group_ids)
+        sorted
     } else {
-        (revenue_terms, group_ids)
+        revenue_terms
     };
+
+    // --- aggregation: one un-grouped SUM ----------------------------------
+    let t1 = Instant::now();
+    let ids = vec![0u32; terms.len()];
     let revenue = sum_grouped(backend, &ids, &terms, 1)?[0];
+    timing.aggregation += t1.elapsed();
+    Ok((revenue, timing))
+}
+
+/// Morsel-driven parallel Q6: selection and the revenue-term expression
+/// are fused into one scan over fixed-size morsels on the work-stealing
+/// pool (no intermediate selection vector or column copies), with
+/// per-morsel term fragments concatenated in morsel order — exactly the
+/// serial term sequence. The single SUM then runs through
+/// [`sum_grouped_par`]: bit-identical to [`run_q6`] for the `repro` and
+/// sorted backends, order-sensitive (as always) for plain doubles.
+pub fn run_q6_par(
+    lineitem: &Lineitem,
+    backend: SumBackend,
+) -> Result<(f64, PhaseTiming), OverflowError> {
+    let mut timing = PhaseTiming::default();
+    let t0 = Instant::now();
+
+    // --- other: fused morsel-parallel selection + expression eval --------
+    let n = lineitem.len();
+    let terms = (0..n.div_ceil(SCAN_MORSEL_ROWS))
+        .into_par_iter()
+        .with_min_len(1)
+        .fold(Vec::new, |mut acc: Vec<f64>, m| {
+            let lo = m * SCAN_MORSEL_ROWS;
+            let hi = (lo + SCAN_MORSEL_ROWS).min(n);
+            for i in lo..hi {
+                if (Q6_DATE_LO..Q6_DATE_HI).contains(&lineitem.shipdate[i])
+                    && (0.05..=0.07).contains(&lineitem.discount[i])
+                    && lineitem.quantity[i] < 24.0
+                {
+                    acc.push(lineitem.extendedprice[i] * lineitem.discount[i]);
+                }
+            }
+            acc
+        })
+        .reduce(Vec::new, |mut a, mut b| {
+            a.append(&mut b);
+            a
+        });
+    timing.other += t0.elapsed();
+
+    // --- other (SortedDouble only): parallel sort into the serial path's
+    // total order.
+    let terms = if backend == SumBackend::SortedDouble {
+        let t2 = Instant::now();
+        let mut sorted = terms;
+        sorted.par_sort_unstable_by_key(|v| v.to_bits());
+        timing.other += t2.elapsed();
+        sorted
+    } else {
+        terms
+    };
+
+    // --- aggregation: one morsel-parallel SUM -----------------------------
+    let t1 = Instant::now();
+    let ids = vec![0u32; terms.len()];
+    let revenue = sum_grouped_par(backend, &ids, &terms, 1)?[0];
     timing.aggregation += t1.elapsed();
     Ok((revenue, timing))
 }
@@ -132,6 +192,30 @@ mod tests {
         assert!((d - s).abs() <= 1e-9 * d.abs());
         assert_eq!(r.to_bits(), b.to_bits());
         assert!(d > 0.0);
+    }
+
+    #[test]
+    fn parallel_scan_is_bit_identical_to_serial_for_repro_backends() {
+        let t = table();
+        for backend in [
+            SumBackend::Rsum { levels: 2 },
+            SumBackend::Rsum { levels: 4 },
+            SumBackend::RsumBuffered {
+                levels: 3,
+                buffer_size: 512,
+            },
+            SumBackend::ReproUnbuffered,
+            SumBackend::ReproBuffered { buffer_size: 256 },
+            SumBackend::SortedDouble,
+        ] {
+            let (serial, _) = run_q6(&t, backend).unwrap();
+            let (parallel, _) = run_q6_par(&t, backend).unwrap();
+            assert_eq!(serial.to_bits(), parallel.to_bits(), "{backend:?}");
+        }
+        // Plain double: numerical agreement only (order-sensitive).
+        let (serial, _) = run_q6(&t, SumBackend::Double).unwrap();
+        let (parallel, _) = run_q6_par(&t, SumBackend::Double).unwrap();
+        assert!((serial - parallel).abs() <= 1e-9 * serial.abs());
     }
 
     #[test]

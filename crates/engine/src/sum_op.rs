@@ -22,7 +22,11 @@
 //!   into a total deterministic order; sums runs sequentially (the
 //!   "sort the input" baseline of Table IV).
 
+use rayon::prelude::*;
 use rfa_core::{ReproSum, SummationBuffer};
+
+/// Rows per morsel in the engine's parallel scans and aggregations.
+pub const SCAN_MORSEL_ROWS: usize = 1 << 16;
 
 /// Numeric backend of the grouped SUM operator.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -104,6 +108,172 @@ pub fn sum_grouped(
             _ => repro_sum_buffered::<4>(group_ids, values, groups, buffer_size),
         })),
     }
+}
+
+/// Morsel-parallel variant of [`sum_grouped`]: each pool task aggregates a
+/// fixed-size morsel into private per-group states, which merge pairwise
+/// along the deterministic split tree of the parallel reduction.
+///
+/// Reproducibility: for the `repro` backends state merging is *exact*, so
+/// the result is bit-identical to [`sum_grouped`] (and to any thread
+/// count or morsel schedule) — the paper's core claim carried into the
+/// engine. For [`SumBackend::Double`] the merge order differs from the
+/// serial left-to-right sum, so results are deterministic for a given
+/// input length but generally not bit-identical to the serial path (plain
+/// doubles are order-sensitive; that is the point).
+/// [`SumBackend::SortedDouble`] delegates to the serial sum — its whole
+/// reproducibility argument is the fixed sequential order.
+pub fn sum_grouped_par(
+    backend: SumBackend,
+    group_ids: &[u32],
+    values: &[f64],
+    groups: usize,
+) -> Result<Vec<f64>, OverflowError> {
+    assert_eq!(group_ids.len(), values.len());
+    match backend {
+        SumBackend::Double => double_sum_grouped_par(group_ids, values, groups),
+        SumBackend::SortedDouble => sum_grouped(backend, group_ids, values, groups),
+        SumBackend::ReproUnbuffered => {
+            Ok(repro_sum_grouped_par::<LEVELS>(group_ids, values, groups))
+        }
+        SumBackend::ReproBuffered { buffer_size } => Ok(repro_sum_buffered_par::<LEVELS>(
+            group_ids,
+            values,
+            groups,
+            buffer_size,
+        )),
+        SumBackend::Rsum { levels } => Ok(dispatch_levels(levels, |l| match l {
+            1 => repro_sum_grouped_par::<1>(group_ids, values, groups),
+            2 => repro_sum_grouped_par::<2>(group_ids, values, groups),
+            3 => repro_sum_grouped_par::<3>(group_ids, values, groups),
+            _ => repro_sum_grouped_par::<4>(group_ids, values, groups),
+        })),
+        SumBackend::RsumBuffered {
+            levels,
+            buffer_size,
+        } => Ok(dispatch_levels(levels, |l| match l {
+            1 => repro_sum_buffered_par::<1>(group_ids, values, groups, buffer_size),
+            2 => repro_sum_buffered_par::<2>(group_ids, values, groups, buffer_size),
+            3 => repro_sum_buffered_par::<3>(group_ids, values, groups, buffer_size),
+            _ => repro_sum_buffered_par::<4>(group_ids, values, groups, buffer_size),
+        })),
+    }
+}
+
+/// Morsel index ranges for an `n`-row input.
+fn morsel_bounds(n: usize, m: usize) -> (usize, usize) {
+    let lo = m * SCAN_MORSEL_ROWS;
+    (lo, (lo + SCAN_MORSEL_ROWS).min(n))
+}
+
+fn repro_sum_grouped_par<const L: usize>(
+    group_ids: &[u32],
+    values: &[f64],
+    groups: usize,
+) -> Vec<f64> {
+    let n = group_ids.len();
+    let states = (0..n.div_ceil(SCAN_MORSEL_ROWS))
+        .into_par_iter()
+        .with_min_len(1)
+        .fold(
+            || vec![ReproSum::<f64, L>::new(); groups],
+            |mut acc, m| {
+                let (lo, hi) = morsel_bounds(n, m);
+                for (&g, &v) in group_ids[lo..hi].iter().zip(values[lo..hi].iter()) {
+                    acc[g as usize].add(v);
+                }
+                acc
+            },
+        )
+        .reduce(
+            || vec![ReproSum::<f64, L>::new(); groups],
+            |mut a, b| {
+                for (x, y) in a.iter_mut().zip(b.iter()) {
+                    x.merge(y);
+                }
+                a
+            },
+        );
+    states.into_iter().map(|s| s.finalize()).collect()
+}
+
+fn repro_sum_buffered_par<const L: usize>(
+    group_ids: &[u32],
+    values: &[f64],
+    groups: usize,
+    buffer_size: usize,
+) -> Vec<f64> {
+    let n = group_ids.len();
+    let states = (0..n.div_ceil(SCAN_MORSEL_ROWS))
+        .into_par_iter()
+        .with_min_len(1)
+        .fold(
+            || {
+                (0..groups)
+                    .map(|_| SummationBuffer::<f64, L>::new(buffer_size))
+                    .collect::<Vec<_>>()
+            },
+            |mut acc, m| {
+                let (lo, hi) = morsel_bounds(n, m);
+                for (&g, &v) in group_ids[lo..hi].iter().zip(values[lo..hi].iter()) {
+                    acc[g as usize].push(v);
+                }
+                acc
+            },
+        )
+        .reduce(
+            || {
+                (0..groups)
+                    .map(|_| SummationBuffer::<f64, L>::new(buffer_size))
+                    .collect::<Vec<_>>()
+            },
+            |mut a, mut b| {
+                for (x, y) in a.iter_mut().zip(b.iter_mut()) {
+                    x.merge(y);
+                }
+                a
+            },
+        );
+    states.into_iter().map(|s| s.finalize()).collect()
+}
+
+fn double_sum_grouped_par(
+    group_ids: &[u32],
+    values: &[f64],
+    groups: usize,
+) -> Result<Vec<f64>, OverflowError> {
+    let n = group_ids.len();
+    (0..n.div_ceil(SCAN_MORSEL_ROWS))
+        .into_par_iter()
+        .with_min_len(1)
+        .fold(
+            || Ok(vec![0.0f64; groups]),
+            |acc: Result<Vec<f64>, OverflowError>, m| {
+                let mut acc = acc?;
+                let (lo, hi) = morsel_bounds(n, m);
+                for (&g, &v) in group_ids[lo..hi].iter().zip(values[lo..hi].iter()) {
+                    let slot = &mut acc[g as usize];
+                    *slot += v;
+                    if !slot.is_finite() {
+                        return Err(OverflowError);
+                    }
+                }
+                Ok(acc)
+            },
+        )
+        .reduce(
+            || Ok(vec![0.0f64; groups]),
+            |a, b| {
+                let (mut a, b) = (a?, b?);
+                for (x, &y) in a.iter_mut().zip(b.iter()) {
+                    *x += y;
+                    if !x.is_finite() {
+                        return Err(OverflowError);
+                    }
+                }
+                Ok(a)
+            },
+        )
 }
 
 /// Monomorphization bridge for the runtime `L` of `RSUM(expr, L)`.
@@ -207,6 +377,54 @@ mod tests {
         let values = vec![f64::MAX, f64::MAX];
         assert_eq!(
             sum_grouped(SumBackend::Double, &ids, &values, 1),
+            Err(OverflowError)
+        );
+    }
+
+    #[test]
+    fn parallel_repro_sums_are_bit_identical_to_serial() {
+        // Span several morsels so the parallel path actually splits.
+        let n = 3 * SCAN_MORSEL_ROWS + 1234;
+        let ids: Vec<u32> = (0..n).map(|i| (i % 4) as u32).collect();
+        let values: Vec<f64> = (0..n)
+            .map(|i| ((i * 2_654_435_761) % 1000) as f64 * 1e-3 - 0.5 + 2.5e-16)
+            .collect();
+        for backend in [
+            SumBackend::ReproUnbuffered,
+            SumBackend::ReproBuffered { buffer_size: 128 },
+            SumBackend::Rsum { levels: 2 },
+            SumBackend::RsumBuffered {
+                levels: 2,
+                buffer_size: 64,
+            },
+        ] {
+            let serial = sum_grouped(backend, &ids, &values, 4).unwrap();
+            let parallel = sum_grouped_par(backend, &ids, &values, 4).unwrap();
+            for g in 0..4 {
+                assert_eq!(
+                    serial[g].to_bits(),
+                    parallel[g].to_bits(),
+                    "{backend:?} group {g}"
+                );
+            }
+        }
+        // Plain doubles: numerically equal, bitwise not asserted.
+        let serial = sum_grouped(SumBackend::Double, &ids, &values, 4).unwrap();
+        let parallel = sum_grouped_par(SumBackend::Double, &ids, &values, 4).unwrap();
+        for g in 0..4 {
+            assert!((serial[g] - parallel[g]).abs() <= 1e-9 * serial[g].abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn parallel_double_detects_overflow() {
+        let n = SCAN_MORSEL_ROWS + 7;
+        let ids = vec![0u32; n];
+        let mut values = vec![0.0f64; n];
+        values[SCAN_MORSEL_ROWS] = f64::MAX;
+        values[SCAN_MORSEL_ROWS + 1] = f64::MAX;
+        assert_eq!(
+            sum_grouped_par(SumBackend::Double, &ids, &values, 1),
             Err(OverflowError)
         );
     }

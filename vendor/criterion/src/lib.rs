@@ -217,9 +217,9 @@ where
     };
     let line = match throughput {
         Some(Throughput::Elements(n)) if best > 0.0 => format!(
-            "{id:<40}  time: {:>12}  thrpt: {:.1} Melem/s",
+            "{id:<40}  time: {:>12}  thrpt: {:>14}",
             format_time(best),
-            n as f64 / best / 1e6
+            format_rate(n as f64 / best)
         ),
         Some(Throughput::Bytes(n)) if best > 0.0 => format!(
             "{id:<40}  time: {:>12}  thrpt: {:.1} MiB/s",
@@ -229,6 +229,20 @@ where
         _ => format!("{id:<40}  time: {:>12}", format_time(best)),
     };
     println!("{line}");
+}
+
+/// Elements/second with a scaled unit, so serial-vs-parallel speedups read
+/// directly off adjacent bench lines.
+fn format_rate(rate: f64) -> String {
+    if rate >= 1e9 {
+        format!("{:.2} Gelem/s", rate / 1e9)
+    } else if rate >= 1e6 {
+        format!("{:.2} Melem/s", rate / 1e6)
+    } else if rate >= 1e3 {
+        format!("{:.2} Kelem/s", rate / 1e3)
+    } else {
+        format!("{rate:.1} elem/s")
+    }
 }
 
 fn format_time(seconds: f64) -> String {

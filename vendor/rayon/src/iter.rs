@@ -1,0 +1,414 @@
+//! Indexed parallel iterators driven by recursive splitting over the pool.
+//!
+//! Everything here is *indexed*: a source knows its length and can produce
+//! the item at any index. Drivers split the index range in half down to a
+//! morsel of `min_len` items (deterministically — the split tree depends
+//! only on the length and `min_len`, never on scheduling), run each half
+//! through [`crate::join`], and the work-stealing pool balances the leaf
+//! morsels across workers. Ordered operations (`collect`,
+//! `collect_into_vec`) write leaves directly into their final output slots,
+//! so input order is preserved without materializing per-chunk `Vec`s and
+//! re-concatenating.
+//!
+//! The deterministic split tree also fixes the combining order of
+//! [`ParallelIterator::reduce`]/[`Fold::reduce`] for a given input length,
+//! independent of thread count and stealing — reductions over exact,
+//! commutative states (the reproducible aggregates this workspace is
+//! about) are bit-stable by construction, and even plain float reductions
+//! are at least run-to-run deterministic.
+
+use crate::pool;
+use std::mem::MaybeUninit;
+use std::ops::Range;
+
+/// Conversion into a parallel iterator (rayon's entry-point trait).
+pub trait IntoParallelIterator {
+    type Item: Send;
+    type Iter: ParallelIterator<Item = Self::Item>;
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+/// The subset of rayon's `ParallelIterator`/`IndexedParallelIterator`
+/// interface this workspace uses, restricted to indexed sources.
+///
+/// Implementors are shared by reference across worker threads (hence the
+/// `Sync` supertrait); drivers guarantee each index in `0..len()` is
+/// produced exactly once. Sources that own their items (`Vec`) leak any
+/// items not yet produced if the iterator is dropped undriven or a closure
+/// panics mid-drive — memory-safe, and irrelevant for the `Copy` item
+/// types used here.
+pub trait ParallelIterator: Sized + Sync {
+    type Item: Send;
+
+    /// Number of items.
+    fn len(&self) -> usize;
+
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Requested minimum items per leaf morsel; 0 means "auto" (about four
+    /// leaves per worker).
+    fn min_len(&self) -> usize {
+        0
+    }
+
+    /// Produces the item at index `i`.
+    ///
+    /// # Safety
+    /// Must be called at most once per index, with `i < self.len()`.
+    unsafe fn produce(&self, i: usize) -> Self::Item;
+
+    // -- combinators --------------------------------------------------------
+
+    fn map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        U: Send,
+        F: Fn(Self::Item) -> U + Sync,
+    {
+        Map { base: self, f }
+    }
+
+    /// Sets the minimum leaf size (rayon's `IndexedParallelIterator::
+    /// with_min_len`) — the morsel granularity of the split tree.
+    fn with_min_len(self, min: usize) -> MinLen<Self> {
+        MinLen {
+            base: self,
+            min: min.max(1),
+        }
+    }
+
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync,
+    {
+        let min = effective_min_len(&self);
+        for_each_range(&self, 0..self.len(), min, &f);
+    }
+
+    /// Folds leaf morsels sequentially into accumulators created by
+    /// `identity`; combine the per-leaf accumulators with
+    /// [`Fold::reduce`].
+    fn fold<U, ID, F>(self, identity: ID, fold_op: F) -> Fold<Self, ID, F>
+    where
+        U: Send,
+        ID: Fn() -> U + Sync,
+        F: Fn(U, Self::Item) -> U + Sync,
+    {
+        Fold {
+            base: self,
+            identity,
+            fold_op,
+        }
+    }
+
+    /// Reduces all items with `op` along the (deterministic) split tree;
+    /// `identity` seeds each leaf and is the result for an empty iterator.
+    fn reduce<ID, OP>(self, identity: ID, op: OP) -> Self::Item
+    where
+        ID: Fn() -> Self::Item + Sync,
+        OP: Fn(Self::Item, Self::Item) -> Self::Item + Sync,
+    {
+        let min = effective_min_len(&self);
+        reduce_range(&self, 0..self.len(), min, &identity, &op)
+    }
+
+    fn collect<C>(self) -> C
+    where
+        C: FromParallelIterator<Self::Item>,
+    {
+        let mut items = Vec::new();
+        self.collect_into_vec(&mut items);
+        C::from_ordered_items(items)
+    }
+
+    /// Collects into `target` in input order, writing each leaf morsel
+    /// straight into its final output slots.
+    fn collect_into_vec(self, target: &mut Vec<Self::Item>) {
+        let n = self.len();
+        let min = effective_min_len(&self);
+        target.clear();
+        target.reserve_exact(n);
+        let spare = &mut target.spare_capacity_mut()[..n];
+        fill_slice(&self, 0, spare, min);
+        // SAFETY: fill_slice initialized exactly `n` leading slots.
+        unsafe { target.set_len(n) };
+    }
+}
+
+/// Collection from an ordered parallel computation (rayon's
+/// `FromParallelIterator`, restricted to ordered sources).
+pub trait FromParallelIterator<T: Send> {
+    fn from_ordered_items(items: Vec<T>) -> Self;
+}
+
+impl<T: Send> FromParallelIterator<T> for Vec<T> {
+    fn from_ordered_items(items: Vec<T>) -> Self {
+        items
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Drivers (recursive split + join)
+// ---------------------------------------------------------------------------
+
+/// Auto morsel size: about four leaves per worker, so stealing can balance
+/// moderately uneven leaves without drowning in per-job overhead.
+fn effective_min_len<I: ParallelIterator>(iter: &I) -> usize {
+    match iter.min_len() {
+        0 => (iter.len() / (4 * pool::current_num_threads().max(1))).max(1),
+        m => m,
+    }
+}
+
+fn fill_slice<I: ParallelIterator>(
+    iter: &I,
+    base: usize,
+    out: &mut [MaybeUninit<I::Item>],
+    min: usize,
+) {
+    if out.len() <= min {
+        for (k, slot) in out.iter_mut().enumerate() {
+            // SAFETY: drivers partition 0..len disjointly across leaves.
+            slot.write(unsafe { iter.produce(base + k) });
+        }
+        return;
+    }
+    let mid = out.len() / 2;
+    let (lo, hi) = out.split_at_mut(mid);
+    pool::join(
+        || fill_slice(iter, base, lo, min),
+        || fill_slice(iter, base + mid, hi, min),
+    );
+}
+
+fn for_each_range<I, F>(iter: &I, range: Range<usize>, min: usize, f: &F)
+where
+    I: ParallelIterator,
+    F: Fn(I::Item) + Sync,
+{
+    if range.len() <= min {
+        for i in range {
+            // SAFETY: disjoint partition of 0..len.
+            f(unsafe { iter.produce(i) });
+        }
+        return;
+    }
+    let mid = range.start + range.len() / 2;
+    pool::join(
+        || for_each_range(iter, range.start..mid, min, f),
+        || for_each_range(iter, mid..range.end, min, f),
+    );
+}
+
+fn reduce_range<I, ID, OP>(
+    iter: &I,
+    range: Range<usize>,
+    min: usize,
+    identity: &ID,
+    op: &OP,
+) -> I::Item
+where
+    I: ParallelIterator,
+    ID: Fn() -> I::Item + Sync,
+    OP: Fn(I::Item, I::Item) -> I::Item + Sync,
+{
+    if range.len() <= min {
+        let mut acc = identity();
+        for i in range {
+            // SAFETY: disjoint partition of 0..len.
+            acc = op(acc, unsafe { iter.produce(i) });
+        }
+        return acc;
+    }
+    let mid = range.start + range.len() / 2;
+    let (a, b) = pool::join(
+        || reduce_range(iter, range.start..mid, min, identity, op),
+        || reduce_range(iter, mid..range.end, min, identity, op),
+    );
+    op(a, b)
+}
+
+// ---------------------------------------------------------------------------
+// Fold
+// ---------------------------------------------------------------------------
+
+/// Result of [`ParallelIterator::fold`]: per-leaf sequential folding, with
+/// [`Fold::reduce`] combining the leaf accumulators along the split tree.
+/// (Real rayon's `Fold` is itself a `ParallelIterator`; this shim only
+/// supports the `fold(..).reduce(..)` idiom, which is all the workspace
+/// uses.)
+pub struct Fold<I, ID, F> {
+    base: I,
+    identity: ID,
+    fold_op: F,
+}
+
+impl<I, ID, F> Fold<I, ID, F> {
+    pub fn reduce<U, ID2, OP>(self, _reduce_identity: ID2, op: OP) -> U
+    where
+        I: ParallelIterator,
+        U: Send,
+        ID: Fn() -> U + Sync,
+        F: Fn(U, I::Item) -> U + Sync,
+        ID2: Fn() -> U + Sync,
+        OP: Fn(U, U) -> U + Sync,
+    {
+        let min = effective_min_len(&self.base);
+        if self.base.is_empty() {
+            return (self.identity)();
+        }
+        fold_reduce_range(
+            &self.base,
+            0..self.base.len(),
+            min,
+            &self.identity,
+            &self.fold_op,
+            &op,
+        )
+    }
+}
+
+fn fold_reduce_range<I, U, ID, F, OP>(
+    iter: &I,
+    range: Range<usize>,
+    min: usize,
+    identity: &ID,
+    fold_op: &F,
+    op: &OP,
+) -> U
+where
+    I: ParallelIterator,
+    U: Send,
+    ID: Fn() -> U + Sync,
+    F: Fn(U, I::Item) -> U + Sync,
+    OP: Fn(U, U) -> U + Sync,
+{
+    if range.len() <= min {
+        let mut acc = identity();
+        for i in range {
+            // SAFETY: disjoint partition of 0..len.
+            acc = fold_op(acc, unsafe { iter.produce(i) });
+        }
+        return acc;
+    }
+    let mid = range.start + range.len() / 2;
+    let (a, b) = pool::join(
+        || fold_reduce_range(iter, range.start..mid, min, identity, fold_op, op),
+        || fold_reduce_range(iter, mid..range.end, min, identity, fold_op, op),
+    );
+    op(a, b)
+}
+
+// ---------------------------------------------------------------------------
+// Sources
+// ---------------------------------------------------------------------------
+
+/// Parallel iterator over a `Range<usize>`.
+pub struct RangeIter {
+    start: usize,
+    len: usize,
+}
+
+impl IntoParallelIterator for Range<usize> {
+    type Item = usize;
+    type Iter = RangeIter;
+    fn into_par_iter(self) -> RangeIter {
+        RangeIter {
+            start: self.start,
+            len: self.end.saturating_sub(self.start),
+        }
+    }
+}
+
+impl ParallelIterator for RangeIter {
+    type Item = usize;
+    fn len(&self) -> usize {
+        self.len
+    }
+    unsafe fn produce(&self, i: usize) -> usize {
+        self.start + i
+    }
+}
+
+/// Parallel iterator over an owned `Vec<T>`. Items are moved out by raw
+/// pointer from disjoint indices; the vector's length is forced to zero up
+/// front so its `Drop` can never double-drop moved-out elements.
+pub struct VecIter<T: Send> {
+    vec: Vec<T>,
+    len: usize,
+}
+
+// SAFETY: items are only accessed through `produce`, whose contract makes
+// every access exclusive; `T: Send` lets items move to other threads.
+unsafe impl<T: Send> Sync for VecIter<T> {}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = VecIter<T>;
+    fn into_par_iter(mut self) -> VecIter<T> {
+        let len = self.len();
+        // SAFETY: length is forced to 0 permanently; the first `len`
+        // elements are moved out exactly once via `produce` (or leaked on
+        // a mid-drive panic), never dropped by the Vec itself.
+        unsafe { self.set_len(0) };
+        VecIter { vec: self, len }
+    }
+}
+
+impl<T: Send> ParallelIterator for VecIter<T> {
+    type Item = T;
+    fn len(&self) -> usize {
+        self.len
+    }
+    unsafe fn produce(&self, i: usize) -> T {
+        std::ptr::read(self.vec.as_ptr().add(i))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Adapters
+// ---------------------------------------------------------------------------
+
+/// Mapped parallel iterator.
+pub struct Map<B, F> {
+    base: B,
+    f: F,
+}
+
+impl<B, U, F> ParallelIterator for Map<B, F>
+where
+    B: ParallelIterator,
+    U: Send,
+    F: Fn(B::Item) -> U + Sync,
+{
+    type Item = U;
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+    fn min_len(&self) -> usize {
+        self.base.min_len()
+    }
+    unsafe fn produce(&self, i: usize) -> U {
+        (self.f)(self.base.produce(i))
+    }
+}
+
+/// Minimum-leaf-size adapter (morsel granularity).
+pub struct MinLen<B> {
+    base: B,
+    min: usize,
+}
+
+impl<B: ParallelIterator> ParallelIterator for MinLen<B> {
+    type Item = B::Item;
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+    fn min_len(&self) -> usize {
+        self.min
+    }
+    unsafe fn produce(&self, i: usize) -> B::Item {
+        self.base.produce(i)
+    }
+}

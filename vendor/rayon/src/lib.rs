@@ -1,224 +1,62 @@
-//! Vendored shim for the `rayon` crate, implementing the subset of the
-//! parallel-iterator API this workspace uses on top of `std::thread::scope`.
+//! Vendored shim for the `rayon` crate: a real (if small) parallel runtime
+//! implementing the subset of rayon's API this workspace uses.
 //!
-//! The workspace builds hermetically (no registry access). Fan-out uses one
-//! OS thread per chunk up to `available_parallelism`, and results are
-//! concatenated in input order — the same ordering guarantee rayon's
-//! indexed parallel iterators provide, which the operators rely on for
-//! deterministic output. Swap the real `rayon` back in via the workspace
-//! manifest to get work-stealing and parallel sorts.
+//! Unlike the original scoped-thread shim, this version executes on a
+//! lazily-initialized global **work-stealing thread pool**:
+//!
+//! * pool size from `RFA_THREADS` (≥ 1) or `available_parallelism`;
+//! * per-worker deques (LIFO own end, FIFO steal end) plus an injector
+//!   queue for external threads;
+//! * [`join`]/[`scope`] primitives whose waiting threads execute other
+//!   pool jobs instead of blocking (deadlock-free nesting);
+//! * recursive-split indexed parallel iterators ([`iter`]) that write
+//!   ordered results directly into their output slots — no per-chunk
+//!   `Vec<Vec<T>>` materialization;
+//! * a parallel merge sort with parallel merges backing
+//!   [`slice::ParallelSliceMut`].
+//!
+//! Split trees are a pure function of input length and morsel size, so
+//! reductions combine in a scheduling-independent order. Panics inside
+//! parallel closures are re-thrown at the `join`/`scope`/driver call site
+//! with the originating payload.
+//!
+//! The workspace builds hermetically (no registry access); swap the real
+//! `rayon` back in via `[workspace.dependencies]` for lock-free deques and
+//! the full adaptive-splitting API.
+
+pub mod iter;
+mod pool;
+mod scope_impl;
+pub mod slice;
+
+pub use pool::{current_num_threads, join, ThreadPoolBuildError, ThreadPoolBuilder};
+pub use scope_impl::{scope, Scope};
 
 pub mod prelude {
     pub use crate::iter::{IntoParallelIterator, ParallelIterator};
-    pub use crate::slice::ParallelSliceMut;
-}
-
-/// Splits `items` into at most `available_parallelism` chunks, maps each
-/// chunk on its own scoped thread, and concatenates results in order.
-fn par_apply<T, U, F>(items: Vec<T>, f: &F) -> Vec<U>
-where
-    T: Send,
-    U: Send,
-    F: Fn(T) -> U + Sync,
-{
-    let n = items.len();
-    let threads = std::thread::available_parallelism()
-        .map_or(1, |p| p.get())
-        .min(n.max(1));
-    if threads <= 1 || n <= 1 {
-        return items.into_iter().map(f).collect();
-    }
-    let chunk = n.div_ceil(threads);
-    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
-    let mut items = items.into_iter();
-    loop {
-        let c: Vec<T> = items.by_ref().take(chunk).collect();
-        if c.is_empty() {
-            break;
-        }
-        chunks.push(c);
-    }
-    std::thread::scope(|s| {
-        let handles: Vec<_> = chunks
-            .into_iter()
-            .map(|c| s.spawn(move || c.into_iter().map(f).collect::<Vec<U>>()))
-            .collect();
-        handles
-            .into_iter()
-            .flat_map(|h| h.join().expect("rayon-shim worker panicked"))
-            .collect()
-    })
-}
-
-pub mod iter {
-    use super::par_apply;
-    use std::ops::Range;
-
-    /// Conversion into a parallel iterator (rayon's entry-point trait).
-    pub trait IntoParallelIterator {
-        type Item: Send;
-        type Iter: ParallelIterator<Item = Self::Item>;
-        fn into_par_iter(self) -> Self::Iter;
-    }
-
-    /// The subset of rayon's `ParallelIterator`/`IndexedParallelIterator`
-    /// interface the workspace uses. `drive` materializes the items in
-    /// input order.
-    pub trait ParallelIterator: Sized {
-        type Item: Send;
-
-        fn drive(self) -> Vec<Self::Item>;
-
-        fn map<U, F>(self, f: F) -> Map<Self, F>
-        where
-            U: Send,
-            F: Fn(Self::Item) -> U + Sync,
-        {
-            Map { base: self, f }
-        }
-
-        fn collect<C>(self) -> C
-        where
-            C: FromParallelIterator<Self::Item>,
-        {
-            C::from_ordered_items(self.drive())
-        }
-
-        fn collect_into_vec(self, target: &mut Vec<Self::Item>) {
-            *target = self.drive();
-        }
-    }
-
-    /// Collection from an ordered parallel computation (rayon's
-    /// `FromParallelIterator`, restricted to ordered sources).
-    pub trait FromParallelIterator<T: Send> {
-        fn from_ordered_items(items: Vec<T>) -> Self;
-    }
-
-    impl<T: Send> FromParallelIterator<T> for Vec<T> {
-        fn from_ordered_items(items: Vec<T>) -> Self {
-            items
-        }
-    }
-
-    /// Parallel iterator over a `Range<usize>`.
-    pub struct RangeIter {
-        range: Range<usize>,
-    }
-
-    impl IntoParallelIterator for Range<usize> {
-        type Item = usize;
-        type Iter = RangeIter;
-        fn into_par_iter(self) -> RangeIter {
-            RangeIter { range: self }
-        }
-    }
-
-    impl ParallelIterator for RangeIter {
-        type Item = usize;
-        fn drive(self) -> Vec<usize> {
-            self.range.collect()
-        }
-    }
-
-    /// Parallel iterator over an owned `Vec<T>`.
-    pub struct VecIter<T: Send> {
-        items: Vec<T>,
-    }
-
-    impl<T: Send> IntoParallelIterator for Vec<T> {
-        type Item = T;
-        type Iter = VecIter<T>;
-        fn into_par_iter(self) -> VecIter<T> {
-            VecIter { items: self }
-        }
-    }
-
-    impl<T: Send> ParallelIterator for VecIter<T> {
-        type Item = T;
-        fn drive(self) -> Vec<T> {
-            self.items
-        }
-    }
-
-    /// Mapped parallel iterator; `drive` is where the actual thread fan-out
-    /// happens.
-    pub struct Map<B, F> {
-        base: B,
-        f: F,
-    }
-
-    impl<B, U, F> ParallelIterator for Map<B, F>
-    where
-        B: ParallelIterator,
-        U: Send,
-        F: Fn(B::Item) -> U + Sync,
-    {
-        type Item = U;
-        fn drive(self) -> Vec<U> {
-            par_apply(self.base.drive(), &self.f)
-        }
-    }
-}
-
-pub mod slice {
-    /// The subset of rayon's `ParallelSliceMut` the workspace uses. The
-    /// shim sorts sequentially; `sort_unstable_by_key` is already
-    /// deterministic, so only wall-clock differs from real rayon.
-    pub trait ParallelSliceMut<T: Send> {
-        fn as_mut_slice(&mut self) -> &mut [T];
-
-        fn par_sort_unstable_by_key<K, F>(&mut self, f: F)
-        where
-            K: Ord,
-            F: Fn(&T) -> K + Sync,
-        {
-            self.as_mut_slice().sort_unstable_by_key(f);
-        }
-
-        fn par_sort_unstable(&mut self)
-        where
-            T: Ord,
-        {
-            self.as_mut_slice().sort_unstable();
-        }
-    }
-
-    impl<T: Send> ParallelSliceMut<T> for [T] {
-        fn as_mut_slice(&mut self) -> &mut [T] {
-            self
-        }
-    }
-}
-
-/// Current number of worker threads a parallel operation may use.
-pub fn current_num_threads() -> usize {
-    std::thread::available_parallelism().map_or(1, |p| p.get())
-}
-
-/// Runs two closures, potentially in parallel, returning both results.
-pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
-where
-    A: FnOnce() -> RA + Send,
-    B: FnOnce() -> RB + Send,
-    RA: Send,
-    RB: Send,
-{
-    std::thread::scope(|s| {
-        let hb = s.spawn(b);
-        let ra = a();
-        (ra, hb.join().expect("rayon-shim join worker panicked"))
-    })
+    pub use crate::slice::{ParallelSlice, ParallelSliceMut};
 }
 
 #[cfg(test)]
 mod tests {
     use crate::prelude::*;
 
+    /// Requests a 4-worker pool for this test binary so the machinery
+    /// runs genuinely multi-threaded even on single-core machines. Every
+    /// test calls this first; whichever wins initializes the pool and the
+    /// rest get (and ignore) `ThreadPoolBuildError`. An operator-pinned
+    /// `RFA_THREADS` still takes precedence by design.
+    fn pool4() {
+        let _ = crate::ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build_global();
+    }
+
     #[test]
     fn range_map_collect_preserves_order() {
-        let out: Vec<usize> = (0..1000).into_par_iter().map(|i| i * 2).collect();
-        assert_eq!(out.len(), 1000);
+        pool4();
+        let out: Vec<usize> = (0..100_000).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(out.len(), 100_000);
         for (i, v) in out.iter().enumerate() {
             assert_eq!(*v, i * 2);
         }
@@ -226,17 +64,29 @@ mod tests {
 
     #[test]
     fn vec_map_collect_into_vec() {
-        let items: Vec<u64> = (0..513).collect();
+        pool4();
+        let items: Vec<u64> = (0..51_300).collect();
         let mut out = Vec::new();
         items
             .into_par_iter()
             .map(|v| v + 1)
             .collect_into_vec(&mut out);
-        assert_eq!(out, (1..514).collect::<Vec<u64>>());
+        assert_eq!(out, (1..51_301).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn vec_of_non_copy_items_moves_correctly() {
+        pool4();
+        let items: Vec<String> = (0..4097).map(|i| i.to_string()).collect();
+        let out: Vec<usize> = items.into_par_iter().map(|s| s.len()).collect();
+        assert_eq!(out.len(), 4097);
+        assert_eq!(out[0], 1);
+        assert_eq!(out[4096], 4);
     }
 
     #[test]
     fn empty_inputs() {
+        pool4();
         let out: Vec<usize> = (0..0).into_par_iter().map(|i| i).collect();
         assert!(out.is_empty());
         let mut target = vec![1usize];
@@ -248,18 +98,233 @@ mod tests {
     }
 
     #[test]
+    fn with_min_len_controls_morsels_not_results() {
+        pool4();
+        for min in [1, 7, 1000, 1 << 20] {
+            let out: Vec<usize> = (0..10_000)
+                .into_par_iter()
+                .with_min_len(min)
+                .map(|i| i + 1)
+                .collect();
+            assert_eq!(out, (1..10_001).collect::<Vec<usize>>());
+        }
+    }
+
+    #[test]
+    fn reduce_sums_exactly() {
+        pool4();
+        let total = (0..1_000_000usize)
+            .into_par_iter()
+            .reduce(|| 0, |a, b| a + b);
+        assert_eq!(total, 1_000_000 * 999_999 / 2);
+        let empty = (5..5).into_par_iter().reduce(|| 42, |a, b| a + b);
+        assert_eq!(empty, 42);
+    }
+
+    #[test]
+    fn fold_reduce_matches_sequential() {
+        pool4();
+        let values: Vec<u64> = (0..300_000).collect();
+        let expected: u64 = values.iter().sum();
+        let total: u64 = values
+            .into_par_iter()
+            .with_min_len(1024)
+            .fold(|| 0u64, |acc, v| acc + v)
+            .reduce(|| 0u64, |a, b| a + b);
+        assert_eq!(total, expected);
+    }
+
+    #[test]
+    fn for_each_visits_everything_once() {
+        pool4();
+        use std::sync::atomic::{AtomicU32, Ordering};
+        let n = 65_536;
+        let seen: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(0)).collect();
+        (0..n).into_par_iter().for_each(|i| {
+            seen[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(seen.iter().all(|c| c.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn par_chunks_are_in_order_and_exhaustive() {
+        pool4();
+        let data: Vec<u32> = (0..100_003).collect();
+        let sums: Vec<(usize, u64)> = data
+            .par_chunks(1 << 12)
+            .map(|c| (c.len(), c.iter().map(|&v| v as u64).sum::<u64>()))
+            .collect();
+        assert_eq!(sums.len(), 100_003usize.div_ceil(1 << 12));
+        let total: u64 = sums.iter().map(|&(_, s)| s).sum();
+        assert_eq!(total, (0..100_003u64).sum::<u64>());
+        assert_eq!(sums.last().unwrap().0, 100_003 % (1 << 12));
+    }
+
+    #[test]
     fn par_sort_matches_sequential() {
-        let mut a: Vec<i64> = (0..5000).map(|i| (i * 7919) % 1000 - 500).collect();
+        pool4();
+        let mut a: Vec<i64> = (0..300_000)
+            .map(|i| ((i as i64).wrapping_mul(0x9E37_79B9_7F4A_7C15u64 as i64)) >> 17)
+            .collect();
         let mut b = a.clone();
         a.par_sort_unstable_by_key(|&v| (v.abs(), v));
         b.sort_unstable_by_key(|&v| (v.abs(), v));
         assert_eq!(a, b);
+
+        let mut c: Vec<u32> = (0..200_000)
+            .map(|i| (i * 2_654_435_761u64 as usize) as u32)
+            .collect();
+        let mut d = c.clone();
+        c.par_sort_unstable();
+        d.sort_unstable();
+        assert_eq!(c, d);
+    }
+
+    #[test]
+    fn par_sort_small_and_presorted() {
+        pool4();
+        let mut small = vec![3u8, 1, 2];
+        small.par_sort_unstable();
+        assert_eq!(small, vec![1, 2, 3]);
+        let mut sorted: Vec<u32> = (0..100_000).collect();
+        sorted.par_sort_unstable();
+        assert_eq!(sorted, (0..100_000).collect::<Vec<u32>>());
+        let mut rev: Vec<u32> = (0..100_000).rev().collect();
+        rev.par_sort_unstable();
+        assert_eq!(rev, (0..100_000).collect::<Vec<u32>>());
     }
 
     #[test]
     fn join_runs_both() {
+        pool4();
         let (a, b) = crate::join(|| 1 + 1, || "x".repeat(3));
         assert_eq!(a, 2);
         assert_eq!(b, "xxx");
+    }
+
+    #[test]
+    fn nested_join_computes_correctly() {
+        pool4();
+        // A join tree four levels deep summing 0..16 via recursion.
+        fn sum(lo: usize, hi: usize) -> usize {
+            if hi - lo <= 1 {
+                return lo;
+            }
+            let mid = lo + (hi - lo) / 2;
+            let (a, b) = crate::join(|| sum(lo, mid), || sum(mid, hi));
+            a + b
+        }
+        assert_eq!(sum(0, 16), (0..16).sum::<usize>());
+        // And a deliberately deep, unbalanced nesting.
+        fn chain(depth: usize) -> usize {
+            if depth == 0 {
+                return 0;
+            }
+            let (a, b) = crate::join(|| 1, || chain(depth - 1));
+            a + b
+        }
+        assert_eq!(chain(200), 200);
+    }
+
+    #[test]
+    fn join_propagates_a_panic_payload() {
+        pool4();
+        let err =
+            std::panic::catch_unwind(|| crate::join(|| panic!("left exploded"), || 2)).unwrap_err();
+        let msg = err.downcast_ref::<&str>().copied().unwrap_or_default();
+        assert_eq!(msg, "left exploded");
+    }
+
+    #[test]
+    fn join_propagates_b_panic_payload() {
+        pool4();
+        let err =
+            std::panic::catch_unwind(|| crate::join(|| 1, || -> i32 { panic!("right exploded") }))
+                .unwrap_err();
+        let msg = err.downcast_ref::<&str>().copied().unwrap_or_default();
+        assert_eq!(msg, "right exploded");
+    }
+
+    #[test]
+    fn scope_waits_for_all_spawns() {
+        pool4();
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let counter = AtomicUsize::new(0);
+        crate::scope(|s| {
+            for _ in 0..64 {
+                s.spawn(|_| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 64);
+    }
+
+    #[test]
+    fn scope_spawns_can_nest() {
+        pool4();
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let counter = AtomicUsize::new(0);
+        crate::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|s| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                    s.spawn(|_| {
+                        counter.fetch_add(10, Ordering::Relaxed);
+                    });
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 8 * 11);
+    }
+
+    #[test]
+    fn scope_propagates_spawn_panic_payload() {
+        pool4();
+        let err = std::panic::catch_unwind(|| {
+            crate::scope(|s| {
+                s.spawn(|_| {});
+                s.spawn(|_| panic!("worker exploded"));
+                s.spawn(|_| {});
+            })
+        })
+        .unwrap_err();
+        let msg = err.downcast_ref::<&str>().copied().unwrap_or_default();
+        assert_eq!(msg, "worker exploded");
+    }
+
+    #[test]
+    fn scope_borrows_stack_data() {
+        pool4();
+        let data: Vec<u64> = (0..10_000).collect();
+        let mut partials = [0u64; 4];
+        crate::scope(|s| {
+            for (t, slot) in partials.iter_mut().enumerate() {
+                let chunk = &data[t * 2500..(t + 1) * 2500];
+                s.spawn(move |_| {
+                    *slot = chunk.iter().sum();
+                });
+            }
+        });
+        assert_eq!(partials.iter().sum::<u64>(), data.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn driver_panic_propagates_from_parallel_map() {
+        pool4();
+        let err = std::panic::catch_unwind(|| {
+            let _: Vec<usize> = (0..100_000)
+                .into_par_iter()
+                .map(|i| {
+                    if i == 67_890 {
+                        panic!("map exploded");
+                    }
+                    i
+                })
+                .collect();
+        })
+        .unwrap_err();
+        let msg = err.downcast_ref::<&str>().copied().unwrap_or_default();
+        assert_eq!(msg, "map exploded");
     }
 }

@@ -1,0 +1,527 @@
+//! The global work-stealing thread pool behind every parallel primitive in
+//! this shim.
+//!
+//! Architecture (a deliberately small cousin of rayon-core's registry):
+//!
+//! * **Workers.** A lazily-initialized set of daemon threads, one deque
+//!   each. Pool size comes from `RFA_THREADS` if set (≥ 1), else
+//!   `std::thread::available_parallelism()`.
+//! * **Work-stealing deques.** Each worker pushes and pops jobs at the
+//!   *back* of its own deque (LIFO: newest = hottest in cache) and steals
+//!   from the *front* of a victim's deque (FIFO: oldest = largest pending
+//!   subtree). The deques are lock-striped (`Mutex<VecDeque>`) rather than
+//!   lock-free Chase–Lev — same scheduling semantics, much simpler
+//!   correctness argument, and the lock is held only for a push/pop.
+//! * **Injector.** Threads outside the pool submit through a shared FIFO
+//!   queue that workers drain between local pops and steals.
+//! * **Latches.** Completion signalling: an atomic flag for cheap probing
+//!   plus a mutex/condvar pair for sleeping waits. Workers never block on a
+//!   latch without first trying to execute other jobs ("work while
+//!   waiting") — the property that makes nested `join`/`scope` calls
+//!   deadlock-free.
+//!
+//! Panics inside jobs are caught at the job boundary
+//! (`std::panic::catch_unwind`), carried in the job's result slot, and
+//! rethrown with the originating payload at the `join`/`scope` call site.
+
+use std::cell::{Cell, UnsafeCell};
+use std::collections::VecDeque;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Condvar, Mutex, OnceLock};
+use std::time::Duration;
+
+// ---------------------------------------------------------------------------
+// Jobs
+// ---------------------------------------------------------------------------
+
+/// Type-erased pointer to a job living on some stack frame or heap box.
+///
+/// Safety contract: the pointee must stay alive until `execute` has run
+/// (stack jobs guarantee this by blocking in `join` until the job's latch
+/// is set; heap jobs own their closure).
+pub(crate) struct JobRef {
+    data: *const (),
+    exec: unsafe fn(*const ()),
+}
+
+// The pointee is required (by the contract above) to be safe to execute
+// from any thread exactly once.
+unsafe impl Send for JobRef {}
+
+impl JobRef {
+    pub(crate) unsafe fn new<J: Job>(job: *const J) -> JobRef {
+        JobRef {
+            data: job as *const (),
+            exec: execute_erased::<J>,
+        }
+    }
+
+    pub(crate) fn data(&self) -> *const () {
+        self.data
+    }
+
+    pub(crate) fn execute(self) {
+        unsafe { (self.exec)(self.data) }
+    }
+}
+
+pub(crate) trait Job {
+    /// # Safety
+    /// Must be called at most once, with `this` pointing at a live job.
+    unsafe fn execute(this: *const Self);
+}
+
+unsafe fn execute_erased<J: Job>(data: *const ()) {
+    J::execute(data as *const J)
+}
+
+// ---------------------------------------------------------------------------
+// Latch
+// ---------------------------------------------------------------------------
+
+/// One-shot completion flag with both spinnable and sleepable waits.
+///
+/// Lifetime protocol: latches live inside stack jobs and scopes, which are
+/// freed the moment the waiter returns. The waiter therefore must not
+/// return until the setter has finished its *last* access to the latch —
+/// which is why every returning wait path ends in [`Latch::wait_done`]
+/// (observe the mutex-protected flag), and why [`Latch::set`] notifies
+/// *while holding* the mutex and makes the unlock its final touch.
+/// [`Latch::probe`] is only an opportunistic hint for work-stealing loops;
+/// it must never be the basis for returning to the caller.
+pub(crate) struct Latch {
+    set: AtomicBool,
+    mutex: Mutex<bool>,
+    cond: Condvar,
+}
+
+impl Latch {
+    pub(crate) fn new() -> Latch {
+        Latch {
+            set: AtomicBool::new(false),
+            mutex: Mutex::new(false),
+            cond: Condvar::new(),
+        }
+    }
+
+    /// Cheap completion hint. NOT sufficient to return to the caller —
+    /// follow up with [`Latch::wait_done`] (see the type-level protocol).
+    #[inline]
+    pub(crate) fn probe(&self) -> bool {
+        self.set.load(Ordering::Acquire)
+    }
+
+    pub(crate) fn set(&self) {
+        self.set.store(true, Ordering::Release);
+        let mut flagged = self.mutex.lock().unwrap();
+        *flagged = true;
+        // Notify while holding the lock: a waiter can only observe the
+        // flag under the mutex, so it cannot wake, return, and free this
+        // latch while we still hold (or are about to touch) any of its
+        // fields. The unlock below is the setter's final access.
+        self.cond.notify_all();
+    }
+
+    /// Sleeps until set or until `timeout` elapses (whichever first).
+    /// A wait only — callers still confirm via [`Latch::wait_done`].
+    pub(crate) fn wait_timeout(&self, timeout: Duration) {
+        let flagged = self.mutex.lock().unwrap();
+        if !*flagged {
+            let _ = self.cond.wait_timeout(flagged, timeout).unwrap();
+        }
+    }
+
+    /// Blocks until the mutex-protected flag is observed set. This is the
+    /// only wait that may precede freeing the latch: acquiring the mutex
+    /// after the setter wrote the flag synchronizes with the setter's
+    /// final unlock.
+    pub(crate) fn wait_done(&self) {
+        let mut flagged = self.mutex.lock().unwrap();
+        while !*flagged {
+            flagged = self.cond.wait(flagged).unwrap();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Stack jobs (the `join` building block)
+// ---------------------------------------------------------------------------
+
+/// A job whose closure and result slot live on the spawning stack frame.
+/// The frame blocks (in `join`) until `latch` is set, keeping the pointee
+/// alive for the executing thread.
+pub(crate) struct StackJob<F, R>
+where
+    F: FnOnce() -> R + Send,
+    R: Send,
+{
+    f: UnsafeCell<Option<F>>,
+    result: UnsafeCell<Option<std::thread::Result<R>>>,
+    pub(crate) latch: Latch,
+}
+
+impl<F, R> StackJob<F, R>
+where
+    F: FnOnce() -> R + Send,
+    R: Send,
+{
+    pub(crate) fn new(f: F) -> Self {
+        StackJob {
+            f: UnsafeCell::new(Some(f)),
+            result: UnsafeCell::new(None),
+            latch: Latch::new(),
+        }
+    }
+
+    /// # Safety
+    /// The returned ref must be executed before `self` is dropped.
+    pub(crate) unsafe fn as_job_ref(&self) -> JobRef {
+        JobRef::new(self as *const Self)
+    }
+
+    /// Call only after the latch is set (or after inline execution).
+    pub(crate) fn into_result(self) -> std::thread::Result<R> {
+        self.result
+            .into_inner()
+            .expect("stack job finished without storing a result")
+    }
+}
+
+impl<F, R> Job for StackJob<F, R>
+where
+    F: FnOnce() -> R + Send,
+    R: Send,
+{
+    unsafe fn execute(this: *const Self) {
+        let this = &*this;
+        let f = (*this.f.get()).take().expect("stack job executed twice");
+        let result = panic::catch_unwind(AssertUnwindSafe(f));
+        *this.result.get() = Some(result);
+        this.latch.set();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Heap jobs (the `scope` building block)
+// ---------------------------------------------------------------------------
+
+/// An owned, boxed job. The closure is responsible for its own panic
+/// handling and completion signalling (see `crate::scope`).
+pub(crate) struct HeapJob {
+    f: Box<dyn FnOnce() + Send>,
+}
+
+impl HeapJob {
+    pub(crate) fn new(f: Box<dyn FnOnce() + Send>) -> Box<HeapJob> {
+        Box::new(HeapJob { f })
+    }
+
+    pub(crate) fn into_job_ref(self: Box<Self>) -> JobRef {
+        unsafe { JobRef::new(Box::into_raw(self) as *const HeapJob) }
+    }
+}
+
+impl Job for HeapJob {
+    unsafe fn execute(this: *const Self) {
+        let job = Box::from_raw(this as *mut HeapJob);
+        (job.f)();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Registry (the pool itself)
+// ---------------------------------------------------------------------------
+
+struct WorkerDeque {
+    jobs: Mutex<VecDeque<JobRef>>,
+}
+
+/// Sleep support: a generation counter bumped on every enqueue, so a worker
+/// that found no work can sleep without missing submissions.
+struct Sleep {
+    gen: Mutex<u64>,
+    cond: Condvar,
+}
+
+pub(crate) struct Registry {
+    workers: Vec<WorkerDeque>,
+    injector: Mutex<VecDeque<JobRef>>,
+    sleep: Sleep,
+}
+
+thread_local! {
+    /// `Some(index)` on pool worker threads, `None` elsewhere.
+    static WORKER_INDEX: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+static REGISTRY: OnceLock<&'static Registry> = OnceLock::new();
+
+/// Worker-thread count: `RFA_THREADS` (≥ 1) has highest priority (so a
+/// pinned CI leg governs even test binaries that request a size), then an
+/// explicit builder request, then `available_parallelism`.
+fn pool_size(requested: Option<usize>) -> usize {
+    std::env::var("RFA_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .or(requested)
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |p| p.get()))
+}
+
+fn init_registry(requested: Option<usize>) -> &'static Registry {
+    let n = pool_size(requested);
+    let registry: &'static Registry = Box::leak(Box::new(Registry::new(n)));
+    for index in 0..n {
+        std::thread::Builder::new()
+            .name(format!("rfa-rayon-{index}"))
+            .spawn(move || worker_loop(registry, index))
+            .expect("failed to spawn rayon-shim pool worker");
+    }
+    registry
+}
+
+/// The lazily-created global registry. Worker threads are daemons: they
+/// never exit, which is fine for a process-lifetime pool.
+pub(crate) fn global() -> &'static Registry {
+    REGISTRY.get_or_init(|| init_registry(None))
+}
+
+/// Configures the global pool (the subset of rayon's `ThreadPoolBuilder`
+/// this workspace uses: `num_threads` + `build_global`).
+#[derive(Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+/// The global pool was already initialized (rayon's error for the same
+/// situation).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "the global thread pool has already been initialized")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+impl ThreadPoolBuilder {
+    pub fn new() -> Self {
+        ThreadPoolBuilder::default()
+    }
+
+    /// Requests a worker count. `RFA_THREADS` still takes precedence, so
+    /// an operator-pinned environment governs even binaries that call
+    /// this (e.g. test suites defaulting to a multi-worker pool).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = Some(n);
+        self
+    }
+
+    /// Initializes the global pool with this configuration, or returns an
+    /// error if some earlier pool use already initialized it.
+    pub fn build_global(self) -> Result<(), ThreadPoolBuildError> {
+        let mut built_here = false;
+        REGISTRY.get_or_init(|| {
+            built_here = true;
+            init_registry(self.num_threads)
+        });
+        if built_here {
+            Ok(())
+        } else {
+            Err(ThreadPoolBuildError)
+        }
+    }
+}
+
+pub(crate) fn current_worker_index() -> Option<usize> {
+    WORKER_INDEX.with(|w| w.get())
+}
+
+impl Registry {
+    fn new(n: usize) -> Registry {
+        Registry {
+            workers: (0..n)
+                .map(|_| WorkerDeque {
+                    jobs: Mutex::new(VecDeque::new()),
+                })
+                .collect(),
+            injector: Mutex::new(VecDeque::new()),
+            sleep: Sleep {
+                gen: Mutex::new(0),
+                cond: Condvar::new(),
+            },
+        }
+    }
+
+    pub(crate) fn num_threads(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Enqueues from the current thread: the local deque on a worker, the
+    /// injector elsewhere. Wakes sleepers either way.
+    pub(crate) fn push(&self, job: JobRef) {
+        match current_worker_index() {
+            Some(i) => self.workers[i].jobs.lock().unwrap().push_back(job),
+            None => self.injector.lock().unwrap().push_back(job),
+        }
+        self.notify();
+    }
+
+    fn notify(&self) {
+        {
+            let mut gen = self.sleep.gen.lock().unwrap();
+            *gen = gen.wrapping_add(1);
+        }
+        self.sleep.cond.notify_all();
+    }
+
+    /// Local LIFO pop → injector → round-robin FIFO steal.
+    fn find_work(&self, index: usize) -> Option<JobRef> {
+        if let Some(job) = self.workers[index].jobs.lock().unwrap().pop_back() {
+            return Some(job);
+        }
+        if let Some(job) = self.injector.lock().unwrap().pop_front() {
+            return Some(job);
+        }
+        let n = self.workers.len();
+        for k in 1..n {
+            let victim = (index + k) % n;
+            if let Some(job) = self.workers[victim].jobs.lock().unwrap().pop_front() {
+                return Some(job);
+            }
+        }
+        None
+    }
+
+    /// Pops the back of worker `index`'s deque if it is exactly `data`
+    /// (used by `join` to reclaim its own pending job).
+    pub(crate) fn pop_local_if(&self, index: usize, data: *const ()) -> Option<JobRef> {
+        let mut deque = self.workers[index].jobs.lock().unwrap();
+        if deque.back().is_some_and(|j| j.data() == data) {
+            deque.pop_back()
+        } else {
+            None
+        }
+    }
+
+    /// Removes a previously injected job by identity, if no worker has
+    /// claimed it yet (used by `join` called from outside the pool).
+    pub(crate) fn reclaim_injected(&self, data: *const ()) -> Option<JobRef> {
+        let mut queue = self.injector.lock().unwrap();
+        let pos = queue.iter().position(|j| j.data() == data)?;
+        queue.remove(pos)
+    }
+
+    /// Blocks until `latch` is set. Pool workers execute other jobs while
+    /// waiting; external threads sleep on the latch. Always ends in
+    /// `wait_done`, so on return the setter has finished its last access
+    /// to the latch and the caller may free it.
+    pub(crate) fn wait_until(&self, latch: &Latch) {
+        if let Some(index) = current_worker_index() {
+            while !latch.probe() {
+                match self.find_work(index) {
+                    Some(job) => job.execute(),
+                    // Re-poll for stealable work periodically; the latch
+                    // condvar wakes us immediately on completion.
+                    None => latch.wait_timeout(Duration::from_micros(200)),
+                }
+            }
+        }
+        latch.wait_done();
+    }
+}
+
+fn worker_loop(registry: &'static Registry, index: usize) {
+    WORKER_INDEX.with(|w| w.set(Some(index)));
+    let mut idle_spins = 0u32;
+    loop {
+        if let Some(job) = registry.find_work(index) {
+            idle_spins = 0;
+            job.execute();
+            continue;
+        }
+        idle_spins += 1;
+        if idle_spins < 32 {
+            std::thread::yield_now();
+            continue;
+        }
+        // Sleep protocol: grab the generation lock, probe once more while
+        // holding it (enqueuers bump the generation under the same lock
+        // after pushing, so nothing slips through), then sleep. The
+        // timeout is a belt-and-braces liveness backstop.
+        let gen = registry.sleep.gen.lock().unwrap();
+        if let Some(job) = registry.find_work(index) {
+            drop(gen);
+            idle_spins = 0;
+            job.execute();
+            continue;
+        }
+        let _ = registry
+            .sleep
+            .cond
+            .wait_timeout(gen, Duration::from_millis(50))
+            .unwrap();
+        idle_spins = 0;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// join
+// ---------------------------------------------------------------------------
+
+/// Runs `oper_a` and `oper_b`, potentially in parallel, and returns both
+/// results. `oper_b` is published to the pool; this thread runs `oper_a`,
+/// then either reclaims `oper_b` and runs it inline or helps execute other
+/// jobs until a thief finishes it. Panics are re-thrown with the
+/// originating payload (an `oper_a` panic wins if both panic).
+pub fn join<A, B, RA, RB>(oper_a: A, oper_b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    let registry = global();
+    if registry.num_threads() <= 1 {
+        // Single worker: parallelism cannot help; keep the exact sequential
+        // semantics (including natural panic propagation).
+        let ra = oper_a();
+        let rb = oper_b();
+        return (ra, rb);
+    }
+
+    let worker = current_worker_index();
+    let job_b = StackJob::new(oper_b);
+    let job_b_data;
+    {
+        let job_ref = unsafe { job_b.as_job_ref() };
+        job_b_data = job_ref.data();
+        registry.push(job_ref);
+    }
+
+    let result_a = panic::catch_unwind(AssertUnwindSafe(oper_a));
+
+    let reclaimed = match worker {
+        Some(index) => registry.pop_local_if(index, job_b_data),
+        None => registry.reclaim_injected(job_b_data),
+    };
+    match reclaimed {
+        Some(job) => job.execute(), // run b inline on this thread
+        None => registry.wait_until(&job_b.latch),
+    }
+
+    let result_b = job_b.into_result();
+    match (result_a, result_b) {
+        (Ok(ra), Ok(rb)) => (ra, rb),
+        (Err(payload_a), _) => panic::resume_unwind(payload_a),
+        (_, Err(payload_b)) => panic::resume_unwind(payload_b),
+    }
+}
+
+/// Current number of pool worker threads (initializes the pool).
+pub fn current_num_threads() -> usize {
+    global().num_threads()
+}

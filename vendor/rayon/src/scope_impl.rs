@@ -1,0 +1,119 @@
+//! `scope()` — structured fork/join over non-`'static` closures.
+//!
+//! `scope(|s| { s.spawn(|_| …); … })` blocks until every spawned task has
+//! completed, which is what makes it sound to erase the `'scope` lifetime
+//! when shipping tasks to pool workers. The calling thread helps execute
+//! pool jobs while it waits (via `Registry::wait_until`), so nested scopes
+//! and scopes-inside-joins cannot deadlock.
+//!
+//! Panic semantics match rayon: the first panicking spawned task's payload
+//! is captured and re-thrown from `scope()` after all tasks finish; a panic
+//! in the scope body itself takes precedence.
+
+use crate::pool::{self, HeapJob, Latch};
+use std::any::Any;
+use std::marker::PhantomData;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Handle for spawning tasks that may borrow from the enclosing frame.
+pub struct Scope<'scope> {
+    data: ScopeData,
+    // Invariant over 'scope (mirrors rayon): spawned closures must not
+    // outlive, nor be assumed to live shorter than, the scope.
+    marker: PhantomData<&'scope mut &'scope ()>,
+}
+
+struct ScopeData {
+    /// Outstanding tasks + 1 token held by the scope body.
+    pending: AtomicUsize,
+    /// Set when `pending` drops to zero.
+    latch: Latch,
+    /// First panic payload from a spawned task.
+    panic: Mutex<Option<Box<dyn Any + Send + 'static>>>,
+}
+
+impl ScopeData {
+    fn task_done(&self) {
+        if self.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
+            self.latch.set();
+        }
+    }
+
+    fn store_panic(&self, payload: Box<dyn Any + Send + 'static>) {
+        let mut slot = self.panic.lock().unwrap();
+        if slot.is_none() {
+            *slot = Some(payload);
+        }
+    }
+}
+
+/// Raw-pointer wrapper so spawned closures (which run on other threads) can
+/// carry a reference back to the stack-resident scope. Sound because
+/// `scope()` blocks until all tasks are done.
+struct ScopePtr<'scope>(*const Scope<'scope>);
+unsafe impl Send for ScopePtr<'_> {}
+
+impl<'scope> Scope<'scope> {
+    /// Spawns `body` into the pool. The task may borrow anything that
+    /// outlives `'scope` and may itself spawn further tasks.
+    pub fn spawn<BODY>(&self, body: BODY)
+    where
+        BODY: FnOnce(&Scope<'scope>) + Send + 'scope,
+    {
+        self.data.pending.fetch_add(1, Ordering::AcqRel);
+        let scope_ptr = ScopePtr(self as *const Scope<'scope>);
+        let task = move || {
+            // Move the wrapper (not just its pointer field) into the
+            // closure so the `Send` impl on `ScopePtr` applies.
+            let scope_ptr = scope_ptr;
+            let scope: &Scope<'scope> = unsafe { &*scope_ptr.0 };
+            let result = panic::catch_unwind(AssertUnwindSafe(|| body(scope)));
+            if let Err(payload) = result {
+                scope.data.store_panic(payload);
+            }
+            scope.data.task_done();
+        };
+        // Erase 'scope: the closure is kept alive only until task_done(),
+        // which strictly precedes scope() returning.
+        let task: Box<dyn FnOnce() + Send + 'scope> = Box::new(task);
+        let task: Box<dyn FnOnce() + Send + 'static> = unsafe { std::mem::transmute(task) };
+        pool::global().push(HeapJob::new(task).into_job_ref());
+    }
+}
+
+/// Creates a scope, runs `op` with it, and blocks until every spawned task
+/// has finished. Returns `op`'s result or re-raises the first panic.
+pub fn scope<'scope, OP, R>(op: OP) -> R
+where
+    OP: FnOnce(&Scope<'scope>) -> R,
+{
+    let registry = pool::global();
+    let scope = Scope {
+        data: ScopeData {
+            pending: AtomicUsize::new(1), // the body's token
+            latch: Latch::new(),
+            panic: Mutex::new(None),
+        },
+        marker: PhantomData,
+    };
+
+    let body_result = panic::catch_unwind(AssertUnwindSafe(|| op(&scope)));
+
+    // Release the body token; wait only if tasks are still outstanding.
+    if scope.data.pending.fetch_sub(1, Ordering::AcqRel) != 1 {
+        registry.wait_until(&scope.data.latch);
+    }
+
+    let task_panic = scope.data.panic.lock().unwrap().take();
+    match body_result {
+        Err(payload) => panic::resume_unwind(payload),
+        Ok(result) => {
+            if let Some(payload) = task_panic {
+                panic::resume_unwind(payload);
+            }
+            result
+        }
+    }
+}

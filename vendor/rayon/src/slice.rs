@@ -1,0 +1,211 @@
+//! Parallel slice operations: `par_chunks` and a genuinely parallel,
+//! out-of-place merge sort backing `ParallelSliceMut`.
+//!
+//! The sort is the textbook parallel merge sort: recursive halving down to
+//! a sequential cutoff (leaves sorted with `slice::sort_unstable_by`,
+//! ping-ponging between the data and one scratch buffer so no level needs
+//! an extra copy), and a *parallel merge* — the larger run donates its
+//! median as a pivot, the smaller run is split by binary search, and the
+//! two sub-merges write disjoint halves of the output concurrently. Span is
+//! O(log² n) instead of the O(n) a sequential top-level merge would cost,
+//! so speedup is not capped by the final merge.
+//!
+//! Shim restriction: elements must be `Copy` (covers every sort in this
+//! workspace — key/value pairs of plain scalars). Real rayon only needs
+//! `T: Send`; swapping it back in loosens the bound, never tightens it.
+
+use crate::iter::ParallelIterator;
+use crate::pool;
+use std::cmp::Ordering;
+
+/// Sequential cutoff for sort recursion (elements). Chosen so leaves are
+/// comfortably larger than the per-job overhead of the pool.
+const SORT_SEQ_CUTOFF: usize = 4096;
+/// Sequential cutoff for merge recursion (elements).
+const MERGE_SEQ_CUTOFF: usize = 4096;
+
+/// The subset of rayon's `ParallelSlice` this workspace uses (read-only
+/// chunk iteration — the morsel primitive for scans).
+pub trait ParallelSlice<T: Sync> {
+    fn as_parallel_slice(&self) -> &[T];
+
+    /// Parallel iterator over `chunk_size`-element morsels (the last chunk
+    /// may be shorter), in input order.
+    fn par_chunks(&self, chunk_size: usize) -> Chunks<'_, T> {
+        assert!(chunk_size > 0, "chunk size must be non-zero");
+        Chunks {
+            slice: self.as_parallel_slice(),
+            chunk_size,
+        }
+    }
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn as_parallel_slice(&self) -> &[T] {
+        self
+    }
+}
+
+/// Parallel iterator over immutable chunks of a slice.
+pub struct Chunks<'a, T> {
+    slice: &'a [T],
+    chunk_size: usize,
+}
+
+impl<'a, T: Sync> ParallelIterator for Chunks<'a, T> {
+    type Item = &'a [T];
+
+    fn len(&self) -> usize {
+        self.slice.len().div_ceil(self.chunk_size)
+    }
+
+    fn min_len(&self) -> usize {
+        // Chunk sizes are chosen by the caller as the morsel unit; split
+        // all the way down to single chunks.
+        1
+    }
+
+    unsafe fn produce(&self, i: usize) -> &'a [T] {
+        let lo = i * self.chunk_size;
+        let hi = (lo + self.chunk_size).min(self.slice.len());
+        &self.slice[lo..hi]
+    }
+}
+
+/// The subset of rayon's `ParallelSliceMut` the workspace uses, backed by
+/// the parallel merge sort above the cutoff and `sort_unstable_*` below it.
+pub trait ParallelSliceMut<T: Send> {
+    fn as_mut_slice(&mut self) -> &mut [T];
+
+    fn par_sort_unstable_by_key<K, F>(&mut self, f: F)
+    where
+        T: Copy + Sync,
+        K: Ord,
+        F: Fn(&T) -> K + Sync,
+    {
+        par_mergesort(self.as_mut_slice(), &|a, b| f(a).cmp(&f(b)));
+    }
+
+    fn par_sort_unstable_by<F>(&mut self, f: F)
+    where
+        T: Copy + Sync,
+        F: Fn(&T, &T) -> Ordering + Sync,
+    {
+        par_mergesort(self.as_mut_slice(), &f);
+    }
+
+    fn par_sort_unstable(&mut self)
+    where
+        T: Copy + Sync + Ord,
+    {
+        par_mergesort(self.as_mut_slice(), &T::cmp);
+    }
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn as_mut_slice(&mut self) -> &mut [T] {
+        self
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parallel merge sort
+// ---------------------------------------------------------------------------
+
+fn par_mergesort<T, C>(v: &mut [T], cmp: &C)
+where
+    T: Copy + Send + Sync,
+    C: Fn(&T, &T) -> Ordering + Sync,
+{
+    if v.len() <= SORT_SEQ_CUTOFF || pool::current_num_threads() <= 1 {
+        v.sort_unstable_by(cmp);
+        return;
+    }
+    // One scratch buffer, seeded with the data so both ping-pong sides
+    // start initialized (T: Copy makes this a plain memcpy).
+    let mut scratch: Vec<T> = v.to_vec();
+    sort_in_place(v, &mut scratch, cmp);
+}
+
+/// Sorts `v`, using `scratch` (same length) as merge space; result in `v`.
+fn sort_in_place<T, C>(v: &mut [T], scratch: &mut [T], cmp: &C)
+where
+    T: Copy + Send + Sync,
+    C: Fn(&T, &T) -> Ordering + Sync,
+{
+    if v.len() <= SORT_SEQ_CUTOFF {
+        v.sort_unstable_by(cmp);
+        return;
+    }
+    let mid = v.len() / 2;
+    let (v_lo, v_hi) = v.split_at_mut(mid);
+    let (s_lo, s_hi) = scratch.split_at_mut(mid);
+    pool::join(
+        || sort_into_scratch(v_lo, s_lo, cmp),
+        || sort_into_scratch(v_hi, s_hi, cmp),
+    );
+    par_merge(s_lo, s_hi, v, cmp);
+}
+
+/// Sorts `v`'s contents, leaving the sorted run in `scratch`.
+fn sort_into_scratch<T, C>(v: &mut [T], scratch: &mut [T], cmp: &C)
+where
+    T: Copy + Send + Sync,
+    C: Fn(&T, &T) -> Ordering + Sync,
+{
+    if v.len() <= SORT_SEQ_CUTOFF {
+        v.sort_unstable_by(cmp);
+        scratch.copy_from_slice(v);
+        return;
+    }
+    let mid = v.len() / 2;
+    let (v_lo, v_hi) = v.split_at_mut(mid);
+    let (s_lo, s_hi) = scratch.split_at_mut(mid);
+    pool::join(
+        || sort_in_place(v_lo, s_lo, cmp),
+        || sort_in_place(v_hi, s_hi, cmp),
+    );
+    par_merge(v_lo, v_hi, scratch, cmp);
+}
+
+/// Merges sorted runs `a` and `b` into `out` (`out.len() == a.len() +
+/// b.len()`), splitting recursively so sub-merges run in parallel.
+fn par_merge<T, C>(a: &[T], b: &[T], out: &mut [T], cmp: &C)
+where
+    T: Copy + Send + Sync,
+    C: Fn(&T, &T) -> Ordering + Sync,
+{
+    debug_assert_eq!(a.len() + b.len(), out.len());
+    if out.len() <= MERGE_SEQ_CUTOFF {
+        seq_merge(a, b, out, cmp);
+        return;
+    }
+    // Pivot on the median of the larger run; binary-search it in the
+    // smaller. Both output halves then have known, disjoint extents.
+    let (a, b) = if a.len() >= b.len() { (a, b) } else { (b, a) };
+    let mid_a = a.len() / 2;
+    let pivot = &a[mid_a];
+    let mid_b = b.partition_point(|x| cmp(x, pivot) == Ordering::Less);
+    let (out_lo, out_hi) = out.split_at_mut(mid_a + mid_b);
+    pool::join(
+        || par_merge(&a[..mid_a], &b[..mid_b], out_lo, cmp),
+        || par_merge(&a[mid_a..], &b[mid_b..], out_hi, cmp),
+    );
+}
+
+fn seq_merge<T, C>(a: &[T], b: &[T], out: &mut [T], cmp: &C)
+where
+    T: Copy,
+    C: Fn(&T, &T) -> Ordering,
+{
+    let (mut i, mut j) = (0, 0);
+    for slot in out.iter_mut() {
+        if i < a.len() && (j >= b.len() || cmp(&a[i], &b[j]) != Ordering::Greater) {
+            *slot = a[i];
+            i += 1;
+        } else {
+            *slot = b[j];
+            j += 1;
+        }
+    }
+}
