@@ -45,6 +45,49 @@ pub fn hash_aggregate<F: AggFn>(
     out
 }
 
+/// Batch-at-a-time variant of [`hash_aggregate_states`], built on
+/// [`AggHashTable::upsert_batch`]: each `batch_rows`-sized chunk is
+/// probed in one pass (slot indices into a reused scratch vector) and
+/// updated in a second — the probe structure a batched scan feeds when
+/// group ids are not dense (the engine's fused pipeline groups on dense
+/// ids today and would route non-dense GROUP BYs here). Per-key update
+/// order equals input order, so the per-group states are bit-identical
+/// to the scalar loop.
+pub fn hash_aggregate_states_batched<F: AggFn>(
+    f: &F,
+    keys: &[u32],
+    values: &[F::Input],
+    hash: HashKind,
+    capacity_hint: usize,
+    batch_rows: usize,
+) -> AggHashTable<F::State> {
+    assert_eq!(keys.len(), values.len());
+    assert!(batch_rows > 0);
+    let template = f.new_state();
+    let mut table = AggHashTable::with_capacity(capacity_hint, hash, &template);
+    let mut slots = Vec::with_capacity(batch_rows);
+    for (kc, vc) in keys.chunks(batch_rows).zip(values.chunks(batch_rows)) {
+        table.upsert_batch(kc, &template, &mut slots, |state, i| f.step(state, vc[i]));
+    }
+    table
+}
+
+/// Batched aggregate-and-finalize, sorted by key (the batched analogue of
+/// [`hash_aggregate`]).
+pub fn hash_aggregate_batched<F: AggFn>(
+    f: &F,
+    keys: &[u32],
+    values: &[F::Input],
+    hash: HashKind,
+    capacity_hint: usize,
+    batch_rows: usize,
+) -> Vec<(u32, F::Output)> {
+    let table = hash_aggregate_states_batched(f, keys, values, hash, capacity_hint, batch_rows);
+    let mut out: Vec<(u32, F::Output)> = table.drain().map(|(k, s)| (k, f.output(s))).collect();
+    out.sort_unstable_by_key(|(k, _)| *k);
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -116,6 +159,35 @@ mod tests {
             for (a, b) in unbuffered.iter().zip(buffered.iter()) {
                 assert_eq!(a.1.to_bits(), b.1.to_bits(), "bsz {bsz} group {}", a.0);
             }
+        }
+    }
+
+    #[test]
+    fn batched_matches_scalar_bitwise_for_repro() {
+        let (keys, values) = sample();
+        let f = ReproAgg::<f64, 3>::new();
+        let scalar = hash_aggregate(&f, &keys, &values, HashKind::Identity, 16);
+        for batch in [1usize, 13, 256, 4096, 100_000] {
+            let batched = hash_aggregate_batched(&f, &keys, &values, HashKind::Identity, 16, batch);
+            assert_eq!(scalar.len(), batched.len());
+            for (a, b) in scalar.iter().zip(batched.iter()) {
+                assert_eq!(a.0, b.0);
+                assert_eq!(a.1.to_bits(), b.1.to_bits(), "batch {batch} group {}", a.0);
+            }
+        }
+    }
+
+    #[test]
+    fn batched_matches_scalar_exactly_for_plain_sums() {
+        // Plain doubles are order-sensitive, so bit-equality here proves
+        // the batched probe preserves the exact per-key update order.
+        let (keys, values) = sample();
+        let f = SumAgg::<f64>::new();
+        let scalar = hash_aggregate(&f, &keys, &values, HashKind::Multiplicative, 4);
+        let batched = hash_aggregate_batched(&f, &keys, &values, HashKind::Multiplicative, 4, 333);
+        assert_eq!(scalar.len(), batched.len());
+        for (a, b) in scalar.iter().zip(batched.iter()) {
+            assert_eq!(a.1.to_bits(), b.1.to_bits(), "group {}", a.0);
         }
     }
 

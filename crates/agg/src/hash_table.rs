@@ -81,22 +81,69 @@ impl<S: Clone> AggHashTable<S> {
     /// on first sight. Grows (doubling + rehash) at 75% load.
     #[inline]
     pub fn slot_mut(&mut self, key: u32, template: &S) -> &mut S {
-        debug_assert_ne!(key, EMPTY, "u32::MAX is the reserved empty sentinel");
         if (self.len + 1) * 4 > self.keys.len() * 3 {
             self.grow(template);
         }
+        let slot = self.probe_insert(key);
+        &mut self.states[slot]
+    }
+
+    /// Probe-or-insert without a growth check (callers guarantee a free
+    /// slot exists). Returns the slot index.
+    #[inline]
+    fn probe_insert(&mut self, key: u32) -> usize {
+        debug_assert_ne!(key, EMPTY, "u32::MAX is the reserved empty sentinel");
         let mut i = self.hash.hash(key) as usize & self.mask;
         loop {
             let k = self.keys[i];
             if k == key {
-                return &mut self.states[i];
+                return i;
             }
             if k == EMPTY {
                 self.keys[i] = key;
                 self.len += 1;
-                return &mut self.states[i];
+                return i;
             }
             i = (i + 1) & self.mask;
+        }
+    }
+
+    /// Batched probe: resolves the slot of every key in `keys` (inserting
+    /// clones of `template` for unseen keys) into the reused `slots`
+    /// scratch vector, then invokes `apply(state, i)` for each batch
+    /// position `i` on that key's state. This is the batch-at-a-time
+    /// building block for hash-grouped aggregation (today via
+    /// [`crate::hash_agg::hash_aggregate_batched`]; the engine's fused
+    /// scan currently groups on dense ids and would feed this entry point
+    /// once it grows a non-dense GROUP BY).
+    ///
+    /// Splitting probe from update turns the inner loop into the
+    /// probe-then-apply structure vectorized engines use, and amortizes
+    /// the growth check to once per batch: capacity for the worst case
+    /// (every key new) is ensured *up front*, so slot indices stay valid
+    /// across the whole batch even when the table resizes. Per-key update
+    /// order equals input order, so results are bit-identical to the
+    /// scalar [`Self::slot_mut`] loop for any batch size.
+    pub fn upsert_batch(
+        &mut self,
+        keys: &[u32],
+        template: &S,
+        slots: &mut Vec<u32>,
+        mut apply: impl FnMut(&mut S, usize),
+    ) {
+        // Worst-case pre-growth: every key in the batch is new. Capacity
+        // may overshoot by up to one doubling versus scalar insertion
+        // (duplicates are unknowable up front), then converges: once
+        // (len + batch) fits in 75% load, no batch ever grows again.
+        while (self.len + keys.len()) * 4 > self.keys.len() * 3 {
+            self.grow(template);
+        }
+        slots.clear();
+        for &k in keys {
+            slots.push(self.probe_insert(k) as u32);
+        }
+        for (i, &s) in slots.iter().enumerate() {
+            apply(&mut self.states[s as usize], i);
         }
     }
 
@@ -194,6 +241,74 @@ mod tests {
         assert_eq!(t.get(1), Some(&10));
         assert_eq!(t.get(1 + cap), Some(&20));
         assert_eq!(t.get(1 + 2 * cap), Some(&30));
+    }
+
+    #[test]
+    fn upsert_batch_matches_scalar_inserts() {
+        let mut scalar = AggHashTable::<f64>::with_capacity(8, HashKind::Identity, &0.0);
+        let mut batched = AggHashTable::<f64>::with_capacity(8, HashKind::Identity, &0.0);
+        let keys: Vec<u32> = (0..500u32).map(|i| (i * 7) % 91).collect();
+        let values: Vec<f64> = (0..500).map(|i| i as f64 * 0.5 - 20.0).collect();
+        for (&k, &v) in keys.iter().zip(&values) {
+            *scalar.slot_mut(k, &0.0) += v;
+        }
+        let mut slots = Vec::new();
+        for (kc, vc) in keys.chunks(64).zip(values.chunks(64)) {
+            batched.upsert_batch(kc, &0.0, &mut slots, |s, i| *s += vc[i]);
+        }
+        assert_eq!(scalar.len(), batched.len());
+        for k in 0..91u32 {
+            assert_eq!(
+                scalar.get(k).map(|v| v.to_bits()),
+                batched.get(k).map(|v| v.to_bits()),
+                "key {k}"
+            );
+        }
+    }
+
+    #[test]
+    fn upsert_batch_grows_across_a_capacity_boundary() {
+        // capacity_hint 8 -> 16 slots -> grows when len + batch exceeds 12.
+        let mut t = AggHashTable::<u32>::with_capacity(8, HashKind::Identity, &0);
+        assert_eq!(t.keys.len(), 16);
+        let mut slots = Vec::new();
+        // One batch of 20 distinct keys straddles the 75%-load boundary:
+        // growth must happen up front and the batch's slot indices must
+        // stay valid (a stale pre-growth index would corrupt states).
+        let keys: Vec<u32> = (0..20).collect();
+        t.upsert_batch(&keys, &0, &mut slots, |s, i| *s += i as u32 + 1);
+        assert!(t.keys.len() >= 32, "table must have grown");
+        assert_eq!(t.len(), 20);
+        for k in 0..20u32 {
+            assert_eq!(t.get(k), Some(&(k + 1)), "key {k}");
+        }
+        // Worst-case reservation assumes every batch key may be new, so
+        // capacity converges to holding len + batch at 75% load and then
+        // stays put: repeated batches over the same keys stop growing.
+        t.upsert_batch(&keys, &0, &mut slots, |s, _| *s += 100);
+        let cap = t.keys.len();
+        assert!((t.len() + keys.len()) * 4 <= cap * 3);
+        t.upsert_batch(&keys, &0, &mut slots, |s, _| *s += 1000);
+        assert_eq!(t.keys.len(), cap, "converged capacity must be sticky");
+        assert_eq!(t.len(), 20);
+        assert_eq!(t.get(7), Some(&(7 + 1 + 100 + 1000)));
+    }
+
+    #[test]
+    fn upsert_batch_handles_duplicate_keys_within_a_batch() {
+        let mut t = AggHashTable::<u64>::with_capacity(4, HashKind::Multiplicative, &0);
+        let keys = [5u32, 9, 5, 5, 9, 3];
+        let mut slots = Vec::new();
+        t.upsert_batch(&keys, &0, &mut slots, |s, i| *s += (i as u64) + 1);
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.get(5), Some(&(1 + 3 + 4)));
+        assert_eq!(t.get(9), Some(&(2 + 5)));
+        assert_eq!(t.get(3), Some(&6));
+        // Slot scratch has one entry per input, duplicates resolving to
+        // the same slot.
+        assert_eq!(slots.len(), 6);
+        assert_eq!(slots[0], slots[2]);
+        assert_eq!(slots[0], slots[3]);
     }
 
     #[test]

@@ -6,8 +6,8 @@
 use proptest::collection::vec;
 use proptest::prelude::*;
 use rfa_agg::{
-    hash_aggregate, partition_and_aggregate, partition_serial, shared_aggregate, sort_aggregate,
-    GroupByConfig, HashKind, ReproAgg, SharedAggConfig, SumAgg,
+    hash_aggregate, hash_aggregate_batched, partition_and_aggregate, partition_serial,
+    shared_aggregate, sort_aggregate, GroupByConfig, HashKind, ReproAgg, SharedAggConfig, SumAgg,
 };
 
 /// Requests an 8-worker pool for this test binary so the parallel
@@ -234,6 +234,50 @@ proptest! {
         prop_assert_eq!(serial.len(), sorted.len());
         for (a, b) in serial.iter().zip(sorted.iter()) {
             prop_assert_eq!(a.1.to_bits(), b.1.to_bits(), "sorted, group {}", a.0);
+        }
+    }
+
+    #[test]
+    fn batched_probe_matches_scalar_bitwise_f64(
+        (keys, values) in pairs(1200, 300),
+        batch in 1usize..200,
+        hint in 0usize..64,
+    ) {
+        // Any batch size and any capacity hint (growth straddles batch
+        // boundaries) must reproduce the scalar probe loop bit-for-bit —
+        // for repro states by reproducibility, for plain doubles because
+        // the batched probe preserves per-key update order exactly.
+        let f = ReproAgg::<f64, 2>::new();
+        let scalar = hash_aggregate(&f, &keys, &values, HashKind::Identity, hint);
+        let batched = hash_aggregate_batched(&f, &keys, &values, HashKind::Identity, hint, batch);
+        prop_assert_eq!(scalar.len(), batched.len());
+        for (a, b) in scalar.iter().zip(batched.iter()) {
+            prop_assert_eq!(a.0, b.0);
+            prop_assert_eq!(a.1.to_bits(), b.1.to_bits(), "batch {} group {}", batch, a.0);
+        }
+        let f = SumAgg::<f64>::new();
+        let scalar = hash_aggregate(&f, &keys, &values, HashKind::Multiplicative, hint);
+        let batched =
+            hash_aggregate_batched(&f, &keys, &values, HashKind::Multiplicative, hint, batch);
+        prop_assert_eq!(scalar.len(), batched.len());
+        for (a, b) in scalar.iter().zip(batched.iter()) {
+            prop_assert_eq!(a.1.to_bits(), b.1.to_bits(), "plain batch {} group {}", batch, a.0);
+        }
+    }
+
+    #[test]
+    fn batched_probe_matches_scalar_bitwise_f32(
+        (keys, values64) in pairs(900, 100),
+        batch in 1usize..150,
+    ) {
+        let values: Vec<f32> = values64.iter().map(|&v| v as f32).collect();
+        let f = ReproAgg::<f32, 2>::new();
+        let scalar = hash_aggregate(&f, &keys, &values, HashKind::Identity, 100);
+        let batched = hash_aggregate_batched(&f, &keys, &values, HashKind::Identity, 100, batch);
+        prop_assert_eq!(scalar.len(), batched.len());
+        for (a, b) in scalar.iter().zip(batched.iter()) {
+            prop_assert_eq!(a.0, b.0);
+            prop_assert_eq!(a.1.to_bits(), b.1.to_bits(), "batch {} group {}", batch, a.0);
         }
     }
 

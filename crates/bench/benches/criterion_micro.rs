@@ -6,7 +6,9 @@
 //! rigorous single-primitive measurements (useful when tuning the kernel).
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use rfa_agg::{hash_aggregate, partition_serial, HashKind, ReproAgg, SumAgg};
+use rfa_agg::{
+    hash_aggregate, hash_aggregate_batched, partition_serial, HashKind, ReproAgg, SumAgg,
+};
 use rfa_core::{simd, ReproSum};
 use rfa_workloads::{GroupedPairs, ValueDist};
 use std::hint::black_box;
@@ -123,6 +125,72 @@ fn bench_parallel(c: &mut Criterion) {
     g.finish();
 }
 
+/// Fused-scan primitives: per-batch overhead of the zero-copy pipeline in
+/// isolation — batched expression evaluation into reused scratch, the
+/// batched hash-table probe, and the end-to-end fused-vs-materializing
+/// query pair (read the fusion win straight off the thrpt column).
+fn bench_fused_scan(c: &mut Criterion) {
+    use rfa_engine::{
+        lineitem_table, run_q1, run_q1_materializing, run_q6, run_q6_materializing, EvalScratch,
+        Expr, SumBackend,
+    };
+    use rfa_workloads::Lineitem;
+
+    let lineitem = Lineitem::generate(N, 7);
+    let backend = SumBackend::ReproBuffered { buffer_size: 1024 };
+    let mut g = c.benchmark_group("fused_scan");
+    g.throughput(Throughput::Elements(N as u64));
+
+    g.bench_function("q1_fused", |b| {
+        b.iter(|| black_box(run_q1(&lineitem, backend).unwrap()))
+    });
+    g.bench_function("q1_materializing", |b| {
+        b.iter(|| black_box(run_q1_materializing(&lineitem, backend).unwrap()))
+    });
+    g.bench_function("q6_fused", |b| {
+        b.iter(|| black_box(run_q6(&lineitem, backend).unwrap()))
+    });
+    g.bench_function("q6_materializing", |b| {
+        b.iter(|| black_box(run_q6_materializing(&lineitem, backend).unwrap()))
+    });
+
+    // Compiled batch evaluation of the Q1 charge expression over reused
+    // scratch registers (no allocation in the measured loop).
+    let table = lineitem_table(&lineitem);
+    let charge = Expr::col("l_extendedprice")
+        .mul(Expr::lit(1.0).sub(Expr::col("l_discount")))
+        .mul(Expr::lit(1.0).add(Expr::col("l_tax")))
+        .compile();
+    let bound = charge.bind(&table).unwrap();
+    let sel: Vec<u32> = (0..N as u32).collect();
+    let mut scratch = EvalScratch::new();
+    let mut out = vec![0.0f64; 4096];
+    g.bench_function("expr_charge_batched_eval", |b| {
+        b.iter(|| {
+            for chunk in sel.chunks(4096) {
+                bound.eval_into(chunk, &mut scratch, &mut out[..chunk.len()]);
+                black_box(&out);
+            }
+        })
+    });
+
+    // Batched vs scalar hash-table probe on repro states.
+    let w = GroupedPairs::generate(N, 1024, ValueDist::Uniform01, 24);
+    g.bench_function("hash_agg_batched_repro_f64_L2", |b| {
+        b.iter(|| {
+            black_box(hash_aggregate_batched(
+                &ReproAgg::<f64, 2>::new(),
+                &w.keys,
+                &w.values,
+                HashKind::Identity,
+                1024,
+                4096,
+            ))
+        })
+    });
+    g.finish();
+}
+
 fn config() -> Criterion {
     Criterion::default()
         .sample_size(10)
@@ -133,6 +201,6 @@ fn config() -> Criterion {
 criterion_group! {
     name = benches;
     config = config();
-    targets = bench_summation, bench_operators, bench_parallel
+    targets = bench_summation, bench_operators, bench_parallel, bench_fused_scan
 }
 criterion_main!(benches);

@@ -204,9 +204,22 @@ pub fn geomean(values: &[f64]) -> f64 {
     (values.iter().map(|v| v.ln()).sum::<f64>() / values.len() as f64).exp()
 }
 
+/// The scan-pipeline entry of the smoke artifact: fused vs materializing
+/// serial ns/elem for one representative engine query.
+#[derive(Clone, Copy, Debug)]
+pub struct ScanSmoke {
+    /// Which query was measured (e.g. "tpch_q1 repro<d,4> buffered").
+    pub query: &'static str,
+    pub fused_ns_per_elem: f64,
+    pub materializing_ns_per_elem: f64,
+}
+
 /// Writes `results/bench_smoke.json` — the CI smoke artifact recording
 /// serial vs pool wall-clock ns/elem (and their ratio) for one
-/// representative configuration of a bench target.
+/// representative configuration of a bench target, plus (when provided)
+/// the fused-vs-materializing scan comparison. The acceptance shape:
+/// `speedup` ≥ ~1 on multicore hosts, and `scan.fused_ns_per_elem` ≤
+/// `scan.materializing_ns_per_elem` at laptop scale.
 pub fn write_bench_smoke(
     bench: &str,
     config: &str,
@@ -214,6 +227,7 @@ pub fn write_bench_smoke(
     pool_threads: usize,
     serial_ns_per_elem: f64,
     parallel_ns_per_elem: f64,
+    scan: Option<ScanSmoke>,
 ) {
     let dir = results_dir();
     if fs::create_dir_all(&dir).is_err() {
@@ -225,10 +239,28 @@ pub fn write_bench_smoke(
     } else {
         0.0
     };
+    let scan_json = match scan {
+        None => String::new(),
+        Some(s) => {
+            let ratio = if s.materializing_ns_per_elem > 0.0 {
+                s.fused_ns_per_elem / s.materializing_ns_per_elem
+            } else {
+                0.0
+            };
+            format!(
+                ",\n  \"scan\": {{\n    \"query\": \"{}\",\n    \
+                 \"fused_ns_per_elem\": {:.3},\n    \
+                 \"materializing_ns_per_elem\": {:.3},\n    \
+                 \"fused_over_materializing\": {ratio:.3}\n  }}",
+                s.query, s.fused_ns_per_elem, s.materializing_ns_per_elem
+            )
+        }
+    };
     let json = format!(
         "{{\n  \"bench\": \"{bench}\",\n  \"config\": \"{config}\",\n  \"n\": {n},\n  \
          \"pool_threads\": {pool_threads},\n  \"serial_ns_per_elem\": {serial_ns_per_elem:.3},\n  \
-         \"parallel_ns_per_elem\": {parallel_ns_per_elem:.3},\n  \"speedup\": {speedup:.3}\n}}\n"
+         \"parallel_ns_per_elem\": {parallel_ns_per_elem:.3},\n  \"speedup\": {speedup:.3}\
+         {scan_json}\n}}\n"
     );
     if fs::write(&path, json).is_ok() {
         println!("  [json] {}", path.display());

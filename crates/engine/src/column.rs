@@ -7,17 +7,44 @@
 //! independence (§I, Algorithm 1).
 
 use std::fmt;
+use std::sync::Arc;
 
 /// A typed column (subset sufficient for the paper's workloads).
+///
+/// Storage is `Arc`-shared: building a [`Table`] view over existing column
+/// vectors (e.g. a workload generator's output) is a refcount bump per
+/// column, never a data copy — queries scan the owner's storage in place.
+/// Mutating operations ([`Table::reorder`], [`Table::mvcc_update_i32`])
+/// are copy-on-write: they replace or privatize the storage, so shared
+/// owners never observe a mutation.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Column {
-    F64(Vec<f64>),
-    F32(Vec<f32>),
-    I32(Vec<i32>),
-    U8(Vec<u8>),
+    F64(Arc<Vec<f64>>),
+    F32(Arc<Vec<f32>>),
+    I32(Arc<Vec<i32>>),
+    U8(Arc<Vec<u8>>),
 }
 
 impl Column {
+    /// Builds an `F64` column from owned or already-shared storage.
+    pub fn f64(data: impl Into<Arc<Vec<f64>>>) -> Column {
+        Column::F64(data.into())
+    }
+
+    /// Builds an `F32` column from owned or already-shared storage.
+    pub fn f32(data: impl Into<Arc<Vec<f32>>>) -> Column {
+        Column::F32(data.into())
+    }
+
+    /// Builds an `I32` column from owned or already-shared storage.
+    pub fn i32(data: impl Into<Arc<Vec<i32>>>) -> Column {
+        Column::I32(data.into())
+    }
+
+    /// Builds a `U8` column from owned or already-shared storage.
+    pub fn u8(data: impl Into<Arc<Vec<u8>>>) -> Column {
+        Column::U8(data.into())
+    }
     pub fn len(&self) -> usize {
         match self {
             Column::F64(v) => v.len(),
@@ -62,10 +89,11 @@ impl Column {
     }
 
     /// Applies a row permutation (`perm[i]` = source row of new row `i`).
+    /// Builds fresh storage, so sharers of the old storage are unaffected.
     fn permute(&mut self, perm: &[u32]) {
-        fn apply<T: Copy>(data: &mut Vec<T>, perm: &[u32]) {
+        fn apply<T: Copy>(data: &mut Arc<Vec<T>>, perm: &[u32]) {
             let out: Vec<T> = perm.iter().map(|&i| data[i as usize]).collect();
-            *data = out;
+            *data = Arc::new(out);
         }
         match self {
             Column::F64(v) => apply(v, perm),
@@ -199,11 +227,13 @@ impl Table {
             .collect();
         self.reorder(&perm);
         // Apply the update to the relocated rows (now at the tail).
+        // `make_mut` is copy-on-write; `reorder` just rebuilt this storage,
+        // so it is already private and no clone happens here.
         let tail = self.rows - updated;
         for (n, c) in &mut self.columns {
             if n == pred_col {
                 if let Column::I32(v) = c {
-                    for x in &mut v[tail..] {
+                    for x in &mut Arc::make_mut(v)[tail..] {
                         *x = update(*x);
                     }
                 }
@@ -220,10 +250,10 @@ mod tests {
     fn algorithm1_table() -> Table {
         // CREATE TABLE R (i int, f float); INSERT 3 rows.
         let mut t = Table::new("R");
-        t.add_column("i", Column::I32(vec![1, 2, 3])).unwrap();
+        t.add_column("i", Column::i32(vec![1, 2, 3])).unwrap();
         t.add_column(
             "f",
-            Column::F64(vec![2.5e-16, 0.999_999_999_999_999, 2.5e-16]),
+            Column::f64(vec![2.5e-16, 0.999_999_999_999_999, 2.5e-16]),
         )
         .unwrap();
         t
@@ -262,18 +292,18 @@ mod tests {
     #[test]
     fn column_length_mismatch_rejected() {
         let mut t = Table::new("t");
-        t.add_column("a", Column::F64(vec![1.0, 2.0])).unwrap();
-        let err = t.add_column("b", Column::I32(vec![1])).unwrap_err();
+        t.add_column("a", Column::f64(vec![1.0, 2.0])).unwrap();
+        let err = t.add_column("b", Column::i32(vec![1])).unwrap_err();
         assert!(matches!(err, TableError::ColumnLengthMismatch { .. }));
-        let err = t.add_column("a", Column::I32(vec![1, 2])).unwrap_err();
+        let err = t.add_column("a", Column::i32(vec![1, 2])).unwrap_err();
         assert!(matches!(err, TableError::DuplicateColumn(_)));
     }
 
     #[test]
     fn reorder_applies_to_all_columns() {
         let mut t = Table::new("t");
-        t.add_column("x", Column::I32(vec![10, 20, 30])).unwrap();
-        t.add_column("y", Column::U8(b"abc".to_vec())).unwrap();
+        t.add_column("x", Column::i32(vec![10, 20, 30])).unwrap();
+        t.add_column("y", Column::u8(b"abc".to_vec())).unwrap();
         t.reorder(&[2, 0, 1]);
         assert_eq!(t.column("x").unwrap().as_i32(), &[30, 10, 20]);
         assert_eq!(t.column("y").unwrap().as_u8(), b"cab");

@@ -1,0 +1,653 @@
+//! The fused zero-copy scan pipeline: batch-at-a-time
+//! filter → project → aggregate with no n-sized intermediates.
+//!
+//! The materializing pipeline (kept as `run_q1_materializing` /
+//! `run_q6_materializing` for reference and differential testing) walks
+//! the table three times before the §III kernel ever runs: it builds an
+//! n-sized selection vector, gathers every projected column into fresh
+//! vectors, and only then aggregates. This module instead walks the table
+//! once in fixed cache-resident batches ([`FUSED_BATCH_ROWS`] rows): each
+//! batch is filtered into a small reused selection vector, projected
+//! through compiled expressions into reused scratch registers
+//! ([`crate::expr`]), and deposited straight into the per-group
+//! [`GroupedSums`] states — the MonetDB/X100 vectorized execution model.
+//! Peak intermediate footprint is O(batch + groups), independent of n.
+//!
+//! **Why fusion preserves bit-identity** (paper footnote 3, extended to
+//! batched evaluation): the per-row expression dag is evaluated with the
+//! identical operations in the identical row order — batching only changes
+//! *when* rows are processed, never *what* is computed or in which order
+//! per accumulator slot. Every `GroupedSums` slot therefore receives the
+//! same value sequence as in the materializing pipeline, so every backend
+//! — including order-sensitive plain doubles — finalizes to the same bits
+//! as serial materializing execution. The single-group fast path may swap
+//! per-row deposits for the vectorized block kernel (`simd::add_slice`),
+//! which §III-D proves bit-transparent.
+//!
+//! **Parallelism.** With `threads > 1` the scan runs morsel-driven on the
+//! work-stealing pool: each morsel ([`ExecOptions::morsel_rows`] rows)
+//! processes its batches into private states, merged along the
+//! deterministic split tree. Exact state merging makes the repro backends
+//! bit-identical to serial execution at any thread count. Plain doubles
+//! cannot merge exactly — the *only* way to parallelize them without
+//! changing the answer would be to materialize or sort — so the fused
+//! executor deliberately runs [`SumBackend::Double`] serially at any
+//! requested thread count: the engine's answers are then independent of
+//! `threads` for every backend, which the proptests assert.
+//! [`SumBackend::SortedDouble`] is inherently materializing (it sorts the
+//! projected values) and is routed to the materializing pipeline by the
+//! query entry points, never reaching this executor.
+
+use crate::column::Table;
+use crate::expr::{BoundExpr, CompiledExpr, EvalScratch, Expr};
+use crate::q1::PhaseTiming;
+use crate::sum_op::{GroupedSums, OverflowError, SumBackend, SCAN_MORSEL_ROWS};
+use rayon::prelude::*;
+use std::time::Instant;
+
+/// Rows per scan batch. 4096 rows keep one selection vector, one group-id
+/// vector and a handful of f64 registers (~32 KiB each) L2-resident while
+/// amortizing per-batch dispatch — the X100 sweet spot.
+pub const FUSED_BATCH_ROWS: usize = 4096;
+
+/// A conjunct of the scan filter, evaluated batch-at-a-time against a
+/// typed column. Range bounds follow the queries' SQL semantics.
+#[derive(Clone, Copy, Debug)]
+pub enum Pred {
+    /// `lo <= col < hi` on an `I32` column.
+    I32Range { col: &'static str, lo: i32, hi: i32 },
+    /// `col <= max` on an `I32` column.
+    I32Le { col: &'static str, max: i32 },
+    /// `lo <= col <= hi` (inclusive) on an `F64` column.
+    F64Range { col: &'static str, lo: f64, hi: f64 },
+    /// `col < max` on an `F64` column.
+    F64Lt { col: &'static str, max: f64 },
+}
+
+/// GROUP BY over two dictionary-encoded `U8` columns, mapped to a dense
+/// group id by `encode` (Q1's `(l_returnflag, l_linestatus)` pair).
+#[derive(Clone, Copy)]
+pub struct GroupSpec {
+    pub a: &'static str,
+    pub b: &'static str,
+    pub encode: fn(u8, u8) -> u32,
+}
+
+/// A fused scan-aggregate query: conjunctive filter, one SUM per
+/// aggregate expression, optional dense grouping.
+pub struct FusedQuery {
+    pub filter: Vec<Pred>,
+    pub aggregates: Vec<Expr>,
+    /// `None` — a single un-grouped accumulator (group id 0).
+    pub group_by: Option<GroupSpec>,
+    /// Number of dense group ids `encode` can produce (1 if un-grouped).
+    pub groups: usize,
+}
+
+/// Execution options of the fused pipeline.
+#[derive(Clone, Copy, Debug)]
+pub struct ExecOptions {
+    /// Worker budget: 1 runs serial, >1 runs morsel-parallel on the
+    /// global pool. Results are bit-identical either way (see module doc).
+    pub threads: usize,
+    /// Rows per batch (default [`FUSED_BATCH_ROWS`]; tests shrink it to
+    /// force many batches on small inputs).
+    pub batch_rows: usize,
+    /// Rows per parallel morsel (default [`SCAN_MORSEL_ROWS`]; tests
+    /// shrink it to force real splits on small inputs).
+    pub morsel_rows: usize,
+}
+
+impl Default for ExecOptions {
+    fn default() -> Self {
+        ExecOptions {
+            threads: 1,
+            batch_rows: FUSED_BATCH_ROWS,
+            morsel_rows: SCAN_MORSEL_ROWS,
+        }
+    }
+}
+
+impl ExecOptions {
+    /// Serial execution with default batch sizing.
+    pub fn serial() -> Self {
+        ExecOptions::default()
+    }
+
+    /// One worker per pool thread with default batch/morsel sizing.
+    pub fn parallel() -> Self {
+        ExecOptions {
+            threads: rayon::current_num_threads().max(1),
+            ..ExecOptions::default()
+        }
+    }
+}
+
+/// Result of a fused scan: per-aggregate per-group sums, group counts,
+/// and the CPU-time phase split (scan vs aggregation; summed across
+/// workers on the parallel path, like the paper's CPU-time accounting).
+#[derive(Debug)]
+pub struct FusedRun {
+    /// `sums[a][g]` — SUM of aggregate `a` over group `g`.
+    pub sums: Vec<Vec<f64>>,
+    /// `counts[g]` — COUNT(*) per group.
+    pub counts: Vec<u64>,
+    pub timing: PhaseTiming,
+}
+
+/// A filter conjunct bound to its column storage.
+enum BoundPred<'t> {
+    I32Range { col: &'t [i32], lo: i32, hi: i32 },
+    I32Le { col: &'t [i32], max: i32 },
+    F64Range { col: &'t [f64], lo: f64, hi: f64 },
+    F64Lt { col: &'t [f64], max: f64 },
+}
+
+/// Branchless selection-vector build: writes every candidate row id and
+/// advances the length by the predicate bit (the X100 idiom — no
+/// per-row branch misprediction at mid selectivities).
+#[inline]
+fn fill_with(lo: usize, hi: usize, sel: &mut Vec<u32>, keep: impl Fn(usize) -> bool) {
+    sel.clear();
+    sel.resize(hi - lo, 0);
+    let mut k = 0usize;
+    for row in lo..hi {
+        sel[k] = row as u32;
+        k += keep(row) as usize;
+    }
+    sel.truncate(k);
+}
+
+/// Branchless in-place compaction of an existing selection vector.
+#[inline]
+fn refine_with(sel: &mut Vec<u32>, keep: impl Fn(usize) -> bool) {
+    let mut k = 0usize;
+    for i in 0..sel.len() {
+        let row = sel[i];
+        sel[k] = row;
+        k += keep(row as usize) as usize;
+    }
+    sel.truncate(k);
+}
+
+impl BoundPred<'_> {
+    /// Single-row form of the predicate — the differential-testing
+    /// reference for the branchless batch loops below.
+    #[cfg(test)]
+    fn test(&self, row: usize) -> bool {
+        match *self {
+            BoundPred::I32Range { col, lo, hi } => (lo..hi).contains(&col[row]),
+            BoundPred::I32Le { col, max } => col[row] <= max,
+            BoundPred::F64Range { col, lo, hi } => (lo..=hi).contains(&col[row]),
+            BoundPred::F64Lt { col, max } => col[row] < max,
+        }
+    }
+
+    /// First conjunct: fills `sel` with the matching row ids of the batch.
+    /// The match hoists the predicate dispatch out of the row loop, and
+    /// non-short-circuiting `&` keeps the comparisons branch-free.
+    fn fill(&self, blo: usize, bhi: usize, sel: &mut Vec<u32>) {
+        match *self {
+            BoundPred::I32Range { col, lo, hi } => {
+                fill_with(blo, bhi, sel, |r| (col[r] >= lo) & (col[r] < hi))
+            }
+            BoundPred::I32Le { col, max } => fill_with(blo, bhi, sel, |r| col[r] <= max),
+            BoundPred::F64Range { col, lo, hi } => {
+                fill_with(blo, bhi, sel, |r| (col[r] >= lo) & (col[r] <= hi))
+            }
+            BoundPred::F64Lt { col, max } => fill_with(blo, bhi, sel, |r| col[r] < max),
+        }
+    }
+
+    /// Later conjuncts: compacts `sel` in place (order-preserving).
+    fn refine(&self, sel: &mut Vec<u32>) {
+        match *self {
+            BoundPred::I32Range { col, lo, hi } => {
+                refine_with(sel, |r| (col[r] >= lo) & (col[r] < hi))
+            }
+            BoundPred::I32Le { col, max } => refine_with(sel, |r| col[r] <= max),
+            BoundPred::F64Range { col, lo, hi } => {
+                refine_with(sel, |r| (col[r] >= lo) & (col[r] <= hi))
+            }
+            BoundPred::F64Lt { col, max } => refine_with(sel, |r| col[r] < max),
+        }
+    }
+}
+
+fn bind_pred<'t>(p: &Pred, table: &'t Table) -> BoundPred<'t> {
+    let col = |name| {
+        table
+            .column(name)
+            .expect("fused query references a missing column")
+    };
+    match *p {
+        Pred::I32Range { col: c, lo, hi } => BoundPred::I32Range {
+            col: col(c).as_i32(),
+            lo,
+            hi,
+        },
+        Pred::I32Le { col: c, max } => BoundPred::I32Le {
+            col: col(c).as_i32(),
+            max,
+        },
+        Pred::F64Range { col: c, lo, hi } => BoundPred::F64Range {
+            col: col(c).as_f64(),
+            lo,
+            hi,
+        },
+        Pred::F64Lt { col: c, max } => BoundPred::F64Lt {
+            col: col(c).as_f64(),
+            max,
+        },
+    }
+}
+
+/// Executes a fused query over a table.
+///
+/// Panics if the query references a column the table lacks (queries are
+/// engine-internal; the materializing [`Expr::eval`] keeps the fallible
+/// API). Returns [`OverflowError`] exactly when the materializing
+/// pipeline would.
+pub fn run_fused(
+    table: &Table,
+    query: &FusedQuery,
+    backend: SumBackend,
+    opts: &ExecOptions,
+) -> Result<FusedRun, OverflowError> {
+    assert!(
+        backend != SumBackend::SortedDouble,
+        "SortedDouble is inherently materializing; route it to the materializing pipeline"
+    );
+    assert!(opts.batch_rows > 0 && opts.morsel_rows > 0);
+    let compiled: Vec<CompiledExpr> = query.aggregates.iter().map(|e| e.compile()).collect();
+    let rows = table.rows();
+
+    // Plain doubles cannot merge exactly: parallel execution would change
+    // the answer, so they always scan serially (module doc).
+    let threads = if backend.merges_exactly() {
+        opts.threads
+    } else {
+        1
+    };
+
+    let partial = if threads <= 1 || rows <= opts.morsel_rows {
+        scan_range(table, query, &compiled, backend, opts, 0, rows)?
+    } else {
+        let morsels = rows.div_ceil(opts.morsel_rows);
+        (0..morsels)
+            .into_par_iter()
+            .with_min_len(1)
+            .map(|m| {
+                let lo = m * opts.morsel_rows;
+                let hi = (lo + opts.morsel_rows).min(rows);
+                scan_range(table, query, &compiled, backend, opts, lo, hi).map(Some)
+            })
+            .reduce(
+                || Ok(None),
+                |a: Result<Option<Partial>, OverflowError>, b| match (a?, b?) {
+                    (Some(mut x), Some(y)) => {
+                        x.merge(y)?;
+                        Ok(Some(x))
+                    }
+                    (x, y) => Ok(x.or(y)),
+                },
+            )?
+            .expect("at least one morsel")
+    };
+
+    let t0 = Instant::now();
+    let sums = partial
+        .sinks
+        .into_iter()
+        .map(GroupedSums::finalize)
+        .collect();
+    let mut timing = partial.timing;
+    timing.other += t0.elapsed();
+    Ok(FusedRun {
+        sums,
+        counts: partial.counts,
+        timing,
+    })
+}
+
+/// Per-morsel (or whole-input) accumulation state.
+struct Partial {
+    sinks: Vec<GroupedSums>,
+    counts: Vec<u64>,
+    timing: PhaseTiming,
+}
+
+impl Partial {
+    fn merge(&mut self, other: Partial) -> Result<(), OverflowError> {
+        for (a, b) in self.sinks.iter_mut().zip(other.sinks) {
+            a.merge(b)?;
+        }
+        for (a, b) in self.counts.iter_mut().zip(other.counts) {
+            *a += b;
+        }
+        self.timing.scan += other.timing.scan;
+        self.timing.aggregation += other.timing.aggregation;
+        self.timing.other += other.timing.other;
+        Ok(())
+    }
+}
+
+/// Scans `[lo, hi)` batch-at-a-time into fresh per-call states. All
+/// scratch is batch-sized and reused across the range's batches.
+fn scan_range(
+    table: &Table,
+    query: &FusedQuery,
+    compiled: &[CompiledExpr],
+    backend: SumBackend,
+    opts: &ExecOptions,
+    lo: usize,
+    hi: usize,
+) -> Result<Partial, OverflowError> {
+    let preds: Vec<BoundPred> = query.filter.iter().map(|p| bind_pred(p, table)).collect();
+    let bound: Vec<BoundExpr> = compiled
+        .iter()
+        .map(|c| {
+            c.bind(table)
+                .expect("fused query references a missing column")
+        })
+        .collect();
+    let group_cols = query.group_by.as_ref().map(|g| {
+        (
+            table
+                .column(g.a)
+                .expect("fused query references a missing column")
+                .as_u8(),
+            table
+                .column(g.b)
+                .expect("fused query references a missing column")
+                .as_u8(),
+            g.encode,
+        )
+    });
+
+    let mut sinks: Vec<GroupedSums> = (0..query.aggregates.len())
+        .map(|_| GroupedSums::new(backend, query.groups))
+        .collect();
+    let mut counts = vec![0u64; query.groups];
+    let mut timing = PhaseTiming::default();
+
+    let mut sel: Vec<u32> = Vec::with_capacity(opts.batch_rows);
+    let mut gids: Vec<u32> = Vec::with_capacity(opts.batch_rows);
+    let mut out: Vec<f64> = vec![0.0; opts.batch_rows];
+    let mut scratch = EvalScratch::new();
+
+    let mut blo = lo;
+    while blo < hi {
+        let bhi = (blo + opts.batch_rows).min(hi);
+        let t0 = Instant::now();
+
+        // Filter: selection vector for this batch only.
+        sel.clear();
+        match preds.split_first() {
+            None => sel.extend(blo as u32..bhi as u32),
+            Some((first, rest)) => {
+                first.fill(blo, bhi, &mut sel);
+                for p in rest {
+                    p.refine(&mut sel);
+                }
+            }
+        }
+
+        // Group ids + COUNT(*).
+        if let Some((a, b, encode)) = group_cols {
+            gids.clear();
+            for &row in &sel {
+                let g = encode(a[row as usize], b[row as usize]);
+                debug_assert!((g as usize) < query.groups);
+                gids.push(g);
+                counts[g as usize] += 1;
+            }
+        } else {
+            counts[0] += sel.len() as u64;
+        }
+        timing.scan += t0.elapsed();
+
+        // Project + aggregate, one expression at a time.
+        for (expr, sink) in bound.iter().zip(sinks.iter_mut()) {
+            let t1 = Instant::now();
+            expr.eval_into(&sel, &mut scratch, &mut out[..sel.len()]);
+            timing.scan += t1.elapsed();
+            let t2 = Instant::now();
+            if group_cols.is_some() {
+                sink.update(&gids, &out[..sel.len()])?;
+            } else {
+                sink.update_single(&out[..sel.len()])?;
+            }
+            timing.aggregation += t2.elapsed();
+        }
+        blo = bhi;
+    }
+
+    Ok(Partial {
+        sinks,
+        counts,
+        timing,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::Column;
+
+    fn encode_low_bit(a: u8, b: u8) -> u32 {
+        ((a & 1) * 2 + (b & 1)) as u32
+    }
+
+    fn sample_table(n: usize) -> Table {
+        let mut t = Table::new("t");
+        t.add_column(
+            "x",
+            Column::f64(
+                (0..n)
+                    .map(|i| (i % 97) as f64 * 0.25 - 8.0)
+                    .collect::<Vec<_>>(),
+            ),
+        )
+        .unwrap();
+        t.add_column(
+            "y",
+            Column::f64((0..n).map(|i| (i % 13) as f64 * 0.01).collect::<Vec<_>>()),
+        )
+        .unwrap();
+        t.add_column(
+            "k",
+            Column::i32((0..n).map(|i| (i % 31) as i32).collect::<Vec<_>>()),
+        )
+        .unwrap();
+        t.add_column(
+            "ga",
+            Column::u8((0..n).map(|i| (i % 3) as u8).collect::<Vec<_>>()),
+        )
+        .unwrap();
+        t.add_column(
+            "gb",
+            Column::u8((0..n).map(|i| (i % 5) as u8).collect::<Vec<_>>()),
+        )
+        .unwrap();
+        t
+    }
+
+    fn sample_query() -> FusedQuery {
+        FusedQuery {
+            filter: vec![
+                Pred::I32Range {
+                    col: "k",
+                    lo: 3,
+                    hi: 27,
+                },
+                Pred::F64Lt {
+                    col: "x",
+                    max: 11.0,
+                },
+            ],
+            aggregates: vec![
+                Expr::col("x").mul(Expr::lit(1.0).sub(Expr::col("y"))),
+                Expr::col("x"),
+            ],
+            group_by: Some(GroupSpec {
+                a: "ga",
+                b: "gb",
+                encode: encode_low_bit,
+            }),
+            groups: 4,
+        }
+    }
+
+    /// Materializing reference: n-sized selection vector, Expr::eval,
+    /// sum_grouped — the pipeline fusion must be bit-identical to.
+    fn reference(
+        table: &Table,
+        query: &FusedQuery,
+        backend: SumBackend,
+    ) -> (Vec<Vec<f64>>, Vec<u64>) {
+        let rows = table.rows();
+        let preds: Vec<BoundPred> = query.filter.iter().map(|p| bind_pred(p, table)).collect();
+        let sel: Vec<u32> = (0..rows as u32)
+            .filter(|&i| preds.iter().all(|p| p.test(i as usize)))
+            .collect();
+        let gids: Vec<u32> = match &query.group_by {
+            Some(g) => {
+                let a = table.column(g.a).unwrap().as_u8();
+                let b = table.column(g.b).unwrap().as_u8();
+                sel.iter()
+                    .map(|&i| (g.encode)(a[i as usize], b[i as usize]))
+                    .collect()
+            }
+            None => vec![0; sel.len()],
+        };
+        let sums = query
+            .aggregates
+            .iter()
+            .map(|e| {
+                let vals = e.eval(table, &sel).unwrap();
+                crate::sum_op::sum_grouped(backend, &gids, &vals, query.groups).unwrap()
+            })
+            .collect();
+        (sums, crate::sum_op::count_grouped(&gids, query.groups))
+    }
+
+    #[test]
+    fn fused_matches_materializing_bitwise_across_batch_and_thread_shapes() {
+        let table = sample_table(10_000);
+        let query = sample_query();
+        for backend in [
+            SumBackend::Double,
+            SumBackend::ReproUnbuffered,
+            SumBackend::ReproBuffered { buffer_size: 128 },
+            SumBackend::Rsum { levels: 2 },
+            SumBackend::RsumBuffered {
+                levels: 3,
+                buffer_size: 64,
+            },
+        ] {
+            let (ref_sums, ref_counts) = reference(&table, &query, backend);
+            for (threads, batch_rows, morsel_rows) in [
+                (1, 64, 1 << 16),
+                (1, 4096, 1 << 16),
+                (2, 128, 512),
+                (8, 33, 256),
+            ] {
+                let opts = ExecOptions {
+                    threads,
+                    batch_rows,
+                    morsel_rows,
+                };
+                let run = run_fused(&table, &query, backend, &opts).unwrap();
+                assert_eq!(run.counts, ref_counts, "{backend:?} {opts:?}");
+                for (a, (rs, fs)) in ref_sums.iter().zip(run.sums.iter()).enumerate() {
+                    for g in 0..query.groups {
+                        assert_eq!(
+                            rs[g].to_bits(),
+                            fs[g].to_bits(),
+                            "{backend:?} {opts:?} agg {a} group {g}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ungrouped_single_sink_path() {
+        let table = sample_table(5_000);
+        let query = FusedQuery {
+            filter: vec![Pred::F64Range {
+                col: "y",
+                lo: 0.02,
+                hi: 0.09,
+            }],
+            aggregates: vec![Expr::col("x").mul(Expr::col("y"))],
+            group_by: None,
+            groups: 1,
+        };
+        for backend in [
+            SumBackend::Double,
+            SumBackend::ReproUnbuffered,
+            SumBackend::ReproBuffered { buffer_size: 256 },
+        ] {
+            let (ref_sums, ref_counts) = reference(&table, &query, backend);
+            let run = run_fused(&table, &query, backend, &ExecOptions::serial()).unwrap();
+            assert_eq!(run.counts, ref_counts);
+            assert_eq!(
+                run.sums[0][0].to_bits(),
+                ref_sums[0][0].to_bits(),
+                "{backend:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_table_and_empty_filter() {
+        let table = sample_table(0);
+        let query = sample_query();
+        let run = run_fused(
+            &table,
+            &query,
+            SumBackend::ReproUnbuffered,
+            &ExecOptions::serial(),
+        )
+        .unwrap();
+        assert_eq!(run.counts, vec![0; 4]);
+        assert!(run.sums.iter().all(|s| s.iter().all(|&v| v == 0.0)));
+
+        // No filter at all: every row selected.
+        let table = sample_table(100);
+        let all = FusedQuery {
+            filter: vec![],
+            aggregates: vec![Expr::col("x")],
+            group_by: None,
+            groups: 1,
+        };
+        let run = run_fused(
+            &table,
+            &all,
+            SumBackend::ReproUnbuffered,
+            &ExecOptions::serial(),
+        )
+        .unwrap();
+        assert_eq!(run.counts[0], 100);
+    }
+
+    #[test]
+    fn double_overflow_is_detected_in_fused_scan() {
+        let mut t = Table::new("o");
+        t.add_column("x", Column::f64(vec![f64::MAX, f64::MAX]))
+            .unwrap();
+        let q = FusedQuery {
+            filter: vec![],
+            aggregates: vec![Expr::col("x")],
+            group_by: None,
+            groups: 1,
+        };
+        assert_eq!(
+            run_fused(&t, &q, SumBackend::Double, &ExecOptions::serial()).unwrap_err(),
+            OverflowError
+        );
+    }
+}

@@ -5,16 +5,22 @@
 //! motivating example (Algorithm 1):
 //!
 //! * [`mod@column`] — typed columns and tables with explicit *physical* row
-//!   order, including an MVCC-style UPDATE that reorders rows exactly like
-//!   the paper's PostgreSQL example;
+//!   order and `Arc`-shared zero-copy storage, including an MVCC-style
+//!   UPDATE that reorders rows exactly like the paper's PostgreSQL example;
+//! * [`expr`] — arithmetic expressions compiled to batch-at-a-time register
+//!   programs with constant folding (no per-node vectors);
 //! * [`sum_op`] — the grouped SUM operator with pluggable backends: plain
 //!   overflow-checked doubles (MonetDB behaviour), `repro<double, 4>`
-//!   with/without summation buffers, and the sorted-input baseline;
-//! * [`q1`] — TPC-H Query 1 as a vectorized pipeline with the CPU-time
-//!   split ("aggregation" vs "other") that Table IV reports, plus a
-//!   morsel-driven parallel scan path ([`run_q1_par`], [`run_q6_par`])
-//!   whose `repro`-backend results are bit-identical to the serial
-//!   pipeline for any thread count.
+//!   with/without summation buffers, and the sorted-input baseline — all
+//!   reified as the incremental, mergeable [`GroupedSums`] state;
+//! * [`fused`] — the fused zero-copy scan pipeline:
+//!   filter → project → aggregate in cache-resident batches with no
+//!   n-sized intermediates, serial or morsel-parallel;
+//! * [`q1`], [`q6`] — TPC-H Query 1 and 6 over the fused pipeline (with the
+//!   materializing reference pipeline kept for differential testing and the
+//!   sorted-double baseline), reporting the CPU-time split
+//!   (scan / aggregation / other) that Table IV builds on. Parallel
+//!   execution is bit-identical to serial for every backend.
 //!
 //! ```
 //! use rfa_engine::{run_q1, SumBackend};
@@ -28,14 +34,20 @@
 
 pub mod column;
 pub mod expr;
+pub mod fused;
 pub mod q1;
 pub mod q6;
 pub mod sum_op;
 
 pub use column::{Column, Table, TableError};
-pub use expr::Expr;
-pub use q1::{run_q1, run_q1_par, PhaseTiming, Q1Row};
-pub use q6::{run_q6, run_q6_par};
+pub use expr::{BoundExpr, CompiledExpr, EvalScratch, Expr};
+pub use fused::{run_fused, ExecOptions, FusedQuery, FusedRun, GroupSpec, Pred, FUSED_BATCH_ROWS};
+pub use q1::{
+    lineitem_table, run_q1, run_q1_materializing, run_q1_materializing_par, run_q1_par,
+    run_q1_with, PhaseTiming, Q1Row,
+};
+pub use q6::{run_q6, run_q6_materializing, run_q6_materializing_par, run_q6_par, run_q6_with};
 pub use sum_op::{
-    count_grouped, sum_grouped, sum_grouped_par, OverflowError, SumBackend, SCAN_MORSEL_ROWS,
+    count_grouped, sum_grouped, sum_grouped_par, GroupedSums, OverflowError, SumBackend,
+    SCAN_MORSEL_ROWS,
 };

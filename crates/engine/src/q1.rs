@@ -12,13 +12,25 @@
 //! ORDER BY l_returnflag, l_linestatus;
 //! ```
 //!
-//! The implementation is a vectorized columnar pipeline (selection vector →
-//! expression evaluation → grouped aggregation → finalization), with CPU
-//! time split into *aggregation* and *other* exactly as Table IV reports.
-//! For [`SumBackend::SortedDouble`] the pipeline first sorts the selected
-//! rows into a total deterministic order — the only way to make the plain
-//! double sum reproducible, and the expensive baseline of Table IV.
+//! The default pipeline ([`run_q1`], [`run_q1_par`]) is the fused
+//! zero-copy scan of [`crate::fused`]: batches are filtered, projected and
+//! aggregated in one pass over a shared-storage table view, with no
+//! n-sized intermediates. The original materializing pipeline (selection
+//! vector → gather → expression vectors → grouped aggregation) is kept as
+//! [`run_q1_materializing`] / [`run_q1_materializing_par`] — it is the
+//! differential-testing reference, and the only pipeline that can serve
+//! [`SumBackend::SortedDouble`], whose deterministic total order requires
+//! materializing the projected columns before sorting them.
+//!
+//! CPU time is split into *scan* (selection + projection), *aggregation*
+//! and *other* (sorting, finalization). The paper's Table IV reports
+//! "aggregation" vs "other", where its "other" is our scan + other; the
+//! table-view setup the materializing pipeline used to charge to "other"
+//! is now zero-copy and free.
 
+use crate::column::Table;
+use crate::expr::Expr;
+use crate::fused::{run_fused, ExecOptions, FusedQuery, GroupSpec, Pred};
 use crate::sum_op::{
     count_grouped, sum_grouped, sum_grouped_par, OverflowError, SumBackend, SCAN_MORSEL_ROWS,
 };
@@ -26,16 +38,21 @@ use rayon::prelude::*;
 use rfa_workloads::tpch::{Lineitem, Q1_SHIPDATE_CUTOFF};
 use std::time::{Duration, Instant};
 
-/// CPU-time split of a query execution (Table IV's rows).
+/// CPU-time split of a query execution (Table IV's rows, with the scan
+/// broken out of the paper's "other" bucket).
 #[derive(Clone, Copy, Debug, Default)]
 pub struct PhaseTiming {
+    /// Selection, group-id computation and expression projection.
+    pub scan: Duration,
+    /// Deposits into the SUM states and their merges.
     pub aggregation: Duration,
+    /// Everything else: sorting (SortedDouble), finalization.
     pub other: Duration,
 }
 
 impl PhaseTiming {
     pub fn total(&self) -> Duration {
-        self.aggregation + self.other
+        self.scan + self.aggregation + self.other
     }
 }
 
@@ -56,15 +73,162 @@ pub struct Q1Row {
 
 const GROUPS: usize = 6; // 3 returnflags × 2 linestatuses (dense encoding)
 
-/// Executes Q1 over a lineitem table with the chosen SUM backend.
+/// Builds a zero-copy engine [`Table`] view of all lineitem columns the
+/// TPC-H queries touch: each column is an `Arc` clone of the workload's
+/// storage — a refcount bump, not a data copy.
+pub fn lineitem_table(t: &Lineitem) -> Table {
+    use crate::column::Column;
+    let mut table = Table::new("lineitem");
+    table
+        .add_column("l_quantity", Column::F64(t.quantity.clone()))
+        .expect("fresh table");
+    table
+        .add_column("l_extendedprice", Column::F64(t.extendedprice.clone()))
+        .expect("fresh table");
+    table
+        .add_column("l_discount", Column::F64(t.discount.clone()))
+        .expect("fresh table");
+    table
+        .add_column("l_tax", Column::F64(t.tax.clone()))
+        .expect("fresh table");
+    table
+        .add_column("l_shipdate", Column::I32(t.shipdate.clone()))
+        .expect("fresh table");
+    table
+        .add_column("l_returnflag", Column::U8(t.returnflag.clone()))
+        .expect("fresh table");
+    table
+        .add_column("l_linestatus", Column::U8(t.linestatus.clone()))
+        .expect("fresh table");
+    table
+}
+
+/// The Q1 fused query: one filter conjunct, five SUM expressions in
+/// Table IV order, grouped by the dictionary-encoded flag pair
+/// ([`Lineitem::encode_group`] — the same mapping the materializing
+/// pipeline uses via [`Lineitem::q1_group`]).
+fn q1_query() -> FusedQuery {
+    let disc_price =
+        || Expr::col("l_extendedprice").mul(Expr::lit(1.0).sub(Expr::col("l_discount")));
+    FusedQuery {
+        filter: vec![Pred::I32Le {
+            col: "l_shipdate",
+            max: Q1_SHIPDATE_CUTOFF,
+        }],
+        aggregates: vec![
+            Expr::col("l_quantity"),
+            Expr::col("l_extendedprice"),
+            disc_price(),
+            disc_price().mul(Expr::lit(1.0).add(Expr::col("l_tax"))),
+            Expr::col("l_discount"),
+        ],
+        group_by: Some(GroupSpec {
+            a: "l_returnflag",
+            b: "l_linestatus",
+            encode: Lineitem::encode_group,
+        }),
+        groups: GROUPS,
+    }
+}
+
+/// Assembles Q1 output rows from per-group sums and counts.
+fn build_q1_rows(
+    sum_qty: &[f64],
+    sum_price: &[f64],
+    sum_disc_price: &[f64],
+    sum_charge: &[f64],
+    sum_disc: &[f64],
+    counts: &[u64],
+) -> Vec<Q1Row> {
+    let mut rows = Vec::new();
+    for g in 0..GROUPS {
+        if counts[g] == 0 {
+            continue; // (A, O) never occurs in TPC-H data
+        }
+        let c = counts[g] as f64;
+        let (rf, ls) = Lineitem::decode_group(g as u32);
+        rows.push(Q1Row {
+            returnflag: rf,
+            linestatus: ls,
+            sum_qty: sum_qty[g],
+            sum_base_price: sum_price[g],
+            sum_disc_price: sum_disc_price[g],
+            sum_charge: sum_charge[g],
+            avg_qty: sum_qty[g] / c,
+            avg_price: sum_price[g] / c,
+            avg_disc: sum_disc[g] / c,
+            count: counts[g],
+        });
+    }
+    rows
+}
+
+/// Executes Q1 serially through the fused pipeline (materializing for
+/// [`SumBackend::SortedDouble`]).
 pub fn run_q1(
+    lineitem: &Lineitem,
+    backend: SumBackend,
+) -> Result<(Vec<Q1Row>, PhaseTiming), OverflowError> {
+    run_q1_with(lineitem, backend, &ExecOptions::serial())
+}
+
+/// Executes Q1 morsel-parallel on the work-stealing pool. Bit-identical
+/// to [`run_q1`] for *every* backend: repro states merge exactly, the
+/// sorted baseline re-sorts into the serial total order, and plain
+/// doubles deliberately scan serially (see [`crate::fused`]).
+pub fn run_q1_par(
+    lineitem: &Lineitem,
+    backend: SumBackend,
+) -> Result<(Vec<Q1Row>, PhaseTiming), OverflowError> {
+    run_q1_with(lineitem, backend, &ExecOptions::parallel())
+}
+
+/// Executes Q1 with explicit execution options (thread budget, batch and
+/// morsel sizing). The result is bit-identical to [`run_q1_materializing`]
+/// for every backend and any options — asserted by the proptest suite.
+pub fn run_q1_with(
+    lineitem: &Lineitem,
+    backend: SumBackend,
+    opts: &ExecOptions,
+) -> Result<(Vec<Q1Row>, PhaseTiming), OverflowError> {
+    if backend == SumBackend::SortedDouble {
+        return if opts.threads > 1 {
+            run_q1_materializing_par(lineitem, backend)
+        } else {
+            run_q1_materializing(lineitem, backend)
+        };
+    }
+    let table = lineitem_table(lineitem);
+    let query = q1_query();
+    let run = run_fused(&table, &query, backend, opts)?;
+    let t0 = Instant::now();
+    let [sum_qty, sum_price, sum_disc_price, sum_charge, sum_disc]: [Vec<f64>; 5] =
+        run.sums.try_into().expect("q1 has exactly five aggregates");
+    let rows = build_q1_rows(
+        &sum_qty,
+        &sum_price,
+        &sum_disc_price,
+        &sum_charge,
+        &sum_disc,
+        &run.counts,
+    );
+    let mut timing = run.timing;
+    timing.other += t0.elapsed();
+    Ok((rows, timing))
+}
+
+/// The original materializing pipeline: n-sized selection vector, gather
+/// and expression evaluation into full-length vectors, then grouped
+/// aggregation. Kept as the differential-testing reference and as the
+/// only pipeline able to sort for [`SumBackend::SortedDouble`].
+pub fn run_q1_materializing(
     lineitem: &Lineitem,
     backend: SumBackend,
 ) -> Result<(Vec<Q1Row>, PhaseTiming), OverflowError> {
     let mut timing = PhaseTiming::default();
     let t0 = Instant::now();
 
-    // --- other: selection vector (l_shipdate <= cutoff) ------------------
+    // --- scan: selection vector (l_shipdate <= cutoff) -------------------
     let sel: Vec<u32> = lineitem
         .shipdate
         .iter()
@@ -73,7 +237,7 @@ pub fn run_q1(
         .map(|(i, _)| i as u32)
         .collect();
 
-    // --- other: gather + expression evaluation ---------------------------
+    // --- scan: gather + expression evaluation ----------------------------
     let n = sel.len();
     let mut group_ids = Vec::with_capacity(n);
     let mut qty = Vec::with_capacity(n);
@@ -94,9 +258,11 @@ pub fn run_q1(
         disc_price.push(dp);
         charge.push(dp * (1.0 + t));
     }
+    timing.scan += t0.elapsed();
 
     // --- other (SortedDouble only): sort into a total deterministic order.
     if backend == SumBackend::SortedDouble {
+        let t1 = Instant::now();
         let mut order: Vec<u32> = (0..n as u32).collect();
         // Total order: group, then the bit patterns of every aggregated
         // column (ties are then bit-identical rows, so unstable sorting
@@ -123,8 +289,8 @@ pub fn run_q1(
         apply(&mut disc);
         apply(&mut disc_price);
         apply(&mut charge);
+        timing.other += t1.elapsed();
     }
-    timing.other += t0.elapsed();
 
     // --- aggregation: five grouped SUMs + COUNT --------------------------
     let t1 = Instant::now();
@@ -138,26 +304,14 @@ pub fn run_q1(
 
     // --- other: finalization (averages, output order) --------------------
     let t2 = Instant::now();
-    let mut rows = Vec::new();
-    for g in 0..GROUPS as u32 {
-        if counts[g as usize] == 0 {
-            continue; // (A, O) never occurs in TPC-H data
-        }
-        let c = counts[g as usize] as f64;
-        let (rf, ls) = Lineitem::decode_group(g);
-        rows.push(Q1Row {
-            returnflag: rf,
-            linestatus: ls,
-            sum_qty: sum_qty[g as usize],
-            sum_base_price: sum_price[g as usize],
-            sum_disc_price: sum_disc_price[g as usize],
-            sum_charge: sum_charge[g as usize],
-            avg_qty: sum_qty[g as usize] / c,
-            avg_price: sum_price[g as usize] / c,
-            avg_disc: sum_disc[g as usize] / c,
-            count: counts[g as usize],
-        });
-    }
+    let rows = build_q1_rows(
+        &sum_qty,
+        &sum_price,
+        &sum_disc_price,
+        &sum_charge,
+        &sum_disc,
+        &counts,
+    );
     timing.other += t2.elapsed();
     Ok((rows, timing))
 }
@@ -184,26 +338,20 @@ impl Q1ScanCols {
     }
 }
 
-/// Morsel-driven parallel Q1: the scan (selection + gather + expression
-/// evaluation) runs as fixed-size morsels on the work-stealing pool, with
-/// per-morsel column fragments concatenated in morsel order — the same
-/// row order the serial scan produces. Aggregation uses
-/// [`sum_grouped_par`], whose exact state merging makes the `repro`
-/// backends **bit-identical to [`run_q1`]** for any thread count (asserted
-/// in the test suite). [`SumBackend::SortedDouble`] sorts with the pool's
-/// parallel merge sort into the same total order as the serial path, then
-/// sums sequentially, so it is bit-identical too; plain
-/// [`SumBackend::Double`] differs in merge order and therefore (generally)
-/// in final bits — plain doubles are the paper's non-reproducible
-/// baseline.
-pub fn run_q1_par(
+/// Morsel-parallel materializing pipeline: the scan materializes
+/// per-morsel column fragments concatenated in morsel order (the serial
+/// row order), then aggregates with [`sum_grouped_par`]. This is what
+/// [`SumBackend::SortedDouble`] runs under [`run_q1_par`] — its parallel
+/// merge sort lands in the same total order as the serial sort, keeping
+/// it bit-identical to [`run_q1_materializing`].
+pub fn run_q1_materializing_par(
     lineitem: &Lineitem,
     backend: SumBackend,
 ) -> Result<(Vec<Q1Row>, PhaseTiming), OverflowError> {
     let mut timing = PhaseTiming::default();
     let t0 = Instant::now();
 
-    // --- other: morsel-parallel selection + gather + expression eval -----
+    // --- scan: morsel-parallel selection + gather + expression eval ------
     let n = lineitem.len();
     let mut cols = (0..n.div_ceil(SCAN_MORSEL_ROWS))
         .into_par_iter()
@@ -232,10 +380,12 @@ pub fn run_q1_par(
             a.append(&mut b);
             a
         });
+    timing.scan += t0.elapsed();
 
     // --- other (SortedDouble only): parallel sort into the same total
     // deterministic order the serial path uses.
     if backend == SumBackend::SortedDouble {
+        let t1 = Instant::now();
         let rows = cols.group_ids.len();
         let mut order: Vec<u32> = (0..rows as u32).collect();
         order.par_sort_unstable_by_key(|&i| {
@@ -259,8 +409,8 @@ pub fn run_q1_par(
         apply(&mut cols.disc);
         apply(&mut cols.disc_price);
         apply(&mut cols.charge);
+        timing.other += t1.elapsed();
     }
-    timing.other += t0.elapsed();
 
     // --- aggregation: five morsel-parallel grouped SUMs + COUNT ----------
     let t1 = Instant::now();
@@ -275,26 +425,14 @@ pub fn run_q1_par(
 
     // --- other: finalization ---------------------------------------------
     let t2 = Instant::now();
-    let mut rows = Vec::new();
-    for group in 0..GROUPS as u32 {
-        if counts[group as usize] == 0 {
-            continue;
-        }
-        let c = counts[group as usize] as f64;
-        let (rf, ls) = Lineitem::decode_group(group);
-        rows.push(Q1Row {
-            returnflag: rf,
-            linestatus: ls,
-            sum_qty: sum_qty[group as usize],
-            sum_base_price: sum_price[group as usize],
-            sum_disc_price: sum_disc_price[group as usize],
-            sum_charge: sum_charge[group as usize],
-            avg_qty: sum_qty[group as usize] / c,
-            avg_price: sum_price[group as usize] / c,
-            avg_disc: sum_disc[group as usize] / c,
-            count: counts[group as usize],
-        });
-    }
+    let rows = build_q1_rows(
+        &sum_qty,
+        &sum_price,
+        &sum_disc_price,
+        &sum_charge,
+        &sum_disc,
+        &counts,
+    );
     timing.other += t2.elapsed();
     Ok((rows, timing))
 }
@@ -305,6 +443,28 @@ mod tests {
 
     fn table() -> Lineitem {
         Lineitem::generate(120_000, 7)
+    }
+
+    fn assert_rows_bit_identical(a: &[Q1Row], b: &[Q1Row], ctx: &str) {
+        assert_eq!(a.len(), b.len(), "{ctx}");
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x.returnflag, y.returnflag, "{ctx}");
+            assert_eq!(x.linestatus, y.linestatus, "{ctx}");
+            assert_eq!(x.count, y.count, "{ctx}");
+            assert_eq!(x.sum_qty.to_bits(), y.sum_qty.to_bits(), "{ctx}");
+            assert_eq!(
+                x.sum_base_price.to_bits(),
+                y.sum_base_price.to_bits(),
+                "{ctx}"
+            );
+            assert_eq!(
+                x.sum_disc_price.to_bits(),
+                y.sum_disc_price.to_bits(),
+                "{ctx}"
+            );
+            assert_eq!(x.sum_charge.to_bits(), y.sum_charge.to_bits(), "{ctx}");
+            assert_eq!(x.avg_disc.to_bits(), y.avg_disc.to_bits(), "{ctx}");
+        }
     }
 
     #[test]
@@ -333,21 +493,40 @@ mod tests {
     }
 
     #[test]
+    fn fused_is_bit_identical_to_materializing_for_every_backend() {
+        let t = table();
+        for backend in [
+            SumBackend::Double,
+            SumBackend::ReproUnbuffered,
+            SumBackend::ReproBuffered { buffer_size: 512 },
+            SumBackend::Rsum { levels: 3 },
+            SumBackend::RsumBuffered {
+                levels: 2,
+                buffer_size: 256,
+            },
+        ] {
+            let (reference, _) = run_q1_materializing(&t, backend).unwrap();
+            let (fused, _) = run_q1(&t, backend).unwrap();
+            assert_rows_bit_identical(&reference, &fused, &format!("{backend:?}"));
+        }
+    }
+
+    #[test]
     fn repro_backend_survives_physical_reorder() {
         let t = table();
         let (u1, _) = run_q1(&t, SumBackend::ReproUnbuffered).unwrap();
         // Reorder the table physically (reverse) and re-run.
         let n = t.len();
         let perm: Vec<usize> = (0..n).rev().collect();
-        let reordered = Lineitem {
-            quantity: perm.iter().map(|&i| t.quantity[i]).collect(),
-            extendedprice: perm.iter().map(|&i| t.extendedprice[i]).collect(),
-            discount: perm.iter().map(|&i| t.discount[i]).collect(),
-            tax: perm.iter().map(|&i| t.tax[i]).collect(),
-            shipdate: perm.iter().map(|&i| t.shipdate[i]).collect(),
-            returnflag: perm.iter().map(|&i| t.returnflag[i]).collect(),
-            linestatus: perm.iter().map(|&i| t.linestatus[i]).collect(),
-        };
+        let reordered = Lineitem::from_columns(
+            perm.iter().map(|&i| t.quantity[i]).collect(),
+            perm.iter().map(|&i| t.extendedprice[i]).collect(),
+            perm.iter().map(|&i| t.discount[i]).collect(),
+            perm.iter().map(|&i| t.tax[i]).collect(),
+            perm.iter().map(|&i| t.shipdate[i]).collect(),
+            perm.iter().map(|&i| t.returnflag[i]).collect(),
+            perm.iter().map(|&i| t.linestatus[i]).collect(),
+        );
         let (u2, _) = run_q1(&reordered, SumBackend::ReproUnbuffered).unwrap();
         for (a, b) in u1.iter().zip(u2.iter()) {
             assert_eq!(a.sum_qty.to_bits(), b.sum_qty.to_bits());
@@ -364,9 +543,13 @@ mod tests {
     }
 
     #[test]
-    fn parallel_scan_is_bit_identical_to_serial_for_repro_backends() {
+    fn parallel_scan_is_bit_identical_to_serial_for_every_backend() {
+        // The fused executor keeps even plain doubles thread-count
+        // independent (they scan serially); repro backends merge exactly;
+        // SortedDouble re-sorts into the serial order.
         let t = table();
         for backend in [
+            SumBackend::Double,
             SumBackend::ReproUnbuffered,
             SumBackend::ReproBuffered { buffer_size: 512 },
             SumBackend::Rsum { levels: 3 },
@@ -378,40 +561,7 @@ mod tests {
         ] {
             let (serial, _) = run_q1(&t, backend).unwrap();
             let (parallel, _) = run_q1_par(&t, backend).unwrap();
-            assert_eq!(serial.len(), parallel.len(), "{backend:?}");
-            for (s, p) in serial.iter().zip(parallel.iter()) {
-                assert_eq!(s.returnflag, p.returnflag);
-                assert_eq!(s.count, p.count, "{backend:?}");
-                assert_eq!(s.sum_qty.to_bits(), p.sum_qty.to_bits(), "{backend:?}");
-                assert_eq!(
-                    s.sum_base_price.to_bits(),
-                    p.sum_base_price.to_bits(),
-                    "{backend:?}"
-                );
-                assert_eq!(
-                    s.sum_disc_price.to_bits(),
-                    p.sum_disc_price.to_bits(),
-                    "{backend:?}"
-                );
-                assert_eq!(
-                    s.sum_charge.to_bits(),
-                    p.sum_charge.to_bits(),
-                    "{backend:?}"
-                );
-            }
-        }
-    }
-
-    #[test]
-    fn parallel_scan_matches_serial_numerically_for_double() {
-        // Plain doubles merge in a different order on the parallel path, so
-        // only numerical (not bitwise) agreement is guaranteed.
-        let t = table();
-        let (serial, _) = run_q1(&t, SumBackend::Double).unwrap();
-        let (parallel, _) = run_q1_par(&t, SumBackend::Double).unwrap();
-        for (s, p) in serial.iter().zip(parallel.iter()) {
-            assert_eq!(s.count, p.count);
-            assert!((s.sum_charge - p.sum_charge).abs() <= 1e-9 * s.sum_charge.abs());
+            assert_rows_bit_identical(&serial, &parallel, &format!("{backend:?}"));
         }
     }
 

@@ -14,10 +14,18 @@
 //! grouped aggregation, Q6 stresses the single-accumulator path (the §III
 //! summation kernel), and its result is a *single* float — the sharpest
 //! possible demonstration of run-to-run result flips.
+//!
+//! The default pipeline is the fused zero-copy scan ([`crate::fused`]):
+//! each batch's revenue terms are evaluated into a reused scratch register
+//! and fed straight into the accumulator through the vectorized block
+//! kernel — no selection vector or term vector of length n ever exists.
+//! [`run_q6_materializing`] / [`run_q6_materializing_par`] keep the
+//! original three-pass pipeline as the differential-testing reference and
+//! as the [`SumBackend::SortedDouble`] host.
 
-use crate::column::Table;
 use crate::expr::Expr;
-use crate::q1::PhaseTiming;
+use crate::fused::{run_fused, ExecOptions, FusedQuery, Pred};
+use crate::q1::{lineitem_table, PhaseTiming};
 use crate::sum_op::{sum_grouped, sum_grouped_par, OverflowError, SumBackend, SCAN_MORSEL_ROWS};
 use rayon::prelude::*;
 use rfa_workloads::tpch::Lineitem;
@@ -27,34 +35,81 @@ use std::time::Instant;
 pub const Q6_DATE_LO: i32 = 2 * 365;
 pub const Q6_DATE_HI: i32 = 3 * 365;
 
-/// Builds an engine [`Table`] view of the lineitem columns Q6 needs.
-pub fn lineitem_table(t: &Lineitem) -> Table {
-    use crate::column::Column;
-    let mut table = Table::new("lineitem");
-    table
-        .add_column("l_quantity", Column::F64(t.quantity.clone()))
-        .expect("fresh table");
-    table
-        .add_column("l_extendedprice", Column::F64(t.extendedprice.clone()))
-        .expect("fresh table");
-    table
-        .add_column("l_discount", Column::F64(t.discount.clone()))
-        .expect("fresh table");
-    table
-        .add_column("l_shipdate", Column::I32(t.shipdate.clone()))
-        .expect("fresh table");
-    table
+/// The Q6 fused query: three filter conjuncts in the SQL's order, one
+/// un-grouped SUM of `l_extendedprice * l_discount`.
+fn q6_query() -> FusedQuery {
+    FusedQuery {
+        filter: vec![
+            Pred::I32Range {
+                col: "l_shipdate",
+                lo: Q6_DATE_LO,
+                hi: Q6_DATE_HI,
+            },
+            Pred::F64Range {
+                col: "l_discount",
+                lo: 0.05,
+                hi: 0.07,
+            },
+            Pred::F64Lt {
+                col: "l_quantity",
+                max: 24.0,
+            },
+        ],
+        aggregates: vec![Expr::col("l_extendedprice").mul(Expr::col("l_discount"))],
+        group_by: None,
+        groups: 1,
+    }
 }
 
-/// Executes Q6 with the chosen backend; returns (revenue, timing split).
+/// Executes Q6 serially through the fused pipeline (materializing for
+/// [`SumBackend::SortedDouble`]); returns (revenue, timing split).
 pub fn run_q6(
+    lineitem: &Lineitem,
+    backend: SumBackend,
+) -> Result<(f64, PhaseTiming), OverflowError> {
+    run_q6_with(lineitem, backend, &ExecOptions::serial())
+}
+
+/// Morsel-parallel Q6 on the work-stealing pool — bit-identical to
+/// [`run_q6`] for every backend (see [`crate::fused`] for why that holds
+/// even for plain doubles).
+pub fn run_q6_par(
+    lineitem: &Lineitem,
+    backend: SumBackend,
+) -> Result<(f64, PhaseTiming), OverflowError> {
+    run_q6_with(lineitem, backend, &ExecOptions::parallel())
+}
+
+/// Executes Q6 with explicit execution options. Bit-identical to
+/// [`run_q6_materializing`] for every backend and any options.
+pub fn run_q6_with(
+    lineitem: &Lineitem,
+    backend: SumBackend,
+    opts: &ExecOptions,
+) -> Result<(f64, PhaseTiming), OverflowError> {
+    if backend == SumBackend::SortedDouble {
+        return if opts.threads > 1 {
+            run_q6_materializing_par(lineitem, backend)
+        } else {
+            run_q6_materializing(lineitem, backend)
+        };
+    }
+    let table = lineitem_table(lineitem);
+    let run = run_fused(&table, &q6_query(), backend, opts)?;
+    Ok((run.sums[0][0], run.timing))
+}
+
+/// The original materializing pipeline: n-sized selection vector, term
+/// vector, then one SUM. Kept as the differential-testing reference and
+/// the [`SumBackend::SortedDouble`] host.
+pub fn run_q6_materializing(
     lineitem: &Lineitem,
     backend: SumBackend,
 ) -> Result<(f64, PhaseTiming), OverflowError> {
     let mut timing = PhaseTiming::default();
     let t0 = Instant::now();
 
-    // --- other: selection -------------------------------------------------
+    // --- scan: selection --------------------------------------------------
     let sel: Vec<u32> = (0..lineitem.len() as u32)
         .filter(|&i| {
             let i = i as usize;
@@ -65,13 +120,13 @@ pub fn run_q6(
         })
         .collect();
 
-    // --- other: expression evaluation ------------------------------------
+    // --- scan: expression evaluation --------------------------------------
     let table = lineitem_table(lineitem);
     let revenue_terms = Expr::col("l_extendedprice")
         .mul(Expr::col("l_discount"))
         .eval(&table, &sel)
         .expect("columns exist");
-    timing.other += t0.elapsed();
+    timing.scan += t0.elapsed();
 
     // --- other (SortedDouble only): deterministic total order ------------
     let terms = if backend == SumBackend::SortedDouble {
@@ -93,21 +148,20 @@ pub fn run_q6(
     Ok((revenue, timing))
 }
 
-/// Morsel-driven parallel Q6: selection and the revenue-term expression
-/// are fused into one scan over fixed-size morsels on the work-stealing
-/// pool (no intermediate selection vector or column copies), with
-/// per-morsel term fragments concatenated in morsel order — exactly the
-/// serial term sequence. The single SUM then runs through
-/// [`sum_grouped_par`]: bit-identical to [`run_q6`] for the `repro` and
-/// sorted backends, order-sensitive (as always) for plain doubles.
-pub fn run_q6_par(
+/// Morsel-parallel materializing Q6: selection and the revenue-term
+/// expression run fused over morsels (per-morsel term fragments
+/// concatenated in morsel order — the serial term sequence), then the
+/// single SUM runs through [`sum_grouped_par`]. This is what
+/// [`SumBackend::SortedDouble`] runs under [`run_q6_par`]; its parallel
+/// sort lands in the serial path's total order.
+pub fn run_q6_materializing_par(
     lineitem: &Lineitem,
     backend: SumBackend,
 ) -> Result<(f64, PhaseTiming), OverflowError> {
     let mut timing = PhaseTiming::default();
     let t0 = Instant::now();
 
-    // --- other: fused morsel-parallel selection + expression eval --------
+    // --- scan: fused morsel-parallel selection + expression eval ---------
     let n = lineitem.len();
     let terms = (0..n.div_ceil(SCAN_MORSEL_ROWS))
         .into_par_iter()
@@ -129,7 +183,7 @@ pub fn run_q6_par(
             a.append(&mut b);
             a
         });
-    timing.other += t0.elapsed();
+    timing.scan += t0.elapsed();
 
     // --- other (SortedDouble only): parallel sort into the serial path's
     // total order.
@@ -195,9 +249,29 @@ mod tests {
     }
 
     #[test]
-    fn parallel_scan_is_bit_identical_to_serial_for_repro_backends() {
+    fn fused_is_bit_identical_to_materializing_for_every_backend() {
         let t = table();
         for backend in [
+            SumBackend::Double,
+            SumBackend::ReproUnbuffered,
+            SumBackend::ReproBuffered { buffer_size: 256 },
+            SumBackend::Rsum { levels: 2 },
+            SumBackend::RsumBuffered {
+                levels: 4,
+                buffer_size: 128,
+            },
+        ] {
+            let (reference, _) = run_q6_materializing(&t, backend).unwrap();
+            let (fused, _) = run_q6(&t, backend).unwrap();
+            assert_eq!(reference.to_bits(), fused.to_bits(), "{backend:?}");
+        }
+    }
+
+    #[test]
+    fn parallel_scan_is_bit_identical_to_serial_for_every_backend() {
+        let t = table();
+        for backend in [
+            SumBackend::Double,
             SumBackend::Rsum { levels: 2 },
             SumBackend::Rsum { levels: 4 },
             SumBackend::RsumBuffered {
@@ -212,10 +286,6 @@ mod tests {
             let (parallel, _) = run_q6_par(&t, backend).unwrap();
             assert_eq!(serial.to_bits(), parallel.to_bits(), "{backend:?}");
         }
-        // Plain double: numerical agreement only (order-sensitive).
-        let (serial, _) = run_q6(&t, SumBackend::Double).unwrap();
-        let (parallel, _) = run_q6_par(&t, SumBackend::Double).unwrap();
-        assert!((serial - parallel).abs() <= 1e-9 * serial.abs());
     }
 
     #[test]
@@ -223,15 +293,15 @@ mod tests {
         let t = table();
         let (r1, _) = run_q6(&t, SumBackend::Rsum { levels: 2 }).unwrap();
         // Physically reverse all columns.
-        let rev = Lineitem {
-            quantity: t.quantity.iter().rev().copied().collect(),
-            extendedprice: t.extendedprice.iter().rev().copied().collect(),
-            discount: t.discount.iter().rev().copied().collect(),
-            tax: t.tax.iter().rev().copied().collect(),
-            shipdate: t.shipdate.iter().rev().copied().collect(),
-            returnflag: t.returnflag.iter().rev().copied().collect(),
-            linestatus: t.linestatus.iter().rev().copied().collect(),
-        };
+        let rev = Lineitem::from_columns(
+            t.quantity.iter().rev().copied().collect(),
+            t.extendedprice.iter().rev().copied().collect(),
+            t.discount.iter().rev().copied().collect(),
+            t.tax.iter().rev().copied().collect(),
+            t.shipdate.iter().rev().copied().collect(),
+            t.returnflag.iter().rev().copied().collect(),
+            t.linestatus.iter().rev().copied().collect(),
+        );
         let (r2, _) = run_q6(&rev, SumBackend::Rsum { levels: 2 }).unwrap();
         assert_eq!(r1.to_bits(), r2.to_bits());
         // And the plain double is not (on 100k rows it virtually always

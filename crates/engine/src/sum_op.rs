@@ -9,6 +9,13 @@
 //! encoded), so the operator uses direct array indexing — as MonetDB does
 //! for small group counts.
 //!
+//! The operator state is reified as [`GroupedSums`]: an incremental,
+//! mergeable per-group accumulator array that the fused scan pipeline
+//! (`crate::fused`) feeds batch-at-a-time, and that the one-shot
+//! [`sum_grouped`] / [`sum_grouped_par`] wrappers drive over materialized
+//! arrays. Both drivers perform the identical per-slot operation sequence,
+//! which is what makes fused and materializing execution bit-identical.
+//!
 //! Backends:
 //!
 //! * [`SumBackend::Double`] — MonetDB's own behaviour: plain `dbl` sum
@@ -23,7 +30,7 @@
 //!   "sort the input" baseline of Table IV).
 
 use rayon::prelude::*;
-use rfa_core::{ReproSum, SummationBuffer};
+use rfa_core::{simd, ReproSum, SummationBuffer};
 
 /// Rows per morsel in the engine's parallel scans and aggregations.
 pub const SCAN_MORSEL_ROWS: usize = 1 << 16;
@@ -47,6 +54,16 @@ pub enum SumBackend {
     RsumBuffered { levels: u8, buffer_size: usize },
 }
 
+impl SumBackend {
+    /// Whether per-group states merge *exactly*, making any morsel/thread
+    /// schedule bit-identical to serial execution. Plain doubles (and the
+    /// sorted baseline, whose whole argument is one fixed sequential
+    /// order) do not merge exactly.
+    pub fn merges_exactly(self) -> bool {
+        !matches!(self, SumBackend::Double | SumBackend::SortedDouble)
+    }
+}
+
 /// Error raised when the Double backend detects overflow (MonetDB reports
 /// "overflow in calculation" and aborts the query).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -63,6 +80,225 @@ impl std::error::Error for OverflowError {}
 /// The paper integrates `repro<double, 4>` into MonetDB (Table IV).
 const LEVELS: usize = 4;
 
+/// Per-group reproducible states at one ladder height `L`.
+struct ReproStates<const L: usize>(Vec<ReproSum<f64, L>>);
+
+impl<const L: usize> ReproStates<L> {
+    fn new(groups: usize) -> Self {
+        ReproStates(vec![ReproSum::new(); groups])
+    }
+
+    fn update(&mut self, group_ids: &[u32], values: &[f64]) {
+        for (&g, &v) in group_ids.iter().zip(values.iter()) {
+            self.0[g as usize].add(v);
+        }
+    }
+
+    /// Single-group fast path: the whole batch goes through the
+    /// vectorized block kernel (Algorithm 3), bit-identical to per-row
+    /// `add` by the §III-D exactness argument.
+    fn update_single(&mut self, values: &[f64]) {
+        simd::add_slice(&mut self.0[0], values);
+    }
+
+    fn merge(&mut self, other: &Self) {
+        for (a, b) in self.0.iter_mut().zip(other.0.iter()) {
+            a.merge(b);
+        }
+    }
+
+    fn finalize(self) -> Vec<f64> {
+        self.0.into_iter().map(|s| s.finalize()).collect()
+    }
+}
+
+/// Per-group buffered reproducible states at ladder height `L`.
+struct BufStates<const L: usize>(Vec<SummationBuffer<f64, L>>);
+
+impl<const L: usize> BufStates<L> {
+    fn new(groups: usize, buffer_size: usize) -> Self {
+        BufStates(
+            (0..groups)
+                .map(|_| SummationBuffer::new(buffer_size))
+                .collect(),
+        )
+    }
+
+    fn update(&mut self, group_ids: &[u32], values: &[f64]) {
+        for (&g, &v) in group_ids.iter().zip(values.iter()) {
+            self.0[g as usize].push(v);
+        }
+    }
+
+    fn update_single(&mut self, values: &[f64]) {
+        for &v in values {
+            self.0[0].push(v);
+        }
+    }
+
+    fn merge(&mut self, other: &mut Self) {
+        for (a, b) in self.0.iter_mut().zip(other.0.iter_mut()) {
+            a.merge(b);
+        }
+    }
+
+    fn finalize(self) -> Vec<f64> {
+        self.0.into_iter().map(|s| s.finalize()).collect()
+    }
+}
+
+/// Incremental per-group SUM state for one backend: the engine's
+/// "locally allocated array" of intermediate aggregates, consumable
+/// batch-at-a-time and mergeable across morsels.
+///
+/// For a given input split into batches in row order, the per-slot
+/// operation sequence is identical to a single [`sum_grouped`] pass, so
+/// batched (fused) and one-shot (materializing) execution finalize to the
+/// same bits for *every* backend. [`SumBackend::SortedDouble`] sums like
+/// `Double` — the sort that justifies it is the caller's job.
+pub struct GroupedSums(Inner);
+
+enum Inner {
+    Double(Vec<f64>),
+    Repro1(ReproStates<1>),
+    Repro2(ReproStates<2>),
+    Repro3(ReproStates<3>),
+    Repro4(ReproStates<4>),
+    Buf1(BufStates<1>),
+    Buf2(BufStates<2>),
+    Buf3(BufStates<3>),
+    Buf4(BufStates<4>),
+}
+
+impl GroupedSums {
+    /// Creates zeroed per-group states for `groups` dense group ids.
+    pub fn new(backend: SumBackend, groups: usize) -> Self {
+        GroupedSums(match backend {
+            SumBackend::Double | SumBackend::SortedDouble => Inner::Double(vec![0.0; groups]),
+            SumBackend::ReproUnbuffered => Inner::Repro4(ReproStates::new(groups)),
+            SumBackend::ReproBuffered { buffer_size } => {
+                Inner::Buf4(BufStates::new(groups, buffer_size))
+            }
+            SumBackend::Rsum { levels } => match checked_levels(levels) {
+                1 => Inner::Repro1(ReproStates::new(groups)),
+                2 => Inner::Repro2(ReproStates::new(groups)),
+                3 => Inner::Repro3(ReproStates::new(groups)),
+                _ => Inner::Repro4(ReproStates::new(groups)),
+            },
+            SumBackend::RsumBuffered {
+                levels,
+                buffer_size,
+            } => match checked_levels(levels) {
+                1 => Inner::Buf1(BufStates::new(groups, buffer_size)),
+                2 => Inner::Buf2(BufStates::new(groups, buffer_size)),
+                3 => Inner::Buf3(BufStates::new(groups, buffer_size)),
+                _ => Inner::Buf4(BufStates::new(groups, buffer_size)),
+            },
+        })
+    }
+
+    /// Folds one batch of `(group_id, value)` pairs into the states.
+    pub fn update(&mut self, group_ids: &[u32], values: &[f64]) -> Result<(), OverflowError> {
+        debug_assert_eq!(group_ids.len(), values.len());
+        match &mut self.0 {
+            Inner::Double(acc) => {
+                for (&g, &v) in group_ids.iter().zip(values.iter()) {
+                    let slot = &mut acc[g as usize];
+                    *slot += v;
+                    // MonetDB's ADD_WITH_CHECK: per-element result check.
+                    if !slot.is_finite() {
+                        return Err(OverflowError);
+                    }
+                }
+            }
+            Inner::Repro1(s) => s.update(group_ids, values),
+            Inner::Repro2(s) => s.update(group_ids, values),
+            Inner::Repro3(s) => s.update(group_ids, values),
+            Inner::Repro4(s) => s.update(group_ids, values),
+            Inner::Buf1(s) => s.update(group_ids, values),
+            Inner::Buf2(s) => s.update(group_ids, values),
+            Inner::Buf3(s) => s.update(group_ids, values),
+            Inner::Buf4(s) => s.update(group_ids, values),
+        }
+        Ok(())
+    }
+
+    /// Folds a batch that belongs entirely to group 0 (the un-grouped SUM
+    /// of Q6). Unbuffered repro states take the vectorized block kernel
+    /// here — the fused pipeline's fast path to §III-D throughput.
+    pub fn update_single(&mut self, values: &[f64]) -> Result<(), OverflowError> {
+        match &mut self.0 {
+            Inner::Double(acc) => {
+                let slot = &mut acc[0];
+                for &v in values {
+                    *slot += v;
+                    if !slot.is_finite() {
+                        return Err(OverflowError);
+                    }
+                }
+            }
+            Inner::Repro1(s) => s.update_single(values),
+            Inner::Repro2(s) => s.update_single(values),
+            Inner::Repro3(s) => s.update_single(values),
+            Inner::Repro4(s) => s.update_single(values),
+            Inner::Buf1(s) => s.update_single(values),
+            Inner::Buf2(s) => s.update_single(values),
+            Inner::Buf3(s) => s.update_single(values),
+            Inner::Buf4(s) => s.update_single(values),
+        }
+        Ok(())
+    }
+
+    /// Merges another state array of the same backend and group count.
+    /// Exact (bit-transparent) for the repro backends; a plain checked
+    /// addition per group for doubles.
+    pub fn merge(&mut self, other: GroupedSums) -> Result<(), OverflowError> {
+        match (&mut self.0, other.0) {
+            (Inner::Double(a), Inner::Double(b)) => {
+                for (x, y) in a.iter_mut().zip(b) {
+                    *x += y;
+                    if !x.is_finite() {
+                        return Err(OverflowError);
+                    }
+                }
+            }
+            (Inner::Repro1(a), Inner::Repro1(b)) => a.merge(&b),
+            (Inner::Repro2(a), Inner::Repro2(b)) => a.merge(&b),
+            (Inner::Repro3(a), Inner::Repro3(b)) => a.merge(&b),
+            (Inner::Repro4(a), Inner::Repro4(b)) => a.merge(&b),
+            (Inner::Buf1(a), Inner::Buf1(mut b)) => a.merge(&mut b),
+            (Inner::Buf2(a), Inner::Buf2(mut b)) => a.merge(&mut b),
+            (Inner::Buf3(a), Inner::Buf3(mut b)) => a.merge(&mut b),
+            (Inner::Buf4(a), Inner::Buf4(mut b)) => a.merge(&mut b),
+            _ => panic!("merging GroupedSums of different backends"),
+        }
+        Ok(())
+    }
+
+    /// Rounds every group state to a double.
+    pub fn finalize(self) -> Vec<f64> {
+        match self.0 {
+            Inner::Double(acc) => acc,
+            Inner::Repro1(s) => s.finalize(),
+            Inner::Repro2(s) => s.finalize(),
+            Inner::Repro3(s) => s.finalize(),
+            Inner::Repro4(s) => s.finalize(),
+            Inner::Buf1(s) => s.finalize(),
+            Inner::Buf2(s) => s.finalize(),
+            Inner::Buf3(s) => s.finalize(),
+            Inner::Buf4(s) => s.finalize(),
+        }
+    }
+}
+
+fn checked_levels(levels: u8) -> u8 {
+    assert!((1..=4).contains(&levels), "RSUM levels must be in 1..=4");
+    levels
+}
+
+/// Asserts the default level mapping stays in sync with the paper.
+const _: () = assert!(LEVELS == 4);
+
 /// Sums `values[i]` into per-group slots `group_ids[i]` (dense ids in
 /// `0..groups`). Returns one double per group.
 pub fn sum_grouped(
@@ -72,42 +308,9 @@ pub fn sum_grouped(
     groups: usize,
 ) -> Result<Vec<f64>, OverflowError> {
     assert_eq!(group_ids.len(), values.len());
-    match backend {
-        SumBackend::Double | SumBackend::SortedDouble => {
-            let mut acc = vec![0.0f64; groups];
-            for (&g, &v) in group_ids.iter().zip(values.iter()) {
-                let slot = &mut acc[g as usize];
-                *slot += v;
-                // MonetDB's ADD_WITH_CHECK: per-element result check.
-                if !slot.is_finite() {
-                    return Err(OverflowError);
-                }
-            }
-            Ok(acc)
-        }
-        SumBackend::ReproUnbuffered => Ok(repro_sum_grouped::<LEVELS>(group_ids, values, groups)),
-        SumBackend::ReproBuffered { buffer_size } => Ok(repro_sum_buffered::<LEVELS>(
-            group_ids,
-            values,
-            groups,
-            buffer_size,
-        )),
-        SumBackend::Rsum { levels } => Ok(dispatch_levels(levels, |l| match l {
-            1 => repro_sum_grouped::<1>(group_ids, values, groups),
-            2 => repro_sum_grouped::<2>(group_ids, values, groups),
-            3 => repro_sum_grouped::<3>(group_ids, values, groups),
-            _ => repro_sum_grouped::<4>(group_ids, values, groups),
-        })),
-        SumBackend::RsumBuffered {
-            levels,
-            buffer_size,
-        } => Ok(dispatch_levels(levels, |l| match l {
-            1 => repro_sum_buffered::<1>(group_ids, values, groups, buffer_size),
-            2 => repro_sum_buffered::<2>(group_ids, values, groups, buffer_size),
-            3 => repro_sum_buffered::<3>(group_ids, values, groups, buffer_size),
-            _ => repro_sum_buffered::<4>(group_ids, values, groups, buffer_size),
-        })),
-    }
+    let mut state = GroupedSums::new(backend, groups);
+    state.update(group_ids, values)?;
+    Ok(state.finalize())
 }
 
 /// Morsel-parallel variant of [`sum_grouped`]: each pool task aggregates a
@@ -130,179 +333,33 @@ pub fn sum_grouped_par(
     groups: usize,
 ) -> Result<Vec<f64>, OverflowError> {
     assert_eq!(group_ids.len(), values.len());
-    match backend {
-        SumBackend::Double => double_sum_grouped_par(group_ids, values, groups),
-        SumBackend::SortedDouble => sum_grouped(backend, group_ids, values, groups),
-        SumBackend::ReproUnbuffered => {
-            Ok(repro_sum_grouped_par::<LEVELS>(group_ids, values, groups))
-        }
-        SumBackend::ReproBuffered { buffer_size } => Ok(repro_sum_buffered_par::<LEVELS>(
-            group_ids,
-            values,
-            groups,
-            buffer_size,
-        )),
-        SumBackend::Rsum { levels } => Ok(dispatch_levels(levels, |l| match l {
-            1 => repro_sum_grouped_par::<1>(group_ids, values, groups),
-            2 => repro_sum_grouped_par::<2>(group_ids, values, groups),
-            3 => repro_sum_grouped_par::<3>(group_ids, values, groups),
-            _ => repro_sum_grouped_par::<4>(group_ids, values, groups),
-        })),
-        SumBackend::RsumBuffered {
-            levels,
-            buffer_size,
-        } => Ok(dispatch_levels(levels, |l| match l {
-            1 => repro_sum_buffered_par::<1>(group_ids, values, groups, buffer_size),
-            2 => repro_sum_buffered_par::<2>(group_ids, values, groups, buffer_size),
-            3 => repro_sum_buffered_par::<3>(group_ids, values, groups, buffer_size),
-            _ => repro_sum_buffered_par::<4>(group_ids, values, groups, buffer_size),
-        })),
+    if backend == SumBackend::SortedDouble {
+        return sum_grouped(backend, group_ids, values, groups);
     }
-}
-
-/// Morsel index ranges for an `n`-row input.
-fn morsel_bounds(n: usize, m: usize) -> (usize, usize) {
-    let lo = m * SCAN_MORSEL_ROWS;
-    (lo, (lo + SCAN_MORSEL_ROWS).min(n))
-}
-
-fn repro_sum_grouped_par<const L: usize>(
-    group_ids: &[u32],
-    values: &[f64],
-    groups: usize,
-) -> Vec<f64> {
     let n = group_ids.len();
-    let states = (0..n.div_ceil(SCAN_MORSEL_ROWS))
+    let merged = (0..n.div_ceil(SCAN_MORSEL_ROWS))
         .into_par_iter()
         .with_min_len(1)
-        .fold(
-            || vec![ReproSum::<f64, L>::new(); groups],
-            |mut acc, m| {
-                let (lo, hi) = morsel_bounds(n, m);
-                for (&g, &v) in group_ids[lo..hi].iter().zip(values[lo..hi].iter()) {
-                    acc[g as usize].add(v);
-                }
-                acc
-            },
-        )
+        .map(|m| {
+            let lo = m * SCAN_MORSEL_ROWS;
+            let hi = (lo + SCAN_MORSEL_ROWS).min(n);
+            let mut state = GroupedSums::new(backend, groups);
+            state.update(&group_ids[lo..hi], &values[lo..hi])?;
+            Ok(Some(state))
+        })
         .reduce(
-            || vec![ReproSum::<f64, L>::new(); groups],
-            |mut a, b| {
-                for (x, y) in a.iter_mut().zip(b.iter()) {
-                    x.merge(y);
+            || Ok(None),
+            |a: Result<Option<GroupedSums>, OverflowError>, b| match (a?, b?) {
+                (Some(mut x), Some(y)) => {
+                    x.merge(y)?;
+                    Ok(Some(x))
                 }
-                a
+                (x, y) => Ok(x.or(y)),
             },
-        );
-    states.into_iter().map(|s| s.finalize()).collect()
-}
-
-fn repro_sum_buffered_par<const L: usize>(
-    group_ids: &[u32],
-    values: &[f64],
-    groups: usize,
-    buffer_size: usize,
-) -> Vec<f64> {
-    let n = group_ids.len();
-    let states = (0..n.div_ceil(SCAN_MORSEL_ROWS))
-        .into_par_iter()
-        .with_min_len(1)
-        .fold(
-            || {
-                (0..groups)
-                    .map(|_| SummationBuffer::<f64, L>::new(buffer_size))
-                    .collect::<Vec<_>>()
-            },
-            |mut acc, m| {
-                let (lo, hi) = morsel_bounds(n, m);
-                for (&g, &v) in group_ids[lo..hi].iter().zip(values[lo..hi].iter()) {
-                    acc[g as usize].push(v);
-                }
-                acc
-            },
-        )
-        .reduce(
-            || {
-                (0..groups)
-                    .map(|_| SummationBuffer::<f64, L>::new(buffer_size))
-                    .collect::<Vec<_>>()
-            },
-            |mut a, mut b| {
-                for (x, y) in a.iter_mut().zip(b.iter_mut()) {
-                    x.merge(y);
-                }
-                a
-            },
-        );
-    states.into_iter().map(|s| s.finalize()).collect()
-}
-
-fn double_sum_grouped_par(
-    group_ids: &[u32],
-    values: &[f64],
-    groups: usize,
-) -> Result<Vec<f64>, OverflowError> {
-    let n = group_ids.len();
-    (0..n.div_ceil(SCAN_MORSEL_ROWS))
-        .into_par_iter()
-        .with_min_len(1)
-        .fold(
-            || Ok(vec![0.0f64; groups]),
-            |acc: Result<Vec<f64>, OverflowError>, m| {
-                let mut acc = acc?;
-                let (lo, hi) = morsel_bounds(n, m);
-                for (&g, &v) in group_ids[lo..hi].iter().zip(values[lo..hi].iter()) {
-                    let slot = &mut acc[g as usize];
-                    *slot += v;
-                    if !slot.is_finite() {
-                        return Err(OverflowError);
-                    }
-                }
-                Ok(acc)
-            },
-        )
-        .reduce(
-            || Ok(vec![0.0f64; groups]),
-            |a, b| {
-                let (mut a, b) = (a?, b?);
-                for (x, &y) in a.iter_mut().zip(b.iter()) {
-                    *x += y;
-                    if !x.is_finite() {
-                        return Err(OverflowError);
-                    }
-                }
-                Ok(a)
-            },
-        )
-}
-
-/// Monomorphization bridge for the runtime `L` of `RSUM(expr, L)`.
-fn dispatch_levels<R>(levels: u8, run: impl FnOnce(u8) -> R) -> R {
-    assert!((1..=4).contains(&levels), "RSUM levels must be in 1..=4");
-    run(levels)
-}
-
-fn repro_sum_grouped<const L: usize>(group_ids: &[u32], values: &[f64], groups: usize) -> Vec<f64> {
-    let mut acc: Vec<ReproSum<f64, L>> = vec![ReproSum::new(); groups];
-    for (&g, &v) in group_ids.iter().zip(values.iter()) {
-        acc[g as usize].add(v);
-    }
-    acc.into_iter().map(|a| a.finalize()).collect()
-}
-
-fn repro_sum_buffered<const L: usize>(
-    group_ids: &[u32],
-    values: &[f64],
-    groups: usize,
-    buffer_size: usize,
-) -> Vec<f64> {
-    let mut acc: Vec<SummationBuffer<f64, L>> = (0..groups)
-        .map(|_| SummationBuffer::new(buffer_size))
-        .collect();
-    for (&g, &v) in group_ids.iter().zip(values.iter()) {
-        acc[g as usize].push(v);
-    }
-    acc.into_iter().map(|a| a.finalize()).collect()
+        )?;
+    Ok(merged
+        .unwrap_or_else(|| GroupedSums::new(backend, groups))
+        .finalize())
 }
 
 /// Per-group COUNT (shared by all backends; integer, always reproducible).
@@ -480,5 +537,65 @@ mod tests {
     #[should_panic(expected = "RSUM levels must be in 1..=4")]
     fn rsum_rejects_invalid_levels() {
         let _ = sum_grouped(SumBackend::Rsum { levels: 9 }, &[0], &[1.0], 1);
+    }
+
+    #[test]
+    fn batched_updates_match_one_shot_bitwise() {
+        // The fused pipeline's contract: feeding the same rows in batches
+        // finalizes to the same bits as one update, for every backend.
+        let (ids, values) = workload();
+        for backend in [
+            SumBackend::Double,
+            SumBackend::ReproUnbuffered,
+            SumBackend::ReproBuffered { buffer_size: 96 },
+            SumBackend::Rsum { levels: 2 },
+            SumBackend::RsumBuffered {
+                levels: 3,
+                buffer_size: 64,
+            },
+        ] {
+            let reference = sum_grouped(backend, &ids, &values, 4).unwrap();
+            for batch in [1usize, 7, 256, 4096] {
+                let mut state = GroupedSums::new(backend, 4);
+                for (ic, vc) in ids.chunks(batch).zip(values.chunks(batch)) {
+                    state.update(ic, vc).unwrap();
+                }
+                let out = state.finalize();
+                for g in 0..4 {
+                    assert_eq!(
+                        reference[g].to_bits(),
+                        out[g].to_bits(),
+                        "{backend:?} batch {batch} group {g}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn update_single_matches_grouped_updates_bitwise() {
+        // Q6's single-group fast path (vectorized kernel for unbuffered
+        // repro) must equal the dense-grouped path with all-zero ids.
+        let values: Vec<f64> = (0..30_000)
+            .map(|i| ((i * 2_654_435_761u64) % 997) as f64 * 1e-2 - 4.9)
+            .collect();
+        let ids = vec![0u32; values.len()];
+        for backend in [
+            SumBackend::Double,
+            SumBackend::ReproUnbuffered,
+            SumBackend::Rsum { levels: 2 },
+            SumBackend::ReproBuffered { buffer_size: 128 },
+        ] {
+            let reference = sum_grouped(backend, &ids, &values, 1).unwrap();
+            let mut state = GroupedSums::new(backend, 1);
+            for chunk in values.chunks(1000) {
+                state.update_single(chunk).unwrap();
+            }
+            assert_eq!(
+                reference[0].to_bits(),
+                state.finalize()[0].to_bits(),
+                "{backend:?}"
+            );
+        }
     }
 }

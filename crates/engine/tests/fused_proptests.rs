@@ -1,0 +1,205 @@
+//! Property tests of the fused scan pipeline: for arbitrary lineitem
+//! contents, every backend, and every batch/morsel/thread shape, the
+//! fused pipeline must be **bit-identical** to the serial materializing
+//! reference pipeline — the acceptance contract of the zero-copy scan.
+//!
+//! Why this holds per backend (and is therefore assertable for *all* of
+//! them, not just the reproducible ones):
+//!
+//! * repro backends — per-slot deposits commute and state merging is
+//!   exact, so any batch/morsel/thread schedule finalizes identically;
+//! * plain `Double` — the fused executor deliberately scans it serially
+//!   at any requested thread count (exact merging is impossible), and the
+//!   serial fused scan performs the identical addition sequence;
+//! * `SortedDouble` — routed to the materializing pipeline, whose
+//!   parallel variant sorts into the same total order as the serial one.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use rfa_engine::{
+    run_q1_materializing, run_q1_with, run_q6_materializing, run_q6_with, ExecOptions, SumBackend,
+};
+use rfa_workloads::Lineitem;
+
+/// Requests an 8-worker pool for this test binary so the parallel paths
+/// genuinely run multi-threaded even on small CI boxes (a pinned
+/// `RFA_THREADS` still takes precedence inside the builder).
+fn force_pool() {
+    let _ = rayon::ThreadPoolBuilder::new()
+        .num_threads(8)
+        .build_global();
+}
+
+/// All six SUM backends (Table IV's columns plus the §V-D RSUM forms).
+const BACKENDS: [SumBackend; 6] = [
+    SumBackend::Double,
+    SumBackend::ReproUnbuffered,
+    SumBackend::ReproBuffered { buffer_size: 64 },
+    SumBackend::SortedDouble,
+    SumBackend::Rsum { levels: 2 },
+    SumBackend::RsumBuffered {
+        levels: 3,
+        buffer_size: 48,
+    },
+];
+
+/// Arbitrary lineitem rows: quantities, prices, discounts and taxes over
+/// (and beyond) the dbgen ranges, shipdates straddling both the Q6 window
+/// and the Q1 cutoff, and all six flag/status combinations.
+fn lineitem_strategy(max_rows: usize) -> impl Strategy<Value = Lineitem> {
+    let row = (
+        (0.0..60.0f64),     // quantity (crosses the Q6 < 24 predicate)
+        (-1.0e5..1.0e5f64), // extendedprice (signs exercise cancellation)
+        (0.0..0.12f64),     // discount (crosses the 0.05..=0.07 window)
+        (0.0..0.09f64),     // tax
+        (600i32..2600),     // shipdate: Q6 window is [730, 1095), Q1 cutoff 2437
+        (0u8..3),           // returnflag index -> 'A' | 'N' | 'R'
+        (0u8..2),           // linestatus index -> 'F' | 'O'
+    );
+    vec(row, 0..max_rows).prop_map(|rows| {
+        let n = rows.len();
+        let mut quantity = Vec::with_capacity(n);
+        let mut extendedprice = Vec::with_capacity(n);
+        let mut discount = Vec::with_capacity(n);
+        let mut tax = Vec::with_capacity(n);
+        let mut shipdate = Vec::with_capacity(n);
+        let mut returnflag = Vec::with_capacity(n);
+        let mut linestatus = Vec::with_capacity(n);
+        for (q, p, d, t, s, rf, ls) in rows {
+            quantity.push(q);
+            extendedprice.push(p);
+            discount.push(d);
+            tax.push(t);
+            shipdate.push(s);
+            returnflag.push([b'A', b'N', b'R'][rf as usize]);
+            linestatus.push([b'F', b'O'][ls as usize]);
+        }
+        Lineitem::from_columns(
+            quantity,
+            extendedprice,
+            discount,
+            tax,
+            shipdate,
+            returnflag,
+            linestatus,
+        )
+    })
+}
+
+/// Small batch/morsel shapes force many batches per morsel and many
+/// morsels per input even at proptest input sizes, so the 2- and 8-thread
+/// runs exercise real splits and merges.
+fn shapes() -> [ExecOptions; 4] {
+    [
+        ExecOptions {
+            threads: 1,
+            batch_rows: 32,
+            morsel_rows: 1 << 16,
+        },
+        ExecOptions {
+            threads: 1,
+            batch_rows: 4096,
+            morsel_rows: 1 << 16,
+        },
+        ExecOptions {
+            threads: 2,
+            batch_rows: 64,
+            morsel_rows: 192,
+        },
+        ExecOptions {
+            threads: 8,
+            batch_rows: 17,
+            morsel_rows: 96,
+        },
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn q1_fused_is_bit_identical_to_materializing(t in lineitem_strategy(700)) {
+        force_pool();
+        for backend in BACKENDS {
+            let (reference, _) = run_q1_materializing(&t, backend).unwrap();
+            for opts in shapes() {
+                let (fused, _) = run_q1_with(&t, backend, &opts).unwrap();
+                prop_assert_eq!(reference.len(), fused.len(), "{:?} {:?}", backend, opts);
+                for (a, b) in reference.iter().zip(fused.iter()) {
+                    prop_assert_eq!(a.returnflag, b.returnflag);
+                    prop_assert_eq!(a.linestatus, b.linestatus);
+                    prop_assert_eq!(a.count, b.count, "{:?} {:?}", backend, opts);
+                    prop_assert_eq!(a.sum_qty.to_bits(), b.sum_qty.to_bits(),
+                        "sum_qty {:?} {:?}", backend, opts);
+                    prop_assert_eq!(a.sum_base_price.to_bits(), b.sum_base_price.to_bits(),
+                        "sum_base_price {:?} {:?}", backend, opts);
+                    prop_assert_eq!(a.sum_disc_price.to_bits(), b.sum_disc_price.to_bits(),
+                        "sum_disc_price {:?} {:?}", backend, opts);
+                    prop_assert_eq!(a.sum_charge.to_bits(), b.sum_charge.to_bits(),
+                        "sum_charge {:?} {:?}", backend, opts);
+                    prop_assert_eq!(a.avg_disc.to_bits(), b.avg_disc.to_bits(),
+                        "avg_disc {:?} {:?}", backend, opts);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn q6_fused_is_bit_identical_to_materializing(t in lineitem_strategy(900)) {
+        force_pool();
+        for backend in BACKENDS {
+            let (reference, _) = run_q6_materializing(&t, backend).unwrap();
+            for opts in shapes() {
+                let (fused, _) = run_q6_with(&t, backend, &opts).unwrap();
+                prop_assert_eq!(
+                    reference.to_bits(),
+                    fused.to_bits(),
+                    "{:?} {:?}",
+                    backend,
+                    opts
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn q1_fused_is_physical_order_invariant_for_repro(
+        t in lineitem_strategy(400),
+        seed in any::<u64>(),
+    ) {
+        force_pool();
+        // Shuffle all columns with one permutation; the fused repro result
+        // must not move a bit (the paper's data-independence claim, now on
+        // the fused path).
+        let n = t.len();
+        let mut idx: Vec<usize> = (0..n).collect();
+        let mut s = seed | 1;
+        for i in (1..n).rev() {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            idx.swap(i, (s >> 33) as usize % (i + 1));
+        }
+        let shuffled = Lineitem::from_columns(
+            idx.iter().map(|&i| t.quantity[i]).collect(),
+            idx.iter().map(|&i| t.extendedprice[i]).collect(),
+            idx.iter().map(|&i| t.discount[i]).collect(),
+            idx.iter().map(|&i| t.tax[i]).collect(),
+            idx.iter().map(|&i| t.shipdate[i]).collect(),
+            idx.iter().map(|&i| t.returnflag[i]).collect(),
+            idx.iter().map(|&i| t.linestatus[i]).collect(),
+        );
+        let opts = ExecOptions { threads: 2, batch_rows: 128, morsel_rows: 256 };
+        for backend in [
+            SumBackend::ReproUnbuffered,
+            SumBackend::RsumBuffered { levels: 2, buffer_size: 32 },
+        ] {
+            let (a, _) = run_q1_with(&t, backend, &opts).unwrap();
+            let (b, _) = run_q1_with(&shuffled, backend, &opts).unwrap();
+            prop_assert_eq!(a.len(), b.len());
+            for (x, y) in a.iter().zip(b.iter()) {
+                prop_assert_eq!(x.count, y.count);
+                prop_assert_eq!(x.sum_charge.to_bits(), y.sum_charge.to_bits(), "{:?}", backend);
+                prop_assert_eq!(x.sum_qty.to_bits(), y.sum_qty.to_bits(), "{:?}", backend);
+            }
+        }
+    }
+}

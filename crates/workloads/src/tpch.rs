@@ -20,19 +20,25 @@
 //! that row count.
 
 use crate::rng::SplitMix64;
+use std::sync::Arc;
 
 /// Columns of `lineitem` needed by TPC-H Q1, in columnar layout.
+///
+/// Column storage is `Arc`-shared so downstream engines can build
+/// zero-copy table views over the generated data (cloning a column handle
+/// is a refcount bump, never a data copy). Reads go through `Deref`, so
+/// `t.quantity[i]` works as with plain `Vec`s.
 pub struct Lineitem {
-    pub quantity: Vec<f64>,
-    pub extendedprice: Vec<f64>,
-    pub discount: Vec<f64>,
-    pub tax: Vec<f64>,
+    pub quantity: Arc<Vec<f64>>,
+    pub extendedprice: Arc<Vec<f64>>,
+    pub discount: Arc<Vec<f64>>,
+    pub tax: Arc<Vec<f64>>,
     /// Days since 1992-01-01.
-    pub shipdate: Vec<i32>,
+    pub shipdate: Arc<Vec<i32>>,
     /// b'R', b'A' or b'N'.
-    pub returnflag: Vec<u8>,
+    pub returnflag: Arc<Vec<u8>>,
     /// b'O' or b'F'.
-    pub linestatus: Vec<u8>,
+    pub linestatus: Arc<Vec<u8>>,
 }
 
 /// The dbgen "current date" watermark: 1995-06-17, as days since
@@ -45,7 +51,7 @@ impl Lineitem {
     /// Generates `rows` lineitem rows deterministically from `seed`.
     pub fn generate(rows: usize, seed: u64) -> Self {
         let mut rng = SplitMix64::new(seed ^ 0x7BC8_11E1_0001_D5E1);
-        let mut t = Lineitem {
+        let mut t = LineitemBuilder {
             quantity: Vec::with_capacity(rows),
             extendedprice: Vec::with_capacity(rows),
             discount: Vec::with_capacity(rows),
@@ -84,7 +90,45 @@ impl Lineitem {
             t.returnflag.push(returnflag);
             t.linestatus.push(linestatus);
         }
-        t
+        t.freeze()
+    }
+
+    /// Builds a table directly from column vectors (all equal length) —
+    /// used by tests and property strategies that need hand-crafted data.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_columns(
+        quantity: Vec<f64>,
+        extendedprice: Vec<f64>,
+        discount: Vec<f64>,
+        tax: Vec<f64>,
+        shipdate: Vec<i32>,
+        returnflag: Vec<u8>,
+        linestatus: Vec<u8>,
+    ) -> Self {
+        let rows = quantity.len();
+        assert!(
+            [
+                extendedprice.len(),
+                discount.len(),
+                tax.len(),
+                shipdate.len(),
+                returnflag.len(),
+                linestatus.len(),
+            ]
+            .iter()
+            .all(|&l| l == rows),
+            "all lineitem columns must have equal length"
+        );
+        LineitemBuilder {
+            quantity,
+            extendedprice,
+            discount,
+            tax,
+            shipdate,
+            returnflag,
+            linestatus,
+        }
+        .freeze()
     }
 
     pub fn len(&self) -> usize {
@@ -99,13 +143,21 @@ impl Lineitem {
     /// densely (dictionary encoding, as a column store would).
     #[inline]
     pub fn q1_group(&self, row: usize) -> u32 {
-        let rf = match self.returnflag[row] {
+        Self::encode_group(self.returnflag[row], self.linestatus[row])
+    }
+
+    /// The dense dictionary encoding behind [`Self::q1_group`], exposed
+    /// so engines grouping on the raw byte columns use the identical
+    /// mapping (inverse of [`Self::decode_group`]).
+    #[inline]
+    pub fn encode_group(returnflag: u8, linestatus: u8) -> u32 {
+        let rf = match returnflag {
             b'A' => 0u32,
             b'N' => 1,
             b'R' => 2,
             other => unreachable!("invalid returnflag {other}"),
         };
-        let ls = match self.linestatus[row] {
+        let ls = match linestatus {
             b'F' => 0u32,
             b'O' => 1,
             other => unreachable!("invalid linestatus {other}"),
@@ -118,6 +170,32 @@ impl Lineitem {
         let rf = ['A', 'N', 'R'][(group / 2) as usize];
         let ls = ['F', 'O'][(group % 2) as usize];
         (rf, ls)
+    }
+}
+
+/// Mutable column staging used during generation; `freeze` wraps the
+/// finished vectors in the shared handles queries hand out.
+struct LineitemBuilder {
+    quantity: Vec<f64>,
+    extendedprice: Vec<f64>,
+    discount: Vec<f64>,
+    tax: Vec<f64>,
+    shipdate: Vec<i32>,
+    returnflag: Vec<u8>,
+    linestatus: Vec<u8>,
+}
+
+impl LineitemBuilder {
+    fn freeze(self) -> Lineitem {
+        Lineitem {
+            quantity: Arc::new(self.quantity),
+            extendedprice: Arc::new(self.extendedprice),
+            discount: Arc::new(self.discount),
+            tax: Arc::new(self.tax),
+            shipdate: Arc::new(self.shipdate),
+            returnflag: Arc::new(self.returnflag),
+            linestatus: Arc::new(self.linestatus),
+        }
     }
 }
 

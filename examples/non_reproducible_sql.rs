@@ -17,10 +17,10 @@ fn main() {
     // CREATE TABLE R (i int, f float);
     // INSERT INTO R VALUES (1, 2.5e-16), (2, 0.999999999999999), (3, 2.5e-16);
     let mut r = Table::new("R");
-    r.add_column("i", Column::I32(vec![1, 2, 3])).unwrap();
+    r.add_column("i", Column::i32(vec![1, 2, 3])).unwrap();
     r.add_column(
         "f",
-        Column::F64(vec![2.5e-16, 0.999_999_999_999_999, 2.5e-16]),
+        Column::f64(vec![2.5e-16, 0.999_999_999_999_999, 2.5e-16]),
     )
     .unwrap();
 

@@ -46,8 +46,9 @@ fn main() {
             base_total = Some(total);
         }
         println!(
-            "{name}: total {:.1} ms (agg {:.1} ms, other {:.1} ms) = {rel:.1}% of baseline",
+            "{name}: total {:.1} ms (scan {:.1} ms, agg {:.1} ms, other {:.1} ms) = {rel:.1}% of baseline",
             total * 1e3,
+            timing.scan.as_secs_f64() * 1e3,
             timing.aggregation.as_secs_f64() * 1e3,
             timing.other.as_secs_f64() * 1e3,
         );

@@ -167,6 +167,9 @@ pub mod strategy {
         (A, B, C)
         (A, B, C, D)
         (A, B, C, D, E)
+        (A, B, C, D, E, F)
+        (A, B, C, D, E, F, G)
+        (A, B, C, D, E, F, G, H)
     }
 
     /// Types with a default "any value" strategy (real proptest's
