@@ -112,10 +112,12 @@ impl<S: Clone> AggHashTable<S> {
     /// clones of `template` for unseen keys) into the reused `slots`
     /// scratch vector, then invokes `apply(state, i)` for each batch
     /// position `i` on that key's state. This is the batch-at-a-time
-    /// building block for hash-grouped aggregation (today via
-    /// [`crate::hash_agg::hash_aggregate_batched`]; the engine's fused
-    /// scan currently groups on dense ids and would feed this entry point
-    /// once it grows a non-dense GROUP BY).
+    /// building block for hash-grouped aggregation:
+    /// [`crate::hash_agg::hash_aggregate_batched`] drives whole
+    /// aggregations through it, and the engine's fused scan routes its
+    /// non-dense GROUP BY arm (`GroupKey::Hash` — e.g. TPC-H Q15's
+    /// revenue-by-supplier) through this entry point for per-batch
+    /// group-id assignment.
     ///
     /// Splitting probe from update turns the inner loop into the
     /// probe-then-apply structure vectorized engines use, and amortizes

@@ -214,21 +214,51 @@ pub struct ScanSmoke {
     pub materializing_ns_per_elem: f64,
 }
 
-/// Writes `results/bench_smoke.json` — the CI smoke artifact recording
-/// serial vs pool wall-clock ns/elem (and their ratio) for one
-/// representative configuration of a bench target, plus (when provided)
-/// the fused-vs-materializing scan comparison. The acceptance shape:
-/// `speedup` ≥ ~1 on multicore hosts, and `scan.fused_ns_per_elem` ≤
-/// `scan.materializing_ns_per_elem` at laptop scale.
-pub fn write_bench_smoke(
-    bench: &str,
-    config: &str,
-    n: usize,
-    pool_threads: usize,
-    serial_ns_per_elem: f64,
-    parallel_ns_per_elem: f64,
-    scan: Option<ScanSmoke>,
-) {
+/// The hash-grouping entry of the smoke artifact: the same fused
+/// plan-layer aggregation grouped through the hash arm
+/// (`AggHashTable::upsert_batch` group-id assignment) vs dense dictionary
+/// ids, serial ns/elem.
+#[derive(Clone, Copy, Debug)]
+pub struct HashGroupSmoke {
+    /// Which query/config was measured.
+    pub query: &'static str,
+    /// Distinct group keys in the input.
+    pub groups: usize,
+    pub hash_ns_per_elem: f64,
+    pub dense_ns_per_elem: f64,
+}
+
+/// Everything one `bench_smoke.json` records: serial vs pool wall-clock
+/// ns/elem for a representative configuration, plus the optional scan and
+/// hash-group comparisons.
+#[derive(Clone, Debug)]
+pub struct BenchSmoke<'a> {
+    pub bench: &'a str,
+    pub config: &'a str,
+    pub n: usize,
+    pub pool_threads: usize,
+    pub serial_ns_per_elem: f64,
+    pub parallel_ns_per_elem: f64,
+    pub scan: Option<ScanSmoke>,
+    pub hash_group: Option<HashGroupSmoke>,
+}
+
+/// Writes `results/bench_smoke.json` — the CI smoke artifact. The
+/// acceptance shape: `speedup` ≥ ~1 on multicore hosts,
+/// `scan.fused_ns_per_elem` ≤ `scan.materializing_ns_per_elem` at laptop
+/// scale, and `hash_group.hash_over_dense` a small constant (the probe
+/// cost).
+pub fn write_bench_smoke(smoke: &BenchSmoke) {
+    let BenchSmoke {
+        bench,
+        config,
+        n,
+        pool_threads,
+        serial_ns_per_elem,
+        parallel_ns_per_elem,
+        scan,
+        hash_group,
+    } = *smoke;
     let dir = results_dir();
     if fs::create_dir_all(&dir).is_err() {
         return; // benches must not fail on read-only filesystems
@@ -256,11 +286,29 @@ pub fn write_bench_smoke(
             )
         }
     };
+    let hash_json = match hash_group {
+        None => String::new(),
+        Some(h) => {
+            let ratio = if h.dense_ns_per_elem > 0.0 {
+                h.hash_ns_per_elem / h.dense_ns_per_elem
+            } else {
+                0.0
+            };
+            format!(
+                ",\n  \"hash_group\": {{\n    \"query\": \"{}\",\n    \
+                 \"groups\": {},\n    \
+                 \"hash_ns_per_elem\": {:.3},\n    \
+                 \"dense_ns_per_elem\": {:.3},\n    \
+                 \"hash_over_dense\": {ratio:.3}\n  }}",
+                h.query, h.groups, h.hash_ns_per_elem, h.dense_ns_per_elem
+            )
+        }
+    };
     let json = format!(
         "{{\n  \"bench\": \"{bench}\",\n  \"config\": \"{config}\",\n  \"n\": {n},\n  \
          \"pool_threads\": {pool_threads},\n  \"serial_ns_per_elem\": {serial_ns_per_elem:.3},\n  \
          \"parallel_ns_per_elem\": {parallel_ns_per_elem:.3},\n  \"speedup\": {speedup:.3}\
-         {scan_json}\n}}\n"
+         {scan_json}{hash_json}\n}}\n"
     );
     if fs::write(&path, json).is_ok() {
         println!("  [json] {}", path.display());

@@ -22,6 +22,7 @@ pub enum Column {
     F64(Arc<Vec<f64>>),
     F32(Arc<Vec<f32>>),
     I32(Arc<Vec<i32>>),
+    U32(Arc<Vec<u32>>),
     U8(Arc<Vec<u8>>),
 }
 
@@ -41,6 +42,11 @@ impl Column {
         Column::I32(data.into())
     }
 
+    /// Builds a `U32` column from owned or already-shared storage.
+    pub fn u32(data: impl Into<Arc<Vec<u32>>>) -> Column {
+        Column::U32(data.into())
+    }
+
     /// Builds a `U8` column from owned or already-shared storage.
     pub fn u8(data: impl Into<Arc<Vec<u8>>>) -> Column {
         Column::U8(data.into())
@@ -50,6 +56,7 @@ impl Column {
             Column::F64(v) => v.len(),
             Column::F32(v) => v.len(),
             Column::I32(v) => v.len(),
+            Column::U32(v) => v.len(),
             Column::U8(v) => v.len(),
         }
     }
@@ -72,6 +79,13 @@ impl Column {
         }
     }
 
+    pub fn as_u32(&self) -> &[u32] {
+        match self {
+            Column::U32(v) => v,
+            other => panic!("expected U32 column, found {}", other.type_name()),
+        }
+    }
+
     pub fn as_u8(&self) -> &[u8] {
         match self {
             Column::U8(v) => v,
@@ -79,11 +93,13 @@ impl Column {
         }
     }
 
-    fn type_name(&self) -> &'static str {
+    /// The storage type tag (used by [`TableError::TypeMismatch`]).
+    pub fn type_name(&self) -> &'static str {
         match self {
             Column::F64(_) => "F64",
             Column::F32(_) => "F32",
             Column::I32(_) => "I32",
+            Column::U32(_) => "U32",
             Column::U8(_) => "U8",
         }
     }
@@ -99,6 +115,7 @@ impl Column {
             Column::F64(v) => apply(v, perm),
             Column::F32(v) => apply(v, perm),
             Column::I32(v) => apply(v, perm),
+            Column::U32(v) => apply(v, perm),
             Column::U8(v) => apply(v, perm),
         }
     }
@@ -121,6 +138,13 @@ pub enum TableError {
     },
     DuplicateColumn(String),
     NoSuchColumn(String),
+    /// A query referenced an existing column at the wrong storage type
+    /// (e.g. an arithmetic expression over an `I32` column).
+    TypeMismatch {
+        column: String,
+        expected: &'static str,
+        found: &'static str,
+    },
 }
 
 impl fmt::Display for TableError {
@@ -133,6 +157,11 @@ impl fmt::Display for TableError {
             } => write!(f, "column {column:?} has {found} rows, expected {expected}"),
             TableError::DuplicateColumn(c) => write!(f, "duplicate column {c:?}"),
             TableError::NoSuchColumn(c) => write!(f, "no such column {c:?}"),
+            TableError::TypeMismatch {
+                column,
+                expected,
+                found,
+            } => write!(f, "column {column:?} is {found}, expected {expected}"),
         }
     }
 }
@@ -181,6 +210,40 @@ impl Table {
             .find(|(n, _)| n == name)
             .map(|(_, c)| c)
             .ok_or_else(|| TableError::NoSuchColumn(name.to_string()))
+    }
+
+    /// Looks up an `F64` column, surfacing a [`TableError::TypeMismatch`]
+    /// (not a panic) on a wrong storage type — the fallible lookups the
+    /// plan layer validates queries with.
+    pub fn f64s(&self, name: &str) -> Result<&[f64], TableError> {
+        match self.column(name)? {
+            Column::F64(v) => Ok(v),
+            other => Err(type_mismatch(name, "F64", other)),
+        }
+    }
+
+    /// Looks up an `I32` column (see [`Table::f64s`]).
+    pub fn i32s(&self, name: &str) -> Result<&[i32], TableError> {
+        match self.column(name)? {
+            Column::I32(v) => Ok(v),
+            other => Err(type_mismatch(name, "I32", other)),
+        }
+    }
+
+    /// Looks up a `U32` column (see [`Table::f64s`]).
+    pub fn u32s(&self, name: &str) -> Result<&[u32], TableError> {
+        match self.column(name)? {
+            Column::U32(v) => Ok(v),
+            other => Err(type_mismatch(name, "U32", other)),
+        }
+    }
+
+    /// Looks up a `U8` column (see [`Table::f64s`]).
+    pub fn u8s(&self, name: &str) -> Result<&[u8], TableError> {
+        match self.column(name)? {
+            Column::U8(v) => Ok(v),
+            other => Err(type_mismatch(name, "U8", other)),
+        }
     }
 
     /// Physically reorders all rows (models compaction/placement changes).
@@ -243,6 +306,14 @@ impl Table {
     }
 }
 
+fn type_mismatch(name: &str, expected: &'static str, found: &Column) -> TableError {
+    TableError::TypeMismatch {
+        column: name.to_string(),
+        expected,
+        found: found.type_name(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -300,12 +371,54 @@ mod tests {
     }
 
     #[test]
+    fn typed_lookups_surface_errors_not_panics() {
+        let mut t = Table::new("t");
+        t.add_column("f", Column::f64(vec![1.0])).unwrap();
+        t.add_column("k", Column::u32(vec![7u32])).unwrap();
+        assert_eq!(t.f64s("f").unwrap(), &[1.0]);
+        assert_eq!(t.u32s("k").unwrap(), &[7]);
+        assert_eq!(
+            t.f64s("nope").unwrap_err(),
+            TableError::NoSuchColumn("nope".into())
+        );
+        assert_eq!(
+            t.i32s("f").unwrap_err(),
+            TableError::TypeMismatch {
+                column: "f".into(),
+                expected: "I32",
+                found: "F64",
+            }
+        );
+        assert!(matches!(
+            t.f64s("k").unwrap_err(),
+            TableError::TypeMismatch {
+                expected: "F64",
+                ..
+            }
+        ));
+        assert!(matches!(
+            t.u8s("f").unwrap_err(),
+            TableError::TypeMismatch { expected: "U8", .. }
+        ));
+        assert!(matches!(
+            t.u32s("f").unwrap_err(),
+            TableError::TypeMismatch {
+                expected: "U32",
+                ..
+            }
+        ));
+    }
+
+    #[test]
     fn reorder_applies_to_all_columns() {
         let mut t = Table::new("t");
         t.add_column("x", Column::i32(vec![10, 20, 30])).unwrap();
         t.add_column("y", Column::u8(b"abc".to_vec())).unwrap();
+        t.add_column("z", Column::u32(vec![100u32, 200, 300]))
+            .unwrap();
         t.reorder(&[2, 0, 1]);
         assert_eq!(t.column("x").unwrap().as_i32(), &[30, 10, 20]);
         assert_eq!(t.column("y").unwrap().as_u8(), b"cab");
+        assert_eq!(t.column("z").unwrap().as_u32(), &[300, 100, 200]);
     }
 }

@@ -22,6 +22,12 @@
 use crate::column::{Table, TableError};
 
 /// An arithmetic expression over `F64` columns and constants.
+///
+/// `PartialEq` is structural and *bitwise* on constants (`-0.0 ≠ 0.0`,
+/// `NaN == NaN` — see the manual impl below): the plan layer uses it to
+/// share one SUM state between `SUM(e)` and `AVG(e)` over the same
+/// expression, and two expressions may only share a state when they
+/// produce identical bits on every input.
 #[derive(Clone, Debug)]
 pub enum Expr {
     /// A named `F64` column.
@@ -31,6 +37,24 @@ pub enum Expr {
     Add(Box<Expr>, Box<Expr>),
     Sub(Box<Expr>, Box<Expr>),
     Mul(Box<Expr>, Box<Expr>),
+}
+
+/// Structural equality with *bit* comparison on constants. The derived
+/// impl would use IEEE `==`, under which `lit(0.0) == lit(-0.0)` (they
+/// produce different result bits under multiplication) and
+/// `lit(NAN) != lit(NAN)` (defeating state sharing) — both wrong for the
+/// plan layer's "identical bits on every input" interning contract.
+impl PartialEq for Expr {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Expr::Col(a), Expr::Col(b)) => a == b,
+            (Expr::Const(a), Expr::Const(b)) => a.to_bits() == b.to_bits(),
+            (Expr::Add(a1, b1), Expr::Add(a2, b2))
+            | (Expr::Sub(a1, b1), Expr::Sub(a2, b2))
+            | (Expr::Mul(a1, b1), Expr::Mul(a2, b2)) => a1 == a2 && b1 == b2,
+            _ => false,
+        }
+    }
 }
 
 /// One instruction of a compiled expression (operating on a virtual stack
@@ -246,10 +270,12 @@ fn emit_bin(a: &Expr, b: &Expr, op: BinOp, insts: &mut Vec<Inst>, cols: &mut Vec
 impl CompiledExpr {
     /// Resolves the referenced columns against a table. The borrowed view
     /// is cheap to build (per query, per morsel): binding copies no data.
+    /// Missing *and* mistyped columns surface as [`TableError`]s — this is
+    /// the check the plan layer validates aggregate expressions with.
     pub fn bind<'t>(&'t self, table: &'t Table) -> Result<BoundExpr<'t>, TableError> {
         let mut cols = Vec::with_capacity(self.cols.len());
         for name in &self.cols {
-            cols.push(table.column(name)?.as_f64());
+            cols.push(table.f64s(name)?);
         }
         Ok(BoundExpr {
             insts: &self.insts,
@@ -365,6 +391,32 @@ mod tests {
         let t = table();
         let e = Expr::col("nope");
         assert!(e.eval(&t, &[0]).is_err());
+    }
+
+    #[test]
+    fn mistyped_column_errors_instead_of_panicking() {
+        let mut t = table();
+        t.add_column("days", Column::i32(vec![1, 2, 3])).unwrap();
+        let e = Expr::col("days").add(Expr::lit(1.0));
+        assert!(matches!(
+            e.eval(&t, &[0]).unwrap_err(),
+            crate::column::TableError::TypeMismatch {
+                expected: "F64",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn structural_equality_for_state_sharing() {
+        let a = || Expr::col("price").mul(Expr::lit(1.0).sub(Expr::col("disc")));
+        assert_eq!(a(), a());
+        assert_ne!(a(), Expr::col("price"));
+        assert_ne!(Expr::lit(1.0), Expr::lit(2.0));
+        // Bitwise on constants: ±0.0 differ (x * -0.0 and x * 0.0 round
+        // to different bits for negative x), NaN literals match.
+        assert_ne!(Expr::lit(0.0), Expr::lit(-0.0));
+        assert_eq!(Expr::lit(f64::NAN), Expr::lit(f64::NAN));
     }
 
     #[test]

@@ -10,14 +10,36 @@
 //! batch is filtered into a small reused selection vector, projected
 //! through compiled expressions into reused scratch registers
 //! ([`crate::expr`]), and deposited straight into the per-group
-//! [`GroupedSums`] states — the MonetDB/X100 vectorized execution model.
+//! [`GroupedStates`] — the MonetDB/X100 vectorized execution model.
 //! Peak intermediate footprint is O(batch + groups), independent of n.
+//!
+//! This is the *physical* executor the plan layer ([`crate::plan`])
+//! lowers onto: a [`FusedQuery`] names the filter conjuncts, the SUM /
+//! MIN / MAX input expressions (one per-group state array each — COUNT is
+//! always maintained, and AVG is pure plan-level finalization over a SUM
+//! state), and the [`GroupKey`] grouping mode.
+//!
+//! **Group keys** come in three shapes:
+//!
+//! * [`GroupKey::None`] — a single accumulator (group id 0), taking the
+//!   vectorized single-group fast paths;
+//! * [`GroupKey::Dense`] — two dictionary-encoded `U8` columns mapped to
+//!   a dense id by an `encode` fn (Q1's flag/status pair), direct array
+//!   indexing as MonetDB does for small group counts;
+//! * [`GroupKey::Hash`] — arbitrary-cardinality `I32`/`U32` keys. Each
+//!   scan range owns an [`AggHashTable`] mapping key → dense local group
+//!   id; whole batches of keys are resolved through
+//!   [`AggHashTable::upsert_batch`] (the §IV batched probe), unseen keys
+//!   are appended to a slot→key list in first-seen row order, and the
+//!   per-group state arrays grow on demand. Parallel partials merge *by
+//!   key*: the reduction walks the other side's slot→key list and folds
+//!   each slot into the local slot of the same key.
 //!
 //! **Why fusion preserves bit-identity** (paper footnote 3, extended to
 //! batched evaluation): the per-row expression dag is evaluated with the
 //! identical operations in the identical row order — batching only changes
 //! *when* rows are processed, never *what* is computed or in which order
-//! per accumulator slot. Every `GroupedSums` slot therefore receives the
+//! per accumulator slot. Every SUM slot therefore receives the
 //! same value sequence as in the materializing pipeline, so every backend
 //! — including order-sensitive plain doubles — finalizes to the same bits
 //! as serial materializing execution. The single-group fast path may swap
@@ -28,21 +50,25 @@
 //! work-stealing pool: each morsel ([`ExecOptions::morsel_rows`] rows)
 //! processes its batches into private states, merged along the
 //! deterministic split tree. Exact state merging makes the repro backends
-//! bit-identical to serial execution at any thread count. Plain doubles
-//! cannot merge exactly — the *only* way to parallelize them without
-//! changing the answer would be to materialize or sort — so the fused
-//! executor deliberately runs [`SumBackend::Double`] serially at any
+//! bit-identical to serial execution at any thread count; MIN/MAX merge by
+//! comparison folds whose ties resolve to the earlier range, and the hash
+//! arm's first-seen key order is schedule-independent because the split
+//! tree always merges the earlier range into the left operand. Plain
+//! doubles cannot merge exactly — the *only* way to parallelize them
+//! without changing the answer would be to materialize or sort — so the
+//! fused executor deliberately runs [`SumBackend::Double`] serially at any
 //! requested thread count: the engine's answers are then independent of
 //! `threads` for every backend, which the proptests assert.
 //! [`SumBackend::SortedDouble`] is inherently materializing (it sorts the
 //! projected values) and is routed to the materializing pipeline by the
 //! query entry points, never reaching this executor.
 
-use crate::column::Table;
+use crate::column::{Column, Table};
 use crate::expr::{BoundExpr, CompiledExpr, EvalScratch, Expr};
 use crate::q1::PhaseTiming;
-use crate::sum_op::{GroupedSums, OverflowError, SumBackend, SCAN_MORSEL_ROWS};
+use crate::sum_op::{GroupedStates, OverflowError, SumBackend, SCAN_MORSEL_ROWS};
 use rayon::prelude::*;
+use rfa_agg::{AggHashTable, HashKind};
 use std::time::Instant;
 
 /// Rows per scan batch. 4096 rows keep one selection vector, one group-id
@@ -73,15 +99,75 @@ pub struct GroupSpec {
     pub encode: fn(u8, u8) -> u32,
 }
 
-/// A fused scan-aggregate query: conjunctive filter, one SUM per
-/// aggregate expression, optional dense grouping.
+/// Grouping mode of a fused scan.
+#[derive(Clone, Copy)]
+pub enum GroupKey {
+    /// No GROUP BY: one un-grouped accumulator (group id 0).
+    None,
+    /// Dense dictionary-encoded grouping over a `U8` column pair;
+    /// `groups` is the number of ids `spec.encode` can produce.
+    Dense { spec: GroupSpec, groups: usize },
+    /// Arbitrary-cardinality grouping on an `I32` or `U32` key column,
+    /// group ids assigned through a per-morsel [`AggHashTable`]. The key
+    /// value `u32::MAX` (`-1_i32`) is reserved as the table's empty-slot
+    /// sentinel; scanning it surfaces as [`FusedError::ReservedKey`].
+    Hash { col: &'static str, hash: HashKind },
+}
+
+/// Runtime errors of the fused executor (as opposed to the validation
+/// errors the plan layer raises before execution — these depend on the
+/// *data*, not the query shape).
+#[derive(Debug, Clone, PartialEq)]
+pub enum FusedError {
+    /// The Double backend detected overflow (MonetDB aborts the query).
+    Overflow(OverflowError),
+    /// A [`GroupKey::Hash`] scan encountered the reserved key value
+    /// `u32::MAX` (`-1` on an `I32` column) in the named column.
+    ReservedKey { col: &'static str },
+    /// A [`GroupKey::Dense`] `encode` fn produced an id outside
+    /// `0..groups` for a value pair actually present in the data.
+    GroupIdOutOfBounds { got: u32, groups: usize },
+}
+
+impl std::fmt::Display for FusedError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FusedError::Overflow(e) => write!(f, "{e}"),
+            FusedError::ReservedKey { col } => write!(
+                f,
+                "group key column {col:?} contains the reserved value u32::MAX (-1_i32)"
+            ),
+            FusedError::GroupIdOutOfBounds { got, groups } => {
+                write!(
+                    f,
+                    "dense group encoding produced id {got} >= groups {groups}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for FusedError {}
+
+impl From<OverflowError> for FusedError {
+    fn from(e: OverflowError) -> Self {
+        FusedError::Overflow(e)
+    }
+}
+
+/// A fused scan-aggregate query in physical form: conjunctive filter, the
+/// input expression of every SUM / MIN / MAX state array (COUNT is always
+/// maintained), and the grouping mode. The plan layer lowers a logical
+/// [`crate::plan::QueryPlan`] into this shape.
 pub struct FusedQuery {
     pub filter: Vec<Pred>,
-    pub aggregates: Vec<Expr>,
-    /// `None` — a single un-grouped accumulator (group id 0).
-    pub group_by: Option<GroupSpec>,
-    /// Number of dense group ids `encode` can produce (1 if un-grouped).
-    pub groups: usize,
+    /// One [`crate::GroupedSums`] state array per entry.
+    pub sums: Vec<Expr>,
+    /// One per-group minimum array per entry.
+    pub mins: Vec<Expr>,
+    /// One per-group maximum array per entry.
+    pub maxs: Vec<Expr>,
+    pub group_by: GroupKey,
 }
 
 /// Execution options of the fused pipeline.
@@ -121,17 +207,37 @@ impl ExecOptions {
             ..ExecOptions::default()
         }
     }
+
+    /// Returns a copy with every zero field clamped to 1. A zero thread,
+    /// batch or morsel budget means "the minimum", never a hang or a
+    /// divide-by-zero downstream — [`run_fused`] normalizes its options
+    /// through this before executing.
+    pub fn normalized(&self) -> Self {
+        ExecOptions {
+            threads: self.threads.max(1),
+            batch_rows: self.batch_rows.max(1),
+            morsel_rows: self.morsel_rows.max(1),
+        }
+    }
 }
 
-/// Result of a fused scan: per-aggregate per-group sums, group counts,
-/// and the CPU-time phase split (scan vs aggregation; summed across
-/// workers on the parallel path, like the paper's CPU-time accounting).
+/// Result of a fused scan: finalized per-state per-group values, group
+/// counts, the hash arm's group keys, and the CPU-time phase split (scan
+/// vs aggregation; summed across workers on the parallel path, like the
+/// paper's CPU-time accounting).
 #[derive(Debug)]
 pub struct FusedRun {
-    /// `sums[a][g]` — SUM of aggregate `a` over group `g`.
+    /// `sums[s][g]` — SUM of state array `s` over group `g`.
     pub sums: Vec<Vec<f64>>,
+    /// `mins[s][g]` — MIN (`+∞` for groups that matched no row).
+    pub mins: Vec<Vec<f64>>,
+    /// `maxs[s][g]` — MAX (`-∞` for groups that matched no row).
+    pub maxs: Vec<Vec<f64>>,
     /// `counts[g]` — COUNT(*) per group.
     pub counts: Vec<u64>,
+    /// [`GroupKey::Hash`] only: the key of each group slot, in first-seen
+    /// row order (schedule-independent; see module doc).
+    pub keys: Option<Vec<u32>>,
     pub timing: PhaseTiming,
 }
 
@@ -242,24 +348,40 @@ fn bind_pred<'t>(p: &Pred, table: &'t Table) -> BoundPred<'t> {
     }
 }
 
+/// Compiled form of a query's aggregate input expressions.
+struct CompiledAggs {
+    sums: Vec<CompiledExpr>,
+    mins: Vec<CompiledExpr>,
+    maxs: Vec<CompiledExpr>,
+}
+
 /// Executes a fused query over a table.
 ///
-/// Panics if the query references a column the table lacks (queries are
-/// engine-internal; the materializing [`Expr::eval`] keeps the fallible
-/// API). Returns [`OverflowError`] exactly when the materializing
-/// pipeline would.
+/// Panics if the query references a missing or mistyped column (queries
+/// reaching this executor are engine-internal; the plan layer validates
+/// user-built plans against the table first and surfaces `TableError`).
+/// Returns [`FusedError::Overflow`] exactly when the materializing
+/// pipeline would return [`OverflowError`], and the data-dependent
+/// [`FusedError::ReservedKey`] / [`FusedError::GroupIdOutOfBounds`] for
+/// inputs no up-front validation can rule out. Options are
+/// [`ExecOptions::normalized`] first, so zero fields mean "minimum"
+/// rather than a hang.
 pub fn run_fused(
     table: &Table,
     query: &FusedQuery,
     backend: SumBackend,
     opts: &ExecOptions,
-) -> Result<FusedRun, OverflowError> {
+) -> Result<FusedRun, FusedError> {
     assert!(
         backend != SumBackend::SortedDouble,
         "SortedDouble is inherently materializing; route it to the materializing pipeline"
     );
-    assert!(opts.batch_rows > 0 && opts.morsel_rows > 0);
-    let compiled: Vec<CompiledExpr> = query.aggregates.iter().map(|e| e.compile()).collect();
+    let opts = opts.normalized();
+    let compiled = CompiledAggs {
+        sums: query.sums.iter().map(Expr::compile).collect(),
+        mins: query.mins.iter().map(Expr::compile).collect(),
+        maxs: query.maxs.iter().map(Expr::compile).collect(),
+    };
     let rows = table.rows();
 
     // Plain doubles cannot merge exactly: parallel execution would change
@@ -271,7 +393,7 @@ pub fn run_fused(
     };
 
     let partial = if threads <= 1 || rows <= opts.morsel_rows {
-        scan_range(table, query, &compiled, backend, opts, 0, rows)?
+        scan_range(table, query, &compiled, backend, &opts, 0, rows)?
     } else {
         let morsels = rows.div_ceil(opts.morsel_rows);
         (0..morsels)
@@ -280,11 +402,11 @@ pub fn run_fused(
             .map(|m| {
                 let lo = m * opts.morsel_rows;
                 let hi = (lo + opts.morsel_rows).min(rows);
-                scan_range(table, query, &compiled, backend, opts, lo, hi).map(Some)
+                scan_range(table, query, &compiled, backend, &opts, lo, hi).map(Some)
             })
             .reduce(
                 || Ok(None),
-                |a: Result<Option<Partial>, OverflowError>, b| match (a?, b?) {
+                |a: Result<Option<Partial>, FusedError>, b| match (a?, b?) {
                     (Some(mut x), Some(y)) => {
                         x.merge(y)?;
                         Ok(Some(x))
@@ -296,34 +418,71 @@ pub fn run_fused(
     };
 
     let t0 = Instant::now();
-    let sums = partial
-        .sinks
-        .into_iter()
-        .map(GroupedSums::finalize)
-        .collect();
+    let out = partial.states.finalize();
     let mut timing = partial.timing;
     timing.other += t0.elapsed();
     Ok(FusedRun {
-        sums,
-        counts: partial.counts,
+        sums: out.sums,
+        mins: out.mins,
+        maxs: out.maxs,
+        counts: out.counts,
+        keys: partial.hash.map(|h| h.keys),
         timing,
     })
 }
 
+/// Sentinel state in the key→group-id hash table: "no group id assigned
+/// yet" (distinct from the table's own empty-*key* sentinel).
+const NO_GROUP: u32 = u32::MAX;
+
+/// The hash arm's group-id assignment state: an open-addressing table
+/// mapping key → dense local group id, plus the inverse slot→key list in
+/// first-seen row order.
+struct HashGroups {
+    table: AggHashTable<u32>,
+    keys: Vec<u32>,
+}
+
+impl HashGroups {
+    fn new(hash: HashKind) -> Self {
+        HashGroups {
+            table: AggHashTable::with_capacity(64, hash, &NO_GROUP),
+            keys: Vec::new(),
+        }
+    }
+}
+
 /// Per-morsel (or whole-input) accumulation state.
 struct Partial {
-    sinks: Vec<GroupedSums>,
-    counts: Vec<u64>,
+    states: GroupedStates,
+    /// `Some` for [`GroupKey::Hash`]: this range's key→group-id mapping.
+    hash: Option<HashGroups>,
     timing: PhaseTiming,
 }
 
 impl Partial {
-    fn merge(&mut self, other: Partial) -> Result<(), OverflowError> {
-        for (a, b) in self.sinks.iter_mut().zip(other.sinks) {
-            a.merge(b)?;
-        }
-        for (a, b) in self.counts.iter_mut().zip(other.counts) {
-            *a += b;
+    fn merge(&mut self, mut other: Partial) -> Result<(), FusedError> {
+        let Partial { states, hash, .. } = self;
+        match (hash.as_mut(), other.hash) {
+            // Dense / un-grouped: both sides index groups identically.
+            (None, None) => states.merge(other.states)?,
+            // Hash: fold the other side's slots in by *key*. `self` holds
+            // the earlier row range (the reduction merges morsels in index
+            // order), so appending unseen keys here reproduces the global
+            // first-seen order, and tie-breaking folds keep earlier rows.
+            (Some(h), Some(oh)) => {
+                for (src, &key) in oh.keys.iter().enumerate() {
+                    let slot = h.table.slot_mut(key, &NO_GROUP);
+                    if *slot == NO_GROUP {
+                        *slot = h.keys.len() as u32;
+                        h.keys.push(key);
+                    }
+                    let dst = *slot as usize;
+                    states.ensure_groups(h.keys.len());
+                    states.merge_group(dst, &mut other.states, src)?;
+                }
+            }
+            _ => unreachable!("hash and dense partials never mix"),
         }
         self.timing.scan += other.timing.scan;
         self.timing.aggregation += other.timing.aggregation;
@@ -332,47 +491,110 @@ impl Partial {
     }
 }
 
+/// A hash-grouping key column bound to its storage. `I32` keys are mapped
+/// to `u32` by bit pattern (a bijection), so negative keys group
+/// correctly — except `-1`, which collides with the reserved sentinel.
+enum KeyCol<'t> {
+    I32(&'t [i32]),
+    U32(&'t [u32]),
+}
+
+impl KeyCol<'_> {
+    #[inline(always)]
+    fn get(&self, row: usize) -> u32 {
+        match *self {
+            KeyCol::I32(col) => col[row] as u32,
+            KeyCol::U32(col) => col[row],
+        }
+    }
+}
+
+/// Per-batch grouping context of one scan range.
+enum GroupCtx<'t> {
+    Single,
+    Dense {
+        a: &'t [u8],
+        b: &'t [u8],
+        encode: fn(u8, u8) -> u32,
+        groups: usize,
+    },
+    Hash {
+        col: &'static str,
+        key_col: KeyCol<'t>,
+    },
+}
+
 /// Scans `[lo, hi)` batch-at-a-time into fresh per-call states. All
 /// scratch is batch-sized and reused across the range's batches.
 fn scan_range(
     table: &Table,
     query: &FusedQuery,
-    compiled: &[CompiledExpr],
+    compiled: &CompiledAggs,
     backend: SumBackend,
     opts: &ExecOptions,
     lo: usize,
     hi: usize,
-) -> Result<Partial, OverflowError> {
+) -> Result<Partial, FusedError> {
     let preds: Vec<BoundPred> = query.filter.iter().map(|p| bind_pred(p, table)).collect();
-    let bound: Vec<BoundExpr> = compiled
-        .iter()
-        .map(|c| {
-            c.bind(table)
-                .expect("fused query references a missing column")
-        })
-        .collect();
-    let group_cols = query.group_by.as_ref().map(|g| {
-        (
-            table
-                .column(g.a)
-                .expect("fused query references a missing column")
-                .as_u8(),
-            table
-                .column(g.b)
-                .expect("fused query references a missing column")
-                .as_u8(),
-            g.encode,
-        )
-    });
+    fn bind_expr<'t>(c: &'t CompiledExpr, table: &'t Table) -> BoundExpr<'t> {
+        c.bind(table)
+            .expect("fused query references a missing or mistyped column")
+    }
+    let bound_sums: Vec<BoundExpr> = compiled.sums.iter().map(|c| bind_expr(c, table)).collect();
+    let bound_mins: Vec<BoundExpr> = compiled.mins.iter().map(|c| bind_expr(c, table)).collect();
+    let bound_maxs: Vec<BoundExpr> = compiled.maxs.iter().map(|c| bind_expr(c, table)).collect();
 
-    let mut sinks: Vec<GroupedSums> = (0..query.aggregates.len())
-        .map(|_| GroupedSums::new(backend, query.groups))
-        .collect();
-    let mut counts = vec![0u64; query.groups];
+    let (ctx, init_groups, mut hash) = match &query.group_by {
+        GroupKey::None => (GroupCtx::Single, 1, None),
+        GroupKey::Dense { spec, groups } => (
+            GroupCtx::Dense {
+                a: table
+                    .column(spec.a)
+                    .expect("fused query references a missing column")
+                    .as_u8(),
+                b: table
+                    .column(spec.b)
+                    .expect("fused query references a missing column")
+                    .as_u8(),
+                encode: spec.encode,
+                groups: *groups,
+            },
+            *groups,
+            None,
+        ),
+        GroupKey::Hash { col, hash } => (
+            GroupCtx::Hash {
+                col,
+                key_col: match table
+                    .column(col)
+                    .expect("fused query references a missing column")
+                {
+                    Column::I32(v) => KeyCol::I32(v),
+                    Column::U32(v) => KeyCol::U32(v),
+                    other => panic!(
+                        "hash group key must be an I32 or U32 column, found {}",
+                        other.type_name()
+                    ),
+                },
+            },
+            0,
+            Some(HashGroups::new(*hash)),
+        ),
+    };
+
+    let mut states = GroupedStates::new(
+        backend,
+        init_groups,
+        bound_sums.len(),
+        bound_mins.len(),
+        bound_maxs.len(),
+    );
     let mut timing = PhaseTiming::default();
 
     let mut sel: Vec<u32> = Vec::with_capacity(opts.batch_rows);
     let mut gids: Vec<u32> = Vec::with_capacity(opts.batch_rows);
+    let mut key_buf: Vec<u32> = Vec::new();
+    let mut slot_buf: Vec<u32> = Vec::new();
     let mut out: Vec<f64> = vec![0.0; opts.batch_rows];
     let mut scratch = EvalScratch::new();
 
@@ -393,30 +615,92 @@ fn scan_range(
             }
         }
 
-        // Group ids + COUNT(*).
-        if let Some((a, b, encode)) = group_cols {
-            gids.clear();
-            for &row in &sel {
-                let g = encode(a[row as usize], b[row as usize]);
-                debug_assert!((g as usize) < query.groups);
-                gids.push(g);
-                counts[g as usize] += 1;
+        // Group-id assignment + COUNT(*).
+        match &ctx {
+            GroupCtx::Single => states.add_count_single(sel.len() as u64),
+            GroupCtx::Dense {
+                a,
+                b,
+                encode,
+                groups,
+            } => {
+                gids.clear();
+                for &row in &sel {
+                    let g = encode(a[row as usize], b[row as usize]);
+                    if g as usize >= *groups {
+                        return Err(FusedError::GroupIdOutOfBounds {
+                            got: g,
+                            groups: *groups,
+                        });
+                    }
+                    gids.push(g);
+                }
+                states.add_counts(&gids);
             }
-        } else {
-            counts[0] += sel.len() as u64;
+            GroupCtx::Hash { col, key_col } => {
+                key_buf.clear();
+                for &row in &sel {
+                    let k = key_col.get(row as usize);
+                    if k == u32::MAX {
+                        return Err(FusedError::ReservedKey { col });
+                    }
+                    key_buf.push(k);
+                }
+                gids.clear();
+                let h = hash.as_mut().expect("hash grouping has a HashGroups");
+                let keys = &mut h.keys;
+                h.table
+                    .upsert_batch(&key_buf, &NO_GROUP, &mut slot_buf, |gid, i| {
+                        if *gid == NO_GROUP {
+                            *gid = keys.len() as u32;
+                            keys.push(key_buf[i]);
+                        }
+                        gids.push(*gid);
+                    });
+                states.ensure_groups(keys.len());
+                states.add_counts(&gids);
+            }
         }
         timing.scan += t0.elapsed();
 
-        // Project + aggregate, one expression at a time.
-        for (expr, sink) in bound.iter().zip(sinks.iter_mut()) {
+        // Project + aggregate, one state array at a time.
+        let single = matches!(ctx, GroupCtx::Single);
+        let values = |scratch: &mut EvalScratch, out: &mut [f64], e: &BoundExpr| {
+            e.eval_into(&sel, scratch, out);
+        };
+        for (s, expr) in bound_sums.iter().enumerate() {
             let t1 = Instant::now();
-            expr.eval_into(&sel, &mut scratch, &mut out[..sel.len()]);
+            values(&mut scratch, &mut out[..sel.len()], expr);
             timing.scan += t1.elapsed();
             let t2 = Instant::now();
-            if group_cols.is_some() {
-                sink.update(&gids, &out[..sel.len()])?;
+            if single {
+                states.update_sum_single(s, &out[..sel.len()])?;
             } else {
-                sink.update_single(&out[..sel.len()])?;
+                states.update_sum(s, &gids, &out[..sel.len()])?;
+            }
+            timing.aggregation += t2.elapsed();
+        }
+        for (s, expr) in bound_mins.iter().enumerate() {
+            let t1 = Instant::now();
+            values(&mut scratch, &mut out[..sel.len()], expr);
+            timing.scan += t1.elapsed();
+            let t2 = Instant::now();
+            if single {
+                states.update_min_single(s, &out[..sel.len()]);
+            } else {
+                states.update_min(s, &gids, &out[..sel.len()]);
+            }
+            timing.aggregation += t2.elapsed();
+        }
+        for (s, expr) in bound_maxs.iter().enumerate() {
+            let t1 = Instant::now();
+            values(&mut scratch, &mut out[..sel.len()], expr);
+            timing.scan += t1.elapsed();
+            let t2 = Instant::now();
+            if single {
+                states.update_max_single(s, &out[..sel.len()]);
+            } else {
+                states.update_max(s, &gids, &out[..sel.len()]);
             }
             timing.aggregation += t2.elapsed();
         }
@@ -424,8 +708,8 @@ fn scan_range(
     }
 
     Ok(Partial {
-        sinks,
-        counts,
+        states,
+        hash,
         timing,
     })
 }
@@ -486,16 +770,20 @@ mod tests {
                     max: 11.0,
                 },
             ],
-            aggregates: vec![
+            sums: vec![
                 Expr::col("x").mul(Expr::lit(1.0).sub(Expr::col("y"))),
                 Expr::col("x"),
             ],
-            group_by: Some(GroupSpec {
-                a: "ga",
-                b: "gb",
-                encode: encode_low_bit,
-            }),
-            groups: 4,
+            mins: vec![],
+            maxs: vec![],
+            group_by: GroupKey::Dense {
+                spec: GroupSpec {
+                    a: "ga",
+                    b: "gb",
+                    encode: encode_low_bit,
+                },
+                groups: 4,
+            },
         }
     }
 
@@ -511,25 +799,29 @@ mod tests {
         let sel: Vec<u32> = (0..rows as u32)
             .filter(|&i| preds.iter().all(|p| p.test(i as usize)))
             .collect();
-        let gids: Vec<u32> = match &query.group_by {
-            Some(g) => {
-                let a = table.column(g.a).unwrap().as_u8();
-                let b = table.column(g.b).unwrap().as_u8();
-                sel.iter()
-                    .map(|&i| (g.encode)(a[i as usize], b[i as usize]))
-                    .collect()
+        let (gids, groups): (Vec<u32>, usize) = match &query.group_by {
+            GroupKey::Dense { spec, groups } => {
+                let a = table.column(spec.a).unwrap().as_u8();
+                let b = table.column(spec.b).unwrap().as_u8();
+                (
+                    sel.iter()
+                        .map(|&i| (spec.encode)(a[i as usize], b[i as usize]))
+                        .collect(),
+                    *groups,
+                )
             }
-            None => vec![0; sel.len()],
+            GroupKey::None => (vec![0; sel.len()], 1),
+            GroupKey::Hash { .. } => unreachable!("hash reference is separate"),
         };
         let sums = query
-            .aggregates
+            .sums
             .iter()
             .map(|e| {
                 let vals = e.eval(table, &sel).unwrap();
-                crate::sum_op::sum_grouped(backend, &gids, &vals, query.groups).unwrap()
+                crate::sum_op::sum_grouped(backend, &gids, &vals, groups).unwrap()
             })
             .collect();
-        (sums, crate::sum_op::count_grouped(&gids, query.groups))
+        (sums, crate::sum_op::count_grouped(&gids, groups))
     }
 
     #[test]
@@ -561,15 +853,159 @@ mod tests {
                 let run = run_fused(&table, &query, backend, &opts).unwrap();
                 assert_eq!(run.counts, ref_counts, "{backend:?} {opts:?}");
                 for (a, (rs, fs)) in ref_sums.iter().zip(run.sums.iter()).enumerate() {
-                    for g in 0..query.groups {
+                    for (g, (r, f)) in rs.iter().zip(fs.iter()).enumerate() {
                         assert_eq!(
-                            rs[g].to_bits(),
-                            fs[g].to_bits(),
+                            r.to_bits(),
+                            f.to_bits(),
                             "{backend:?} {opts:?} agg {a} group {g}"
                         );
                     }
                 }
             }
+        }
+    }
+
+    #[test]
+    fn hash_grouping_matches_dense_grouping_bitwise() {
+        // Group by the i32 column "k" (domain 0..31) through the hash arm
+        // and through an equivalent dense reference computed per key.
+        let table = sample_table(8_000);
+        let query = FusedQuery {
+            filter: vec![Pred::F64Lt { col: "x", max: 9.5 }],
+            sums: vec![Expr::col("x").mul(Expr::col("y"))],
+            mins: vec![Expr::col("x")],
+            maxs: vec![Expr::col("x")],
+            group_by: GroupKey::Hash {
+                col: "k",
+                hash: HashKind::Identity,
+            },
+        };
+        // Dense reference: key is its own dense id (domain 0..31).
+        let k = table.column("k").unwrap().as_i32().to_vec();
+        let x = table.column("x").unwrap().as_f64().to_vec();
+        let y = table.column("y").unwrap().as_f64().to_vec();
+        let sel: Vec<usize> = (0..table.rows()).filter(|&i| x[i] < 9.5).collect();
+        let gids: Vec<u32> = sel.iter().map(|&i| k[i] as u32).collect();
+        let vals: Vec<f64> = sel.iter().map(|&i| x[i] * y[i]).collect();
+        for backend in [
+            SumBackend::Double,
+            SumBackend::ReproUnbuffered,
+            SumBackend::RsumBuffered {
+                levels: 2,
+                buffer_size: 32,
+            },
+        ] {
+            let ref_sums = crate::sum_op::sum_grouped(backend, &gids, &vals, 31).unwrap();
+            let ref_counts = crate::sum_op::count_grouped(&gids, 31);
+            for threads in [1usize, 2, 8] {
+                let opts = ExecOptions {
+                    threads,
+                    batch_rows: 129,
+                    morsel_rows: 512,
+                };
+                let run = run_fused(&table, &query, backend, &opts).unwrap();
+                let keys = run.keys.as_ref().unwrap();
+                assert_eq!(keys.len(), 31, "{backend:?} t{threads}");
+                for (slot, &key) in keys.iter().enumerate() {
+                    assert_eq!(run.counts[slot], ref_counts[key as usize]);
+                    assert_eq!(
+                        run.sums[0][slot].to_bits(),
+                        ref_sums[key as usize].to_bits(),
+                        "{backend:?} t{threads} key {key}"
+                    );
+                    let min = sel
+                        .iter()
+                        .filter(|&&i| k[i] as u32 == key)
+                        .map(|&i| x[i])
+                        .fold(f64::INFINITY, f64::min);
+                    let max = sel
+                        .iter()
+                        .filter(|&&i| k[i] as u32 == key)
+                        .map(|&i| x[i])
+                        .fold(f64::NEG_INFINITY, f64::max);
+                    assert_eq!(run.mins[0][slot].to_bits(), min.to_bits());
+                    assert_eq!(run.maxs[0][slot].to_bits(), max.to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hash_group_key_order_is_thread_count_independent() {
+        let table = sample_table(6_000);
+        let query = FusedQuery {
+            filter: vec![],
+            sums: vec![Expr::col("x")],
+            mins: vec![],
+            maxs: vec![],
+            group_by: GroupKey::Hash {
+                col: "k",
+                hash: HashKind::Multiplicative,
+            },
+        };
+        let serial = run_fused(
+            &table,
+            &query,
+            SumBackend::ReproUnbuffered,
+            &ExecOptions::serial(),
+        )
+        .unwrap();
+        // Serial first-seen order over `k = i % 31` is simply 0, 1, 2, …
+        assert_eq!(
+            serial.keys.as_ref().unwrap()[..5],
+            [0, 1, 2, 3, 4],
+            "first-seen key order"
+        );
+        for threads in [2usize, 8] {
+            let opts = ExecOptions {
+                threads,
+                batch_rows: 97,
+                morsel_rows: 333,
+            };
+            let run = run_fused(&table, &query, SumBackend::ReproUnbuffered, &opts).unwrap();
+            assert_eq!(run.keys, serial.keys, "t{threads}");
+            assert_eq!(run.counts, serial.counts);
+            for (a, b) in serial.sums[0].iter().zip(run.sums[0].iter()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "t{threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn min_max_match_reference_per_dense_group() {
+        let table = sample_table(5_000);
+        let mut query = sample_query();
+        query.mins = vec![Expr::col("x")];
+        query.maxs = vec![Expr::col("x").mul(Expr::col("y"))];
+        let run = run_fused(
+            &table,
+            &query,
+            SumBackend::ReproUnbuffered,
+            &ExecOptions {
+                threads: 4,
+                batch_rows: 61,
+                morsel_rows: 200,
+            },
+        )
+        .unwrap();
+        // Scalar reference.
+        let preds: Vec<BoundPred> = query.filter.iter().map(|p| bind_pred(p, &table)).collect();
+        let a = table.column("ga").unwrap().as_u8();
+        let b = table.column("gb").unwrap().as_u8();
+        let x = table.column("x").unwrap().as_f64();
+        let y = table.column("y").unwrap().as_f64();
+        let mut mins = [f64::INFINITY; 4];
+        let mut maxs = [f64::NEG_INFINITY; 4];
+        for i in 0..table.rows() {
+            if preds.iter().all(|p| p.test(i)) {
+                let g = encode_low_bit(a[i], b[i]) as usize;
+                mins[g] = mins[g].min(x[i]);
+                maxs[g] = maxs[g].max(x[i] * y[i]);
+            }
+        }
+        for g in 0..4 {
+            assert_eq!(run.mins[0][g].to_bits(), mins[g].to_bits(), "group {g}");
+            assert_eq!(run.maxs[0][g].to_bits(), maxs[g].to_bits(), "group {g}");
         }
     }
 
@@ -582,9 +1018,10 @@ mod tests {
                 lo: 0.02,
                 hi: 0.09,
             }],
-            aggregates: vec![Expr::col("x").mul(Expr::col("y"))],
-            group_by: None,
-            groups: 1,
+            sums: vec![Expr::col("x").mul(Expr::col("y"))],
+            mins: vec![],
+            maxs: vec![],
+            group_by: GroupKey::None,
         };
         for backend in [
             SumBackend::Double,
@@ -620,9 +1057,10 @@ mod tests {
         let table = sample_table(100);
         let all = FusedQuery {
             filter: vec![],
-            aggregates: vec![Expr::col("x")],
-            group_by: None,
-            groups: 1,
+            sums: vec![Expr::col("x")],
+            mins: vec![],
+            maxs: vec![],
+            group_by: GroupKey::None,
         };
         let run = run_fused(
             &table,
@@ -632,6 +1070,28 @@ mod tests {
         )
         .unwrap();
         assert_eq!(run.counts[0], 100);
+
+        // Empty table through the hash arm: zero group slots.
+        let table = sample_table(0);
+        let hashed = FusedQuery {
+            filter: vec![],
+            sums: vec![Expr::col("x")],
+            mins: vec![],
+            maxs: vec![],
+            group_by: GroupKey::Hash {
+                col: "k",
+                hash: HashKind::Identity,
+            },
+        };
+        let run = run_fused(
+            &table,
+            &hashed,
+            SumBackend::ReproUnbuffered,
+            &ExecOptions::serial(),
+        )
+        .unwrap();
+        assert_eq!(run.keys, Some(vec![]));
+        assert!(run.counts.is_empty());
     }
 
     #[test]
@@ -641,13 +1101,179 @@ mod tests {
             .unwrap();
         let q = FusedQuery {
             filter: vec![],
-            aggregates: vec![Expr::col("x")],
-            group_by: None,
-            groups: 1,
+            sums: vec![Expr::col("x")],
+            mins: vec![],
+            maxs: vec![],
+            group_by: GroupKey::None,
         };
         assert_eq!(
             run_fused(&t, &q, SumBackend::Double, &ExecOptions::serial()).unwrap_err(),
-            OverflowError
+            FusedError::Overflow(OverflowError)
+        );
+    }
+
+    #[test]
+    fn reserved_hash_key_is_an_error_not_a_panic() {
+        let mut t = Table::new("t");
+        t.add_column("k", Column::i32(vec![1, 2, -1, 3])).unwrap();
+        t.add_column("x", Column::f64(vec![1.0, 2.0, 3.0, 4.0]))
+            .unwrap();
+        let q = FusedQuery {
+            filter: vec![],
+            sums: vec![Expr::col("x")],
+            mins: vec![],
+            maxs: vec![],
+            group_by: GroupKey::Hash {
+                col: "k",
+                hash: HashKind::Identity,
+            },
+        };
+        for opts in [
+            ExecOptions::serial(),
+            ExecOptions {
+                threads: 4,
+                batch_rows: 2,
+                morsel_rows: 2,
+            },
+        ] {
+            assert_eq!(
+                run_fused(&t, &q, SumBackend::ReproUnbuffered, &opts).unwrap_err(),
+                FusedError::ReservedKey { col: "k" }
+            );
+        }
+    }
+
+    #[test]
+    fn out_of_bounds_dense_group_id_is_an_error_not_a_panic() {
+        let table = sample_table(100);
+        fn bad_encode(_a: u8, _b: u8) -> u32 {
+            100
+        }
+        let q = FusedQuery {
+            filter: vec![],
+            sums: vec![Expr::col("x")],
+            mins: vec![],
+            maxs: vec![],
+            group_by: GroupKey::Dense {
+                spec: GroupSpec {
+                    a: "ga",
+                    b: "gb",
+                    encode: bad_encode,
+                },
+                groups: 4,
+            },
+        };
+        assert_eq!(
+            run_fused(
+                &table,
+                &q,
+                SumBackend::ReproUnbuffered,
+                &ExecOptions::serial()
+            )
+            .unwrap_err(),
+            FusedError::GroupIdOutOfBounds {
+                got: 100,
+                groups: 4
+            }
+        );
+    }
+
+    /// Satellite: a zero in any `ExecOptions` field is clamped to 1, not a
+    /// hang or panic downstream — one test per field.
+    #[test]
+    fn zero_batch_rows_is_clamped() {
+        let table = sample_table(500);
+        let query = sample_query();
+        let reference = run_fused(
+            &table,
+            &query,
+            SumBackend::ReproUnbuffered,
+            &ExecOptions::serial(),
+        )
+        .unwrap();
+        let run = run_fused(
+            &table,
+            &query,
+            SumBackend::ReproUnbuffered,
+            &ExecOptions {
+                batch_rows: 0,
+                ..ExecOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(run.counts, reference.counts);
+        assert_eq!(run.sums[0][0].to_bits(), reference.sums[0][0].to_bits());
+    }
+
+    #[test]
+    fn zero_morsel_rows_is_clamped() {
+        let table = sample_table(500);
+        let query = sample_query();
+        let reference = run_fused(
+            &table,
+            &query,
+            SumBackend::ReproUnbuffered,
+            &ExecOptions::serial(),
+        )
+        .unwrap();
+        let run = run_fused(
+            &table,
+            &query,
+            SumBackend::ReproUnbuffered,
+            &ExecOptions {
+                threads: 4,
+                morsel_rows: 0,
+                ..ExecOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(run.counts, reference.counts);
+        assert_eq!(run.sums[0][0].to_bits(), reference.sums[0][0].to_bits());
+    }
+
+    #[test]
+    fn zero_threads_is_clamped() {
+        let table = sample_table(500);
+        let query = sample_query();
+        let reference = run_fused(
+            &table,
+            &query,
+            SumBackend::ReproUnbuffered,
+            &ExecOptions::serial(),
+        )
+        .unwrap();
+        let run = run_fused(
+            &table,
+            &query,
+            SumBackend::ReproUnbuffered,
+            &ExecOptions {
+                threads: 0,
+                ..ExecOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(run.counts, reference.counts);
+        assert_eq!(run.sums[0][0].to_bits(), reference.sums[0][0].to_bits());
+    }
+
+    #[test]
+    fn normalized_clamps_only_zero_fields() {
+        let opts = ExecOptions {
+            threads: 0,
+            batch_rows: 0,
+            morsel_rows: 0,
+        }
+        .normalized();
+        assert_eq!((opts.threads, opts.batch_rows, opts.morsel_rows), (1, 1, 1));
+        let opts = ExecOptions {
+            threads: 3,
+            batch_rows: 7,
+            morsel_rows: 11,
+        }
+        .normalized();
+        assert_eq!(
+            (opts.threads, opts.batch_rows, opts.morsel_rows),
+            (3, 7, 11)
         );
     }
 }

@@ -12,15 +12,21 @@
 //! * [`sum_op`] — the grouped SUM operator with pluggable backends: plain
 //!   overflow-checked doubles (MonetDB behaviour), `repro<double, 4>`
 //!   with/without summation buffers, and the sorted-input baseline — all
-//!   reified as the incremental, mergeable [`GroupedSums`] state;
+//!   reified as the incremental, mergeable [`GroupedSums`] state, composed
+//!   with exact COUNT and MIN/MAX arrays in [`GroupedStates`];
 //! * [`fused`] — the fused zero-copy scan pipeline:
 //!   filter → project → aggregate in cache-resident batches with no
-//!   n-sized intermediates, serial or morsel-parallel;
-//! * [`q1`], [`q6`] — TPC-H Query 1 and 6 over the fused pipeline (with the
-//!   materializing reference pipeline kept for differential testing and the
-//!   sorted-double baseline), reporting the CPU-time split
-//!   (scan / aggregation / other) that Table IV builds on. Parallel
-//!   execution is bit-identical to serial for every backend.
+//!   n-sized intermediates, serial or morsel-parallel, grouping on
+//!   nothing, dense dictionary pairs, or arbitrary-cardinality hash keys
+//!   ([`GroupKey`]);
+//! * [`plan`] — the logical query-plan layer: [`QueryPlan`]s over
+//!   SUM / COUNT / AVG / MIN / MAX ([`AggCall`]) validated against a
+//!   table (`TableError`, no panics) and lowered onto the fused executor;
+//! * [`q1`], [`q6`], [`q15`] — TPC-H Query 1, 6 and the Q15 revenue view
+//!   expressed as plans (with the materializing reference pipeline kept
+//!   for differential testing and the sorted-double baseline), reporting
+//!   the CPU-time split (scan / aggregation / other) that Table IV builds
+//!   on. Parallel execution is bit-identical to serial for every backend.
 //!
 //! ```
 //! use rfa_engine::{run_q1, SumBackend};
@@ -31,23 +37,50 @@
 //! assert_eq!(rows.len(), 4); // A/F, N/F, N/O, R/F
 //! assert!(timing.total().as_nanos() > 0);
 //! ```
+//!
+//! Ad-hoc queries go through the plan builder:
+//!
+//! ```
+//! use rfa_engine::plan::QueryPlan;
+//! use rfa_engine::{lineitem_table, ExecOptions, Expr, SumBackend};
+//! use rfa_workloads::Lineitem;
+//!
+//! let table = lineitem_table(&Lineitem::generate(10_000, 42));
+//! let result = QueryPlan::scan("lineitem")
+//!     .group_by_key("l_suppkey") // 10 000 suppliers: the hash arm
+//!     .sum(Expr::col("l_quantity"))
+//!     .avg(Expr::col("l_discount"))
+//!     .count()
+//!     .execute(&table, SumBackend::ReproUnbuffered, &ExecOptions::parallel())
+//!     .unwrap();
+//! assert_eq!(result.keys.len(), result.columns[2].u64s().len());
+//! ```
 
 pub mod column;
 pub mod expr;
 pub mod fused;
+pub mod plan;
 pub mod q1;
+pub mod q15;
 pub mod q6;
 pub mod sum_op;
 
 pub use column::{Column, Table, TableError};
 pub use expr::{BoundExpr, CompiledExpr, EvalScratch, Expr};
-pub use fused::{run_fused, ExecOptions, FusedQuery, FusedRun, GroupSpec, Pred, FUSED_BATCH_ROWS};
+pub use fused::{
+    run_fused, ExecOptions, FusedError, FusedQuery, FusedRun, GroupKey, GroupSpec, Pred,
+    FUSED_BATCH_ROWS,
+};
+pub use plan::{AggCall, AggColumn, PlanError, PlanResult, QueryPlan};
 pub use q1::{
-    lineitem_table, run_q1, run_q1_materializing, run_q1_materializing_par, run_q1_par,
+    lineitem_table, q1_plan, run_q1, run_q1_materializing, run_q1_materializing_par, run_q1_par,
     run_q1_with, PhaseTiming, Q1Row,
 };
-pub use q6::{run_q6, run_q6_materializing, run_q6_materializing_par, run_q6_par, run_q6_with};
+pub use q15::{q15_plan, run_q15, run_q15_par, run_q15_with, RevenueRow};
+pub use q6::{
+    q6_plan, run_q6, run_q6_materializing, run_q6_materializing_par, run_q6_par, run_q6_with,
+};
 pub use sum_op::{
-    count_grouped, sum_grouped, sum_grouped_par, GroupedSums, OverflowError, SumBackend,
-    SCAN_MORSEL_ROWS,
+    count_grouped, sum_grouped, sum_grouped_par, GroupedOutput, GroupedStates, GroupedSums,
+    OverflowError, SumBackend, SCAN_MORSEL_ROWS,
 };

@@ -1,0 +1,905 @@
+//! The logical query-plan layer: declarative scan-filter-group-aggregate
+//! plans lowered onto the fused batch executor ([`crate::fused`]).
+//!
+//! The paper's thesis is that reproducible SUM is a *drop-in operator*
+//! inside a real query engine (§VI-E) — which means queries should be
+//! expressible as plans over arbitrary aggregates and group keys, not as
+//! hand-written `run_qN` functions. A [`QueryPlan`] names the source
+//! table, a conjunctive filter, a [`GroupKey`] and a list of
+//! [`AggCall`]s; [`QueryPlan::execute`] validates it against a concrete
+//! [`Table`] (missing or mistyped columns surface as [`TableError`]s, not
+//! panics), lowers it to a physical [`FusedQuery`], runs the fused
+//! zero-copy scan, and finalizes the per-group states into a
+//! [`PlanResult`].
+//!
+//! ```
+//! use rfa_engine::plan::{AggCall, QueryPlan};
+//! use rfa_engine::{Column, ExecOptions, Expr, Pred, SumBackend, Table};
+//!
+//! let mut t = Table::new("sensors");
+//! t.add_column("station", Column::i32(vec![3, 1, 3, 7])).unwrap();
+//! t.add_column("temp", Column::f64(vec![21.5, 19.0, 22.5, 18.0])).unwrap();
+//!
+//! let plan = QueryPlan::scan("sensors")
+//!     .filter(Pred::F64Lt { col: "temp", max: 22.0 })
+//!     .group_by_key("station")
+//!     .agg(AggCall::Count)
+//!     .agg(AggCall::Avg(Expr::col("temp")));
+//! let result = plan
+//!     .execute(&t, SumBackend::ReproUnbuffered, &ExecOptions::serial())
+//!     .unwrap();
+//! assert_eq!(result.keys, vec![1, 3, 7]); // hash groups, sorted by key
+//! assert_eq!(result.columns[0].u64s(), &[1, 1, 1]);
+//! ```
+//!
+//! **Aggregate kinds and reproducibility.** SUM runs on any of the six
+//! [`SumBackend`]s with unchanged bit-identity guarantees. COUNT is exact
+//! integer arithmetic. AVG is *finalized* from a reproducible SUM state
+//! and the group's COUNT — one IEEE division of two bit-reproducible
+//! inputs, hence itself bit-reproducible (the same argument as the
+//! paper's footnote 2 for derived aggregates). MIN/MAX are comparison
+//! folds whose merges keep the earlier row range on ties, making them
+//! bit-identical at any thread count. `AVG(e)` shares the per-group SUM
+//! state of a `SUM(e)` over the structurally identical expression, so
+//! requesting both costs one state array, exactly like the hand-written
+//! Q1 operator did.
+//!
+//! **Output order** is deterministic: dense groups ascend by group id,
+//! hash groups ascend by key value, and groups that matched no row are
+//! dropped (SQL GROUP BY semantics). An un-grouped plan always yields
+//! exactly one row, even when no row matched (SQL aggregate semantics;
+//! the engine has no NULL, so over zero rows SUM yields `0.0`, COUNT
+//! `0`, AVG `NaN` (`0.0 / 0`), MIN `+∞` and MAX `-∞` — the closest f64
+//! stand-ins for SQL's NULL).
+
+use crate::column::{Column, Table, TableError};
+use crate::expr::Expr;
+use crate::fused::{run_fused, ExecOptions, FusedError, FusedQuery, GroupKey, GroupSpec, Pred};
+use crate::q1::PhaseTiming;
+use crate::sum_op::{OverflowError, SumBackend};
+use rfa_agg::HashKind;
+use std::fmt;
+use std::time::Instant;
+
+/// One aggregate output column of a [`QueryPlan`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum AggCall {
+    /// `SUM(expr)` through the configured [`SumBackend`].
+    Sum(Expr),
+    /// `COUNT(*)` — exact integer count of the group's rows.
+    Count,
+    /// `AVG(expr)` — finalized as reproducible SUM ÷ COUNT. Over the
+    /// zero-row group of an un-grouped plan this yields `NaN` (`0.0/0`),
+    /// the engine's stand-in for SQL's NULL; grouped plans never expose
+    /// the case because empty groups are dropped.
+    Avg(Expr),
+    /// `MIN(expr)`.
+    Min(Expr),
+    /// `MAX(expr)`.
+    Max(Expr),
+}
+
+/// A logical scan-filter-group-aggregate plan, built with the fluent
+/// constructors and executed with [`QueryPlan::execute`].
+#[derive(Clone)]
+pub struct QueryPlan {
+    /// Source table name, checked against [`Table::name`] at execution.
+    pub table: String,
+    /// Conjunctive filter (all predicates must hold).
+    pub filter: Vec<Pred>,
+    pub group_by: GroupKey,
+    /// Aggregate outputs, in result-column order.
+    pub aggs: Vec<AggCall>,
+}
+
+/// Errors surfaced by plan validation and execution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlanError {
+    /// The plan references a column the table lacks, at the wrong type,
+    /// or targets a different table.
+    Table(TableError),
+    /// The plan was executed against a table with a different name.
+    WrongTable { expected: String, found: String },
+    /// Aggregation overflow (Double backend, MonetDB semantics).
+    Overflow(OverflowError),
+    /// The hash group-key column contains the reserved value `u32::MAX`
+    /// (`-1` on an `I32` column) — a data-dependent error the scan
+    /// reports, since no up-front validation can rule it out.
+    ReservedKey { col: &'static str },
+    /// A dense `encode` fn produced a group id outside `0..groups` for a
+    /// value pair present in the data (also data-dependent: `encode` is
+    /// only ever called on pairs that actually occur).
+    GroupIdOutOfBounds { got: u32, groups: usize },
+    /// The plan cannot run on the fused executor as configured (e.g. the
+    /// SortedDouble backend, which requires materializing, or a plan with
+    /// no aggregates).
+    Unsupported(&'static str),
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanError::Table(e) => write!(f, "plan validation failed: {e}"),
+            PlanError::WrongTable { expected, found } => {
+                write!(
+                    f,
+                    "plan targets table {expected:?}, executed against {found:?}"
+                )
+            }
+            PlanError::Overflow(e) => write!(f, "{e}"),
+            PlanError::ReservedKey { col } => write!(
+                f,
+                "group key column {col:?} contains the reserved value u32::MAX (-1_i32)"
+            ),
+            PlanError::GroupIdOutOfBounds { got, groups } => {
+                write!(
+                    f,
+                    "dense group encoding produced id {got} >= groups {groups}"
+                )
+            }
+            PlanError::Unsupported(what) => write!(f, "unsupported plan: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+impl From<TableError> for PlanError {
+    fn from(e: TableError) -> Self {
+        PlanError::Table(e)
+    }
+}
+
+impl From<OverflowError> for PlanError {
+    fn from(e: OverflowError) -> Self {
+        PlanError::Overflow(e)
+    }
+}
+
+impl From<FusedError> for PlanError {
+    fn from(e: FusedError) -> Self {
+        match e {
+            FusedError::Overflow(o) => PlanError::Overflow(o),
+            FusedError::ReservedKey { col } => PlanError::ReservedKey { col },
+            FusedError::GroupIdOutOfBounds { got, groups } => {
+                PlanError::GroupIdOutOfBounds { got, groups }
+            }
+        }
+    }
+}
+
+/// One finalized aggregate output column of a [`PlanResult`]: `f64` for
+/// SUM/AVG/MIN/MAX, exact `u64` for COUNT.
+#[derive(Clone, Debug, PartialEq)]
+pub enum AggColumn {
+    F64(Vec<f64>),
+    U64(Vec<u64>),
+}
+
+impl AggColumn {
+    /// The values of a SUM/AVG/MIN/MAX column.
+    ///
+    /// # Panics
+    /// If this is a COUNT column.
+    pub fn f64s(&self) -> &[f64] {
+        match self {
+            AggColumn::F64(v) => v,
+            AggColumn::U64(_) => panic!("expected an f64 aggregate column, found COUNT"),
+        }
+    }
+
+    /// The values of a COUNT column.
+    ///
+    /// # Panics
+    /// If this is not a COUNT column.
+    pub fn u64s(&self) -> &[u64] {
+        match self {
+            AggColumn::U64(v) => v,
+            AggColumn::F64(_) => panic!("expected a COUNT column, found an f64 aggregate"),
+        }
+    }
+
+    /// Number of group rows.
+    pub fn len(&self) -> usize {
+        match self {
+            AggColumn::F64(v) => v.len(),
+            AggColumn::U64(v) => v.len(),
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Result of executing a [`QueryPlan`]: one row per (non-empty) group in
+/// deterministic order, with one [`AggColumn`] per [`AggCall`].
+#[derive(Clone, Debug)]
+pub struct PlanResult {
+    /// The group key of each output row: the dense group id for
+    /// [`GroupKey::Dense`], the (sign-restored) key value for
+    /// [`GroupKey::Hash`], and `0` for the single row of an un-grouped
+    /// plan. Rows ascend by this value.
+    pub keys: Vec<i64>,
+    /// `columns[a]` parallels `plan.aggs[a]`; each holds one value per
+    /// entry of [`PlanResult::keys`].
+    pub columns: Vec<AggColumn>,
+    pub timing: PhaseTiming,
+}
+
+impl QueryPlan {
+    /// Starts a plan scanning `table` (no filter, un-grouped, no
+    /// aggregates yet).
+    pub fn scan(table: impl Into<String>) -> Self {
+        QueryPlan {
+            table: table.into(),
+            filter: Vec::new(),
+            group_by: GroupKey::None,
+            aggs: Vec::new(),
+        }
+    }
+
+    /// Adds a filter conjunct.
+    pub fn filter(mut self, pred: Pred) -> Self {
+        self.filter.push(pred);
+        self
+    }
+
+    /// Sets the grouping mode directly.
+    pub fn group_by(mut self, key: GroupKey) -> Self {
+        self.group_by = key;
+        self
+    }
+
+    /// Groups by a dictionary-encoded `U8` column pair mapped to dense
+    /// ids in `0..groups` by `encode` (the Q1 shape).
+    pub fn group_by_dense(
+        self,
+        a: &'static str,
+        b: &'static str,
+        encode: fn(u8, u8) -> u32,
+        groups: usize,
+    ) -> Self {
+        self.group_by(GroupKey::Dense {
+            spec: GroupSpec { a, b, encode },
+            groups,
+        })
+    }
+
+    /// Groups by an arbitrary-cardinality `I32`/`U32` key column through
+    /// the hash arm, with the paper's identity hashing (the right default
+    /// for domain-encoded dense-ish keys; see [`HashKind`]).
+    pub fn group_by_key(self, col: &'static str) -> Self {
+        self.group_by(GroupKey::Hash {
+            col,
+            hash: HashKind::Identity,
+        })
+    }
+
+    /// [`QueryPlan::group_by_key`] with an explicit hash function (use
+    /// [`HashKind::Multiplicative`] for adversarially clustered keys).
+    pub fn group_by_key_with(self, col: &'static str, hash: HashKind) -> Self {
+        self.group_by(GroupKey::Hash { col, hash })
+    }
+
+    /// Appends an aggregate output column.
+    pub fn agg(mut self, call: AggCall) -> Self {
+        self.aggs.push(call);
+        self
+    }
+
+    /// Shorthand for `.agg(AggCall::Sum(e))`.
+    pub fn sum(self, e: Expr) -> Self {
+        self.agg(AggCall::Sum(e))
+    }
+
+    /// Shorthand for `.agg(AggCall::Count)`.
+    pub fn count(self) -> Self {
+        self.agg(AggCall::Count)
+    }
+
+    /// Shorthand for `.agg(AggCall::Avg(e))`.
+    pub fn avg(self, e: Expr) -> Self {
+        self.agg(AggCall::Avg(e))
+    }
+
+    /// Shorthand for `.agg(AggCall::Min(e))`.
+    pub fn min(self, e: Expr) -> Self {
+        self.agg(AggCall::Min(e))
+    }
+
+    /// Shorthand for `.agg(AggCall::Max(e))`.
+    pub fn max(self, e: Expr) -> Self {
+        self.agg(AggCall::Max(e))
+    }
+
+    /// Validates the plan against `table` and executes it on the fused
+    /// zero-copy scan pipeline.
+    ///
+    /// Errors — never panics — when the plan targets a different table,
+    /// references a missing or mistyped column, has no aggregates, or
+    /// requests [`SumBackend::SortedDouble`] (whose sort requires the
+    /// materializing pipeline; the TPC-H wrappers route it there).
+    /// Data-dependent conditions no validation can rule out also surface
+    /// as errors from the scan itself: a hash key column containing the
+    /// reserved `u32::MAX`/`-1_i32` value ([`PlanError::ReservedKey`]),
+    /// a dense `encode` fn yielding an id `>= groups` for a pair present
+    /// in the data ([`PlanError::GroupIdOutOfBounds`]), and Double
+    /// overflow ([`PlanError::Overflow`]).
+    pub fn execute(
+        &self,
+        table: &Table,
+        backend: SumBackend,
+        opts: &ExecOptions,
+    ) -> Result<PlanResult, PlanError> {
+        let lowered = self.lower(table)?;
+        if backend == SumBackend::SortedDouble {
+            return Err(PlanError::Unsupported(
+                "SortedDouble requires the materializing pipeline",
+            ));
+        }
+        let run = run_fused(table, &lowered.query, backend, opts)?;
+        let t0 = Instant::now();
+
+        // Output group rows, in deterministic order.
+        let key_of = |slot: usize| -> i64 {
+            match (&run.keys, lowered.key_signed) {
+                (Some(keys), true) => (keys[slot] as i32) as i64,
+                (Some(keys), false) => keys[slot] as i64,
+                (None, _) => slot as i64,
+            }
+        };
+        let mut rows: Vec<(i64, usize)> = match &self.group_by {
+            GroupKey::None => vec![(0, 0)],
+            GroupKey::Dense { .. } => (0..run.counts.len())
+                .filter(|&g| run.counts[g] > 0)
+                .map(|g| (g as i64, g))
+                .collect(),
+            GroupKey::Hash { .. } => {
+                let mut rows: Vec<(i64, usize)> =
+                    (0..run.counts.len()).map(|g| (key_of(g), g)).collect();
+                rows.sort_unstable();
+                rows
+            }
+        };
+        // (Hash groups only exist once seen, dense empties were dropped;
+        // the single un-grouped row is kept even at count 0.)
+        debug_assert!(rows.windows(2).all(|w| w[0].0 < w[1].0));
+
+        let columns = self
+            .aggs
+            .iter()
+            .zip(&lowered.outputs)
+            .map(|(_, out)| match *out {
+                Output::Sum(slot) => {
+                    AggColumn::F64(rows.iter().map(|&(_, g)| run.sums[slot][g]).collect())
+                }
+                Output::Count => AggColumn::U64(rows.iter().map(|&(_, g)| run.counts[g]).collect()),
+                Output::Avg(slot) => AggColumn::F64(
+                    rows.iter()
+                        .map(|&(_, g)| run.sums[slot][g] / run.counts[g] as f64)
+                        .collect(),
+                ),
+                Output::Min(slot) => {
+                    AggColumn::F64(rows.iter().map(|&(_, g)| run.mins[slot][g]).collect())
+                }
+                Output::Max(slot) => {
+                    AggColumn::F64(rows.iter().map(|&(_, g)| run.maxs[slot][g]).collect())
+                }
+            })
+            .collect();
+        let keys = rows.drain(..).map(|(k, _)| k).collect();
+        let mut timing = run.timing;
+        timing.other += t0.elapsed();
+        Ok(PlanResult {
+            keys,
+            columns,
+            timing,
+        })
+    }
+
+    /// Validates every column reference and lowers the logical plan to
+    /// the physical [`FusedQuery`], sharing one SUM state between SUM and
+    /// AVG calls over structurally identical expressions.
+    fn lower(&self, table: &Table) -> Result<Lowered, PlanError> {
+        if self.table != table.name {
+            return Err(PlanError::WrongTable {
+                expected: self.table.clone(),
+                found: table.name.clone(),
+            });
+        }
+        if self.aggs.is_empty() {
+            return Err(PlanError::Unsupported("plan has no aggregates"));
+        }
+
+        // Filter predicates: existence + storage type.
+        for pred in &self.filter {
+            match *pred {
+                Pred::I32Range { col, .. } | Pred::I32Le { col, .. } => {
+                    table.i32s(col)?;
+                }
+                Pred::F64Range { col, .. } | Pred::F64Lt { col, .. } => {
+                    table.f64s(col)?;
+                }
+            }
+        }
+
+        // Group key columns.
+        let mut key_signed = false;
+        match &self.group_by {
+            GroupKey::None => {}
+            GroupKey::Dense { spec, .. } => {
+                table.u8s(spec.a)?;
+                table.u8s(spec.b)?;
+            }
+            GroupKey::Hash { col, .. } => match table.column(col)? {
+                Column::I32(_) => key_signed = true,
+                Column::U32(_) => {}
+                other => {
+                    return Err(PlanError::Table(TableError::TypeMismatch {
+                        column: col.to_string(),
+                        expected: "I32 or U32",
+                        found: other.type_name(),
+                    }))
+                }
+            },
+        }
+
+        // Aggregate expressions: validate via compile-and-bind (checks
+        // every referenced column exists as F64), dedup SUM inputs.
+        let mut query = FusedQuery {
+            filter: self.filter.clone(),
+            sums: Vec::new(),
+            mins: Vec::new(),
+            maxs: Vec::new(),
+            group_by: self.group_by,
+        };
+        let mut outputs = Vec::with_capacity(self.aggs.len());
+        for call in &self.aggs {
+            if let AggCall::Sum(e) | AggCall::Avg(e) | AggCall::Min(e) | AggCall::Max(e) = call {
+                e.compile().bind(table)?;
+            }
+            outputs.push(match call {
+                AggCall::Sum(e) => Output::Sum(intern(&mut query.sums, e)),
+                AggCall::Avg(e) => Output::Avg(intern(&mut query.sums, e)),
+                AggCall::Count => Output::Count,
+                AggCall::Min(e) => Output::Min(intern(&mut query.mins, e)),
+                AggCall::Max(e) => Output::Max(intern(&mut query.maxs, e)),
+            });
+        }
+        Ok(Lowered {
+            query,
+            outputs,
+            key_signed,
+        })
+    }
+}
+
+/// Finds or appends `e` in the state-input list, returning its slot.
+fn intern(exprs: &mut Vec<Expr>, e: &Expr) -> usize {
+    if let Some(i) = exprs.iter().position(|x| x == e) {
+        i
+    } else {
+        exprs.push(e.clone());
+        exprs.len() - 1
+    }
+}
+
+/// A validated plan lowered to physical form.
+struct Lowered {
+    query: FusedQuery,
+    /// Per [`AggCall`]: which state array (by kind and slot) finalizes it.
+    outputs: Vec<Output>,
+    /// Hash keys came from an `I32` column (restore the sign on output).
+    key_signed: bool,
+}
+
+enum Output {
+    Sum(usize),
+    Count,
+    Avg(usize),
+    Min(usize),
+    Max(usize),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sensor_table() -> Table {
+        let mut t = Table::new("sensors");
+        t.add_column("station", Column::i32(vec![3, 1, 3, 7, 1, 3]))
+            .unwrap();
+        t.add_column(
+            "temp",
+            Column::f64(vec![21.5, 19.0, 22.5, 18.0, 20.0, 25.0]),
+        )
+        .unwrap();
+        t.add_column(
+            "humidity",
+            Column::f64(vec![0.50, 0.40, 0.55, 0.35, 0.45, 0.60]),
+        )
+        .unwrap();
+        t.add_column("flag", Column::u8(vec![0, 1, 0, 1, 0, 1]))
+            .unwrap();
+        t
+    }
+
+    #[test]
+    fn hash_grouped_plan_with_all_aggregate_kinds() {
+        let t = sensor_table();
+        let plan = QueryPlan::scan("sensors")
+            .group_by_key("station")
+            .sum(Expr::col("temp"))
+            .count()
+            .avg(Expr::col("temp"))
+            .min(Expr::col("temp"))
+            .max(Expr::col("temp"));
+        let r = plan
+            .execute(&t, SumBackend::ReproUnbuffered, &ExecOptions::serial())
+            .unwrap();
+        assert_eq!(r.keys, vec![1, 3, 7]);
+        assert_eq!(r.columns[0].f64s(), &[39.0, 69.0, 18.0]);
+        assert_eq!(r.columns[1].u64s(), &[2, 3, 1]);
+        assert_eq!(r.columns[2].f64s(), &[19.5, 23.0, 18.0]);
+        assert_eq!(r.columns[3].f64s(), &[19.0, 21.5, 18.0]);
+        assert_eq!(r.columns[4].f64s(), &[20.0, 25.0, 18.0]);
+    }
+
+    #[test]
+    fn avg_shares_the_sum_state_and_divides_its_bits() {
+        let t = sensor_table();
+        let e = || Expr::col("temp").mul(Expr::col("humidity"));
+        let plan = QueryPlan::scan("sensors")
+            .group_by_key("station")
+            .sum(e())
+            .avg(e())
+            .count();
+        let lowered = plan.lower(&t).unwrap();
+        assert_eq!(lowered.query.sums.len(), 1, "SUM and AVG share one state");
+        let r = plan
+            .execute(
+                &t,
+                SumBackend::ReproBuffered { buffer_size: 32 },
+                &ExecOptions::serial(),
+            )
+            .unwrap();
+        for g in 0..r.keys.len() {
+            let sum = r.columns[0].f64s()[g];
+            let count = r.columns[2].u64s()[g];
+            assert_eq!(
+                r.columns[1].f64s()[g].to_bits(),
+                (sum / count as f64).to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn ungrouped_plan_yields_one_row_even_when_empty() {
+        let t = sensor_table();
+        let plan = QueryPlan::scan("sensors")
+            .filter(Pred::F64Lt {
+                col: "temp",
+                max: -100.0,
+            })
+            .sum(Expr::col("temp"))
+            .count();
+        let r = plan
+            .execute(&t, SumBackend::Double, &ExecOptions::serial())
+            .unwrap();
+        assert_eq!(r.keys, vec![0]);
+        assert_eq!(r.columns[0].f64s(), &[0.0]);
+        assert_eq!(r.columns[1].u64s(), &[0]);
+    }
+
+    #[test]
+    fn dense_grouping_drops_empty_groups_and_orders_by_id() {
+        let t = sensor_table();
+        fn encode(a: u8, _b: u8) -> u32 {
+            // Ids 0 and 2 of a 4-id domain; 1 and 3 never occur.
+            (a as u32) * 2
+        }
+        let plan = QueryPlan::scan("sensors")
+            .group_by_dense("flag", "flag", encode, 4)
+            .count()
+            .max(Expr::col("temp"));
+        let r = plan
+            .execute(&t, SumBackend::ReproUnbuffered, &ExecOptions::serial())
+            .unwrap();
+        assert_eq!(r.keys, vec![0, 2]);
+        assert_eq!(r.columns[0].u64s(), &[3, 3]);
+        // flag 0 rows: 21.5, 22.5, 20.0; flag 1 rows: 19.0, 18.0, 25.0.
+        assert_eq!(r.columns[1].f64s(), &[22.5, 25.0]);
+    }
+
+    #[test]
+    fn negative_i32_keys_round_trip_sign() {
+        let mut t = Table::new("t");
+        t.add_column("k", Column::i32(vec![-5, 3, -5, 3, 9]))
+            .unwrap();
+        t.add_column("v", Column::f64(vec![1.0, 2.0, 3.0, 4.0, 5.0]))
+            .unwrap();
+        let plan = QueryPlan::scan("t")
+            .group_by_key_with("k", HashKind::Multiplicative)
+            .sum(Expr::col("v"));
+        let r = plan
+            .execute(&t, SumBackend::ReproUnbuffered, &ExecOptions::serial())
+            .unwrap();
+        assert_eq!(r.keys, vec![-5, 3, 9]);
+        assert_eq!(r.columns[0].f64s(), &[4.0, 6.0, 5.0]);
+    }
+
+    #[test]
+    fn u32_key_columns_group_through_the_hash_arm() {
+        let mut t = Table::new("t");
+        t.add_column("k", Column::u32(vec![2_000_000_000u32, 7, 2_000_000_000]))
+            .unwrap();
+        t.add_column("v", Column::f64(vec![1.5, 2.0, 0.5])).unwrap();
+        let plan = QueryPlan::scan("t").group_by_key("k").sum(Expr::col("v"));
+        let r = plan
+            .execute(&t, SumBackend::ReproUnbuffered, &ExecOptions::serial())
+            .unwrap();
+        assert_eq!(r.keys, vec![7, 2_000_000_000]);
+        assert_eq!(r.columns[0].f64s(), &[2.0, 2.0]);
+    }
+
+    // --- satellite: error paths surface TableError, never panic ---------
+
+    #[test]
+    fn missing_filter_column_errors() {
+        let t = sensor_table();
+        let plan = QueryPlan::scan("sensors")
+            .filter(Pred::F64Lt {
+                col: "nope",
+                max: 1.0,
+            })
+            .count();
+        assert_eq!(
+            plan.execute(&t, SumBackend::Double, &ExecOptions::serial())
+                .unwrap_err(),
+            PlanError::Table(TableError::NoSuchColumn("nope".into()))
+        );
+    }
+
+    #[test]
+    fn mistyped_filter_column_errors() {
+        let t = sensor_table();
+        // station is I32, filtered as F64.
+        let plan = QueryPlan::scan("sensors")
+            .filter(Pred::F64Lt {
+                col: "station",
+                max: 1.0,
+            })
+            .count();
+        assert!(matches!(
+            plan.execute(&t, SumBackend::Double, &ExecOptions::serial())
+                .unwrap_err(),
+            PlanError::Table(TableError::TypeMismatch {
+                expected: "F64",
+                ..
+            })
+        ));
+        // temp is F64, filtered as I32.
+        let plan = QueryPlan::scan("sensors")
+            .filter(Pred::I32Le {
+                col: "temp",
+                max: 1,
+            })
+            .count();
+        assert!(matches!(
+            plan.execute(&t, SumBackend::Double, &ExecOptions::serial())
+                .unwrap_err(),
+            PlanError::Table(TableError::TypeMismatch {
+                expected: "I32",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn missing_and_mistyped_aggregate_columns_error() {
+        let t = sensor_table();
+        let plan = QueryPlan::scan("sensors").sum(Expr::col("nope"));
+        assert_eq!(
+            plan.execute(&t, SumBackend::Double, &ExecOptions::serial())
+                .unwrap_err(),
+            PlanError::Table(TableError::NoSuchColumn("nope".into()))
+        );
+        let plan = QueryPlan::scan("sensors").avg(Expr::col("station"));
+        assert!(matches!(
+            plan.execute(&t, SumBackend::Double, &ExecOptions::serial())
+                .unwrap_err(),
+            PlanError::Table(TableError::TypeMismatch {
+                expected: "F64",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn bad_group_keys_error() {
+        let t = sensor_table();
+        let plan = QueryPlan::scan("sensors").group_by_key("absent").count();
+        assert_eq!(
+            plan.execute(&t, SumBackend::Double, &ExecOptions::serial())
+                .unwrap_err(),
+            PlanError::Table(TableError::NoSuchColumn("absent".into()))
+        );
+        // A float column cannot be a hash key.
+        let plan = QueryPlan::scan("sensors").group_by_key("temp").count();
+        assert!(matches!(
+            plan.execute(&t, SumBackend::Double, &ExecOptions::serial())
+                .unwrap_err(),
+            PlanError::Table(TableError::TypeMismatch {
+                expected: "I32 or U32",
+                ..
+            })
+        ));
+        // Dense keys must be U8 columns.
+        fn encode(_: u8, _: u8) -> u32 {
+            0
+        }
+        let plan = QueryPlan::scan("sensors")
+            .group_by_dense("station", "flag", encode, 1)
+            .count();
+        assert!(matches!(
+            plan.execute(&t, SumBackend::Double, &ExecOptions::serial())
+                .unwrap_err(),
+            PlanError::Table(TableError::TypeMismatch { expected: "U8", .. })
+        ));
+    }
+
+    #[test]
+    fn wrong_table_and_unsupported_plans_error() {
+        let t = sensor_table();
+        let plan = QueryPlan::scan("lineitem").count();
+        assert_eq!(
+            plan.execute(&t, SumBackend::Double, &ExecOptions::serial())
+                .unwrap_err(),
+            PlanError::WrongTable {
+                expected: "lineitem".into(),
+                found: "sensors".into(),
+            }
+        );
+        let plan = QueryPlan::scan("sensors");
+        assert_eq!(
+            plan.execute(&t, SumBackend::Double, &ExecOptions::serial())
+                .unwrap_err(),
+            PlanError::Unsupported("plan has no aggregates")
+        );
+        let plan = QueryPlan::scan("sensors").count();
+        assert_eq!(
+            plan.execute(&t, SumBackend::SortedDouble, &ExecOptions::serial())
+                .unwrap_err(),
+            PlanError::Unsupported("SortedDouble requires the materializing pipeline")
+        );
+    }
+
+    #[test]
+    fn data_dependent_scan_errors_surface_through_execute() {
+        // Reserved hash key value -1.
+        let mut t = Table::new("t");
+        t.add_column("k", Column::i32(vec![5, -1])).unwrap();
+        t.add_column("v", Column::f64(vec![1.0, 2.0])).unwrap();
+        let plan = QueryPlan::scan("t").group_by_key("k").sum(Expr::col("v"));
+        assert_eq!(
+            plan.execute(&t, SumBackend::ReproUnbuffered, &ExecOptions::serial())
+                .unwrap_err(),
+            PlanError::ReservedKey { col: "k" }
+        );
+        // Dense encode out of range for a pair present in the data.
+        let t = sensor_table();
+        fn bad_encode(_: u8, _: u8) -> u32 {
+            9
+        }
+        let plan = QueryPlan::scan("sensors")
+            .group_by_dense("flag", "flag", bad_encode, 2)
+            .count();
+        assert_eq!(
+            plan.execute(&t, SumBackend::ReproUnbuffered, &ExecOptions::serial())
+                .unwrap_err(),
+            PlanError::GroupIdOutOfBounds { got: 9, groups: 2 }
+        );
+    }
+
+    #[test]
+    fn ungrouped_avg_over_zero_rows_is_nan() {
+        let t = sensor_table();
+        let plan = QueryPlan::scan("sensors")
+            .filter(Pred::F64Lt {
+                col: "temp",
+                max: -100.0,
+            })
+            .avg(Expr::col("temp"))
+            .min(Expr::col("temp"))
+            .max(Expr::col("temp"));
+        let r = plan
+            .execute(&t, SumBackend::ReproUnbuffered, &ExecOptions::serial())
+            .unwrap();
+        assert!(r.columns[0].f64s()[0].is_nan(), "AVG of no rows is NaN");
+        assert_eq!(r.columns[1].f64s()[0], f64::INFINITY);
+        assert_eq!(r.columns[2].f64s()[0], f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn validation_runs_before_execution_errors() {
+        // A broken plan on a SortedDouble backend reports the *table*
+        // error: validation happens before backend routing.
+        let t = sensor_table();
+        let plan = QueryPlan::scan("sensors").sum(Expr::col("nope"));
+        assert!(matches!(
+            plan.execute(&t, SumBackend::SortedDouble, &ExecOptions::serial())
+                .unwrap_err(),
+            PlanError::Table(TableError::NoSuchColumn(_))
+        ));
+    }
+
+    #[test]
+    fn hash_grouped_plan_is_thread_count_invariant() {
+        // 2^12 keys over 20k rows, all aggregate kinds, repro backends:
+        // {1, 2, 8} threads must agree bitwise.
+        let n = 20_000;
+        let mut t = Table::new("wide");
+        t.add_column(
+            "k",
+            Column::i32(
+                (0..n)
+                    .map(|i| ((i * 2_654_435_761usize) % 4096) as i32)
+                    .collect::<Vec<_>>(),
+            ),
+        )
+        .unwrap();
+        t.add_column(
+            "v",
+            Column::f64(
+                (0..n)
+                    .map(|i| ((i * 31) % 1009) as f64 * 1e-3 - 0.5 + 2.5e-16)
+                    .collect::<Vec<_>>(),
+            ),
+        )
+        .unwrap();
+        let plan = QueryPlan::scan("wide")
+            .group_by_key("k")
+            .sum(Expr::col("v"))
+            .count()
+            .avg(Expr::col("v"))
+            .min(Expr::col("v"))
+            .max(Expr::col("v"));
+        for backend in [
+            SumBackend::ReproUnbuffered,
+            SumBackend::RsumBuffered {
+                levels: 2,
+                buffer_size: 64,
+            },
+        ] {
+            let serial = plan.execute(&t, backend, &ExecOptions::serial()).unwrap();
+            assert_eq!(serial.keys.len(), 4096);
+            for threads in [2usize, 8] {
+                let opts = ExecOptions {
+                    threads,
+                    batch_rows: 256,
+                    morsel_rows: 1024,
+                };
+                let run = plan.execute(&t, backend, &opts).unwrap();
+                assert_eq!(run.keys, serial.keys, "{backend:?} t{threads}");
+                for (c, (a, b)) in serial.columns.iter().zip(&run.columns).enumerate() {
+                    match (a, b) {
+                        (AggColumn::F64(x), AggColumn::F64(y)) => {
+                            for (u, v) in x.iter().zip(y) {
+                                assert_eq!(
+                                    u.to_bits(),
+                                    v.to_bits(),
+                                    "{backend:?} t{threads} column {c}"
+                                );
+                            }
+                        }
+                        (AggColumn::U64(x), AggColumn::U64(y)) => {
+                            assert_eq!(x, y, "{backend:?} t{threads} column {c}")
+                        }
+                        _ => panic!("column kind mismatch"),
+                    }
+                }
+            }
+        }
+    }
+}

@@ -12,11 +12,16 @@
 //! ORDER BY l_returnflag, l_linestatus;
 //! ```
 //!
-//! The default pipeline ([`run_q1`], [`run_q1_par`]) is the fused
-//! zero-copy scan of [`crate::fused`]: batches are filtered, projected and
-//! aggregated in one pass over a shared-storage table view, with no
-//! n-sized intermediates. The original materializing pipeline (selection
-//! vector → gather → expression vectors → grouped aggregation) is kept as
+//! Q1 is expressed as a [`QueryPlan`] ([`q1_plan`]) — four SUMs, three
+//! AVGs and a COUNT over the dense flag/status grouping — lowered onto
+//! the fused zero-copy scan of [`crate::fused`]: batches are filtered,
+//! projected and aggregated in one pass over a shared-storage table view,
+//! with no n-sized intermediates. The AVG columns are finalized by the
+//! engine from the shared reproducible SUM states and the exact COUNT
+//! (not by post-hoc division here), and each AVG shares its SUM state
+//! with the matching SUM column, so the plan still runs exactly five SUM
+//! state arrays. The original materializing pipeline (selection vector →
+//! gather → expression vectors → grouped aggregation) is kept as
 //! [`run_q1_materializing`] / [`run_q1_materializing_par`] — it is the
 //! differential-testing reference, and the only pipeline that can serve
 //! [`SumBackend::SortedDouble`], whose deterministic total order requires
@@ -30,7 +35,8 @@
 
 use crate::column::Table;
 use crate::expr::Expr;
-use crate::fused::{run_fused, ExecOptions, FusedQuery, GroupSpec, Pred};
+use crate::fused::{ExecOptions, Pred};
+use crate::plan::{PlanError, QueryPlan};
 use crate::sum_op::{
     count_grouped, sum_grouped, sum_grouped_par, OverflowError, SumBackend, SCAN_MORSEL_ROWS,
 };
@@ -101,34 +107,40 @@ pub fn lineitem_table(t: &Lineitem) -> Table {
         .add_column("l_linestatus", Column::U8(t.linestatus.clone()))
         .expect("fresh table");
     table
+        .add_column("l_suppkey", Column::I32(t.suppkey.clone()))
+        .expect("fresh table");
+    table
 }
 
-/// The Q1 fused query: one filter conjunct, five SUM expressions in
-/// Table IV order, grouped by the dictionary-encoded flag pair
+/// The Q1 logical plan: one filter conjunct and the eight TPC-H output
+/// aggregates in SQL order, grouped by the dictionary-encoded flag pair
 /// ([`Lineitem::encode_group`] — the same mapping the materializing
-/// pipeline uses via [`Lineitem::q1_group`]).
-fn q1_query() -> FusedQuery {
+/// pipeline uses via [`Lineitem::q1_group`]). Lowering shares SUM states
+/// between the SUM and AVG calls, so exactly five SUM state arrays run —
+/// the same operator shape (and the same bits) as the hand-written fused
+/// query this replaced.
+pub fn q1_plan() -> QueryPlan {
     let disc_price =
         || Expr::col("l_extendedprice").mul(Expr::lit(1.0).sub(Expr::col("l_discount")));
-    FusedQuery {
-        filter: vec![Pred::I32Le {
+    QueryPlan::scan("lineitem")
+        .filter(Pred::I32Le {
             col: "l_shipdate",
             max: Q1_SHIPDATE_CUTOFF,
-        }],
-        aggregates: vec![
-            Expr::col("l_quantity"),
-            Expr::col("l_extendedprice"),
-            disc_price(),
-            disc_price().mul(Expr::lit(1.0).add(Expr::col("l_tax"))),
-            Expr::col("l_discount"),
-        ],
-        group_by: Some(GroupSpec {
-            a: "l_returnflag",
-            b: "l_linestatus",
-            encode: Lineitem::encode_group,
-        }),
-        groups: GROUPS,
-    }
+        })
+        .group_by_dense(
+            "l_returnflag",
+            "l_linestatus",
+            Lineitem::encode_group,
+            GROUPS,
+        )
+        .sum(Expr::col("l_quantity"))
+        .sum(Expr::col("l_extendedprice"))
+        .sum(disc_price())
+        .sum(disc_price().mul(Expr::lit(1.0).add(Expr::col("l_tax"))))
+        .avg(Expr::col("l_quantity"))
+        .avg(Expr::col("l_extendedprice"))
+        .avg(Expr::col("l_discount"))
+        .count()
 }
 
 /// Assembles Q1 output rows from per-group sums and counts.
@@ -184,8 +196,9 @@ pub fn run_q1_par(
 }
 
 /// Executes Q1 with explicit execution options (thread budget, batch and
-/// morsel sizing). The result is bit-identical to [`run_q1_materializing`]
-/// for every backend and any options — asserted by the proptest suite.
+/// morsel sizing) by lowering [`q1_plan`] onto the fused executor. The
+/// result is bit-identical to [`run_q1_materializing`] for every backend
+/// and any options — asserted by the proptest suite.
 pub fn run_q1_with(
     lineitem: &Lineitem,
     backend: SumBackend,
@@ -199,20 +212,30 @@ pub fn run_q1_with(
         };
     }
     let table = lineitem_table(lineitem);
-    let query = q1_query();
-    let run = run_fused(&table, &query, backend, opts)?;
+    let result = q1_plan()
+        .execute(&table, backend, opts)
+        .map_err(|e| match e {
+            PlanError::Overflow(o) => o,
+            other => unreachable!("the engine-built Q1 plan is valid: {other}"),
+        })?;
     let t0 = Instant::now();
-    let [sum_qty, sum_price, sum_disc_price, sum_charge, sum_disc]: [Vec<f64>; 5] =
-        run.sums.try_into().expect("q1 has exactly five aggregates");
-    let rows = build_q1_rows(
-        &sum_qty,
-        &sum_price,
-        &sum_disc_price,
-        &sum_charge,
-        &sum_disc,
-        &run.counts,
-    );
-    let mut timing = run.timing;
+    let mut rows = Vec::with_capacity(result.keys.len());
+    for (i, &gid) in result.keys.iter().enumerate() {
+        let (returnflag, linestatus) = Lineitem::decode_group(gid as u32);
+        rows.push(Q1Row {
+            returnflag,
+            linestatus,
+            sum_qty: result.columns[0].f64s()[i],
+            sum_base_price: result.columns[1].f64s()[i],
+            sum_disc_price: result.columns[2].f64s()[i],
+            sum_charge: result.columns[3].f64s()[i],
+            avg_qty: result.columns[4].f64s()[i],
+            avg_price: result.columns[5].f64s()[i],
+            avg_disc: result.columns[6].f64s()[i],
+            count: result.columns[7].u64s()[i],
+        });
+    }
+    let mut timing = result.timing;
     timing.other += t0.elapsed();
     Ok((rows, timing))
 }
@@ -526,6 +549,7 @@ mod tests {
             perm.iter().map(|&i| t.shipdate[i]).collect(),
             perm.iter().map(|&i| t.returnflag[i]).collect(),
             perm.iter().map(|&i| t.linestatus[i]).collect(),
+            perm.iter().map(|&i| t.suppkey[i]).collect(),
         );
         let (u2, _) = run_q1(&reordered, SumBackend::ReproUnbuffered).unwrap();
         for (a, b) in u1.iter().zip(u2.iter()) {

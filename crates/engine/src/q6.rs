@@ -15,16 +15,18 @@
 //! summation kernel), and its result is a *single* float — the sharpest
 //! possible demonstration of run-to-run result flips.
 //!
-//! The default pipeline is the fused zero-copy scan ([`crate::fused`]):
-//! each batch's revenue terms are evaluated into a reused scratch register
-//! and fed straight into the accumulator through the vectorized block
-//! kernel — no selection vector or term vector of length n ever exists.
+//! Q6 is expressed as a [`QueryPlan`] ([`q6_plan`]): one un-grouped SUM
+//! lowered onto the fused zero-copy scan ([`crate::fused`]). Each batch's
+//! revenue terms are evaluated into a reused scratch register and fed
+//! straight into the accumulator through the vectorized block kernel — no
+//! selection vector or term vector of length n ever exists.
 //! [`run_q6_materializing`] / [`run_q6_materializing_par`] keep the
 //! original three-pass pipeline as the differential-testing reference and
 //! as the [`SumBackend::SortedDouble`] host.
 
 use crate::expr::Expr;
-use crate::fused::{run_fused, ExecOptions, FusedQuery, Pred};
+use crate::fused::{ExecOptions, Pred};
+use crate::plan::{PlanError, QueryPlan};
 use crate::q1::{lineitem_table, PhaseTiming};
 use crate::sum_op::{sum_grouped, sum_grouped_par, OverflowError, SumBackend, SCAN_MORSEL_ROWS};
 use rayon::prelude::*;
@@ -35,30 +37,25 @@ use std::time::Instant;
 pub const Q6_DATE_LO: i32 = 2 * 365;
 pub const Q6_DATE_HI: i32 = 3 * 365;
 
-/// The Q6 fused query: three filter conjuncts in the SQL's order, one
+/// The Q6 logical plan: three filter conjuncts in the SQL's order, one
 /// un-grouped SUM of `l_extendedprice * l_discount`.
-fn q6_query() -> FusedQuery {
-    FusedQuery {
-        filter: vec![
-            Pred::I32Range {
-                col: "l_shipdate",
-                lo: Q6_DATE_LO,
-                hi: Q6_DATE_HI,
-            },
-            Pred::F64Range {
-                col: "l_discount",
-                lo: 0.05,
-                hi: 0.07,
-            },
-            Pred::F64Lt {
-                col: "l_quantity",
-                max: 24.0,
-            },
-        ],
-        aggregates: vec![Expr::col("l_extendedprice").mul(Expr::col("l_discount"))],
-        group_by: None,
-        groups: 1,
-    }
+pub fn q6_plan() -> QueryPlan {
+    QueryPlan::scan("lineitem")
+        .filter(Pred::I32Range {
+            col: "l_shipdate",
+            lo: Q6_DATE_LO,
+            hi: Q6_DATE_HI,
+        })
+        .filter(Pred::F64Range {
+            col: "l_discount",
+            lo: 0.05,
+            hi: 0.07,
+        })
+        .filter(Pred::F64Lt {
+            col: "l_quantity",
+            max: 24.0,
+        })
+        .sum(Expr::col("l_extendedprice").mul(Expr::col("l_discount")))
 }
 
 /// Executes Q6 serially through the fused pipeline (materializing for
@@ -95,8 +92,13 @@ pub fn run_q6_with(
         };
     }
     let table = lineitem_table(lineitem);
-    let run = run_fused(&table, &q6_query(), backend, opts)?;
-    Ok((run.sums[0][0], run.timing))
+    let result = q6_plan()
+        .execute(&table, backend, opts)
+        .map_err(|e| match e {
+            PlanError::Overflow(o) => o,
+            other => unreachable!("the engine-built Q6 plan is valid: {other}"),
+        })?;
+    Ok((result.columns[0].f64s()[0], result.timing))
 }
 
 /// The original materializing pipeline: n-sized selection vector, term
@@ -301,6 +303,7 @@ mod tests {
             t.shipdate.iter().rev().copied().collect(),
             t.returnflag.iter().rev().copied().collect(),
             t.linestatus.iter().rev().copied().collect(),
+            t.suppkey.iter().rev().copied().collect(),
         );
         let (r2, _) = run_q6(&rev, SumBackend::Rsum { levels: 2 }).unwrap();
         assert_eq!(r1.to_bits(), r2.to_bits());

@@ -88,6 +88,10 @@ impl<const L: usize> ReproStates<L> {
         ReproStates(vec![ReproSum::new(); groups])
     }
 
+    fn push_groups(&mut self, n: usize) {
+        self.0.extend((0..n).map(|_| ReproSum::new()));
+    }
+
     fn update(&mut self, group_ids: &[u32], values: &[f64]) {
         for (&g, &v) in group_ids.iter().zip(values.iter()) {
             self.0[g as usize].add(v);
@@ -112,38 +116,50 @@ impl<const L: usize> ReproStates<L> {
     }
 }
 
-/// Per-group buffered reproducible states at ladder height `L`.
-struct BufStates<const L: usize>(Vec<SummationBuffer<f64, L>>);
+/// Per-group buffered reproducible states at ladder height `L`. Remembers
+/// its buffer size so group slots can be added after construction (the
+/// hash-grouped scan discovers groups as it goes).
+struct BufStates<const L: usize> {
+    states: Vec<SummationBuffer<f64, L>>,
+    buffer_size: usize,
+}
 
 impl<const L: usize> BufStates<L> {
     fn new(groups: usize, buffer_size: usize) -> Self {
-        BufStates(
-            (0..groups)
+        BufStates {
+            states: (0..groups)
                 .map(|_| SummationBuffer::new(buffer_size))
                 .collect(),
-        )
+            buffer_size,
+        }
+    }
+
+    fn push_groups(&mut self, n: usize) {
+        let bsz = self.buffer_size;
+        self.states
+            .extend((0..n).map(|_| SummationBuffer::new(bsz)));
     }
 
     fn update(&mut self, group_ids: &[u32], values: &[f64]) {
         for (&g, &v) in group_ids.iter().zip(values.iter()) {
-            self.0[g as usize].push(v);
+            self.states[g as usize].push(v);
         }
     }
 
     fn update_single(&mut self, values: &[f64]) {
         for &v in values {
-            self.0[0].push(v);
+            self.states[0].push(v);
         }
     }
 
     fn merge(&mut self, other: &mut Self) {
-        for (a, b) in self.0.iter_mut().zip(other.0.iter_mut()) {
+        for (a, b) in self.states.iter_mut().zip(other.states.iter_mut()) {
             a.merge(b);
         }
     }
 
     fn finalize(self) -> Vec<f64> {
-        self.0.into_iter().map(|s| s.finalize()).collect()
+        self.states.into_iter().map(|s| s.finalize()).collect()
     }
 }
 
@@ -249,6 +265,68 @@ impl GroupedSums {
         Ok(())
     }
 
+    /// Number of group slots.
+    pub fn groups(&self) -> usize {
+        match &self.0 {
+            Inner::Double(acc) => acc.len(),
+            Inner::Repro1(s) => s.0.len(),
+            Inner::Repro2(s) => s.0.len(),
+            Inner::Repro3(s) => s.0.len(),
+            Inner::Repro4(s) => s.0.len(),
+            Inner::Buf1(s) => s.states.len(),
+            Inner::Buf2(s) => s.states.len(),
+            Inner::Buf3(s) => s.states.len(),
+            Inner::Buf4(s) => s.states.len(),
+        }
+    }
+
+    /// Appends `n` fresh zeroed group slots. The hash-grouped scan calls
+    /// this as it discovers new keys — dense callers size up front.
+    pub fn push_groups(&mut self, n: usize) {
+        match &mut self.0 {
+            Inner::Double(acc) => acc.resize(acc.len() + n, 0.0),
+            Inner::Repro1(s) => s.push_groups(n),
+            Inner::Repro2(s) => s.push_groups(n),
+            Inner::Repro3(s) => s.push_groups(n),
+            Inner::Repro4(s) => s.push_groups(n),
+            Inner::Buf1(s) => s.push_groups(n),
+            Inner::Buf2(s) => s.push_groups(n),
+            Inner::Buf3(s) => s.push_groups(n),
+            Inner::Buf4(s) => s.push_groups(n),
+        }
+    }
+
+    /// Merges one group slot of `other` into one slot of `self` — the
+    /// keyed merge of hash-grouped partials, where the same group key may
+    /// live at different dense slots on different morsels. Exact for the
+    /// repro backends, a checked addition for doubles, exactly like
+    /// [`GroupedSums::merge`].
+    pub fn merge_slot(
+        &mut self,
+        dst: usize,
+        other: &mut GroupedSums,
+        src: usize,
+    ) -> Result<(), OverflowError> {
+        match (&mut self.0, &mut other.0) {
+            (Inner::Double(a), Inner::Double(b)) => {
+                a[dst] += b[src];
+                if !a[dst].is_finite() {
+                    return Err(OverflowError);
+                }
+            }
+            (Inner::Repro1(a), Inner::Repro1(b)) => a.0[dst].merge(&b.0[src]),
+            (Inner::Repro2(a), Inner::Repro2(b)) => a.0[dst].merge(&b.0[src]),
+            (Inner::Repro3(a), Inner::Repro3(b)) => a.0[dst].merge(&b.0[src]),
+            (Inner::Repro4(a), Inner::Repro4(b)) => a.0[dst].merge(&b.0[src]),
+            (Inner::Buf1(a), Inner::Buf1(b)) => a.states[dst].merge(&mut b.states[src]),
+            (Inner::Buf2(a), Inner::Buf2(b)) => a.states[dst].merge(&mut b.states[src]),
+            (Inner::Buf3(a), Inner::Buf3(b)) => a.states[dst].merge(&mut b.states[src]),
+            (Inner::Buf4(a), Inner::Buf4(b)) => a.states[dst].merge(&mut b.states[src]),
+            _ => panic!("merging GroupedSums of different backends"),
+        }
+        Ok(())
+    }
+
     /// Merges another state array of the same backend and group count.
     /// Exact (bit-transparent) for the repro backends; a plain checked
     /// addition per group for doubles.
@@ -287,6 +365,222 @@ impl GroupedSums {
             Inner::Buf2(s) => s.finalize(),
             Inner::Buf3(s) => s.finalize(),
             Inner::Buf4(s) => s.finalize(),
+        }
+    }
+}
+
+/// Composed per-group aggregate states of one query: an exact integer
+/// COUNT, any number of SUM state arrays ([`GroupedSums`], one per
+/// distinct SUM input expression — AVG shares its input's SUM state), and
+/// any number of MIN/MAX value arrays. This is the generalized sink of the
+/// fused scan: the SUM-only `Vec<GroupedSums>` of the original executor,
+/// widened to the aggregate kinds of the plan layer.
+///
+/// **Merge discipline.** COUNT merges by integer addition, SUM by the
+/// backend's state merge (exact for the repro backends), MIN/MAX by
+/// comparison folds that keep the *destination* value on ties. Since the
+/// parallel reduction merges morsels in index order along a deterministic
+/// split tree, the destination always holds earlier rows, so the fold
+/// resolves ties (e.g. `-0.0` vs `0.0`) exactly like the serial
+/// first-occurrence scan — MIN/MAX are bit-identical at any thread count
+/// for *every* backend. NaN values never win a comparison and thus never
+/// enter a MIN/MAX slot.
+pub struct GroupedStates {
+    counts: Vec<u64>,
+    sums: Vec<GroupedSums>,
+    mins: Vec<Vec<f64>>,
+    maxs: Vec<Vec<f64>>,
+}
+
+/// Finalized per-group values of a [`GroupedStates`]: every SUM rounded to
+/// a double, MIN/MAX as accumulated (`+∞`/`-∞` for groups that exist but
+/// received no values — callers drop empty groups before exposing them).
+pub struct GroupedOutput {
+    pub counts: Vec<u64>,
+    pub sums: Vec<Vec<f64>>,
+    pub mins: Vec<Vec<f64>>,
+    pub maxs: Vec<Vec<f64>>,
+}
+
+impl GroupedStates {
+    /// Creates states for `groups` dense group ids: `sum_states` SUM
+    /// arrays of `backend`, plus `min_states`/`max_states` extrema arrays.
+    pub fn new(
+        backend: SumBackend,
+        groups: usize,
+        sum_states: usize,
+        min_states: usize,
+        max_states: usize,
+    ) -> Self {
+        GroupedStates {
+            counts: vec![0; groups],
+            sums: (0..sum_states)
+                .map(|_| GroupedSums::new(backend, groups))
+                .collect(),
+            mins: vec![vec![f64::INFINITY; groups]; min_states],
+            maxs: vec![vec![f64::NEG_INFINITY; groups]; max_states],
+        }
+    }
+
+    /// Current number of group slots.
+    pub fn groups(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Grows every state array to at least `groups` slots (hash grouping
+    /// discovers group keys scan-order incrementally).
+    pub fn ensure_groups(&mut self, groups: usize) {
+        let cur = self.counts.len();
+        if groups <= cur {
+            return;
+        }
+        let n = groups - cur;
+        self.counts.resize(groups, 0);
+        for s in &mut self.sums {
+            s.push_groups(n);
+        }
+        for m in &mut self.mins {
+            m.resize(groups, f64::INFINITY);
+        }
+        for m in &mut self.maxs {
+            m.resize(groups, f64::NEG_INFINITY);
+        }
+    }
+
+    /// COUNT(*) deposit for one batch of group ids.
+    pub fn add_counts(&mut self, group_ids: &[u32]) {
+        for &g in group_ids {
+            self.counts[g as usize] += 1;
+        }
+    }
+
+    /// COUNT(*) deposit for a batch that belongs entirely to group 0.
+    pub fn add_count_single(&mut self, rows: u64) {
+        self.counts[0] += rows;
+    }
+
+    /// Per-group counts accumulated so far.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// SUM deposit into state array `slot` (see [`GroupedSums::update`]).
+    pub fn update_sum(
+        &mut self,
+        slot: usize,
+        group_ids: &[u32],
+        values: &[f64],
+    ) -> Result<(), OverflowError> {
+        self.sums[slot].update(group_ids, values)
+    }
+
+    /// Single-group SUM fast path (see [`GroupedSums::update_single`]).
+    pub fn update_sum_single(&mut self, slot: usize, values: &[f64]) -> Result<(), OverflowError> {
+        self.sums[slot].update_single(values)
+    }
+
+    /// MIN deposit: strict `<` fold, first minimal value in row order wins.
+    pub fn update_min(&mut self, slot: usize, group_ids: &[u32], values: &[f64]) {
+        let m = &mut self.mins[slot];
+        for (&g, &v) in group_ids.iter().zip(values.iter()) {
+            let cur = &mut m[g as usize];
+            if v < *cur {
+                *cur = v;
+            }
+        }
+    }
+
+    /// Single-group MIN fast path.
+    pub fn update_min_single(&mut self, slot: usize, values: &[f64]) {
+        let cur = &mut self.mins[slot][0];
+        for &v in values {
+            if v < *cur {
+                *cur = v;
+            }
+        }
+    }
+
+    /// MAX deposit: strict `>` fold, first maximal value in row order wins.
+    pub fn update_max(&mut self, slot: usize, group_ids: &[u32], values: &[f64]) {
+        let m = &mut self.maxs[slot];
+        for (&g, &v) in group_ids.iter().zip(values.iter()) {
+            let cur = &mut m[g as usize];
+            if v > *cur {
+                *cur = v;
+            }
+        }
+    }
+
+    /// Single-group MAX fast path.
+    pub fn update_max_single(&mut self, slot: usize, values: &[f64]) {
+        let cur = &mut self.maxs[slot][0];
+        for &v in values {
+            if v > *cur {
+                *cur = v;
+            }
+        }
+    }
+
+    /// Merges a whole state set slot-for-slot (dense/un-grouped morsel
+    /// merge; both sides index groups identically).
+    pub fn merge(&mut self, mut other: GroupedStates) -> Result<(), OverflowError> {
+        assert_eq!(self.counts.len(), other.counts.len());
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        for (a, b) in self.sums.iter_mut().zip(other.sums.drain(..)) {
+            a.merge(b)?;
+        }
+        for (a, b) in self.mins.iter_mut().zip(&other.mins) {
+            for (x, &y) in a.iter_mut().zip(b) {
+                if y < *x {
+                    *x = y;
+                }
+            }
+        }
+        for (a, b) in self.maxs.iter_mut().zip(&other.maxs) {
+            for (x, &y) in a.iter_mut().zip(b) {
+                if y > *x {
+                    *x = y;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Merges one group slot of `other` into slot `dst` of `self` — the
+    /// keyed merge of hash-grouped partials (the same group key can sit at
+    /// different dense slots on different morsels).
+    pub fn merge_group(
+        &mut self,
+        dst: usize,
+        other: &mut GroupedStates,
+        src: usize,
+    ) -> Result<(), OverflowError> {
+        self.counts[dst] += other.counts[src];
+        for (a, b) in self.sums.iter_mut().zip(other.sums.iter_mut()) {
+            a.merge_slot(dst, b, src)?;
+        }
+        for (a, b) in self.mins.iter_mut().zip(&other.mins) {
+            if b[src] < a[dst] {
+                a[dst] = b[src];
+            }
+        }
+        for (a, b) in self.maxs.iter_mut().zip(&other.maxs) {
+            if b[src] > a[dst] {
+                a[dst] = b[src];
+            }
+        }
+        Ok(())
+    }
+
+    /// Rounds every SUM state to a double and hands all arrays out.
+    pub fn finalize(self) -> GroupedOutput {
+        GroupedOutput {
+            counts: self.counts,
+            sums: self.sums.into_iter().map(GroupedSums::finalize).collect(),
+            mins: self.mins,
+            maxs: self.maxs,
         }
     }
 }
@@ -570,6 +864,165 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn push_groups_and_merge_slot_match_dense_merge() {
+        // Repro backends only: their keyed merge is exact, so the split
+        // halves must finalize to the one-shot bits. (A Double merge adds
+        // subtotals — deterministic, but not the sequential bit pattern.)
+        let (ids, values) = workload();
+        for backend in [
+            SumBackend::ReproUnbuffered,
+            SumBackend::ReproBuffered { buffer_size: 64 },
+            SumBackend::Rsum { levels: 2 },
+            SumBackend::RsumBuffered {
+                levels: 3,
+                buffer_size: 32,
+            },
+        ] {
+            let reference = sum_grouped(backend, &ids, &values, 4).unwrap();
+            // Split the input, aggregate the halves into states whose
+            // group slots were grown incrementally and *permuted* relative
+            // to each other, then merge slot-by-slot via merge_slot.
+            let mid = ids.len() / 2;
+            let mut a = GroupedSums::new(backend, 0);
+            a.push_groups(4); // slot g <-> group g
+            a.update(&ids[..mid], &values[..mid]).unwrap();
+            let mut b = GroupedSums::new(backend, 2);
+            b.push_groups(2); // slot s <-> group 3 - s
+            let flipped: Vec<u32> = ids[mid..].iter().map(|&g| 3 - g).collect();
+            b.update(&flipped, &values[mid..]).unwrap();
+            assert_eq!(b.groups(), 4);
+            for g in 0..4usize {
+                a.merge_slot(g, &mut b, 3 - g).unwrap();
+            }
+            let out = a.finalize();
+            for g in 0..4 {
+                assert_eq!(
+                    reference[g].to_bits(),
+                    out[g].to_bits(),
+                    "{backend:?} group {g}"
+                );
+            }
+        }
+        // Double: merge_slot is a checked addition of subtotals —
+        // numerically equal, overflow still detected.
+        let reference = sum_grouped(SumBackend::Double, &ids, &values, 4).unwrap();
+        let mid = ids.len() / 2;
+        let mut a = GroupedSums::new(SumBackend::Double, 4);
+        a.update(&ids[..mid], &values[..mid]).unwrap();
+        let mut b = GroupedSums::new(SumBackend::Double, 4);
+        b.update(&ids[mid..], &values[mid..]).unwrap();
+        for g in 0..4 {
+            a.merge_slot(g, &mut b, g).unwrap();
+        }
+        let out = a.finalize();
+        for g in 0..4 {
+            assert!((reference[g] - out[g]).abs() <= 1e-9 * reference[g].abs().max(1.0));
+        }
+        let mut x = GroupedSums::new(SumBackend::Double, 1);
+        x.update(&[0], &[f64::MAX]).unwrap();
+        let mut y = GroupedSums::new(SumBackend::Double, 1);
+        y.update(&[0], &[f64::MAX]).unwrap();
+        assert_eq!(x.merge_slot(0, &mut y, 0), Err(OverflowError));
+    }
+
+    #[test]
+    fn grouped_states_compose_all_kinds_and_merge_exactly() {
+        let (ids, values) = workload();
+        let backend = SumBackend::ReproBuffered { buffer_size: 96 };
+        // One-shot reference.
+        let mut whole = GroupedStates::new(backend, 4, 1, 1, 1);
+        whole.add_counts(&ids);
+        whole.update_sum(0, &ids, &values).unwrap();
+        whole.update_min(0, &ids, &values);
+        whole.update_max(0, &ids, &values);
+        let whole = whole.finalize();
+        // Batched halves merged like two morsels.
+        let mid = ids.len() / 2 + 7;
+        let mut left = GroupedStates::new(backend, 4, 1, 1, 1);
+        left.add_counts(&ids[..mid]);
+        left.update_sum(0, &ids[..mid], &values[..mid]).unwrap();
+        left.update_min(0, &ids[..mid], &values[..mid]);
+        left.update_max(0, &ids[..mid], &values[..mid]);
+        let mut right = GroupedStates::new(backend, 4, 1, 1, 1);
+        right.add_counts(&ids[mid..]);
+        right.update_sum(0, &ids[mid..], &values[mid..]).unwrap();
+        right.update_min(0, &ids[mid..], &values[mid..]);
+        right.update_max(0, &ids[mid..], &values[mid..]);
+        left.merge(right).unwrap();
+        let merged = left.finalize();
+        assert_eq!(whole.counts, merged.counts);
+        for g in 0..4 {
+            assert_eq!(whole.sums[0][g].to_bits(), merged.sums[0][g].to_bits());
+            assert_eq!(whole.mins[0][g].to_bits(), merged.mins[0][g].to_bits());
+            assert_eq!(whole.maxs[0][g].to_bits(), merged.maxs[0][g].to_bits());
+        }
+        // Reference semantics of the extrema.
+        for g in 0..4u32 {
+            let min = ids
+                .iter()
+                .zip(&values)
+                .filter(|(&i, _)| i == g)
+                .map(|(_, &v)| v)
+                .fold(f64::INFINITY, f64::min);
+            assert_eq!(whole.mins[0][g as usize], min);
+        }
+    }
+
+    #[test]
+    fn grouped_states_single_group_fast_paths_match_grouped() {
+        let values: Vec<f64> = (0..10_000)
+            .map(|i| ((i * 37) % 101) as f64 * 0.125 - 6.0)
+            .collect();
+        let ids = vec![0u32; values.len()];
+        let backend = SumBackend::ReproUnbuffered;
+        let mut grouped = GroupedStates::new(backend, 1, 1, 1, 1);
+        grouped.add_counts(&ids);
+        grouped.update_sum(0, &ids, &values).unwrap();
+        grouped.update_min(0, &ids, &values);
+        grouped.update_max(0, &ids, &values);
+        let grouped = grouped.finalize();
+        let mut single = GroupedStates::new(backend, 1, 1, 1, 1);
+        for chunk in values.chunks(997) {
+            single.add_count_single(chunk.len() as u64);
+            single.update_sum_single(0, chunk).unwrap();
+            single.update_min_single(0, chunk);
+            single.update_max_single(0, chunk);
+        }
+        let single = single.finalize();
+        assert_eq!(grouped.counts, single.counts);
+        assert_eq!(grouped.sums[0][0].to_bits(), single.sums[0][0].to_bits());
+        assert_eq!(grouped.mins[0][0].to_bits(), single.mins[0][0].to_bits());
+        assert_eq!(grouped.maxs[0][0].to_bits(), single.maxs[0][0].to_bits());
+    }
+
+    #[test]
+    fn grouped_states_ensure_groups_grows_all_arrays() {
+        let mut s = GroupedStates::new(
+            SumBackend::RsumBuffered {
+                levels: 2,
+                buffer_size: 16,
+            },
+            0,
+            2,
+            1,
+            1,
+        );
+        assert_eq!(s.groups(), 0);
+        s.ensure_groups(3);
+        s.ensure_groups(2); // shrink requests are no-ops
+        assert_eq!(s.groups(), 3);
+        s.update_sum(1, &[2], &[1.5]).unwrap();
+        s.update_min(0, &[0], &[4.0]);
+        s.update_max(0, &[1], &[-4.0]);
+        let out = s.finalize();
+        assert_eq!(out.counts, vec![0, 0, 0]);
+        assert_eq!(out.sums[1][2], 1.5);
+        assert_eq!(out.mins[0][0], 4.0);
+        assert_eq!(out.mins[0][1], f64::INFINITY);
+        assert_eq!(out.maxs[0][1], -4.0);
     }
 
     #[test]

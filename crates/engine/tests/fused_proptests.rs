@@ -55,6 +55,7 @@ fn lineitem_strategy(max_rows: usize) -> impl Strategy<Value = Lineitem> {
         (600i32..2600),     // shipdate: Q6 window is [730, 1095), Q1 cutoff 2437
         (0u8..3),           // returnflag index -> 'A' | 'N' | 'R'
         (0u8..2),           // linestatus index -> 'F' | 'O'
+        (1i32..40),         // suppkey (small domain: every key repeats)
     );
     vec(row, 0..max_rows).prop_map(|rows| {
         let n = rows.len();
@@ -65,7 +66,8 @@ fn lineitem_strategy(max_rows: usize) -> impl Strategy<Value = Lineitem> {
         let mut shipdate = Vec::with_capacity(n);
         let mut returnflag = Vec::with_capacity(n);
         let mut linestatus = Vec::with_capacity(n);
-        for (q, p, d, t, s, rf, ls) in rows {
+        let mut suppkey = Vec::with_capacity(n);
+        for (q, p, d, t, s, rf, ls, sk) in rows {
             quantity.push(q);
             extendedprice.push(p);
             discount.push(d);
@@ -73,6 +75,7 @@ fn lineitem_strategy(max_rows: usize) -> impl Strategy<Value = Lineitem> {
             shipdate.push(s);
             returnflag.push([b'A', b'N', b'R'][rf as usize]);
             linestatus.push([b'F', b'O'][ls as usize]);
+            suppkey.push(sk);
         }
         Lineitem::from_columns(
             quantity,
@@ -82,6 +85,7 @@ fn lineitem_strategy(max_rows: usize) -> impl Strategy<Value = Lineitem> {
             shipdate,
             returnflag,
             linestatus,
+            suppkey,
         )
     })
 }
@@ -186,6 +190,7 @@ proptest! {
             idx.iter().map(|&i| t.shipdate[i]).collect(),
             idx.iter().map(|&i| t.returnflag[i]).collect(),
             idx.iter().map(|&i| t.linestatus[i]).collect(),
+            idx.iter().map(|&i| t.suppkey[i]).collect(),
         );
         let opts = ExecOptions { threads: 2, batch_rows: 128, morsel_rows: 256 };
         for backend in [

@@ -14,7 +14,9 @@
 //!   window (represented as days since 1992-01-01);
 //! * `l_returnflag` — 'R'/'A' for shipments received before the current
 //!   date watermark, 'N' otherwise (dbgen ties this to receipt date);
-//! * `l_linestatus` — 'O' if shipped after the watermark, 'F' otherwise.
+//! * `l_linestatus` — 'O' if shipped after the watermark, 'F' otherwise;
+//! * `l_suppkey`    — uniform 1..=10 000 (the scale-factor-1 supplier
+//!   count), the high-cardinality group key of the Q15 revenue view.
 //!
 //! The official scale factor 1 has ~6 M lineitem rows; `scale` here scales
 //! that row count.
@@ -39,6 +41,8 @@ pub struct Lineitem {
     pub returnflag: Arc<Vec<u8>>,
     /// b'O' or b'F'.
     pub linestatus: Arc<Vec<u8>>,
+    /// Supplier key, 1..=[`SUPPLIERS`].
+    pub suppkey: Arc<Vec<i32>>,
 }
 
 /// The dbgen "current date" watermark: 1995-06-17, as days since
@@ -46,6 +50,8 @@ pub struct Lineitem {
 pub const CURRENT_DATE: i32 = 3 * 365 + 168;
 /// Q1 ships-before cutoff: 1998-12-01 minus 90 days (spec default DELTA).
 pub const Q1_SHIPDATE_CUTOFF: i32 = 7 * 365 - 90 - 28; // ≈ 1998-09-02
+/// Supplier count at scale factor 1 (`S = 10 000 · SF`).
+pub const SUPPLIERS: i32 = 10_000;
 
 impl Lineitem {
     /// Generates `rows` lineitem rows deterministically from `seed`.
@@ -59,6 +65,7 @@ impl Lineitem {
             shipdate: Vec::with_capacity(rows),
             returnflag: Vec::with_capacity(rows),
             linestatus: Vec::with_capacity(rows),
+            suppkey: Vec::with_capacity(rows),
         };
         for _ in 0..rows {
             let quantity = (rng.below(50) + 1) as f64;
@@ -82,6 +89,7 @@ impl Lineitem {
                 b'N'
             };
             let linestatus = if shipdate > CURRENT_DATE { b'O' } else { b'F' };
+            let suppkey = 1 + rng.below(SUPPLIERS as u64) as i32;
             t.quantity.push(quantity);
             t.extendedprice.push(extendedprice);
             t.discount.push(discount);
@@ -89,6 +97,7 @@ impl Lineitem {
             t.shipdate.push(shipdate);
             t.returnflag.push(returnflag);
             t.linestatus.push(linestatus);
+            t.suppkey.push(suppkey);
         }
         t.freeze()
     }
@@ -104,6 +113,7 @@ impl Lineitem {
         shipdate: Vec<i32>,
         returnflag: Vec<u8>,
         linestatus: Vec<u8>,
+        suppkey: Vec<i32>,
     ) -> Self {
         let rows = quantity.len();
         assert!(
@@ -114,6 +124,7 @@ impl Lineitem {
                 shipdate.len(),
                 returnflag.len(),
                 linestatus.len(),
+                suppkey.len(),
             ]
             .iter()
             .all(|&l| l == rows),
@@ -127,6 +138,7 @@ impl Lineitem {
             shipdate,
             returnflag,
             linestatus,
+            suppkey,
         }
         .freeze()
     }
@@ -183,6 +195,7 @@ struct LineitemBuilder {
     shipdate: Vec<i32>,
     returnflag: Vec<u8>,
     linestatus: Vec<u8>,
+    suppkey: Vec<i32>,
 }
 
 impl LineitemBuilder {
@@ -195,6 +208,7 @@ impl LineitemBuilder {
             shipdate: Arc::new(self.shipdate),
             returnflag: Arc::new(self.returnflag),
             linestatus: Arc::new(self.linestatus),
+            suppkey: Arc::new(self.suppkey),
         }
     }
 }
@@ -215,7 +229,16 @@ mod tests {
             assert!(t.shipdate[i] >= 1);
             assert!(matches!(t.returnflag[i], b'R' | b'A' | b'N'));
             assert!(matches!(t.linestatus[i], b'O' | b'F'));
+            assert!((1..=SUPPLIERS).contains(&t.suppkey[i]));
         }
+        // The supplier domain is genuinely high-cardinality: nearly all
+        // of the 10 000 keys occur in 50k rows.
+        let mut seen = vec![false; SUPPLIERS as usize + 1];
+        for &s in t.suppkey.iter() {
+            seen[s as usize] = true;
+        }
+        let distinct = seen.iter().filter(|&&b| b).count();
+        assert!(distinct > 9_500, "only {distinct} distinct suppliers");
     }
 
     #[test]

@@ -19,7 +19,9 @@
 //! * [`decimal`] — DECIMAL(9/18/38) fixed-point baselines.
 //! * [`exact`] — Kulisch superaccumulator ground-truth oracle.
 //! * [`engine`] — columnar mini-engine with a reproducible SUM
-//!   operator and TPC-H Q1.
+//!   operator and a plan-driven query layer (SUM / COUNT / AVG / MIN /
+//!   MAX over dense or hash group keys; TPC-H Q1, Q6 and the Q15
+//!   revenue view ship as plans).
 //! * [`workloads`] — deterministic data generators
 //!   (grouped pairs, distributions, TPC-H lineitem, graphs, PageRank).
 //!
