@@ -16,10 +16,14 @@ use rfa_bench::{
     f2, ns_per_elem,
     runner::{groupby_ns, groupby_ns_threads},
     time_min, write_bench_smoke, BenchConfig, BenchSmoke, HashGroupSmoke, ResultTable, ScanSmoke,
+    SqlSmoke,
 };
 use rfa_core::CacheModel;
 use rfa_engine::plan::QueryPlan;
-use rfa_engine::{run_q1, run_q1_materializing, Column, ExecOptions, Expr, SumBackend, Table};
+use rfa_engine::{
+    lineitem_table, q6_plan, q6_sql, run_q1, run_q1_materializing, sql_query, Column, ExecOptions,
+    Expr, SqlColumn, SumBackend, Table,
+};
 use rfa_workloads::{GroupedPairs, Lineitem, ValueDist};
 
 fn main() {
@@ -229,6 +233,54 @@ fn main() {
     hash_table.print();
     hash_table.write_csv("fig9_hash_group");
 
+    // --- sql panel: the Q6 SQL text vs the prebuilt builder plan ---------
+    // The SQL arm re-parses, re-resolves and re-lowers the pinned Q6 text
+    // on every iteration — the whole frontend is in the measured loop —
+    // while the builder arm executes a prebuilt QueryPlan. Both run the
+    // identical fused executor, and their results are cross-asserted
+    // bit-identical, so the gap reads directly as parse/lower overhead.
+    let engine_table = lineitem_table(&lineitem);
+    let opts = ExecOptions::serial();
+    let builder_q6 = q6_plan();
+    let sql_d = time_min(cfg.reps, || {
+        let q = sql_query(&q6_sql(), &engine_table).expect("pinned Q6 SQL resolves");
+        std::hint::black_box(q.execute(&engine_table, backend, &opts).expect("q6 sql"));
+    });
+    let builder_d = time_min(cfg.reps, || {
+        std::hint::black_box(
+            builder_q6
+                .execute(&engine_table, backend, &opts)
+                .expect("q6 plan"),
+        );
+    });
+    let sql_ns = ns_per_elem(sql_d, scan_rows);
+    let builder_ns = ns_per_elem(builder_d, scan_rows);
+    {
+        let q = sql_query(&q6_sql(), &engine_table).unwrap();
+        let s = q.execute(&engine_table, backend, &opts).unwrap();
+        let b = builder_q6.execute(&engine_table, backend, &opts).unwrap();
+        let SqlColumn::F64(sv) = &s.columns[0] else {
+            panic!("Q6 revenue is an F64 column");
+        };
+        assert_eq!(
+            sv[0].to_bits(),
+            b.columns[0].f64s()[0].to_bits(),
+            "SQL and builder Q6 disagree"
+        );
+    }
+    let mut sql_table = ResultTable::new(
+        format!("Figure 9 (sql): TPC-H Q6 from SQL text vs prebuilt plan, serial, n = {scan_rows}"),
+        &["frontend", "ns/elem", "vs builder"],
+    );
+    sql_table.row(vec![
+        "sql (parse+lower each run)".into(),
+        f2(sql_ns),
+        format!("{:.2}x", sql_ns / builder_ns),
+    ]);
+    sql_table.row(vec!["builder plan".into(), f2(builder_ns), "1.00x".into()]);
+    sql_table.print();
+    sql_table.write_csv("fig9_sql");
+
     if let Some((ge_smoke, serial, parallel)) = smoke {
         write_bench_smoke(&BenchSmoke {
             bench: "fig9_partition_depth",
@@ -248,6 +300,11 @@ fn main() {
                 hash_ns_per_elem: hash_ns,
                 dense_ns_per_elem: dense_ns,
             }),
+            sql: Some(SqlSmoke {
+                query: "tpch_q6 serial repro<d,4> buffered",
+                sql_ns_per_elem: sql_ns,
+                builder_ns_per_elem: builder_ns,
+            }),
         });
     }
     println!(
@@ -257,6 +314,9 @@ fn main() {
          scan shape: fused ns/elem at or below materializing — same arithmetic,\n  \
          no n-sized intermediates (bit-identical output, proptest-enforced).\n  \
          hash-group shape: hash within a small constant of dense ids — the batched\n  \
-         probe amortizes; results are bit-identical between the two arms."
+         probe amortizes; results are bit-identical between the two arms.\n  \
+         sql shape: the SQL arm re-parses and re-lowers per run yet stays at ~1.00x\n  \
+         of the prebuilt plan — frontend cost is a per-query constant (and the two\n  \
+         arms are cross-asserted bit-identical)."
     );
 }

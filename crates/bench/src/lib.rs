@@ -228,9 +228,21 @@ pub struct HashGroupSmoke {
     pub dense_ns_per_elem: f64,
 }
 
+/// The SQL-frontend entry of the smoke artifact: the same query executed
+/// from its SQL text (parse → resolve → lower → execute, every
+/// iteration) vs through the prebuilt plan. The gap is the whole
+/// frontend overhead; the two arms are cross-asserted bit-identical.
+#[derive(Clone, Copy, Debug)]
+pub struct SqlSmoke {
+    /// Which query was measured (e.g. "tpch_q6 serial repro<d,4> buffered").
+    pub query: &'static str,
+    pub sql_ns_per_elem: f64,
+    pub builder_ns_per_elem: f64,
+}
+
 /// Everything one `bench_smoke.json` records: serial vs pool wall-clock
-/// ns/elem for a representative configuration, plus the optional scan and
-/// hash-group comparisons.
+/// ns/elem for a representative configuration, plus the optional scan,
+/// hash-group and SQL-frontend comparisons.
 #[derive(Clone, Debug)]
 pub struct BenchSmoke<'a> {
     pub bench: &'a str,
@@ -241,13 +253,15 @@ pub struct BenchSmoke<'a> {
     pub parallel_ns_per_elem: f64,
     pub scan: Option<ScanSmoke>,
     pub hash_group: Option<HashGroupSmoke>,
+    pub sql: Option<SqlSmoke>,
 }
 
 /// Writes `results/bench_smoke.json` — the CI smoke artifact. The
 /// acceptance shape: `speedup` ≥ ~1 on multicore hosts,
 /// `scan.fused_ns_per_elem` ≤ `scan.materializing_ns_per_elem` at laptop
-/// scale, and `hash_group.hash_over_dense` a small constant (the probe
-/// cost).
+/// scale, `hash_group.hash_over_dense` a small constant (the probe
+/// cost), and `sql.sql_over_builder` ≈ 1 (parse/lower overhead is a
+/// per-query constant, invisible at any realistic scan size).
 pub fn write_bench_smoke(smoke: &BenchSmoke) {
     let BenchSmoke {
         bench,
@@ -258,6 +272,7 @@ pub fn write_bench_smoke(smoke: &BenchSmoke) {
         parallel_ns_per_elem,
         scan,
         hash_group,
+        sql,
     } = *smoke;
     let dir = results_dir();
     if fs::create_dir_all(&dir).is_err() {
@@ -304,11 +319,28 @@ pub fn write_bench_smoke(smoke: &BenchSmoke) {
             )
         }
     };
+    let sql_json = match sql {
+        None => String::new(),
+        Some(s) => {
+            let ratio = if s.builder_ns_per_elem > 0.0 {
+                s.sql_ns_per_elem / s.builder_ns_per_elem
+            } else {
+                0.0
+            };
+            format!(
+                ",\n  \"sql\": {{\n    \"query\": \"{}\",\n    \
+                 \"sql_ns_per_elem\": {:.3},\n    \
+                 \"builder_ns_per_elem\": {:.3},\n    \
+                 \"sql_over_builder\": {ratio:.3}\n  }}",
+                s.query, s.sql_ns_per_elem, s.builder_ns_per_elem
+            )
+        }
+    };
     let json = format!(
         "{{\n  \"bench\": \"{bench}\",\n  \"config\": \"{config}\",\n  \"n\": {n},\n  \
          \"pool_threads\": {pool_threads},\n  \"serial_ns_per_elem\": {serial_ns_per_elem:.3},\n  \
          \"parallel_ns_per_elem\": {parallel_ns_per_elem:.3},\n  \"speedup\": {speedup:.3}\
-         {scan_json}{hash_json}\n}}\n"
+         {scan_json}{hash_json}{sql_json}\n}}\n"
     );
     if fs::write(&path, json).is_ok() {
         println!("  [json] {}", path.display());

@@ -9,6 +9,71 @@
 use std::fmt;
 use std::sync::Arc;
 
+/// An owned, cheaply clonable column reference.
+///
+/// Queries used to name columns with `&'static str`, which ruled out
+/// runtime-defined schemas (a SQL string cannot mint `'static` names).
+/// `ColRef` is an interned `Arc<str>`: cloning one — expressions, plans
+/// and group keys clone names freely — is a refcount bump, and equality
+/// is by name, so the plan layer's structural-equality SUM-state
+/// interning works across independently parsed expressions.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ColRef(Arc<str>);
+
+impl ColRef {
+    pub fn new(name: impl AsRef<str>) -> Self {
+        ColRef(Arc::from(name.as_ref()))
+    }
+
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl std::ops::Deref for ColRef {
+    type Target = str;
+
+    fn deref(&self) -> &str {
+        &self.0
+    }
+}
+
+impl From<&str> for ColRef {
+    fn from(s: &str) -> Self {
+        ColRef::new(s)
+    }
+}
+
+impl From<&String> for ColRef {
+    fn from(s: &String) -> Self {
+        ColRef::new(s)
+    }
+}
+
+impl From<String> for ColRef {
+    fn from(s: String) -> Self {
+        ColRef(Arc::from(s))
+    }
+}
+
+impl fmt::Display for ColRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl PartialEq<str> for ColRef {
+    fn eq(&self, other: &str) -> bool {
+        &*self.0 == other
+    }
+}
+
+impl PartialEq<&str> for ColRef {
+    fn eq(&self, other: &&str) -> bool {
+        &*self.0 == *other
+    }
+}
+
 /// A typed column (subset sufficient for the paper's workloads).
 ///
 /// Storage is `Arc`-shared: building a [`Table`] view over existing column
@@ -91,6 +156,16 @@ impl Column {
             Column::U8(v) => v,
             other => panic!("expected U8 column, found {}", other.type_name()),
         }
+    }
+
+    /// Whether this column can be read by the scalar expression layer
+    /// (widened exactly to `f64`). The single source of truth behind
+    /// the resolver's checks and `expr::NUMERIC_EXPECTED`.
+    pub fn is_numeric(&self) -> bool {
+        matches!(
+            self,
+            Column::F64(_) | Column::I32(_) | Column::U32(_) | Column::U8(_)
+        )
     }
 
     /// The storage type tag (used by [`TableError::TypeMismatch`]).
@@ -210,6 +285,20 @@ impl Table {
             .find(|(n, _)| n == name)
             .map(|(_, c)| c)
             .ok_or_else(|| TableError::NoSuchColumn(name.to_string()))
+    }
+
+    /// Schema introspection: `(column name, storage type tag)` pairs in
+    /// insertion order. This is what the SQL resolver type-checks names
+    /// against, and what "unknown column" diagnostics list.
+    pub fn schema(&self) -> impl Iterator<Item = (&str, &'static str)> + '_ {
+        self.columns
+            .iter()
+            .map(|(n, c)| (n.as_str(), c.type_name()))
+    }
+
+    /// Column names in insertion order (for diagnostics).
+    pub fn column_names(&self) -> Vec<&str> {
+        self.columns.iter().map(|(n, _)| n.as_str()).collect()
     }
 
     /// Looks up an `F64` column, surfacing a [`TableError::TypeMismatch`]
@@ -407,6 +496,66 @@ mod tests {
                 ..
             }
         ));
+    }
+
+    #[test]
+    fn colref_construction_equality_and_display() {
+        let a = ColRef::new("l_quantity");
+        let b: ColRef = "l_quantity".into();
+        let c: ColRef = String::from("l_quantity").into();
+        assert_eq!(a, b);
+        assert_eq!(b, c);
+        assert_eq!(a, "l_quantity");
+        assert_eq!(a.as_str(), "l_quantity");
+        assert_eq!(format!("{a}"), "l_quantity");
+        assert_ne!(a, ColRef::new("l_discount"));
+        // Deref lets a ColRef flow into &str positions.
+        fn takes_str(_: &str) {}
+        takes_str(&a);
+    }
+
+    #[test]
+    fn schema_introspection_lists_names_and_types_in_order() {
+        let mut t = Table::new("s");
+        t.add_column("f", Column::f64(vec![1.0])).unwrap();
+        t.add_column("k", Column::i32(vec![1])).unwrap();
+        t.add_column("tag", Column::u8(vec![1])).unwrap();
+        let schema: Vec<(&str, &str)> = t.schema().collect();
+        assert_eq!(schema, vec![("f", "F64"), ("k", "I32"), ("tag", "U8")]);
+        assert_eq!(t.column_names(), vec!["f", "k", "tag"]);
+    }
+
+    /// Satellite: diagnostics carry the column name and the expected vs
+    /// actual storage type — pinned as exact strings so regressions in
+    /// actionability are visible.
+    #[test]
+    fn error_messages_are_actionable() {
+        assert_eq!(
+            TableError::TypeMismatch {
+                column: "l_shipdate".into(),
+                expected: "F64",
+                found: "I32",
+            }
+            .to_string(),
+            "column \"l_shipdate\" is I32, expected F64"
+        );
+        assert_eq!(
+            TableError::NoSuchColumn("l_comment".into()).to_string(),
+            "no such column \"l_comment\""
+        );
+        assert_eq!(
+            TableError::ColumnLengthMismatch {
+                column: "v".into(),
+                expected: 10,
+                found: 7,
+            }
+            .to_string(),
+            "column \"v\" has 7 rows, expected 10"
+        );
+        assert_eq!(
+            TableError::DuplicateColumn("v".into()).to_string(),
+            "duplicate column \"v\""
+        );
     }
 
     #[test]

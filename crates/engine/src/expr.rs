@@ -1,42 +1,81 @@
-//! A small vectorized expression evaluator over table columns.
+//! The typed vectorized expression layer: scalar arithmetic *and* boolean
+//! predicates over table columns, compiled to one batchwise register
+//! machine.
 //!
-//! The engine's queries (Q1, Q6) evaluate arithmetic expressions like
+//! The engine's queries evaluate arithmetic expressions like
 //! `l_extendedprice * (1 - l_discount) * (1 + l_tax)` over the selected
-//! rows before aggregation. Expressions are *compiled* into a flat
-//! stack-machine program ([`CompiledExpr`]) that evaluates batch-at-a-time
-//! into reused scratch registers — the X100-style vectorized model — so a
-//! scan never materializes one vector per AST node, and constants are
-//! folded at compile time instead of being broadcast into n-sized vectors.
+//! rows before aggregation, and boolean predicates like
+//! `l_discount BETWEEN 0.05 AND 0.07 AND l_quantity < 24` to build the
+//! selection vectors in the first place. Both are *compiled* into flat
+//! stack-machine programs ([`CompiledExpr`] / [`CompiledPredicate`]) that
+//! evaluate batch-at-a-time into reused scratch registers — the
+//! X100-style vectorized model — so a scan never materializes one vector
+//! per AST node, and constants are folded at compile time instead of
+//! being broadcast into n-sized vectors.
+//!
+//! **Types.** A scalar [`Expr`] references columns by [`ColRef`] (owned
+//! names, so runtime-defined SQL schemas resolve) and may read any
+//! numeric column — `F64`, `I32`, `U32` or `U8`. Non-F64 columns are
+//! widened to `f64` at gather time; every one of those integer types
+//! converts *exactly* (f64 has 53 mantissa bits), so arithmetic and
+//! comparisons over them are bit-deterministic regardless of the storage
+//! type. The boolean subset ([`BoolExpr`]) wraps comparisons of scalar
+//! expressions ([`CmpOp`], `BETWEEN`) composed with `AND`/`OR`/`NOT`;
+//! comparisons compile to instructions producing *masks* (one byte per
+//! row) on a second register stack of the same machine.
+//!
+//! **Predicates stay branchless.** A compiled predicate filters a batch
+//! by evaluating its mask and compacting the selection vector with the
+//! X100 increment-by-predicate idiom (no per-row branch). The common
+//! single-comparison shapes — `col ⟨cmp⟩ const` and
+//! `col BETWEEN const AND const` — additionally carry a fast path that
+//! tests rows directly against the typed column (`i32` bounds compare in
+//! the integer domain), skipping mask materialization entirely; this is
+//! exactly what the engine's former closed `Pred` enum hard-coded, now
+//! reconstructed automatically from composable expressions.
 //!
 //! Reproducibility note (paper footnote 3): an arithmetic expression
 //! evaluated in its entirety per row is a fixed dag of roundings — itself
 //! order-independent. Compilation preserves that dag exactly: constant
 //! folding performs the same IEEE operation once at compile time that the
 //! tree walk performed per row, and the fused `<op>Const` instructions
-//! apply the identical operation with the identical operand order (addition
-//! and multiplication are bitwise commutative in IEEE 754), so compiled
-//! evaluation is bit-identical to the naïve tree walk. Only the subsequent
-//! *aggregation* of the results needs the reproducible accumulator; this
-//! module provides the deterministic per-row part.
+//! apply the identical operation with the identical operand order
+//! (addition and multiplication are bitwise commutative in IEEE 754;
+//! subtraction and division keep distinct `SubConst`/`ConstSub` and
+//! `DivConst`/`ConstDiv` forms because they are not), so compiled
+//! evaluation is bit-identical to the naïve tree walk. Only the
+//! subsequent *aggregation* of the results needs the reproducible
+//! accumulator; this module provides the deterministic per-row part.
 
-use crate::column::{Table, TableError};
+use crate::column::{ColRef, Column, Table, TableError};
 
-/// An arithmetic expression over `F64` columns and constants.
+/// The `expected` tag of [`TableError::TypeMismatch`] raised when an
+/// expression references a column whose storage type cannot be read as a
+/// scalar (today only `F32` — every other column type widens exactly).
+pub const NUMERIC_EXPECTED: &str = "F64, I32, U32 or U8";
+
+/// An arithmetic expression over numeric columns and constants.
 ///
 /// `PartialEq` is structural and *bitwise* on constants (`-0.0 ≠ 0.0`,
 /// `NaN == NaN` — see the manual impl below): the plan layer uses it to
 /// share one SUM state between `SUM(e)` and `AVG(e)` over the same
 /// expression, and two expressions may only share a state when they
-/// produce identical bits on every input.
+/// produce identical bits on every input. Column references compare by
+/// name, so two independently parsed SQL strings intern states together.
 #[derive(Clone, Debug)]
 pub enum Expr {
-    /// A named `F64` column.
-    Col(&'static str),
+    /// A named numeric column (`F64`, `I32`, `U32` or `U8`; integer
+    /// storage widens exactly to `f64` at gather time).
+    Col(ColRef),
     /// A constant.
     Const(f64),
     Add(Box<Expr>, Box<Expr>),
     Sub(Box<Expr>, Box<Expr>),
     Mul(Box<Expr>, Box<Expr>),
+    Div(Box<Expr>, Box<Expr>),
+    /// IEEE negation (sign-bit flip; *not* `0 - x`, which differs on
+    /// zeros: `0.0 - 0.0 == +0.0` while `-(+0.0) == -0.0`).
+    Neg(Box<Expr>),
 }
 
 /// Structural equality with *bit* comparison on constants. The derived
@@ -51,17 +90,89 @@ impl PartialEq for Expr {
             (Expr::Const(a), Expr::Const(b)) => a.to_bits() == b.to_bits(),
             (Expr::Add(a1, b1), Expr::Add(a2, b2))
             | (Expr::Sub(a1, b1), Expr::Sub(a2, b2))
-            | (Expr::Mul(a1, b1), Expr::Mul(a2, b2)) => a1 == a2 && b1 == b2,
+            | (Expr::Mul(a1, b1), Expr::Mul(a2, b2))
+            | (Expr::Div(a1, b1), Expr::Div(a2, b2)) => a1 == a2 && b1 == b2,
+            (Expr::Neg(a), Expr::Neg(b)) => a == b,
             _ => false,
         }
     }
 }
 
-/// One instruction of a compiled expression (operating on a virtual stack
-/// of batch-sized registers).
-#[derive(Clone, Copy, Debug)]
+/// A comparison operator of the boolean expression layer. Comparisons
+/// follow IEEE semantics on the widened `f64` values (`NaN` compares
+/// false under everything except `Ne`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CmpOp {
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Eq,
+    Ne,
+}
+
+impl CmpOp {
+    /// Mirror image: `c ⟨op⟩ x ⇔ x ⟨op.flip()⟩ c` (used to normalize
+    /// constant-on-the-left comparisons).
+    pub(crate) fn flip(self) -> CmpOp {
+        match self {
+            CmpOp::Lt => CmpOp::Gt,
+            CmpOp::Le => CmpOp::Ge,
+            CmpOp::Gt => CmpOp::Lt,
+            CmpOp::Ge => CmpOp::Le,
+            CmpOp::Eq => CmpOp::Eq,
+            CmpOp::Ne => CmpOp::Ne,
+        }
+    }
+
+    #[inline]
+    fn test<T: Copy + PartialOrd>(self, a: T, b: T) -> bool {
+        match self {
+            CmpOp::Lt => a < b,
+            CmpOp::Le => a <= b,
+            CmpOp::Gt => a > b,
+            CmpOp::Ge => a >= b,
+            CmpOp::Eq => a == b,
+            CmpOp::Ne => a != b,
+        }
+    }
+
+    /// The operator's SQL spelling (`<>` for `Ne`).
+    pub fn sql_token(self) -> &'static str {
+        match self {
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "<>",
+        }
+    }
+}
+
+/// A boolean expression over scalar [`Expr`]s: the composable predicate
+/// language the scan filter runs. `BETWEEN` is inclusive on both ends
+/// (SQL semantics). Equality is structural with bitwise constants,
+/// inherited from [`Expr`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum BoolExpr {
+    /// `lhs ⟨op⟩ rhs`.
+    Cmp(CmpOp, Box<Expr>, Box<Expr>),
+    /// `lo <= e <= hi` (both ends inclusive).
+    Between(Box<Expr>, Box<Expr>, Box<Expr>),
+    And(Box<BoolExpr>, Box<BoolExpr>),
+    Or(Box<BoolExpr>, Box<BoolExpr>),
+    Not(Box<BoolExpr>),
+}
+
+/// One instruction of a compiled program, operating on a virtual stack of
+/// batch-sized scalar registers plus a second stack of mask registers
+/// (comparisons pop scalars and push masks; `And`/`Or`/`Not` combine
+/// masks).
+#[derive(Clone, Debug)]
 enum Inst {
-    /// Push a gather of column `cols[i]` through the selection vector.
+    /// Push a gather of column `cols[i]` through the selection vector
+    /// (integer columns widen exactly to `f64`).
     Col(usize),
     /// Push a broadcast constant (only reachable for expressions that are
     /// entirely constant; mixed const/column nodes compile to the fused
@@ -71,6 +182,7 @@ enum Inst {
     Add,
     Sub,
     Mul,
+    Div,
     /// Fused constant operand: top = top + c.
     AddConst(f64),
     /// top = top - c.
@@ -79,30 +191,234 @@ enum Inst {
     ConstSub(f64),
     /// top = top * c.
     MulConst(f64),
+    /// top = top / c.
+    DivConst(f64),
+    /// top = c / top.
+    ConstDiv(f64),
+    /// top = -top (sign flip).
+    Neg,
+    /// Pop scalar b, pop scalar a, push mask a ⟨op⟩ b.
+    Cmp(CmpOp),
+    /// Pop scalar a, push mask a ⟨op⟩ c.
+    CmpConst(CmpOp, f64),
+    /// Pop scalar a, push mask (lo <= a) & (a <= hi).
+    BetweenConst(f64, f64),
+    /// Push a constant mask (a fully folded comparison).
+    MaskConst(bool),
+    /// Pop mask b, pop mask a, push a & b.
+    And,
+    /// Pop mask b, pop mask a, push a | b.
+    Or,
+    /// top-of-mask = !top-of-mask.
+    Not,
 }
 
-/// A compiled expression: a flat postfix program plus the column names it
-/// references. Compile once per query, bind per table, evaluate per batch.
+/// A compiled program: flat postfix instructions plus the column names it
+/// references and the register depths it needs.
+#[derive(Clone, Debug)]
+struct Prog {
+    insts: Vec<Inst>,
+    cols: Vec<ColRef>,
+    scalar_depth: usize,
+    mask_depth: usize,
+}
+
+impl Prog {
+    fn new(insts: Vec<Inst>, cols: Vec<ColRef>) -> Prog {
+        let (mut ssp, mut sdepth) = (0usize, 0usize);
+        let (mut msp, mut mdepth) = (0usize, 0usize);
+        for inst in &insts {
+            match inst {
+                Inst::Col(_) | Inst::Const(_) => {
+                    ssp += 1;
+                    sdepth = sdepth.max(ssp);
+                }
+                Inst::Add | Inst::Sub | Inst::Mul | Inst::Div => ssp -= 1,
+                Inst::AddConst(_)
+                | Inst::SubConst(_)
+                | Inst::ConstSub(_)
+                | Inst::MulConst(_)
+                | Inst::DivConst(_)
+                | Inst::ConstDiv(_)
+                | Inst::Neg => {} // operate on the scalar top in place
+                Inst::Cmp(_) => {
+                    ssp -= 2;
+                    msp += 1;
+                    mdepth = mdepth.max(msp);
+                }
+                Inst::CmpConst(..) | Inst::BetweenConst(..) => {
+                    ssp -= 1;
+                    msp += 1;
+                    mdepth = mdepth.max(msp);
+                }
+                Inst::MaskConst(_) => {
+                    msp += 1;
+                    mdepth = mdepth.max(msp);
+                }
+                Inst::And | Inst::Or => msp -= 1,
+                Inst::Not => {} // mask top in place
+            }
+        }
+        // Every well-formed program leaves exactly one result: a scalar
+        // (expressions) or a mask (predicates). A future emit bug would
+        // otherwise silently read a stale register.
+        debug_assert_eq!(ssp + msp, 1, "unbalanced program");
+        Prog {
+            insts,
+            cols,
+            scalar_depth: sdepth,
+            mask_depth: mdepth,
+        }
+    }
+
+    /// Resolves the referenced columns against a table. Missing columns
+    /// and non-numeric storage surface as [`TableError`]s.
+    fn bind<'t>(&'t self, table: &'t Table) -> Result<BoundProg<'t>, TableError> {
+        let mut cols = Vec::with_capacity(self.cols.len());
+        for name in &self.cols {
+            cols.push(bind_numeric(table, name)?);
+        }
+        Ok(BoundProg {
+            insts: &self.insts,
+            cols,
+            scalar_depth: self.scalar_depth,
+            mask_depth: self.mask_depth,
+        })
+    }
+}
+
+/// A numeric column bound for gathering: integer storage widens exactly
+/// to `f64` (i32/u32/u8 all fit in the 53-bit mantissa).
+#[derive(Clone, Copy)]
+enum ColData<'t> {
+    F64(&'t [f64]),
+    I32(&'t [i32]),
+    U32(&'t [u32]),
+    U8(&'t [u8]),
+}
+
+impl ColData<'_> {
+    #[inline]
+    fn gather(&self, sel: &[u32], out: &mut [f64]) {
+        match *self {
+            ColData::F64(col) => {
+                for (r, &i) in out.iter_mut().zip(sel) {
+                    *r = col[i as usize];
+                }
+            }
+            ColData::I32(col) => {
+                for (r, &i) in out.iter_mut().zip(sel) {
+                    *r = col[i as usize] as f64;
+                }
+            }
+            ColData::U32(col) => {
+                for (r, &i) in out.iter_mut().zip(sel) {
+                    *r = col[i as usize] as f64;
+                }
+            }
+            ColData::U8(col) => {
+                for (r, &i) in out.iter_mut().zip(sel) {
+                    *r = col[i as usize] as f64;
+                }
+            }
+        }
+    }
+}
+
+fn bind_numeric<'t>(table: &'t Table, name: &ColRef) -> Result<ColData<'t>, TableError> {
+    match table.column(name.as_str())? {
+        Column::F64(v) => Ok(ColData::F64(v)),
+        Column::I32(v) => Ok(ColData::I32(v)),
+        Column::U32(v) => Ok(ColData::U32(v)),
+        Column::U8(v) => Ok(ColData::U8(v)),
+        other => Err(TableError::TypeMismatch {
+            column: name.to_string(),
+            expected: NUMERIC_EXPECTED,
+            found: other.type_name(),
+        }),
+    }
+}
+
+/// A compiled program bound to one table's column storage.
+struct BoundProg<'t> {
+    insts: &'t [Inst],
+    cols: Vec<ColData<'t>>,
+    scalar_depth: usize,
+    mask_depth: usize,
+}
+
+/// A compiled scalar expression: compile once per query, bind per table,
+/// evaluate per batch.
 #[derive(Clone, Debug)]
 pub struct CompiledExpr {
-    insts: Vec<Inst>,
-    cols: Vec<&'static str>,
-    depth: usize,
+    prog: Prog,
 }
 
-/// A compiled expression bound to one table's column storage.
+/// A compiled scalar expression bound to one table's column storage.
 pub struct BoundExpr<'t> {
-    insts: &'t [Inst],
-    cols: Vec<&'t [f64]>,
-    depth: usize,
+    prog: BoundProg<'t>,
+}
+
+/// A compiled boolean predicate. Always carries the general mask program;
+/// single-comparison shapes additionally carry a fast path that tests
+/// rows directly against the typed column (see module docs).
+#[derive(Clone, Debug)]
+pub struct CompiledPredicate {
+    prog: Prog,
+    fast: Option<FastShape>,
+}
+
+/// A compiled predicate bound to one table's column storage.
+pub struct BoundPredicate<'t> {
+    prog: BoundProg<'t>,
+    fast: Option<BoundFast<'t>>,
+}
+
+/// A fast-path predicate shape recognized at compile time (bound to a
+/// concrete column type at bind time).
+#[derive(Clone, Debug)]
+enum FastShape {
+    /// `col ⟨op⟩ rhs` (constant-on-the-left comparisons are normalized
+    /// through [`CmpOp::flip`]).
+    Cmp { col: ColRef, op: CmpOp, rhs: f64 },
+    /// `lo <= col <= hi`.
+    Between { col: ColRef, lo: f64, hi: f64 },
+}
+
+enum BoundFast<'t> {
+    F64Cmp {
+        col: &'t [f64],
+        op: CmpOp,
+        rhs: f64,
+    },
+    /// The i32 comparison runs in the integer domain — identical to the
+    /// widened f64 comparison (the conversion is exact) but without the
+    /// per-row convert.
+    I32Cmp {
+        col: &'t [i32],
+        op: CmpOp,
+        rhs: i32,
+    },
+    F64Between {
+        col: &'t [f64],
+        lo: f64,
+        hi: f64,
+    },
+    I32Between {
+        col: &'t [i32],
+        lo: i32,
+        hi: i32,
+    },
 }
 
 /// Reusable batch-sized evaluation registers. One scratch serves any
-/// number of expressions and batches; registers grow to the deepest
-/// expression and widest batch seen and are then reused allocation-free.
+/// number of expressions, predicates and batches; registers grow to the
+/// deepest program and widest batch seen and are then reused
+/// allocation-free.
 #[derive(Default)]
 pub struct EvalScratch {
     regs: Vec<Vec<f64>>,
+    masks: Vec<Vec<u8>>,
 }
 
 impl EvalScratch {
@@ -110,24 +426,32 @@ impl EvalScratch {
         EvalScratch::default()
     }
 
-    fn ensure(&mut self, depth: usize, rows: usize) {
-        if self.regs.len() < depth {
-            self.regs.resize_with(depth, Vec::new);
+    fn ensure(&mut self, scalar_depth: usize, mask_depth: usize, rows: usize) {
+        if self.regs.len() < scalar_depth {
+            self.regs.resize_with(scalar_depth, Vec::new);
         }
-        for r in &mut self.regs[..depth] {
+        for r in &mut self.regs[..scalar_depth] {
             if r.len() < rows {
                 r.resize(rows, 0.0);
+            }
+        }
+        if self.masks.len() < mask_depth {
+            self.masks.resize_with(mask_depth, Vec::new);
+        }
+        for m in &mut self.masks[..mask_depth] {
+            if m.len() < rows {
+                m.resize(rows, 0);
             }
         }
     }
 }
 
-// Builder methods intentionally mirror operator names (`add`/`sub`/`mul`
+// Builder methods intentionally mirror operator names (`add`/`sub`/...
 // build AST nodes; they are not the std operator traits).
 #[allow(clippy::should_implement_trait)]
 impl Expr {
-    pub fn col(name: &'static str) -> Expr {
-        Expr::Col(name)
+    pub fn col(name: impl Into<ColRef>) -> Expr {
+        Expr::Col(name.into())
     }
 
     pub fn lit(v: f64) -> Expr {
@@ -146,6 +470,49 @@ impl Expr {
         Expr::Mul(Box::new(self), Box::new(rhs))
     }
 
+    pub fn div(self, rhs: Expr) -> Expr {
+        Expr::Div(Box::new(self), Box::new(rhs))
+    }
+
+    pub fn neg(self) -> Expr {
+        Expr::Neg(Box::new(self))
+    }
+
+    /// `self < rhs`.
+    pub fn lt(self, rhs: Expr) -> BoolExpr {
+        BoolExpr::Cmp(CmpOp::Lt, Box::new(self), Box::new(rhs))
+    }
+
+    /// `self <= rhs`.
+    pub fn le(self, rhs: Expr) -> BoolExpr {
+        BoolExpr::Cmp(CmpOp::Le, Box::new(self), Box::new(rhs))
+    }
+
+    /// `self > rhs`.
+    pub fn gt(self, rhs: Expr) -> BoolExpr {
+        BoolExpr::Cmp(CmpOp::Gt, Box::new(self), Box::new(rhs))
+    }
+
+    /// `self >= rhs`.
+    pub fn ge(self, rhs: Expr) -> BoolExpr {
+        BoolExpr::Cmp(CmpOp::Ge, Box::new(self), Box::new(rhs))
+    }
+
+    /// `self = rhs` (IEEE equality on the widened values).
+    pub fn eq(self, rhs: Expr) -> BoolExpr {
+        BoolExpr::Cmp(CmpOp::Eq, Box::new(self), Box::new(rhs))
+    }
+
+    /// `self <> rhs`.
+    pub fn ne(self, rhs: Expr) -> BoolExpr {
+        BoolExpr::Cmp(CmpOp::Ne, Box::new(self), Box::new(rhs))
+    }
+
+    /// `lo <= self <= hi` (SQL `BETWEEN`, inclusive on both ends).
+    pub fn between(self, lo: Expr, hi: Expr) -> BoolExpr {
+        BoolExpr::Between(Box::new(self), Box::new(lo), Box::new(hi))
+    }
+
     /// Value of a constant subtree, if the whole subtree is constant.
     fn const_value(&self) -> Option<f64> {
         match self {
@@ -154,6 +521,8 @@ impl Expr {
             Expr::Add(a, b) => Some(a.const_value()? + b.const_value()?),
             Expr::Sub(a, b) => Some(a.const_value()? - b.const_value()?),
             Expr::Mul(a, b) => Some(a.const_value()? * b.const_value()?),
+            Expr::Div(a, b) => Some(a.const_value()? / b.const_value()?),
+            Expr::Neg(a) => Some(-a.const_value()?),
         }
     }
 
@@ -163,20 +532,9 @@ impl Expr {
         let mut insts = Vec::new();
         let mut cols = Vec::new();
         emit(self, &mut insts, &mut cols);
-        // Stack depth of the postfix program (for scratch sizing).
-        let (mut sp, mut depth) = (0usize, 0usize);
-        for inst in &insts {
-            match inst {
-                Inst::Col(_) | Inst::Const(_) => {
-                    sp += 1;
-                    depth = depth.max(sp);
-                }
-                Inst::Add | Inst::Sub | Inst::Mul => sp -= 1,
-                _ => {} // fused-constant forms operate on the top in place
-            }
+        CompiledExpr {
+            prog: Prog::new(insts, cols),
         }
-        debug_assert_eq!(sp, 1);
-        CompiledExpr { insts, cols, depth }
     }
 
     /// Evaluates over the rows of `sel` (a selection vector of row ids),
@@ -200,20 +558,100 @@ impl Expr {
     }
 }
 
-/// Batch width of the materializing [`Expr::eval`] wrapper (the fused
-/// pipeline chooses its own batch size).
+impl BoolExpr {
+    /// `self AND rhs`.
+    pub fn and(self, rhs: BoolExpr) -> BoolExpr {
+        BoolExpr::And(Box::new(self), Box::new(rhs))
+    }
+
+    /// `self OR rhs`.
+    pub fn or(self, rhs: BoolExpr) -> BoolExpr {
+        BoolExpr::Or(Box::new(self), Box::new(rhs))
+    }
+
+    /// `NOT self`.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> BoolExpr {
+        BoolExpr::Not(Box::new(self))
+    }
+
+    /// Compiles the predicate to a mask program, recognizing the
+    /// fast-path single-comparison shapes.
+    pub fn compile(&self) -> CompiledPredicate {
+        let mut insts = Vec::new();
+        let mut cols = Vec::new();
+        emit_bool(self, &mut insts, &mut cols);
+        CompiledPredicate {
+            prog: Prog::new(insts, cols),
+            fast: self.fast_shape(),
+        }
+    }
+
+    fn fast_shape(&self) -> Option<FastShape> {
+        match self {
+            BoolExpr::Cmp(op, a, b) => match (&**a, &**b) {
+                (Expr::Col(c), Expr::Const(v)) => Some(FastShape::Cmp {
+                    col: c.clone(),
+                    op: *op,
+                    rhs: *v,
+                }),
+                (Expr::Const(v), Expr::Col(c)) => Some(FastShape::Cmp {
+                    col: c.clone(),
+                    op: op.flip(),
+                    rhs: *v,
+                }),
+                _ => None,
+            },
+            BoolExpr::Between(e, lo, hi) => match (&**e, &**lo, &**hi) {
+                (Expr::Col(c), Expr::Const(l), Expr::Const(h)) => Some(FastShape::Between {
+                    col: c.clone(),
+                    lo: *l,
+                    hi: *h,
+                }),
+                _ => None,
+            },
+            _ => None,
+        }
+    }
+
+    /// Evaluates the predicate over the rows of `sel`, returning one
+    /// `bool` per selected row. The materializing convenience wrapper
+    /// (and the differential-testing reference for the batchwise filter
+    /// paths — it always runs the general mask program, never the fast
+    /// path).
+    pub fn eval(&self, table: &Table, sel: &[u32]) -> Result<Vec<bool>, TableError> {
+        let compiled = self.compile();
+        let bound = compiled.prog.bind(table)?;
+        let mut out = vec![false; sel.len()];
+        let mut scratch = EvalScratch::new();
+        for (schunk, ochunk) in sel
+            .chunks(EVAL_BATCH_ROWS)
+            .zip(out.chunks_mut(EVAL_BATCH_ROWS))
+        {
+            bound.exec(schunk, &mut scratch);
+            debug_assert!(bound.mask_depth >= 1, "predicates produce a mask");
+            for (o, &m) in ochunk.iter_mut().zip(&scratch.masks[0][..schunk.len()]) {
+                *o = m != 0;
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Batch width of the materializing [`Expr::eval`] / [`BoolExpr::eval`]
+/// wrappers (the fused pipeline chooses its own batch size).
 const EVAL_BATCH_ROWS: usize = 4096;
 
-fn col_index(cols: &mut Vec<&'static str>, name: &'static str) -> usize {
-    if let Some(i) = cols.iter().position(|&c| c == name) {
+fn col_index(cols: &mut Vec<ColRef>, name: &ColRef) -> usize {
+    if let Some(i) = cols.iter().position(|c| c == name) {
         i
     } else {
-        cols.push(name);
+        cols.push(name.clone());
         cols.len() - 1
     }
 }
 
-fn emit(e: &Expr, insts: &mut Vec<Inst>, cols: &mut Vec<&'static str>) {
+fn emit(e: &Expr, insts: &mut Vec<Inst>, cols: &mut Vec<ColRef>) {
     if let Some(v) = e.const_value() {
         insts.push(Inst::Const(v));
         return;
@@ -224,6 +662,11 @@ fn emit(e: &Expr, insts: &mut Vec<Inst>, cols: &mut Vec<&'static str>) {
         Expr::Add(a, b) => emit_bin(a, b, BinOp::Add, insts, cols),
         Expr::Sub(a, b) => emit_bin(a, b, BinOp::Sub, insts, cols),
         Expr::Mul(a, b) => emit_bin(a, b, BinOp::Mul, insts, cols),
+        Expr::Div(a, b) => emit_bin(a, b, BinOp::Div, insts, cols),
+        Expr::Neg(a) => {
+            emit(a, insts, cols);
+            insts.push(Inst::Neg);
+        }
     }
 }
 
@@ -232,19 +675,22 @@ enum BinOp {
     Add,
     Sub,
     Mul,
+    Div,
 }
 
-fn emit_bin(a: &Expr, b: &Expr, op: BinOp, insts: &mut Vec<Inst>, cols: &mut Vec<&'static str>) {
+fn emit_bin(a: &Expr, b: &Expr, op: BinOp, insts: &mut Vec<Inst>, cols: &mut Vec<ColRef>) {
     match (a.const_value(), b.const_value()) {
         // Both-const is folded one level up in `emit`.
         (Some(c), None) => {
             emit(b, insts, cols);
             insts.push(match op {
                 // c + x == x + c and c * x == x * c bitwise (IEEE 754
-                // addition/multiplication are commutative).
+                // addition/multiplication are commutative); subtraction
+                // and division are not, hence the Const* forms.
                 BinOp::Add => Inst::AddConst(c),
                 BinOp::Sub => Inst::ConstSub(c),
                 BinOp::Mul => Inst::MulConst(c),
+                BinOp::Div => Inst::ConstDiv(c),
             });
         }
         (None, Some(c)) => {
@@ -253,6 +699,7 @@ fn emit_bin(a: &Expr, b: &Expr, op: BinOp, insts: &mut Vec<Inst>, cols: &mut Vec
                 BinOp::Add => Inst::AddConst(c),
                 BinOp::Sub => Inst::SubConst(c),
                 BinOp::Mul => Inst::MulConst(c),
+                BinOp::Div => Inst::DivConst(c),
             });
         }
         _ => {
@@ -262,7 +709,58 @@ fn emit_bin(a: &Expr, b: &Expr, op: BinOp, insts: &mut Vec<Inst>, cols: &mut Vec
                 BinOp::Add => Inst::Add,
                 BinOp::Sub => Inst::Sub,
                 BinOp::Mul => Inst::Mul,
+                BinOp::Div => Inst::Div,
             });
+        }
+    }
+}
+
+fn emit_bool(e: &BoolExpr, insts: &mut Vec<Inst>, cols: &mut Vec<ColRef>) {
+    match e {
+        BoolExpr::Cmp(op, a, b) => match (a.const_value(), b.const_value()) {
+            (Some(x), Some(y)) => insts.push(Inst::MaskConst(op.test(x, y))),
+            (None, Some(c)) => {
+                emit(a, insts, cols);
+                insts.push(Inst::CmpConst(*op, c));
+            }
+            (Some(c), None) => {
+                emit(b, insts, cols);
+                insts.push(Inst::CmpConst(op.flip(), c));
+            }
+            (None, None) => {
+                emit(a, insts, cols);
+                emit(b, insts, cols);
+                insts.push(Inst::Cmp(*op));
+            }
+        },
+        BoolExpr::Between(e, lo, hi) => {
+            match (e.const_value(), lo.const_value(), hi.const_value()) {
+                (None, Some(l), Some(h)) => {
+                    emit(e, insts, cols);
+                    insts.push(Inst::BetweenConst(l, h));
+                }
+                // Non-constant bounds (or a fully constant subject): desugar
+                // to the two inclusive comparisons SQL defines BETWEEN as.
+                _ => {
+                    let desugared = BoolExpr::Cmp(CmpOp::Ge, e.clone(), lo.clone())
+                        .and(BoolExpr::Cmp(CmpOp::Le, e.clone(), hi.clone()));
+                    emit_bool(&desugared, insts, cols);
+                }
+            }
+        }
+        BoolExpr::And(a, b) => {
+            emit_bool(a, insts, cols);
+            emit_bool(b, insts, cols);
+            insts.push(Inst::And);
+        }
+        BoolExpr::Or(a, b) => {
+            emit_bool(a, insts, cols);
+            emit_bool(b, insts, cols);
+            insts.push(Inst::Or);
+        }
+        BoolExpr::Not(a) => {
+            emit_bool(a, insts, cols);
+            insts.push(Inst::Not);
         }
     }
 }
@@ -270,18 +768,330 @@ fn emit_bin(a: &Expr, b: &Expr, op: BinOp, insts: &mut Vec<Inst>, cols: &mut Vec
 impl CompiledExpr {
     /// Resolves the referenced columns against a table. The borrowed view
     /// is cheap to build (per query, per morsel): binding copies no data.
-    /// Missing *and* mistyped columns surface as [`TableError`]s — this is
-    /// the check the plan layer validates aggregate expressions with.
+    /// Missing *and* non-numeric columns surface as [`TableError`]s —
+    /// this is the check the plan layer validates aggregate expressions
+    /// with.
     pub fn bind<'t>(&'t self, table: &'t Table) -> Result<BoundExpr<'t>, TableError> {
-        let mut cols = Vec::with_capacity(self.cols.len());
-        for name in &self.cols {
-            cols.push(table.f64s(name)?);
-        }
         Ok(BoundExpr {
-            insts: &self.insts,
-            cols,
-            depth: self.depth,
+            prog: self.prog.bind(table)?,
         })
+    }
+}
+
+impl CompiledPredicate {
+    /// Resolves the referenced columns against a table, selecting the
+    /// typed fast path when the shape and column type allow it.
+    pub fn bind<'t>(&'t self, table: &'t Table) -> Result<BoundPredicate<'t>, TableError> {
+        let prog = self.prog.bind(table)?;
+        let fast = match &self.fast {
+            None => None,
+            Some(shape) => bind_fast(shape, table)?,
+        };
+        Ok(BoundPredicate { prog, fast })
+    }
+}
+
+/// Exactly representable as `i32`? (Comparing an i32 column against such
+/// a constant in the integer domain is bit-equivalent to the widened f64
+/// comparison.)
+fn as_exact_i32(v: f64) -> Option<i32> {
+    if v.fract() == 0.0 && (i32::MIN as f64..=i32::MAX as f64).contains(&v) {
+        Some(v as i32)
+    } else {
+        None
+    }
+}
+
+fn bind_fast<'t>(shape: &FastShape, table: &'t Table) -> Result<Option<BoundFast<'t>>, TableError> {
+    let col_name = match shape {
+        FastShape::Cmp { col, .. } | FastShape::Between { col, .. } => col,
+    };
+    // Existence/type already validated by the program bind; fall back to
+    // the general program for column types without a dedicated fast loop.
+    let column = table.column(col_name.as_str())?;
+    Ok(match (shape, column) {
+        (FastShape::Cmp { op, rhs, .. }, Column::F64(v)) => Some(BoundFast::F64Cmp {
+            col: v,
+            op: *op,
+            rhs: *rhs,
+        }),
+        (FastShape::Cmp { op, rhs, .. }, Column::I32(v)) => {
+            as_exact_i32(*rhs).map(|rhs| BoundFast::I32Cmp {
+                col: v,
+                op: *op,
+                rhs,
+            })
+        }
+        (FastShape::Between { lo, hi, .. }, Column::F64(v)) => Some(BoundFast::F64Between {
+            col: v,
+            lo: *lo,
+            hi: *hi,
+        }),
+        (FastShape::Between { lo, hi, .. }, Column::I32(v)) => {
+            match (as_exact_i32(*lo), as_exact_i32(*hi)) {
+                (Some(lo), Some(hi)) => Some(BoundFast::I32Between { col: v, lo, hi }),
+                _ => None,
+            }
+        }
+        _ => None,
+    })
+}
+
+/// Branchless selection-vector build: writes every candidate row id and
+/// advances the length by the predicate bit (the X100 idiom — no
+/// per-row branch misprediction at mid selectivities).
+#[inline]
+fn fill_with(lo: usize, hi: usize, sel: &mut Vec<u32>, keep: impl Fn(usize) -> bool) {
+    sel.clear();
+    sel.resize(hi - lo, 0);
+    let mut k = 0usize;
+    for row in lo..hi {
+        sel[k] = row as u32;
+        k += keep(row) as usize;
+    }
+    sel.truncate(k);
+}
+
+/// Branchless in-place compaction of an existing selection vector.
+#[inline]
+fn refine_with(sel: &mut Vec<u32>, keep: impl Fn(usize) -> bool) {
+    let mut k = 0usize;
+    for i in 0..sel.len() {
+        let row = sel[i];
+        sel[k] = row;
+        k += keep(row as usize) as usize;
+    }
+    sel.truncate(k);
+}
+
+/// Comparison-predicate fill with the operator dispatch hoisted out of
+/// the row loop (monomorphized per column type).
+#[inline]
+fn fill_cmp<T: Copy + PartialOrd>(
+    col: &[T],
+    op: CmpOp,
+    rhs: T,
+    lo: usize,
+    hi: usize,
+    sel: &mut Vec<u32>,
+) {
+    match op {
+        CmpOp::Lt => fill_with(lo, hi, sel, |r| col[r] < rhs),
+        CmpOp::Le => fill_with(lo, hi, sel, |r| col[r] <= rhs),
+        CmpOp::Gt => fill_with(lo, hi, sel, |r| col[r] > rhs),
+        CmpOp::Ge => fill_with(lo, hi, sel, |r| col[r] >= rhs),
+        CmpOp::Eq => fill_with(lo, hi, sel, |r| col[r] == rhs),
+        CmpOp::Ne => fill_with(lo, hi, sel, |r| col[r] != rhs),
+    }
+}
+
+#[inline]
+fn refine_cmp<T: Copy + PartialOrd>(col: &[T], op: CmpOp, rhs: T, sel: &mut Vec<u32>) {
+    match op {
+        CmpOp::Lt => refine_with(sel, |r| col[r] < rhs),
+        CmpOp::Le => refine_with(sel, |r| col[r] <= rhs),
+        CmpOp::Gt => refine_with(sel, |r| col[r] > rhs),
+        CmpOp::Ge => refine_with(sel, |r| col[r] >= rhs),
+        CmpOp::Eq => refine_with(sel, |r| col[r] == rhs),
+        CmpOp::Ne => refine_with(sel, |r| col[r] != rhs),
+    }
+}
+
+impl BoundFast<'_> {
+    fn fill(&self, lo: usize, hi: usize, sel: &mut Vec<u32>) {
+        match self {
+            BoundFast::F64Cmp { col, op, rhs } => fill_cmp(col, *op, *rhs, lo, hi, sel),
+            BoundFast::I32Cmp { col, op, rhs } => fill_cmp(col, *op, *rhs, lo, hi, sel),
+            BoundFast::F64Between { col, lo: l, hi: h } => {
+                let (l, h) = (*l, *h);
+                fill_with(lo, hi, sel, |r| (col[r] >= l) & (col[r] <= h))
+            }
+            BoundFast::I32Between { col, lo: l, hi: h } => {
+                let (l, h) = (*l, *h);
+                fill_with(lo, hi, sel, |r| (col[r] >= l) & (col[r] <= h))
+            }
+        }
+    }
+
+    fn refine(&self, sel: &mut Vec<u32>) {
+        match self {
+            BoundFast::F64Cmp { col, op, rhs } => refine_cmp(col, *op, *rhs, sel),
+            BoundFast::I32Cmp { col, op, rhs } => refine_cmp(col, *op, *rhs, sel),
+            BoundFast::F64Between { col, lo, hi } => {
+                let (l, h) = (*lo, *hi);
+                refine_with(sel, |r| (col[r] >= l) & (col[r] <= h))
+            }
+            BoundFast::I32Between { col, lo, hi } => {
+                let (l, h) = (*lo, *hi);
+                refine_with(sel, |r| (col[r] >= l) & (col[r] <= h))
+            }
+        }
+    }
+}
+
+impl BoundProg<'_> {
+    /// Executes the program over one batch; the scalar result (if any)
+    /// lands in `scratch.regs[0][..n]`, the mask result in
+    /// `scratch.masks[0][..n]`.
+    fn exec(&self, sel: &[u32], scratch: &mut EvalScratch) {
+        let n = sel.len();
+        scratch.ensure(self.scalar_depth.max(1), self.mask_depth, n);
+        let EvalScratch { regs, masks } = scratch;
+        let mut ssp = 0usize;
+        let mut msp = 0usize;
+        for inst in self.insts {
+            match *inst {
+                Inst::Col(c) => {
+                    self.cols[c].gather(sel, &mut regs[ssp][..n]);
+                    ssp += 1;
+                }
+                Inst::Const(v) => {
+                    regs[ssp][..n].fill(v);
+                    ssp += 1;
+                }
+                Inst::Add => {
+                    ssp -= 1;
+                    let (lo, hi) = regs.split_at_mut(ssp);
+                    for (a, &b) in lo[ssp - 1][..n].iter_mut().zip(&hi[0][..n]) {
+                        *a += b;
+                    }
+                }
+                Inst::Sub => {
+                    ssp -= 1;
+                    let (lo, hi) = regs.split_at_mut(ssp);
+                    for (a, &b) in lo[ssp - 1][..n].iter_mut().zip(&hi[0][..n]) {
+                        *a -= b;
+                    }
+                }
+                Inst::Mul => {
+                    ssp -= 1;
+                    let (lo, hi) = regs.split_at_mut(ssp);
+                    for (a, &b) in lo[ssp - 1][..n].iter_mut().zip(&hi[0][..n]) {
+                        *a *= b;
+                    }
+                }
+                Inst::Div => {
+                    ssp -= 1;
+                    let (lo, hi) = regs.split_at_mut(ssp);
+                    for (a, &b) in lo[ssp - 1][..n].iter_mut().zip(&hi[0][..n]) {
+                        *a /= b;
+                    }
+                }
+                Inst::AddConst(c) => {
+                    for a in &mut regs[ssp - 1][..n] {
+                        *a += c;
+                    }
+                }
+                Inst::SubConst(c) => {
+                    for a in &mut regs[ssp - 1][..n] {
+                        *a -= c;
+                    }
+                }
+                Inst::ConstSub(c) => {
+                    for a in &mut regs[ssp - 1][..n] {
+                        *a = c - *a;
+                    }
+                }
+                Inst::MulConst(c) => {
+                    for a in &mut regs[ssp - 1][..n] {
+                        *a *= c;
+                    }
+                }
+                Inst::DivConst(c) => {
+                    for a in &mut regs[ssp - 1][..n] {
+                        *a /= c;
+                    }
+                }
+                Inst::ConstDiv(c) => {
+                    for a in &mut regs[ssp - 1][..n] {
+                        *a = c / *a;
+                    }
+                }
+                Inst::Neg => {
+                    for a in &mut regs[ssp - 1][..n] {
+                        *a = -*a;
+                    }
+                }
+                Inst::Cmp(op) => {
+                    ssp -= 2;
+                    let (lo, hi) = regs.split_at_mut(ssp + 1);
+                    let a = &lo[ssp][..n];
+                    let b = &hi[0][..n];
+                    let m = &mut masks[msp][..n];
+                    match op {
+                        CmpOp::Lt => cmp_loop(m, a, b, |x, y| x < y),
+                        CmpOp::Le => cmp_loop(m, a, b, |x, y| x <= y),
+                        CmpOp::Gt => cmp_loop(m, a, b, |x, y| x > y),
+                        CmpOp::Ge => cmp_loop(m, a, b, |x, y| x >= y),
+                        CmpOp::Eq => cmp_loop(m, a, b, |x, y| x == y),
+                        CmpOp::Ne => cmp_loop(m, a, b, |x, y| x != y),
+                    }
+                    msp += 1;
+                }
+                Inst::CmpConst(op, c) => {
+                    ssp -= 1;
+                    let a = &regs[ssp][..n];
+                    let m = &mut masks[msp][..n];
+                    match op {
+                        CmpOp::Lt => cmp_const_loop(m, a, |x| x < c),
+                        CmpOp::Le => cmp_const_loop(m, a, |x| x <= c),
+                        CmpOp::Gt => cmp_const_loop(m, a, |x| x > c),
+                        CmpOp::Ge => cmp_const_loop(m, a, |x| x >= c),
+                        CmpOp::Eq => cmp_const_loop(m, a, |x| x == c),
+                        CmpOp::Ne => cmp_const_loop(m, a, |x| x != c),
+                    }
+                    msp += 1;
+                }
+                Inst::BetweenConst(l, h) => {
+                    ssp -= 1;
+                    let a = &regs[ssp][..n];
+                    cmp_const_loop(&mut masks[msp][..n], a, |x| (x >= l) & (x <= h));
+                    msp += 1;
+                }
+                Inst::MaskConst(b) => {
+                    masks[msp][..n].fill(b as u8);
+                    msp += 1;
+                }
+                Inst::And => {
+                    msp -= 1;
+                    let (lo, hi) = masks.split_at_mut(msp);
+                    for (a, &b) in lo[msp - 1][..n].iter_mut().zip(&hi[0][..n]) {
+                        *a &= b;
+                    }
+                }
+                Inst::Or => {
+                    msp -= 1;
+                    let (lo, hi) = masks.split_at_mut(msp);
+                    for (a, &b) in lo[msp - 1][..n].iter_mut().zip(&hi[0][..n]) {
+                        *a |= b;
+                    }
+                }
+                Inst::Not => {
+                    for m in &mut masks[msp - 1][..n] {
+                        *m ^= 1;
+                    }
+                }
+            }
+        }
+        debug_assert_eq!(
+            (ssp, msp),
+            if self.mask_depth == 0 { (1, 0) } else { (0, 1) },
+            "program left an unbalanced stack"
+        );
+    }
+}
+
+#[inline]
+fn cmp_loop(m: &mut [u8], a: &[f64], b: &[f64], f: impl Fn(f64, f64) -> bool) {
+    for ((m, &x), &y) in m.iter_mut().zip(a).zip(b) {
+        *m = f(x, y) as u8;
+    }
+}
+
+#[inline]
+fn cmp_const_loop(m: &mut [u8], a: &[f64], f: impl Fn(f64) -> bool) {
+    for (m, &x) in m.iter_mut().zip(a) {
+        *m = f(x) as u8;
     }
 }
 
@@ -292,66 +1102,49 @@ impl BoundExpr<'_> {
     pub fn eval_into(&self, sel: &[u32], scratch: &mut EvalScratch, out: &mut [f64]) {
         let n = sel.len();
         debug_assert_eq!(n, out.len());
-        scratch.ensure(self.depth.max(1), n);
-        let mut sp = 0usize;
-        for inst in self.insts {
-            match *inst {
-                Inst::Col(c) => {
-                    let col = self.cols[c];
-                    for (r, &i) in scratch.regs[sp][..n].iter_mut().zip(sel) {
-                        *r = col[i as usize];
-                    }
-                    sp += 1;
-                }
-                Inst::Const(v) => {
-                    scratch.regs[sp][..n].fill(v);
-                    sp += 1;
-                }
-                Inst::Add => {
-                    sp -= 1;
-                    let (lo, hi) = scratch.regs.split_at_mut(sp);
-                    for (a, &b) in lo[sp - 1][..n].iter_mut().zip(&hi[0][..n]) {
-                        *a += b;
-                    }
-                }
-                Inst::Sub => {
-                    sp -= 1;
-                    let (lo, hi) = scratch.regs.split_at_mut(sp);
-                    for (a, &b) in lo[sp - 1][..n].iter_mut().zip(&hi[0][..n]) {
-                        *a -= b;
-                    }
-                }
-                Inst::Mul => {
-                    sp -= 1;
-                    let (lo, hi) = scratch.regs.split_at_mut(sp);
-                    for (a, &b) in lo[sp - 1][..n].iter_mut().zip(&hi[0][..n]) {
-                        *a *= b;
-                    }
-                }
-                Inst::AddConst(c) => {
-                    for a in &mut scratch.regs[sp - 1][..n] {
-                        *a += c;
-                    }
-                }
-                Inst::SubConst(c) => {
-                    for a in &mut scratch.regs[sp - 1][..n] {
-                        *a -= c;
-                    }
-                }
-                Inst::ConstSub(c) => {
-                    for a in &mut scratch.regs[sp - 1][..n] {
-                        *a = c - *a;
-                    }
-                }
-                Inst::MulConst(c) => {
-                    for a in &mut scratch.regs[sp - 1][..n] {
-                        *a *= c;
-                    }
-                }
-            }
-        }
-        debug_assert_eq!(sp, 1);
+        debug_assert_eq!(self.prog.mask_depth, 0, "scalar expression");
+        self.prog.exec(sel, scratch);
         out.copy_from_slice(&scratch.regs[0][..n]);
+    }
+}
+
+impl BoundPredicate<'_> {
+    /// First conjunct of a batch: fills `sel` with the matching row ids
+    /// of `[blo, bhi)`.
+    pub fn fill(&self, blo: usize, bhi: usize, sel: &mut Vec<u32>, scratch: &mut EvalScratch) {
+        if let Some(fast) = &self.fast {
+            fast.fill(blo, bhi, sel);
+            return;
+        }
+        sel.clear();
+        sel.extend(blo as u32..bhi as u32);
+        self.mask_filter(sel, scratch);
+    }
+
+    /// Later conjuncts: compacts `sel` in place (order-preserving).
+    pub fn refine(&self, sel: &mut Vec<u32>, scratch: &mut EvalScratch) {
+        if let Some(fast) = &self.fast {
+            fast.refine(sel);
+            return;
+        }
+        self.mask_filter(sel, scratch);
+    }
+
+    /// General path: evaluate the mask program over the candidate rows,
+    /// then compact branchlessly by the mask bit.
+    fn mask_filter(&self, sel: &mut Vec<u32>, scratch: &mut EvalScratch) {
+        let n = sel.len();
+        if n == 0 {
+            return;
+        }
+        self.prog.exec(sel, scratch);
+        let mask = &scratch.masks[0][..n];
+        let mut k = 0usize;
+        for (i, &m) in mask.iter().enumerate() {
+            sel[k] = sel[i];
+            k += (m != 0) as usize;
+        }
+        sel.truncate(k);
     }
 }
 
@@ -394,17 +1187,32 @@ mod tests {
     }
 
     #[test]
-    fn mistyped_column_errors_instead_of_panicking() {
+    fn integer_columns_widen_exactly() {
         let mut t = table();
-        t.add_column("days", Column::i32(vec![1, 2, 3])).unwrap();
-        let e = Expr::col("days").add(Expr::lit(1.0));
-        assert!(matches!(
+        t.add_column("days", Column::i32(vec![1, -2, 3])).unwrap();
+        t.add_column("tag", Column::u8(vec![7, 8, 9])).unwrap();
+        t.add_column("key", Column::u32(vec![1 << 30, 5, 0]))
+            .unwrap();
+        let e = Expr::col("days").add(Expr::col("tag"));
+        assert_eq!(e.eval(&t, &[0, 1, 2]).unwrap(), vec![8.0, 6.0, 12.0]);
+        let k = Expr::col("key").mul(Expr::lit(1.0));
+        assert_eq!(k.eval(&t, &[0]).unwrap(), vec![(1u32 << 30) as f64]);
+    }
+
+    #[test]
+    fn non_numeric_column_errors_instead_of_panicking() {
+        let mut t = table();
+        t.add_column("half", Column::f32(vec![1.0, 2.0, 3.0]))
+            .unwrap();
+        let e = Expr::col("half").add(Expr::lit(1.0));
+        assert_eq!(
             e.eval(&t, &[0]).unwrap_err(),
-            crate::column::TableError::TypeMismatch {
-                expected: "F64",
-                ..
+            TableError::TypeMismatch {
+                column: "half".into(),
+                expected: NUMERIC_EXPECTED,
+                found: "F32",
             }
-        ));
+        );
     }
 
     #[test]
@@ -413,6 +1221,11 @@ mod tests {
         assert_eq!(a(), a());
         assert_ne!(a(), Expr::col("price"));
         assert_ne!(Expr::lit(1.0), Expr::lit(2.0));
+        assert_ne!(
+            Expr::col("price").div(Expr::lit(2.0)),
+            Expr::lit(2.0).div(Expr::col("price"))
+        );
+        assert_eq!(Expr::col("price").neg(), Expr::col("price").neg());
         // Bitwise on constants: ±0.0 differ (x * -0.0 and x * 0.0 round
         // to different bits for negative x), NaN literals match.
         assert_ne!(Expr::lit(0.0), Expr::lit(-0.0));
@@ -435,16 +1248,17 @@ mod tests {
 
     #[test]
     fn constant_subtrees_fold_to_a_single_instruction() {
-        // (2 + 3) * (10 - 4) is entirely constant: one Const instruction,
-        // no per-node vectors anywhere.
+        // (2 + 3) * (10 - 4) / -(-2) is entirely constant: one Const
+        // instruction, no per-node vectors anywhere.
         let e = Expr::lit(2.0)
             .add(Expr::lit(3.0))
-            .mul(Expr::lit(10.0).sub(Expr::lit(4.0)));
+            .mul(Expr::lit(10.0).sub(Expr::lit(4.0)))
+            .div(Expr::lit(2.0).neg().neg());
         let c = e.compile();
-        assert_eq!(c.insts.len(), 1);
-        assert!(matches!(c.insts[0], Inst::Const(v) if v == 30.0));
+        assert_eq!(c.prog.insts.len(), 1);
+        assert!(matches!(c.prog.insts[0], Inst::Const(v) if v == 15.0));
         let t = table();
-        assert_eq!(e.eval(&t, &[0, 1]).unwrap(), vec![30.0, 30.0]);
+        assert_eq!(e.eval(&t, &[0, 1]).unwrap(), vec![15.0, 15.0]);
     }
 
     #[test]
@@ -455,8 +1269,9 @@ mod tests {
             .mul(Expr::lit(1.0).sub(Expr::col("disc")))
             .mul(Expr::lit(1.0).add(Expr::lit(0.5)));
         let c = e.compile();
-        assert_eq!(c.depth, 2);
+        assert_eq!(c.prog.scalar_depth, 2);
         assert!(c
+            .prog
             .insts
             .iter()
             .any(|i| matches!(i, Inst::MulConst(v) if *v == 1.5)));
@@ -465,9 +1280,52 @@ mod tests {
     }
 
     #[test]
+    fn div_and_neg_fuse_constants_with_correct_operand_order() {
+        let t = table();
+        // price / 4 -> DivConst; 100 / price -> ConstDiv; -price -> Neg.
+        let e = Expr::col("price").div(Expr::lit(4.0));
+        let c = e.compile();
+        assert!(c
+            .prog
+            .insts
+            .iter()
+            .any(|i| matches!(i, Inst::DivConst(v) if *v == 4.0)));
+        assert_eq!(e.eval(&t, &[0, 2]).unwrap(), vec![25.0, 75.0]);
+
+        let e = Expr::lit(100.0).div(Expr::col("price"));
+        let c = e.compile();
+        assert!(c
+            .prog
+            .insts
+            .iter()
+            .any(|i| matches!(i, Inst::ConstDiv(v) if *v == 100.0)));
+        assert_eq!(e.eval(&t, &[0, 1]).unwrap(), vec![1.0, 0.5]);
+
+        let e = Expr::col("price").neg();
+        assert_eq!(e.eval(&t, &[1]).unwrap(), vec![-200.0]);
+    }
+
+    #[test]
+    fn neg_is_sign_flip_not_zero_minus() {
+        let mut t = Table::new("z");
+        t.add_column("x", Column::f64(vec![0.0, -0.0, 1.5]))
+            .unwrap();
+        let out = Expr::col("x").neg().eval(&t, &[0, 1, 2]).unwrap();
+        assert_eq!(out[0].to_bits(), (-0.0f64).to_bits());
+        assert_eq!(out[1].to_bits(), 0.0f64.to_bits());
+        assert_eq!(out[2], -1.5);
+        // And the constant fold performs the same operation.
+        assert_eq!(
+            Expr::lit(0.0).neg().eval(&t, &[0]).unwrap()[0].to_bits(),
+            (-0.0f64).to_bits()
+        );
+    }
+
+    #[test]
     fn compiled_eval_is_bit_identical_to_tree_semantics() {
-        // Hand-evaluate the Q1 charge expression per row and compare bits:
-        // the compiled program must perform the identical rounding dag.
+        // Hand-evaluate the Q1 charge expression (extended with Div/Neg)
+        // per row and compare bits: the compiled program must perform the
+        // identical rounding dag.
         let mut t = Table::new("l");
         let price = vec![1234.567, 9.25e4, 3.0e-3, 7777.125];
         let disc = vec![0.03, 0.1, 0.07, 0.0];
@@ -477,10 +1335,11 @@ mod tests {
         t.add_column("t", Column::f64(tax.clone())).unwrap();
         let e = Expr::col("p")
             .mul(Expr::lit(1.0).sub(Expr::col("d")))
-            .mul(Expr::lit(1.0).add(Expr::col("t")));
+            .mul(Expr::lit(1.0).add(Expr::col("t")))
+            .div(Expr::col("p").neg());
         let out = e.eval(&t, &[0, 1, 2, 3]).unwrap();
         for i in 0..4 {
-            let reference = price[i] * (1.0 - disc[i]) * (1.0 + tax[i]);
+            let reference = price[i] * (1.0 - disc[i]) * (1.0 + tax[i]) / (-price[i]);
             assert_eq!(out[i].to_bits(), reference.to_bits(), "row {i}");
         }
     }
@@ -504,5 +1363,172 @@ mod tests {
         let mut one = [0.0f64; 1];
         b1.eval_into(&[1], &mut scratch, &mut one);
         assert_eq!(one, [0.0]);
+    }
+
+    // ---- boolean layer ---------------------------------------------------
+
+    /// Per-row tree-walk reference for predicates.
+    fn bool_reference(e: &BoolExpr, t: &Table, row: u32) -> bool {
+        match e {
+            BoolExpr::Cmp(op, a, b) => {
+                let x = a.eval(t, &[row]).unwrap()[0];
+                let y = b.eval(t, &[row]).unwrap()[0];
+                op.test(x, y)
+            }
+            BoolExpr::Between(e, lo, hi) => {
+                let x = e.eval(t, &[row]).unwrap()[0];
+                let l = lo.eval(t, &[row]).unwrap()[0];
+                let h = hi.eval(t, &[row]).unwrap()[0];
+                (x >= l) & (x <= h)
+            }
+            BoolExpr::And(a, b) => bool_reference(a, t, row) && bool_reference(b, t, row),
+            BoolExpr::Or(a, b) => bool_reference(a, t, row) || bool_reference(b, t, row),
+            BoolExpr::Not(a) => !bool_reference(a, t, row),
+        }
+    }
+
+    fn pred_table() -> Table {
+        let mut t = Table::new("p");
+        t.add_column(
+            "x",
+            Column::f64(
+                (0..200)
+                    .map(|i| (i % 23) as f64 * 0.5 - 3.0)
+                    .collect::<Vec<_>>(),
+            ),
+        )
+        .unwrap();
+        t.add_column(
+            "k",
+            Column::i32((0..200).map(|i| (i % 17) - 5).collect::<Vec<_>>()),
+        )
+        .unwrap();
+        t.add_column(
+            "b",
+            Column::u8((0..200).map(|i| (i % 7) as u8).collect::<Vec<_>>()),
+        )
+        .unwrap();
+        t
+    }
+
+    fn check_pred(e: &BoolExpr, t: &Table) {
+        let rows: Vec<u32> = (0..t.rows() as u32).collect();
+        // Materializing mask == per-row tree walk.
+        let mask = e.eval(t, &rows).unwrap();
+        for &r in &rows {
+            assert_eq!(mask[r as usize], bool_reference(e, t, r), "row {r}: {e:?}");
+        }
+        // fill == expected selection.
+        let compiled = e.compile();
+        let bound = compiled.bind(t).unwrap();
+        let mut scratch = EvalScratch::new();
+        let mut sel = Vec::new();
+        bound.fill(0, t.rows(), &mut sel, &mut scratch);
+        let expected: Vec<u32> = rows.iter().copied().filter(|&r| mask[r as usize]).collect();
+        assert_eq!(sel, expected, "{e:?}");
+        // refine from the full set reaches the same selection.
+        let mut sel2: Vec<u32> = rows.clone();
+        bound.refine(&mut sel2, &mut scratch);
+        assert_eq!(sel2, expected, "{e:?}");
+    }
+
+    #[test]
+    fn predicates_match_tree_reference() {
+        let t = pred_table();
+        let preds = [
+            Expr::col("x").lt(Expr::lit(4.0)),
+            Expr::col("k").le(Expr::lit(7.0)),
+            Expr::lit(2.0).le(Expr::col("k")), // const-on-the-left flips
+            Expr::col("x").between(Expr::lit(-1.0), Expr::lit(3.5)),
+            Expr::col("k").between(Expr::lit(-2.0), Expr::lit(9.0)),
+            Expr::col("b").eq(Expr::lit(3.0)),
+            Expr::col("x")
+                .mul(Expr::lit(2.0))
+                .gt(Expr::col("k").add(Expr::lit(1.0))),
+            Expr::col("x")
+                .lt(Expr::lit(1.0))
+                .and(Expr::col("k").ge(Expr::lit(0.0))),
+            Expr::col("x")
+                .lt(Expr::lit(0.0))
+                .or(Expr::col("b").ne(Expr::lit(2.0))),
+            Expr::col("x").lt(Expr::lit(2.0)).not(),
+            Expr::col("k")
+                .between(Expr::lit(0.0), Expr::lit(8.0))
+                .not()
+                .or(Expr::col("x").ge(Expr::col("b"))),
+            // Between with non-constant bounds desugars.
+            Expr::col("x").between(Expr::col("k"), Expr::col("b")),
+            // Fully constant comparisons fold to a mask constant.
+            Expr::lit(1.0)
+                .lt(Expr::lit(2.0))
+                .and(Expr::col("x").gt(Expr::lit(0.0))),
+            Expr::lit(5.0)
+                .lt(Expr::lit(2.0))
+                .or(Expr::col("x").gt(Expr::lit(0.0))),
+        ];
+        for p in &preds {
+            check_pred(p, &t);
+        }
+    }
+
+    #[test]
+    fn i32_fast_path_requires_exact_bounds() {
+        let t = pred_table();
+        // 3.5 is not an i32: the comparison must fall back to the general
+        // (widened f64) program and still be correct.
+        let p = Expr::col("k").le(Expr::lit(3.5));
+        let compiled = p.compile();
+        let bound = compiled.bind(&t).unwrap();
+        assert!(bound.fast.is_none());
+        check_pred(&p, &t);
+        // An exact bound takes the integer fast path.
+        let p = Expr::col("k").le(Expr::lit(3.0));
+        let compiled = p.compile();
+        let bound = compiled.bind(&t).unwrap();
+        assert!(matches!(bound.fast, Some(BoundFast::I32Cmp { rhs: 3, .. })));
+        check_pred(&p, &t);
+    }
+
+    #[test]
+    fn nan_comparisons_are_ieee() {
+        let mut t = Table::new("n");
+        t.add_column("x", Column::f64(vec![1.0, f64::NAN])).unwrap();
+        let rows = [0u32, 1];
+        assert_eq!(
+            Expr::col("x").lt(Expr::lit(2.0)).eval(&t, &rows).unwrap(),
+            vec![true, false]
+        );
+        assert_eq!(
+            Expr::col("x").ne(Expr::lit(2.0)).eval(&t, &rows).unwrap(),
+            vec![true, true]
+        );
+        assert_eq!(
+            Expr::col("x")
+                .between(Expr::lit(0.0), Expr::lit(2.0))
+                .eval(&t, &rows)
+                .unwrap(),
+            vec![true, false]
+        );
+    }
+
+    #[test]
+    fn predicate_missing_or_non_numeric_column_errors() {
+        let mut t = pred_table();
+        t.add_column("half", Column::f32(vec![0.0; 200])).unwrap();
+        assert!(matches!(
+            Expr::col("nope").lt(Expr::lit(1.0)).eval(&t, &[0]),
+            Err(TableError::NoSuchColumn(_))
+        ));
+        assert_eq!(
+            Expr::col("half")
+                .lt(Expr::lit(1.0))
+                .eval(&t, &[0])
+                .unwrap_err(),
+            TableError::TypeMismatch {
+                column: "half".into(),
+                expected: NUMERIC_EXPECTED,
+                found: "F32",
+            }
+        );
     }
 }

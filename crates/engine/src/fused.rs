@@ -19,21 +19,34 @@
 //! always maintained, and AVG is pure plan-level finalization over a SUM
 //! state), and the [`GroupKey`] grouping mode.
 //!
-//! **Group keys** come in three shapes:
+//! **Filters** are conjunctions of compiled [`BoolExpr`] predicates
+//! ([`crate::expr`]): the first conjunct fills the batch's selection
+//! vector branchlessly, later conjuncts refine it in place. Simple
+//! `col ⟨cmp⟩ const` shapes run typed fast loops; arbitrary compositions
+//! (`OR`, `NOT`, arithmetic comparisons) run the mask program — both
+//! produce the identical selection in the identical row order.
+//!
+//! **Group keys** come in four shapes:
 //!
 //! * [`GroupKey::None`] — a single accumulator (group id 0), taking the
 //!   vectorized single-group fast paths;
 //! * [`GroupKey::Dense`] — two dictionary-encoded `U8` columns mapped to
 //!   a dense id by an `encode` fn (Q1's flag/status pair), direct array
 //!   indexing as MonetDB does for small group counts;
-//! * [`GroupKey::Hash`] — arbitrary-cardinality `I32`/`U32` keys. Each
-//!   scan range owns an [`AggHashTable`] mapping key → dense local group
-//!   id; whole batches of keys are resolved through
+//! * [`GroupKey::Hash`] — arbitrary-cardinality `I32`/`U32`/`U8` keys.
+//!   Each scan range owns an [`AggHashTable`] mapping key → dense local
+//!   group id; whole batches of keys are resolved through
 //!   [`AggHashTable::upsert_batch`] (the §IV batched probe), unseen keys
 //!   are appended to a slot→key list in first-seen row order, and the
 //!   per-group state arrays grow on demand. Parallel partials merge *by
 //!   key*: the reduction walks the other side's slot→key list and folds
 //!   each slot into the local slot of the same key.
+//! * [`GroupKey::HashPair`] — two `U8` columns packed into one `u32` key
+//!   (`(a << 8) | b`) through the same hash arm. This is how a SQL
+//!   `GROUP BY flag, status` over dictionary-encoded byte columns runs
+//!   without a precomputed dense `encode` fn: only observed pairs
+//!   materialize group state, and the packed key sorts output rows in
+//!   `(a, b)` lexicographic order.
 //!
 //! **Why fusion preserves bit-identity** (paper footnote 3, extended to
 //! batched evaluation): the per-row expression dag is evaluated with the
@@ -63,8 +76,10 @@
 //! projected values) and is routed to the materializing pipeline by the
 //! query entry points, never reaching this executor.
 
-use crate::column::{Column, Table};
-use crate::expr::{BoundExpr, CompiledExpr, EvalScratch, Expr};
+use crate::column::{ColRef, Column, Table};
+use crate::expr::{
+    BoolExpr, BoundExpr, BoundPredicate, CompiledExpr, CompiledPredicate, EvalScratch, Expr,
+};
 use crate::q1::PhaseTiming;
 use crate::sum_op::{GroupedStates, OverflowError, SumBackend, SCAN_MORSEL_ROWS};
 use rayon::prelude::*;
@@ -76,42 +91,37 @@ use std::time::Instant;
 /// amortizing per-batch dispatch — the X100 sweet spot.
 pub const FUSED_BATCH_ROWS: usize = 4096;
 
-/// A conjunct of the scan filter, evaluated batch-at-a-time against a
-/// typed column. Range bounds follow the queries' SQL semantics.
-#[derive(Clone, Copy, Debug)]
-pub enum Pred {
-    /// `lo <= col < hi` on an `I32` column.
-    I32Range { col: &'static str, lo: i32, hi: i32 },
-    /// `col <= max` on an `I32` column.
-    I32Le { col: &'static str, max: i32 },
-    /// `lo <= col <= hi` (inclusive) on an `F64` column.
-    F64Range { col: &'static str, lo: f64, hi: f64 },
-    /// `col < max` on an `F64` column.
-    F64Lt { col: &'static str, max: f64 },
-}
-
 /// GROUP BY over two dictionary-encoded `U8` columns, mapped to a dense
 /// group id by `encode` (Q1's `(l_returnflag, l_linestatus)` pair).
-#[derive(Clone, Copy)]
+#[derive(Clone, Debug)]
 pub struct GroupSpec {
-    pub a: &'static str,
-    pub b: &'static str,
+    pub a: ColRef,
+    pub b: ColRef,
     pub encode: fn(u8, u8) -> u32,
 }
 
 /// Grouping mode of a fused scan.
-#[derive(Clone, Copy)]
+#[derive(Clone, Debug)]
 pub enum GroupKey {
     /// No GROUP BY: one un-grouped accumulator (group id 0).
     None,
     /// Dense dictionary-encoded grouping over a `U8` column pair;
     /// `groups` is the number of ids `spec.encode` can produce.
     Dense { spec: GroupSpec, groups: usize },
-    /// Arbitrary-cardinality grouping on an `I32` or `U32` key column,
-    /// group ids assigned through a per-morsel [`AggHashTable`]. The key
-    /// value `u32::MAX` (`-1_i32`) is reserved as the table's empty-slot
-    /// sentinel; scanning it surfaces as [`FusedError::ReservedKey`].
-    Hash { col: &'static str, hash: HashKind },
+    /// Arbitrary-cardinality grouping on an `I32`, `U32` or `U8` key
+    /// column, group ids assigned through a per-morsel [`AggHashTable`].
+    /// The key value `u32::MAX` (`-1_i32`) is reserved as the table's
+    /// empty-slot sentinel; scanning it surfaces as
+    /// [`FusedError::ReservedKey`].
+    Hash { col: ColRef, hash: HashKind },
+    /// Grouping on a pair of `U8` columns packed into one `u32` key
+    /// (`(a << 8) | b`) through the hash arm — the SQL
+    /// `GROUP BY a, b` shape over dictionary-encoded byte columns.
+    HashPair {
+        a: ColRef,
+        b: ColRef,
+        hash: HashKind,
+    },
 }
 
 /// Runtime errors of the fused executor (as opposed to the validation
@@ -123,7 +133,7 @@ pub enum FusedError {
     Overflow(OverflowError),
     /// A [`GroupKey::Hash`] scan encountered the reserved key value
     /// `u32::MAX` (`-1` on an `I32` column) in the named column.
-    ReservedKey { col: &'static str },
+    ReservedKey { col: String },
     /// A [`GroupKey::Dense`] `encode` fn produced an id outside
     /// `0..groups` for a value pair actually present in the data.
     GroupIdOutOfBounds { got: u32, groups: usize },
@@ -160,7 +170,8 @@ impl From<OverflowError> for FusedError {
 /// maintained), and the grouping mode. The plan layer lowers a logical
 /// [`crate::plan::QueryPlan`] into this shape.
 pub struct FusedQuery {
-    pub filter: Vec<Pred>,
+    /// Conjuncts of the scan filter (all must hold).
+    pub filter: Vec<BoolExpr>,
     /// One [`crate::GroupedSums`] state array per entry.
     pub sums: Vec<Expr>,
     /// One per-group minimum array per entry.
@@ -241,115 +252,9 @@ pub struct FusedRun {
     pub timing: PhaseTiming,
 }
 
-/// A filter conjunct bound to its column storage.
-enum BoundPred<'t> {
-    I32Range { col: &'t [i32], lo: i32, hi: i32 },
-    I32Le { col: &'t [i32], max: i32 },
-    F64Range { col: &'t [f64], lo: f64, hi: f64 },
-    F64Lt { col: &'t [f64], max: f64 },
-}
-
-/// Branchless selection-vector build: writes every candidate row id and
-/// advances the length by the predicate bit (the X100 idiom — no
-/// per-row branch misprediction at mid selectivities).
-#[inline]
-fn fill_with(lo: usize, hi: usize, sel: &mut Vec<u32>, keep: impl Fn(usize) -> bool) {
-    sel.clear();
-    sel.resize(hi - lo, 0);
-    let mut k = 0usize;
-    for row in lo..hi {
-        sel[k] = row as u32;
-        k += keep(row) as usize;
-    }
-    sel.truncate(k);
-}
-
-/// Branchless in-place compaction of an existing selection vector.
-#[inline]
-fn refine_with(sel: &mut Vec<u32>, keep: impl Fn(usize) -> bool) {
-    let mut k = 0usize;
-    for i in 0..sel.len() {
-        let row = sel[i];
-        sel[k] = row;
-        k += keep(row as usize) as usize;
-    }
-    sel.truncate(k);
-}
-
-impl BoundPred<'_> {
-    /// Single-row form of the predicate — the differential-testing
-    /// reference for the branchless batch loops below.
-    #[cfg(test)]
-    fn test(&self, row: usize) -> bool {
-        match *self {
-            BoundPred::I32Range { col, lo, hi } => (lo..hi).contains(&col[row]),
-            BoundPred::I32Le { col, max } => col[row] <= max,
-            BoundPred::F64Range { col, lo, hi } => (lo..=hi).contains(&col[row]),
-            BoundPred::F64Lt { col, max } => col[row] < max,
-        }
-    }
-
-    /// First conjunct: fills `sel` with the matching row ids of the batch.
-    /// The match hoists the predicate dispatch out of the row loop, and
-    /// non-short-circuiting `&` keeps the comparisons branch-free.
-    fn fill(&self, blo: usize, bhi: usize, sel: &mut Vec<u32>) {
-        match *self {
-            BoundPred::I32Range { col, lo, hi } => {
-                fill_with(blo, bhi, sel, |r| (col[r] >= lo) & (col[r] < hi))
-            }
-            BoundPred::I32Le { col, max } => fill_with(blo, bhi, sel, |r| col[r] <= max),
-            BoundPred::F64Range { col, lo, hi } => {
-                fill_with(blo, bhi, sel, |r| (col[r] >= lo) & (col[r] <= hi))
-            }
-            BoundPred::F64Lt { col, max } => fill_with(blo, bhi, sel, |r| col[r] < max),
-        }
-    }
-
-    /// Later conjuncts: compacts `sel` in place (order-preserving).
-    fn refine(&self, sel: &mut Vec<u32>) {
-        match *self {
-            BoundPred::I32Range { col, lo, hi } => {
-                refine_with(sel, |r| (col[r] >= lo) & (col[r] < hi))
-            }
-            BoundPred::I32Le { col, max } => refine_with(sel, |r| col[r] <= max),
-            BoundPred::F64Range { col, lo, hi } => {
-                refine_with(sel, |r| (col[r] >= lo) & (col[r] <= hi))
-            }
-            BoundPred::F64Lt { col, max } => refine_with(sel, |r| col[r] < max),
-        }
-    }
-}
-
-fn bind_pred<'t>(p: &Pred, table: &'t Table) -> BoundPred<'t> {
-    let col = |name| {
-        table
-            .column(name)
-            .expect("fused query references a missing column")
-    };
-    match *p {
-        Pred::I32Range { col: c, lo, hi } => BoundPred::I32Range {
-            col: col(c).as_i32(),
-            lo,
-            hi,
-        },
-        Pred::I32Le { col: c, max } => BoundPred::I32Le {
-            col: col(c).as_i32(),
-            max,
-        },
-        Pred::F64Range { col: c, lo, hi } => BoundPred::F64Range {
-            col: col(c).as_f64(),
-            lo,
-            hi,
-        },
-        Pred::F64Lt { col: c, max } => BoundPred::F64Lt {
-            col: col(c).as_f64(),
-            max,
-        },
-    }
-}
-
-/// Compiled form of a query's aggregate input expressions.
+/// Compiled form of a query's filter and aggregate input expressions.
 struct CompiledAggs {
+    filter: Vec<CompiledPredicate>,
     sums: Vec<CompiledExpr>,
     mins: Vec<CompiledExpr>,
     maxs: Vec<CompiledExpr>,
@@ -378,6 +283,7 @@ pub fn run_fused(
     );
     let opts = opts.normalized();
     let compiled = CompiledAggs {
+        filter: query.filter.iter().map(BoolExpr::compile).collect(),
         sums: query.sums.iter().map(Expr::compile).collect(),
         mins: query.mins.iter().map(Expr::compile).collect(),
         maxs: query.maxs.iter().map(Expr::compile).collect(),
@@ -494,9 +400,12 @@ impl Partial {
 /// A hash-grouping key column bound to its storage. `I32` keys are mapped
 /// to `u32` by bit pattern (a bijection), so negative keys group
 /// correctly — except `-1`, which collides with the reserved sentinel.
+/// `U8` and packed `U8` pairs can never produce the sentinel.
 enum KeyCol<'t> {
     I32(&'t [i32]),
     U32(&'t [u32]),
+    U8(&'t [u8]),
+    U8Pair(&'t [u8], &'t [u8]),
 }
 
 impl KeyCol<'_> {
@@ -505,6 +414,8 @@ impl KeyCol<'_> {
         match *self {
             KeyCol::I32(col) => col[row] as u32,
             KeyCol::U32(col) => col[row],
+            KeyCol::U8(col) => col[row] as u32,
+            KeyCol::U8Pair(a, b) => ((a[row] as u32) << 8) | b[row] as u32,
         }
     }
 }
@@ -519,7 +430,7 @@ enum GroupCtx<'t> {
         groups: usize,
     },
     Hash {
-        col: &'static str,
+        col: &'t ColRef,
         key_col: KeyCol<'t>,
     },
 }
@@ -535,7 +446,14 @@ fn scan_range(
     lo: usize,
     hi: usize,
 ) -> Result<Partial, FusedError> {
-    let preds: Vec<BoundPred> = query.filter.iter().map(|p| bind_pred(p, table)).collect();
+    let preds: Vec<BoundPredicate> = compiled
+        .filter
+        .iter()
+        .map(|p| {
+            p.bind(table)
+                .expect("fused query references a missing or mistyped column")
+        })
+        .collect();
     fn bind_expr<'t>(c: &'t CompiledExpr, table: &'t Table) -> BoundExpr<'t> {
         c.bind(table)
             .expect("fused query references a missing or mistyped column")
@@ -544,18 +462,18 @@ fn scan_range(
     let bound_mins: Vec<BoundExpr> = compiled.mins.iter().map(|c| bind_expr(c, table)).collect();
     let bound_maxs: Vec<BoundExpr> = compiled.maxs.iter().map(|c| bind_expr(c, table)).collect();
 
+    let bind_u8 = |name: &ColRef| {
+        table
+            .column(name.as_str())
+            .expect("fused query references a missing column")
+            .as_u8()
+    };
     let (ctx, init_groups, mut hash) = match &query.group_by {
         GroupKey::None => (GroupCtx::Single, 1, None),
         GroupKey::Dense { spec, groups } => (
             GroupCtx::Dense {
-                a: table
-                    .column(spec.a)
-                    .expect("fused query references a missing column")
-                    .as_u8(),
-                b: table
-                    .column(spec.b)
-                    .expect("fused query references a missing column")
-                    .as_u8(),
+                a: bind_u8(&spec.a),
+                b: bind_u8(&spec.b),
                 encode: spec.encode,
                 groups: *groups,
             },
@@ -566,16 +484,25 @@ fn scan_range(
             GroupCtx::Hash {
                 col,
                 key_col: match table
-                    .column(col)
+                    .column(col.as_str())
                     .expect("fused query references a missing column")
                 {
                     Column::I32(v) => KeyCol::I32(v),
                     Column::U32(v) => KeyCol::U32(v),
+                    Column::U8(v) => KeyCol::U8(v),
                     other => panic!(
-                        "hash group key must be an I32 or U32 column, found {}",
+                        "hash group key must be an I32, U32 or U8 column, found {}",
                         other.type_name()
                     ),
                 },
+            },
+            0,
+            Some(HashGroups::new(*hash)),
+        ),
+        GroupKey::HashPair { a, b, hash } => (
+            GroupCtx::Hash {
+                col: a,
+                key_col: KeyCol::U8Pair(bind_u8(a), bind_u8(b)),
             },
             0,
             Some(HashGroups::new(*hash)),
@@ -608,9 +535,9 @@ fn scan_range(
         match preds.split_first() {
             None => sel.extend(blo as u32..bhi as u32),
             Some((first, rest)) => {
-                first.fill(blo, bhi, &mut sel);
+                first.fill(blo, bhi, &mut sel, &mut scratch);
                 for p in rest {
-                    p.refine(&mut sel);
+                    p.refine(&mut sel, &mut scratch);
                 }
             }
         }
@@ -642,7 +569,9 @@ fn scan_range(
                 for &row in &sel {
                     let k = key_col.get(row as usize);
                     if k == u32::MAX {
-                        return Err(FusedError::ReservedKey { col });
+                        return Err(FusedError::ReservedKey {
+                            col: col.to_string(),
+                        });
                     }
                     key_buf.push(k);
                 }
@@ -760,15 +689,11 @@ mod tests {
     fn sample_query() -> FusedQuery {
         FusedQuery {
             filter: vec![
-                Pred::I32Range {
-                    col: "k",
-                    lo: 3,
-                    hi: 27,
-                },
-                Pred::F64Lt {
-                    col: "x",
-                    max: 11.0,
-                },
+                // 3 <= k < 27 on the I32 column (two typed fast conjuncts).
+                Expr::col("k")
+                    .ge(Expr::lit(3.0))
+                    .and(Expr::col("k").lt(Expr::lit(27.0))),
+                Expr::col("x").lt(Expr::lit(11.0)),
             ],
             sums: vec![
                 Expr::col("x").mul(Expr::lit(1.0).sub(Expr::col("y"))),
@@ -778,13 +703,26 @@ mod tests {
             maxs: vec![],
             group_by: GroupKey::Dense {
                 spec: GroupSpec {
-                    a: "ga",
-                    b: "gb",
+                    a: "ga".into(),
+                    b: "gb".into(),
                     encode: encode_low_bit,
                 },
                 groups: 4,
             },
         }
+    }
+
+    /// Rows where every filter conjunct holds, via the materializing
+    /// [`BoolExpr::eval`] reference (general mask program, no fast path).
+    fn selected_rows(table: &Table, filter: &[BoolExpr]) -> Vec<u32> {
+        let all: Vec<u32> = (0..table.rows() as u32).collect();
+        let masks: Vec<Vec<bool>> = filter
+            .iter()
+            .map(|p| p.eval(table, &all).unwrap())
+            .collect();
+        all.into_iter()
+            .filter(|&i| masks.iter().all(|m| m[i as usize]))
+            .collect()
     }
 
     /// Materializing reference: n-sized selection vector, Expr::eval,
@@ -794,15 +732,11 @@ mod tests {
         query: &FusedQuery,
         backend: SumBackend,
     ) -> (Vec<Vec<f64>>, Vec<u64>) {
-        let rows = table.rows();
-        let preds: Vec<BoundPred> = query.filter.iter().map(|p| bind_pred(p, table)).collect();
-        let sel: Vec<u32> = (0..rows as u32)
-            .filter(|&i| preds.iter().all(|p| p.test(i as usize)))
-            .collect();
+        let sel = selected_rows(table, &query.filter);
         let (gids, groups): (Vec<u32>, usize) = match &query.group_by {
             GroupKey::Dense { spec, groups } => {
-                let a = table.column(spec.a).unwrap().as_u8();
-                let b = table.column(spec.b).unwrap().as_u8();
+                let a = table.column(spec.a.as_str()).unwrap().as_u8();
+                let b = table.column(spec.b.as_str()).unwrap().as_u8();
                 (
                     sel.iter()
                         .map(|&i| (spec.encode)(a[i as usize], b[i as usize]))
@@ -811,7 +745,9 @@ mod tests {
                 )
             }
             GroupKey::None => (vec![0; sel.len()], 1),
-            GroupKey::Hash { .. } => unreachable!("hash reference is separate"),
+            GroupKey::Hash { .. } | GroupKey::HashPair { .. } => {
+                unreachable!("hash reference is separate")
+            }
         };
         let sums = query
             .sums
@@ -871,12 +807,12 @@ mod tests {
         // and through an equivalent dense reference computed per key.
         let table = sample_table(8_000);
         let query = FusedQuery {
-            filter: vec![Pred::F64Lt { col: "x", max: 9.5 }],
+            filter: vec![Expr::col("x").lt(Expr::lit(9.5))],
             sums: vec![Expr::col("x").mul(Expr::col("y"))],
             mins: vec![Expr::col("x")],
             maxs: vec![Expr::col("x")],
             group_by: GroupKey::Hash {
-                col: "k",
+                col: "k".into(),
                 hash: HashKind::Identity,
             },
         };
@@ -939,7 +875,7 @@ mod tests {
             mins: vec![],
             maxs: vec![],
             group_by: GroupKey::Hash {
-                col: "k",
+                col: "k".into(),
                 hash: HashKind::Multiplicative,
             },
         };
@@ -989,19 +925,17 @@ mod tests {
         )
         .unwrap();
         // Scalar reference.
-        let preds: Vec<BoundPred> = query.filter.iter().map(|p| bind_pred(p, &table)).collect();
         let a = table.column("ga").unwrap().as_u8();
         let b = table.column("gb").unwrap().as_u8();
         let x = table.column("x").unwrap().as_f64();
         let y = table.column("y").unwrap().as_f64();
         let mut mins = [f64::INFINITY; 4];
         let mut maxs = [f64::NEG_INFINITY; 4];
-        for i in 0..table.rows() {
-            if preds.iter().all(|p| p.test(i)) {
-                let g = encode_low_bit(a[i], b[i]) as usize;
-                mins[g] = mins[g].min(x[i]);
-                maxs[g] = maxs[g].max(x[i] * y[i]);
-            }
+        for i in selected_rows(&table, &query.filter) {
+            let i = i as usize;
+            let g = encode_low_bit(a[i], b[i]) as usize;
+            mins[g] = mins[g].min(x[i]);
+            maxs[g] = maxs[g].max(x[i] * y[i]);
         }
         for g in 0..4 {
             assert_eq!(run.mins[0][g].to_bits(), mins[g].to_bits(), "group {g}");
@@ -1013,11 +947,7 @@ mod tests {
     fn ungrouped_single_sink_path() {
         let table = sample_table(5_000);
         let query = FusedQuery {
-            filter: vec![Pred::F64Range {
-                col: "y",
-                lo: 0.02,
-                hi: 0.09,
-            }],
+            filter: vec![Expr::col("y").between(Expr::lit(0.02), Expr::lit(0.09))],
             sums: vec![Expr::col("x").mul(Expr::col("y"))],
             mins: vec![],
             maxs: vec![],
@@ -1079,7 +1009,7 @@ mod tests {
             mins: vec![],
             maxs: vec![],
             group_by: GroupKey::Hash {
-                col: "k",
+                col: "k".into(),
                 hash: HashKind::Identity,
             },
         };
@@ -1124,7 +1054,7 @@ mod tests {
             mins: vec![],
             maxs: vec![],
             group_by: GroupKey::Hash {
-                col: "k",
+                col: "k".into(),
                 hash: HashKind::Identity,
             },
         };
@@ -1138,7 +1068,7 @@ mod tests {
         ] {
             assert_eq!(
                 run_fused(&t, &q, SumBackend::ReproUnbuffered, &opts).unwrap_err(),
-                FusedError::ReservedKey { col: "k" }
+                FusedError::ReservedKey { col: "k".into() }
             );
         }
     }
@@ -1156,8 +1086,8 @@ mod tests {
             maxs: vec![],
             group_by: GroupKey::Dense {
                 spec: GroupSpec {
-                    a: "ga",
-                    b: "gb",
+                    a: "ga".into(),
+                    b: "gb".into(),
                     encode: bad_encode,
                 },
                 groups: 4,

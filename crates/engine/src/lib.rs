@@ -5,10 +5,15 @@
 //! motivating example (Algorithm 1):
 //!
 //! * [`mod@column`] — typed columns and tables with explicit *physical* row
-//!   order and `Arc`-shared zero-copy storage, including an MVCC-style
-//!   UPDATE that reorders rows exactly like the paper's PostgreSQL example;
-//! * [`expr`] — arithmetic expressions compiled to batch-at-a-time register
-//!   programs with constant folding (no per-node vectors);
+//!   order, `Arc`-shared zero-copy storage, schema introspection
+//!   ([`Table::schema`]) and owned column references ([`ColRef`]),
+//!   including an MVCC-style UPDATE that reorders rows exactly like the
+//!   paper's PostgreSQL example;
+//! * [`expr`] — typed scalar *and* boolean expressions over numeric
+//!   columns (`F64`/`I32`/`U32`/`U8`), compiled to batch-at-a-time
+//!   register programs with constant folding (no per-node vectors);
+//!   boolean predicates ([`BoolExpr`]) build branchless selection
+//!   vectors, with typed fast paths for `col ⟨cmp⟩ const` shapes;
 //! * [`sum_op`] — the grouped SUM operator with pluggable backends: plain
 //!   overflow-checked doubles (MonetDB behaviour), `repro<double, 4>`
 //!   with/without summation buffers, and the sorted-input baseline — all
@@ -22,10 +27,16 @@
 //! * [`plan`] — the logical query-plan layer: [`QueryPlan`]s over
 //!   SUM / COUNT / AVG / MIN / MAX ([`AggCall`]) validated against a
 //!   table (`TableError`, no panics) and lowered onto the fused executor;
+//! * [`sql`] — the SQL frontend: lexer → recursive-descent parser →
+//!   AST → name-resolution/type-check against a table's schema →
+//!   lowering onto [`QueryPlan`], with typed errors (never panics) and a
+//!   canonical pretty-printer;
 //! * [`q1`], [`q6`], [`q15`] — TPC-H Query 1, 6 and the Q15 revenue view
-//!   expressed as plans (with the materializing reference pipeline kept
-//!   for differential testing and the sorted-double baseline), reporting
-//!   the CPU-time split (scan / aggregation / other) that Table IV builds
+//!   expressed as plans *and* as pinned SQL texts
+//!   ([`q1_sql`]/[`q6_sql`]/[`q15_sql`], proptested bit-identical to the
+//!   builder plans), with the materializing reference pipeline kept for
+//!   differential testing and the sorted-double baseline, reporting the
+//!   CPU-time split (scan / aggregation / other) that Table IV builds
 //!   on. Parallel execution is bit-identical to serial for every backend.
 //!
 //! ```
@@ -38,22 +49,22 @@
 //! assert!(timing.total().as_nanos() > 0);
 //! ```
 //!
-//! Ad-hoc queries go through the plan builder:
+//! Ad-hoc queries go through SQL (or the equivalent plan builder):
 //!
 //! ```
-//! use rfa_engine::plan::QueryPlan;
-//! use rfa_engine::{lineitem_table, ExecOptions, Expr, SumBackend};
+//! use rfa_engine::{lineitem_table, sql_query, ExecOptions, SumBackend};
 //! use rfa_workloads::Lineitem;
 //!
 //! let table = lineitem_table(&Lineitem::generate(10_000, 42));
-//! let result = QueryPlan::scan("lineitem")
-//!     .group_by_key("l_suppkey") // 10 000 suppliers: the hash arm
-//!     .sum(Expr::col("l_quantity"))
-//!     .avg(Expr::col("l_discount"))
-//!     .count()
+//! let query = sql_query(
+//!     "SELECT l_suppkey, SUM(l_quantity), AVG(l_discount), COUNT(*) \
+//!      FROM lineitem WHERE l_quantity < 30 GROUP BY l_suppkey",
+//!     &table,
+//! ).unwrap();
+//! let result = query
 //!     .execute(&table, SumBackend::ReproUnbuffered, &ExecOptions::parallel())
 //!     .unwrap();
-//! assert_eq!(result.keys.len(), result.columns[2].u64s().len());
+//! assert_eq!(result.columns.len(), 4); // suppkey, SUM, AVG, COUNT
 //! ```
 
 pub mod column;
@@ -63,22 +74,29 @@ pub mod plan;
 pub mod q1;
 pub mod q15;
 pub mod q6;
+pub mod sql;
 pub mod sum_op;
 
-pub use column::{Column, Table, TableError};
-pub use expr::{BoundExpr, CompiledExpr, EvalScratch, Expr};
+pub use column::{ColRef, Column, Table, TableError};
+pub use expr::{
+    BoolExpr, BoundExpr, BoundPredicate, CmpOp, CompiledExpr, CompiledPredicate, EvalScratch, Expr,
+};
 pub use fused::{
-    run_fused, ExecOptions, FusedError, FusedQuery, FusedRun, GroupKey, GroupSpec, Pred,
-    FUSED_BATCH_ROWS,
+    run_fused, ExecOptions, FusedError, FusedQuery, FusedRun, GroupKey, GroupSpec, FUSED_BATCH_ROWS,
 };
 pub use plan::{AggCall, AggColumn, PlanError, PlanResult, QueryPlan};
 pub use q1::{
-    lineitem_table, q1_plan, run_q1, run_q1_materializing, run_q1_materializing_par, run_q1_par,
-    run_q1_with, PhaseTiming, Q1Row,
+    lineitem_table, q1_plan, q1_sql, run_q1, run_q1_materializing, run_q1_materializing_par,
+    run_q1_par, run_q1_with, PhaseTiming, Q1Row,
 };
-pub use q15::{q15_plan, run_q15, run_q15_par, run_q15_with, RevenueRow};
+pub use q15::{q15_plan, q15_sql, run_q15, run_q15_par, run_q15_with, RevenueRow};
 pub use q6::{
-    q6_plan, run_q6, run_q6_materializing, run_q6_materializing_par, run_q6_par, run_q6_with,
+    q6_plan, q6_sql, run_q6, run_q6_materializing, run_q6_materializing_par, run_q6_par,
+    run_q6_with,
+};
+pub use sql::{
+    parse_select, resolve_select, sql_query, SelectItem, SelectStmt, SqlColumn, SqlError, SqlQuery,
+    SqlResult,
 };
 pub use sum_op::{
     count_grouped, sum_grouped, sum_grouped_par, GroupedOutput, GroupedStates, GroupedSums,

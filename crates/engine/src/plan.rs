@@ -14,14 +14,14 @@
 //!
 //! ```
 //! use rfa_engine::plan::{AggCall, QueryPlan};
-//! use rfa_engine::{Column, ExecOptions, Expr, Pred, SumBackend, Table};
+//! use rfa_engine::{Column, ExecOptions, Expr, SumBackend, Table};
 //!
 //! let mut t = Table::new("sensors");
 //! t.add_column("station", Column::i32(vec![3, 1, 3, 7])).unwrap();
 //! t.add_column("temp", Column::f64(vec![21.5, 19.0, 22.5, 18.0])).unwrap();
 //!
 //! let plan = QueryPlan::scan("sensors")
-//!     .filter(Pred::F64Lt { col: "temp", max: 22.0 })
+//!     .filter(Expr::col("temp").lt(Expr::lit(22.0)))
 //!     .group_by_key("station")
 //!     .agg(AggCall::Count)
 //!     .agg(AggCall::Avg(Expr::col("temp")));
@@ -52,9 +52,9 @@
 //! `0`, AVG `NaN` (`0.0 / 0`), MIN `+∞` and MAX `-∞` — the closest f64
 //! stand-ins for SQL's NULL).
 
-use crate::column::{Column, Table, TableError};
-use crate::expr::Expr;
-use crate::fused::{run_fused, ExecOptions, FusedError, FusedQuery, GroupKey, GroupSpec, Pred};
+use crate::column::{ColRef, Column, Table, TableError};
+use crate::expr::{BoolExpr, Expr};
+use crate::fused::{run_fused, ExecOptions, FusedError, FusedQuery, GroupKey, GroupSpec};
 use crate::q1::PhaseTiming;
 use crate::sum_op::{OverflowError, SumBackend};
 use rfa_agg::HashKind;
@@ -81,12 +81,14 @@ pub enum AggCall {
 
 /// A logical scan-filter-group-aggregate plan, built with the fluent
 /// constructors and executed with [`QueryPlan::execute`].
-#[derive(Clone)]
+#[derive(Clone, Debug)]
 pub struct QueryPlan {
     /// Source table name, checked against [`Table::name`] at execution.
     pub table: String,
-    /// Conjunctive filter (all predicates must hold).
-    pub filter: Vec<Pred>,
+    /// Conjunctive filter (all predicates must hold). Lowering splits
+    /// top-level `AND`s into further conjuncts, so single-comparison
+    /// pieces take the typed fast filter loops.
+    pub filter: Vec<BoolExpr>,
     pub group_by: GroupKey,
     /// Aggregate outputs, in result-column order.
     pub aggs: Vec<AggCall>,
@@ -105,7 +107,7 @@ pub enum PlanError {
     /// The hash group-key column contains the reserved value `u32::MAX`
     /// (`-1` on an `I32` column) — a data-dependent error the scan
     /// reports, since no up-front validation can rule it out.
-    ReservedKey { col: &'static str },
+    ReservedKey { col: String },
     /// A dense `encode` fn produced a group id outside `0..groups` for a
     /// value pair present in the data (also data-dependent: `encode` is
     /// only ever called on pairs that actually occur).
@@ -240,7 +242,7 @@ impl QueryPlan {
     }
 
     /// Adds a filter conjunct.
-    pub fn filter(mut self, pred: Pred) -> Self {
+    pub fn filter(mut self, pred: BoolExpr) -> Self {
         self.filter.push(pred);
         self
     }
@@ -255,31 +257,50 @@ impl QueryPlan {
     /// ids in `0..groups` by `encode` (the Q1 shape).
     pub fn group_by_dense(
         self,
-        a: &'static str,
-        b: &'static str,
+        a: impl Into<ColRef>,
+        b: impl Into<ColRef>,
         encode: fn(u8, u8) -> u32,
         groups: usize,
     ) -> Self {
         self.group_by(GroupKey::Dense {
-            spec: GroupSpec { a, b, encode },
+            spec: GroupSpec {
+                a: a.into(),
+                b: b.into(),
+                encode,
+            },
             groups,
         })
     }
 
-    /// Groups by an arbitrary-cardinality `I32`/`U32` key column through
-    /// the hash arm, with the paper's identity hashing (the right default
-    /// for domain-encoded dense-ish keys; see [`HashKind`]).
-    pub fn group_by_key(self, col: &'static str) -> Self {
+    /// Groups by an arbitrary-cardinality `I32`/`U32`/`U8` key column
+    /// through the hash arm, with the paper's identity hashing (the right
+    /// default for domain-encoded dense-ish keys; see [`HashKind`]).
+    pub fn group_by_key(self, col: impl Into<ColRef>) -> Self {
         self.group_by(GroupKey::Hash {
-            col,
+            col: col.into(),
             hash: HashKind::Identity,
         })
     }
 
     /// [`QueryPlan::group_by_key`] with an explicit hash function (use
     /// [`HashKind::Multiplicative`] for adversarially clustered keys).
-    pub fn group_by_key_with(self, col: &'static str, hash: HashKind) -> Self {
-        self.group_by(GroupKey::Hash { col, hash })
+    pub fn group_by_key_with(self, col: impl Into<ColRef>, hash: HashKind) -> Self {
+        self.group_by(GroupKey::Hash {
+            col: col.into(),
+            hash,
+        })
+    }
+
+    /// Groups by a pair of `U8` columns through the hash arm, packed into
+    /// one key as `(a << 8) | b` — the SQL `GROUP BY a, b` shape. Only
+    /// observed pairs materialize state (unlike a dense 65 536-id
+    /// encoding), and output rows ascend in `(a, b)` lexicographic order.
+    pub fn group_by_u8_pair(self, a: impl Into<ColRef>, b: impl Into<ColRef>) -> Self {
+        self.group_by(GroupKey::HashPair {
+            a: a.into(),
+            b: b.into(),
+            hash: HashKind::Identity,
+        })
     }
 
     /// Appends an aggregate output column.
@@ -355,7 +376,7 @@ impl QueryPlan {
                 .filter(|&g| run.counts[g] > 0)
                 .map(|g| (g as i64, g))
                 .collect(),
-            GroupKey::Hash { .. } => {
+            GroupKey::Hash { .. } | GroupKey::HashPair { .. } => {
                 let mut rows: Vec<(i64, usize)> =
                     (0..run.counts.len()).map(|g| (key_of(g), g)).collect();
                 rows.sort_unstable();
@@ -400,8 +421,10 @@ impl QueryPlan {
 
     /// Validates every column reference and lowers the logical plan to
     /// the physical [`FusedQuery`], sharing one SUM state between SUM and
-    /// AVG calls over structurally identical expressions.
-    fn lower(&self, table: &Table) -> Result<Lowered, PlanError> {
+    /// AVG calls over structurally identical expressions and splitting
+    /// top-level `AND` conjunctions so single-comparison pieces take the
+    /// typed fast filter loops.
+    pub(crate) fn lower(&self, table: &Table) -> Result<Lowered, PlanError> {
         if self.table != table.name {
             return Err(PlanError::WrongTable {
                 expected: self.table.clone(),
@@ -412,16 +435,15 @@ impl QueryPlan {
             return Err(PlanError::Unsupported("plan has no aggregates"));
         }
 
-        // Filter predicates: existence + storage type.
+        // Filter predicates: split top-level ANDs (a conjunction of
+        // conjuncts filters the identical rows in the identical order),
+        // then validate every column reference via compile-and-bind.
+        let mut filter = Vec::new();
         for pred in &self.filter {
-            match *pred {
-                Pred::I32Range { col, .. } | Pred::I32Le { col, .. } => {
-                    table.i32s(col)?;
-                }
-                Pred::F64Range { col, .. } | Pred::F64Lt { col, .. } => {
-                    table.f64s(col)?;
-                }
-            }
+            split_conjuncts(pred, &mut filter);
+        }
+        for pred in &filter {
+            pred.compile().bind(table)?;
         }
 
         // Group key columns.
@@ -429,30 +451,35 @@ impl QueryPlan {
         match &self.group_by {
             GroupKey::None => {}
             GroupKey::Dense { spec, .. } => {
-                table.u8s(spec.a)?;
-                table.u8s(spec.b)?;
+                table.u8s(&spec.a)?;
+                table.u8s(&spec.b)?;
             }
             GroupKey::Hash { col, .. } => match table.column(col)? {
                 Column::I32(_) => key_signed = true,
-                Column::U32(_) => {}
+                Column::U32(_) | Column::U8(_) => {}
                 other => {
                     return Err(PlanError::Table(TableError::TypeMismatch {
                         column: col.to_string(),
-                        expected: "I32 or U32",
+                        expected: "I32, U32 or U8",
                         found: other.type_name(),
                     }))
                 }
             },
+            GroupKey::HashPair { a, b, .. } => {
+                table.u8s(a)?;
+                table.u8s(b)?;
+            }
         }
 
         // Aggregate expressions: validate via compile-and-bind (checks
-        // every referenced column exists as F64), dedup SUM inputs.
+        // every referenced column exists with numeric storage), dedup
+        // SUM inputs.
         let mut query = FusedQuery {
-            filter: self.filter.clone(),
+            filter,
             sums: Vec::new(),
             mins: Vec::new(),
             maxs: Vec::new(),
-            group_by: self.group_by,
+            group_by: self.group_by.clone(),
         };
         let mut outputs = Vec::with_capacity(self.aggs.len());
         for call in &self.aggs {
@@ -485,9 +512,20 @@ fn intern(exprs: &mut Vec<Expr>, e: &Expr) -> usize {
     }
 }
 
+/// Splits top-level `AND`s into individual conjuncts (recursively), so
+/// `a AND b AND c` filters as three refine passes over the batch.
+fn split_conjuncts(e: &BoolExpr, out: &mut Vec<BoolExpr>) {
+    if let BoolExpr::And(a, b) = e {
+        split_conjuncts(a, out);
+        split_conjuncts(b, out);
+    } else {
+        out.push(e.clone());
+    }
+}
+
 /// A validated plan lowered to physical form.
-struct Lowered {
-    query: FusedQuery,
+pub(crate) struct Lowered {
+    pub(crate) query: FusedQuery,
     /// Per [`AggCall`]: which state array (by kind and slot) finalizes it.
     outputs: Vec<Output>,
     /// Hash keys came from an `I32` column (restore the sign on output).
@@ -521,6 +559,8 @@ mod tests {
         )
         .unwrap();
         t.add_column("flag", Column::u8(vec![0, 1, 0, 1, 0, 1]))
+            .unwrap();
+        t.add_column("noise", Column::f32(vec![0.1, 0.2, 0.3, 0.4, 0.5, 0.6]))
             .unwrap();
         t
     }
@@ -578,10 +618,7 @@ mod tests {
     fn ungrouped_plan_yields_one_row_even_when_empty() {
         let t = sensor_table();
         let plan = QueryPlan::scan("sensors")
-            .filter(Pred::F64Lt {
-                col: "temp",
-                max: -100.0,
-            })
+            .filter(Expr::col("temp").lt(Expr::lit(-100.0)))
             .sum(Expr::col("temp"))
             .count();
         let r = plan
@@ -610,6 +647,80 @@ mod tests {
         assert_eq!(r.columns[0].u64s(), &[3, 3]);
         // flag 0 rows: 21.5, 22.5, 20.0; flag 1 rows: 19.0, 18.0, 25.0.
         assert_eq!(r.columns[1].f64s(), &[22.5, 25.0]);
+    }
+
+    #[test]
+    fn u8_pair_grouping_matches_dense_encoding_bitwise() {
+        // The same (flag, grade)-style pair grouped (a) densely with an
+        // encode fn and (b) through the packed hash-pair arm: identical
+        // per-group bits, with pair keys in lexicographic order.
+        let n = 4_000;
+        let mut t = Table::new("t");
+        let a: Vec<u8> = (0..n).map(|i| (i % 3) as u8).collect();
+        let b: Vec<u8> = (0..n).map(|i| (i % 5) as u8).collect();
+        let v: Vec<f64> = (0..n)
+            .map(|i| (i % 101) as f64 * 0.125 - 4.0 + 2.5e-16)
+            .collect();
+        t.add_column("a", Column::u8(a.clone())).unwrap();
+        t.add_column("b", Column::u8(b.clone())).unwrap();
+        t.add_column("v", Column::f64(v)).unwrap();
+        fn encode(a: u8, b: u8) -> u32 {
+            ((a as u32) << 8) | b as u32
+        }
+        let aggs = |p: QueryPlan| p.sum(Expr::col("v")).count().avg(Expr::col("v"));
+        let dense = aggs(QueryPlan::scan("t").group_by_dense("a", "b", encode, 1 << 16));
+        let pair = aggs(QueryPlan::scan("t").group_by_u8_pair("a", "b"));
+        for backend in [SumBackend::ReproUnbuffered, SumBackend::Double] {
+            let d = dense.execute(&t, backend, &ExecOptions::serial()).unwrap();
+            for opts in [
+                ExecOptions::serial(),
+                ExecOptions {
+                    threads: 4,
+                    batch_rows: 57,
+                    morsel_rows: 311,
+                },
+            ] {
+                let h = pair.execute(&t, backend, &opts).unwrap();
+                assert_eq!(d.keys, h.keys, "{backend:?} {opts:?}");
+                assert_eq!(d.columns[1], h.columns[1]);
+                for c in [0usize, 2] {
+                    for (x, y) in d.columns[c].f64s().iter().zip(h.columns[c].f64s()) {
+                        assert_eq!(x.to_bits(), y.to_bits(), "{backend:?} {opts:?} col {c}");
+                    }
+                }
+            }
+        }
+    }
+
+    /// Satellite: plan-level diagnostics name the column and both types —
+    /// pinned as exact strings.
+    #[test]
+    fn plan_error_messages_are_actionable() {
+        assert_eq!(
+            PlanError::Table(TableError::TypeMismatch {
+                column: "station".into(),
+                expected: crate::expr::NUMERIC_EXPECTED,
+                found: "F32",
+            })
+            .to_string(),
+            "plan validation failed: column \"station\" is F32, expected F64, I32, U32 or U8"
+        );
+        assert_eq!(
+            PlanError::WrongTable {
+                expected: "lineitem".into(),
+                found: "sensors".into(),
+            }
+            .to_string(),
+            "plan targets table \"lineitem\", executed against \"sensors\""
+        );
+        assert_eq!(
+            PlanError::ReservedKey { col: "k".into() }.to_string(),
+            "group key column \"k\" contains the reserved value u32::MAX (-1_i32)"
+        );
+        assert_eq!(
+            PlanError::GroupIdOutOfBounds { got: 9, groups: 2 }.to_string(),
+            "dense group encoding produced id 9 >= groups 2"
+        );
     }
 
     #[test]
@@ -649,10 +760,7 @@ mod tests {
     fn missing_filter_column_errors() {
         let t = sensor_table();
         let plan = QueryPlan::scan("sensors")
-            .filter(Pred::F64Lt {
-                col: "nope",
-                max: 1.0,
-            })
+            .filter(Expr::col("nope").lt(Expr::lit(1.0)))
             .count();
         assert_eq!(
             plan.execute(&t, SumBackend::Double, &ExecOptions::serial())
@@ -662,38 +770,30 @@ mod tests {
     }
 
     #[test]
-    fn mistyped_filter_column_errors() {
+    fn non_numeric_filter_column_errors() {
         let t = sensor_table();
-        // station is I32, filtered as F64.
+        // noise is F32, which no expression can read.
         let plan = QueryPlan::scan("sensors")
-            .filter(Pred::F64Lt {
-                col: "station",
-                max: 1.0,
-            })
+            .filter(Expr::col("noise").lt(Expr::lit(1.0)))
             .count();
-        assert!(matches!(
+        assert_eq!(
             plan.execute(&t, SumBackend::Double, &ExecOptions::serial())
                 .unwrap_err(),
             PlanError::Table(TableError::TypeMismatch {
-                expected: "F64",
-                ..
+                column: "noise".into(),
+                expected: crate::expr::NUMERIC_EXPECTED,
+                found: "F32",
             })
-        ));
-        // temp is F64, filtered as I32.
+        );
+        // Integer columns, in contrast, are valid scalar operands: the
+        // widened comparison filters the I32 station column.
         let plan = QueryPlan::scan("sensors")
-            .filter(Pred::I32Le {
-                col: "temp",
-                max: 1,
-            })
+            .filter(Expr::col("station").le(Expr::lit(3.0)))
             .count();
-        assert!(matches!(
-            plan.execute(&t, SumBackend::Double, &ExecOptions::serial())
-                .unwrap_err(),
-            PlanError::Table(TableError::TypeMismatch {
-                expected: "I32",
-                ..
-            })
-        ));
+        let r = plan
+            .execute(&t, SumBackend::Double, &ExecOptions::serial())
+            .unwrap();
+        assert_eq!(r.columns[0].u64s(), &[5]);
     }
 
     #[test]
@@ -705,12 +805,12 @@ mod tests {
                 .unwrap_err(),
             PlanError::Table(TableError::NoSuchColumn("nope".into()))
         );
-        let plan = QueryPlan::scan("sensors").avg(Expr::col("station"));
+        let plan = QueryPlan::scan("sensors").avg(Expr::col("noise"));
         assert!(matches!(
             plan.execute(&t, SumBackend::Double, &ExecOptions::serial())
                 .unwrap_err(),
             PlanError::Table(TableError::TypeMismatch {
-                expected: "F64",
+                expected: crate::expr::NUMERIC_EXPECTED,
                 ..
             })
         ));
@@ -731,9 +831,18 @@ mod tests {
             plan.execute(&t, SumBackend::Double, &ExecOptions::serial())
                 .unwrap_err(),
             PlanError::Table(TableError::TypeMismatch {
-                expected: "I32 or U32",
+                expected: "I32, U32 or U8",
                 ..
             })
+        ));
+        // Neither leg of a U8 pair may be anything but U8.
+        let plan = QueryPlan::scan("sensors")
+            .group_by_u8_pair("flag", "station")
+            .count();
+        assert!(matches!(
+            plan.execute(&t, SumBackend::Double, &ExecOptions::serial())
+                .unwrap_err(),
+            PlanError::Table(TableError::TypeMismatch { expected: "U8", .. })
         ));
         // Dense keys must be U8 columns.
         fn encode(_: u8, _: u8) -> u32 {
@@ -785,7 +894,7 @@ mod tests {
         assert_eq!(
             plan.execute(&t, SumBackend::ReproUnbuffered, &ExecOptions::serial())
                 .unwrap_err(),
-            PlanError::ReservedKey { col: "k" }
+            PlanError::ReservedKey { col: "k".into() }
         );
         // Dense encode out of range for a pair present in the data.
         let t = sensor_table();
@@ -806,10 +915,7 @@ mod tests {
     fn ungrouped_avg_over_zero_rows_is_nan() {
         let t = sensor_table();
         let plan = QueryPlan::scan("sensors")
-            .filter(Pred::F64Lt {
-                col: "temp",
-                max: -100.0,
-            })
+            .filter(Expr::col("temp").lt(Expr::lit(-100.0)))
             .avg(Expr::col("temp"))
             .min(Expr::col("temp"))
             .max(Expr::col("temp"));

@@ -35,7 +35,7 @@
 
 use crate::column::Table;
 use crate::expr::Expr;
-use crate::fused::{ExecOptions, Pred};
+use crate::fused::ExecOptions;
 use crate::plan::{PlanError, QueryPlan};
 use crate::sum_op::{
     count_grouped, sum_grouped, sum_grouped_par, OverflowError, SumBackend, SCAN_MORSEL_ROWS,
@@ -123,10 +123,7 @@ pub fn q1_plan() -> QueryPlan {
     let disc_price =
         || Expr::col("l_extendedprice").mul(Expr::lit(1.0).sub(Expr::col("l_discount")));
     QueryPlan::scan("lineitem")
-        .filter(Pred::I32Le {
-            col: "l_shipdate",
-            max: Q1_SHIPDATE_CUTOFF,
-        })
+        .filter(Expr::col("l_shipdate").le(Expr::lit(Q1_SHIPDATE_CUTOFF as f64)))
         .group_by_dense(
             "l_returnflag",
             "l_linestatus",
@@ -141,6 +138,27 @@ pub fn q1_plan() -> QueryPlan {
         .avg(Expr::col("l_extendedprice"))
         .avg(Expr::col("l_discount"))
         .count()
+}
+
+/// The pinned Q1 SQL text: parsing and lowering this through
+/// [`crate::sql`] produces results bit-identical to [`q1_plan`] (the SQL
+/// groups through the hash-pair arm rather than the dense dictionary
+/// encoding, but every group receives the identical value sequence, and
+/// both output orders ascend by `(l_returnflag, l_linestatus)`). The
+/// date cutoff is inlined as the day number behind
+/// [`Q1_SHIPDATE_CUTOFF`], since the engine stores dates as days since
+/// 1992-01-01.
+pub fn q1_sql() -> String {
+    format!(
+        "SELECT l_returnflag, l_linestatus, \
+         SUM(l_quantity), SUM(l_extendedprice), \
+         SUM(l_extendedprice * (1 - l_discount)), \
+         SUM(l_extendedprice * (1 - l_discount) * (1 + l_tax)), \
+         AVG(l_quantity), AVG(l_extendedprice), AVG(l_discount), COUNT(*) \
+         FROM lineitem \
+         WHERE l_shipdate <= {Q1_SHIPDATE_CUTOFF} \
+         GROUP BY l_returnflag, l_linestatus"
+    )
 }
 
 /// Assembles Q1 output rows from per-group sums and counts.

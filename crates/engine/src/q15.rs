@@ -27,7 +27,7 @@
 //! [`AggHashTable::upsert_batch`]: rfa_agg::AggHashTable::upsert_batch
 
 use crate::expr::Expr;
-use crate::fused::{ExecOptions, Pred};
+use crate::fused::ExecOptions;
 use crate::plan::{PlanError, QueryPlan};
 use crate::q1::{lineitem_table, PhaseTiming};
 use crate::sum_op::SumBackend;
@@ -50,14 +50,25 @@ pub struct RevenueRow {
 /// COUNT grouped by `l_suppkey` through the hash arm.
 pub fn q15_plan() -> QueryPlan {
     QueryPlan::scan("lineitem")
-        .filter(Pred::I32Range {
-            col: "l_shipdate",
-            lo: Q15_DATE_LO,
-            hi: Q15_DATE_HI,
-        })
+        .filter(Expr::col("l_shipdate").ge(Expr::lit(Q15_DATE_LO as f64)))
+        .filter(Expr::col("l_shipdate").lt(Expr::lit(Q15_DATE_HI as f64)))
         .group_by_key("l_suppkey")
         .sum(Expr::col("l_extendedprice").mul(Expr::lit(1.0).sub(Expr::col("l_discount"))))
         .count()
+}
+
+/// The pinned Q15 revenue-view SQL text: parsing and lowering this
+/// through [`crate::sql`] produces the identical lowered query as
+/// [`q15_plan`] (hash grouping on `l_suppkey` with identity hashing),
+/// hence bit-identical results for every backend and thread count.
+pub fn q15_sql() -> String {
+    format!(
+        "SELECT l_suppkey, \
+         SUM(l_extendedprice * (1 - l_discount)), COUNT(*) \
+         FROM lineitem \
+         WHERE l_shipdate >= {Q15_DATE_LO} AND l_shipdate < {Q15_DATE_HI} \
+         GROUP BY l_suppkey"
+    )
 }
 
 /// Executes the Q15 revenue view serially; returns one row per supplier

@@ -25,7 +25,7 @@
 //! as the [`SumBackend::SortedDouble`] host.
 
 use crate::expr::Expr;
-use crate::fused::{ExecOptions, Pred};
+use crate::fused::ExecOptions;
 use crate::plan::{PlanError, QueryPlan};
 use crate::q1::{lineitem_table, PhaseTiming};
 use crate::sum_op::{sum_grouped, sum_grouped_par, OverflowError, SumBackend, SCAN_MORSEL_ROWS};
@@ -41,21 +41,25 @@ pub const Q6_DATE_HI: i32 = 3 * 365;
 /// un-grouped SUM of `l_extendedprice * l_discount`.
 pub fn q6_plan() -> QueryPlan {
     QueryPlan::scan("lineitem")
-        .filter(Pred::I32Range {
-            col: "l_shipdate",
-            lo: Q6_DATE_LO,
-            hi: Q6_DATE_HI,
-        })
-        .filter(Pred::F64Range {
-            col: "l_discount",
-            lo: 0.05,
-            hi: 0.07,
-        })
-        .filter(Pred::F64Lt {
-            col: "l_quantity",
-            max: 24.0,
-        })
+        .filter(Expr::col("l_shipdate").ge(Expr::lit(Q6_DATE_LO as f64)))
+        .filter(Expr::col("l_shipdate").lt(Expr::lit(Q6_DATE_HI as f64)))
+        .filter(Expr::col("l_discount").between(Expr::lit(0.05), Expr::lit(0.07)))
+        .filter(Expr::col("l_quantity").lt(Expr::lit(24.0)))
         .sum(Expr::col("l_extendedprice").mul(Expr::col("l_discount")))
+}
+
+/// The pinned Q6 SQL text: parsing and lowering this through
+/// [`crate::sql`] produces the identical lowered query as [`q6_plan`]
+/// (the dates are inlined as day numbers behind
+/// [`Q6_DATE_LO`]/[`Q6_DATE_HI`]), hence bit-identical results for every
+/// backend, thread count and batch shape.
+pub fn q6_sql() -> String {
+    format!(
+        "SELECT SUM(l_extendedprice * l_discount) \
+         FROM lineitem \
+         WHERE l_shipdate >= {Q6_DATE_LO} AND l_shipdate < {Q6_DATE_HI} \
+         AND l_discount BETWEEN 0.05 AND 0.07 AND l_quantity < 24"
+    )
 }
 
 /// Executes Q6 serially through the fused pipeline (materializing for

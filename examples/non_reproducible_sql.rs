@@ -5,12 +5,19 @@
 //!
 //! Run with: `cargo run --release --example non_reproducible_sql`
 
-use rfa::engine::{sum_grouped, Column, SumBackend, Table};
+use rfa::engine::{sql_query, Column, ExecOptions, SqlColumn, SumBackend, Table};
 
+/// Runs the literal SQL text through the engine's SQL frontend
+/// (parse → resolve → lower → fused scan) — no simulation.
 fn select_sum(table: &Table, backend: SumBackend) -> f64 {
-    let f = table.column("f").expect("column f");
-    let group_ids = vec![0u32; f.len()]; // un-grouped SUM = one group
-    sum_grouped(backend, &group_ids, f.as_f64(), 1).expect("no overflow")[0]
+    let query = sql_query("SELECT SUM(f) FROM R", table).expect("valid query");
+    let result = query
+        .execute(table, backend, &ExecOptions::serial())
+        .expect("no overflow");
+    match &result.columns[0] {
+        SqlColumn::F64(v) => v[0],
+        other => unreachable!("SUM is F64, got {other:?}"),
+    }
 }
 
 fn main() {

@@ -6,7 +6,7 @@
 //! Run with: `cargo run --release --example plan_api`
 
 use rfa::engine::plan::QueryPlan;
-use rfa::engine::{lineitem_table, run_q15, Column, ExecOptions, Expr, Pred, SumBackend, Table};
+use rfa::engine::{lineitem_table, run_q15, Column, ExecOptions, Expr, SumBackend, Table};
 use rfa::workloads::Lineitem;
 
 fn main() {
@@ -17,10 +17,7 @@ fn main() {
     // SELECT sum(qty), avg(qty), min(price), max(price), count(*)
     // FROM lineitem WHERE l_shipdate <= 1000 GROUP BY flag pair
     let plan = QueryPlan::scan("lineitem")
-        .filter(Pred::I32Le {
-            col: "l_shipdate",
-            max: 1000,
-        })
+        .filter(Expr::col("l_shipdate").le(Expr::lit(1000.0)))
         .group_by_dense("l_returnflag", "l_linestatus", Lineitem::encode_group, 6)
         .sum(Expr::col("l_quantity"))
         .avg(Expr::col("l_quantity"))
