@@ -29,6 +29,17 @@ pub trait AggFn: Send + Sync {
     fn new_state(&self) -> Self::State;
     /// Folds one value into a group's state.
     fn step(&self, state: &mut Self::State, value: Self::Input);
+    /// Folds a run of values into one group's state. Must be bit-identical
+    /// to calling [`step`](AggFn::step) per value; the default does
+    /// exactly that. Reproducible aggregates override it to route runs
+    /// through the vectorized block kernel (exact at every boundary, so
+    /// the override keeps the contract for free).
+    #[inline]
+    fn step_slice(&self, state: &mut Self::State, values: &[Self::Input]) {
+        for &v in values {
+            self.step(state, v);
+        }
+    }
     /// Merges a state produced elsewhere (other thread/partition) into
     /// `into`. For reproducible states this is exact and associative.
     fn merge(&self, into: &mut Self::State, from: Self::State);
@@ -144,6 +155,12 @@ impl<T: ReproFloat, const L: usize> AggFn for ReproAgg<T, L> {
     fn step(&self, state: &mut Self::State, value: T) {
         state.add(value);
     }
+    /// Runs of equal-group values go through the dispatched block kernel
+    /// (AVX2 where active) instead of the per-value cascade.
+    #[inline]
+    fn step_slice(&self, state: &mut Self::State, values: &[T]) {
+        rfa_core::simd::add_slice(state, values);
+    }
     #[inline(always)]
     fn merge(&self, into: &mut Self::State, from: Self::State) {
         into.merge(&from);
@@ -190,6 +207,12 @@ impl<T: ReproFloat, const L: usize> AggFn for BufferedReproAgg<T, L> {
     #[inline(always)]
     fn step(&self, state: &mut Self::State, value: T) {
         state.push(value);
+    }
+    /// Bulk appends bypass the staging buffer for whole buffers' worth of
+    /// input (see [`SummationBuffer::push_slice`]).
+    #[inline]
+    fn step_slice(&self, state: &mut Self::State, values: &[T]) {
+        state.push_slice(values);
     }
     fn merge(&self, into: &mut Self::State, mut from: Self::State) {
         into.merge(&mut from);

@@ -191,6 +191,114 @@ fn bench_fused_scan(c: &mut Criterion) {
     g.finish();
 }
 
+/// SIMD dispatch: the repro summation kernel per level (per-value scalar
+/// cascade vs the portable lane-array block kernel vs forced AVX2) for
+/// f64 and f32 at several sizes, and the AVX2 selection-vector build at
+/// low/half/high selectivity. All arms are bit-identical (proptested);
+/// the thrpt columns read directly as the dispatch win.
+fn bench_simd(c: &mut Criterion) {
+    use rfa_core::cpu::{self, SimdLevel};
+    use rfa_engine::{BoolExpr, CmpOp, Column, EvalScratch, Expr, Table};
+
+    let avx2 = cpu::avx2_supported();
+    let mut g = c.benchmark_group("simd");
+
+    for exp in [10u32, 14, 18] {
+        let n = 1usize << exp;
+        let w = GroupedPairs::generate(n, 16, ValueDist::Uniform01, 25 + exp as u64);
+        let v64 = &w.values;
+        let v32 = w.values_f32();
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_function(format!("add_slice_f64_cascade_2^{exp}"), |b| {
+            b.iter(|| {
+                let mut acc = ReproSum::<f64, 2>::new();
+                acc.add_all(v64);
+                black_box(acc.value())
+            })
+        });
+        g.bench_function(format!("add_slice_f64_portable_2^{exp}"), |b| {
+            b.iter(|| {
+                let mut acc = ReproSum::<f64, 2>::new();
+                simd::add_slice_portable(&mut acc, v64);
+                black_box(acc.value())
+            })
+        });
+        if avx2 {
+            cpu::set_override(Some(SimdLevel::Avx2));
+            g.bench_function(format!("add_slice_f64_avx2_2^{exp}"), |b| {
+                b.iter(|| {
+                    let mut acc = ReproSum::<f64, 2>::new();
+                    simd::add_slice(&mut acc, v64);
+                    black_box(acc.value())
+                })
+            });
+            cpu::set_override(None);
+        }
+        g.bench_function(format!("add_slice_f32_cascade_2^{exp}"), |b| {
+            b.iter(|| {
+                let mut acc = ReproSum::<f32, 2>::new();
+                acc.add_all(&v32);
+                black_box(acc.value())
+            })
+        });
+        g.bench_function(format!("add_slice_f32_portable_2^{exp}"), |b| {
+            b.iter(|| {
+                let mut acc = ReproSum::<f32, 2>::new();
+                simd::add_slice_portable(&mut acc, &v32);
+                black_box(acc.value())
+            })
+        });
+        if avx2 {
+            cpu::set_override(Some(SimdLevel::Avx2));
+            g.bench_function(format!("add_slice_f32_avx2_2^{exp}"), |b| {
+                b.iter(|| {
+                    let mut acc = ReproSum::<f32, 2>::new();
+                    simd::add_slice(&mut acc, &v32);
+                    black_box(acc.value())
+                })
+            });
+            cpu::set_override(None);
+        }
+    }
+
+    // Selection-vector build (the `BoundFast` fill kernel) over a
+    // uniform-[0,1) f64 column; the threshold sets the selectivity.
+    let n = N;
+    let w = GroupedPairs::generate(n, 16, ValueDist::Uniform01, 29);
+    let mut table = Table::new("t");
+    table
+        .add_column("x", Column::f64(w.values.clone()))
+        .unwrap();
+    g.throughput(Throughput::Elements(n as u64));
+    for (pct, threshold) in [(2u32, 0.02f64), (50, 0.5), (98, 0.98)] {
+        let pred = BoolExpr::Cmp(
+            CmpOp::Lt,
+            Box::new(Expr::col("x")),
+            Box::new(Expr::lit(threshold)),
+        )
+        .compile();
+        let bound = pred.bind(&table).unwrap();
+        let levels: &[(&str, SimdLevel)] = if avx2 {
+            &[("scalar", SimdLevel::Scalar), ("avx2", SimdLevel::Avx2)]
+        } else {
+            &[("scalar", SimdLevel::Scalar)]
+        };
+        for &(name, level) in levels {
+            cpu::set_override(Some(level));
+            g.bench_function(format!("sel_fill_{pct}pct_{name}"), |b| {
+                let mut sel: Vec<u32> = Vec::with_capacity(n);
+                let mut scratch = EvalScratch::new();
+                b.iter(|| {
+                    bound.fill(0, n, &mut sel, &mut scratch);
+                    black_box(sel.len())
+                })
+            });
+            cpu::set_override(None);
+        }
+    }
+    g.finish();
+}
+
 fn config() -> Criterion {
     Criterion::default()
         .sample_size(10)
@@ -201,6 +309,6 @@ fn config() -> Criterion {
 criterion_group! {
     name = benches;
     config = config();
-    targets = bench_summation, bench_operators, bench_parallel, bench_fused_scan
+    targets = bench_summation, bench_operators, bench_parallel, bench_fused_scan, bench_simd
 }
 criterion_main!(benches);

@@ -16,13 +16,14 @@ use rfa_bench::{
     f2, ns_per_elem,
     runner::{groupby_ns, groupby_ns_threads},
     time_min, write_bench_smoke, BenchConfig, BenchSmoke, HashGroupSmoke, ResultTable, ScanSmoke,
-    SqlSmoke,
+    SimdSmoke, SqlSmoke,
 };
-use rfa_core::CacheModel;
+use rfa_core::cpu::{self, SimdLevel};
+use rfa_core::{CacheModel, ReproSum};
 use rfa_engine::plan::QueryPlan;
 use rfa_engine::{
-    lineitem_table, q6_plan, q6_sql, run_q1, run_q1_materializing, sql_query, Column, ExecOptions,
-    Expr, SqlColumn, SumBackend, Table,
+    lineitem_table, q6_plan, q6_sql, run_q1, run_q1_materializing, run_q6, sql_query, Column,
+    ExecOptions, Expr, PlanCache, SqlColumn, SumBackend, Table,
 };
 use rfa_workloads::{GroupedPairs, Lineitem, ValueDist};
 
@@ -233,18 +234,27 @@ fn main() {
     hash_table.print();
     hash_table.write_csv("fig9_hash_group");
 
-    // --- sql panel: the Q6 SQL text vs the prebuilt builder plan ---------
-    // The SQL arm re-parses, re-resolves and re-lowers the pinned Q6 text
-    // on every iteration — the whole frontend is in the measured loop —
-    // while the builder arm executes a prebuilt QueryPlan. Both run the
-    // identical fused executor, and their results are cross-asserted
-    // bit-identical, so the gap reads directly as parse/lower overhead.
+    // --- sql panel: Q6 SQL text, cold vs cached, vs the builder plan -----
+    // The cold SQL arm re-parses, re-resolves and re-lowers the pinned Q6
+    // text on every iteration — the whole frontend is in the measured loop.
+    // The cached arm sends the same text through a warm `PlanCache`, so a
+    // hit costs one lookup and the iteration collapses to plan execution.
+    // The builder arm executes a prebuilt QueryPlan. All three run the
+    // identical fused executor and are cross-asserted bit-identical, so
+    // the gaps read directly as frontend / cache-lookup overhead.
     let engine_table = lineitem_table(&lineitem);
     let opts = ExecOptions::serial();
     let builder_q6 = q6_plan();
+    let plan_cache = PlanCache::new();
     let sql_d = time_min(cfg.reps, || {
         let q = sql_query(&q6_sql(), &engine_table).expect("pinned Q6 SQL resolves");
         std::hint::black_box(q.execute(&engine_table, backend, &opts).expect("q6 sql"));
+    });
+    let cached_d = time_min(cfg.reps, || {
+        let q = plan_cache
+            .get_or_resolve(&q6_sql(), &engine_table)
+            .expect("pinned Q6 SQL resolves");
+        std::hint::black_box(q.execute(&engine_table, backend, &opts).expect("q6 cached"));
     });
     let builder_d = time_min(cfg.reps, || {
         std::hint::black_box(
@@ -254,12 +264,24 @@ fn main() {
         );
     });
     let sql_ns = ns_per_elem(sql_d, scan_rows);
+    let cached_ns = ns_per_elem(cached_d, scan_rows);
     let builder_ns = ns_per_elem(builder_d, scan_rows);
+    let cache_stats = plan_cache.stats();
+    assert_eq!(cache_stats.entries, 1, "one pinned query, one cached plan");
+    assert!(cache_stats.hits > 0, "warm iterations must hit the cache");
     {
         let q = sql_query(&q6_sql(), &engine_table).unwrap();
         let s = q.execute(&engine_table, backend, &opts).unwrap();
+        let c = plan_cache
+            .get_or_resolve(&q6_sql(), &engine_table)
+            .unwrap()
+            .execute(&engine_table, backend, &opts)
+            .unwrap();
         let b = builder_q6.execute(&engine_table, backend, &opts).unwrap();
         let SqlColumn::F64(sv) = &s.columns[0] else {
+            panic!("Q6 revenue is an F64 column");
+        };
+        let SqlColumn::F64(cv) = &c.columns[0] else {
             panic!("Q6 revenue is an F64 column");
         };
         assert_eq!(
@@ -267,6 +289,7 @@ fn main() {
             b.columns[0].f64s()[0].to_bits(),
             "SQL and builder Q6 disagree"
         );
+        assert_eq!(sv[0].to_bits(), cv[0].to_bits(), "cached Q6 disagrees");
     }
     let mut sql_table = ResultTable::new(
         format!("Figure 9 (sql): TPC-H Q6 from SQL text vs prebuilt plan, serial, n = {scan_rows}"),
@@ -277,9 +300,86 @@ fn main() {
         f2(sql_ns),
         format!("{:.2}x", sql_ns / builder_ns),
     ]);
+    sql_table.row(vec![
+        "sql (warm plan cache)".into(),
+        f2(cached_ns),
+        format!("{:.2}x", cached_ns / builder_ns),
+    ]);
     sql_table.row(vec!["builder plan".into(), f2(builder_ns), "1.00x".into()]);
     sql_table.print();
     sql_table.write_csv("fig9_sql");
+
+    // --- simd panel: forced-scalar vs dispatched kernels -----------------
+    // The summation kernel on its own (per-value extraction cascade vs
+    // the portable lane-array block kernel vs the dispatched entry point,
+    // AVX2 where supported) and TPC-H Q6 end-to-end (selection kernels +
+    // summation) under a forced-scalar override vs the auto dispatch.
+    // Every arm is bit-identical — that is proptest-enforced — so the
+    // table is pure performance.
+    let level = match cpu::active() {
+        SimdLevel::Avx2 => "avx2",
+        SimdLevel::Scalar => "scalar",
+    };
+    let simd_values: &[f64] = &lineitem.extendedprice;
+    let cascade_d = time_min(cfg.reps, || {
+        let mut acc = ReproSum::<f64, 4>::new();
+        acc.add_all(std::hint::black_box(simd_values));
+        std::hint::black_box(acc.finalize());
+    });
+    let portable_d = time_min(cfg.reps, || {
+        let mut acc = ReproSum::<f64, 4>::new();
+        rfa_core::simd::add_slice_portable(&mut acc, std::hint::black_box(simd_values));
+        std::hint::black_box(acc.finalize());
+    });
+    let dispatched_d = time_min(cfg.reps, || {
+        let mut acc = ReproSum::<f64, 4>::new();
+        rfa_core::simd::add_slice(&mut acc, std::hint::black_box(simd_values));
+        std::hint::black_box(acc.finalize());
+    });
+    cpu::set_override(Some(SimdLevel::Scalar));
+    let q6_scalar_d = time_min(cfg.reps, || {
+        std::hint::black_box(run_q6(&lineitem, backend).expect("q6"));
+    });
+    cpu::set_override(None);
+    let q6_auto_d = time_min(cfg.reps, || {
+        std::hint::black_box(run_q6(&lineitem, backend).expect("q6"));
+    });
+    let cascade_ns = ns_per_elem(cascade_d, scan_rows);
+    let portable_ns = ns_per_elem(portable_d, scan_rows);
+    let dispatched_ns = ns_per_elem(dispatched_d, scan_rows);
+    let q6_scalar_ns = ns_per_elem(q6_scalar_d, scan_rows);
+    let q6_auto_ns = ns_per_elem(q6_auto_d, scan_rows);
+    let mut simd_table = ResultTable::new(
+        format!("Figure 9 (simd): scalar vs dispatched ({level}) kernels, serial, n = {scan_rows}"),
+        &["kernel", "ns/elem", "vs dispatched"],
+    );
+    simd_table.row(vec![
+        "add_slice scalar cascade".into(),
+        f2(cascade_ns),
+        format!("{:.2}x", cascade_ns / dispatched_ns),
+    ]);
+    simd_table.row(vec![
+        "add_slice portable lanes".into(),
+        f2(portable_ns),
+        format!("{:.2}x", portable_ns / dispatched_ns),
+    ]);
+    simd_table.row(vec![
+        "add_slice dispatched".into(),
+        f2(dispatched_ns),
+        "1.00x".into(),
+    ]);
+    simd_table.row(vec![
+        "q6 fused scan, forced scalar".into(),
+        f2(q6_scalar_ns),
+        format!("{:.2}x", q6_scalar_ns / q6_auto_ns),
+    ]);
+    simd_table.row(vec![
+        "q6 fused scan, dispatched".into(),
+        f2(q6_auto_ns),
+        "1.00x".into(),
+    ]);
+    simd_table.print();
+    simd_table.write_csv("fig9_simd");
 
     if let Some((ge_smoke, serial, parallel)) = smoke {
         write_bench_smoke(&BenchSmoke {
@@ -303,7 +403,16 @@ fn main() {
             sql: Some(SqlSmoke {
                 query: "tpch_q6 serial repro<d,4> buffered",
                 sql_ns_per_elem: sql_ns,
+                cached_ns_per_elem: cached_ns,
                 builder_ns_per_elem: builder_ns,
+            }),
+            simd: Some(SimdSmoke {
+                level,
+                add_slice_cascade_ns_per_elem: cascade_ns,
+                add_slice_portable_ns_per_elem: portable_ns,
+                add_slice_dispatched_ns_per_elem: dispatched_ns,
+                q6_scalar_ns_per_elem: q6_scalar_ns,
+                q6_dispatched_ns_per_elem: q6_auto_ns,
             }),
         });
     }
@@ -315,8 +424,11 @@ fn main() {
          no n-sized intermediates (bit-identical output, proptest-enforced).\n  \
          hash-group shape: hash within a small constant of dense ids — the batched\n  \
          probe amortizes; results are bit-identical between the two arms.\n  \
-         sql shape: the SQL arm re-parses and re-lowers per run yet stays at ~1.00x\n  \
-         of the prebuilt plan — frontend cost is a per-query constant (and the two\n  \
-         arms are cross-asserted bit-identical)."
+         sql shape: the cold SQL arm re-parses and re-lowers per run yet stays near\n  \
+         1.00x of the prebuilt plan; the warm plan-cache arm must sit within a few\n  \
+         percent of the builder (all three cross-asserted bit-identical).\n  \
+         simd shape: the dispatched add_slice at or below the portable lanes, both\n  \
+         well below the per-value cascade; Q6 dispatched at or below forced scalar\n  \
+         (bit-identical by construction — the speedup is free of semantics)."
     );
 }

@@ -237,7 +237,31 @@ pub struct SqlSmoke {
     /// Which query was measured (e.g. "tpch_q6 serial repro<d,4> buffered").
     pub query: &'static str,
     pub sql_ns_per_elem: f64,
+    /// The same SQL text through a warm [`rfa_engine::PlanCache`]: the
+    /// per-iteration cost collapses to one cache lookup + plan execution,
+    /// so this should sit within a few percent of `builder_ns_per_elem`.
+    pub cached_ns_per_elem: f64,
     pub builder_ns_per_elem: f64,
+}
+
+/// The SIMD-dispatch entry of the smoke artifact: the summation kernel
+/// and the Q6 fused scan under forced-scalar vs. runtime-dispatched
+/// (AVX2 where supported) execution. All arms are bit-identical; the
+/// ratios are pure performance.
+#[derive(Clone, Copy, Debug)]
+pub struct SimdSmoke {
+    /// The dispatch level the auto policy resolved to ("scalar"/"avx2").
+    pub level: &'static str,
+    /// Scalar extraction cascade (`ReproSum::add` per value), ns/elem.
+    pub add_slice_cascade_ns_per_elem: f64,
+    /// Portable lane-array block kernel (autovectorized), ns/elem.
+    pub add_slice_portable_ns_per_elem: f64,
+    /// Dispatched block kernel (explicit AVX2 when active), ns/elem.
+    pub add_slice_dispatched_ns_per_elem: f64,
+    /// Q6 fused scan, forced `RFA_SIMD=scalar` equivalent, ns/elem.
+    pub q6_scalar_ns_per_elem: f64,
+    /// Q6 fused scan under the dispatched kernels, ns/elem.
+    pub q6_dispatched_ns_per_elem: f64,
 }
 
 /// Everything one `bench_smoke.json` records: serial vs pool wall-clock
@@ -254,6 +278,7 @@ pub struct BenchSmoke<'a> {
     pub scan: Option<ScanSmoke>,
     pub hash_group: Option<HashGroupSmoke>,
     pub sql: Option<SqlSmoke>,
+    pub simd: Option<SimdSmoke>,
 }
 
 /// Writes `results/bench_smoke.json` — the CI smoke artifact. The
@@ -273,6 +298,7 @@ pub fn write_bench_smoke(smoke: &BenchSmoke) {
         scan,
         hash_group,
         sql,
+        simd,
     } = *smoke;
     let dir = results_dir();
     if fs::create_dir_all(&dir).is_err() {
@@ -327,12 +353,50 @@ pub fn write_bench_smoke(smoke: &BenchSmoke) {
             } else {
                 0.0
             };
+            let cached_ratio = if s.builder_ns_per_elem > 0.0 {
+                s.cached_ns_per_elem / s.builder_ns_per_elem
+            } else {
+                0.0
+            };
             format!(
                 ",\n  \"sql\": {{\n    \"query\": \"{}\",\n    \
                  \"sql_ns_per_elem\": {:.3},\n    \
+                 \"cached_ns_per_elem\": {:.3},\n    \
                  \"builder_ns_per_elem\": {:.3},\n    \
-                 \"sql_over_builder\": {ratio:.3}\n  }}",
-                s.query, s.sql_ns_per_elem, s.builder_ns_per_elem
+                 \"sql_over_builder\": {ratio:.3},\n    \
+                 \"cached_over_builder\": {cached_ratio:.3}\n  }}",
+                s.query, s.sql_ns_per_elem, s.cached_ns_per_elem, s.builder_ns_per_elem
+            )
+        }
+    };
+    let simd_json = match simd {
+        None => String::new(),
+        Some(s) => {
+            let add_speedup = if s.add_slice_dispatched_ns_per_elem > 0.0 {
+                s.add_slice_cascade_ns_per_elem / s.add_slice_dispatched_ns_per_elem
+            } else {
+                0.0
+            };
+            let q6_speedup = if s.q6_dispatched_ns_per_elem > 0.0 {
+                s.q6_scalar_ns_per_elem / s.q6_dispatched_ns_per_elem
+            } else {
+                0.0
+            };
+            format!(
+                ",\n  \"simd\": {{\n    \"level\": \"{}\",\n    \
+                 \"add_slice_cascade_ns_per_elem\": {:.3},\n    \
+                 \"add_slice_portable_ns_per_elem\": {:.3},\n    \
+                 \"add_slice_dispatched_ns_per_elem\": {:.3},\n    \
+                 \"add_slice_dispatch_speedup\": {add_speedup:.3},\n    \
+                 \"q6_scalar_ns_per_elem\": {:.3},\n    \
+                 \"q6_dispatched_ns_per_elem\": {:.3},\n    \
+                 \"q6_dispatch_speedup\": {q6_speedup:.3}\n  }}",
+                s.level,
+                s.add_slice_cascade_ns_per_elem,
+                s.add_slice_portable_ns_per_elem,
+                s.add_slice_dispatched_ns_per_elem,
+                s.q6_scalar_ns_per_elem,
+                s.q6_dispatched_ns_per_elem
             )
         }
     };
@@ -340,7 +404,7 @@ pub fn write_bench_smoke(smoke: &BenchSmoke) {
         "{{\n  \"bench\": \"{bench}\",\n  \"config\": \"{config}\",\n  \"n\": {n},\n  \
          \"pool_threads\": {pool_threads},\n  \"serial_ns_per_elem\": {serial_ns_per_elem:.3},\n  \
          \"parallel_ns_per_elem\": {parallel_ns_per_elem:.3},\n  \"speedup\": {speedup:.3}\
-         {scan_json}{hash_json}{sql_json}\n}}\n"
+         {scan_json}{hash_json}{sql_json}{simd_json}\n}}\n"
     );
     if fs::write(&path, json).is_ok() {
         println!("  [json] {}", path.display());

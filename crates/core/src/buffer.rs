@@ -72,6 +72,38 @@ impl<T: ReproFloat, const L: usize> SummationBuffer<T, L> {
         }
     }
 
+    /// Appends a whole batch. Bit-identical to pushing the values one by
+    /// one (every flush boundary is exact — §III-D), but whole buffers'
+    /// worth of input bypass the staging copy and go straight through the
+    /// vectorized block kernel; only the partial tail is buffered.
+    pub fn push_slice(&mut self, values: &[T]) {
+        let cap = self.buf.len();
+        let mut v = values;
+        let len = self.len as usize;
+        if len > 0 {
+            // Top the current fill up to a flush boundary first.
+            let take = v.len().min(cap - len);
+            self.buf[len..len + take].copy_from_slice(&v[..take]);
+            self.len += take as u32;
+            v = &v[take..];
+            if self.len as usize == cap {
+                self.flush();
+            }
+            if v.is_empty() {
+                return;
+            }
+        }
+        // Buffer is now empty: bulk-sum everything except a partial
+        // buffer's worth of tail, which stays staged for later pushes.
+        let tail_len = v.len() % cap;
+        let (bulk, tail) = v.split_at(v.len() - tail_len);
+        if !bulk.is_empty() {
+            simd::add_slice(&mut self.acc, bulk);
+        }
+        self.buf[..tail_len].copy_from_slice(tail);
+        self.len = tail_len as u32;
+    }
+
     /// Aggregates all buffered values into the accumulator.
     pub fn flush(&mut self) {
         let len = core::mem::take(&mut self.len) as usize;
@@ -139,6 +171,29 @@ mod tests {
                 reference.value().to_bits(),
                 "bsz {bsz}"
             );
+        }
+    }
+
+    #[test]
+    fn push_slice_matches_per_value_pushes() {
+        let values = data(10_000);
+        let mut reference = SummationBuffer::<f64, 2>::new(256);
+        for &v in &values {
+            reference.push(v);
+        }
+        let expected = reference.finalize().to_bits();
+        for bsz in [1usize, 3, 64, 256] {
+            for chunk in [1usize, 5, 63, 64, 65, 1000, 4096] {
+                let mut buf = SummationBuffer::<f64, 2>::new(bsz);
+                for c in values.chunks(chunk) {
+                    buf.push_slice(c);
+                }
+                assert_eq!(
+                    buf.finalize().to_bits(),
+                    expected,
+                    "bsz {bsz} chunk {chunk}"
+                );
+            }
         }
     }
 

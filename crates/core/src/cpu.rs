@@ -1,0 +1,214 @@
+//! Runtime CPU-feature detection and SIMD dispatch policy.
+//!
+//! The vectorized kernels in this workspace come in two flavours: portable
+//! lane-array code that LLVM autovectorizes (the baseline that builds
+//! everywhere) and explicit `std::arch` AVX2 kernels (see
+//! [`crate::simd`] and the engine's selection kernels). Which flavour runs
+//! is a *pure performance choice* — every explicit kernel is bit-identical
+//! to its portable fallback — so dispatch is resolved once per process and
+//! cached:
+//!
+//! 1. `RFA_SIMD` (`auto` | `scalar` | `avx2`) picks the policy. Unknown
+//!    values are **rejected** with [`SimdModeError`] (surfaced as a panic
+//!    at first dispatch — a typo must not silently change what is
+//!    measured). `scalar` forces the portable fallback; `avx2` demands the
+//!    explicit kernels and fails fast on hardware without them.
+//! 2. Under `auto` (or unset), `is_x86_feature_detected!("avx2")` decides,
+//!    cached in a `OnceLock`.
+//!
+//! Tests and benchmarks that need to compare both flavours inside one
+//! process use [`set_override`], which bypasses the cached policy.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::OnceLock;
+
+/// The dispatch policy requested via `RFA_SIMD`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SimdMode {
+    /// Use the best instruction set the CPU supports (the default).
+    Auto,
+    /// Force the portable lane-array fallback.
+    Scalar,
+    /// Require the explicit AVX2 kernels; error if unsupported.
+    Avx2,
+}
+
+/// The resolved dispatch level actually used by the kernels.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SimdLevel {
+    /// Portable lane-array code (LLVM autovectorization at best).
+    Scalar,
+    /// Explicit `std::arch::x86_64` AVX2 kernels.
+    Avx2,
+}
+
+impl fmt::Display for SimdLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimdLevel::Scalar => write!(f, "scalar"),
+            SimdLevel::Avx2 => write!(f, "avx2"),
+        }
+    }
+}
+
+/// `RFA_SIMD` held a value other than `auto`, `scalar` or `avx2`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SimdModeError {
+    /// The rejected value, verbatim.
+    pub value: String,
+}
+
+impl fmt::Display for SimdModeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "RFA_SIMD must be \"auto\", \"scalar\" or \"avx2\", got {:?}",
+            self.value
+        )
+    }
+}
+
+impl std::error::Error for SimdModeError {}
+
+impl SimdMode {
+    /// Parses an `RFA_SIMD` value. The empty string means `Auto` (CI
+    /// matrices pass `RFA_SIMD=""` for the default leg); anything else
+    /// unknown is a typed error, never a silent fallback.
+    pub fn parse(value: &str) -> Result<SimdMode, SimdModeError> {
+        match value.trim().to_ascii_lowercase().as_str() {
+            "" | "auto" => Ok(SimdMode::Auto),
+            "scalar" => Ok(SimdMode::Scalar),
+            "avx2" => Ok(SimdMode::Avx2),
+            _ => Err(SimdModeError {
+                value: value.to_string(),
+            }),
+        }
+    }
+
+    /// Reads the policy from the `RFA_SIMD` environment variable (unset
+    /// means `Auto`).
+    pub fn from_env() -> Result<SimdMode, SimdModeError> {
+        match std::env::var("RFA_SIMD") {
+            Ok(v) => SimdMode::parse(&v),
+            Err(_) => Ok(SimdMode::Auto),
+        }
+    }
+}
+
+/// Whether this CPU supports the explicit AVX2 kernels (runtime-detected;
+/// compile-time `false` off x86-64).
+pub fn avx2_supported() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        std::arch::is_x86_feature_detected!("avx2")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// The process-wide dispatch level from `RFA_SIMD` + feature detection,
+/// resolved once. Panics (fail fast, not fall back) on an unparsable
+/// `RFA_SIMD` or on `RFA_SIMD=avx2` without hardware support.
+fn resolved() -> SimdLevel {
+    static LEVEL: OnceLock<SimdLevel> = OnceLock::new();
+    *LEVEL.get_or_init(|| {
+        let mode = match SimdMode::from_env() {
+            Ok(m) => m,
+            Err(e) => panic!("{e}"),
+        };
+        match mode {
+            SimdMode::Scalar => SimdLevel::Scalar,
+            SimdMode::Avx2 => {
+                assert!(
+                    avx2_supported(),
+                    "RFA_SIMD=avx2 but this CPU does not support AVX2"
+                );
+                SimdLevel::Avx2
+            }
+            SimdMode::Auto => {
+                if avx2_supported() {
+                    SimdLevel::Avx2
+                } else {
+                    SimdLevel::Scalar
+                }
+            }
+        }
+    })
+}
+
+/// In-process override (`0` = none, else `SimdLevel` + 1), for tests and
+/// benchmarks only.
+static OVERRIDE: AtomicU8 = AtomicU8::new(0);
+
+/// The dispatch level every kernel call site consults: the
+/// [`set_override`] value if one is active, else the cached `RFA_SIMD` +
+/// detection policy.
+#[inline]
+pub fn active() -> SimdLevel {
+    match OVERRIDE.load(Ordering::Relaxed) {
+        1 => SimdLevel::Scalar,
+        2 => SimdLevel::Avx2,
+        _ => resolved(),
+    }
+}
+
+/// Overrides the dispatch level in-process (for tests and benchmarks that
+/// compare kernel flavours side by side; `None` restores the environment
+/// policy). The override is global — callers comparing flavours must
+/// serialize around it. Panics if `Some(Avx2)` is requested on hardware
+/// without AVX2.
+pub fn set_override(level: Option<SimdLevel>) {
+    let v = match level {
+        None => 0,
+        Some(SimdLevel::Scalar) => 1,
+        Some(SimdLevel::Avx2) => {
+            assert!(
+                avx2_supported(),
+                "cannot force SimdLevel::Avx2: CPU does not support AVX2"
+            );
+            2
+        }
+    };
+    OVERRIDE.store(v, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_accepts_known_modes() {
+        assert_eq!(SimdMode::parse(""), Ok(SimdMode::Auto));
+        assert_eq!(SimdMode::parse("auto"), Ok(SimdMode::Auto));
+        assert_eq!(SimdMode::parse(" AVX2 "), Ok(SimdMode::Avx2));
+        assert_eq!(SimdMode::parse("Scalar"), Ok(SimdMode::Scalar));
+    }
+
+    #[test]
+    fn parse_rejects_unknown_values_with_typed_error() {
+        for bad in ["avx512", "yes", "1", "fastest", "sse"] {
+            let err = SimdMode::parse(bad).unwrap_err();
+            assert_eq!(err.value, bad);
+            let msg = err.to_string();
+            assert!(msg.contains("RFA_SIMD"), "{msg}");
+            assert!(msg.contains(bad), "{msg}");
+        }
+    }
+
+    #[test]
+    fn active_follows_override() {
+        // `resolved()` is process-cached, so only the override arm is
+        // exercised deterministically here.
+        set_override(Some(SimdLevel::Scalar));
+        assert_eq!(active(), SimdLevel::Scalar);
+        if avx2_supported() {
+            set_override(Some(SimdLevel::Avx2));
+            assert_eq!(active(), SimdLevel::Avx2);
+        }
+        set_override(None);
+        let _ = active(); // whatever the environment says; must not panic
+    }
+}

@@ -51,6 +51,7 @@
 
 pub mod analysis;
 pub mod buffer;
+pub mod cpu;
 pub mod dot;
 pub mod eft;
 pub mod float;
@@ -61,6 +62,7 @@ pub mod tuning;
 pub mod wire;
 
 pub use buffer::SummationBuffer;
+pub use cpu::{SimdLevel, SimdMode, SimdModeError};
 pub use dot::{reproducible_dot, reproducible_norm_sq, ReproDot};
 pub use float::ReproFloat;
 pub use repro::{reproducible_sum, ReproSum, Special};

@@ -8,16 +8,45 @@
 //! bits once per block, and performing a *horizontal* (exact) merge of the
 //! lane states at the end (Eq. 2/3).
 //!
-//! Rust stable has no portable SIMD, so the lanes are expressed as fixed
-//! arrays with branch-free inner loops that LLVM auto-vectorizes. The lane
-//! structure is semantically identical to the paper's AVX formulation:
-//! `V = 8` for `f32`, `V = 4` for `f64`.
+//! Two implementations are kept, selected at runtime through
+//! [`crate::cpu`]:
+//!
+//! * [`add_slice_portable`] — the lanes expressed as fixed arrays with
+//!   branch-free inner loops that LLVM auto-vectorizes (builds on every
+//!   target; stable Rust has no portable SIMD);
+//! * an explicit AVX2 kernel (`std::arch::x86_64`) writing the paper's
+//!   formulation literally: `V = 4` `f64` lanes in one `__m256d`
+//!   (`V = 8` `f32` lanes in one `__m256`), the per-block max/NaN validity
+//!   scan as vector max/compare, the extract/accumulate cascade as vector
+//!   add/sub, and carry propagation as vector round/multiply/subtract.
 //!
 //! Because every lane operation is exact and the final merge is exact, the
 //! result is **bit-identical** to feeding the same values through the
-//! scalar path (a property the test-suite asserts): vectorization is purely
-//! a performance choice, exactly as the paper requires.
+//! scalar path (a property the test-suite asserts) *and* identical between
+//! the two implementations regardless of lane width: vectorization is
+//! purely a performance choice, exactly as the paper requires.
+//!
+//! ## Safety boundary
+//!
+//! All `unsafe` in this module is confined to the `avx2` submodule and is
+//! of exactly two kinds:
+//!
+//! 1. **`#[target_feature(enable = "avx2")]`** — the kernels execute AVX2
+//!    instructions, so they are `unsafe fn`; the single caller
+//!    ([`add_slice`]) guards them behind [`crate::cpu::active`], which
+//!    only reports [`crate::cpu::SimdLevel::Avx2`] after
+//!    `is_x86_feature_detected!("avx2")` succeeded (or an explicit
+//!    override that performs the same check).
+//! 2. **Monomorphic downcast** — `add_slice` is generic over the sealed
+//!    [`ReproFloat`] (only `f32`/`f64` exist); the dispatcher compares
+//!    `TypeId`s and casts `ReproSum<T, L> → ReproSum<f64, L>` (resp.
+//!    `f32`) only when `T` *is* that exact type, so the cast is an
+//!    identity at runtime.
+//!
+//! All loads are `loadu`/`storeu` (no alignment contract), and every slice
+//! access stays within `chunks_exact` bounds.
 
+use crate::cpu;
 use crate::float::ReproFloat;
 use crate::repro::ReproSum;
 
@@ -74,17 +103,56 @@ impl<T: ReproFloat, const L: usize> Lanes<T, L> {
     }
 }
 
-/// Adds all `values` into `acc` using the vectorized kernel.
+/// Adds all `values` into `acc` using the vectorized kernel, dispatching
+/// to the explicit AVX2 implementation when [`crate::cpu`] resolves to it
+/// and to [`add_slice_portable`] otherwise.
 ///
 /// Bit-identical to `acc.add_all(values)` — verified by tests — but several
 /// times faster for long slices. Small calls pay a fixed lane setup/merge
 /// cost, which is precisely the start-up overhead the paper studies in
 /// Figure 6.
+#[inline]
+pub fn add_slice<T: ReproFloat, const L: usize>(acc: &mut ReproSum<T, L>, values: &[T]) {
+    #[cfg(target_arch = "x86_64")]
+    if cpu::active() == cpu::SimdLevel::Avx2 {
+        use core::any::TypeId;
+        // `ReproFloat` is sealed: `T` is exactly `f64` or `f32`, so one of
+        // the two TypeId tests matches and the pointer casts below are
+        // identities (same concrete type, same layout).
+        if TypeId::of::<T>() == TypeId::of::<f64>() {
+            // SAFETY: `T == f64` (TypeId equality of 'static types), so
+            // both casts only rename the type; AVX2 support was verified
+            // by `cpu::active()`.
+            unsafe {
+                let acc = &mut *(acc as *mut ReproSum<T, L>).cast::<ReproSum<f64, L>>();
+                let values =
+                    core::slice::from_raw_parts(values.as_ptr().cast::<f64>(), values.len());
+                avx2::add_slice_f64(acc, values);
+            }
+            return;
+        }
+        if TypeId::of::<T>() == TypeId::of::<f32>() {
+            // SAFETY: as above with `T == f32`.
+            unsafe {
+                let acc = &mut *(acc as *mut ReproSum<T, L>).cast::<ReproSum<f32, L>>();
+                let values =
+                    core::slice::from_raw_parts(values.as_ptr().cast::<f32>(), values.len());
+                avx2::add_slice_f32(acc, values);
+            }
+            return;
+        }
+    }
+    add_slice_portable(acc, values);
+}
+
+/// The portable lane-array kernel (the autovectorized fallback of
+/// [`add_slice`]; public so benchmarks can measure it against the
+/// dispatched path).
 // The lane loops deliberately index fixed-size arrays (the paper's
 // register-lane formulation; LLVM vectorizes them), and `!(max < huge)`
 // is the NaN-conservative comparison form.
 #[allow(clippy::needless_range_loop, clippy::neg_cmp_op_on_partial_ord)]
-pub fn add_slice<T: ReproFloat, const L: usize>(acc: &mut ReproSum<T, L>, values: &[T]) {
+pub fn add_slice_portable<T: ReproFloat, const L: usize>(acc: &mut ReproSum<T, L>, values: &[T]) {
     let mut lanes = Lanes::<T, L>::new();
     let block = T::LANES * T::BLOCK;
     let huge = T::exp2i(T::HUGE_EXP);
@@ -171,6 +239,304 @@ pub fn add_slice<T: ReproFloat, const L: usize>(acc: &mut ReproSum<T, L>, values
         }
     }
     acc.propagate_carries();
+}
+
+/// The explicit AVX2 kernels (see the module-level safety boundary).
+///
+/// Each kernel mirrors [`add_slice_portable`] decision for decision: the
+/// same `V·NB` chunking, the same per-chunk max/NaN validity scan, the
+/// same scalar cold path for specials/overflow, the same promote points
+/// and the same final lane-order horizontal merge. Since every arithmetic
+/// step of the cascade is exact, identical *decisions* imply identical
+/// *bits* — which is also why the result survives the lane-width change
+/// from the portable formulation's `MAX_LANES`-wide scan arrays to one
+/// hardware register here.
+#[cfg(target_arch = "x86_64")]
+mod avx2 {
+    use super::*;
+    use core::arch::x86_64::*;
+
+    const NEAREST: i32 = _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC;
+
+    /// Shifts the f64 level window by `k` rungs (`Lanes::shift`, vector
+    /// form).
+    #[target_feature(enable = "avx2")]
+    unsafe fn shift_f64<const L: usize>(
+        sums: &mut [__m256d; L],
+        carries: &mut [[i64; 4]; L],
+        k: usize,
+    ) {
+        for l in (0..L).rev() {
+            if l >= k {
+                sums[l] = sums[l - k];
+                carries[l] = carries[l - k];
+            } else {
+                sums[l] = _mm256_setzero_pd();
+                carries[l] = [0; 4];
+            }
+        }
+    }
+
+    /// Carry-bit propagation for all four f64 lanes (`Lanes::propagate`,
+    /// vector form): `d = round_ties_even(sum / unit)` is the hardware
+    /// `vroundpd` with the default (ties-even) rounding, and both
+    /// `d · unit` and the subtraction are exact, so the per-lane state
+    /// matches the scalar propagation bit for bit. Lanes with `d = 0`
+    /// subtract an exact `+0.0`, which preserves every value (lane sums
+    /// are never `-0.0`: each deposited `q` with zero value is `+0.0`).
+    #[target_feature(enable = "avx2")]
+    #[allow(clippy::needless_range_loop)]
+    unsafe fn propagate_f64<const L: usize>(
+        top: u32,
+        sums: &mut [__m256d; L],
+        carries: &mut [[i64; 4]; L],
+    ) {
+        for l in 0..L {
+            let bin = top as usize + l;
+            if bin >= <f64 as ReproFloat>::NUM_BINS {
+                break;
+            }
+            let unit = _mm256_set1_pd(f64::carry_unit(bin));
+            let d = _mm256_round_pd::<NEAREST>(_mm256_div_pd(sums[l], unit));
+            if _mm256_movemask_pd(_mm256_cmp_pd::<_CMP_NEQ_OQ>(d, _mm256_setzero_pd())) == 0 {
+                continue; // all-zero d: nothing to move (the common case)
+            }
+            sums[l] = _mm256_sub_pd(sums[l], _mm256_mul_pd(d, unit));
+            let mut dl = [0.0f64; 4];
+            _mm256_storeu_pd(dl.as_mut_ptr(), d);
+            for v in 0..4 {
+                carries[l][v] += dl[v] as i64;
+            }
+        }
+    }
+
+    /// [`add_slice`] for `f64`, four lanes per `__m256d`.
+    ///
+    /// # Safety
+    /// The CPU must support AVX2 (guaranteed by the dispatcher).
+    #[target_feature(enable = "avx2")]
+    #[allow(clippy::needless_range_loop, clippy::neg_cmp_op_on_partial_ord)]
+    pub(super) unsafe fn add_slice_f64<const L: usize>(acc: &mut ReproSum<f64, L>, values: &[f64]) {
+        let mut sums = [_mm256_setzero_pd(); L];
+        let mut carries = [[0i64; 4]; L];
+        let block = 4 * <f64 as ReproFloat>::BLOCK;
+        let huge = f64::exp2i(f64::HUGE_EXP);
+        let sign = _mm256_set1_pd(-0.0);
+
+        for chunk in values.chunks(block) {
+            // Validity scan: vector max of |v| plus an unordered-compare
+            // NaN sweep. Any reduction order yields the same maximum (and
+            // NaN chunks take the cold path regardless of the max).
+            let mut vmax = _mm256_setzero_pd();
+            let mut vnan = _mm256_setzero_pd();
+            let mut scan = chunk.chunks_exact(4);
+            for g in &mut scan {
+                let x = _mm256_loadu_pd(g.as_ptr());
+                vmax = _mm256_max_pd(vmax, _mm256_andnot_pd(sign, x));
+                vnan = _mm256_or_pd(vnan, _mm256_cmp_pd::<_CMP_UNORD_Q>(x, x));
+            }
+            let mut any_nan = _mm256_movemask_pd(vnan) != 0;
+            let mut maxs = [0.0f64; 4];
+            _mm256_storeu_pd(maxs.as_mut_ptr(), vmax);
+            let mut max_abs = 0.0f64;
+            for v in 0..4 {
+                max_abs = max_abs.max(maxs[v]);
+            }
+            for &v in scan.remainder() {
+                max_abs = max_abs.max(v.abs());
+                any_nan |= v.is_nan();
+            }
+            if any_nan || !(max_abs < huge) {
+                // Scalar cold path, identical to the portable kernel.
+                let old_top = acc.top_rung();
+                for &v in chunk {
+                    acc.add(v);
+                }
+                let k = old_top - acc.top_rung();
+                if k > 0 {
+                    shift_f64(&mut sums, &mut carries, k as usize);
+                }
+                continue;
+            }
+            if max_abs != 0.0 {
+                let old_top = acc.top_rung();
+                let promoted = acc.promote_for(max_abs);
+                debug_assert!(promoted, "in-range value must be binnable");
+                let k = old_top - acc.top_rung();
+                if k > 0 {
+                    shift_f64(&mut sums, &mut carries, k as usize);
+                }
+            }
+
+            let extractors = acc.extractor_cache();
+            let mut groups = chunk.chunks_exact(4);
+            for group in &mut groups {
+                // Algorithm 2 lines 8–13, one vector wide (Algorithm 3
+                // line 6): r extracts against each level's broadcast M.
+                let mut r = _mm256_loadu_pd(group.as_ptr());
+                for l in 0..L {
+                    let m = _mm256_set1_pd(extractors[l]);
+                    let s = _mm256_add_pd(m, r);
+                    let q = _mm256_sub_pd(s, m);
+                    sums[l] = _mm256_add_pd(sums[l], q);
+                    r = _mm256_sub_pd(r, q);
+                }
+            }
+            for &v in groups.remainder() {
+                acc.add(v);
+            }
+            propagate_f64(acc.top_rung(), &mut sums, &mut carries);
+        }
+
+        // Horizontal merge in lane order, exactly like the portable fold.
+        let top = acc.top_rung();
+        let (acc_sums, acc_carries) = acc.raw_parts_mut();
+        for l in 0..L {
+            if top as usize + l >= <f64 as ReproFloat>::NUM_BINS {
+                break;
+            }
+            let mut lane = [0.0f64; 4];
+            _mm256_storeu_pd(lane.as_mut_ptr(), sums[l]);
+            for v in 0..4 {
+                acc_sums[l] += lane[v];
+                acc_carries[l] += carries[l][v];
+            }
+        }
+        acc.propagate_carries();
+    }
+
+    /// `shift_f64` for the eight-lane `f32` state.
+    #[target_feature(enable = "avx2")]
+    unsafe fn shift_f32<const L: usize>(
+        sums: &mut [__m256; L],
+        carries: &mut [[i64; 8]; L],
+        k: usize,
+    ) {
+        for l in (0..L).rev() {
+            if l >= k {
+                sums[l] = sums[l - k];
+                carries[l] = carries[l - k];
+            } else {
+                sums[l] = _mm256_setzero_ps();
+                carries[l] = [0; 8];
+            }
+        }
+    }
+
+    /// `propagate_f64` for the eight-lane `f32` state.
+    #[target_feature(enable = "avx2")]
+    #[allow(clippy::needless_range_loop)]
+    unsafe fn propagate_f32<const L: usize>(
+        top: u32,
+        sums: &mut [__m256; L],
+        carries: &mut [[i64; 8]; L],
+    ) {
+        for l in 0..L {
+            let bin = top as usize + l;
+            if bin >= <f32 as ReproFloat>::NUM_BINS {
+                break;
+            }
+            let unit = _mm256_set1_ps(f32::carry_unit(bin));
+            let d = _mm256_round_ps::<NEAREST>(_mm256_div_ps(sums[l], unit));
+            if _mm256_movemask_ps(_mm256_cmp_ps::<_CMP_NEQ_OQ>(d, _mm256_setzero_ps())) == 0 {
+                continue;
+            }
+            sums[l] = _mm256_sub_ps(sums[l], _mm256_mul_ps(d, unit));
+            let mut dl = [0.0f32; 8];
+            _mm256_storeu_ps(dl.as_mut_ptr(), d);
+            for v in 0..8 {
+                carries[l][v] += dl[v] as i64;
+            }
+        }
+    }
+
+    /// [`add_slice`] for `f32`, eight lanes per `__m256`.
+    ///
+    /// # Safety
+    /// The CPU must support AVX2 (guaranteed by the dispatcher).
+    #[target_feature(enable = "avx2")]
+    #[allow(clippy::needless_range_loop, clippy::neg_cmp_op_on_partial_ord)]
+    pub(super) unsafe fn add_slice_f32<const L: usize>(acc: &mut ReproSum<f32, L>, values: &[f32]) {
+        let mut sums = [_mm256_setzero_ps(); L];
+        let mut carries = [[0i64; 8]; L];
+        let block = 8 * <f32 as ReproFloat>::BLOCK;
+        let huge = f32::exp2i(f32::HUGE_EXP);
+        let sign = _mm256_set1_ps(-0.0);
+
+        for chunk in values.chunks(block) {
+            let mut vmax = _mm256_setzero_ps();
+            let mut vnan = _mm256_setzero_ps();
+            let mut scan = chunk.chunks_exact(8);
+            for g in &mut scan {
+                let x = _mm256_loadu_ps(g.as_ptr());
+                vmax = _mm256_max_ps(vmax, _mm256_andnot_ps(sign, x));
+                vnan = _mm256_or_ps(vnan, _mm256_cmp_ps::<_CMP_UNORD_Q>(x, x));
+            }
+            let mut any_nan = _mm256_movemask_ps(vnan) != 0;
+            let mut maxs = [0.0f32; 8];
+            _mm256_storeu_ps(maxs.as_mut_ptr(), vmax);
+            let mut max_abs = 0.0f32;
+            for v in 0..8 {
+                max_abs = max_abs.max(maxs[v]);
+            }
+            for &v in scan.remainder() {
+                max_abs = max_abs.max(v.abs());
+                any_nan |= v.is_nan();
+            }
+            if any_nan || !(max_abs < huge) {
+                let old_top = acc.top_rung();
+                for &v in chunk {
+                    acc.add(v);
+                }
+                let k = old_top - acc.top_rung();
+                if k > 0 {
+                    shift_f32(&mut sums, &mut carries, k as usize);
+                }
+                continue;
+            }
+            if max_abs != 0.0 {
+                let old_top = acc.top_rung();
+                let promoted = acc.promote_for(max_abs);
+                debug_assert!(promoted, "in-range value must be binnable");
+                let k = old_top - acc.top_rung();
+                if k > 0 {
+                    shift_f32(&mut sums, &mut carries, k as usize);
+                }
+            }
+
+            let extractors = acc.extractor_cache();
+            let mut groups = chunk.chunks_exact(8);
+            for group in &mut groups {
+                let mut r = _mm256_loadu_ps(group.as_ptr());
+                for l in 0..L {
+                    let m = _mm256_set1_ps(extractors[l]);
+                    let s = _mm256_add_ps(m, r);
+                    let q = _mm256_sub_ps(s, m);
+                    sums[l] = _mm256_add_ps(sums[l], q);
+                    r = _mm256_sub_ps(r, q);
+                }
+            }
+            for &v in groups.remainder() {
+                acc.add(v);
+            }
+            propagate_f32(acc.top_rung(), &mut sums, &mut carries);
+        }
+
+        let top = acc.top_rung();
+        let (acc_sums, acc_carries) = acc.raw_parts_mut();
+        for l in 0..L {
+            if top as usize + l >= <f32 as ReproFloat>::NUM_BINS {
+                break;
+            }
+            let mut lane = [0.0f32; 8];
+            _mm256_storeu_ps(lane.as_mut_ptr(), sums[l]);
+            for v in 0..8 {
+                acc_sums[l] += lane[v];
+                acc_carries[l] += carries[l][v];
+            }
+        }
+        acc.propagate_carries();
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,224 @@
+//! Forced-dispatch bit-identity tests of the explicit AVX2 kernel.
+//!
+//! The paper's contract: vectorization is a *pure performance choice* —
+//! the AVX2 kernel, the portable lane-array kernel and the scalar cascade
+//! must all produce bit-identical accumulator states. These tests force
+//! each dispatch level in turn (via [`rfa_core::cpu::set_override`],
+//! serialized by a local mutex since the override is process-global) and
+//! compare:
+//!
+//! * dispatched [`simd::add_slice`] vs. the scalar `add_all` cascade,
+//! * forced-scalar vs. forced-AVX2 `add_slice` directly (skipped on
+//!   hardware without AVX2),
+//! * promotion, special values and chunk-boundary cases.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use rfa_core::cpu::{self, SimdLevel};
+use rfa_core::{simd, ReproSum, SummationBuffer};
+use std::sync::{Mutex, MutexGuard};
+
+/// Serializes tests that flip the process-global dispatch override.
+static OVERRIDE_LOCK: Mutex<()> = Mutex::new(());
+
+fn override_guard() -> MutexGuard<'static, ()> {
+    // A prior panicking test poisons the mutex without invalidating the
+    // override state (each user restores `None` or sets its own level).
+    OVERRIDE_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Runs `f` under a forced dispatch level, restoring auto afterwards.
+fn with_level<R>(level: SimdLevel, f: impl FnOnce() -> R) -> R {
+    let _guard = override_guard();
+    cpu::set_override(Some(level));
+    let r = f();
+    cpu::set_override(None);
+    r
+}
+
+/// `add_slice` under both forced levels; panics if they disagree. Returns
+/// the (common) finalized bits. On non-AVX2 hardware only the scalar
+/// level runs.
+fn both_levels_f64<const L: usize>(values: &[f64]) -> (u64, (u32, [u64; L], [i64; L])) {
+    let scalar = with_level(SimdLevel::Scalar, || {
+        let mut acc = ReproSum::<f64, L>::new();
+        simd::add_slice(&mut acc, values);
+        (acc.value().to_bits(), acc.canonical_state())
+    });
+    if cpu::avx2_supported() {
+        let avx2 = with_level(SimdLevel::Avx2, || {
+            let mut acc = ReproSum::<f64, L>::new();
+            simd::add_slice(&mut acc, values);
+            (acc.value().to_bits(), acc.canonical_state())
+        });
+        assert_eq!(scalar, avx2, "scalar and AVX2 kernels disagree");
+    }
+    scalar
+}
+
+fn finite_f64() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        5 => -1.0e3..1.0e3f64,
+        2 => (-1.0..1.0f64).prop_map(|v| v * 1e300),
+        2 => (-1.0..1.0f64).prop_map(|v| v * 1e-300),
+        1 => Just(0.0),
+        1 => Just(-0.0),
+        1 => Just(5e-324),
+        1 => (1i32..1000).prop_map(|k| k as f64 * 2f64.powi(-53)),
+    ]
+}
+
+/// Finite values plus the specials (NaN/±∞) that force the cold path.
+fn any_f64() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        10 => finite_f64(),
+        1 => Just(f64::NAN),
+        1 => Just(f64::INFINITY),
+        1 => Just(f64::NEG_INFINITY),
+        1 => Just(f64::MAX),
+    ]
+}
+
+fn finite_f32() -> impl Strategy<Value = f32> {
+    prop_oneof![
+        5 => -1.0e3..1.0e3f32,
+        2 => (-1.0..1.0f32).prop_map(|v| v * 1e30),
+        2 => (-1.0..1.0f32).prop_map(|v| v * 1e-30),
+        1 => Just(0.0f32),
+        1 => Just(-0.0f32),
+        1 => Just(f32::from_bits(1)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Dispatched `add_slice` equals the scalar cascade for finite data,
+    /// and the forced levels equal each other.
+    #[test]
+    fn dispatched_matches_cascade_f64(values in vec(finite_f64(), 0..5000)) {
+        let mut cascade = ReproSum::<f64, 3>::new();
+        cascade.add_all(&values);
+        let expected = (cascade.value().to_bits(), cascade.canonical_state());
+        prop_assert_eq!(both_levels_f64::<3>(&values), expected);
+    }
+
+    /// Specials (NaN, ±∞, overflow-magnitude values) interleaved with
+    /// binnable data: the cold path and the lane shift must agree across
+    /// kernels.
+    #[test]
+    fn dispatched_matches_cascade_f64_with_specials(values in vec(any_f64(), 0..600)) {
+        let mut cascade = ReproSum::<f64, 2>::new();
+        cascade.add_all(&values);
+        let expected = (cascade.value().to_bits(), cascade.canonical_state());
+        prop_assert_eq!(both_levels_f64::<2>(&values), expected);
+    }
+
+    /// A magnitude jump mid-stream promotes the ladder; both kernels must
+    /// shift their in-register lane state identically to the scalar path.
+    #[test]
+    fn mid_stream_promotion_is_level_independent(
+        small in vec((-1.0..1.0f64).prop_map(|v| v * 1e-12), 64..2000),
+        big in (0.5..1.0f64).prop_map(|v| v * 1e250),
+        more in vec(finite_f64(), 0..2000),
+    ) {
+        let mut values = small;
+        values.push(big);
+        values.extend(more);
+        let mut cascade = ReproSum::<f64, 4>::new();
+        cascade.add_all(&values);
+        let expected = (cascade.value().to_bits(), cascade.canonical_state());
+        prop_assert_eq!(both_levels_f64::<4>(&values), expected);
+    }
+
+    /// Chunked calls at adversarial boundaries (including mid-block and
+    /// mid-vector splits) match one whole-slice call under every level.
+    #[test]
+    fn chunk_boundaries_are_level_independent(
+        values in vec(finite_f64(), 0..3000),
+        chunk in 1usize..1100,
+    ) {
+        let whole = both_levels_f64::<2>(&values);
+        let chunked = with_level(SimdLevel::Scalar, || {
+            let mut acc = ReproSum::<f64, 2>::new();
+            for c in values.chunks(chunk) {
+                simd::add_slice(&mut acc, c);
+            }
+            (acc.value().to_bits(), acc.canonical_state())
+        });
+        prop_assert_eq!(whole, chunked);
+        if cpu::avx2_supported() {
+            let chunked_avx2 = with_level(SimdLevel::Avx2, || {
+                let mut acc = ReproSum::<f64, 2>::new();
+                for c in values.chunks(chunk) {
+                    simd::add_slice(&mut acc, c);
+                }
+                (acc.value().to_bits(), acc.canonical_state())
+            });
+            prop_assert_eq!(whole, chunked_avx2);
+        }
+    }
+
+    /// The f32 kernel (8 lanes, 16-deposit blocks) under both levels.
+    #[test]
+    fn dispatched_matches_cascade_f32(values in vec(finite_f32(), 0..4000)) {
+        let mut cascade = ReproSum::<f32, 2>::new();
+        cascade.add_all(&values);
+        let expected = cascade.value().to_bits();
+        let scalar = with_level(SimdLevel::Scalar, || {
+            let mut acc = ReproSum::<f32, 2>::new();
+            simd::add_slice(&mut acc, &values);
+            acc.value().to_bits()
+        });
+        prop_assert_eq!(scalar, expected);
+        if cpu::avx2_supported() {
+            let avx2 = with_level(SimdLevel::Avx2, || {
+                let mut acc = ReproSum::<f32, 2>::new();
+                simd::add_slice(&mut acc, &values);
+                acc.value().to_bits()
+            });
+            prop_assert_eq!(avx2, expected);
+        }
+    }
+
+    /// `SummationBuffer::push_slice` (the agg routing path) is
+    /// level-independent and matches per-value pushes.
+    #[test]
+    fn buffered_push_slice_is_level_independent(
+        values in vec(finite_f64(), 0..3000),
+        bsz in 1usize..600,
+        chunk in 1usize..900,
+    ) {
+        let mut reference = ReproSum::<f64, 2>::new();
+        reference.add_all(&values);
+        let expected = reference.value().to_bits();
+        for level in [SimdLevel::Scalar, SimdLevel::Avx2] {
+            if level == SimdLevel::Avx2 && !cpu::avx2_supported() {
+                continue;
+            }
+            let got = with_level(level, || {
+                let mut buf = SummationBuffer::<f64, 2>::new(bsz);
+                for c in values.chunks(chunk) {
+                    buf.push_slice(c);
+                }
+                buf.finalize().to_bits()
+            });
+            prop_assert_eq!(got, expected, "level {:?}", level);
+        }
+    }
+}
+
+/// The portable entry point stays directly callable (benchmarks use it)
+/// and equals the dispatched kernel.
+#[test]
+fn portable_entry_point_matches_dispatch() {
+    let values: Vec<f64> = (0..10_000)
+        .map(|i| ((i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 11) as f64 / 1e15 - 4.0)
+        .collect();
+    let mut portable = ReproSum::<f64, 4>::new();
+    simd::add_slice_portable(&mut portable, &values);
+    let mut dispatched = ReproSum::<f64, 4>::new();
+    simd::add_slice(&mut dispatched, &values);
+    assert_eq!(portable.value().to_bits(), dispatched.value().to_bits());
+    assert_eq!(portable.canonical_state(), dispatched.canonical_state());
+}

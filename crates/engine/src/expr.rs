@@ -126,7 +126,7 @@ impl CmpOp {
     }
 
     #[inline]
-    fn test<T: Copy + PartialOrd>(self, a: T, b: T) -> bool {
+    pub(crate) fn test<T: Copy + PartialOrd>(self, a: T, b: T) -> bool {
         match self {
             CmpOp::Lt => a < b,
             CmpOp::Le => a <= b,
@@ -898,7 +898,61 @@ fn refine_cmp<T: Copy + PartialOrd>(col: &[T], op: CmpOp, rhs: T, sel: &mut Vec<
 }
 
 impl BoundFast<'_> {
+    /// The AVX2 build of this predicate's selection vector, when the
+    /// dispatch level allows it (`false` = run the scalar loop). On
+    /// non-x86 targets there is no kernel and the scalar path is it.
+    #[inline]
+    fn fill_simd(&self, _lo: usize, _hi: usize, _sel: &mut Vec<u32>) -> bool {
+        #[cfg(target_arch = "x86_64")]
+        {
+            use crate::simd_sel;
+            match self {
+                BoundFast::F64Cmp { col, op, rhs } => {
+                    simd_sel::fill_f64_cmp(col, *op, *rhs, _lo, _hi, _sel)
+                }
+                BoundFast::I32Cmp { col, op, rhs } => {
+                    simd_sel::fill_i32_cmp(col, *op, *rhs, _lo, _hi, _sel)
+                }
+                BoundFast::F64Between { col, lo: l, hi: h } => {
+                    simd_sel::fill_f64_between(col, *l, *h, _lo, _hi, _sel)
+                }
+                BoundFast::I32Between { col, lo: l, hi: h } => {
+                    simd_sel::fill_i32_between(col, *l, *h, _lo, _hi, _sel)
+                }
+            }
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        false
+    }
+
+    #[inline]
+    fn refine_simd(&self, _sel: &mut Vec<u32>) -> bool {
+        #[cfg(target_arch = "x86_64")]
+        {
+            use crate::simd_sel;
+            match self {
+                BoundFast::F64Cmp { col, op, rhs } => {
+                    simd_sel::refine_f64_cmp(col, *op, *rhs, _sel)
+                }
+                BoundFast::I32Cmp { col, op, rhs } => {
+                    simd_sel::refine_i32_cmp(col, *op, *rhs, _sel)
+                }
+                BoundFast::F64Between { col, lo, hi } => {
+                    simd_sel::refine_f64_between(col, *lo, *hi, _sel)
+                }
+                BoundFast::I32Between { col, lo, hi } => {
+                    simd_sel::refine_i32_between(col, *lo, *hi, _sel)
+                }
+            }
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        false
+    }
+
     fn fill(&self, lo: usize, hi: usize, sel: &mut Vec<u32>) {
+        if self.fill_simd(lo, hi, sel) {
+            return;
+        }
         match self {
             BoundFast::F64Cmp { col, op, rhs } => fill_cmp(col, *op, *rhs, lo, hi, sel),
             BoundFast::I32Cmp { col, op, rhs } => fill_cmp(col, *op, *rhs, lo, hi, sel),
@@ -914,6 +968,9 @@ impl BoundFast<'_> {
     }
 
     fn refine(&self, sel: &mut Vec<u32>) {
+        if self.refine_simd(sel) {
+            return;
+        }
         match self {
             BoundFast::F64Cmp { col, op, rhs } => refine_cmp(col, *op, *rhs, sel),
             BoundFast::I32Cmp { col, op, rhs } => refine_cmp(col, *op, *rhs, sel),
@@ -1139,6 +1196,10 @@ impl BoundPredicate<'_> {
         }
         self.prog.exec(sel, scratch);
         let mask = &scratch.masks[0][..n];
+        #[cfg(target_arch = "x86_64")]
+        if crate::simd_sel::compact_by_mask(sel, mask) {
+            return;
+        }
         let mut k = 0usize;
         for (i, &m) in mask.iter().enumerate() {
             sel[k] = sel[i];

@@ -74,6 +74,7 @@ pub mod plan;
 pub mod q1;
 pub mod q15;
 pub mod q6;
+pub(crate) mod simd_sel;
 pub mod sql;
 pub mod sum_op;
 
@@ -95,8 +96,8 @@ pub use q6::{
     run_q6_with,
 };
 pub use sql::{
-    parse_select, resolve_select, sql_query, SelectItem, SelectStmt, SqlColumn, SqlError, SqlQuery,
-    SqlResult,
+    parse_select, resolve_select, sql_query, PlanCache, PlanCacheStats, SelectItem, SelectStmt,
+    SqlColumn, SqlError, SqlQuery, SqlResult,
 };
 pub use sum_op::{
     count_grouped, sum_grouped, sum_grouped_par, GroupedOutput, GroupedStates, GroupedSums,

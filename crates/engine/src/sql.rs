@@ -1146,6 +1146,136 @@ pub fn resolve_select(stmt: &SelectStmt, table: &Table) -> Result<SqlQuery, SqlE
     })
 }
 
+// ---------------------------------------------------------------------------
+// Prepared-plan cache
+// ---------------------------------------------------------------------------
+
+/// Counters of a [`PlanCache`] (a snapshot; see [`PlanCache::stats`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PlanCacheStats {
+    /// Lookups answered from the cache (by raw text or canonical form).
+    pub hits: u64,
+    /// Lookups that had to parse + resolve + lower.
+    pub misses: u64,
+    /// Distinct prepared plans held (canonical entries).
+    pub entries: usize,
+}
+
+#[derive(Default)]
+struct PlanCacheInner {
+    /// Raw-text hits skip even the parse: `fingerprint \0 sql` → plan.
+    by_text: std::collections::HashMap<String, std::sync::Arc<SqlQuery>>,
+    /// Canonical hits share one plan across whitespace/case variants:
+    /// `fingerprint \0 canonical-pretty-print` → plan.
+    by_canonical: std::collections::HashMap<String, std::sync::Arc<SqlQuery>>,
+    hits: u64,
+    misses: u64,
+}
+
+/// A cache of resolved [`SqlQuery`] plans, keyed by the statement's
+/// canonical pretty-print ([`SelectStmt`]'s `Display`) plus the target
+/// table's name and schema.
+///
+/// Preparing a query — lex, parse, resolve every column against the
+/// schema, lower and validate the plan — costs far more than *executing*
+/// it over a small batch, so an application (or benchmark harness) that
+/// submits the same SQL text repeatedly pays a per-call overhead pure
+/// plan execution does not have. `get_or_resolve` makes the repeated
+/// path cheap:
+///
+/// * an exact raw-text hit returns the shared `Arc<SqlQuery>` without
+///   even parsing;
+/// * otherwise the text is parsed and looked up by its **canonical
+///   form**, so `SELECT SUM(x) FROM t` and `select  sum(x)  from t`
+///   share one prepared plan;
+/// * only a genuinely new statement resolves and lowers.
+///
+/// The key includes a schema fingerprint (table name + column name/type
+/// pairs in declaration order): the same SQL resolved against a table
+/// whose schema differs (e.g. a group-key column with another storage
+/// type) lowers differently — or not at all — and must not share a
+/// cache entry. Errors are not cached; a failing statement re-resolves
+/// (and re-fails, typed) on every call.
+///
+/// Thread-safe behind one internal mutex; cached plans are shared
+/// `Arc`s, so execution itself never holds the lock.
+#[derive(Default)]
+pub struct PlanCache {
+    inner: std::sync::Mutex<PlanCacheInner>,
+}
+
+/// `table-name \0 col:type \0 col:type ...` — everything resolution
+/// depends on besides the SQL text itself.
+fn schema_fingerprint(table: &Table) -> String {
+    use std::fmt::Write;
+    let mut fp = table.name.clone();
+    for (name, ty) in table.schema() {
+        let _ = write!(fp, "\u{0}{name}:{ty}");
+    }
+    fp
+}
+
+impl PlanCache {
+    pub fn new() -> Self {
+        PlanCache::default()
+    }
+
+    /// Returns the prepared plan for `sql` against `table`, resolving
+    /// and caching it on first sight (see the type docs for the lookup
+    /// ladder).
+    pub fn get_or_resolve(
+        &self,
+        sql: &str,
+        table: &Table,
+    ) -> Result<std::sync::Arc<SqlQuery>, SqlError> {
+        let fp = schema_fingerprint(table);
+        let text_key = format!("{fp}\u{0}{sql}");
+        let mut inner = self.lock();
+        if let Some(q) = inner.by_text.get(&text_key).cloned() {
+            inner.hits += 1;
+            return Ok(q);
+        }
+        // Parse errors surface before the miss is counted: a lookup that
+        // never produces a plan is neither hit nor miss.
+        let stmt = parse_select(sql)?;
+        let canonical_key = format!("{fp}\u{0}{stmt}");
+        if let Some(q) = inner.by_canonical.get(&canonical_key).cloned() {
+            inner.hits += 1;
+            inner.by_text.insert(text_key, q.clone());
+            return Ok(q);
+        }
+        let q = std::sync::Arc::new(resolve_select(&stmt, table)?);
+        inner.misses += 1;
+        inner.by_canonical.insert(canonical_key, q.clone());
+        inner.by_text.insert(text_key, q.clone());
+        Ok(q)
+    }
+
+    /// Hit/miss counters and entry count.
+    pub fn stats(&self) -> PlanCacheStats {
+        let inner = self.lock();
+        PlanCacheStats {
+            hits: inner.hits,
+            misses: inner.misses,
+            entries: inner.by_canonical.len(),
+        }
+    }
+
+    /// Drops every cached plan (counters survive).
+    pub fn clear(&self) {
+        let mut inner = self.lock();
+        inner.by_text.clear();
+        inner.by_canonical.clear();
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, PlanCacheInner> {
+        // The cache holds no invariant a panicking thread could break
+        // mid-update (every insert is a single map operation), so a
+        // poisoned lock is still usable.
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1506,5 +1636,111 @@ mod tests {
             let printed = ast.to_string();
             assert_eq!(parse_select(&printed).unwrap(), ast, "{sql}");
         }
+    }
+
+    #[test]
+    fn plan_cache_hits_on_repeated_text_and_shares_the_plan() {
+        let t = sensor_table();
+        let cache = PlanCache::new();
+        let sql = "SELECT station, SUM(temp) FROM sensors GROUP BY station";
+        let a = cache.get_or_resolve(sql, &t).unwrap();
+        let b = cache.get_or_resolve(sql, &t).unwrap();
+        assert!(std::sync::Arc::ptr_eq(&a, &b), "repeat must share the Arc");
+        assert_eq!(
+            cache.stats(),
+            PlanCacheStats {
+                hits: 1,
+                misses: 1,
+                entries: 1
+            }
+        );
+    }
+
+    #[test]
+    fn plan_cache_shares_across_whitespace_and_case_variants() {
+        let t = sensor_table();
+        let cache = PlanCache::new();
+        let a = cache
+            .get_or_resolve("SELECT SUM(temp) FROM sensors WHERE temp < 22.0", &t)
+            .unwrap();
+        let b = cache
+            .get_or_resolve("select  sum( temp )\n from sensors\nwhere temp < 22.0", &t)
+            .unwrap();
+        assert!(
+            std::sync::Arc::ptr_eq(&a, &b),
+            "canonical form must unify spelling variants"
+        );
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+        // Third spelling, raw text hit for one of the earlier ones.
+        cache
+            .get_or_resolve("SELECT SUM(temp) FROM sensors WHERE temp < 22.0", &t)
+            .unwrap();
+        assert_eq!(cache.stats().hits, 2);
+    }
+
+    #[test]
+    fn plan_cache_distinguishes_schemas() {
+        // Same table name and SQL, different storage for the group key:
+        // resolution must re-run, not reuse the I32 plan (which would
+        // silently accept a non-integer key).
+        let sql = "SELECT station, SUM(temp) FROM sensors GROUP BY station";
+        let cache = PlanCache::new();
+        let good = sensor_table();
+        assert!(cache.get_or_resolve(sql, &good).is_ok());
+        let mut bad = Table::new("sensors");
+        bad.add_column("station", Column::f64(vec![1.0, 2.0]))
+            .unwrap();
+        bad.add_column("temp", Column::f64(vec![0.5, 1.5])).unwrap();
+        let err = cache.get_or_resolve(sql, &bad).unwrap_err();
+        assert!(
+            matches!(err, SqlError::TypeMismatch { ref column, .. } if column == "station"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn plan_cache_errors_are_not_cached_and_results_match_uncached() {
+        let t = sensor_table();
+        let cache = PlanCache::new();
+        assert!(cache.get_or_resolve("SELECT FROM", &t).is_err());
+        assert!(cache.get_or_resolve("SELECT FROM", &t).is_err());
+        assert_eq!(cache.stats().entries, 0);
+
+        let sql = "SELECT station, SUM(temp * (1 - humidity)), COUNT(*) \
+                   FROM sensors WHERE temp < 24.0 GROUP BY station";
+        let cached = cache.get_or_resolve(sql, &t).unwrap();
+        let fresh = run(sql, &t);
+        let via_cache = cached
+            .execute(&t, SumBackend::ReproUnbuffered, &ExecOptions::serial())
+            .unwrap();
+        assert_eq!(fresh.names, via_cache.names);
+        for (a, b) in fresh.columns.iter().zip(&via_cache.columns) {
+            match (a, b) {
+                (SqlColumn::F64(x), SqlColumn::F64(y)) => {
+                    assert_eq!(x.len(), y.len());
+                    for (u, v) in x.iter().zip(y) {
+                        assert_eq!(u.to_bits(), v.to_bits());
+                    }
+                }
+                (a, b) => assert_eq!(a, b),
+            }
+        }
+    }
+
+    #[test]
+    fn plan_cache_clear_drops_entries() {
+        let t = sensor_table();
+        let cache = PlanCache::new();
+        cache
+            .get_or_resolve("SELECT SUM(temp) FROM sensors", &t)
+            .unwrap();
+        assert_eq!(cache.stats().entries, 1);
+        cache.clear();
+        assert_eq!(cache.stats().entries, 0);
+        cache
+            .get_or_resolve("SELECT SUM(temp) FROM sensors", &t)
+            .unwrap();
+        assert_eq!(cache.stats().misses, 2);
     }
 }

@@ -146,10 +146,12 @@ impl<const L: usize> BufStates<L> {
         }
     }
 
+    /// Single-group fast path: the whole batch bypasses the staging
+    /// buffer and goes straight through the vectorized block kernel
+    /// (bit-identical to per-value pushes — every flush boundary is
+    /// exact).
     fn update_single(&mut self, values: &[f64]) {
-        for &v in values {
-            self.states[0].push(v);
-        }
+        self.states[0].push_slice(values);
     }
 
     fn merge(&mut self, other: &mut Self) {

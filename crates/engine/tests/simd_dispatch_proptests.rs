@@ -1,0 +1,257 @@
+//! Forced-dispatch bit-identity tests at the *query* level: the whole
+//! scan pipeline — AVX2 selection-vector build, mask compaction and the
+//! AVX2 repro summation kernel — must produce results bit-identical to
+//! the scalar paths, for every query, fused backend and thread shape.
+//!
+//! `RFA_SIMD` flips the dispatch level process-wide; these tests flip it
+//! programmatically via [`rfa_core::cpu::set_override`] (serialized by a
+//! local mutex — the engine's own parallel workers are fine because both
+//! levels are bit-identical, which is exactly what is being asserted).
+//! On hardware without AVX2 the forced-AVX2 leg is skipped and the tests
+//! reduce to scalar self-consistency.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use rfa_core::cpu::{self, SimdLevel};
+use rfa_engine::{
+    run_q15_with, run_q1_with, run_q6_with, BoolExpr, EvalScratch, ExecOptions, Expr, SumBackend,
+    Table,
+};
+use rfa_workloads::Lineitem;
+use std::sync::{Mutex, MutexGuard};
+
+/// Serializes tests that flip the process-global dispatch override.
+static OVERRIDE_LOCK: Mutex<()> = Mutex::new(());
+
+fn override_guard() -> MutexGuard<'static, ()> {
+    OVERRIDE_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Runs `f` under a forced dispatch level, restoring auto afterwards.
+fn with_level<R>(level: SimdLevel, f: impl FnOnce() -> R) -> R {
+    let _guard = override_guard();
+    cpu::set_override(Some(level));
+    let r = f();
+    cpu::set_override(None);
+    r
+}
+
+/// Runs `f` under forced scalar, then forced AVX2 (if supported), and
+/// asserts the two equal.
+fn both_levels<R: PartialEq + std::fmt::Debug>(mut f: impl FnMut() -> R) -> R {
+    let scalar = with_level(SimdLevel::Scalar, &mut f);
+    if cpu::avx2_supported() {
+        let avx2 = with_level(SimdLevel::Avx2, &mut f);
+        assert_eq!(scalar, avx2, "scalar and AVX2 pipelines disagree");
+    }
+    scalar
+}
+
+fn force_pool() {
+    let _ = rayon::ThreadPoolBuilder::new()
+        .num_threads(8)
+        .build_global();
+}
+
+const BACKENDS: [SumBackend; 4] = [
+    SumBackend::Double,
+    SumBackend::ReproUnbuffered,
+    SumBackend::ReproBuffered { buffer_size: 64 },
+    SumBackend::RsumBuffered {
+        levels: 3,
+        buffer_size: 48,
+    },
+];
+
+fn shapes() -> [ExecOptions; 3] {
+    [
+        ExecOptions {
+            threads: 1,
+            batch_rows: 33,
+            morsel_rows: 1 << 16,
+        },
+        ExecOptions {
+            threads: 2,
+            batch_rows: 64,
+            morsel_rows: 192,
+        },
+        ExecOptions {
+            threads: 8,
+            batch_rows: 17,
+            morsel_rows: 96,
+        },
+    ]
+}
+
+/// Arbitrary lineitem rows straddling the Q1/Q6/Q15 predicate windows
+/// (same shape as the fused proptests).
+fn lineitem_strategy(max_rows: usize) -> impl Strategy<Value = Lineitem> {
+    let row = (
+        (0.0..60.0f64),
+        (-1.0e5..1.0e5f64),
+        (0.0..0.12f64),
+        (0.0..0.09f64),
+        (600i32..2600),
+        (0u8..3),
+        (0u8..2),
+        (1i32..40),
+    );
+    vec(row, 0..max_rows).prop_map(|rows| {
+        let n = rows.len();
+        let mut quantity = Vec::with_capacity(n);
+        let mut extendedprice = Vec::with_capacity(n);
+        let mut discount = Vec::with_capacity(n);
+        let mut tax = Vec::with_capacity(n);
+        let mut shipdate = Vec::with_capacity(n);
+        let mut returnflag = Vec::with_capacity(n);
+        let mut linestatus = Vec::with_capacity(n);
+        let mut suppkey = Vec::with_capacity(n);
+        for (q, p, d, t, s, rf, ls, sk) in rows {
+            quantity.push(q);
+            extendedprice.push(p);
+            discount.push(d);
+            tax.push(t);
+            shipdate.push(s);
+            returnflag.push([b'A', b'N', b'R'][rf as usize]);
+            linestatus.push([b'F', b'O'][ls as usize]);
+            suppkey.push(sk);
+        }
+        Lineitem::from_columns(
+            quantity,
+            extendedprice,
+            discount,
+            tax,
+            shipdate,
+            returnflag,
+            linestatus,
+            suppkey,
+        )
+    })
+}
+
+/// Q1 rows as comparable bit patterns.
+fn q1_bits(
+    t: &Lineitem,
+    backend: SumBackend,
+    opts: &ExecOptions,
+) -> Vec<(char, char, u64, [u64; 5])> {
+    let (rows, _) = run_q1_with(t, backend, opts).unwrap();
+    rows.iter()
+        .map(|r| {
+            (
+                r.returnflag,
+                r.linestatus,
+                r.count,
+                [
+                    r.sum_qty.to_bits(),
+                    r.sum_base_price.to_bits(),
+                    r.sum_disc_price.to_bits(),
+                    r.sum_charge.to_bits(),
+                    r.avg_disc.to_bits(),
+                ],
+            )
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Q1 (grouped, expression-heavy) is dispatch-level independent for
+    /// every backend and thread shape.
+    #[test]
+    fn q1_is_dispatch_level_independent(t in lineitem_strategy(600)) {
+        force_pool();
+        for backend in BACKENDS {
+            for opts in shapes() {
+                both_levels(|| q1_bits(&t, backend, &opts));
+            }
+        }
+    }
+
+    /// Q6 (selective filter + single SUM: the selection kernels' hottest
+    /// consumer) and Q15 (hash-grouped) under both levels.
+    #[test]
+    fn q6_and_q15_are_dispatch_level_independent(t in lineitem_strategy(800)) {
+        force_pool();
+        for backend in BACKENDS {
+            for opts in shapes() {
+                both_levels(|| run_q6_with(&t, backend, &opts).unwrap().0.to_bits());
+                both_levels(|| {
+                    let (rows, _) = run_q15_with(&t, backend, &opts).unwrap();
+                    rows.iter()
+                        .map(|r| (r.suppkey, r.total_revenue.to_bits(), r.count))
+                        .collect::<Vec<_>>()
+                });
+            }
+        }
+    }
+
+    /// The selection kernels directly: fill (first conjunct) and refine
+    /// (later conjuncts) over f64 and i32 columns produce the same
+    /// selection vector under both levels, for every comparison operator
+    /// and a BETWEEN, including NaN-laden data.
+    #[test]
+    fn selection_vectors_are_dispatch_level_independent(
+        f64s in vec(
+            prop_oneof![
+                8 => -100.0..100.0f64,
+                1 => Just(f64::NAN),
+                1 => Just(0.0),
+                1 => Just(-0.0),
+            ],
+            0..700,
+        ),
+        i32s in vec(-1000..1000i32, 0..700),
+        threshold in -50.0..50.0f64,
+        ithreshold in -500..500i32,
+    ) {
+        let n = f64s.len().min(i32s.len());
+        let mut table = Table::new("t");
+        table
+            .add_column("x", rfa_engine::Column::f64(f64s[..n].to_vec()))
+            .unwrap();
+        table
+            .add_column("k", rfa_engine::Column::i32(i32s[..n].to_vec()))
+            .unwrap();
+
+        let preds = [
+            BoolExpr::Cmp(rfa_engine::CmpOp::Lt, Box::new(Expr::col("x")), Box::new(Expr::lit(threshold))),
+            BoolExpr::Cmp(rfa_engine::CmpOp::Ge, Box::new(Expr::col("x")), Box::new(Expr::lit(threshold))),
+            BoolExpr::Cmp(rfa_engine::CmpOp::Ne, Box::new(Expr::col("x")), Box::new(Expr::lit(threshold))),
+            BoolExpr::Cmp(rfa_engine::CmpOp::Le, Box::new(Expr::col("k")), Box::new(Expr::lit(ithreshold as f64))),
+            BoolExpr::Between(
+                Box::new(Expr::col("x")),
+                Box::new(Expr::lit(-25.0)),
+                Box::new(Expr::lit(25.0)),
+            ),
+            // No typed fast path (two columns): exercises the general
+            // program + AVX2 mask compaction.
+            BoolExpr::Cmp(rfa_engine::CmpOp::Gt, Box::new(Expr::col("x")), Box::new(Expr::col("k"))),
+        ];
+        for pred in &preds {
+            let compiled = pred.compile();
+            let bound = compiled.bind(&table).unwrap();
+            let filled = both_levels(|| {
+                let mut sel = Vec::new();
+                let mut scratch = EvalScratch::default();
+                bound.fill(0, n, &mut sel, &mut scratch);
+                sel
+            });
+            // Refine the filled set with a second conjunct.
+            let refiner = BoolExpr::Cmp(
+                rfa_engine::CmpOp::Ge,
+                Box::new(Expr::col("k")),
+                Box::new(Expr::lit(0.0)),
+            )
+            .compile();
+            let refiner = refiner.bind(&table).unwrap();
+            both_levels(|| {
+                let mut sel = filled.clone();
+                let mut scratch = EvalScratch::default();
+                refiner.refine(&mut sel, &mut scratch);
+                sel
+            });
+        }
+    }
+}

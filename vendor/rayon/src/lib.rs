@@ -29,7 +29,10 @@ mod pool;
 mod scope_impl;
 pub mod slice;
 
-pub use pool::{current_num_threads, join, ThreadPoolBuildError, ThreadPoolBuilder};
+pub use pool::{
+    current_num_threads, join, parse_threads, ThreadPoolBuildError, ThreadPoolBuilder,
+    ThreadsVarError,
+};
 pub use scope_impl::{scope, Scope};
 
 pub mod prelude {

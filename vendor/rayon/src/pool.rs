@@ -257,14 +257,58 @@ thread_local! {
 
 static REGISTRY: OnceLock<&'static Registry> = OnceLock::new();
 
+/// `RFA_THREADS` held a value that is not a positive integer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ThreadsVarError {
+    /// The rejected value, verbatim.
+    pub value: String,
+}
+
+impl std::fmt::Display for ThreadsVarError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "RFA_THREADS must be an integer >= 1 (or empty/unset for the default), got {:?}",
+            self.value
+        )
+    }
+}
+
+impl std::error::Error for ThreadsVarError {}
+
+/// Parses an `RFA_THREADS` value: `Ok(None)` for empty (CI matrices pass
+/// `RFA_THREADS=""` for the default leg), `Ok(Some(n))` for an integer
+/// ≥ 1, and a typed error for everything else — a typo must not silently
+/// fall back to the default pool size.
+pub fn parse_threads(value: &str) -> Result<Option<usize>, ThreadsVarError> {
+    let trimmed = value.trim();
+    if trimmed.is_empty() {
+        return Ok(None);
+    }
+    trimmed
+        .parse::<usize>()
+        .ok()
+        .filter(|&n| n >= 1)
+        .map(Some)
+        .ok_or_else(|| ThreadsVarError {
+            value: value.to_string(),
+        })
+}
+
 /// Worker-thread count: `RFA_THREADS` (≥ 1) has highest priority (so a
 /// pinned CI leg governs even test binaries that request a size), then an
-/// explicit builder request, then `available_parallelism`.
+/// explicit builder request, then `available_parallelism`. An unparsable
+/// `RFA_THREADS` fails fast (panics with [`ThreadsVarError`]) instead of
+/// silently running at a different width than asked for.
 fn pool_size(requested: Option<usize>) -> usize {
-    std::env::var("RFA_THREADS")
-        .ok()
-        .and_then(|v| v.trim().parse::<usize>().ok())
-        .filter(|&n| n >= 1)
+    let from_env = match std::env::var("RFA_THREADS") {
+        Ok(v) => match parse_threads(&v) {
+            Ok(n) => n,
+            Err(e) => panic!("{e}"),
+        },
+        Err(_) => None,
+    };
+    from_env
         .or(requested)
         .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |p| p.get()))
 }
@@ -524,4 +568,32 @@ where
 /// Current number of pool worker threads (initializes the pool).
 pub fn current_num_threads() -> usize {
     global().num_threads()
+}
+
+#[cfg(test)]
+mod env_tests {
+    use super::parse_threads;
+
+    #[test]
+    fn empty_and_whitespace_mean_default() {
+        assert_eq!(parse_threads(""), Ok(None));
+        assert_eq!(parse_threads("  "), Ok(None));
+        assert_eq!(parse_threads("\t\n"), Ok(None));
+    }
+
+    #[test]
+    fn valid_counts_parse() {
+        assert_eq!(parse_threads("1"), Ok(Some(1)));
+        assert_eq!(parse_threads(" 8 "), Ok(Some(8)));
+        assert_eq!(parse_threads("128"), Ok(Some(128)));
+    }
+
+    #[test]
+    fn garbage_is_a_typed_error_not_a_silent_default() {
+        for bad in ["0", "-1", "two", "2.5", "8x", "auto"] {
+            let err = parse_threads(bad).unwrap_err();
+            assert_eq!(err.value, bad);
+            assert!(err.to_string().contains("RFA_THREADS"), "{err}");
+        }
+    }
 }
