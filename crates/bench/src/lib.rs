@@ -411,6 +411,94 @@ pub fn write_bench_smoke(smoke: &BenchSmoke) {
     }
 }
 
+/// The query-service entry of the smoke artifact: a load-generator run
+/// of N concurrent client sessions against `rfa_server`, mixed
+/// Q1/Q6/Q15, with cross-concurrency bit-identity asserted by the bench
+/// before this record is written.
+#[derive(Clone, Copy, Debug)]
+pub struct ServerSmoke {
+    /// Table rows served.
+    pub n: usize,
+    /// Concurrent client sessions in the loaded arm.
+    pub clients: usize,
+    /// Queries each session issued.
+    pub queries_per_client: usize,
+    /// Completed queries per second, single session.
+    pub qps_1_client: f64,
+    /// Completed queries per second, `clients` sessions.
+    pub qps_loaded: f64,
+    /// Active fault menu ("none" outside the chaos leg).
+    pub faults: &'static str,
+    /// Queries that completed (both arms).
+    pub completed: u64,
+    /// Typed `Overloaded` rejections.
+    pub rejected_overload: u64,
+    /// Typed deadline expiries.
+    pub deadline_expired: u64,
+    /// Worker panics isolated to their query.
+    pub panics_isolated: u64,
+}
+
+/// Merges the `server` object into `results/bench_smoke.json`, keeping
+/// whatever the figure benches already wrote. The artifact stays valid
+/// JSON whether or not the file, or a previous `server` entry, existed.
+pub fn write_server_smoke(smoke: &ServerSmoke) {
+    let ServerSmoke {
+        n,
+        clients,
+        queries_per_client,
+        qps_1_client,
+        qps_loaded,
+        faults,
+        completed,
+        rejected_overload,
+        deadline_expired,
+        panics_isolated,
+    } = *smoke;
+    let dir = results_dir();
+    if fs::create_dir_all(&dir).is_err() {
+        return; // benches must not fail on read-only filesystems
+    }
+    let path = dir.join("bench_smoke.json");
+    let scaleup = if qps_1_client > 0.0 {
+        qps_loaded / qps_1_client
+    } else {
+        0.0
+    };
+    let server_json = format!(
+        "  \"server\": {{\n    \"n\": {n},\n    \"clients\": {clients},\n    \
+         \"queries_per_client\": {queries_per_client},\n    \
+         \"qps_1_client\": {qps_1_client:.1},\n    \
+         \"qps_loaded\": {qps_loaded:.1},\n    \
+         \"client_scaleup\": {scaleup:.3},\n    \
+         \"faults\": \"{faults}\",\n    \
+         \"completed\": {completed},\n    \
+         \"rejected_overload\": {rejected_overload},\n    \
+         \"deadline_expired\": {deadline_expired},\n    \
+         \"panics_isolated\": {panics_isolated},\n    \
+         \"bit_identical\": true\n  }}"
+    );
+    // Splice into the existing artifact: drop any previous `server`
+    // entry (always the trailing member), then re-append.
+    let existing = fs::read_to_string(&path).unwrap_or_default();
+    let body = match existing.find(",\n  \"server\": {") {
+        Some(i) => existing[..i].to_string(),
+        None => existing
+            .trim_end()
+            .trim_end_matches('}')
+            .trim_end()
+            .to_string(),
+    };
+    let json = if body.is_empty() || !existing.trim_start().starts_with('{') {
+        format!("{{\n{server_json}\n}}\n")
+    } else {
+        format!("{body},\n{server_json}\n}}\n")
+    };
+    if fs::write(&path, json).is_ok() {
+        println!("  [json] {}", path.display());
+    }
+}
+
 /// Shared measurement drivers for the GROUPBY benches.
 pub mod runner {
     use rfa_agg::{partition_and_aggregate, AggFn, GroupByConfig};

@@ -1,0 +1,73 @@
+//! Cooperative cancellation.
+//!
+//! A [`CancelToken`] is a cheap, cloneable flag shared between a query's
+//! submitter and its workers. Execution loops poll it at batch boundaries
+//! (one relaxed atomic load per batch — far off the per-row hot path) and
+//! unwind with a *typed error*, never a panic, when it trips. Because the
+//! reproducible accumulators are associative, a cancelled-and-retried query
+//! returns bit-identical results to an uninterrupted run — cancellation can
+//! remove an answer but can never change one.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A shared cancellation flag. Clones observe the same flag; `Default`
+/// constructs a fresh, uncancelled token.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, uncancelled token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Trips the flag. Idempotent; visible to all clones.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether the flag has been tripped.
+    #[inline]
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_uncancelled_and_trips_once() {
+        let t = CancelToken::new();
+        assert!(!t.is_cancelled());
+        t.cancel();
+        assert!(t.is_cancelled());
+        t.cancel(); // idempotent
+        assert!(t.is_cancelled());
+    }
+
+    #[test]
+    fn clones_share_the_flag() {
+        let t = CancelToken::new();
+        let c = t.clone();
+        c.cancel();
+        assert!(t.is_cancelled());
+        assert!(
+            !CancelToken::new().is_cancelled(),
+            "fresh tokens are independent"
+        );
+    }
+
+    #[test]
+    fn visible_across_threads() {
+        let t = CancelToken::new();
+        let c = t.clone();
+        let h = std::thread::spawn(move || {
+            c.cancel();
+        });
+        h.join().unwrap();
+        assert!(t.is_cancelled());
+    }
+}

@@ -23,6 +23,8 @@ use std::fmt;
 use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::OnceLock;
 
+use crate::knob::{parse_knob, KnobError};
+
 /// The dispatch policy requested via `RFA_SIMD`.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum SimdMode {
@@ -52,38 +54,27 @@ impl fmt::Display for SimdLevel {
     }
 }
 
-/// `RFA_SIMD` held a value other than `auto`, `scalar` or `avx2`.
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub struct SimdModeError {
-    /// The rejected value, verbatim.
-    pub value: String,
-}
+/// `RFA_SIMD` held a value other than `auto`, `scalar` or `avx2` — the
+/// shared [`KnobError`] shape (`.value` carries the rejected value
+/// verbatim).
+pub type SimdModeError = KnobError;
 
-impl fmt::Display for SimdModeError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "RFA_SIMD must be \"auto\", \"scalar\" or \"avx2\", got {:?}",
-            self.value
-        )
-    }
-}
-
-impl std::error::Error for SimdModeError {}
+const EXPECTED: &str = "\"auto\", \"scalar\" or \"avx2\"";
 
 impl SimdMode {
     /// Parses an `RFA_SIMD` value. The empty string means `Auto` (CI
     /// matrices pass `RFA_SIMD=""` for the default leg); anything else
     /// unknown is a typed error, never a silent fallback.
     pub fn parse(value: &str) -> Result<SimdMode, SimdModeError> {
-        match value.trim().to_ascii_lowercase().as_str() {
-            "" | "auto" => Ok(SimdMode::Auto),
-            "scalar" => Ok(SimdMode::Scalar),
-            "avx2" => Ok(SimdMode::Avx2),
-            _ => Err(SimdModeError {
-                value: value.to_string(),
-            }),
-        }
+        let parsed = parse_knob("RFA_SIMD", EXPECTED, value, |s| {
+            match s.to_ascii_lowercase().as_str() {
+                "auto" => Some(SimdMode::Auto),
+                "scalar" => Some(SimdMode::Scalar),
+                "avx2" => Some(SimdMode::Avx2),
+                _ => None,
+            }
+        })?;
+        Ok(parsed.unwrap_or(SimdMode::Auto))
     }
 
     /// Reads the policy from the `RFA_SIMD` environment variable (unset

@@ -1,0 +1,369 @@
+//! Fault injection for robustness testing.
+//!
+//! The paper's reproducibility guarantee is only a *production* claim if it
+//! survives faults: worker panics, slow morsels, corrupt frames, deadline
+//! expiry mid-scan. This module is the single switchboard for injecting
+//! those faults, wired so that production builds pay one relaxed atomic
+//! load per scan batch when nothing is armed.
+//!
+//! Two arming mechanisms compose:
+//!
+//! * **`RFA_FAULTS` knob** (or [`set_override`]): a comma-separated subset
+//!   of `panic,delay,frame,deadline` (or `all` / `none`). `panic`/`delay`
+//!   arm *probabilistic* injection at engine scan points; `frame` and
+//!   `deadline` are advisory bits read by the server test harness and load
+//!   generator (the engine cannot corrupt its own wire frames). Garbage
+//!   values are a typed [`KnobError`] — same contract as every other knob.
+//! * **Countdown hooks** ([`arm_scan_panic`], [`arm_scan_delay`]): fire a
+//!   single deterministic fault at the N-th scan point from now, for tests
+//!   that need a panic or a stall at an exact spot regardless of the knob.
+//!
+//! Injected panics carry the payload `"injected worker panic (fault
+//! injection)"` so panic-isolation layers can tell them from real bugs in
+//! assertions.
+
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, AtomicU8, Ordering};
+use std::sync::OnceLock;
+
+use crate::knob::{env_knob, parse_knob, KnobError};
+
+/// Payload string of every injected panic (tests match on this).
+pub const INJECTED_PANIC: &str = "injected worker panic (fault injection)";
+
+const EXPECTED: &str =
+    "a comma-separated subset of \"panic\", \"delay\", \"frame\", \"deadline\" (or \"all\"/\"none\")";
+
+/// Which fault classes are armed.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultSpec {
+    /// Probabilistic worker panics at engine scan points.
+    pub panic: bool,
+    /// Probabilistic short stalls at engine scan points (slow-morsel
+    /// simulation).
+    pub delay: bool,
+    /// Advisory: harnesses should corrupt/truncate wire frames.
+    pub frame: bool,
+    /// Advisory: harnesses should attach tiny deadlines so queries expire
+    /// mid-scan.
+    pub deadline: bool,
+}
+
+impl FaultSpec {
+    /// No faults armed.
+    pub const NONE: FaultSpec = FaultSpec {
+        panic: false,
+        delay: false,
+        frame: false,
+        deadline: false,
+    };
+
+    /// Every fault class armed.
+    pub const ALL: FaultSpec = FaultSpec {
+        panic: true,
+        delay: true,
+        frame: true,
+        deadline: true,
+    };
+
+    /// Whether any class is armed.
+    pub fn any(&self) -> bool {
+        self.panic || self.delay || self.frame || self.deadline
+    }
+
+    fn parse_tokens(s: &str) -> Option<FaultSpec> {
+        let mut spec = FaultSpec::NONE;
+        for tok in s.split(',') {
+            match tok.trim().to_ascii_lowercase().as_str() {
+                "panic" => spec.panic = true,
+                "delay" => spec.delay = true,
+                "frame" => spec.frame = true,
+                "deadline" => spec.deadline = true,
+                "all" => spec = FaultSpec::ALL,
+                "none" | "" => {}
+                _ => return None,
+            }
+        }
+        Some(spec)
+    }
+
+    /// Parses an `RFA_FAULTS` value. Empty means `None` ("default: no
+    /// faults"); unknown tokens are a typed error.
+    pub fn parse(value: &str) -> Result<Option<FaultSpec>, KnobError> {
+        parse_knob("RFA_FAULTS", EXPECTED, value, Self::parse_tokens)
+    }
+
+    /// Reads `RFA_FAULTS` from the environment (unset means no faults).
+    pub fn from_env() -> Result<Option<FaultSpec>, KnobError> {
+        env_knob("RFA_FAULTS", EXPECTED, Self::parse_tokens)
+    }
+}
+
+fn spec_to_bits(spec: FaultSpec) -> u8 {
+    (spec.panic as u8)
+        | (spec.delay as u8) << 1
+        | (spec.frame as u8) << 2
+        | (spec.deadline as u8) << 3
+}
+
+fn bits_to_spec(bits: u8) -> FaultSpec {
+    FaultSpec {
+        panic: bits & 1 != 0,
+        delay: bits & 2 != 0,
+        frame: bits & 4 != 0,
+        deadline: bits & 8 != 0,
+    }
+}
+
+/// In-process override: 0 = none (follow the environment), else
+/// `0x10 | spec bits`.
+static OVERRIDE: AtomicU8 = AtomicU8::new(0);
+
+/// `true` once any countdown hook is live.
+static HOOKS: AtomicBool = AtomicBool::new(false);
+
+/// Countdown to a deterministic injected panic; negative = unarmed.
+static PANIC_AFTER: AtomicI64 = AtomicI64::new(-1);
+/// Countdown to a deterministic injected stall; negative = unarmed.
+static DELAY_AFTER: AtomicI64 = AtomicI64::new(-1);
+/// Stall length for the countdown delay hook, microseconds.
+static DELAY_MICROS: AtomicU64 = AtomicU64::new(0);
+
+/// `scan_point` fast-path state: 0 = uninitialized, 1 = idle (nothing can
+/// fire), 2 = armed (take the slow path).
+static STATE: AtomicU8 = AtomicU8::new(0);
+
+/// Tick counter feeding the probabilistic injector's mix function.
+static TICK: AtomicU64 = AtomicU64::new(0);
+
+fn env_spec() -> FaultSpec {
+    static SPEC: OnceLock<FaultSpec> = OnceLock::new();
+    *SPEC.get_or_init(|| match FaultSpec::from_env() {
+        Ok(spec) => spec.unwrap_or(FaultSpec::NONE),
+        // Fail fast, same policy as RFA_SIMD: a typo must not silently
+        // disable the chaos leg it was meant to arm.
+        Err(e) => panic!("{e}"),
+    })
+}
+
+/// The fault spec currently in effect: the [`set_override`] value if one
+/// is active, else the cached `RFA_FAULTS` policy.
+pub fn active() -> FaultSpec {
+    let o = OVERRIDE.load(Ordering::Relaxed);
+    if o & 0x10 != 0 {
+        bits_to_spec(o & 0x0F)
+    } else {
+        env_spec()
+    }
+}
+
+fn recompute_state() {
+    let spec = active();
+    let armed = spec.panic || spec.delay || HOOKS.load(Ordering::Relaxed);
+    STATE.store(if armed { 2 } else { 1 }, Ordering::Relaxed);
+}
+
+/// Overrides the active fault spec in-process (`None` restores the
+/// environment policy). Tests that must run fault-free under a chaos CI
+/// leg call `set_override(Some(FaultSpec::NONE))`; the override is global,
+/// so callers comparing faulted and clean runs must serialize around it.
+pub fn set_override(spec: Option<FaultSpec>) {
+    let v = match spec {
+        None => 0,
+        Some(s) => 0x10 | spec_to_bits(s),
+    };
+    OVERRIDE.store(v, Ordering::Relaxed);
+    recompute_state();
+}
+
+/// Arms a deterministic injected panic at the `after`-th scan point from
+/// now (0 = the very next one). Fires exactly once, then disarms.
+pub fn arm_scan_panic(after: u64) {
+    PANIC_AFTER.store(after as i64, Ordering::Relaxed);
+    HOOKS.store(true, Ordering::Relaxed);
+    recompute_state();
+}
+
+/// Arms a deterministic stall of `micros` microseconds at the `after`-th
+/// scan point from now. Fires exactly once, then disarms.
+pub fn arm_scan_delay(after: u64, micros: u64) {
+    DELAY_MICROS.store(micros, Ordering::Relaxed);
+    DELAY_AFTER.store(after as i64, Ordering::Relaxed);
+    HOOKS.store(true, Ordering::Relaxed);
+    recompute_state();
+}
+
+/// Disarms all countdown hooks (does not touch the knob/override spec).
+pub fn disarm_hooks() {
+    PANIC_AFTER.store(-1, Ordering::Relaxed);
+    DELAY_AFTER.store(-1, Ordering::Relaxed);
+    HOOKS.store(false, Ordering::Relaxed);
+    recompute_state();
+}
+
+/// SplitMix64 finalizer: turns the tick counter into decorrelated bits.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cold]
+fn scan_point_slow() {
+    // Countdown hooks first: deterministic, independent of the knob.
+    if HOOKS.load(Ordering::Relaxed) {
+        if PANIC_AFTER.load(Ordering::Relaxed) >= 0 {
+            let prev = PANIC_AFTER.fetch_sub(1, Ordering::Relaxed);
+            if prev == 0 {
+                HOOKS.store(DELAY_AFTER.load(Ordering::Relaxed) >= 0, Ordering::Relaxed);
+                recompute_state();
+                panic!("{INJECTED_PANIC}");
+            }
+        }
+        if DELAY_AFTER.load(Ordering::Relaxed) >= 0 {
+            let prev = DELAY_AFTER.fetch_sub(1, Ordering::Relaxed);
+            if prev == 0 {
+                HOOKS.store(PANIC_AFTER.load(Ordering::Relaxed) >= 0, Ordering::Relaxed);
+                recompute_state();
+                std::thread::sleep(std::time::Duration::from_micros(
+                    DELAY_MICROS.load(Ordering::Relaxed),
+                ));
+            }
+        }
+    }
+    // Probabilistic injection per the active spec: ~1/4096 scan points
+    // panic, ~1/512 stall 100µs. Rates are per *batch*, not per row, so a
+    // chaos run still makes progress.
+    let spec = active();
+    if spec.panic || spec.delay {
+        let r = mix(TICK.fetch_add(1, Ordering::Relaxed));
+        if spec.panic && r & 0xFFF == 0xFFF {
+            panic!("{INJECTED_PANIC}");
+        }
+        if spec.delay && r & 0x1FF == 0x1FE {
+            std::thread::sleep(std::time::Duration::from_micros(100));
+        }
+    }
+}
+
+/// Called by execution loops at batch boundaries. One relaxed atomic load
+/// when no faults are armed; may panic (with [`INJECTED_PANIC`]) or stall
+/// when they are.
+#[inline]
+pub fn scan_point() {
+    match STATE.load(Ordering::Relaxed) {
+        1 => {}
+        0 => {
+            recompute_state();
+            if STATE.load(Ordering::Relaxed) == 2 {
+                scan_point_slow();
+            }
+        }
+        _ => scan_point_slow(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_accepts_lists_and_aliases() {
+        assert_eq!(FaultSpec::parse("").unwrap(), None);
+        assert_eq!(FaultSpec::parse("none").unwrap(), Some(FaultSpec::NONE));
+        assert_eq!(FaultSpec::parse("all").unwrap(), Some(FaultSpec::ALL));
+        assert_eq!(
+            FaultSpec::parse("panic, frame").unwrap(),
+            Some(FaultSpec {
+                panic: true,
+                frame: true,
+                ..FaultSpec::NONE
+            })
+        );
+        assert_eq!(
+            FaultSpec::parse("DEADLINE,delay").unwrap(),
+            Some(FaultSpec {
+                delay: true,
+                deadline: true,
+                ..FaultSpec::NONE
+            })
+        );
+    }
+
+    #[test]
+    fn parse_rejects_unknown_tokens_with_typed_error() {
+        for bad in ["crash", "panic,oops", "1", "true"] {
+            let err = FaultSpec::parse(bad).unwrap_err();
+            assert_eq!(err.var, "RFA_FAULTS");
+            assert_eq!(err.value, bad);
+            let msg = err.to_string();
+            assert!(msg.contains("RFA_FAULTS"), "{msg}");
+            assert!(msg.contains(bad), "{msg}");
+        }
+    }
+
+    #[test]
+    fn spec_bits_roundtrip() {
+        for bits in 0..16u8 {
+            assert_eq!(spec_to_bits(bits_to_spec(bits)), bits);
+        }
+    }
+
+    // The countdown-hook and override behaviour mutate global state, so
+    // they live in one test to avoid cross-test interference.
+    #[test]
+    fn hooks_fire_once_and_override_gates_probabilistic_mode() {
+        // Silence the default "thread panicked" print for injected panics;
+        // forward everything else so real failures stay visible.
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let injected = info
+                .payload()
+                .downcast_ref::<String>()
+                .is_some_and(|s| s == INJECTED_PANIC);
+            if !injected {
+                prev(info);
+            }
+        }));
+        set_override(Some(FaultSpec::NONE));
+        disarm_hooks();
+        // Nothing armed: scan points are no-ops.
+        for _ in 0..100 {
+            scan_point();
+        }
+        // A panic hook fires at the armed offset, exactly once.
+        arm_scan_panic(2);
+        scan_point();
+        scan_point();
+        let caught = std::panic::catch_unwind(scan_point);
+        let payload = caught.unwrap_err();
+        let msg = payload.downcast_ref::<String>().unwrap();
+        assert_eq!(msg, INJECTED_PANIC);
+        for _ in 0..50 {
+            scan_point(); // disarmed again
+        }
+        // A delay hook stalls at its offset.
+        arm_scan_delay(0, 2_000);
+        let t0 = std::time::Instant::now();
+        scan_point();
+        assert!(t0.elapsed() >= std::time::Duration::from_micros(2_000));
+        // Probabilistic panics honor the override spec.
+        set_override(Some(FaultSpec {
+            panic: true,
+            ..FaultSpec::NONE
+        }));
+        let mut panicked = false;
+        for _ in 0..40_000 {
+            if std::panic::catch_unwind(scan_point).is_err() {
+                panicked = true;
+                break;
+            }
+        }
+        assert!(panicked, "probabilistic panic never fired in 40k points");
+        set_override(Some(FaultSpec::NONE));
+        for _ in 0..100 {
+            scan_point();
+        }
+        set_override(None);
+    }
+}

@@ -1,0 +1,131 @@
+//! Unified parsing for `RFA_*` environment knobs.
+//!
+//! Every runtime knob in this workspace (`RFA_THREADS`, `RFA_SIMD`,
+//! `RFA_FAULTS`, the server's `RFA_SERVER_*` variables) follows the same
+//! contract: unset or empty means "use the default", a well-formed value
+//! selects a policy, and **garbage is a typed error, never a silent
+//! fallback** — a typo must not quietly change what is measured or how the
+//! service behaves. This module centralizes that contract so every knob
+//! rejects bad input with the same error shape and message format:
+//!
+//! ```text
+//! <VAR> must be <expected>, got "<value>"
+//! ```
+
+use std::fmt;
+
+/// An environment knob held a value that does not parse.
+///
+/// Carries the variable name, a human-readable description of the accepted
+/// values, and the rejected value verbatim, so callers can test against
+/// each field and users see one consistent message shape across knobs.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct KnobError {
+    /// The environment variable, e.g. `"RFA_THREADS"`.
+    pub var: &'static str,
+    /// What the variable accepts, e.g. `"an integer >= 1"`.
+    pub expected: &'static str,
+    /// The rejected value, verbatim (untrimmed).
+    pub value: String,
+}
+
+impl fmt::Display for KnobError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} must be {}, got {:?}",
+            self.var, self.expected, self.value
+        )
+    }
+}
+
+impl std::error::Error for KnobError {}
+
+/// Parses a knob value: trims whitespace, maps the empty string to
+/// `Ok(None)` ("use the default"), and otherwise runs `parse` on the
+/// trimmed value — `None` from `parse` becomes a [`KnobError`] carrying
+/// the original (untrimmed) value.
+pub fn parse_knob<T>(
+    var: &'static str,
+    expected: &'static str,
+    value: &str,
+    parse: impl FnOnce(&str) -> Option<T>,
+) -> Result<Option<T>, KnobError> {
+    let trimmed = value.trim();
+    if trimmed.is_empty() {
+        return Ok(None);
+    }
+    match parse(trimmed) {
+        Some(v) => Ok(Some(v)),
+        None => Err(KnobError {
+            var,
+            expected,
+            value: value.to_string(),
+        }),
+    }
+}
+
+/// Reads and parses a knob from the process environment. Unset behaves
+/// like the empty string: `Ok(None)`.
+pub fn env_knob<T>(
+    var: &'static str,
+    expected: &'static str,
+    parse: impl FnOnce(&str) -> Option<T>,
+) -> Result<Option<T>, KnobError> {
+    match std::env::var(var) {
+        Ok(v) => parse_knob(var, expected, &v, parse),
+        Err(_) => Ok(None),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_positive(s: &str) -> Option<usize> {
+        s.parse::<usize>().ok().filter(|&n| n >= 1)
+    }
+
+    #[test]
+    fn empty_and_whitespace_mean_default() {
+        assert_eq!(parse_knob("RFA_X", "an int", "", parse_positive), Ok(None));
+        assert_eq!(
+            parse_knob("RFA_X", "an int", "  ", parse_positive),
+            Ok(None)
+        );
+    }
+
+    #[test]
+    fn valid_values_parse_trimmed() {
+        assert_eq!(
+            parse_knob("RFA_X", "an int", " 8 ", parse_positive),
+            Ok(Some(8))
+        );
+    }
+
+    #[test]
+    fn garbage_is_a_typed_error_with_the_shared_shape() {
+        let err = parse_knob("RFA_X", "an integer >= 1", "lots", parse_positive).unwrap_err();
+        assert_eq!(err.var, "RFA_X");
+        assert_eq!(err.expected, "an integer >= 1");
+        assert_eq!(err.value, "lots");
+        assert_eq!(
+            err.to_string(),
+            "RFA_X must be an integer >= 1, got \"lots\""
+        );
+    }
+
+    #[test]
+    fn error_preserves_untrimmed_value() {
+        let err = parse_knob("RFA_X", "an int", " 0x8 ", parse_positive).unwrap_err();
+        assert_eq!(err.value, " 0x8 ");
+    }
+
+    #[test]
+    fn env_knob_unset_is_default() {
+        assert_eq!(
+            env_knob("RFA_KNOB_TEST_UNSET_VAR", "anything", |_| Some(1)),
+            Ok(None)
+        );
+    }
+}

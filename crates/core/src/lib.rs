@@ -51,10 +51,13 @@
 
 pub mod analysis;
 pub mod buffer;
+pub mod cancel;
 pub mod cpu;
 pub mod dot;
 pub mod eft;
+pub mod faults;
 pub mod float;
+pub mod knob;
 pub mod repro;
 pub mod rsum_paper;
 pub mod simd;
@@ -62,9 +65,12 @@ pub mod tuning;
 pub mod wire;
 
 pub use buffer::SummationBuffer;
+pub use cancel::CancelToken;
 pub use cpu::{SimdLevel, SimdMode, SimdModeError};
 pub use dot::{reproducible_dot, reproducible_norm_sq, ReproDot};
+pub use faults::FaultSpec;
 pub use float::ReproFloat;
+pub use knob::KnobError;
 pub use repro::{reproducible_sum, ReproSum, Special};
 pub use tuning::CacheModel;
 

@@ -21,7 +21,7 @@
 use crate::float::ReproFloat;
 use crate::repro::{ReproSum, Special};
 
-/// Errors when decoding accumulator state.
+/// Errors when decoding accumulator state or a wire frame.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum WireError {
     /// Buffer too short or wrong magic/version.
@@ -30,6 +30,16 @@ pub enum WireError {
     TypeMismatch,
     /// Field value out of range (corrupt or adversarial input).
     OutOfRange,
+    /// A frame ended mid-way (stream cut or buffer shorter than its
+    /// length prefix promises).
+    Truncated,
+    /// A frame's length prefix exceeds [`MAX_FRAME_LEN`]. Detected
+    /// *before* any allocation, so adversarial prefixes cannot make the
+    /// decoder over-allocate.
+    FrameTooLarge {
+        /// The length the prefix claimed.
+        len: u32,
+    },
 }
 
 impl core::fmt::Display for WireError {
@@ -38,6 +48,13 @@ impl core::fmt::Display for WireError {
             WireError::Malformed => write!(f, "malformed accumulator state"),
             WireError::TypeMismatch => write!(f, "accumulator state for a different type"),
             WireError::OutOfRange => write!(f, "accumulator state field out of range"),
+            WireError::Truncated => write!(f, "wire frame truncated"),
+            WireError::FrameTooLarge { len } => {
+                write!(
+                    f,
+                    "wire frame length {len} exceeds the {MAX_FRAME_LEN}-byte cap"
+                )
+            }
         }
     }
 }
@@ -46,6 +63,140 @@ impl std::error::Error for WireError {}
 
 const MAGIC: u8 = 0x52;
 const VERSION: u8 = 1;
+
+/// Sanity cap on a frame's length prefix (1 MiB). Large enough for any
+/// query text or result the service ships, small enough that a corrupt or
+/// adversarial prefix cannot drive an allocation.
+pub const MAX_FRAME_LEN: u32 = 1 << 20;
+
+/// A length-prefixed message envelope: the unit the query service ships
+/// over sockets. Layout, all little-endian:
+///
+/// ```text
+/// [0..4]  u32 length of the rest (= 1 + payload length), capped at
+///         MAX_FRAME_LEN
+/// [4]     kind tag (meaning assigned by the protocol layer)
+/// [5..]   payload
+/// ```
+///
+/// The envelope is deliberately dumb — a tag byte plus opaque bytes — so
+/// the decoder here can be hardened once (length cap, truncation checks,
+/// no input-driven allocation before validation) and every protocol built
+/// on it inherits that hardening.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Frame {
+    /// Protocol-assigned message tag.
+    pub kind: u8,
+    /// Opaque message body.
+    pub payload: Vec<u8>,
+}
+
+impl Frame {
+    /// Byte length of the length prefix.
+    pub const HEADER: usize = 4;
+
+    /// Builds a frame; panics if the payload would overflow the length cap
+    /// (the protocol layer keeps messages far below it).
+    pub fn new(kind: u8, payload: Vec<u8>) -> Frame {
+        assert!(
+            payload.len() < MAX_FRAME_LEN as usize,
+            "frame payload of {} bytes exceeds MAX_FRAME_LEN",
+            payload.len()
+        );
+        Frame { kind, payload }
+    }
+
+    /// Serializes the frame: length prefix, kind tag, payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let len = 1 + self.payload.len() as u32;
+        let mut out = Vec::with_capacity(Self::HEADER + len as usize);
+        out.extend_from_slice(&len.to_le_bytes());
+        out.push(self.kind);
+        out.extend_from_slice(&self.payload);
+        out
+    }
+
+    /// Decodes one frame from the front of `buf`, returning it and the
+    /// number of bytes consumed. Pure (no I/O) so it can be property-tested
+    /// against arbitrary byte soup: every outcome is a typed [`WireError`],
+    /// never a panic, and the length prefix is validated against
+    /// [`MAX_FRAME_LEN`] *before* any payload is copied.
+    pub fn decode(buf: &[u8]) -> Result<(Frame, usize), WireError> {
+        if buf.len() < Self::HEADER {
+            return Err(WireError::Truncated);
+        }
+        let len = u32::from_le_bytes(buf[..4].try_into().expect("length checked"));
+        if len == 0 {
+            return Err(WireError::Malformed); // no room for the kind tag
+        }
+        if len > MAX_FRAME_LEN {
+            return Err(WireError::FrameTooLarge { len });
+        }
+        let total = Self::HEADER + len as usize;
+        if buf.len() < total {
+            return Err(WireError::Truncated);
+        }
+        Ok((
+            Frame {
+                kind: buf[4],
+                payload: buf[5..total].to_vec(),
+            },
+            total,
+        ))
+    }
+
+    /// Reads one frame from a stream. `Ok(None)` is a clean close (EOF
+    /// exactly at a frame boundary); EOF mid-frame surfaces as an
+    /// `UnexpectedEof` error wrapping [`WireError::Truncated`], and an
+    /// oversized length prefix as `InvalidData` wrapping
+    /// [`WireError::FrameTooLarge`] — again before any allocation.
+    pub fn read_from<R: std::io::Read>(r: &mut R) -> std::io::Result<Option<Frame>> {
+        let mut header = [0u8; Self::HEADER];
+        let mut got = 0;
+        while got < header.len() {
+            match r.read(&mut header[got..])? {
+                0 if got == 0 => return Ok(None),
+                0 => {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::UnexpectedEof,
+                        WireError::Truncated,
+                    ))
+                }
+                n => got += n,
+            }
+        }
+        let len = u32::from_le_bytes(header);
+        if len == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                WireError::Malformed,
+            ));
+        }
+        if len > MAX_FRAME_LEN {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                WireError::FrameTooLarge { len },
+            ));
+        }
+        let mut body = vec![0u8; len as usize];
+        r.read_exact(&mut body).map_err(|e| {
+            if e.kind() == std::io::ErrorKind::UnexpectedEof {
+                std::io::Error::new(std::io::ErrorKind::UnexpectedEof, WireError::Truncated)
+            } else {
+                e
+            }
+        })?;
+        Ok(Some(Frame {
+            kind: body[0],
+            payload: body.split_off(1),
+        }))
+    }
+
+    /// Writes the frame to a stream.
+    pub fn write_to<W: std::io::Write>(&self, w: &mut W) -> std::io::Result<()> {
+        w.write_all(&self.encode())
+    }
+}
 
 impl<T: ReproFloat, const L: usize> ReproSum<T, L> {
     /// Size in bytes of the serialized state.
@@ -170,6 +321,57 @@ mod tests {
         acc.add(f32::INFINITY);
         let back = ReproSum::<f32, 2>::from_bytes(&acc.to_bytes()).unwrap();
         assert_eq!(back.value(), f32::INFINITY);
+    }
+
+    #[test]
+    fn frame_roundtrip_and_chaining() {
+        let a = Frame::new(7, b"SELECT 1".to_vec());
+        let b = Frame::new(0, vec![]);
+        let mut buf = a.encode();
+        buf.extend_from_slice(&b.encode());
+        let (da, used) = Frame::decode(&buf).unwrap();
+        assert_eq!(da, a);
+        let (db, used2) = Frame::decode(&buf[used..]).unwrap();
+        assert_eq!(db, b);
+        assert_eq!(used + used2, buf.len());
+    }
+
+    #[test]
+    fn frame_decode_rejects_truncation_and_oversize() {
+        assert_eq!(Frame::decode(&[]), Err(WireError::Truncated));
+        assert_eq!(Frame::decode(&[1, 0, 0]), Err(WireError::Truncated));
+        assert_eq!(Frame::decode(&[0, 0, 0, 0]), Err(WireError::Malformed));
+        // Length prefix promises more than the buffer holds.
+        assert_eq!(
+            Frame::decode(&[5, 0, 0, 0, 1, 2]),
+            Err(WireError::Truncated)
+        );
+        // Oversized length prefix is rejected before any allocation.
+        let huge = u32::MAX.to_le_bytes();
+        assert_eq!(
+            Frame::decode(&huge),
+            Err(WireError::FrameTooLarge { len: u32::MAX })
+        );
+    }
+
+    #[test]
+    fn frame_stream_io() {
+        let frames = [Frame::new(1, vec![0xAB; 100]), Frame::new(2, vec![])];
+        let mut stream = Vec::new();
+        for f in &frames {
+            f.write_to(&mut stream).unwrap();
+        }
+        let mut r = &stream[..];
+        assert_eq!(Frame::read_from(&mut r).unwrap(), Some(frames[0].clone()));
+        assert_eq!(Frame::read_from(&mut r).unwrap(), Some(frames[1].clone()));
+        // Clean close at a frame boundary.
+        assert_eq!(Frame::read_from(&mut r).unwrap(), None);
+        // EOF mid-frame is a typed truncation.
+        let mut cut = &stream[..stream.len() / 2];
+        let err = Frame::read_from(&mut cut).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::UnexpectedEof);
+        let inner = err.get_ref().unwrap().downcast_ref::<WireError>().unwrap();
+        assert_eq!(*inner, WireError::Truncated);
     }
 
     #[test]

@@ -1,0 +1,120 @@
+//! Hardening properties of the wire layer.
+//!
+//! The service decodes bytes from untrusted sockets, so both decoders —
+//! accumulator state (`ReproSum::from_bytes`) and the frame envelope
+//! (`Frame::decode`) — must map *arbitrary* byte soup to typed
+//! [`WireError`]s: no panic, no abort, and no input-driven allocation (the
+//! length prefix is sanity-capped before any payload is copied).
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use rfa_core::wire::{Frame, WireError, MAX_FRAME_LEN};
+use rfa_core::ReproSum;
+
+const WIRE_SIZE: usize = ReproSum::<f64, 2>::WIRE_SIZE;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Arbitrary bytes of arbitrary length: `from_bytes` returns a value
+    /// or a typed error, never panics.
+    #[test]
+    fn state_decode_total_on_garbage(bytes in vec(any::<u8>(), 0..(2 * WIRE_SIZE))) {
+        match ReproSum::<f64, 2>::from_bytes(&bytes) {
+            Ok(acc) => {
+                // Anything accepted must re-serialize losslessly.
+                let back = ReproSum::<f64, 2>::from_bytes(&acc.to_bytes()).unwrap();
+                prop_assert_eq!(acc.value().to_bits(), back.value().to_bits());
+            }
+            Err(
+                WireError::Malformed
+                | WireError::TypeMismatch
+                | WireError::OutOfRange
+                | WireError::Truncated
+                | WireError::FrameTooLarge { .. },
+            ) => {}
+        }
+    }
+
+    /// Single-byte corruption of a valid state: decode stays total, and
+    /// wrong-size inputs are always `Malformed`.
+    #[test]
+    fn state_decode_total_under_corruption(
+        values in vec(-1.0e3..1.0e3f64, 1..50),
+        pos in 0usize..WIRE_SIZE,
+        bit in 0u8..8,
+        cut in 0usize..WIRE_SIZE,
+    ) {
+        let mut acc = ReproSum::<f64, 2>::new();
+        acc.add_all(&values);
+        let mut bytes = acc.to_bytes();
+        bytes[pos] ^= 1 << bit;
+        let _ = ReproSum::<f64, 2>::from_bytes(&bytes); // must not panic
+        prop_assert_eq!(
+            ReproSum::<f64, 2>::from_bytes(&bytes[..cut]).unwrap_err(),
+            WireError::Malformed
+        );
+    }
+
+    /// Arbitrary bytes through `Frame::decode`: total, and any accepted
+    /// frame round-trips through its own encoding.
+    #[test]
+    fn frame_decode_total_on_garbage(bytes in vec(any::<u8>(), 0..64)) {
+        match Frame::decode(&bytes) {
+            Ok((frame, used)) => {
+                prop_assert!(used <= bytes.len());
+                prop_assert_eq!(frame.encode(), bytes[..used].to_vec());
+            }
+            Err(WireError::Truncated | WireError::Malformed) => {}
+            Err(WireError::FrameTooLarge { len }) => prop_assert!(len > MAX_FRAME_LEN),
+            Err(e) => prop_assert!(false, "unexpected frame error {e:?}"),
+        }
+    }
+
+    /// Every strict prefix of a valid frame is `Truncated` (or `Malformed`
+    /// for the degenerate empty prefix of headers), never a panic and never
+    /// a partial decode.
+    #[test]
+    fn frame_prefixes_are_truncated(
+        kind in any::<u8>(),
+        payload in vec(any::<u8>(), 0..40),
+        frac in 0.0..1.0f64,
+    ) {
+        let encoded = Frame::new(kind, payload).encode();
+        let cut = (frac * encoded.len() as f64) as usize; // < len
+        prop_assert_eq!(
+            Frame::decode(&encoded[..cut]).unwrap_err(),
+            WireError::Truncated
+        );
+    }
+
+    /// An adversarial length prefix is rejected as `FrameTooLarge` from the
+    /// 4 header bytes alone — the decoder never tries to read (or allocate)
+    /// the claimed body, which is why a 4-byte buffer claiming 4 GiB is
+    /// `FrameTooLarge`, not `Truncated`.
+    #[test]
+    fn oversized_length_rejected_before_allocation(
+        len in (MAX_FRAME_LEN + 1)..u32::MAX,
+        tail in vec(any::<u8>(), 0..8),
+    ) {
+        let mut buf = len.to_le_bytes().to_vec();
+        buf.extend_from_slice(&tail);
+        prop_assert_eq!(
+            Frame::decode(&buf).unwrap_err(),
+            WireError::FrameTooLarge { len }
+        );
+        let mut reader = &buf[..];
+        let err = Frame::read_from(&mut reader).unwrap_err();
+        prop_assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    }
+
+    /// Encode→decode round-trip over arbitrary kind/payload pairs.
+    #[test]
+    fn frame_roundtrip(kind in any::<u8>(), payload in vec(any::<u8>(), 0..100)) {
+        let frame = Frame::new(kind, payload);
+        let encoded = frame.encode();
+        let (back, used) = Frame::decode(&encoded).unwrap();
+        prop_assert_eq!(used, encoded.len());
+        prop_assert_eq!(back, frame);
+    }
+}

@@ -84,7 +84,8 @@ use crate::q1::PhaseTiming;
 use crate::sum_op::{GroupedStates, OverflowError, SumBackend, SCAN_MORSEL_ROWS};
 use rayon::prelude::*;
 use rfa_agg::{AggHashTable, HashKind};
-use std::time::Instant;
+use rfa_core::{faults, CancelToken};
+use std::time::{Duration, Instant};
 
 /// Rows per scan batch. 4096 rows keep one selection vector, one group-id
 /// vector and a handful of f64 registers (~32 KiB each) L2-resident while
@@ -137,6 +138,17 @@ pub enum FusedError {
     /// A [`GroupKey::Dense`] `encode` fn produced an id outside
     /// `0..groups` for a value pair actually present in the data.
     GroupIdOutOfBounds { got: u32, groups: usize },
+    /// The query's [`ExecOptions::cancel`] token tripped. Cooperative: the
+    /// scan noticed at a batch boundary and unwound with this typed error
+    /// — never a panic. Because accumulators are associative, a cancelled
+    /// query retried later returns bit-identical results.
+    Cancelled,
+    /// The query ran past its [`ExecOptions::deadline`]. A zero deadline
+    /// times out immediately (before the first batch), by design.
+    DeadlineExceeded {
+        /// The budget that was exceeded.
+        deadline: Duration,
+    },
 }
 
 impl std::fmt::Display for FusedError {
@@ -152,6 +164,10 @@ impl std::fmt::Display for FusedError {
                     f,
                     "dense group encoding produced id {got} >= groups {groups}"
                 )
+            }
+            FusedError::Cancelled => write!(f, "query cancelled"),
+            FusedError::DeadlineExceeded { deadline } => {
+                write!(f, "query exceeded its {deadline:?} deadline")
             }
         }
     }
@@ -182,7 +198,7 @@ pub struct FusedQuery {
 }
 
 /// Execution options of the fused pipeline.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct ExecOptions {
     /// Worker budget: 1 runs serial, >1 runs morsel-parallel on the
     /// global pool. Results are bit-identical either way (see module doc).
@@ -193,6 +209,16 @@ pub struct ExecOptions {
     /// Rows per parallel morsel (default [`SCAN_MORSEL_ROWS`]; tests
     /// shrink it to force real splits on small inputs).
     pub morsel_rows: usize,
+    /// Wall-clock budget, measured from [`run_fused`] entry. `None` (the
+    /// default) never expires. `Some(Duration::ZERO)` is an *immediate*
+    /// typed timeout — checked before the first batch, so it errors even
+    /// on an empty table; it is never clamped, hung on, or UB. A budget
+    /// too large for the platform clock behaves like `None`.
+    pub deadline: Option<Duration>,
+    /// Cooperative cancellation token, polled at every batch boundary. A
+    /// token cancelled before execution starts fails before the first
+    /// batch with [`FusedError::Cancelled`].
+    pub cancel: Option<CancelToken>,
 }
 
 impl Default for ExecOptions {
@@ -201,6 +227,8 @@ impl Default for ExecOptions {
             threads: 1,
             batch_rows: FUSED_BATCH_ROWS,
             morsel_rows: SCAN_MORSEL_ROWS,
+            deadline: None,
+            cancel: None,
         }
     }
 }
@@ -219,16 +247,59 @@ impl ExecOptions {
         }
     }
 
-    /// Returns a copy with every zero field clamped to 1. A zero thread,
-    /// batch or morsel budget means "the minimum", never a hang or a
-    /// divide-by-zero downstream — [`run_fused`] normalizes its options
-    /// through this before executing.
+    /// Returns a copy with every zero *sizing* field clamped to 1. A zero
+    /// thread, batch or morsel budget means "the minimum", never a hang or
+    /// a divide-by-zero downstream — [`run_fused`] normalizes its options
+    /// through this before executing. The deadline and cancellation fields
+    /// pass through untouched: a zero deadline is a meaningful request
+    /// ("fail now, typed"), not a degenerate sizing value.
     pub fn normalized(&self) -> Self {
         ExecOptions {
             threads: self.threads.max(1),
             batch_rows: self.batch_rows.max(1),
             morsel_rows: self.morsel_rows.max(1),
+            deadline: self.deadline,
+            cancel: self.cancel.clone(),
         }
+    }
+}
+
+/// Resolved interruption state of one `run_fused` call: the token plus the
+/// deadline converted to an absolute instant once, at query start. Checked
+/// at every batch boundary (two branches when neither is set); explicit
+/// cancellation wins over an expired deadline when both hold.
+struct CancelCheck {
+    cancel: Option<CancelToken>,
+    deadline_at: Option<Instant>,
+    deadline: Duration,
+}
+
+impl CancelCheck {
+    fn new(opts: &ExecOptions) -> CancelCheck {
+        CancelCheck {
+            cancel: opts.cancel.clone(),
+            // An unrepresentable absolute deadline (now + huge Duration
+            // overflows the platform clock) can never be reached: None.
+            deadline_at: opts.deadline.and_then(|d| Instant::now().checked_add(d)),
+            deadline: opts.deadline.unwrap_or_default(),
+        }
+    }
+
+    #[inline]
+    fn check(&self) -> Result<(), FusedError> {
+        if let Some(token) = &self.cancel {
+            if token.is_cancelled() {
+                return Err(FusedError::Cancelled);
+            }
+        }
+        if let Some(at) = self.deadline_at {
+            if Instant::now() >= at {
+                return Err(FusedError::DeadlineExceeded {
+                    deadline: self.deadline,
+                });
+            }
+        }
+        Ok(())
     }
 }
 
@@ -282,6 +353,11 @@ pub fn run_fused(
         "SortedDouble is inherently materializing; route it to the materializing pipeline"
     );
     let opts = opts.normalized();
+    // Resolve the deadline to an absolute instant once, then check before
+    // any work: a pre-cancelled token or a zero deadline fails here with a
+    // typed error even on an empty table.
+    let check = CancelCheck::new(&opts);
+    check.check()?;
     let compiled = CompiledAggs {
         filter: query.filter.iter().map(BoolExpr::compile).collect(),
         sums: query.sums.iter().map(Expr::compile).collect(),
@@ -299,7 +375,7 @@ pub fn run_fused(
     };
 
     let partial = if threads <= 1 || rows <= opts.morsel_rows {
-        scan_range(table, query, &compiled, backend, &opts, 0, rows)?
+        scan_range(table, query, &compiled, backend, &opts, &check, 0, rows)?
     } else {
         let morsels = rows.div_ceil(opts.morsel_rows);
         (0..morsels)
@@ -308,7 +384,7 @@ pub fn run_fused(
             .map(|m| {
                 let lo = m * opts.morsel_rows;
                 let hi = (lo + opts.morsel_rows).min(rows);
-                scan_range(table, query, &compiled, backend, &opts, lo, hi).map(Some)
+                scan_range(table, query, &compiled, backend, &opts, &check, lo, hi).map(Some)
             })
             .reduce(
                 || Ok(None),
@@ -436,13 +512,17 @@ enum GroupCtx<'t> {
 }
 
 /// Scans `[lo, hi)` batch-at-a-time into fresh per-call states. All
-/// scratch is batch-sized and reused across the range's batches.
+/// scratch is batch-sized and reused across the range's batches. Each
+/// batch boundary is a cancellation point (`check`) and a fault-injection
+/// point ([`faults::scan_point`]).
+#[allow(clippy::too_many_arguments)]
 fn scan_range(
     table: &Table,
     query: &FusedQuery,
     compiled: &CompiledAggs,
     backend: SumBackend,
     opts: &ExecOptions,
+    check: &CancelCheck,
     lo: usize,
     hi: usize,
 ) -> Result<Partial, FusedError> {
@@ -527,6 +607,8 @@ fn scan_range(
 
     let mut blo = lo;
     while blo < hi {
+        check.check()?;
+        faults::scan_point();
         let bhi = (blo + opts.batch_rows).min(hi);
         let t0 = Instant::now();
 
@@ -785,6 +867,7 @@ mod tests {
                     threads,
                     batch_rows,
                     morsel_rows,
+                    ..ExecOptions::default()
                 };
                 let run = run_fused(&table, &query, backend, &opts).unwrap();
                 assert_eq!(run.counts, ref_counts, "{backend:?} {opts:?}");
@@ -838,6 +921,7 @@ mod tests {
                     threads,
                     batch_rows: 129,
                     morsel_rows: 512,
+                    ..ExecOptions::default()
                 };
                 let run = run_fused(&table, &query, backend, &opts).unwrap();
                 let keys = run.keys.as_ref().unwrap();
@@ -897,6 +981,7 @@ mod tests {
                 threads,
                 batch_rows: 97,
                 morsel_rows: 333,
+                ..ExecOptions::default()
             };
             let run = run_fused(&table, &query, SumBackend::ReproUnbuffered, &opts).unwrap();
             assert_eq!(run.keys, serial.keys, "t{threads}");
@@ -921,6 +1006,7 @@ mod tests {
                 threads: 4,
                 batch_rows: 61,
                 morsel_rows: 200,
+                ..ExecOptions::default()
             },
         )
         .unwrap();
@@ -1064,6 +1150,7 @@ mod tests {
                 threads: 4,
                 batch_rows: 2,
                 morsel_rows: 2,
+                ..ExecOptions::default()
             },
         ] {
             assert_eq!(
@@ -1192,6 +1279,7 @@ mod tests {
             threads: 0,
             batch_rows: 0,
             morsel_rows: 0,
+            ..ExecOptions::default()
         }
         .normalized();
         assert_eq!((opts.threads, opts.batch_rows, opts.morsel_rows), (1, 1, 1));
@@ -1199,11 +1287,209 @@ mod tests {
             threads: 3,
             batch_rows: 7,
             morsel_rows: 11,
+            ..ExecOptions::default()
         }
         .normalized();
         assert_eq!(
             (opts.threads, opts.batch_rows, opts.morsel_rows),
             (3, 7, 11)
         );
+    }
+
+    /// Satellite: the deadline and cancellation fields pass through
+    /// `normalized()` untouched — a zero deadline is a meaningful request,
+    /// not a degenerate sizing value to clamp.
+    #[test]
+    fn normalized_preserves_deadline_and_cancel() {
+        let token = CancelToken::new();
+        let opts = ExecOptions {
+            deadline: Some(Duration::ZERO),
+            cancel: Some(token.clone()),
+            ..ExecOptions::default()
+        }
+        .normalized();
+        assert_eq!(opts.deadline, Some(Duration::ZERO));
+        // The clone shares the original flag.
+        token.cancel();
+        assert!(opts.cancel.as_ref().unwrap().is_cancelled());
+        let opts = ExecOptions::default().normalized();
+        assert_eq!(opts.deadline, None);
+        assert!(opts.cancel.is_none());
+    }
+
+    /// Satellite: `deadline: Some(Duration::ZERO)` is an immediate typed
+    /// timeout — before the first batch, even on an empty table, on both
+    /// the serial and parallel paths. Never UB, never a hang.
+    #[test]
+    fn zero_deadline_times_out_immediately() {
+        for rows in [0usize, 5_000] {
+            let table = sample_table(rows);
+            let query = sample_query();
+            for threads in [1usize, 4] {
+                let opts = ExecOptions {
+                    threads,
+                    batch_rows: 64,
+                    morsel_rows: 256,
+                    deadline: Some(Duration::ZERO),
+                    ..ExecOptions::default()
+                };
+                assert_eq!(
+                    run_fused(&table, &query, SumBackend::ReproUnbuffered, &opts).unwrap_err(),
+                    FusedError::DeadlineExceeded {
+                        deadline: Duration::ZERO
+                    },
+                    "rows {rows} threads {threads}"
+                );
+            }
+        }
+    }
+
+    /// Satellite: an absurdly large deadline must behave like "no
+    /// deadline" (the absolute instant overflows the platform clock), and
+    /// a generous one must not perturb results — bit-identical to a run
+    /// without any deadline.
+    #[test]
+    fn huge_deadline_never_expires_and_does_not_perturb_results() {
+        let table = sample_table(2_000);
+        let query = sample_query();
+        let plain = run_fused(
+            &table,
+            &query,
+            SumBackend::ReproUnbuffered,
+            &ExecOptions::serial(),
+        )
+        .unwrap();
+        for deadline in [Duration::MAX, Duration::from_secs(3600)] {
+            let opts = ExecOptions {
+                deadline: Some(deadline),
+                ..ExecOptions::default()
+            };
+            let run = run_fused(&table, &query, SumBackend::ReproUnbuffered, &opts).unwrap();
+            assert_eq!(run.counts, plain.counts);
+            for (a, b) in plain.sums[0].iter().zip(run.sums[0].iter()) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+
+    /// Satellite: a token cancelled before execution fails up front with
+    /// the typed error; an untripped token changes nothing.
+    #[test]
+    fn pre_cancelled_token_is_a_typed_error() {
+        let table = sample_table(1_000);
+        let query = sample_query();
+        let token = CancelToken::new();
+        token.cancel();
+        for threads in [1usize, 4] {
+            let opts = ExecOptions {
+                threads,
+                cancel: Some(token.clone()),
+                ..ExecOptions::default()
+            };
+            assert_eq!(
+                run_fused(&table, &query, SumBackend::ReproUnbuffered, &opts).unwrap_err(),
+                FusedError::Cancelled
+            );
+        }
+        let plain = run_fused(
+            &table,
+            &query,
+            SumBackend::ReproUnbuffered,
+            &ExecOptions::serial(),
+        )
+        .unwrap();
+        let armed = run_fused(
+            &table,
+            &query,
+            SumBackend::ReproUnbuffered,
+            &ExecOptions {
+                cancel: Some(CancelToken::new()),
+                ..ExecOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(plain.counts, armed.counts);
+        assert_eq!(plain.sums[0][0].to_bits(), armed.sums[0][0].to_bits());
+    }
+
+    /// Cancellation lands *mid-scan*: an `encode` fn with a side effect
+    /// trips the token partway through the scan (deterministic, same
+    /// thread), and the next batch-boundary check must surface
+    /// `Cancelled` — not a panic, not a hang, not a completed result.
+    #[test]
+    fn cancel_mid_scan_surfaces_typed_error() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::OnceLock;
+        static TOKEN: OnceLock<CancelToken> = OnceLock::new();
+        static CALLS: AtomicUsize = AtomicUsize::new(0);
+        fn cancelling_encode(a: u8, b: u8) -> u32 {
+            if CALLS.fetch_add(1, Ordering::Relaxed) == 5_000 {
+                TOKEN.get().unwrap().cancel();
+            }
+            encode_low_bit(a, b)
+        }
+        let token = TOKEN.get_or_init(CancelToken::new).clone();
+        let table = sample_table(20_000);
+        let query = FusedQuery {
+            filter: vec![],
+            sums: vec![Expr::col("x")],
+            mins: vec![],
+            maxs: vec![],
+            group_by: GroupKey::Dense {
+                spec: GroupSpec {
+                    a: "ga".into(),
+                    b: "gb".into(),
+                    encode: cancelling_encode,
+                },
+                groups: 4,
+            },
+        };
+        let opts = ExecOptions {
+            batch_rows: 64, // many batches => many cancellation points
+            cancel: Some(token),
+            ..ExecOptions::default()
+        };
+        let err = run_fused(&table, &query, SumBackend::ReproUnbuffered, &opts).unwrap_err();
+        assert_eq!(err, FusedError::Cancelled);
+    }
+
+    /// A deadline expires *mid-scan* (not just up front): a deliberately
+    /// slow `encode` fn pushes execution past the budget and the next
+    /// boundary check raises the typed error carrying the original budget.
+    #[test]
+    fn deadline_expiry_mid_scan_surfaces_typed_error() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        static CALLS: AtomicUsize = AtomicUsize::new(0);
+        fn slow_encode(a: u8, b: u8) -> u32 {
+            // ~1ms per 64-row batch: a 20k-row scan takes ~300ms, far past
+            // the 10ms budget, so expiry is guaranteed to land mid-scan.
+            if CALLS.fetch_add(1, Ordering::Relaxed) % 64 == 0 {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            encode_low_bit(a, b)
+        }
+        let table = sample_table(20_000);
+        let query = FusedQuery {
+            filter: vec![],
+            sums: vec![Expr::col("x")],
+            mins: vec![],
+            maxs: vec![],
+            group_by: GroupKey::Dense {
+                spec: GroupSpec {
+                    a: "ga".into(),
+                    b: "gb".into(),
+                    encode: slow_encode,
+                },
+                groups: 4,
+            },
+        };
+        let deadline = Duration::from_millis(10);
+        let opts = ExecOptions {
+            batch_rows: 64,
+            deadline: Some(deadline),
+            ..ExecOptions::default()
+        };
+        let err = run_fused(&table, &query, SumBackend::ReproUnbuffered, &opts).unwrap_err();
+        assert_eq!(err, FusedError::DeadlineExceeded { deadline });
     }
 }

@@ -116,6 +116,14 @@ pub enum PlanError {
     /// SortedDouble backend, which requires materializing, or a plan with
     /// no aggregates).
     Unsupported(&'static str),
+    /// The query's cancellation token tripped (cooperative, checked at
+    /// batch boundaries — see [`FusedError::Cancelled`]).
+    Cancelled,
+    /// The query ran past its `ExecOptions::deadline` budget.
+    DeadlineExceeded {
+        /// The budget that was exceeded.
+        deadline: std::time::Duration,
+    },
 }
 
 impl fmt::Display for PlanError {
@@ -140,6 +148,10 @@ impl fmt::Display for PlanError {
                 )
             }
             PlanError::Unsupported(what) => write!(f, "unsupported plan: {what}"),
+            PlanError::Cancelled => write!(f, "query cancelled"),
+            PlanError::DeadlineExceeded { deadline } => {
+                write!(f, "query exceeded its {deadline:?} deadline")
+            }
         }
     }
 }
@@ -166,6 +178,8 @@ impl From<FusedError> for PlanError {
             FusedError::GroupIdOutOfBounds { got, groups } => {
                 PlanError::GroupIdOutOfBounds { got, groups }
             }
+            FusedError::Cancelled => PlanError::Cancelled,
+            FusedError::DeadlineExceeded { deadline } => PlanError::DeadlineExceeded { deadline },
         }
     }
 }
@@ -678,6 +692,7 @@ mod tests {
                     threads: 4,
                     batch_rows: 57,
                     morsel_rows: 311,
+                    ..ExecOptions::default()
                 },
             ] {
                 let h = pair.execute(&t, backend, &opts).unwrap();
@@ -985,6 +1000,7 @@ mod tests {
                     threads,
                     batch_rows: 256,
                     morsel_rows: 1024,
+                    ..ExecOptions::default()
                 };
                 let run = plan.execute(&t, backend, &opts).unwrap();
                 assert_eq!(run.keys, serial.keys, "{backend:?} t{threads}");

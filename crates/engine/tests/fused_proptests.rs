@@ -99,21 +99,25 @@ fn shapes() -> [ExecOptions; 4] {
             threads: 1,
             batch_rows: 32,
             morsel_rows: 1 << 16,
+            ..ExecOptions::default()
         },
         ExecOptions {
             threads: 1,
             batch_rows: 4096,
             morsel_rows: 1 << 16,
+            ..ExecOptions::default()
         },
         ExecOptions {
             threads: 2,
             batch_rows: 64,
             morsel_rows: 192,
+            ..ExecOptions::default()
         },
         ExecOptions {
             threads: 8,
             batch_rows: 17,
             morsel_rows: 96,
+            ..ExecOptions::default()
         },
     ]
 }
@@ -192,7 +196,12 @@ proptest! {
             idx.iter().map(|&i| t.linestatus[i]).collect(),
             idx.iter().map(|&i| t.suppkey[i]).collect(),
         );
-        let opts = ExecOptions { threads: 2, batch_rows: 128, morsel_rows: 256 };
+        let opts = ExecOptions {
+            threads: 2,
+            batch_rows: 128,
+            morsel_rows: 256,
+            ..ExecOptions::default()
+        };
         for backend in [
             SumBackend::ReproUnbuffered,
             SumBackend::RsumBuffered { levels: 2, buffer_size: 32 },

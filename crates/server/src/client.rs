@@ -1,0 +1,209 @@
+//! Blocking client for the query service.
+//!
+//! One TCP connection = one session (its own prepared-plan cache and
+//! active-query set on the server). The client is deliberately simple —
+//! blocking calls, correlation by `query_id` — but supports *pipelining*
+//! ([`Client::send_query`] then [`Client::wait`]) so a query can be
+//! cancelled while it runs, and exposes [`Client::send_raw`] so the
+//! fault-injection harness can write arbitrary garbage at the framing
+//! layer.
+
+use crate::protocol::{ErrorCode, Request, Response, ResultSet};
+use rfa_core::wire::{Frame, WireError};
+use rfa_engine::SumBackend;
+use std::collections::VecDeque;
+use std::fmt;
+use std::io::{self, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// A typed error answer from the service.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ServiceError {
+    pub code: ErrorCode,
+    pub message: String,
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.code, self.message)
+    }
+}
+
+/// Client-side failure.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure (includes the server dropping the connection).
+    Io(io::Error),
+    /// The server sent bytes this client cannot decode.
+    Wire(WireError),
+    /// The service answered with a typed error.
+    Service(ServiceError),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "transport error: {e}"),
+            ClientError::Wire(e) => write!(f, "protocol error: {e}"),
+            ClientError::Service(e) => write!(f, "service error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl ClientError {
+    /// The service error, if this is one (convenience for matching).
+    pub fn service(&self) -> Option<&ServiceError> {
+        match self {
+            ClientError::Service(e) => Some(e),
+            _ => None,
+        }
+    }
+
+    /// The service error code, if this is a service error.
+    pub fn code(&self) -> Option<ErrorCode> {
+        self.service().map(|e| e.code)
+    }
+}
+
+/// A blocking session with the query service.
+pub struct Client {
+    stream: TcpStream,
+    next_id: u64,
+    /// Responses read while waiting for a different query_id.
+    pending: VecDeque<Response>,
+}
+
+impl Client {
+    /// Opens a session.
+    pub fn connect(addr: SocketAddr) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        Ok(Client {
+            stream,
+            next_id: 1,
+            pending: VecDeque::new(),
+        })
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        self.send(&Request::Ping)?;
+        loop {
+            match self.read_response()? {
+                Response::Pong => return Ok(()),
+                other => self.pending.push_back(other),
+            }
+        }
+    }
+
+    /// Submits a query without waiting; returns its id for
+    /// [`Client::wait`] / [`Client::cancel`].
+    pub fn send_query(
+        &mut self,
+        sql: &str,
+        backend: SumBackend,
+        threads: u32,
+        deadline: Option<Duration>,
+    ) -> Result<u64, ClientError> {
+        let query_id = self.next_id;
+        self.next_id += 1;
+        self.send(&Request::Query {
+            query_id,
+            sql: sql.to_string(),
+            backend,
+            deadline,
+            threads,
+        })?;
+        Ok(query_id)
+    }
+
+    /// Requests cooperative cancellation of an in-flight query. The
+    /// query itself answers (`Cancelled` if the cancellation won the
+    /// race, its normal result otherwise).
+    pub fn cancel(&mut self, query_id: u64) -> Result<(), ClientError> {
+        self.send(&Request::Cancel { query_id })?;
+        Ok(())
+    }
+
+    /// Blocks until the response for `query_id` arrives. Responses for
+    /// other ids read along the way are kept for their own `wait`.
+    pub fn wait(&mut self, query_id: u64) -> Result<ResultSet, ClientError> {
+        if let Some(i) = self
+            .pending
+            .iter()
+            .position(|r| response_id(r) == Some(query_id))
+        {
+            let resp = self.pending.remove(i).unwrap();
+            return unwrap_reply(resp);
+        }
+        loop {
+            let resp = self.read_response()?;
+            if response_id(&resp) == Some(query_id) {
+                return unwrap_reply(resp);
+            }
+            self.pending.push_back(resp);
+        }
+    }
+
+    /// Submit-and-wait convenience.
+    pub fn query(
+        &mut self,
+        sql: &str,
+        backend: SumBackend,
+        threads: u32,
+        deadline: Option<Duration>,
+    ) -> Result<ResultSet, ClientError> {
+        let id = self.send_query(sql, backend, threads, deadline)?;
+        self.wait(id)
+    }
+
+    /// Writes raw bytes at the framing layer — the chaos harness' way of
+    /// injecting truncated and corrupt frames.
+    pub fn send_raw(&mut self, bytes: &[u8]) -> io::Result<()> {
+        self.stream.write_all(bytes)?;
+        self.stream.flush()
+    }
+
+    fn send(&mut self, req: &Request) -> Result<(), ClientError> {
+        req.encode().write_to(&mut self.stream)?;
+        Ok(())
+    }
+
+    fn read_response(&mut self) -> Result<Response, ClientError> {
+        match Frame::read_from(&mut self.stream) {
+            Ok(Some(frame)) => Response::decode(&frame).map_err(ClientError::Wire),
+            Ok(None) => Err(ClientError::Io(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ))),
+            Err(e) => Err(ClientError::Io(e)),
+        }
+    }
+}
+
+fn response_id(resp: &Response) -> Option<u64> {
+    match resp {
+        Response::Result { query_id, .. } => Some(*query_id),
+        Response::Error { query_id, .. } => Some(*query_id),
+        Response::Pong => None,
+    }
+}
+
+fn unwrap_reply(resp: Response) -> Result<ResultSet, ClientError> {
+    match resp {
+        Response::Result { result, .. } => Ok(result),
+        Response::Error { code, message, .. } => {
+            Err(ClientError::Service(ServiceError { code, message }))
+        }
+        Response::Pong => unreachable!("pongs carry no query id"),
+    }
+}

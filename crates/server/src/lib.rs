@@ -1,0 +1,52 @@
+//! # rfa-server — a hardened concurrent query service
+//!
+//! A long-running, thread-per-worker SQL service over the workspace's
+//! length-prefixed wire framing (`rfa_core::wire`), serving the
+//! reproducible aggregation engine (`rfa_engine`) to concurrent
+//! sessions:
+//!
+//! * [`protocol`] — the typed request/response messages
+//!   (query/cancel/ping → result/error/pong) with total decoders: any
+//!   byte sequence yields a typed error, never a panic or an
+//!   input-driven allocation. `F64` results travel as IEEE-754 bit
+//!   patterns, so reproducibility survives the wire.
+//! * [`server`] — sessions, a *bounded* admission queue with typed
+//!   `Overloaded` rejection, per-query deadlines and cooperative
+//!   cancellation (checked at batch boundaries inside the engine),
+//!   per-session prepared-plan caches, and panic isolation: a poisoned
+//!   query answers a typed `Internal` error while the worker, session
+//!   and server survive.
+//! * [`client`] — a blocking session client with pipelining (submit,
+//!   cancel, then wait) and a raw-bytes escape hatch for the
+//!   fault-injection harness.
+//!
+//! The hardening contract that makes this service compatible with the
+//! paper's reproducibility story: every aggregation backend except
+//! `Double` merges *exactly*, so deadlines, cancellations, rejections,
+//! retries and injected faults can change **whether** a query answers —
+//! never **which bits** a completed answer contains. The chaos suite
+//! (`tests/chaos_proptests.rs`) asserts exactly that against unfaulted
+//! serial references.
+//!
+//! ```no_run
+//! use rfa_server::{Client, Server, ServerConfig};
+//! use rfa_engine::{lineitem_table, q1_sql, SumBackend};
+//! use rfa_workloads::Lineitem;
+//! use std::sync::Arc;
+//!
+//! let table = Arc::new(lineitem_table(&Lineitem::generate(100_000, 42)));
+//! let server = Server::spawn(table, ServerConfig::default()).unwrap();
+//! let mut client = Client::connect(server.addr()).unwrap();
+//! let rows = client
+//!     .query(&q1_sql(), SumBackend::ReproUnbuffered, 4, None)
+//!     .unwrap();
+//! assert_eq!(rows.rows(), 4); // A/F, N/F, N/O, R/F
+//! ```
+
+pub mod client;
+pub mod protocol;
+pub mod server;
+
+pub use client::{Client, ClientError, ServiceError};
+pub use protocol::{ErrorCode, Request, Response, ResultSet};
+pub use server::{Server, ServerConfig, ServerStats};

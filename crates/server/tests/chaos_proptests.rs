@@ -1,0 +1,234 @@
+//! The fault-injection harness: random fault interleavings against the
+//! live service, with one invariant — **surviving queries are
+//! bit-identical to an unfaulted serial run**.
+//!
+//! The fault menu comes from `RFA_FAULTS` (the CI chaos leg sets
+//! `panic,frame,deadline`), defaulting to *all* faults when unset so the
+//! suite is chaotic in local runs too:
+//!
+//! * `panic`  — probabilistic injected panics at engine scan points
+//!   (answered as typed `Internal`, isolated per query);
+//! * `delay`  — probabilistic 100µs stalls at scan points (widens race
+//!   windows; never an error);
+//! * `frame`  — truncated/corrupt wire frames from dedicated hostile
+//!   connections (kills only those connections);
+//! * `deadline` — randomly tight deadlines (answered as typed
+//!   `DeadlineExceeded`).
+//!
+//! Every query runs Q1/Q6/Q15 × reproducible backends × {1,2,8}
+//! threads. Whatever subset of faults fires, the server must stay
+//! alive, every failure must be one of the expected typed codes, and
+//! every *completed* result must carry exactly the reference bits — the
+//! paper's reproducibility guarantee extended to the failure domain.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use rfa_core::faults::{self, FaultSpec, INJECTED_PANIC};
+use rfa_engine::{lineitem_table, q15_sql, q1_sql, q6_sql, ExecOptions, SqlColumn, SumBackend};
+use rfa_server::{Client, ClientError, ErrorCode, ResultSet, Server, ServerConfig};
+use rfa_workloads::Lineitem;
+use std::sync::{Arc, Once, OnceLock};
+use std::time::Duration;
+
+const ROWS: usize = 256_000;
+const THREADS: [u32; 3] = [1, 2, 8];
+
+fn backends() -> [SumBackend; 4] {
+    [
+        SumBackend::ReproUnbuffered,
+        SumBackend::ReproBuffered { buffer_size: 1024 },
+        SumBackend::Rsum { levels: 4 },
+        SumBackend::RsumBuffered {
+            levels: 2,
+            buffer_size: 256,
+        },
+    ]
+}
+
+fn queries() -> [String; 3] {
+    [q1_sql(), q6_sql(), q15_sql()]
+}
+
+/// The fault menu: `RFA_FAULTS` if set (and valid), else everything.
+fn menu() -> FaultSpec {
+    FaultSpec::from_env()
+        .expect("invalid RFA_FAULTS")
+        .unwrap_or(FaultSpec::ALL)
+}
+
+fn quiet_injected_panics() {
+    static INSTALL: Once = Once::new();
+    INSTALL.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let injected = info
+                .payload()
+                .downcast_ref::<String>()
+                .is_some_and(|s| s == INJECTED_PANIC)
+                || info
+                    .payload()
+                    .downcast_ref::<&str>()
+                    .is_some_and(|s| *s == INJECTED_PANIC);
+            if !injected {
+                previous(info);
+            }
+        }));
+    });
+}
+
+struct Fixture {
+    server: Server,
+    /// `references[query][backend]` — unfaulted serial result columns.
+    references: Vec<Vec<Vec<SqlColumn>>>,
+}
+
+/// One server + one unfaulted reference matrix for the whole suite; the
+/// chaos override flips on *after* the references are computed.
+fn fixture() -> &'static Fixture {
+    static FIXTURE: OnceLock<Fixture> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        quiet_injected_panics();
+        faults::set_override(Some(FaultSpec::NONE));
+        let table = Arc::new(lineitem_table(&Lineitem::generate(ROWS, 2018)));
+        let references = queries()
+            .iter()
+            .map(|sql| {
+                let query = rfa_engine::sql_query(sql, &table).unwrap();
+                backends()
+                    .iter()
+                    .map(|&backend| {
+                        query
+                            .execute(&table, backend, &ExecOptions::serial())
+                            .unwrap()
+                            .columns
+                    })
+                    .collect()
+            })
+            .collect();
+        let server = Server::spawn(
+            table,
+            ServerConfig {
+                workers: 4,
+                queue_depth: 32,
+            },
+        )
+        .unwrap();
+        // From here on, the engine's scan points inject per the menu.
+        faults::set_override(Some(menu()));
+        Fixture { server, references }
+    })
+}
+
+fn assert_bits_eq(got: &ResultSet, reference: &[SqlColumn]) {
+    assert_eq!(got.columns.len(), reference.len());
+    for (x, y) in got.columns.iter().zip(reference) {
+        match (x, y) {
+            (SqlColumn::F64(p), SqlColumn::F64(q)) => {
+                assert_eq!(p.len(), q.len());
+                for (u, v) in p.iter().zip(q) {
+                    assert_eq!(u.to_bits(), v.to_bits(), "survivor diverged from reference");
+                }
+            }
+            _ => assert_eq!(x, y, "survivor diverged from reference"),
+        }
+    }
+}
+
+/// One randomized operation against the service.
+#[derive(Clone, Debug)]
+struct Op {
+    query: usize,
+    backend: usize,
+    threads: usize,
+    /// Tight deadline (fires only when the menu includes `deadline`).
+    tight_deadline: bool,
+    /// Precede the query with a hostile connection spraying a corrupt
+    /// frame (only when the menu includes `frame`).
+    corrupt_frame: bool,
+    /// Garbage bytes for the hostile connection.
+    garbage: Vec<u8>,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    (
+        0usize..3,
+        0usize..4,
+        0usize..3,
+        any::<bool>(),
+        any::<bool>(),
+        vec(any::<u8>(), 4..40),
+    )
+        .prop_map(
+            |(query, backend, threads, tight_deadline, corrupt_frame, garbage)| Op {
+                query,
+                backend,
+                threads,
+                tight_deadline,
+                corrupt_frame,
+                garbage,
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The core chaos property (see module docs).
+    #[test]
+    fn surviving_queries_are_bit_identical_under_chaos(ops in vec(op_strategy(), 20..36)) {
+        let fx = fixture();
+        let spec = menu();
+        let addr = fx.server.addr();
+        let mut client = Client::connect(addr).unwrap();
+
+        for op in &ops {
+            if spec.frame && op.corrupt_frame {
+                // A hostile connection: random bytes, then a frame whose
+                // length prefix promises more than will ever arrive.
+                // Only that connection may die.
+                let mut evil = Client::connect(addr).unwrap();
+                let _ = evil.send_raw(&op.garbage);
+                drop(evil);
+                let mut evil = Client::connect(addr).unwrap();
+                let _ = evil.send_raw(&0x00FF_FFFF_u32.to_le_bytes());
+                let _ = evil.send_raw(&op.garbage);
+                drop(evil);
+            }
+            let deadline = if spec.deadline && op.tight_deadline {
+                Some(Duration::from_millis(1))
+            } else {
+                None
+            };
+            let sql = &queries()[op.query];
+            let backend = backends()[op.backend];
+            match client.query(sql, backend, THREADS[op.threads], deadline) {
+                Ok(result) => assert_bits_eq(&result, &fx.references[op.query][op.backend]),
+                Err(ClientError::Service(e)) => match e.code {
+                    ErrorCode::Internal => {
+                        prop_assert!(spec.panic, "Internal without panic injection: {e}");
+                        prop_assert!(e.message.contains(INJECTED_PANIC), "unexpected panic: {e}");
+                    }
+                    ErrorCode::DeadlineExceeded => {
+                        prop_assert!(deadline.is_some(), "spurious deadline: {e}");
+                    }
+                    ErrorCode::Overloaded => {} // legal under any load
+                    other => prop_assert!(false, "unexpected error code {other:?}: {e}"),
+                },
+                Err(other) => prop_assert!(false, "transport died under chaos: {other}"),
+            }
+        }
+
+        // Whatever the interleaving did, the service is alive and a
+        // clean query still returns exactly the reference bits.
+        client.ping().unwrap();
+        let calm = client
+            .query(&queries()[0], backends()[0], 2, None)
+            .or_else(|_| client.query(&queries()[0], backends()[0], 2, None))
+            .or_else(|_| client.query(&queries()[0], backends()[0], 2, None));
+        if let Ok(result) = calm {
+            assert_bits_eq(&result, &fx.references[0][0]);
+        }
+        let stats = fx.server.stats();
+        prop_assert!(stats.completed > 0, "chaos drowned every query: {stats:?}");
+    }
+}

@@ -1,0 +1,69 @@
+//! Worker-panic isolation, driven by the deterministic fault hooks.
+//!
+//! Separate binary on purpose: `rfa_core::faults`' countdown hooks are
+//! process-global, so arming them while unrelated tests scan in parallel
+//! would misfire. Here the process runs these tests alone (and `cargo
+//! test` runs each integration binary in its own process).
+
+use rfa_core::faults::{self, FaultSpec, INJECTED_PANIC};
+use rfa_engine::{lineitem_table, q1_sql, SumBackend};
+use rfa_server::{Client, ErrorCode, Server, ServerConfig};
+use rfa_workloads::Lineitem;
+use std::sync::{Arc, Once};
+
+/// Suppresses default panic-hook output for *injected* panics only;
+/// anything else still prints (it would be a real bug).
+fn quiet_injected_panics() {
+    static INSTALL: Once = Once::new();
+    INSTALL.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let injected = info
+                .payload()
+                .downcast_ref::<String>()
+                .is_some_and(|s| s == INJECTED_PANIC)
+                || info
+                    .payload()
+                    .downcast_ref::<&str>()
+                    .is_some_and(|s| *s == INJECTED_PANIC);
+            if !injected {
+                previous(info);
+            }
+        }));
+    });
+}
+
+#[test]
+fn injected_worker_panic_is_isolated_and_typed() {
+    quiet_injected_panics();
+    faults::set_override(Some(FaultSpec::NONE));
+    let table = Arc::new(lineitem_table(&Lineitem::generate(60_000, 42)));
+    let server = Server::spawn(Arc::clone(&table), ServerConfig::default()).unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+
+    // Unfaulted reference first, through the same server.
+    let reference = client
+        .query(&q1_sql(), SumBackend::ReproUnbuffered, 2, None)
+        .unwrap();
+
+    // Poison the very next scan point, then repeat storms of poisoned
+    // queries: every one answers a typed Internal error carrying the
+    // payload text, and the worker pool keeps serving.
+    for round in 0..10 {
+        faults::arm_scan_panic(0);
+        let err = client
+            .query(&q1_sql(), SumBackend::ReproUnbuffered, 2, None)
+            .unwrap_err();
+        assert_eq!(err.code(), Some(ErrorCode::Internal), "round {round}");
+        assert!(err.service().unwrap().message.contains(INJECTED_PANIC));
+    }
+    faults::disarm_hooks();
+    assert_eq!(server.stats().panics_isolated, 10);
+
+    // The surviving service still answers — with the same bits.
+    let again = client
+        .query(&q1_sql(), SumBackend::ReproUnbuffered, 2, None)
+        .unwrap();
+    assert_eq!(again, reference);
+    client.ping().unwrap();
+}

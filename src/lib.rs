@@ -47,6 +47,7 @@ pub use rfa_core as core;
 pub use rfa_decimal as decimal;
 pub use rfa_engine as engine;
 pub use rfa_exact as exact;
+pub use rfa_server as server;
 pub use rfa_workloads as workloads;
 
 /// Commonly used items in one import.

@@ -257,42 +257,22 @@ thread_local! {
 
 static REGISTRY: OnceLock<&'static Registry> = OnceLock::new();
 
-/// `RFA_THREADS` held a value that is not a positive integer.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct ThreadsVarError {
-    /// The rejected value, verbatim.
-    pub value: String,
-}
-
-impl std::fmt::Display for ThreadsVarError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(
-            f,
-            "RFA_THREADS must be an integer >= 1 (or empty/unset for the default), got {:?}",
-            self.value
-        )
-    }
-}
-
-impl std::error::Error for ThreadsVarError {}
+/// `RFA_THREADS` held a value that is not a positive integer — the shared
+/// [`rfa_core::knob::KnobError`] shape (`.value` carries the rejected
+/// value verbatim).
+pub type ThreadsVarError = rfa_core::knob::KnobError;
 
 /// Parses an `RFA_THREADS` value: `Ok(None)` for empty (CI matrices pass
 /// `RFA_THREADS=""` for the default leg), `Ok(Some(n))` for an integer
 /// ≥ 1, and a typed error for everything else — a typo must not silently
 /// fall back to the default pool size.
 pub fn parse_threads(value: &str) -> Result<Option<usize>, ThreadsVarError> {
-    let trimmed = value.trim();
-    if trimmed.is_empty() {
-        return Ok(None);
-    }
-    trimmed
-        .parse::<usize>()
-        .ok()
-        .filter(|&n| n >= 1)
-        .map(Some)
-        .ok_or_else(|| ThreadsVarError {
-            value: value.to_string(),
-        })
+    rfa_core::knob::parse_knob(
+        "RFA_THREADS",
+        "an integer >= 1 (or empty/unset for the default)",
+        value,
+        |s| s.parse::<usize>().ok().filter(|&n| n >= 1),
+    )
 }
 
 /// Worker-thread count: `RFA_THREADS` (≥ 1) has highest priority (so a
@@ -595,5 +575,10 @@ mod env_tests {
             assert_eq!(err.value, bad);
             assert!(err.to_string().contains("RFA_THREADS"), "{err}");
         }
+        // The message shape is shared with every other RFA_* knob.
+        assert_eq!(
+            parse_threads("auto").unwrap_err().to_string(),
+            "RFA_THREADS must be an integer >= 1 (or empty/unset for the default), got \"auto\""
+        );
     }
 }

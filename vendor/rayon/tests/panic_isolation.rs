@@ -1,0 +1,142 @@
+//! Pool-survives-panics guarantees.
+//!
+//! The query service leans on one property of the vendored pool: a panic
+//! inside a parallel task is caught at the job boundary and rethrown at
+//! the `join`/`scope` call site — the *worker threads themselves never
+//! unwind off their loops*. These tests pin that property: after any
+//! pattern of panicking tasks (join arms, scope spawns, nested scopes,
+//! repeated panics), the global pool keeps executing subsequent work
+//! correctly.
+
+use rayon::prelude::*;
+
+/// Same idiom as the unit tests: request a 4-worker pool so the machinery
+/// is genuinely multi-threaded; whoever wins initializes it.
+fn pool4() {
+    let _ = rayon::ThreadPoolBuilder::new()
+        .num_threads(4)
+        .build_global();
+}
+
+/// A representative workload with a known answer, used to prove the pool
+/// still schedules and completes real parallel work.
+fn pool_still_works() {
+    let (a, b) = rayon::join(|| 21, || 21);
+    assert_eq!(a + b, 42);
+
+    let out: Vec<usize> = (0..50_000).into_par_iter().map(|i| i * 2).collect();
+    assert_eq!(out.len(), 50_000);
+    assert_eq!(out[49_999], 99_998);
+
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    let counter = AtomicUsize::new(0);
+    rayon::scope(|s| {
+        for _ in 0..32 {
+            s.spawn(|_| {
+                counter.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+    });
+    assert_eq!(counter.load(Ordering::Relaxed), 32);
+}
+
+#[test]
+fn pool_survives_join_panic() {
+    pool4();
+    let err =
+        std::panic::catch_unwind(|| rayon::join(|| panic!("join arm poisoned"), || 1)).unwrap_err();
+    assert_eq!(err.downcast_ref::<&str>(), Some(&"join arm poisoned"));
+    pool_still_works();
+}
+
+#[test]
+fn pool_survives_scope_spawn_panic() {
+    pool4();
+    let err = std::panic::catch_unwind(|| {
+        rayon::scope(|s| {
+            s.spawn(|_| {});
+            s.spawn(|_| panic!("spawn poisoned"));
+            s.spawn(|_| {});
+        })
+    })
+    .unwrap_err();
+    assert_eq!(err.downcast_ref::<&str>(), Some(&"spawn poisoned"));
+    pool_still_works();
+}
+
+#[test]
+fn pool_survives_nested_scope_panic() {
+    pool4();
+    // The panic originates two scopes deep, on a pool thread; both scopes
+    // must unwind with the payload and the pool must keep running.
+    let err = std::panic::catch_unwind(|| {
+        rayon::scope(|outer| {
+            outer.spawn(|_| {
+                rayon::scope(|inner| {
+                    inner.spawn(|_| panic!("nested scope poisoned"));
+                    inner.spawn(|_| {});
+                });
+            });
+            outer.spawn(|_| {});
+        })
+    })
+    .unwrap_err();
+    assert_eq!(err.downcast_ref::<&str>(), Some(&"nested scope poisoned"));
+    pool_still_works();
+}
+
+#[test]
+fn pool_survives_parallel_iterator_panic() {
+    pool4();
+    let err = std::panic::catch_unwind(|| {
+        let _: Vec<usize> = (0..100_000)
+            .into_par_iter()
+            .map(|i| {
+                if i == 54_321 {
+                    panic!("map poisoned")
+                } else {
+                    i
+                }
+            })
+            .collect();
+    })
+    .unwrap_err();
+    assert_eq!(err.downcast_ref::<&str>(), Some(&"map poisoned"));
+    pool_still_works();
+}
+
+#[test]
+fn pool_survives_repeated_panics() {
+    pool4();
+    // Many sequential poisoned tasks must not leak capacity: workers are
+    // daemons that catch at the job boundary, so the pool neither shrinks
+    // nor wedges no matter how often tasks die.
+    let before = rayon::current_num_threads();
+    for round in 0..50 {
+        let err = std::panic::catch_unwind(|| {
+            rayon::join(|| -> usize { panic!("poisoned round") }, || round)
+        })
+        .unwrap_err();
+        assert_eq!(err.downcast_ref::<&str>(), Some(&"poisoned round"));
+    }
+    assert_eq!(rayon::current_num_threads(), before);
+    pool_still_works();
+}
+
+#[test]
+fn panic_payload_string_is_preserved() {
+    pool4();
+    // Runtime-formatted panics arrive as `String` (literal-only format
+    // args may be const-folded to `&str` by the compiler, hence
+    // `black_box`); the server's isolation layer matches on the payload
+    // text to classify injected faults.
+    let id = std::hint::black_box(17);
+    let err =
+        std::panic::catch_unwind(|| rayon::scope(|s| s.spawn(|_| panic!("poisoned query {id}"))))
+            .unwrap_err();
+    assert_eq!(
+        err.downcast_ref::<String>().map(String::as_str),
+        Some("poisoned query 17")
+    );
+    pool_still_works();
+}
