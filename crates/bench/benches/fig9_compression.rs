@@ -1,0 +1,163 @@
+//! Figure 9 (compression) — TPC-H Q1 and Q6 over dictionary/RLE-encoded
+//! columns vs plain arrays, without decompressing.
+//!
+//! The fused executor reads `Column::Dict`/`Column::Rle` storage
+//! directly: predicates are evaluated once per dictionary *entry* (a
+//! 256-way code-set bitmap tested per row) or once per *run* (selection
+//! emitted as whole row ranges), and RLE group keys turn per-row
+//! aggregate deposits into one block (`step_slice`) call per run. Both
+//! arms perform the identical floating-point deposit sequence, so the
+//! bench cross-asserts every output bit before recording the ratio into
+//! `results/bench_smoke.json` (the `compression` object).
+//!
+//! Arms (all serial, `repro<double,4>` buffered — Table IV's backend):
+//!
+//! * Q1 / Q6 over the dbgen-ordered table, encoded by the production
+//!   policy (`lineitem_table_encoded`): small-domain columns dictionary-
+//!   encode, nothing is run-clustered, so this reads as pure dictionary
+//!   overhead/win;
+//! * Q1 over the (returnflag, linestatus)-sorted table — the group keys
+//!   RLE-encode and grouped aggregation runs run-blocked;
+//! * Q6 over the shipdate-sorted table — the ~2%-selective shipdate band
+//!   predicate becomes a per-run range emit.
+
+use rfa_bench::{
+    f2, ns_per_elem, time_min, write_compression_smoke, BenchConfig, CompressionSmoke, ResultTable,
+};
+use rfa_core::CacheModel;
+use rfa_engine::plan::QueryPlan;
+use rfa_engine::{
+    lineitem_table, lineitem_table_encoded, q1_plan, q6_plan, AggColumn, Column, ExecOptions,
+    PlanResult, SumBackend, Table,
+};
+use rfa_workloads::Lineitem;
+
+/// Both arms must produce the same group keys and the same output bits —
+/// compression must be invisible to the result, not approximately so.
+fn assert_bit_identical(plain: &PlanResult, encoded: &PlanResult, ctx: &str) {
+    assert_eq!(plain.keys, encoded.keys, "{ctx}: group keys disagree");
+    assert_eq!(plain.columns.len(), encoded.columns.len(), "{ctx}");
+    for (c, cols) in plain.columns.iter().zip(&encoded.columns).enumerate() {
+        match cols {
+            (AggColumn::F64(a), AggColumn::F64(b)) => {
+                for (x, y) in a.iter().zip(b) {
+                    assert_eq!(x.to_bits(), y.to_bits(), "{ctx}: column {c} bits differ");
+                }
+            }
+            (AggColumn::U64(a), AggColumn::U64(b)) => {
+                assert_eq!(a, b, "{ctx}: column {c} counts differ")
+            }
+            _ => panic!("{ctx}: column {c} kind mismatch"),
+        }
+    }
+}
+
+/// How a column is physically stored, e.g. "Rle<U8>" / "Dict<F64>" / "F64".
+fn storage(table: &Table, name: &str) -> &'static str {
+    table.column(name).expect("lineitem column").storage_name()
+}
+
+fn measure(
+    plan: &QueryPlan,
+    plain: &Table,
+    encoded: &Table,
+    backend: SumBackend,
+    reps: usize,
+    n: usize,
+    ctx: &str,
+) -> (f64, f64) {
+    let opts = ExecOptions::serial();
+    let want = plan.execute(plain, backend, &opts).expect(ctx);
+    let got = plan.execute(encoded, backend, &opts).expect(ctx);
+    assert_bit_identical(&want, &got, ctx);
+    let plain_d = time_min(reps, || {
+        std::hint::black_box(plan.execute(plain, backend, &opts).expect(ctx));
+    });
+    let encoded_d = time_min(reps, || {
+        std::hint::black_box(plan.execute(encoded, backend, &opts).expect(ctx));
+    });
+    (ns_per_elem(plain_d, n), ns_per_elem(encoded_d, n))
+}
+
+fn main() {
+    let cfg = BenchConfig::from_env();
+    let n = cfg.n;
+    let backend = SumBackend::ReproBuffered {
+        buffer_size: CacheModel::default().buffer_size(6, 8, 0),
+    };
+
+    let lineitem = Lineitem::generate(n, 1);
+    let by_group = lineitem.sorted_by_q1_group();
+    let by_shipdate = lineitem.sorted_by_shipdate();
+
+    // Plain and encoded twins share each physical row order, so the
+    // ratio isolates storage, not data placement.
+    let arms: [(&str, &QueryPlan, &Lineitem, &'static str); 4] = [
+        ("q1 dbgen order", &q1_plan(), &lineitem, "l_returnflag"),
+        ("q1 group-sorted", &q1_plan(), &by_group, "l_returnflag"),
+        ("q6 dbgen order", &q6_plan(), &lineitem, "l_shipdate"),
+        ("q6 shipdate-sorted", &q6_plan(), &by_shipdate, "l_shipdate"),
+    ];
+
+    let mut table = ResultTable::new(
+        format!("Figure 9 (compression): Q1/Q6 over Dict/Rle vs plain columns, serial, n = {n}"),
+        &[
+            "arm",
+            "key storage",
+            "plain ns/elem",
+            "encoded ns/elem",
+            "vs plain",
+        ],
+    );
+    let mut measured: Vec<(f64, f64)> = Vec::new();
+    for (name, plan, rows, key_col) in arms {
+        let plain = lineitem_table(rows);
+        let encoded = lineitem_table_encoded(rows);
+        let (plain_ns, encoded_ns) = measure(plan, &plain, &encoded, backend, cfg.reps, n, name);
+        table.row(vec![
+            name.into(),
+            storage(&encoded, key_col).into(),
+            f2(plain_ns),
+            f2(encoded_ns),
+            format!("{:.2}x", encoded_ns / plain_ns),
+        ]);
+        measured.push((plain_ns, encoded_ns));
+    }
+    table.print();
+    table.write_csv("fig9_compression");
+    println!(
+        "  paper shape: dictionary arms sit near 1x (pushdown trades a compare for a\n  \
+         byte-indexed lookup); the clustered arms win outright — RLE group keys turn\n  \
+         per-row deposits into one block call per run, and the RLE shipdate band\n  \
+         emits selections a whole run at a time. Identical bits in every arm."
+    );
+
+    // The smoke record keeps the clustered arms — the encodings the
+    // ISSUE targets: Q1's two u8 group columns (RLE after sorting, Dict
+    // always) and Q6's shipdate band.
+    let by_group_encoded = lineitem_table_encoded(&by_group);
+    assert!(
+        matches!(
+            by_group_encoded.column("l_returnflag").unwrap(),
+            Column::Rle { .. }
+        ),
+        "group-sorted returnflag must RLE-encode"
+    );
+    let by_shipdate_encoded = lineitem_table_encoded(&by_shipdate);
+    assert!(
+        matches!(
+            by_shipdate_encoded.column("l_shipdate").unwrap(),
+            Column::Rle { .. }
+        ),
+        "shipdate-sorted shipdate must RLE-encode"
+    );
+    write_compression_smoke(&CompressionSmoke {
+        n,
+        q1_encodings: "group-sorted: flags Rle, qty/discount/tax Dict",
+        q1_plain_ns_per_elem: measured[1].0,
+        q1_encoded_ns_per_elem: measured[1].1,
+        q6_encodings: "shipdate-sorted: shipdate Rle, qty/discount/tax Dict",
+        q6_plain_ns_per_elem: measured[3].0,
+        q6_encoded_ns_per_elem: measured[3].1,
+    });
+}

@@ -411,6 +411,104 @@ pub fn write_bench_smoke(smoke: &BenchSmoke) {
     }
 }
 
+/// The compressed-scan entry of the smoke artifact: TPC-H Q1 and Q6
+/// over dictionary/RLE-encoded columns vs the same (physically
+/// identically ordered) plain columns, serial ns/elem. The bench
+/// cross-asserts the two arms bit-identical before this is written.
+#[derive(Clone, Copy, Debug)]
+pub struct CompressionSmoke {
+    /// Table rows scanned.
+    pub n: usize,
+    /// Which storage the Q1 encoded arm used (e.g. "flags Rle, rest Dict").
+    pub q1_encodings: &'static str,
+    pub q1_plain_ns_per_elem: f64,
+    pub q1_encoded_ns_per_elem: f64,
+    /// Which storage the Q6 encoded arm used.
+    pub q6_encodings: &'static str,
+    pub q6_plain_ns_per_elem: f64,
+    pub q6_encoded_ns_per_elem: f64,
+}
+
+/// Merges the `compression` object into `results/bench_smoke.json`,
+/// keeping whatever the other benches wrote and splicing *before* any
+/// `server` member (which `write_server_smoke` keeps as the trailing
+/// entry). The artifact stays valid JSON whether or not the file, or
+/// previous `compression`/`server` entries, existed.
+pub fn write_compression_smoke(smoke: &CompressionSmoke) {
+    let CompressionSmoke {
+        n,
+        q1_encodings,
+        q1_plain_ns_per_elem,
+        q1_encoded_ns_per_elem,
+        q6_encodings,
+        q6_plain_ns_per_elem,
+        q6_encoded_ns_per_elem,
+    } = *smoke;
+    let dir = results_dir();
+    if fs::create_dir_all(&dir).is_err() {
+        return; // benches must not fail on read-only filesystems
+    }
+    let path = dir.join("bench_smoke.json");
+    let q1_ratio = if q1_plain_ns_per_elem > 0.0 {
+        q1_encoded_ns_per_elem / q1_plain_ns_per_elem
+    } else {
+        0.0
+    };
+    let q6_ratio = if q6_plain_ns_per_elem > 0.0 {
+        q6_encoded_ns_per_elem / q6_plain_ns_per_elem
+    } else {
+        0.0
+    };
+    let compression_json = format!(
+        "  \"compression\": {{\n    \"n\": {n},\n    \
+         \"q1_encodings\": \"{q1_encodings}\",\n    \
+         \"q1_plain_ns_per_elem\": {q1_plain_ns_per_elem:.3},\n    \
+         \"q1_encoded_ns_per_elem\": {q1_encoded_ns_per_elem:.3},\n    \
+         \"q1_encoded_over_plain\": {q1_ratio:.3},\n    \
+         \"q6_encodings\": \"{q6_encodings}\",\n    \
+         \"q6_plain_ns_per_elem\": {q6_plain_ns_per_elem:.3},\n    \
+         \"q6_encoded_ns_per_elem\": {q6_encoded_ns_per_elem:.3},\n    \
+         \"q6_encoded_over_plain\": {q6_ratio:.3},\n    \
+         \"bit_identical\": true\n  }}"
+    );
+    // Splice into the existing artifact: keep any trailing `server`
+    // member, drop any previous `compression` member, re-insert ours
+    // between the figure entries and `server`.
+    let existing = fs::read_to_string(&path).unwrap_or_default();
+    let (body, server) = match existing.find(",\n  \"server\": {") {
+        Some(i) => {
+            let tail = existing[i + 2..].trim_end();
+            let tail = tail.strip_suffix('}').unwrap_or(tail).trim_end();
+            (existing[..i].to_string(), Some(tail.to_string()))
+        }
+        None => (
+            existing
+                .trim_end()
+                .trim_end_matches('}')
+                .trim_end()
+                .to_string(),
+            None,
+        ),
+    };
+    let body = match body.find(",\n  \"compression\": {") {
+        Some(i) => body[..i].to_string(),
+        None => body,
+    };
+    let mut json = if body.is_empty() || !existing.trim_start().starts_with('{') {
+        format!("{{\n{compression_json}")
+    } else {
+        format!("{body},\n{compression_json}")
+    };
+    if let Some(server) = server {
+        json.push_str(",\n");
+        json.push_str(&server);
+    }
+    json.push_str("\n}\n");
+    if fs::write(&path, json).is_ok() {
+        println!("  [json] {}", path.display());
+    }
+}
+
 /// The query-service entry of the smoke artifact: a load-generator run
 /// of N concurrent client sessions against `rfa_server`, mixed
 /// Q1/Q6/Q15, with cross-concurrency bit-identity asserted by the bench

@@ -6,6 +6,7 @@
 //! backup/restore), and any order-sensitive aggregate then violates data
 //! independence (§I, Algorithm 1).
 
+use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
 
@@ -89,7 +90,72 @@ pub enum Column {
     I32(Arc<Vec<i32>>),
     U32(Arc<Vec<u32>>),
     U8(Arc<Vec<u8>>),
+    /// Dictionary encoding: row `i` holds `dict[codes[i]]`. `dict` must be
+    /// a plain column with at most 256 entries (codes are `u8`). The
+    /// executor scans the *codes* — predicates evaluate once per dictionary
+    /// entry, never per row (see `expr::BoundFast`).
+    Dict {
+        codes: Arc<Vec<u8>>,
+        dict: Box<Column>,
+    },
+    /// Run-length encoding: run `r` covers rows `run_ends[r-1]..run_ends[r]`
+    /// (with `run_ends[-1] = 0`) and holds `values` row `r`. `run_ends`
+    /// must be strictly increasing; the column's length is the last run
+    /// end. The executor assigns group ids and deposits aggregates per
+    /// *run*, never per row (see `fused`).
+    Rle {
+        run_ends: Arc<Vec<u32>>,
+        values: Box<Column>,
+    },
 }
+
+/// Errors raised building or validating encoded ([`Column::Dict`] /
+/// [`Column::Rle`]) columns. Scan-time encoding failures surface as
+/// `FusedError::Encoding` / `PlanError::Encoding` wrapping one of these —
+/// never panics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EncodingError {
+    /// Dictionary entries / run values must be plain columns.
+    Nested,
+    /// More distinct values than `u8` codes can address.
+    DictTooLarge { distinct: usize },
+    /// A code indexes past the dictionary.
+    CodeOutOfRange { code: u8, dict_len: usize },
+    /// `run_ends` must be strictly increasing (every run non-empty).
+    RunEndsNotIncreasing { index: usize },
+    /// One run value per run end.
+    RunCountMismatch { runs: usize, values: usize },
+    /// Run ends are `u32`; longer columns cannot be RLE-encoded.
+    LenOverflow { len: usize },
+}
+
+impl fmt::Display for EncodingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EncodingError::Nested => write!(f, "encoded columns cannot nest another encoding"),
+            EncodingError::DictTooLarge { distinct } => write!(
+                f,
+                "dictionary would need {distinct} entries (u8 codes allow at most 256)"
+            ),
+            EncodingError::CodeOutOfRange { code, dict_len } => write!(
+                f,
+                "dictionary code {code} out of range (dict has {dict_len} entries)"
+            ),
+            EncodingError::RunEndsNotIncreasing { index } => write!(
+                f,
+                "run_ends must be strictly increasing (violated at run {index})"
+            ),
+            EncodingError::RunCountMismatch { runs, values } => {
+                write!(f, "{runs} run ends but {values} run values")
+            }
+            EncodingError::LenOverflow { len } => {
+                write!(f, "column of {len} rows exceeds u32 run-end range")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EncodingError {}
 
 impl Column {
     /// Builds an `F64` column from owned or already-shared storage.
@@ -116,6 +182,266 @@ impl Column {
     pub fn u8(data: impl Into<Arc<Vec<u8>>>) -> Column {
         Column::U8(data.into())
     }
+
+    /// Builds a validated dictionary-encoded column: row `i` reads
+    /// `dict[codes[i]]`. Fails (typed, no panic) if the dictionary is
+    /// itself encoded, larger than 256 entries, or any code is out of
+    /// range.
+    pub fn dict(codes: impl Into<Arc<Vec<u8>>>, dict: Column) -> Result<Column, EncodingError> {
+        let col = Column::Dict {
+            codes: codes.into(),
+            dict: Box::new(dict),
+        };
+        col.validate_encoding()?;
+        Ok(col)
+    }
+
+    /// Builds a validated run-length-encoded column: run `r` covers rows
+    /// `run_ends[r-1]..run_ends[r]` with value `values[r]`. Fails (typed,
+    /// no panic) if the values column is encoded, the lengths disagree,
+    /// or `run_ends` is not strictly increasing.
+    pub fn rle(
+        run_ends: impl Into<Arc<Vec<u32>>>,
+        values: Column,
+    ) -> Result<Column, EncodingError> {
+        let col = Column::Rle {
+            run_ends: run_ends.into(),
+            values: Box::new(values),
+        };
+        col.validate_encoding()?;
+        Ok(col)
+    }
+
+    /// Dictionary-encodes a plain column (first-seen dictionary order;
+    /// float values are distinguished bitwise, so `-0.0` and NaN payloads
+    /// survive the round-trip). Fails if the column is already encoded or
+    /// has more than 256 distinct values.
+    pub fn dict_encode(&self) -> Result<Column, EncodingError> {
+        fn build<T: Copy, K: std::hash::Hash + Eq>(
+            data: &[T],
+            key: impl Fn(T) -> K,
+        ) -> Result<(Vec<u8>, Vec<T>), EncodingError> {
+            let mut seen: HashMap<K, u8> = HashMap::new();
+            let mut dict: Vec<T> = Vec::new();
+            let mut codes: Vec<u8> = Vec::with_capacity(data.len());
+            for &v in data {
+                let code = match seen.entry(key(v)) {
+                    std::collections::hash_map::Entry::Occupied(e) => *e.get(),
+                    std::collections::hash_map::Entry::Vacant(e) => {
+                        if dict.len() == 256 {
+                            return Err(EncodingError::DictTooLarge {
+                                distinct: dict.len() + 1,
+                            });
+                        }
+                        dict.push(v);
+                        *e.insert((dict.len() - 1) as u8)
+                    }
+                };
+                codes.push(code);
+            }
+            Ok((codes, dict))
+        }
+        let (codes, dict) = match self {
+            Column::F64(v) => {
+                let (c, d) = build(v, f64::to_bits)?;
+                (c, Column::f64(d))
+            }
+            Column::F32(v) => {
+                let (c, d) = build(v, f32::to_bits)?;
+                (c, Column::f32(d))
+            }
+            Column::I32(v) => {
+                let (c, d) = build(v, |x| x)?;
+                (c, Column::i32(d))
+            }
+            Column::U32(v) => {
+                let (c, d) = build(v, |x| x)?;
+                (c, Column::u32(d))
+            }
+            Column::U8(v) => {
+                let (c, d) = build(v, |x| x)?;
+                (c, Column::u8(d))
+            }
+            Column::Dict { .. } | Column::Rle { .. } => return Err(EncodingError::Nested),
+        };
+        Ok(Column::Dict {
+            codes: Arc::new(codes),
+            dict: Box::new(dict),
+        })
+    }
+
+    /// Run-length-encodes a plain column (runs of bitwise-equal values).
+    /// Fails if the column is already encoded or longer than `u32` run
+    /// ends can address.
+    pub fn rle_encode(&self) -> Result<Column, EncodingError> {
+        fn build<T: Copy>(
+            data: &[T],
+            eq: impl Fn(T, T) -> bool,
+        ) -> Result<(Vec<u32>, Vec<T>), EncodingError> {
+            if data.len() > u32::MAX as usize {
+                return Err(EncodingError::LenOverflow { len: data.len() });
+            }
+            let mut ends: Vec<u32> = Vec::new();
+            let mut vals: Vec<T> = Vec::new();
+            for (i, &v) in data.iter().enumerate() {
+                match vals.last() {
+                    Some(&last) if eq(last, v) => {}
+                    _ => {
+                        if i > 0 {
+                            ends.push(i as u32);
+                        }
+                        vals.push(v);
+                    }
+                }
+            }
+            if !data.is_empty() {
+                ends.push(data.len() as u32);
+            }
+            Ok((ends, vals))
+        }
+        let (ends, values) = match self {
+            Column::F64(v) => {
+                let (e, r) = build(v, |a, b| a.to_bits() == b.to_bits())?;
+                (e, Column::f64(r))
+            }
+            Column::F32(v) => {
+                let (e, r) = build(v, |a, b| a.to_bits() == b.to_bits())?;
+                (e, Column::f32(r))
+            }
+            Column::I32(v) => {
+                let (e, r) = build(v, |a, b| a == b)?;
+                (e, Column::i32(r))
+            }
+            Column::U32(v) => {
+                let (e, r) = build(v, |a, b| a == b)?;
+                (e, Column::u32(r))
+            }
+            Column::U8(v) => {
+                let (e, r) = build(v, |a, b| a == b)?;
+                (e, Column::u8(r))
+            }
+            Column::Dict { .. } | Column::Rle { .. } => return Err(EncodingError::Nested),
+        };
+        Ok(Column::Rle {
+            run_ends: Arc::new(ends),
+            values: Box::new(values),
+        })
+    }
+
+    /// Materializes a plain column with the same logical content, bit for
+    /// bit. Plain columns clone (a refcount bump). Panics on an invalid
+    /// encoding — run [`Column::validate_encoding`] first for hand-built
+    /// variants (the executor does).
+    pub fn decode(&self) -> Column {
+        fn gather<T: Copy>(codes: &[u8], dict: &[T]) -> Vec<T> {
+            codes.iter().map(|&c| dict[c as usize]).collect()
+        }
+        fn expand<T: Copy>(run_ends: &[u32], values: &[T]) -> Vec<T> {
+            let mut out = Vec::with_capacity(run_ends.last().map_or(0, |&e| e as usize));
+            let mut start = 0u32;
+            for (&end, &v) in run_ends.iter().zip(values) {
+                out.resize(out.len() + (end - start) as usize, v);
+                start = end;
+            }
+            out
+        }
+        match self {
+            Column::Dict { codes, dict } => match &**dict {
+                Column::F64(d) => Column::f64(gather(codes, d)),
+                Column::F32(d) => Column::f32(gather(codes, d)),
+                Column::I32(d) => Column::i32(gather(codes, d)),
+                Column::U32(d) => Column::u32(gather(codes, d)),
+                Column::U8(d) => Column::u8(gather(codes, d)),
+                nested => panic!("cannot decode nested encoding {}", nested.storage_name()),
+            },
+            Column::Rle { run_ends, values } => match &**values {
+                Column::F64(v) => Column::f64(expand(run_ends, v)),
+                Column::F32(v) => Column::f32(expand(run_ends, v)),
+                Column::I32(v) => Column::i32(expand(run_ends, v)),
+                Column::U32(v) => Column::u32(expand(run_ends, v)),
+                Column::U8(v) => Column::u8(expand(run_ends, v)),
+                nested => panic!("cannot decode nested encoding {}", nested.storage_name()),
+            },
+            plain => plain.clone(),
+        }
+    }
+
+    /// Checks the structural invariants of an encoded column (hand-built
+    /// `Dict`/`Rle` variants bypass the validating constructors). Plain
+    /// columns always pass. The fused executor runs this once per
+    /// referenced encoded column before scanning, so scan loops can index
+    /// codes and runs without per-row checks.
+    pub fn validate_encoding(&self) -> Result<(), EncodingError> {
+        match self {
+            Column::Dict { codes, dict } => {
+                if dict.is_encoded() {
+                    return Err(EncodingError::Nested);
+                }
+                let dict_len = dict.len();
+                if dict_len > 256 {
+                    return Err(EncodingError::DictTooLarge { distinct: dict_len });
+                }
+                // Lane-parallel max so the whole-column check vectorizes
+                // (a short-circuiting scan would run scalar and cost more
+                // than a Q6 fill); this validation runs once per query.
+                let mut lanes = [0u8; 64];
+                let mut tail = 0u8;
+                let mut chunks = codes.chunks_exact(64);
+                for chunk in &mut chunks {
+                    for (lane, &c) in lanes.iter_mut().zip(chunk) {
+                        *lane = (*lane).max(c);
+                    }
+                }
+                for &c in chunks.remainder() {
+                    tail = tail.max(c);
+                }
+                let max = lanes.iter().fold(tail, |a, &b| a.max(b));
+                if !codes.is_empty() && max as usize >= dict_len {
+                    return Err(EncodingError::CodeOutOfRange {
+                        code: max,
+                        dict_len,
+                    });
+                }
+                Ok(())
+            }
+            Column::Rle { run_ends, values } => {
+                if values.is_encoded() {
+                    return Err(EncodingError::Nested);
+                }
+                if values.len() != run_ends.len() {
+                    return Err(EncodingError::RunCountMismatch {
+                        runs: run_ends.len(),
+                        values: values.len(),
+                    });
+                }
+                let mut prev = 0u32;
+                for (index, &end) in run_ends.iter().enumerate() {
+                    if end <= prev {
+                        return Err(EncodingError::RunEndsNotIncreasing { index });
+                    }
+                    prev = end;
+                }
+                Ok(())
+            }
+            _ => Ok(()),
+        }
+    }
+
+    /// Whether this column is stored encoded ([`Column::Dict`]/[`Column::Rle`]).
+    pub fn is_encoded(&self) -> bool {
+        matches!(self, Column::Dict { .. } | Column::Rle { .. })
+    }
+
+    /// The column describing this column's *logical* type: the dictionary
+    /// / run-values column for encoded variants, `self` for plain ones.
+    pub(crate) fn logical(&self) -> &Column {
+        match self {
+            Column::Dict { dict, .. } => dict,
+            Column::Rle { values, .. } => values,
+            plain => plain,
+        }
+    }
+
     pub fn len(&self) -> usize {
         match self {
             Column::F64(v) => v.len(),
@@ -123,6 +449,8 @@ impl Column {
             Column::I32(v) => v.len(),
             Column::U32(v) => v.len(),
             Column::U8(v) => v.len(),
+            Column::Dict { codes, .. } => codes.len(),
+            Column::Rle { run_ends, .. } => run_ends.last().map_or(0, |&e| e as usize),
         }
     }
 
@@ -160,27 +488,75 @@ impl Column {
 
     /// Whether this column can be read by the scalar expression layer
     /// (widened exactly to `f64`). The single source of truth behind
-    /// the resolver's checks and `expr::NUMERIC_EXPECTED`.
+    /// the resolver's checks and `expr::NUMERIC_EXPECTED`. Encoded
+    /// columns answer for their *logical* type — the executor reads
+    /// them without decompressing.
     pub fn is_numeric(&self) -> bool {
         matches!(
-            self,
+            self.logical(),
             Column::F64(_) | Column::I32(_) | Column::U32(_) | Column::U8(_)
         )
     }
 
-    /// The storage type tag (used by [`TableError::TypeMismatch`]).
+    /// The *logical* type tag — what expressions and the SQL resolver see
+    /// (used by [`TableError::TypeMismatch`] and [`Table::schema`]).
+    /// Encoded columns report their dictionary / run-value type, so plans
+    /// and SQL are encoding-agnostic; [`Column::storage_name`] exposes the
+    /// physical layout.
     pub fn type_name(&self) -> &'static str {
+        match self.logical() {
+            Column::F64(_) => "F64",
+            Column::F32(_) => "F32",
+            Column::I32(_) => "I32",
+            Column::U32(_) => "U32",
+            Column::U8(_) => "U8",
+            // One level of nesting is rejected by validate_encoding; a
+            // hand-built nested variant still gets a stable name.
+            Column::Dict { .. } | Column::Rle { .. } => "<nested encoding>",
+        }
+    }
+
+    /// The physical storage tag (`"F64"`, `"Dict<U8>"`, `"Rle<I32>"`, …)
+    /// for diagnostics that care about layout, e.g. reorder errors.
+    pub fn storage_name(&self) -> &'static str {
+        fn plain(c: &Column) -> usize {
+            match c {
+                Column::F64(_) => 0,
+                Column::F32(_) => 1,
+                Column::I32(_) => 2,
+                Column::U32(_) => 3,
+                Column::U8(_) => 4,
+                _ => 5,
+            }
+        }
+        const DICT: [&str; 6] = [
+            "Dict<F64>",
+            "Dict<F32>",
+            "Dict<I32>",
+            "Dict<U32>",
+            "Dict<U8>",
+            "Dict<..>",
+        ];
+        const RLE: [&str; 6] = [
+            "Rle<F64>", "Rle<F32>", "Rle<I32>", "Rle<U32>", "Rle<U8>", "Rle<..>",
+        ];
         match self {
             Column::F64(_) => "F64",
             Column::F32(_) => "F32",
             Column::I32(_) => "I32",
             Column::U32(_) => "U32",
             Column::U8(_) => "U8",
+            Column::Dict { dict, .. } => DICT[plain(dict)],
+            Column::Rle { values, .. } => RLE[plain(values)],
         }
     }
 
     /// Applies a row permutation (`perm[i]` = source row of new row `i`).
     /// Builds fresh storage, so sharers of the old storage are unaffected.
+    /// Dictionary columns permute their codes (the dictionary is
+    /// row-order-independent); RLE columns cannot be permuted without
+    /// decoding — [`Table::reorder`] rejects them with a typed error
+    /// before this is reached.
     fn permute(&mut self, perm: &[u32]) {
         fn apply<T: Copy>(data: &mut Arc<Vec<T>>, perm: &[u32]) {
             let out: Vec<T> = perm.iter().map(|&i| data[i as usize]).collect();
@@ -192,6 +568,10 @@ impl Column {
             Column::I32(v) => apply(v, perm),
             Column::U32(v) => apply(v, perm),
             Column::U8(v) => apply(v, perm),
+            Column::Dict { codes, .. } => apply(codes, perm),
+            Column::Rle { .. } => {
+                unreachable!("Table::reorder rejects RLE columns before permuting")
+            }
         }
     }
 }
@@ -220,6 +600,13 @@ pub enum TableError {
         expected: &'static str,
         found: &'static str,
     },
+    /// A physical reorder would have to decode an encoded column. The
+    /// storage layer never decodes silently — decode (or re-encode) the
+    /// column explicitly first.
+    ReorderUnsupported {
+        column: String,
+        storage: &'static str,
+    },
 }
 
 impl fmt::Display for TableError {
@@ -237,6 +624,10 @@ impl fmt::Display for TableError {
                 expected,
                 found,
             } => write!(f, "column {column:?} is {found}, expected {expected}"),
+            TableError::ReorderUnsupported { column, storage } => write!(
+                f,
+                "column {column:?} ({storage}) cannot be reordered without decoding"
+            ),
         }
     }
 }
@@ -287,9 +678,12 @@ impl Table {
             .ok_or_else(|| TableError::NoSuchColumn(name.to_string()))
     }
 
-    /// Schema introspection: `(column name, storage type tag)` pairs in
+    /// Schema introspection: `(column name, *logical* type tag)` pairs in
     /// insertion order. This is what the SQL resolver type-checks names
-    /// against, and what "unknown column" diagnostics list.
+    /// against, and what "unknown column" diagnostics list. Encoded
+    /// columns report their dictionary / run-value type — plans and
+    /// prepared-statement cache keys are encoding-agnostic by
+    /// construction.
     pub fn schema(&self) -> impl Iterator<Item = (&str, &'static str)> + '_ {
         self.columns
             .iter()
@@ -336,8 +730,12 @@ impl Table {
     }
 
     /// Physically reorders all rows (models compaction/placement changes).
-    /// `perm` must be a permutation of `0..rows`.
-    pub fn reorder(&mut self, perm: &[u32]) {
+    /// `perm` must be a permutation of `0..rows`. Dictionary columns
+    /// permute their codes (copy-on-write, like plain columns); RLE
+    /// columns are rejected with a typed error *before any column moves* —
+    /// permuting runs would mean decoding, which the storage layer never
+    /// does silently.
+    pub fn reorder(&mut self, perm: &[u32]) -> Result<(), TableError> {
         assert_eq!(perm.len(), self.rows);
         debug_assert!({
             let mut seen = vec![false; self.rows];
@@ -347,9 +745,20 @@ impl Table {
                 ok
             })
         });
+        if let Some((n, c)) = self
+            .columns
+            .iter()
+            .find(|(_, c)| matches!(c, Column::Rle { .. }))
+        {
+            return Err(TableError::ReorderUnsupported {
+                column: n.clone(),
+                storage: c.storage_name(),
+            });
+        }
         for (_, c) in &mut self.columns {
             c.permute(perm);
         }
+        Ok(())
     }
 
     /// Models an MVCC-style UPDATE (the PostgreSQL behaviour behind the
@@ -377,7 +786,7 @@ impl Table {
             .filter(|&i| !matches[i as usize])
             .chain((0..self.rows as u32).filter(|&i| matches[i as usize]))
             .collect();
-        self.reorder(&perm);
+        self.reorder(&perm)?;
         // Apply the update to the relocated rows (now at the tail).
         // `make_mut` is copy-on-write; `reorder` just rebuilt this storage,
         // so it is already private and no clone happens here.
@@ -565,9 +974,161 @@ mod tests {
         t.add_column("y", Column::u8(b"abc".to_vec())).unwrap();
         t.add_column("z", Column::u32(vec![100u32, 200, 300]))
             .unwrap();
-        t.reorder(&[2, 0, 1]);
+        t.reorder(&[2, 0, 1]).unwrap();
         assert_eq!(t.column("x").unwrap().as_i32(), &[30, 10, 20]);
         assert_eq!(t.column("y").unwrap().as_u8(), b"cab");
         assert_eq!(t.column("z").unwrap().as_u32(), &[300, 100, 200]);
+    }
+
+    #[test]
+    fn dict_encode_round_trips_bitwise() {
+        let vals = vec![0.05, 0.07, -0.0, 0.05, f64::NAN, 0.07, -0.0];
+        let col = Column::f64(vals.clone());
+        let enc = col.dict_encode().unwrap();
+        let Column::Dict { ref dict, .. } = enc else {
+            panic!("dict_encode must produce Dict");
+        };
+        assert_eq!(dict.len(), 4); // 0.05, 0.07, -0.0, NaN — bitwise distinct
+        let dec = enc.decode();
+        for (a, b) in dec.as_f64().iter().zip(&vals) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        // Logical transparency: type/len/numeric answer as the plain column.
+        assert_eq!(enc.type_name(), "F64");
+        assert_eq!(enc.storage_name(), "Dict<F64>");
+        assert_eq!(enc.len(), vals.len());
+        assert!(enc.is_numeric());
+        assert!(enc.is_encoded());
+    }
+
+    #[test]
+    fn rle_encode_round_trips_bitwise() {
+        let vals: Vec<u8> = vec![1, 1, 1, 2, 2, 1, 3, 3, 3, 3];
+        let enc = Column::u8(vals.clone()).rle_encode().unwrap();
+        let Column::Rle {
+            ref run_ends,
+            ref values,
+        } = enc
+        else {
+            panic!("rle_encode must produce Rle");
+        };
+        assert_eq!(run_ends.as_slice(), &[3, 5, 6, 10]);
+        assert_eq!(values.as_u8(), &[1, 2, 1, 3]);
+        assert_eq!(enc.len(), vals.len());
+        assert_eq!(enc.type_name(), "U8");
+        assert_eq!(enc.storage_name(), "Rle<U8>");
+        assert_eq!(enc.decode().as_u8(), vals.as_slice());
+        // Empty column: zero runs, zero length.
+        let empty = Column::i32(Vec::<i32>::new()).rle_encode().unwrap();
+        assert_eq!(empty.len(), 0);
+        assert_eq!(empty.decode().as_i32(), &[] as &[i32]);
+    }
+
+    #[test]
+    fn encoding_validation_rejects_invalid_data() {
+        // Code past the dictionary.
+        let err = Column::dict(vec![0u8, 3], Column::f64(vec![1.0, 2.0])).unwrap_err();
+        assert_eq!(
+            err,
+            EncodingError::CodeOutOfRange {
+                code: 3,
+                dict_len: 2
+            }
+        );
+        // Non-increasing run ends (includes a zero-length first run).
+        let err = Column::rle(vec![2u32, 2], Column::u8(vec![1, 2])).unwrap_err();
+        assert_eq!(err, EncodingError::RunEndsNotIncreasing { index: 1 });
+        let err = Column::rle(vec![0u32], Column::u8(vec![1])).unwrap_err();
+        assert_eq!(err, EncodingError::RunEndsNotIncreasing { index: 0 });
+        // Run-count mismatch.
+        let err = Column::rle(vec![1u32, 2], Column::u8(vec![1])).unwrap_err();
+        assert_eq!(err, EncodingError::RunCountMismatch { runs: 2, values: 1 });
+        // Nested encodings.
+        let dict = Column::dict(vec![0u8], Column::f64(vec![1.0])).unwrap();
+        assert_eq!(
+            Column::dict(vec![0u8], dict.clone()).unwrap_err(),
+            EncodingError::Nested
+        );
+        assert_eq!(
+            Column::rle(vec![1u32], dict.clone()).unwrap_err(),
+            EncodingError::Nested
+        );
+        assert_eq!(dict.dict_encode().unwrap_err(), EncodingError::Nested);
+        assert_eq!(dict.rle_encode().unwrap_err(), EncodingError::Nested);
+        // >256 distinct values cannot dictionary-encode.
+        let wide = Column::i32((0..300).collect::<Vec<i32>>());
+        assert_eq!(
+            wide.dict_encode().unwrap_err(),
+            EncodingError::DictTooLarge { distinct: 257 }
+        );
+    }
+
+    #[test]
+    fn encoding_error_messages_are_actionable() {
+        assert_eq!(
+            EncodingError::CodeOutOfRange {
+                code: 9,
+                dict_len: 4
+            }
+            .to_string(),
+            "dictionary code 9 out of range (dict has 4 entries)"
+        );
+        assert_eq!(
+            EncodingError::RunEndsNotIncreasing { index: 2 }.to_string(),
+            "run_ends must be strictly increasing (violated at run 2)"
+        );
+        assert_eq!(
+            EncodingError::Nested.to_string(),
+            "encoded columns cannot nest another encoding"
+        );
+        assert_eq!(
+            TableError::ReorderUnsupported {
+                column: "l_shipdate".into(),
+                storage: "Rle<I32>",
+            }
+            .to_string(),
+            "column \"l_shipdate\" (Rle<I32>) cannot be reordered without decoding"
+        );
+    }
+
+    #[test]
+    fn schema_reports_logical_types_for_encoded_columns() {
+        let mut t = Table::new("s");
+        t.add_column("tag", Column::u8(vec![7, 7, 9]).dict_encode().unwrap())
+            .unwrap();
+        t.add_column("day", Column::i32(vec![1, 1, 2]).rle_encode().unwrap())
+            .unwrap();
+        let schema: Vec<(&str, &str)> = t.schema().collect();
+        assert_eq!(schema, vec![("tag", "U8"), ("day", "I32")]);
+    }
+
+    #[test]
+    fn reorder_permutes_dict_codes_and_rejects_rle() {
+        // Dict path: the permutation lands on the codes; shared owners of
+        // the original codes are unaffected (copy-on-write).
+        let enc = Column::f64(vec![1.5, 2.5, 3.5]).dict_encode().unwrap();
+        let shared = enc.clone();
+        let mut t = Table::new("t");
+        t.add_column("v", enc).unwrap();
+        t.reorder(&[2, 1, 0]).unwrap();
+        let reordered = t.column("v").unwrap();
+        assert!(reordered.is_encoded(), "reorder must not decode Dict");
+        assert_eq!(reordered.decode().as_f64(), &[3.5, 2.5, 1.5]);
+        assert_eq!(shared.decode().as_f64(), &[1.5, 2.5, 3.5]);
+        // Rle path: typed error, table untouched.
+        let mut t = Table::new("t");
+        t.add_column("x", Column::i32(vec![10, 20])).unwrap();
+        t.add_column("r", Column::u8(vec![1, 1]).rle_encode().unwrap())
+            .unwrap();
+        let err = t.reorder(&[1, 0]).unwrap_err();
+        assert_eq!(
+            err,
+            TableError::ReorderUnsupported {
+                column: "r".into(),
+                storage: "Rle<U8>",
+            }
+        );
+        // The error fired before any column was permuted.
+        assert_eq!(t.column("x").unwrap().as_i32(), &[10, 20]);
     }
 }

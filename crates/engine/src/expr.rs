@@ -288,13 +288,58 @@ impl Prog {
 }
 
 /// A numeric column bound for gathering: integer storage widens exactly
-/// to `f64` (i32/u32/u8 all fit in the 53-bit mantissa).
+/// to `f64` (i32/u32/u8 all fit in the 53-bit mantissa). Encoded columns
+/// gather *through* their encoding — a code lookup for `Dict`, a run
+/// cursor for `Rle` — never materializing the plain column; widening the
+/// dictionary/run value is the identical exact conversion the plain
+/// column would perform per row, so results are bit-identical.
 #[derive(Clone, Copy)]
 enum ColData<'t> {
     F64(&'t [f64]),
     I32(&'t [i32]),
     U32(&'t [u32]),
     U8(&'t [u8]),
+    Dict { codes: &'t [u8], vals: Vals<'t> },
+    Rle { run_ends: &'t [u32], vals: Vals<'t> },
+}
+
+/// The small value array behind an encoding (a dictionary or the per-run
+/// values), read as widened `f64`. The per-row `match` is perfectly
+/// predicted (same arm every iteration of a gather loop).
+#[derive(Clone, Copy)]
+enum Vals<'t> {
+    F64(&'t [f64]),
+    I32(&'t [i32]),
+    U32(&'t [u32]),
+    U8(&'t [u8]),
+}
+
+impl Vals<'_> {
+    #[inline]
+    fn get(&self, i: usize) -> f64 {
+        match *self {
+            Vals::F64(v) => v[i],
+            Vals::I32(v) => v[i] as f64,
+            Vals::U32(v) => v[i] as f64,
+            Vals::U8(v) => v[i] as f64,
+        }
+    }
+}
+
+/// Index of the run containing `row`, given the previous position `run`
+/// (amortized O(1) for the increasing row sequences selection vectors
+/// produce; an out-of-order row resets by binary search). Shared with the
+/// fused executor's RLE group-key cursors.
+#[inline]
+pub(crate) fn advance_run(run_ends: &[u32], run: usize, row: u32) -> usize {
+    if run > 0 && row < run_ends[run - 1] {
+        return run_ends.partition_point(|&e| e <= row);
+    }
+    let mut run = run;
+    while run_ends[run] <= row {
+        run += 1;
+    }
+    run
 }
 
 impl ColData<'_> {
@@ -321,7 +366,35 @@ impl ColData<'_> {
                     *r = col[i as usize] as f64;
                 }
             }
+            ColData::Dict { codes, vals } => {
+                for (r, &i) in out.iter_mut().zip(sel) {
+                    *r = vals.get(codes[i as usize] as usize);
+                }
+            }
+            ColData::Rle { run_ends, vals } => {
+                let mut run = 0usize;
+                for (r, &i) in out.iter_mut().zip(sel) {
+                    run = advance_run(run_ends, run, i);
+                    *r = vals.get(run);
+                }
+            }
         }
+    }
+}
+
+/// Reads a *plain* column as a [`Vals`] view (the dictionary / run-values
+/// leg of an encoding; nesting is rejected at construction).
+fn vals_of<'t>(col: &'t Column, name: &ColRef) -> Result<Vals<'t>, TableError> {
+    match col {
+        Column::F64(v) => Ok(Vals::F64(v)),
+        Column::I32(v) => Ok(Vals::I32(v)),
+        Column::U32(v) => Ok(Vals::U32(v)),
+        Column::U8(v) => Ok(Vals::U8(v)),
+        other => Err(TableError::TypeMismatch {
+            column: name.to_string(),
+            expected: NUMERIC_EXPECTED,
+            found: other.type_name(),
+        }),
     }
 }
 
@@ -331,6 +404,14 @@ fn bind_numeric<'t>(table: &'t Table, name: &ColRef) -> Result<ColData<'t>, Tabl
         Column::I32(v) => Ok(ColData::I32(v)),
         Column::U32(v) => Ok(ColData::U32(v)),
         Column::U8(v) => Ok(ColData::U8(v)),
+        Column::Dict { codes, dict } => Ok(ColData::Dict {
+            codes,
+            vals: vals_of(dict, name)?,
+        }),
+        Column::Rle { run_ends, values } => Ok(ColData::Rle {
+            run_ends,
+            vals: vals_of(values, name)?,
+        }),
         other => Err(TableError::TypeMismatch {
             column: name.to_string(),
             expected: NUMERIC_EXPECTED,
@@ -408,6 +489,24 @@ enum BoundFast<'t> {
         col: &'t [i32],
         lo: i32,
         hi: i32,
+    },
+    /// Dictionary predicate pushdown: the comparison ran once per
+    /// dictionary entry (on the identical widened `f64` values the plain
+    /// column would produce per row), leaving a 256-entry code-membership
+    /// set. Rows test `keep[code]` — no float compare, no gather. Entries
+    /// are 0 / -1 so the AVX2 kernel can gather and movemask them
+    /// directly; codes past the dictionary stay 0 (validation rejects
+    /// them before any scan).
+    DictInSet {
+        codes: &'t [u8],
+        keep: Box<[i32; 256]>,
+    },
+    /// RLE predicate pushdown: the comparison ran once per run. `fill`
+    /// emits whole row ranges of matching runs (O(selected), no per-row
+    /// test at all); `refine` walks the selection with a run cursor.
+    RleRuns {
+        run_ends: &'t [u32],
+        keep: Vec<bool>,
     },
 }
 
@@ -776,6 +875,13 @@ impl CompiledExpr {
             prog: self.prog.bind(table)?,
         })
     }
+
+    /// The distinct column names this expression reads (the fused
+    /// executor validates encoded columns once per query against this
+    /// list before scanning).
+    pub(crate) fn col_names(&self) -> &[ColRef] {
+        &self.prog.cols
+    }
 }
 
 impl CompiledPredicate {
@@ -788,6 +894,12 @@ impl CompiledPredicate {
             Some(shape) => bind_fast(shape, table)?,
         };
         Ok(BoundPredicate { prog, fast })
+    }
+
+    /// The distinct column names this predicate reads (see
+    /// [`CompiledExpr::col_names`]).
+    pub(crate) fn col_names(&self) -> &[ColRef] {
+        &self.prog.cols
     }
 }
 
@@ -802,6 +914,17 @@ fn as_exact_i32(v: f64) -> Option<i32> {
     }
 }
 
+/// The predicate of a fast shape, applied to one widened value — the
+/// same IEEE comparison the general mask program performs per row, so
+/// evaluating it once per dictionary entry / run value yields the exact
+/// per-row truth table.
+fn shape_test(shape: &FastShape, v: f64) -> bool {
+    match shape {
+        FastShape::Cmp { op, rhs, .. } => op.test(v, *rhs),
+        FastShape::Between { lo, hi, .. } => (v >= *lo) & (v <= *hi),
+    }
+}
+
 fn bind_fast<'t>(shape: &FastShape, table: &'t Table) -> Result<Option<BoundFast<'t>>, TableError> {
     let col_name = match shape {
         FastShape::Cmp { col, .. } | FastShape::Between { col, .. } => col,
@@ -810,6 +933,25 @@ fn bind_fast<'t>(shape: &FastShape, table: &'t Table) -> Result<Option<BoundFast
     // the general program for column types without a dedicated fast loop.
     let column = table.column(col_name.as_str())?;
     Ok(match (shape, column) {
+        (shape, Column::Dict { codes, dict }) => {
+            let Ok(vals) = vals_of(dict, col_name) else {
+                return Ok(None);
+            };
+            let mut keep = Box::new([0i32; 256]);
+            for (c, k) in keep.iter_mut().enumerate().take(dict.len()) {
+                *k = -(shape_test(shape, vals.get(c)) as i32);
+            }
+            Some(BoundFast::DictInSet { codes, keep })
+        }
+        (shape, Column::Rle { run_ends, values }) => {
+            let Ok(vals) = vals_of(values, col_name) else {
+                return Ok(None);
+            };
+            let keep: Vec<bool> = (0..run_ends.len())
+                .map(|r| shape_test(shape, vals.get(r)))
+                .collect();
+            Some(BoundFast::RleRuns { run_ends, keep })
+        }
         (FastShape::Cmp { op, rhs, .. }, Column::F64(v)) => Some(BoundFast::F64Cmp {
             col: v,
             op: *op,
@@ -919,6 +1061,12 @@ impl BoundFast<'_> {
                 BoundFast::I32Between { col, lo: l, hi: h } => {
                     simd_sel::fill_i32_between(col, *l, *h, _lo, _hi, _sel)
                 }
+                BoundFast::DictInSet { codes, keep } => {
+                    simd_sel::fill_u8_in_set(codes, keep, _lo, _hi, _sel)
+                }
+                // Range emission is already O(selected rows); nothing for
+                // a per-row kernel to speed up.
+                BoundFast::RleRuns { .. } => false,
             }
         }
         #[cfg(not(target_arch = "x86_64"))]
@@ -943,6 +1091,9 @@ impl BoundFast<'_> {
                 BoundFast::I32Between { col, lo, hi } => {
                     simd_sel::refine_i32_between(col, *lo, *hi, _sel)
                 }
+                // An i32 gather over u8 codes would read past the column's
+                // end; the scalar LUT loop is the refine path for codes.
+                BoundFast::DictInSet { .. } | BoundFast::RleRuns { .. } => false,
             }
         }
         #[cfg(not(target_arch = "x86_64"))]
@@ -964,6 +1115,24 @@ impl BoundFast<'_> {
                 let (l, h) = (*l, *h);
                 fill_with(lo, hi, sel, |r| (col[r] >= l) & (col[r] <= h))
             }
+            BoundFast::DictInSet { codes, keep } => {
+                fill_with(lo, hi, sel, |r| keep[codes[r] as usize] != 0)
+            }
+            BoundFast::RleRuns { run_ends, keep } => {
+                // Walk the runs overlapping [lo, hi) and append whole row
+                // ranges for the matching ones — per-run work, not per-row.
+                sel.clear();
+                let mut run = run_ends.partition_point(|&e| e as usize <= lo);
+                let mut row = lo;
+                while row < hi {
+                    let end = (run_ends[run] as usize).min(hi);
+                    if keep[run] {
+                        sel.extend(row as u32..end as u32);
+                    }
+                    row = end;
+                    run += 1;
+                }
+            }
         }
     }
 
@@ -981,6 +1150,32 @@ impl BoundFast<'_> {
             BoundFast::I32Between { col, lo, hi } => {
                 let (l, h) = (*lo, *hi);
                 refine_with(sel, |r| (col[r] >= l) & (col[r] <= h))
+            }
+            BoundFast::DictInSet { codes, keep } => {
+                refine_with(sel, |r| keep[codes[r] as usize] != 0)
+            }
+            BoundFast::RleRuns { run_ends, keep } => {
+                // Selection vectors are increasing, so every run covers a
+                // contiguous span of candidates: keep or drop whole spans
+                // (one compare per row plus a block copy per kept run)
+                // instead of a cursor + table lookup per row.
+                let mut run = 0usize;
+                let mut k = 0usize;
+                let mut i = 0usize;
+                let n = sel.len();
+                while i < n {
+                    run = advance_run(run_ends, run, sel[i]);
+                    let end = run_ends[run];
+                    let start = i;
+                    while i < n && sel[i] < end {
+                        i += 1;
+                    }
+                    if keep[run] {
+                        sel.copy_within(start..i, k);
+                        k += i - start;
+                    }
+                }
+                sel.truncate(k);
             }
         }
     }
@@ -1548,6 +1743,130 @@ mod tests {
         let bound = compiled.bind(&t).unwrap();
         assert!(matches!(bound.fast, Some(BoundFast::I32Cmp { rhs: 3, .. })));
         check_pred(&p, &t);
+    }
+
+    /// `pred_table` with `x` dictionary-encoded and a sorted RLE copy of
+    /// `k` (`kr`), plus the plain decoded columns for cross-checking.
+    fn encoded_pred_table() -> Table {
+        let mut t = Table::new("e");
+        let x: Vec<f64> = (0..200).map(|i| (i % 23) as f64 * 0.5 - 3.0).collect();
+        let kr: Vec<i32> = {
+            let mut v: Vec<i32> = (0..200).map(|i| (i % 17) - 5).collect();
+            v.sort_unstable();
+            v
+        };
+        let b: Vec<u8> = (0..200).map(|i| (i % 7) as u8).collect();
+        t.add_column("x", Column::f64(x.clone()).dict_encode().unwrap())
+            .unwrap();
+        t.add_column("x_plain", Column::f64(x)).unwrap();
+        t.add_column("kr", Column::i32(kr.clone()).rle_encode().unwrap())
+            .unwrap();
+        t.add_column("kr_plain", Column::i32(kr)).unwrap();
+        t.add_column("b", Column::u8(b).rle_encode().unwrap())
+            .unwrap();
+        t
+    }
+
+    #[test]
+    fn encoded_predicates_match_tree_reference() {
+        let t = encoded_pred_table();
+        let preds = [
+            Expr::col("x").lt(Expr::lit(4.0)),
+            Expr::col("x").between(Expr::lit(-1.0), Expr::lit(3.5)),
+            Expr::lit(2.0).le(Expr::col("kr")),
+            Expr::col("kr").between(Expr::lit(-2.0), Expr::lit(9.0)),
+            Expr::col("b").eq(Expr::lit(3.0)),
+            Expr::col("b").ne(Expr::lit(2.0)),
+            // Composite: general program gathers through the encodings.
+            Expr::col("x")
+                .mul(Expr::lit(2.0))
+                .gt(Expr::col("kr").add(Expr::lit(1.0))),
+            Expr::col("x")
+                .lt(Expr::lit(1.0))
+                .and(Expr::col("kr").ge(Expr::lit(0.0))),
+        ];
+        for p in &preds {
+            check_pred(p, &t);
+        }
+    }
+
+    #[test]
+    fn encoded_fast_paths_engage_and_match_plain_columns() {
+        let t = encoded_pred_table();
+        let mut scratch = EvalScratch::new();
+        // Dict comparison binds the code-membership fast path.
+        let p = Expr::col("x").lt(Expr::lit(0.25)).compile();
+        let bound = p.bind(&t).unwrap();
+        assert!(matches!(bound.fast, Some(BoundFast::DictInSet { .. })));
+        let q = Expr::col("x_plain").lt(Expr::lit(0.25)).compile();
+        let plain = q.bind(&t).unwrap();
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        bound.fill(3, 190, &mut a, &mut scratch);
+        plain.fill(3, 190, &mut b, &mut scratch);
+        assert_eq!(a, b);
+        bound.refine(&mut a, &mut scratch);
+        plain.refine(&mut b, &mut scratch);
+        assert_eq!(a, b);
+        // RLE between binds the per-run fast path.
+        let p = Expr::col("kr")
+            .between(Expr::lit(-2.0), Expr::lit(6.0))
+            .compile();
+        let bound = p.bind(&t).unwrap();
+        assert!(matches!(bound.fast, Some(BoundFast::RleRuns { .. })));
+        let q = Expr::col("kr_plain")
+            .between(Expr::lit(-2.0), Expr::lit(6.0))
+            .compile();
+        let plain = q.bind(&t).unwrap();
+        bound.fill(0, 200, &mut a, &mut scratch);
+        plain.fill(0, 200, &mut b, &mut scratch);
+        assert_eq!(a, b);
+        // Refine over a sparse, partly out-of-order candidate set.
+        let cand: Vec<u32> = (0..200).step_by(3).chain([7, 4, 180]).collect();
+        let (mut a, mut b) = (cand.clone(), cand);
+        bound.refine(&mut a, &mut scratch);
+        plain.refine(&mut b, &mut scratch);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn encoded_gathers_are_bit_identical_to_plain() {
+        let t = encoded_pred_table();
+        let e_enc = Expr::col("x").mul(Expr::lit(1.0).add(Expr::col("kr")));
+        let e_plain = Expr::col("x_plain").mul(Expr::lit(1.0).add(Expr::col("kr_plain")));
+        let rows: Vec<u32> = (0..200).collect();
+        let a = e_enc.eval(&t, &rows).unwrap();
+        let b = e_plain.eval(&t, &rows).unwrap();
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+        // Arbitrary (non-increasing) selection order still gathers right.
+        let rev: Vec<u32> = (0..200).rev().collect();
+        let c = e_enc.eval(&t, &rev).unwrap();
+        for (i, v) in c.iter().enumerate() {
+            assert_eq!(v.to_bits(), a[199 - i].to_bits());
+        }
+    }
+
+    #[test]
+    fn encoded_f32_inner_errors_instead_of_panicking() {
+        let mut t = Table::new("f");
+        let codes: Vec<u8> = vec![0, 1, 0];
+        t.add_column(
+            "h",
+            Column::dict(codes, Column::f32(vec![1.0, 2.0])).unwrap(),
+        )
+        .unwrap();
+        assert_eq!(
+            Expr::col("h")
+                .add(Expr::lit(1.0))
+                .eval(&t, &[0])
+                .unwrap_err(),
+            TableError::TypeMismatch {
+                column: "h".into(),
+                expected: NUMERIC_EXPECTED,
+                found: "F32",
+            }
+        );
     }
 
     #[test]

@@ -76,9 +76,10 @@
 //! projected values) and is routed to the materializing pipeline by the
 //! query entry points, never reaching this executor.
 
-use crate::column::{ColRef, Column, Table};
+use crate::column::{ColRef, Column, EncodingError, Table};
 use crate::expr::{
-    BoolExpr, BoundExpr, BoundPredicate, CompiledExpr, CompiledPredicate, EvalScratch, Expr,
+    advance_run, BoolExpr, BoundExpr, BoundPredicate, CompiledExpr, CompiledPredicate, EvalScratch,
+    Expr,
 };
 use crate::q1::PhaseTiming;
 use crate::sum_op::{GroupedStates, OverflowError, SumBackend, SCAN_MORSEL_ROWS};
@@ -149,6 +150,16 @@ pub enum FusedError {
         /// The budget that was exceeded.
         deadline: Duration,
     },
+    /// An encoded column referenced by the query failed
+    /// [`Column::validate_encoding`] (codes out of dictionary range, run
+    /// ends not strictly increasing or not covering the column). Checked
+    /// once per query before any batch is scanned, so malformed encodings
+    /// surface as this typed error — never as a panic mid-scan.
+    Encoding {
+        /// Name of the malformed column.
+        col: String,
+        error: EncodingError,
+    },
 }
 
 impl std::fmt::Display for FusedError {
@@ -169,6 +180,7 @@ impl std::fmt::Display for FusedError {
             FusedError::DeadlineExceeded { deadline } => {
                 write!(f, "query exceeded its {deadline:?} deadline")
             }
+            FusedError::Encoding { col, error } => write!(f, "column {col:?}: {error}"),
         }
     }
 }
@@ -364,6 +376,7 @@ pub fn run_fused(
         mins: query.mins.iter().map(Expr::compile).collect(),
         maxs: query.maxs.iter().map(Expr::compile).collect(),
     };
+    validate_encodings(table, query, &compiled)?;
     let rows = table.rows();
 
     // Plain doubles cannot merge exactly: parallel execution would change
@@ -411,6 +424,62 @@ pub fn run_fused(
         keys: partial.hash.map(|h| h.keys),
         timing,
     })
+}
+
+/// Validates every encoded column the query touches — filter and
+/// aggregate inputs plus the group-key columns — exactly once, before any
+/// batch is scanned. The batch kernels index dictionaries by code and
+/// trust run ends to be strictly increasing; a malformed encoding (built
+/// by hand around the validating [`Column::dict`]/[`Column::rle`]
+/// constructors) must surface as [`FusedError::Encoding`], never as a
+/// panic or an out-of-bounds read mid-scan. Plain columns cost two loads
+/// here; encoded ones cost one pass over their (byte-sized) codes or run
+/// ends, once per query, not per morsel.
+fn validate_encodings(
+    table: &Table,
+    query: &FusedQuery,
+    compiled: &CompiledAggs,
+) -> Result<(), FusedError> {
+    let check = |name: &ColRef| -> Result<(), FusedError> {
+        if let Ok(col) = table.column(name.as_str()) {
+            if col.is_encoded() {
+                col.validate_encoding()
+                    .map_err(|error| FusedError::Encoding {
+                        col: name.to_string(),
+                        error,
+                    })?;
+            }
+        }
+        Ok(())
+    };
+    for p in &compiled.filter {
+        for name in p.col_names() {
+            check(name)?;
+        }
+    }
+    for e in compiled
+        .sums
+        .iter()
+        .chain(&compiled.mins)
+        .chain(&compiled.maxs)
+    {
+        for name in e.col_names() {
+            check(name)?;
+        }
+    }
+    match &query.group_by {
+        GroupKey::None => {}
+        GroupKey::Dense { spec, .. } => {
+            check(&spec.a)?;
+            check(&spec.b)?;
+        }
+        GroupKey::Hash { col, .. } => check(col)?,
+        GroupKey::HashPair { a, b, .. } => {
+            check(a)?;
+            check(b)?;
+        }
+    }
+    Ok(())
 }
 
 /// Sentinel state in the key→group-id hash table: "no group id assigned
@@ -473,26 +542,114 @@ impl Partial {
     }
 }
 
+/// A `U8` group-key leg bound to its storage, *without decompressing*:
+/// plain bytes, dictionary codes indexing a ≤256-entry byte dictionary,
+/// or RLE runs walked by a monotonic cursor. The fused scan reads group
+/// keys through this — the compressed forms never materialize an n-sized
+/// byte vector.
+#[derive(Clone, Copy)]
+enum U8Src<'t> {
+    Plain(&'t [u8]),
+    Dict {
+        codes: &'t [u8],
+        dict: &'t [u8],
+    },
+    Rle {
+        run_ends: &'t [u32],
+        values: &'t [u8],
+    },
+}
+
+impl<'t> U8Src<'t> {
+    /// The key byte of `row`. `cursor` is this leg's run position, carried
+    /// across calls (selection vectors are increasing, so the RLE arm is
+    /// amortized O(1); [`advance_run`] resets by binary search otherwise).
+    /// Dictionary codes were validated against the dictionary length
+    /// before the scan started, so the index cannot be out of bounds.
+    #[inline(always)]
+    fn get(&self, row: usize, cursor: &mut usize) -> u8 {
+        match *self {
+            U8Src::Plain(col) => col[row],
+            U8Src::Dict { codes, dict } => dict[codes[row] as usize],
+            U8Src::Rle { run_ends, values } => {
+                *cursor = advance_run(run_ends, *cursor, row as u32);
+                values[*cursor]
+            }
+        }
+    }
+
+    fn rle(&self) -> Option<(&'t [u32], &'t [u8])> {
+        match *self {
+            U8Src::Rle { run_ends, values } => Some((run_ends, values)),
+            _ => None,
+        }
+    }
+}
+
 /// A hash-grouping key column bound to its storage. `I32` keys are mapped
 /// to `u32` by bit pattern (a bijection), so negative keys group
 /// correctly — except `-1`, which collides with the reserved sentinel.
-/// `U8` and packed `U8` pairs can never produce the sentinel.
+/// `U8` and packed `U8` pairs can never produce the sentinel. Encoded key
+/// columns precompute the `u32` key per dictionary code / per run, so the
+/// per-row work is one byte load plus one table lookup — the column is
+/// never decompressed.
 enum KeyCol<'t> {
     I32(&'t [i32]),
     U32(&'t [u32]),
     U8(&'t [u8]),
-    U8Pair(&'t [u8], &'t [u8]),
+    /// Dictionary-encoded key column: `keys[code]` is the key of every row
+    /// carrying `code` (indexed by the validated codes, so ≤ dict len).
+    Dict {
+        codes: &'t [u8],
+        keys: Vec<u32>,
+    },
+    /// RLE key column: `keys[run]` is the key of every row in `run`.
+    Rle {
+        run_ends: &'t [u32],
+        keys: Vec<u32>,
+    },
+    U8Pair(U8Src<'t>, U8Src<'t>),
+}
+
+/// Run positions of the (up to two) RLE group-key legs of a scan range,
+/// carried across batches.
+#[derive(Default)]
+struct RunCursors {
+    a: usize,
+    b: usize,
 }
 
 impl KeyCol<'_> {
     #[inline(always)]
-    fn get(&self, row: usize) -> u32 {
-        match *self {
+    fn get(&self, row: usize, cur: &mut RunCursors) -> u32 {
+        match self {
             KeyCol::I32(col) => col[row] as u32,
             KeyCol::U32(col) => col[row],
             KeyCol::U8(col) => col[row] as u32,
-            KeyCol::U8Pair(a, b) => ((a[row] as u32) << 8) | b[row] as u32,
+            KeyCol::Dict { codes, keys } => keys[codes[row] as usize],
+            KeyCol::Rle { run_ends, keys } => {
+                cur.a = advance_run(run_ends, cur.a, row as u32);
+                keys[cur.a]
+            }
+            KeyCol::U8Pair(a, b) => {
+                ((a.get(row, &mut cur.a) as u32) << 8) | b.get(row, &mut cur.b) as u32
+            }
         }
+    }
+}
+
+/// The per-code (dictionary) or per-run (RLE) `u32` hash keys of an
+/// encoded key column's inner values — one widening pass over ≤256
+/// dictionary entries or the run values, never over n rows.
+fn inner_keys(col: &Column) -> Vec<u32> {
+    match col {
+        Column::I32(v) => v.iter().map(|&x| x as u32).collect(),
+        Column::U32(v) => v.to_vec(),
+        Column::U8(v) => v.iter().map(|&x| x as u32).collect(),
+        other => panic!(
+            "hash group key must be an I32, U32 or U8 column, found {}",
+            other.type_name()
+        ),
     }
 }
 
@@ -500,8 +657,8 @@ impl KeyCol<'_> {
 enum GroupCtx<'t> {
     Single,
     Dense {
-        a: &'t [u8],
-        b: &'t [u8],
+        a: U8Src<'t>,
+        b: U8Src<'t>,
         encode: fn(u8, u8) -> u32,
         groups: usize,
     },
@@ -509,6 +666,36 @@ enum GroupCtx<'t> {
         col: &'t ColRef,
         key_col: KeyCol<'t>,
     },
+}
+
+/// A fully-RLE hash key: a single RLE key column with per-run keys, or a
+/// `U8` pair whose legs are both RLE. Either way the key is computable
+/// once per run span, so hash grouping upserts per span, not per row.
+#[derive(Clone, Copy)]
+enum RleKey<'a> {
+    Single {
+        run_ends: &'a [u32],
+        keys: &'a [u32],
+    },
+    Pair {
+        ea: &'a [u32],
+        va: &'a [u8],
+        eb: &'a [u32],
+        vb: &'a [u8],
+    },
+}
+
+/// How a batch's selected rows deposit into the group states.
+#[derive(Clone, Copy, PartialEq)]
+enum Deposit {
+    /// Ungrouped: the single-group block kernels.
+    Single,
+    /// One group id per selected row (`gids`).
+    Rows,
+    /// Run-blocked: `segs` partitions the selection into maximal spans of
+    /// rows sharing a group (RLE group keys only); each span deposits
+    /// through one `update_*_run` block call instead of per-row updates.
+    Segs,
 }
 
 /// Scans `[lo, hi)` batch-at-a-time into fresh per-call states. All
@@ -542,11 +729,34 @@ fn scan_range(
     let bound_mins: Vec<BoundExpr> = compiled.mins.iter().map(|c| bind_expr(c, table)).collect();
     let bound_maxs: Vec<BoundExpr> = compiled.maxs.iter().map(|c| bind_expr(c, table)).collect();
 
-    let bind_u8 = |name: &ColRef| {
-        table
+    let bind_u8 = |name: &ColRef| -> U8Src {
+        let col = table
             .column(name.as_str())
-            .expect("fused query references a missing column")
-            .as_u8()
+            .expect("fused query references a missing column");
+        match col {
+            Column::U8(v) => U8Src::Plain(v),
+            Column::Dict { codes, dict } => match &**dict {
+                Column::U8(d) => U8Src::Dict { codes, dict: d },
+                other => panic!(
+                    "dense group key must be a U8 column, found Dict<{}>",
+                    other.type_name()
+                ),
+            },
+            Column::Rle { run_ends, values } => match &**values {
+                Column::U8(v) => U8Src::Rle {
+                    run_ends,
+                    values: v,
+                },
+                other => panic!(
+                    "dense group key must be a U8 column, found Rle<{}>",
+                    other.type_name()
+                ),
+            },
+            other => panic!(
+                "dense group key must be a U8 column, found {}",
+                other.type_name()
+            ),
+        }
     };
     let (ctx, init_groups, mut hash) = match &query.group_by {
         GroupKey::None => (GroupCtx::Single, 1, None),
@@ -570,6 +780,14 @@ fn scan_range(
                     Column::I32(v) => KeyCol::I32(v),
                     Column::U32(v) => KeyCol::U32(v),
                     Column::U8(v) => KeyCol::U8(v),
+                    Column::Dict { codes, dict } => KeyCol::Dict {
+                        codes,
+                        keys: inner_keys(dict),
+                    },
+                    Column::Rle { run_ends, values } => KeyCol::Rle {
+                        run_ends,
+                        keys: inner_keys(values),
+                    },
                     other => panic!(
                         "hash group key must be an I32, U32 or U8 column, found {}",
                         other.type_name()
@@ -604,6 +822,11 @@ fn scan_range(
     let mut slot_buf: Vec<u32> = Vec::new();
     let mut out: Vec<f64> = vec![0.0; opts.batch_rows];
     let mut scratch = EvalScratch::new();
+    // Run-blocked grouping state: `(group id, end index in sel)` spans of
+    // the current batch's selection, and the RLE leg cursors (monotonic
+    // across batches of this range — batches advance forward).
+    let mut segs: Vec<(u32, usize)> = Vec::new();
+    let mut cur = RunCursors::default();
 
     let mut blo = lo;
     while blo < hi {
@@ -624,58 +847,149 @@ fn scan_range(
             }
         }
 
-        // Group-id assignment + COUNT(*).
-        match &ctx {
-            GroupCtx::Single => states.add_count_single(sel.len() as u64),
+        // Group-id assignment + COUNT(*). When every group-key leg is RLE
+        // the batch takes the run-blocked path: the selection is cut into
+        // maximal spans of rows sharing one group (`segs`), the group id
+        // is computed once per span — per run, not per row — and counts
+        // and state deposits happen in one block call per span.
+        let deposit = match &ctx {
+            GroupCtx::Single => {
+                states.add_count_single(sel.len() as u64);
+                Deposit::Single
+            }
             GroupCtx::Dense {
                 a,
                 b,
                 encode,
                 groups,
             } => {
-                gids.clear();
-                for &row in &sel {
-                    let g = encode(a[row as usize], b[row as usize]);
-                    if g as usize >= *groups {
-                        return Err(FusedError::GroupIdOutOfBounds {
-                            got: g,
-                            groups: *groups,
-                        });
+                if let (Some((ea, va)), Some((eb, vb))) = (a.rle(), b.rle()) {
+                    segs.clear();
+                    let mut i = 0;
+                    while i < sel.len() {
+                        let row = sel[i];
+                        cur.a = advance_run(ea, cur.a, row);
+                        cur.b = advance_run(eb, cur.b, row);
+                        let g = encode(va[cur.a], vb[cur.b]);
+                        if g as usize >= *groups {
+                            return Err(FusedError::GroupIdOutOfBounds {
+                                got: g,
+                                groups: *groups,
+                            });
+                        }
+                        // The span ends where the first of the two runs
+                        // does (or the selection skips past it).
+                        let bound = ea[cur.a].min(eb[cur.b]);
+                        let mut j = i + 1;
+                        while j < sel.len() && sel[j] < bound {
+                            j += 1;
+                        }
+                        states.add_count_run(g as usize, (j - i) as u64);
+                        segs.push((g, j));
+                        i = j;
                     }
-                    gids.push(g);
+                    Deposit::Segs
+                } else {
+                    gids.clear();
+                    for &row in &sel {
+                        let g = encode(
+                            a.get(row as usize, &mut cur.a),
+                            b.get(row as usize, &mut cur.b),
+                        );
+                        if g as usize >= *groups {
+                            return Err(FusedError::GroupIdOutOfBounds {
+                                got: g,
+                                groups: *groups,
+                            });
+                        }
+                        gids.push(g);
+                    }
+                    states.add_counts(&gids);
+                    Deposit::Rows
                 }
-                states.add_counts(&gids);
             }
             GroupCtx::Hash { col, key_col } => {
-                key_buf.clear();
-                for &row in &sel {
-                    let k = key_col.get(row as usize);
-                    if k == u32::MAX {
-                        return Err(FusedError::ReservedKey {
-                            col: col.to_string(),
-                        });
-                    }
-                    key_buf.push(k);
-                }
-                gids.clear();
                 let h = hash.as_mut().expect("hash grouping has a HashGroups");
-                let keys = &mut h.keys;
-                h.table
-                    .upsert_batch(&key_buf, &NO_GROUP, &mut slot_buf, |gid, i| {
-                        if *gid == NO_GROUP {
-                            *gid = keys.len() as u32;
-                            keys.push(key_buf[i]);
+                // Run-blocked path when the key is fully RLE: a single RLE
+                // key column, or a U8 pair with both legs RLE.
+                let rle_key = match key_col {
+                    KeyCol::Rle { run_ends, keys } => Some(RleKey::Single { run_ends, keys }),
+                    KeyCol::U8Pair(a, b) => match (a.rle(), b.rle()) {
+                        (Some((ea, va)), Some((eb, vb))) => Some(RleKey::Pair { ea, va, eb, vb }),
+                        _ => None,
+                    },
+                    _ => None,
+                };
+                if let Some(rk) = rle_key {
+                    segs.clear();
+                    let mut i = 0;
+                    while i < sel.len() {
+                        let row = sel[i];
+                        let (key, bound) = match rk {
+                            RleKey::Single { run_ends, keys } => {
+                                cur.a = advance_run(run_ends, cur.a, row);
+                                (keys[cur.a], run_ends[cur.a])
+                            }
+                            RleKey::Pair { ea, va, eb, vb } => {
+                                cur.a = advance_run(ea, cur.a, row);
+                                cur.b = advance_run(eb, cur.b, row);
+                                (
+                                    ((va[cur.a] as u32) << 8) | vb[cur.b] as u32,
+                                    ea[cur.a].min(eb[cur.b]),
+                                )
+                            }
+                        };
+                        if key == u32::MAX {
+                            return Err(FusedError::ReservedKey {
+                                col: col.to_string(),
+                            });
                         }
-                        gids.push(*gid);
-                    });
-                states.ensure_groups(keys.len());
-                states.add_counts(&gids);
+                        let mut j = i + 1;
+                        while j < sel.len() && sel[j] < bound {
+                            j += 1;
+                        }
+                        let slot = h.table.slot_mut(key, &NO_GROUP);
+                        if *slot == NO_GROUP {
+                            *slot = h.keys.len() as u32;
+                            h.keys.push(key);
+                        }
+                        let g = *slot;
+                        states.ensure_groups(h.keys.len());
+                        states.add_count_run(g as usize, (j - i) as u64);
+                        segs.push((g, j));
+                        i = j;
+                    }
+                    Deposit::Segs
+                } else {
+                    key_buf.clear();
+                    for &row in &sel {
+                        let k = key_col.get(row as usize, &mut cur);
+                        if k == u32::MAX {
+                            return Err(FusedError::ReservedKey {
+                                col: col.to_string(),
+                            });
+                        }
+                        key_buf.push(k);
+                    }
+                    gids.clear();
+                    let keys = &mut h.keys;
+                    h.table
+                        .upsert_batch(&key_buf, &NO_GROUP, &mut slot_buf, |gid, i| {
+                            if *gid == NO_GROUP {
+                                *gid = keys.len() as u32;
+                                keys.push(key_buf[i]);
+                            }
+                            gids.push(*gid);
+                        });
+                    states.ensure_groups(keys.len());
+                    states.add_counts(&gids);
+                    Deposit::Rows
+                }
             }
-        }
+        };
         timing.scan += t0.elapsed();
 
         // Project + aggregate, one state array at a time.
-        let single = matches!(ctx, GroupCtx::Single);
         let values = |scratch: &mut EvalScratch, out: &mut [f64], e: &BoundExpr| {
             e.eval_into(&sel, scratch, out);
         };
@@ -684,10 +998,16 @@ fn scan_range(
             values(&mut scratch, &mut out[..sel.len()], expr);
             timing.scan += t1.elapsed();
             let t2 = Instant::now();
-            if single {
-                states.update_sum_single(s, &out[..sel.len()])?;
-            } else {
-                states.update_sum(s, &gids, &out[..sel.len()])?;
+            match deposit {
+                Deposit::Single => states.update_sum_single(s, &out[..sel.len()])?,
+                Deposit::Rows => states.update_sum(s, &gids, &out[..sel.len()])?,
+                Deposit::Segs => {
+                    let mut start = 0;
+                    for &(g, end) in &segs {
+                        states.update_sum_run(s, g as usize, &out[start..end])?;
+                        start = end;
+                    }
+                }
             }
             timing.aggregation += t2.elapsed();
         }
@@ -696,10 +1016,16 @@ fn scan_range(
             values(&mut scratch, &mut out[..sel.len()], expr);
             timing.scan += t1.elapsed();
             let t2 = Instant::now();
-            if single {
-                states.update_min_single(s, &out[..sel.len()]);
-            } else {
-                states.update_min(s, &gids, &out[..sel.len()]);
+            match deposit {
+                Deposit::Single => states.update_min_single(s, &out[..sel.len()]),
+                Deposit::Rows => states.update_min(s, &gids, &out[..sel.len()]),
+                Deposit::Segs => {
+                    let mut start = 0;
+                    for &(g, end) in &segs {
+                        states.update_min_run(s, g as usize, &out[start..end]);
+                        start = end;
+                    }
+                }
             }
             timing.aggregation += t2.elapsed();
         }
@@ -708,10 +1034,16 @@ fn scan_range(
             values(&mut scratch, &mut out[..sel.len()], expr);
             timing.scan += t1.elapsed();
             let t2 = Instant::now();
-            if single {
-                states.update_max_single(s, &out[..sel.len()]);
-            } else {
-                states.update_max(s, &gids, &out[..sel.len()]);
+            match deposit {
+                Deposit::Single => states.update_max_single(s, &out[..sel.len()]),
+                Deposit::Rows => states.update_max(s, &gids, &out[..sel.len()]),
+                Deposit::Segs => {
+                    let mut start = 0;
+                    for &(g, end) in &segs {
+                        states.update_max_run(s, g as usize, &out[start..end]);
+                        start = end;
+                    }
+                }
             }
             timing.aggregation += t2.elapsed();
         }
@@ -1451,6 +1783,210 @@ mod tests {
         };
         let err = run_fused(&table, &query, SumBackend::ReproUnbuffered, &opts).unwrap_err();
         assert_eq!(err, FusedError::Cancelled);
+    }
+
+    /// Tentpole: the same logical table with dictionary- and RLE-encoded
+    /// group keys and measure columns must produce bit-identical results
+    /// to the plain layout, across grouping modes, backends, threads and
+    /// batch shapes — the executor reads the encodings, never decodes.
+    #[test]
+    fn encoded_tables_match_plain_tables_bitwise() {
+        let n = 6_000;
+        // Sorted-by-group layout so the RLE group keys have long runs.
+        let mut rows: Vec<(u8, u8, f64, i32)> = (0..n)
+            .map(|i| {
+                (
+                    (i % 3) as u8,
+                    (i % 5) as u8,
+                    (i % 97) as f64 * 0.25 - 8.0 + 2.5e-16,
+                    i % 31,
+                )
+            })
+            .collect();
+        rows.sort_by_key(|&(a, b, ..)| (a, b));
+        let ga: Vec<u8> = rows.iter().map(|r| r.0).collect();
+        let gb: Vec<u8> = rows.iter().map(|r| r.1).collect();
+        let x: Vec<f64> = rows.iter().map(|r| r.2).collect();
+        let k: Vec<i32> = rows.iter().map(|r| r.3).collect();
+
+        let mut plain = Table::new("t");
+        plain.add_column("ga", Column::u8(ga.clone())).unwrap();
+        plain.add_column("gb", Column::u8(gb.clone())).unwrap();
+        plain.add_column("x", Column::f64(x.clone())).unwrap();
+        plain.add_column("k", Column::i32(k.clone())).unwrap();
+
+        // Encoded twin: RLE group keys (sorted => few runs), dictionary
+        // measure and RLE hash key.
+        let mut enc = Table::new("t");
+        enc.add_column("ga", Column::rle_encode(&Column::u8(ga)).unwrap())
+            .unwrap();
+        enc.add_column("gb", Column::dict_encode(&Column::u8(gb)).unwrap())
+            .unwrap();
+        enc.add_column("x", Column::dict_encode(&Column::f64(x)).unwrap())
+            .unwrap();
+        enc.add_column("k", Column::rle_encode(&Column::i32(k)).unwrap())
+            .unwrap();
+        // And a fully-RLE twin of the group-key pair for the run-blocked
+        // dense/pair paths.
+        let mut enc_rle = Table::new("t");
+        for (name, col) in [
+            ("ga", enc.column("ga").unwrap().decode()),
+            ("gb", plain.column("gb").unwrap().clone()),
+            ("x", plain.column("x").unwrap().clone()),
+            ("k", plain.column("k").unwrap().clone()),
+        ] {
+            enc_rle
+                .add_column(name, Column::rle_encode(&col).unwrap())
+                .unwrap();
+        }
+
+        let queries = [
+            FusedQuery {
+                filter: vec![Expr::col("x").lt(Expr::lit(9.5))],
+                sums: vec![Expr::col("x")],
+                mins: vec![Expr::col("x")],
+                maxs: vec![Expr::col("x")],
+                group_by: GroupKey::Dense {
+                    spec: GroupSpec {
+                        a: "ga".into(),
+                        b: "gb".into(),
+                        encode: encode_low_bit,
+                    },
+                    groups: 4,
+                },
+            },
+            FusedQuery {
+                filter: vec![],
+                sums: vec![Expr::col("x")],
+                mins: vec![],
+                maxs: vec![],
+                group_by: GroupKey::HashPair {
+                    a: "ga".into(),
+                    b: "gb".into(),
+                    hash: HashKind::Identity,
+                },
+            },
+            FusedQuery {
+                filter: vec![Expr::col("x").ge(Expr::lit(-7.0))],
+                sums: vec![Expr::col("x")],
+                mins: vec![],
+                maxs: vec![],
+                group_by: GroupKey::Hash {
+                    col: "k".into(),
+                    hash: HashKind::Identity,
+                },
+            },
+        ];
+        for (q, query) in queries.iter().enumerate() {
+            for backend in [SumBackend::Double, SumBackend::ReproUnbuffered] {
+                for (threads, batch_rows) in [(1, 4096), (1, 73), (4, 128)] {
+                    let opts = ExecOptions {
+                        threads,
+                        batch_rows,
+                        morsel_rows: 512,
+                        ..ExecOptions::default()
+                    };
+                    let want = run_fused(&plain, query, backend, &opts).unwrap();
+                    for (t, table) in [(0, &enc), (1, &enc_rle)] {
+                        let got = run_fused(table, query, backend, &opts).unwrap();
+                        assert_eq!(got.counts, want.counts, "q{q} {backend:?} {opts:?} t{t}");
+                        assert_eq!(got.keys, want.keys, "q{q} {backend:?} {opts:?} t{t}");
+                        for (arrays, ref_arrays) in [
+                            (&got.sums, &want.sums),
+                            (&got.mins, &want.mins),
+                            (&got.maxs, &want.maxs),
+                        ] {
+                            for (a, (xs, ys)) in arrays.iter().zip(ref_arrays.iter()).enumerate() {
+                                for (g, (x, y)) in xs.iter().zip(ys.iter()).enumerate() {
+                                    assert_eq!(
+                                        x.to_bits(),
+                                        y.to_bits(),
+                                        "q{q} {backend:?} {opts:?} t{t} agg {a} group {g}"
+                                    );
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Tentpole: a malformed encoding built around the validating
+    /// constructors surfaces as the typed [`FusedError::Encoding`] before
+    /// any batch is scanned — never a panic or an out-of-bounds read.
+    #[test]
+    fn malformed_encodings_are_typed_errors() {
+        use crate::column::EncodingError;
+        use std::sync::Arc;
+
+        // Codes pointing past the dictionary.
+        let mut t = Table::new("t");
+        t.add_column(
+            "x",
+            Column::Dict {
+                codes: Arc::new(vec![0, 1, 9]),
+                dict: Box::new(Column::f64(vec![1.0, 2.0])),
+            },
+        )
+        .unwrap();
+        let q = FusedQuery {
+            filter: vec![],
+            sums: vec![Expr::col("x")],
+            mins: vec![],
+            maxs: vec![],
+            group_by: GroupKey::None,
+        };
+        assert_eq!(
+            run_fused(&t, &q, SumBackend::ReproUnbuffered, &ExecOptions::serial()).unwrap_err(),
+            FusedError::Encoding {
+                col: "x".into(),
+                error: EncodingError::CodeOutOfRange {
+                    code: 9,
+                    dict_len: 2
+                },
+            }
+        );
+
+        // Run ends that never reach the column length (same logical len
+        // as "ga" so add_column accepts it; the *invariant* is broken).
+        let mut t = Table::new("t");
+        t.add_column("v", Column::f64(vec![1.0, 2.0, 3.0, 4.0]))
+            .unwrap();
+        t.add_column(
+            "g",
+            Column::Rle {
+                run_ends: Arc::new(vec![2, 2, 4]),
+                values: Box::new(Column::u8(vec![0, 1, 0])),
+            },
+        )
+        .unwrap();
+        let q = FusedQuery {
+            filter: vec![],
+            sums: vec![Expr::col("v")],
+            mins: vec![],
+            maxs: vec![],
+            group_by: GroupKey::Hash {
+                col: "g".into(),
+                hash: HashKind::Identity,
+            },
+        };
+        assert_eq!(
+            run_fused(&t, &q, SumBackend::ReproUnbuffered, &ExecOptions::serial()).unwrap_err(),
+            FusedError::Encoding {
+                col: "g".into(),
+                error: EncodingError::RunEndsNotIncreasing { index: 1 },
+            }
+        );
+        // The pinned message names the column and the defect.
+        assert_eq!(
+            FusedError::Encoding {
+                col: "g".into(),
+                error: EncodingError::RunEndsNotIncreasing { index: 1 },
+            }
+            .to_string(),
+            "column \"g\": run_ends must be strictly increasing (violated at run 1)"
+        );
     }
 
     /// A deadline expires *mid-scan* (not just up front): a deliberately

@@ -78,7 +78,7 @@ pub(crate) mod simd_sel;
 pub mod sql;
 pub mod sum_op;
 
-pub use column::{ColRef, Column, Table, TableError};
+pub use column::{ColRef, Column, EncodingError, Table, TableError};
 pub use expr::{
     BoolExpr, BoundExpr, BoundPredicate, CmpOp, CompiledExpr, CompiledPredicate, EvalScratch, Expr,
 };
@@ -87,8 +87,8 @@ pub use fused::{
 };
 pub use plan::{AggCall, AggColumn, PlanError, PlanResult, QueryPlan};
 pub use q1::{
-    lineitem_table, q1_plan, q1_sql, run_q1, run_q1_materializing, run_q1_materializing_par,
-    run_q1_par, run_q1_with, PhaseTiming, Q1Row,
+    lineitem_table, lineitem_table_encoded, q1_plan, q1_sql, run_q1, run_q1_materializing,
+    run_q1_materializing_par, run_q1_par, run_q1_with, PhaseTiming, Q1Row,
 };
 pub use q15::{q15_plan, q15_sql, run_q15, run_q15_par, run_q15_with, RevenueRow};
 pub use q6::{

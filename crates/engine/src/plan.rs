@@ -52,7 +52,7 @@
 //! `0`, AVG `NaN` (`0.0 / 0`), MIN `+∞` and MAX `-∞` — the closest f64
 //! stand-ins for SQL's NULL).
 
-use crate::column::{ColRef, Column, Table, TableError};
+use crate::column::{ColRef, Column, EncodingError, Table, TableError};
 use crate::expr::{BoolExpr, Expr};
 use crate::fused::{run_fused, ExecOptions, FusedError, FusedQuery, GroupKey, GroupSpec};
 use crate::q1::PhaseTiming;
@@ -124,6 +124,15 @@ pub enum PlanError {
         /// The budget that was exceeded.
         deadline: std::time::Duration,
     },
+    /// An encoded column the query touches failed its encoding invariants
+    /// (codes out of dictionary range, malformed run ends) — data-
+    /// dependent like [`PlanError::ReservedKey`], surfaced by the scan's
+    /// up-front validation pass, never a panic.
+    Encoding {
+        /// Name of the malformed column.
+        col: String,
+        error: EncodingError,
+    },
 }
 
 impl fmt::Display for PlanError {
@@ -152,6 +161,7 @@ impl fmt::Display for PlanError {
             PlanError::DeadlineExceeded { deadline } => {
                 write!(f, "query exceeded its {deadline:?} deadline")
             }
+            PlanError::Encoding { col, error } => write!(f, "column {col:?}: {error}"),
         }
     }
 }
@@ -180,6 +190,7 @@ impl From<FusedError> for PlanError {
             }
             FusedError::Cancelled => PlanError::Cancelled,
             FusedError::DeadlineExceeded { deadline } => PlanError::DeadlineExceeded { deadline },
+            FusedError::Encoding { col, error } => PlanError::Encoding { col, error },
         }
     }
 }
@@ -460,15 +471,28 @@ impl QueryPlan {
             pred.compile().bind(table)?;
         }
 
-        // Group key columns.
+        // Group key columns, validated by *logical* type: a dictionary-
+        // or RLE-encoded U8 column groups exactly like a plain one (the
+        // executor reads keys through the encoding), so lowering is
+        // encoding-agnostic.
+        let u8_key = |name: &ColRef| -> Result<(), PlanError> {
+            match table.column(name)?.logical() {
+                Column::U8(_) => Ok(()),
+                other => Err(PlanError::Table(TableError::TypeMismatch {
+                    column: name.to_string(),
+                    expected: "U8",
+                    found: other.type_name(),
+                })),
+            }
+        };
         let mut key_signed = false;
         match &self.group_by {
             GroupKey::None => {}
             GroupKey::Dense { spec, .. } => {
-                table.u8s(&spec.a)?;
-                table.u8s(&spec.b)?;
+                u8_key(&spec.a)?;
+                u8_key(&spec.b)?;
             }
-            GroupKey::Hash { col, .. } => match table.column(col)? {
+            GroupKey::Hash { col, .. } => match table.column(col)?.logical() {
                 Column::I32(_) => key_signed = true,
                 Column::U32(_) | Column::U8(_) => {}
                 other => {
@@ -480,8 +504,8 @@ impl QueryPlan {
                 }
             },
             GroupKey::HashPair { a, b, .. } => {
-                table.u8s(a)?;
-                table.u8s(b)?;
+                u8_key(a)?;
+                u8_key(b)?;
             }
         }
 

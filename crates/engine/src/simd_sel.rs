@@ -377,6 +377,36 @@ unsafe fn refine_i32_between_avx2(col: &[i32], blo: i32, bhi: i32, sel: &mut Vec
     );
 }
 
+/// Dictionary-code membership fill: 8 u8 codes widen to i32 lanes
+/// (`vpmovzxbd`), gather their 0 / -1 entries from the 256-entry
+/// membership LUT (`vpgatherdd`; indices are bytes, so every gather is
+/// in bounds), and the lane sign bits collapse to the keep mask. The
+/// 8-byte code load needs `row + 8 <= len`, which `fill_groups`
+/// guarantees for vector groups (`hi <= codes.len()`).
+#[target_feature(enable = "avx2")]
+unsafe fn fill_u8_in_set_avx2(
+    codes: &[u8],
+    keep: &[i32; 256],
+    lo: usize,
+    hi: usize,
+    sel: &mut Vec<u32>,
+) {
+    let base = codes.as_ptr();
+    let lut = keep.as_ptr();
+    fill_groups(
+        lo,
+        hi,
+        sel,
+        |row| unsafe {
+            let bytes = _mm_loadl_epi64(base.add(row) as *const __m128i);
+            let idx = _mm256_cvtepu8_epi32(bytes);
+            let hit = _mm256_i32gather_epi32::<4>(lut, idx);
+            _mm256_movemask_ps(_mm256_castsi256_ps(hit)) as u32
+        },
+        |row| keep[codes[row] as usize] != 0,
+    );
+}
+
 /// In-place compaction of `sel` by a 0/1 byte mask (one byte per entry).
 /// Eight mask bytes collapse to eight bits via a carry-free multiply:
 /// byte `i` contributes `2^(8i)`, the constant contributes `2^(7 + 7j)`,
@@ -492,6 +522,20 @@ pub(crate) fn refine_i32_between(col: &[i32], blo: i32, bhi: i32, sel: &mut Vec<
         return false;
     }
     unsafe { refine_i32_between_avx2(col, blo, bhi, sel) };
+    true
+}
+
+pub(crate) fn fill_u8_in_set(
+    codes: &[u8],
+    keep: &[i32; 256],
+    lo: usize,
+    hi: usize,
+    sel: &mut Vec<u32>,
+) -> bool {
+    if !enabled() {
+        return false;
+    }
+    unsafe { fill_u8_in_set_avx2(codes, keep, lo, hi, sel) };
     true
 }
 
@@ -645,6 +689,27 @@ mod tests {
                 .filter(|&r| (icol[r as usize] >= -100) & (icol[r as usize] <= 900))
                 .collect();
             assert_eq!(sel, expected);
+        }
+    }
+
+    #[test]
+    fn u8_in_set_fill_matches_scalar() {
+        if !cpu::avx2_supported() {
+            return;
+        }
+        let codes: Vec<u8> = (0..1003).map(|i| ((i * 31 + i / 5) % 11) as u8).collect();
+        let mut keep = [0i32; 256];
+        for c in [0usize, 3, 7, 10, 255] {
+            keep[c] = -1;
+        }
+        for &(lo, hi) in &[(0usize, 1003usize), (5, 1000), (7, 15), (100, 103), (3, 3)] {
+            let mut sel = Vec::new();
+            unsafe { fill_u8_in_set_avx2(&codes, &keep, lo, hi, &mut sel) };
+            let expected: Vec<u32> = (lo..hi)
+                .filter(|&r| keep[codes[r] as usize] != 0)
+                .map(|r| r as u32)
+                .collect();
+            assert_eq!(sel, expected, "[{lo},{hi})");
         }
     }
 

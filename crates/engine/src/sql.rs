@@ -1036,14 +1036,15 @@ pub fn resolve_select(stmt: &SelectStmt, table: &Table) -> Result<SqlQuery, SqlE
         });
     }
 
-    // GROUP BY columns decide the grouping mode (matching on the typed
-    // Column storage, not its name tag).
+    // GROUP BY columns decide the grouping mode, matched on the typed
+    // *logical* Column (a dictionary- or RLE-encoded key column groups
+    // exactly like its plain twin — the executor reads the encoding).
     use crate::column::Column;
     let mut plan = QueryPlan::scan(stmt.table.clone());
     let group_cols: Vec<&Column> = stmt
         .group_by
         .iter()
-        .map(|g| r.col(g))
+        .map(|g| r.col(g).map(Column::logical))
         .collect::<Result<_, _>>()?;
     plan = match (stmt.group_by.as_slice(), group_cols.as_slice()) {
         ([], []) => plan,

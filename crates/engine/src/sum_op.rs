@@ -105,6 +105,13 @@ impl<const L: usize> ReproStates<L> {
         simd::add_slice(&mut self.0[0], values);
     }
 
+    /// Run-blocked fast path: a slice of values all belonging to one
+    /// group goes through the same block kernel as `update_single`, just
+    /// aimed at an arbitrary slot (RLE runs over group-key columns).
+    fn update_run(&mut self, group: usize, values: &[f64]) {
+        simd::add_slice(&mut self.0[group], values);
+    }
+
     fn merge(&mut self, other: &Self) {
         for (a, b) in self.0.iter_mut().zip(other.0.iter()) {
             a.merge(b);
@@ -152,6 +159,12 @@ impl<const L: usize> BufStates<L> {
     /// exact).
     fn update_single(&mut self, values: &[f64]) {
         self.states[0].push_slice(values);
+    }
+
+    /// Run-blocked fast path into an arbitrary group slot (see
+    /// [`ReproStates::update_run`]).
+    fn update_run(&mut self, group: usize, values: &[f64]) {
+        self.states[group].push_slice(values);
     }
 
     fn merge(&mut self, other: &mut Self) {
@@ -263,6 +276,36 @@ impl GroupedSums {
             Inner::Buf2(s) => s.update_single(values),
             Inner::Buf3(s) => s.update_single(values),
             Inner::Buf4(s) => s.update_single(values),
+        }
+        Ok(())
+    }
+
+    /// Folds a batch that belongs entirely to group `group` — the
+    /// run-blocked deposit of RLE grouped aggregation. Identical block
+    /// kernels to [`GroupedSums::update_single`], aimed at an arbitrary
+    /// slot: per-slot operation sequences (and thus final bits) match the
+    /// per-row [`GroupedSums::update`] path exactly, because the block
+    /// kernels are bit-transparent to per-value deposits (§III-D) and the
+    /// Double backend keeps its per-element overflow-checked loop.
+    pub fn update_run(&mut self, group: usize, values: &[f64]) -> Result<(), OverflowError> {
+        match &mut self.0 {
+            Inner::Double(acc) => {
+                let slot = &mut acc[group];
+                for &v in values {
+                    *slot += v;
+                    if !slot.is_finite() {
+                        return Err(OverflowError);
+                    }
+                }
+            }
+            Inner::Repro1(s) => s.update_run(group, values),
+            Inner::Repro2(s) => s.update_run(group, values),
+            Inner::Repro3(s) => s.update_run(group, values),
+            Inner::Repro4(s) => s.update_run(group, values),
+            Inner::Buf1(s) => s.update_run(group, values),
+            Inner::Buf2(s) => s.update_run(group, values),
+            Inner::Buf3(s) => s.update_run(group, values),
+            Inner::Buf4(s) => s.update_run(group, values),
         }
         Ok(())
     }
@@ -461,6 +504,11 @@ impl GroupedStates {
         self.counts[0] += rows;
     }
 
+    /// COUNT(*) deposit for a run of `rows` rows in one group.
+    pub fn add_count_run(&mut self, group: usize, rows: u64) {
+        self.counts[group] += rows;
+    }
+
     /// Per-group counts accumulated so far.
     pub fn counts(&self) -> &[u64] {
         &self.counts
@@ -479,6 +527,17 @@ impl GroupedStates {
     /// Single-group SUM fast path (see [`GroupedSums::update_single`]).
     pub fn update_sum_single(&mut self, slot: usize, values: &[f64]) -> Result<(), OverflowError> {
         self.sums[slot].update_single(values)
+    }
+
+    /// Run-blocked SUM deposit into one group (see
+    /// [`GroupedSums::update_run`]).
+    pub fn update_sum_run(
+        &mut self,
+        slot: usize,
+        group: usize,
+        values: &[f64],
+    ) -> Result<(), OverflowError> {
+        self.sums[slot].update_run(group, values)
     }
 
     /// MIN deposit: strict `<` fold, first minimal value in row order wins.
@@ -502,6 +561,16 @@ impl GroupedStates {
         }
     }
 
+    /// Run-blocked MIN deposit into one group.
+    pub fn update_min_run(&mut self, slot: usize, group: usize, values: &[f64]) {
+        let cur = &mut self.mins[slot][group];
+        for &v in values {
+            if v < *cur {
+                *cur = v;
+            }
+        }
+    }
+
     /// MAX deposit: strict `>` fold, first maximal value in row order wins.
     pub fn update_max(&mut self, slot: usize, group_ids: &[u32], values: &[f64]) {
         let m = &mut self.maxs[slot];
@@ -516,6 +585,16 @@ impl GroupedStates {
     /// Single-group MAX fast path.
     pub fn update_max_single(&mut self, slot: usize, values: &[f64]) {
         let cur = &mut self.maxs[slot][0];
+        for &v in values {
+            if v > *cur {
+                *cur = v;
+            }
+        }
+    }
+
+    /// Run-blocked MAX deposit into one group.
+    pub fn update_max_run(&mut self, slot: usize, group: usize, values: &[f64]) {
+        let cur = &mut self.maxs[slot][group];
         for &v in values {
             if v > *cur {
                 *cur = v;
@@ -998,6 +1077,75 @@ mod tests {
         assert_eq!(grouped.sums[0][0].to_bits(), single.sums[0][0].to_bits());
         assert_eq!(grouped.mins[0][0].to_bits(), single.mins[0][0].to_bits());
         assert_eq!(grouped.maxs[0][0].to_bits(), single.maxs[0][0].to_bits());
+    }
+
+    #[test]
+    fn run_blocked_updates_match_per_row_updates_bitwise() {
+        // RLE grouped aggregation's contract: depositing each run of
+        // same-group rows as one block call finalizes to the same bits as
+        // per-row (group_id, value) updates, for every backend.
+        let (ids, values) = workload();
+        // Sort rows by group so runs exist, keeping the relative row
+        // order inside each group (this is what a sorted RLE table is).
+        let mut order: Vec<usize> = (0..ids.len()).collect();
+        order.sort_by_key(|&i| ids[i]);
+        let sids: Vec<u32> = order.iter().map(|&i| ids[i]).collect();
+        let svalues: Vec<f64> = order.iter().map(|&i| values[i]).collect();
+        for backend in [
+            SumBackend::Double,
+            SumBackend::ReproUnbuffered,
+            SumBackend::ReproBuffered { buffer_size: 96 },
+            SumBackend::Rsum { levels: 2 },
+            SumBackend::RsumBuffered {
+                levels: 3,
+                buffer_size: 64,
+            },
+        ] {
+            let mut per_row = GroupedStates::new(backend, 4, 1, 1, 1);
+            per_row.add_counts(&sids);
+            per_row.update_sum(0, &sids, &svalues).unwrap();
+            per_row.update_min(0, &sids, &svalues);
+            per_row.update_max(0, &sids, &svalues);
+            let per_row = per_row.finalize();
+
+            let mut blocked = GroupedStates::new(backend, 4, 1, 1, 1);
+            let mut i = 0;
+            while i < sids.len() {
+                let g = sids[i];
+                let mut j = i;
+                while j < sids.len() && sids[j] == g {
+                    j += 1;
+                }
+                blocked.add_count_run(g as usize, (j - i) as u64);
+                blocked
+                    .update_sum_run(0, g as usize, &svalues[i..j])
+                    .unwrap();
+                blocked.update_min_run(0, g as usize, &svalues[i..j]);
+                blocked.update_max_run(0, g as usize, &svalues[i..j]);
+                i = j;
+            }
+            let blocked = blocked.finalize();
+
+            assert_eq!(per_row.counts, blocked.counts, "{backend:?}");
+            for g in 0..4 {
+                assert_eq!(
+                    per_row.sums[0][g].to_bits(),
+                    blocked.sums[0][g].to_bits(),
+                    "{backend:?} group {g}"
+                );
+                assert_eq!(per_row.mins[0][g].to_bits(), blocked.mins[0][g].to_bits());
+                assert_eq!(per_row.maxs[0][g].to_bits(), blocked.maxs[0][g].to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn run_blocked_double_detects_overflow() {
+        let mut s = GroupedStates::new(SumBackend::Double, 2, 1, 0, 0);
+        assert_eq!(
+            s.update_sum_run(0, 1, &[f64::MAX, f64::MAX]),
+            Err(OverflowError)
+        );
     }
 
     #[test]

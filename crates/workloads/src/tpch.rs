@@ -183,6 +183,42 @@ impl Lineitem {
         let ls = ['F', 'O'][(group % 2) as usize];
         (rf, ls)
     }
+
+    /// A physically reordered copy of the table (same logical content).
+    fn reordered(&self, perm: &[usize]) -> Lineitem {
+        Lineitem::from_columns(
+            perm.iter().map(|&i| self.quantity[i]).collect(),
+            perm.iter().map(|&i| self.extendedprice[i]).collect(),
+            perm.iter().map(|&i| self.discount[i]).collect(),
+            perm.iter().map(|&i| self.tax[i]).collect(),
+            perm.iter().map(|&i| self.shipdate[i]).collect(),
+            perm.iter().map(|&i| self.returnflag[i]).collect(),
+            perm.iter().map(|&i| self.linestatus[i]).collect(),
+            perm.iter().map(|&i| self.suppkey[i]).collect(),
+        )
+    }
+
+    /// A copy physically clustered by the Q1 group pair
+    /// `(l_returnflag, l_linestatus)` — the layout a table clustered on
+    /// its grouping key would have. The flag columns collapse to a
+    /// handful of runs, making them RLE-friendly. The sort is stable, so
+    /// rows within a group keep their original relative order (and any
+    /// order-sensitive aggregate over a group is unchanged).
+    pub fn sorted_by_q1_group(&self) -> Lineitem {
+        let mut perm: Vec<usize> = (0..self.len()).collect();
+        perm.sort_by_key(|&i| (self.returnflag[i], self.linestatus[i]));
+        self.reordered(&perm)
+    }
+
+    /// A copy physically sorted by `l_shipdate` (stable) — the natural
+    /// layout of a date-partitioned fact table. Q6's shipdate band then
+    /// selects one contiguous row range, and the column RLE-compresses to
+    /// one run per distinct day.
+    pub fn sorted_by_shipdate(&self) -> Lineitem {
+        let mut perm: Vec<usize> = (0..self.len()).collect();
+        perm.sort_by_key(|&i| self.shipdate[i]);
+        self.reordered(&perm)
+    }
 }
 
 /// Mutable column staging used during generation; `freeze` wraps the

@@ -101,7 +101,7 @@ fn main() {
     // Physically reverse the table (an MVCC update or compaction would do
     // the same); the logical content is unchanged.
     let perm: Vec<u32> = (0..n as u32).rev().collect();
-    t.reorder(&perm);
+    t.reorder(&perm).expect("plain columns always reorder");
     let after_repro = by_key
         .execute(&t, SumBackend::Rsum { levels: 2 }, &ExecOptions::serial())
         .unwrap();
