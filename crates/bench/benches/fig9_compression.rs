@@ -19,7 +19,16 @@
 //! * Q1 over the (returnflag, linestatus)-sorted table — the group keys
 //!   RLE-encode and grouped aggregation runs run-blocked;
 //! * Q6 over the shipdate-sorted table — the ~2%-selective shipdate band
-//!   predicate becomes a per-run range emit.
+//!   predicate becomes a per-run range emit;
+//! * **agg pushdown**: unfiltered `SUM`+`COUNT` where the *aggregate
+//!   input itself* is encoded — the executor aggregates algebraically
+//!   (one exact k·v deposit per RLE run; per-code counts flushed once
+//!   per touched dictionary entry per batch) instead of per row:
+//!   - `SUM(l_quantity)` over the quantity-sorted table (~50 long runs,
+//!     `Rle<F64>`) — the headline run-algebraic arm,
+//!   - `SUM(l_quantity)` in dbgen order (`Dict<F64>`, u8 codes),
+//!   - `SUM(l_suppkey)` in dbgen order (`Dict16<I32>`, u16 codes,
+//!     10 000 entries).
 
 use rfa_bench::{
     f2, ns_per_elem, time_min, write_compression_smoke, BenchConfig, CompressionSmoke, ResultTable,
@@ -27,7 +36,7 @@ use rfa_bench::{
 use rfa_core::CacheModel;
 use rfa_engine::plan::QueryPlan;
 use rfa_engine::{
-    lineitem_table, lineitem_table_encoded, q1_plan, q6_plan, AggColumn, Column, ExecOptions,
+    lineitem_table, lineitem_table_encoded, q1_plan, q6_plan, AggColumn, Column, ExecOptions, Expr,
     PlanResult, SumBackend, Table,
 };
 use rfa_workloads::Lineitem;
@@ -89,14 +98,33 @@ fn main() {
     let lineitem = Lineitem::generate(n, 1);
     let by_group = lineitem.sorted_by_q1_group();
     let by_shipdate = lineitem.sorted_by_shipdate();
+    let by_quantity = lineitem.sorted_by_quantity();
+
+    // Agg-pushdown plans: no filter, no grouping — the scan cost is the
+    // aggregate deposit loop itself, so the ratio isolates algebraic
+    // (per-run / per-code) deposits against per-row ones.
+    let sum_qty = QueryPlan::scan("lineitem")
+        .sum(Expr::col("l_quantity"))
+        .count();
+    let sum_suppkey = QueryPlan::scan("lineitem")
+        .sum(Expr::col("l_suppkey"))
+        .count();
 
     // Plain and encoded twins share each physical row order, so the
     // ratio isolates storage, not data placement.
-    let arms: [(&str, &QueryPlan, &Lineitem, &'static str); 4] = [
+    let arms: [(&str, &QueryPlan, &Lineitem, &'static str); 7] = [
         ("q1 dbgen order", &q1_plan(), &lineitem, "l_returnflag"),
         ("q1 group-sorted", &q1_plan(), &by_group, "l_returnflag"),
         ("q6 dbgen order", &q6_plan(), &lineitem, "l_shipdate"),
         ("q6 shipdate-sorted", &q6_plan(), &by_shipdate, "l_shipdate"),
+        ("sum(qty) dbgen order", &sum_qty, &lineitem, "l_quantity"),
+        ("sum(qty) qty-sorted", &sum_qty, &by_quantity, "l_quantity"),
+        (
+            "sum(suppkey) dbgen order",
+            &sum_suppkey,
+            &lineitem,
+            "l_suppkey",
+        ),
     ];
 
     let mut table = ResultTable::new(
@@ -129,12 +157,14 @@ fn main() {
         "  paper shape: dictionary arms sit near 1x (pushdown trades a compare for a\n  \
          byte-indexed lookup); the clustered arms win outright — RLE group keys turn\n  \
          per-row deposits into one block call per run, and the RLE shipdate band\n  \
-         emits selections a whole run at a time. Identical bits in every arm."
+         emits selections a whole run at a time. The agg-pushdown arms go further:\n  \
+         the RLE-sorted SUM deposits once per run (exact k*v split), the dict arms\n  \
+         count per code and flush once per touched entry. Identical bits in every arm."
     );
 
     // The smoke record keeps the clustered arms — the encodings the
     // ISSUE targets: Q1's two u8 group columns (RLE after sorting, Dict
-    // always) and Q6's shipdate band.
+    // always), Q6's shipdate band, and the three agg-pushdown inputs.
     let by_group_encoded = lineitem_table_encoded(&by_group);
     assert!(
         matches!(
@@ -151,6 +181,29 @@ fn main() {
         ),
         "shipdate-sorted shipdate must RLE-encode"
     );
+    let dbgen_encoded = lineitem_table_encoded(&lineitem);
+    assert!(
+        matches!(
+            dbgen_encoded.column("l_quantity").unwrap(),
+            Column::Dict { .. }
+        ),
+        "dbgen-order quantity must Dict-encode (u8 codes)"
+    );
+    assert!(
+        matches!(
+            dbgen_encoded.column("l_suppkey").unwrap(),
+            Column::Dict16 { .. }
+        ),
+        "dbgen-order suppkey must Dict16-encode (u16 codes)"
+    );
+    let by_quantity_encoded = lineitem_table_encoded(&by_quantity);
+    assert!(
+        matches!(
+            by_quantity_encoded.column("l_quantity").unwrap(),
+            Column::Rle { .. }
+        ),
+        "quantity-sorted quantity must RLE-encode"
+    );
     write_compression_smoke(&CompressionSmoke {
         n,
         q1_encodings: "group-sorted: flags Rle, qty/discount/tax Dict",
@@ -159,5 +212,12 @@ fn main() {
         q6_encodings: "shipdate-sorted: shipdate Rle, qty/discount/tax Dict",
         q6_plain_ns_per_elem: measured[3].0,
         q6_encoded_ns_per_elem: measured[3].1,
+        agg_encodings: "sum inputs: qty Rle<F64> (sorted) / Dict<F64>, suppkey Dict16<I32>",
+        agg_rle_plain_ns_per_elem: measured[5].0,
+        agg_rle_encoded_ns_per_elem: measured[5].1,
+        agg_dict_plain_ns_per_elem: measured[4].0,
+        agg_dict_encoded_ns_per_elem: measured[4].1,
+        agg_dict16_plain_ns_per_elem: measured[6].0,
+        agg_dict16_encoded_ns_per_elem: measured[6].1,
     });
 }

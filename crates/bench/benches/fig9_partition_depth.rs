@@ -317,6 +317,7 @@ fn main() {
     // Every arm is bit-identical — that is proptest-enforced — so the
     // table is pure performance.
     let level = match cpu::active() {
+        SimdLevel::Avx512 => "avx512",
         SimdLevel::Avx2 => "avx2",
         SimdLevel::Scalar => "scalar",
     };

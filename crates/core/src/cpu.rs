@@ -8,13 +8,16 @@
 //! to its portable fallback — so dispatch is resolved once per process and
 //! cached:
 //!
-//! 1. `RFA_SIMD` (`auto` | `scalar` | `avx2`) picks the policy. Unknown
-//!    values are **rejected** with [`SimdModeError`] (surfaced as a panic
-//!    at first dispatch — a typo must not silently change what is
-//!    measured). `scalar` forces the portable fallback; `avx2` demands the
-//!    explicit kernels and fails fast on hardware without them.
-//! 2. Under `auto` (or unset), `is_x86_feature_detected!("avx2")` decides,
-//!    cached in a `OnceLock`.
+//! 1. `RFA_SIMD` (`auto` | `scalar` | `avx2` | `avx512`) picks the
+//!    policy. Unknown values are **rejected** with [`SimdModeError`]
+//!    (surfaced as a panic at first dispatch — a typo must not silently
+//!    change what is measured). `scalar` forces the portable fallback;
+//!    `avx2` / `avx512` demand the explicit kernels and fail fast on
+//!    hardware without them.
+//! 2. Under `auto` (or unset), feature detection decides — `avx512f`
+//!    first, then `avx2` — cached in a `OnceLock`. The AVX-512 level is a
+//!    superset: kernels without an AVX-512 variant keep running their
+//!    AVX2 flavour (every `avx512f` CPU supports AVX2).
 //!
 //! Tests and benchmarks that need to compare both flavours inside one
 //! process use [`set_override`], which bypasses the cached policy.
@@ -34,6 +37,8 @@ pub enum SimdMode {
     Scalar,
     /// Require the explicit AVX2 kernels; error if unsupported.
     Avx2,
+    /// Require the explicit AVX-512 kernels; error if unsupported.
+    Avx512,
 }
 
 /// The resolved dispatch level actually used by the kernels.
@@ -43,6 +48,9 @@ pub enum SimdLevel {
     Scalar,
     /// Explicit `std::arch::x86_64` AVX2 kernels.
     Avx2,
+    /// Explicit `avx512f` kernels where they exist; kernels without an
+    /// AVX-512 variant run their AVX2 flavour at this level.
+    Avx512,
 }
 
 impl fmt::Display for SimdLevel {
@@ -50,16 +58,17 @@ impl fmt::Display for SimdLevel {
         match self {
             SimdLevel::Scalar => write!(f, "scalar"),
             SimdLevel::Avx2 => write!(f, "avx2"),
+            SimdLevel::Avx512 => write!(f, "avx512"),
         }
     }
 }
 
-/// `RFA_SIMD` held a value other than `auto`, `scalar` or `avx2` — the
-/// shared [`KnobError`] shape (`.value` carries the rejected value
-/// verbatim).
+/// `RFA_SIMD` held a value other than `auto`, `scalar`, `avx2` or
+/// `avx512` — the shared [`KnobError`] shape (`.value` carries the
+/// rejected value verbatim).
 pub type SimdModeError = KnobError;
 
-const EXPECTED: &str = "\"auto\", \"scalar\" or \"avx2\"";
+const EXPECTED: &str = "\"auto\", \"scalar\", \"avx2\" or \"avx512\"";
 
 impl SimdMode {
     /// Parses an `RFA_SIMD` value. The empty string means `Auto` (CI
@@ -71,6 +80,7 @@ impl SimdMode {
                 "auto" => Some(SimdMode::Auto),
                 "scalar" => Some(SimdMode::Scalar),
                 "avx2" => Some(SimdMode::Avx2),
+                "avx512" => Some(SimdMode::Avx512),
                 _ => None,
             }
         })?;
@@ -100,6 +110,19 @@ pub fn avx2_supported() -> bool {
     }
 }
 
+/// Whether this CPU supports the explicit `avx512f` kernels
+/// (runtime-detected; compile-time `false` off x86-64).
+pub fn avx512_supported() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        std::arch::is_x86_feature_detected!("avx512f")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
 /// The process-wide dispatch level from `RFA_SIMD` + feature detection,
 /// resolved once. Panics (fail fast, not fall back) on an unparsable
 /// `RFA_SIMD` or on `RFA_SIMD=avx2` without hardware support.
@@ -119,8 +142,17 @@ fn resolved() -> SimdLevel {
                 );
                 SimdLevel::Avx2
             }
+            SimdMode::Avx512 => {
+                assert!(
+                    avx512_supported(),
+                    "RFA_SIMD=avx512 but this CPU does not support AVX-512F"
+                );
+                SimdLevel::Avx512
+            }
             SimdMode::Auto => {
-                if avx2_supported() {
+                if avx512_supported() {
+                    SimdLevel::Avx512
+                } else if avx2_supported() {
                     SimdLevel::Avx2
                 } else {
                     SimdLevel::Scalar
@@ -142,6 +174,7 @@ pub fn active() -> SimdLevel {
     match OVERRIDE.load(Ordering::Relaxed) {
         1 => SimdLevel::Scalar,
         2 => SimdLevel::Avx2,
+        3 => SimdLevel::Avx512,
         _ => resolved(),
     }
 }
@@ -149,8 +182,8 @@ pub fn active() -> SimdLevel {
 /// Overrides the dispatch level in-process (for tests and benchmarks that
 /// compare kernel flavours side by side; `None` restores the environment
 /// policy). The override is global — callers comparing flavours must
-/// serialize around it. Panics if `Some(Avx2)` is requested on hardware
-/// without AVX2.
+/// serialize around it. Panics if `Some(Avx2)` / `Some(Avx512)` is
+/// requested on hardware without the feature.
 pub fn set_override(level: Option<SimdLevel>) {
     let v = match level {
         None => 0,
@@ -161,6 +194,13 @@ pub fn set_override(level: Option<SimdLevel>) {
                 "cannot force SimdLevel::Avx2: CPU does not support AVX2"
             );
             2
+        }
+        Some(SimdLevel::Avx512) => {
+            assert!(
+                avx512_supported(),
+                "cannot force SimdLevel::Avx512: CPU does not support AVX-512F"
+            );
+            3
         }
     };
     OVERRIDE.store(v, Ordering::Relaxed);
@@ -176,11 +216,13 @@ mod tests {
         assert_eq!(SimdMode::parse("auto"), Ok(SimdMode::Auto));
         assert_eq!(SimdMode::parse(" AVX2 "), Ok(SimdMode::Avx2));
         assert_eq!(SimdMode::parse("Scalar"), Ok(SimdMode::Scalar));
+        assert_eq!(SimdMode::parse("avx512"), Ok(SimdMode::Avx512));
+        assert_eq!(SimdMode::parse("AVX512"), Ok(SimdMode::Avx512));
     }
 
     #[test]
     fn parse_rejects_unknown_values_with_typed_error() {
-        for bad in ["avx512", "yes", "1", "fastest", "sse"] {
+        for bad in ["avx", "avx512vl", "yes", "1", "fastest", "sse"] {
             let err = SimdMode::parse(bad).unwrap_err();
             assert_eq!(err.value, bad);
             let msg = err.to_string();
@@ -198,6 +240,10 @@ mod tests {
         if avx2_supported() {
             set_override(Some(SimdLevel::Avx2));
             assert_eq!(active(), SimdLevel::Avx2);
+        }
+        if avx512_supported() {
+            set_override(Some(SimdLevel::Avx512));
+            assert_eq!(active(), SimdLevel::Avx512);
         }
         set_override(None);
         let _ = active(); // whatever the environment says; must not panic

@@ -33,6 +33,21 @@ pub fn extract<T: ReproFloat>(m: T, b: T) -> (T, T) {
     (q, r)
 }
 
+/// Error-free product via FMA: `a · b = hi + lo` exactly, `hi = a ⊗ b`.
+///
+/// Valid whenever `a ⊗ b` neither overflows nor loses bits to denormal
+/// underflow — in particular whenever both factors are integer multiples
+/// of a common power-of-two grid `g` and the exact product stays finite,
+/// in which case `hi` and `lo` are themselves multiples of `g` (the
+/// property the scaled deposit of [`crate::repro::ReproSum::add_scaled`]
+/// relies on).
+#[inline]
+pub fn two_product<T: ReproFloat>(a: T, b: T) -> (T, T) {
+    let hi = a * b;
+    let lo = a.mul_add_(b, -hi);
+    (hi, lo)
+}
+
 /// Knuth's TwoSum: `a + b = s + e` exactly, `s = a ⊕ b`.
 ///
 /// Not used on the hot path (it costs 6 flops and is *not* associative
@@ -97,6 +112,28 @@ mod tests {
         let forward: f64 = values.iter().map(|&b| extract(m, b).0).sum();
         let backward: f64 = values.iter().rev().map(|&b| extract(m, b).0).sum();
         assert_eq!(forward.to_bits(), backward.to_bits());
+    }
+
+    #[test]
+    fn two_product_is_error_free() {
+        // k·v with k an integer and v on a power-of-two grid: hi + lo
+        // recovers the exact product, and both halves stay on the grid.
+        for (k, v) in [
+            (3.0f64, 0.1),
+            (1_000_003.0, 1.0 / 3.0),
+            ((1u64 << 51) as f64, 1.25e-300),
+            (7.0, -0.062_5),
+        ] {
+            let (hi, lo) = two_product(k, v);
+            assert_eq!(hi, k * v);
+            // Exactness cross-check through integer arithmetic on the
+            // mantissas: hi + lo == k·v with no rounding at all.
+            assert_eq!(k.mul_add(v, -hi), lo);
+            assert_eq!(hi + lo, k * v); // lo below half ulp(hi)
+        }
+        let (hi, lo) = two_product(4096.0f32, 0.1f32);
+        assert_eq!(hi + lo, 4096.0f32 * 0.1f32);
+        assert_eq!(4096.0f32.mul_add(0.1, -hi), lo);
     }
 
     #[test]

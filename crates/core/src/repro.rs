@@ -244,6 +244,127 @@ impl<T: ReproFloat, const L: usize> ReproSum<T, L> {
         }
     }
 
+    /// Adds `k` copies of `b` in O(L) — **bit-identical** to calling
+    /// [`add`](Self::add) `k` times, at any level count.
+    ///
+    /// Why the rewrite is invisible: the extraction cascade uses *fixed*
+    /// extractors, so the per-level contribution `q_l` is a pure function
+    /// of `(b, top)` — each of the `k` per-row deposits would add the very
+    /// same `q_l` to level `l`, for a per-level total of exactly `k·q_l`.
+    /// The scaled deposit reproduces that total in one step: `k·q_l`
+    /// splits error-free into `(hi, lo)` via [`crate::eft::two_product`]
+    /// (both halves integer multiples of the level's ulp grid), `hi` is
+    /// decomposed against the carry unit into an integer carry count plus
+    /// a small on-grid remainder — every operation exact — and the level
+    /// total `A_l + unit·C_l` lands on precisely the value `k` per-row
+    /// deposits reach. The (sums, carries) *split* may differ from the
+    /// per-row path (carry propagation timing), but the rounded
+    /// [`value`](Self::value) and all [`merge`](Self::merge)s are pure
+    /// functions of the per-level totals, so no downstream bit can differ
+    /// (see DESIGN.md §26 for the full argument).
+    ///
+    /// Window evolution and special values match per-row behaviour by
+    /// construction: promotion is keyed on `|b|` — exactly what the first
+    /// of the `k` adds would do — and the sticky NaN/±∞ states are
+    /// idempotent under repetition.
+    pub fn add_scaled(&mut self, b: T, k: u64) {
+        if k == 0 {
+            return;
+        }
+        if k == 1 {
+            self.add(b);
+            return;
+        }
+        // Specials and ladder promotion: what the first per-row add does
+        // (the remaining k-1 adds see the already-promoted window).
+        // `!(|b| < t)` rather than `|b| >= t`: NaN fails both ordered
+        // comparisons and must take this branch.
+        #[allow(clippy::neg_cmp_op_on_partial_ord)]
+        if !(b.abs() < self.threshold) {
+            if b.is_nan() {
+                self.special = self.special.combine(Special::Nan);
+                return;
+            }
+            let Some(new_top) = (if b.is_infinite() { None } else { T::bin_for(b) }) else {
+                let s = if b.is_sign_negative() {
+                    Special::NegInf
+                } else {
+                    Special::PosInf
+                };
+                self.special = self.special.combine(s);
+                return;
+            };
+            self.promote(new_top as u32);
+        }
+        // k must be exactly representable in T for the error-free product
+        // (2^(m-1) keeps a bit of slack); larger multiplicities split into
+        // exact chunks — per-level totals add exactly, so chunking is as
+        // invisible as the scaled deposit itself. Should k·q still
+        // overflow (|b| within a factor ~2^m of the binnable limit,
+        // ≳ 2^950 for f64), halving the chunk until the product fits
+        // keeps the cost logarithmic; a chunk of 1 is a plain add.
+        let mut chunk = 1u64 << (T::MANTISSA_BITS - 1);
+        let mut remaining = k;
+        while remaining > 0 {
+            let c = remaining.min(chunk);
+            if c > 1 && !self.deposit_scaled(b, c) {
+                chunk = c / 2;
+                continue;
+            }
+            if c == 1 {
+                self.add(b);
+            }
+            remaining -= c;
+        }
+    }
+
+    /// One scaled deposit of `k·b` (caller guarantees `|b| < threshold`
+    /// and `k ≤ 2^(m-1)`). Returns `false` — leaving the state untouched
+    /// — if any per-level product `k·q_l` would overflow.
+    fn deposit_scaled(&mut self, b: T, k: u64) -> bool {
+        debug_assert!(b.abs() < self.threshold);
+        let kf = T::from_i64(k as i64); // exact: k ≤ 2^(m-1)
+                                        // Extract once: the q_l each of the k per-row deposits would add.
+        let mut q = [T::ZERO; L];
+        let mut r = b;
+        for (l, qs) in q.iter_mut().enumerate() {
+            let m = self.extractors[l];
+            let s = m + r;
+            *qs = s - m;
+            r -= *qs;
+        }
+        // Overflow check before mutating anything (level 0 dominates, but
+        // checking all L is cheap and obviously right).
+        if q.iter().any(|&ql| !(kf * ql).is_finite()) {
+            return false;
+        }
+        for (l, &ql) in q.iter().enumerate() {
+            let bin = self.top as usize + l;
+            if bin >= T::NUM_BINS {
+                // Sentinel levels extract exactly zero; nothing to scale.
+                break;
+            }
+            // k·q_l = hi + lo exactly; both are multiples of the level's
+            // ulp grid g_l (q_l = j·g_l, so hi = fl(k·j)·g_l and
+            // lo = (k·j − fl(k·j))·g_l, with |k·j| ≤ 2^(m−1)·2^(W−1) well
+            // below the 2·m-bit exact-integer range of the FMA residual).
+            let (hi, lo) = crate::eft::two_product(kf, ql);
+            // Decompose hi against the carry unit 2^(m−2)·g_l: the
+            // quotient is an exact small ratio of powers of two times an
+            // integer, the rounded count d an exact integer, d·unit and
+            // the on-grid remainder exact, |remainder| ≤ unit/2.
+            let unit = T::carry_unit(bin);
+            let d = (hi / unit).round_ties_even_();
+            self.carries[l] += d.to_i64();
+            self.sums[l] += hi - d * unit;
+            self.sums[l] += lo;
+        }
+        // Renormalize so later per-row deposits keep their exactness
+        // invariant (|A_l| stays below the carry unit).
+        self.propagate_carries();
+        true
+    }
+
     /// Merges another accumulator into this one. Exact, associative and
     /// commutative: any merge tree over any partitioning of the input
     /// produces bit-identical state.
@@ -620,6 +741,105 @@ mod tests {
         let exact = n as f64 * 0.1; // representable product within 1 ulp
         let rel = ((repro - exact) / exact).abs();
         assert!(rel < 1e-12, "rel err {rel}");
+    }
+
+    #[test]
+    fn add_scaled_is_bit_identical_to_per_row_adds() {
+        // Every (value, multiplicity) pair: one scaled deposit must land
+        // on the bits k per-row adds produce — including values that
+        // promote the ladder, denormals, and k crossing carry blocks.
+        let values = [
+            0.1f64,
+            -3.25,
+            2.5e-16,
+            1e300,
+            5e-324,
+            0.999_999_999_999_999,
+            -0.0,
+        ];
+        let ks = [0u64, 1, 2, 3, 7, 100, 1023, 1024, 1025, 5000];
+        for &v in &values {
+            for &k in &ks {
+                let mut scaled = ReproSum::<f64, 3>::new();
+                scaled.add(0.5); // non-trivial starting state
+                scaled.add_scaled(v, k);
+                scaled.add(-0.125); // later per-row adds still exact
+                let mut per_row = ReproSum::<f64, 3>::new();
+                per_row.add(0.5);
+                for _ in 0..k {
+                    per_row.add(v);
+                }
+                per_row.add(-0.125);
+                assert_eq!(
+                    scaled.value().to_bits(),
+                    per_row.value().to_bits(),
+                    "v={v} k={k}"
+                );
+            }
+        }
+        // All level counts, f32 included.
+        let mut s1 = ReproSum::<f64, 1>::new();
+        let mut p1 = ReproSum::<f64, 1>::new();
+        s1.add_scaled(0.3, 977);
+        (0..977).for_each(|_| p1.add(0.3));
+        assert_eq!(s1.value().to_bits(), p1.value().to_bits());
+        let mut s32 = ReproSum::<f32, 2>::new();
+        let mut p32 = ReproSum::<f32, 2>::new();
+        s32.add_scaled(0.7f32, 12_345);
+        (0..12_345).for_each(|_| p32.add(0.7f32));
+        assert_eq!(s32.value().to_bits(), p32.value().to_bits());
+    }
+
+    #[test]
+    fn add_scaled_specials_and_overflow_match_per_row() {
+        for v in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, f64::MAX, 1e305] {
+            let mut scaled = ReproSum::<f64, 2>::new();
+            scaled.add(1.0);
+            scaled.add_scaled(v, 4);
+            let mut per_row = ReproSum::<f64, 2>::new();
+            per_row.add(1.0);
+            (0..4).for_each(|_| per_row.add(v));
+            assert_eq!(scaled.special(), per_row.special(), "v={v}");
+            assert_eq!(scaled.value().to_bits(), per_row.value().to_bits());
+        }
+        // Near the binnable limit the k·q product overflows f64 and the
+        // chunk-halving fallback engages — still bit-identical.
+        let huge = 2.0f64.powi(1000);
+        let mut scaled = ReproSum::<f64, 2>::new();
+        scaled.add_scaled(huge, 100);
+        let mut per_row = ReproSum::<f64, 2>::new();
+        (0..100).for_each(|_| per_row.add(huge));
+        assert_eq!(scaled.value().to_bits(), per_row.value().to_bits());
+        assert_eq!(scaled.value(), 100.0 * huge);
+    }
+
+    #[test]
+    fn add_scaled_chunking_is_exact_and_merges_cleanly() {
+        // Multiplicities beyond one chunk (> 2^51) can't be checked
+        // against a literal loop; instead check the algebra the chunk
+        // loop relies on — k1 + k2 splits arbitrarily — plus merge
+        // interchangeability with per-row state.
+        let k = (1u64 << 51) + 12_345;
+        let mut whole = ReproSum::<f64, 2>::new();
+        whole.add_scaled(0.1, k);
+        for split in [1u64, 1 << 20, (1 << 51) - 1] {
+            let mut parts = ReproSum::<f64, 2>::new();
+            parts.add_scaled(0.1, split);
+            parts.add_scaled(0.1, k - split);
+            assert_eq!(whole.value().to_bits(), parts.value().to_bits());
+        }
+        // Merging a scaled state into a per-row state behaves like the
+        // all-per-row merge.
+        let mut scaled_half = ReproSum::<f64, 3>::new();
+        scaled_half.add_scaled(0.25, 1000);
+        let mut row_half = ReproSum::<f64, 3>::new();
+        (0..500).for_each(|_| row_half.add(-1.5e-8));
+        let mut merged = row_half.clone();
+        merged.merge(&scaled_half);
+        let mut all_rows = ReproSum::<f64, 3>::new();
+        (0..500).for_each(|_| all_rows.add(-1.5e-8));
+        (0..1000).for_each(|_| all_rows.add(0.25));
+        assert_eq!(merged.value().to_bits(), all_rows.value().to_bits());
     }
 
     #[test]

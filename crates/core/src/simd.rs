@@ -114,7 +114,9 @@ impl<T: ReproFloat, const L: usize> Lanes<T, L> {
 #[inline]
 pub fn add_slice<T: ReproFloat, const L: usize>(acc: &mut ReproSum<T, L>, values: &[T]) {
     #[cfg(target_arch = "x86_64")]
-    if cpu::active() == cpu::SimdLevel::Avx2 {
+    // At the AVX-512 level this kernel keeps its AVX2 flavour (every
+    // avx512f CPU supports AVX2); only level `Scalar` forces the fallback.
+    if cpu::active() != cpu::SimdLevel::Scalar {
         use core::any::TypeId;
         // `ReproFloat` is sealed: `T` is exactly `f64` or `f32`, so one of
         // the two TypeId tests matches and the pointer casts below are

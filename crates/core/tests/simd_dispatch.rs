@@ -8,8 +8,8 @@
 //! compare:
 //!
 //! * dispatched [`simd::add_slice`] vs. the scalar `add_all` cascade,
-//! * forced-scalar vs. forced-AVX2 `add_slice` directly (skipped on
-//!   hardware without AVX2),
+//! * forced-scalar vs. forced-AVX2 / forced-AVX-512 `add_slice` directly
+//!   (each leg skipped on hardware without the feature),
 //! * promotion, special values and chunk-boundary cases.
 
 use proptest::collection::vec;
@@ -36,22 +36,36 @@ fn with_level<R>(level: SimdLevel, f: impl FnOnce() -> R) -> R {
     r
 }
 
-/// `add_slice` under both forced levels; panics if they disagree. Returns
-/// the (common) finalized bits. On non-AVX2 hardware only the scalar
-/// level runs.
+/// The explicit kernel levels this CPU can force (beyond scalar). At the
+/// AVX-512 level `add_slice` runs its AVX2 flavour — forcing it still
+/// asserts the level plumbing changes nothing.
+fn forced_levels() -> Vec<SimdLevel> {
+    let mut levels = Vec::new();
+    if cpu::avx2_supported() {
+        levels.push(SimdLevel::Avx2);
+    }
+    if cpu::avx512_supported() {
+        levels.push(SimdLevel::Avx512);
+    }
+    levels
+}
+
+/// `add_slice` under every forced level; panics if any disagree. Returns
+/// the (common) finalized bits. On hardware without the explicit kernels
+/// only the scalar level runs.
 fn both_levels_f64<const L: usize>(values: &[f64]) -> (u64, (u32, [u64; L], [i64; L])) {
     let scalar = with_level(SimdLevel::Scalar, || {
         let mut acc = ReproSum::<f64, L>::new();
         simd::add_slice(&mut acc, values);
         (acc.value().to_bits(), acc.canonical_state())
     });
-    if cpu::avx2_supported() {
-        let avx2 = with_level(SimdLevel::Avx2, || {
+    for level in forced_levels() {
+        let vectored = with_level(level, || {
             let mut acc = ReproSum::<f64, L>::new();
             simd::add_slice(&mut acc, values);
             (acc.value().to_bits(), acc.canonical_state())
         });
-        assert_eq!(scalar, avx2, "scalar and AVX2 kernels disagree");
+        assert_eq!(scalar, vectored, "scalar and {level} kernels disagree");
     }
     scalar
 }
@@ -147,15 +161,15 @@ proptest! {
             (acc.value().to_bits(), acc.canonical_state())
         });
         prop_assert_eq!(whole, chunked);
-        if cpu::avx2_supported() {
-            let chunked_avx2 = with_level(SimdLevel::Avx2, || {
+        for level in forced_levels() {
+            let chunked_vec = with_level(level, || {
                 let mut acc = ReproSum::<f64, 2>::new();
                 for c in values.chunks(chunk) {
                     simd::add_slice(&mut acc, c);
                 }
                 (acc.value().to_bits(), acc.canonical_state())
             });
-            prop_assert_eq!(whole, chunked_avx2);
+            prop_assert_eq!(whole, chunked_vec, "level {}", level);
         }
     }
 
@@ -171,13 +185,13 @@ proptest! {
             acc.value().to_bits()
         });
         prop_assert_eq!(scalar, expected);
-        if cpu::avx2_supported() {
-            let avx2 = with_level(SimdLevel::Avx2, || {
+        for level in forced_levels() {
+            let vectored = with_level(level, || {
                 let mut acc = ReproSum::<f32, 2>::new();
                 simd::add_slice(&mut acc, &values);
                 acc.value().to_bits()
             });
-            prop_assert_eq!(avx2, expected);
+            prop_assert_eq!(vectored, expected, "level {}", level);
         }
     }
 
@@ -192,10 +206,7 @@ proptest! {
         let mut reference = ReproSum::<f64, 2>::new();
         reference.add_all(&values);
         let expected = reference.value().to_bits();
-        for level in [SimdLevel::Scalar, SimdLevel::Avx2] {
-            if level == SimdLevel::Avx2 && !cpu::avx2_supported() {
-                continue;
-            }
+        for level in std::iter::once(SimdLevel::Scalar).chain(forced_levels()) {
             let got = with_level(level, || {
                 let mut buf = SummationBuffer::<f64, 2>::new(bsz);
                 for c in values.chunks(chunk) {

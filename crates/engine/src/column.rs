@@ -98,6 +98,14 @@ pub enum Column {
         codes: Arc<Vec<u8>>,
         dict: Box<Column>,
     },
+    /// Wide dictionary encoding: like [`Column::Dict`] but with `u16`
+    /// codes, lifting the 256-distinct ceiling to 65536 entries (e.g.
+    /// TPC-H `l_suppkey` with 10 000 suppliers). Predicate pushdown uses a
+    /// 1024-byte code bitset instead of `Dict`'s 256-entry keep table.
+    Dict16 {
+        codes: Arc<Vec<u16>>,
+        dict: Box<Column>,
+    },
     /// Run-length encoding: run `r` covers rows `run_ends[r-1]..run_ends[r]`
     /// (with `run_ends[-1] = 0`) and holds `values` row `r`. `run_ends`
     /// must be strictly increasing; the column's length is the last run
@@ -117,10 +125,11 @@ pub enum Column {
 pub enum EncodingError {
     /// Dictionary entries / run values must be plain columns.
     Nested,
-    /// More distinct values than `u8` codes can address.
-    DictTooLarge { distinct: usize },
+    /// More distinct values than the code width can address (`max` is 256
+    /// for `u8` codes, 65536 for `u16`).
+    DictTooLarge { distinct: usize, max: usize },
     /// A code indexes past the dictionary.
-    CodeOutOfRange { code: u8, dict_len: usize },
+    CodeOutOfRange { code: u32, dict_len: usize },
     /// `run_ends` must be strictly increasing (every run non-empty).
     RunEndsNotIncreasing { index: usize },
     /// One run value per run end.
@@ -133,9 +142,9 @@ impl fmt::Display for EncodingError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             EncodingError::Nested => write!(f, "encoded columns cannot nest another encoding"),
-            EncodingError::DictTooLarge { distinct } => write!(
+            EncodingError::DictTooLarge { distinct, max } => write!(
                 f,
-                "dictionary would need {distinct} entries (u8 codes allow at most 256)"
+                "dictionary would need {distinct} entries (codes allow at most {max})"
             ),
             EncodingError::CodeOutOfRange { code, dict_len } => write!(
                 f,
@@ -196,6 +205,17 @@ impl Column {
         Ok(col)
     }
 
+    /// Builds a validated wide dictionary-encoded column (`u16` codes, up
+    /// to 65536 entries); see [`Column::dict`].
+    pub fn dict16(codes: impl Into<Arc<Vec<u16>>>, dict: Column) -> Result<Column, EncodingError> {
+        let col = Column::Dict16 {
+            codes: codes.into(),
+            dict: Box::new(dict),
+        };
+        col.validate_encoding()?;
+        Ok(col)
+    }
+
     /// Builds a validated run-length-encoded column: run `r` covers rows
     /// `run_ends[r-1]..run_ends[r]` with value `values[r]`. Fails (typed,
     /// no panic) if the values column is encoded, the lengths disagree,
@@ -214,27 +234,30 @@ impl Column {
 
     /// Dictionary-encodes a plain column (first-seen dictionary order;
     /// float values are distinguished bitwise, so `-0.0` and NaN payloads
-    /// survive the round-trip). Fails if the column is already encoded or
-    /// has more than 256 distinct values.
+    /// survive the round-trip), auto-selecting the code width: up to 256
+    /// distinct values take `u8` codes ([`Column::Dict`]), up to 65536
+    /// take `u16` codes ([`Column::Dict16`]). Fails if the column is
+    /// already encoded or has more than 65536 distinct values.
     pub fn dict_encode(&self) -> Result<Column, EncodingError> {
         fn build<T: Copy, K: std::hash::Hash + Eq>(
             data: &[T],
             key: impl Fn(T) -> K,
-        ) -> Result<(Vec<u8>, Vec<T>), EncodingError> {
-            let mut seen: HashMap<K, u8> = HashMap::new();
+        ) -> Result<(Vec<u16>, Vec<T>), EncodingError> {
+            let mut seen: HashMap<K, u16> = HashMap::new();
             let mut dict: Vec<T> = Vec::new();
-            let mut codes: Vec<u8> = Vec::with_capacity(data.len());
+            let mut codes: Vec<u16> = Vec::with_capacity(data.len());
             for &v in data {
                 let code = match seen.entry(key(v)) {
                     std::collections::hash_map::Entry::Occupied(e) => *e.get(),
                     std::collections::hash_map::Entry::Vacant(e) => {
-                        if dict.len() == 256 {
+                        if dict.len() == 65536 {
                             return Err(EncodingError::DictTooLarge {
                                 distinct: dict.len() + 1,
+                                max: 65536,
                             });
                         }
                         dict.push(v);
-                        *e.insert((dict.len() - 1) as u8)
+                        *e.insert((dict.len() - 1) as u16)
                     }
                 };
                 codes.push(code);
@@ -262,12 +285,22 @@ impl Column {
                 let (c, d) = build(v, |x| x)?;
                 (c, Column::u8(d))
             }
-            Column::Dict { .. } | Column::Rle { .. } => return Err(EncodingError::Nested),
+            Column::Dict { .. } | Column::Dict16 { .. } | Column::Rle { .. } => {
+                return Err(EncodingError::Nested)
+            }
         };
-        Ok(Column::Dict {
-            codes: Arc::new(codes),
-            dict: Box::new(dict),
-        })
+        if dict.len() <= 256 {
+            let narrow: Vec<u8> = codes.iter().map(|&c| c as u8).collect();
+            Ok(Column::Dict {
+                codes: Arc::new(narrow),
+                dict: Box::new(dict),
+            })
+        } else {
+            Ok(Column::Dict16 {
+                codes: Arc::new(codes),
+                dict: Box::new(dict),
+            })
+        }
     }
 
     /// Run-length-encodes a plain column (runs of bitwise-equal values).
@@ -320,7 +353,9 @@ impl Column {
                 let (e, r) = build(v, |a, b| a == b)?;
                 (e, Column::u8(r))
             }
-            Column::Dict { .. } | Column::Rle { .. } => return Err(EncodingError::Nested),
+            Column::Dict { .. } | Column::Dict16 { .. } | Column::Rle { .. } => {
+                return Err(EncodingError::Nested)
+            }
         };
         Ok(Column::Rle {
             run_ends: Arc::new(ends),
@@ -345,6 +380,9 @@ impl Column {
             }
             out
         }
+        fn gather16<T: Copy>(codes: &[u16], dict: &[T]) -> Vec<T> {
+            codes.iter().map(|&c| dict[c as usize]).collect()
+        }
         match self {
             Column::Dict { codes, dict } => match &**dict {
                 Column::F64(d) => Column::f64(gather(codes, d)),
@@ -352,6 +390,14 @@ impl Column {
                 Column::I32(d) => Column::i32(gather(codes, d)),
                 Column::U32(d) => Column::u32(gather(codes, d)),
                 Column::U8(d) => Column::u8(gather(codes, d)),
+                nested => panic!("cannot decode nested encoding {}", nested.storage_name()),
+            },
+            Column::Dict16 { codes, dict } => match &**dict {
+                Column::F64(d) => Column::f64(gather16(codes, d)),
+                Column::F32(d) => Column::f32(gather16(codes, d)),
+                Column::I32(d) => Column::i32(gather16(codes, d)),
+                Column::U32(d) => Column::u32(gather16(codes, d)),
+                Column::U8(d) => Column::u8(gather16(codes, d)),
                 nested => panic!("cannot decode nested encoding {}", nested.storage_name()),
             },
             Column::Rle { run_ends, values } => match &**values {
@@ -379,7 +425,10 @@ impl Column {
                 }
                 let dict_len = dict.len();
                 if dict_len > 256 {
-                    return Err(EncodingError::DictTooLarge { distinct: dict_len });
+                    return Err(EncodingError::DictTooLarge {
+                        distinct: dict_len,
+                        max: 256,
+                    });
                 }
                 // Lane-parallel max so the whole-column check vectorizes
                 // (a short-circuiting scan would run scalar and cost more
@@ -398,7 +447,39 @@ impl Column {
                 let max = lanes.iter().fold(tail, |a, &b| a.max(b));
                 if !codes.is_empty() && max as usize >= dict_len {
                     return Err(EncodingError::CodeOutOfRange {
-                        code: max,
+                        code: max as u32,
+                        dict_len,
+                    });
+                }
+                Ok(())
+            }
+            Column::Dict16 { codes, dict } => {
+                if dict.is_encoded() {
+                    return Err(EncodingError::Nested);
+                }
+                let dict_len = dict.len();
+                if dict_len > 65536 {
+                    return Err(EncodingError::DictTooLarge {
+                        distinct: dict_len,
+                        max: 65536,
+                    });
+                }
+                // Same lane-parallel whole-column max as the u8 arm.
+                let mut lanes = [0u16; 32];
+                let mut tail = 0u16;
+                let mut chunks = codes.chunks_exact(32);
+                for chunk in &mut chunks {
+                    for (lane, &c) in lanes.iter_mut().zip(chunk) {
+                        *lane = (*lane).max(c);
+                    }
+                }
+                for &c in chunks.remainder() {
+                    tail = tail.max(c);
+                }
+                let max = lanes.iter().fold(tail, |a, &b| a.max(b));
+                if !codes.is_empty() && max as usize >= dict_len {
+                    return Err(EncodingError::CodeOutOfRange {
+                        code: max as u32,
                         dict_len,
                     });
                 }
@@ -427,16 +508,20 @@ impl Column {
         }
     }
 
-    /// Whether this column is stored encoded ([`Column::Dict`]/[`Column::Rle`]).
+    /// Whether this column is stored encoded
+    /// ([`Column::Dict`]/[`Column::Dict16`]/[`Column::Rle`]).
     pub fn is_encoded(&self) -> bool {
-        matches!(self, Column::Dict { .. } | Column::Rle { .. })
+        matches!(
+            self,
+            Column::Dict { .. } | Column::Dict16 { .. } | Column::Rle { .. }
+        )
     }
 
     /// The column describing this column's *logical* type: the dictionary
     /// / run-values column for encoded variants, `self` for plain ones.
     pub(crate) fn logical(&self) -> &Column {
         match self {
-            Column::Dict { dict, .. } => dict,
+            Column::Dict { dict, .. } | Column::Dict16 { dict, .. } => dict,
             Column::Rle { values, .. } => values,
             plain => plain,
         }
@@ -450,6 +535,7 @@ impl Column {
             Column::U32(v) => v.len(),
             Column::U8(v) => v.len(),
             Column::Dict { codes, .. } => codes.len(),
+            Column::Dict16 { codes, .. } => codes.len(),
             Column::Rle { run_ends, .. } => run_ends.last().map_or(0, |&e| e as usize),
         }
     }
@@ -512,7 +598,7 @@ impl Column {
             Column::U8(_) => "U8",
             // One level of nesting is rejected by validate_encoding; a
             // hand-built nested variant still gets a stable name.
-            Column::Dict { .. } | Column::Rle { .. } => "<nested encoding>",
+            Column::Dict { .. } | Column::Dict16 { .. } | Column::Rle { .. } => "<nested encoding>",
         }
     }
 
@@ -537,6 +623,14 @@ impl Column {
             "Dict<U8>",
             "Dict<..>",
         ];
+        const DICT16: [&str; 6] = [
+            "Dict16<F64>",
+            "Dict16<F32>",
+            "Dict16<I32>",
+            "Dict16<U32>",
+            "Dict16<U8>",
+            "Dict16<..>",
+        ];
         const RLE: [&str; 6] = [
             "Rle<F64>", "Rle<F32>", "Rle<I32>", "Rle<U32>", "Rle<U8>", "Rle<..>",
         ];
@@ -547,6 +641,7 @@ impl Column {
             Column::U32(_) => "U32",
             Column::U8(_) => "U8",
             Column::Dict { dict, .. } => DICT[plain(dict)],
+            Column::Dict16 { dict, .. } => DICT16[plain(dict)],
             Column::Rle { values, .. } => RLE[plain(values)],
         }
     }
@@ -569,6 +664,7 @@ impl Column {
             Column::U32(v) => apply(v, perm),
             Column::U8(v) => apply(v, perm),
             Column::Dict { codes, .. } => apply(codes, perm),
+            Column::Dict16 { codes, .. } => apply(codes, perm),
             Column::Rle { .. } => {
                 unreachable!("Table::reorder rejects RLE columns before permuting")
             }
@@ -581,6 +677,35 @@ pub struct Table {
     pub name: String,
     columns: Vec<(String, Column)>,
     rows: usize,
+}
+
+/// Heuristics steering [`Table::encode_auto`], the ingest-path
+/// auto-encoder. The defaults reproduce the offline policy the TPC-H
+/// loader used to hard-code: prefer RLE when runs average at least 4 rows
+/// (the run-ends array then costs no more than the plain data), otherwise
+/// dictionary-encode when the distinct count fits a code width, otherwise
+/// stay plain.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EncodePolicy {
+    /// Columns with fewer rows stay plain (encoding overhead dominates).
+    pub min_rows: usize,
+    /// Take RLE only when `runs * min_avg_run <= rows` — i.e. runs span
+    /// at least this many rows on average.
+    pub min_avg_run: usize,
+    /// Upper bound on dictionary entries. `dict_encode` picks `u8` codes
+    /// at ≤ 256 entries and `u16` up to 65536; lowering this below 65536
+    /// keeps wide dictionaries plain instead.
+    pub max_dict: usize,
+}
+
+impl Default for EncodePolicy {
+    fn default() -> Self {
+        EncodePolicy {
+            min_rows: 4,
+            min_avg_run: 4,
+            max_dict: 65536,
+        }
+    }
 }
 
 /// Errors raised by table operations.
@@ -759,6 +884,38 @@ impl Table {
             c.permute(perm);
         }
         Ok(())
+    }
+
+    /// Re-encodes every plain column in place according to `policy` —
+    /// the ingest-path auto-encoder. Each column independently becomes
+    /// [`Column::Rle`] (long runs), [`Column::Dict`]/[`Column::Dict16`]
+    /// (few distinct values; `dict_encode` picks the code width), or
+    /// stays plain when neither pays off. Already-encoded columns are
+    /// left untouched. Logical content is preserved bit-for-bit, and the
+    /// storage is copy-on-write: sharers of the original column vectors
+    /// are unaffected.
+    pub fn encode_auto(&mut self, policy: EncodePolicy) {
+        for (_, c) in &mut self.columns {
+            if c.is_encoded() || c.len() < policy.min_rows {
+                continue;
+            }
+            if let Ok(rle) = c.rle_encode() {
+                if let Column::Rle { run_ends, .. } = &rle {
+                    if run_ends.len() * policy.min_avg_run <= c.len() {
+                        *c = rle;
+                        continue;
+                    }
+                }
+            }
+            if let Ok(dict) = c.dict_encode() {
+                // A dictionary only pays when codes reference shared
+                // entries; near-unique columns stay plain.
+                let entries = dict.logical().len();
+                if entries <= policy.max_dict && entries * 2 <= c.len() {
+                    *c = dict;
+                }
+            }
+        }
     }
 
     /// Models an MVCC-style UPDATE (the PostgreSQL behaviour behind the
@@ -1055,11 +1212,42 @@ mod tests {
         );
         assert_eq!(dict.dict_encode().unwrap_err(), EncodingError::Nested);
         assert_eq!(dict.rle_encode().unwrap_err(), EncodingError::Nested);
-        // >256 distinct values cannot dictionary-encode.
+        // >256 distinct values widen to u16 codes; >65536 cannot encode.
         let wide = Column::i32((0..300).collect::<Vec<i32>>());
+        assert_eq!(wide.dict_encode().unwrap().storage_name(), "Dict16<I32>");
+        let too_wide = Column::i32((0..70_000).collect::<Vec<i32>>());
         assert_eq!(
-            wide.dict_encode().unwrap_err(),
-            EncodingError::DictTooLarge { distinct: 257 }
+            too_wide.dict_encode().unwrap_err(),
+            EncodingError::DictTooLarge {
+                distinct: 65537,
+                max: 65536
+            }
+        );
+        // Hand-built Dict16 invariants: out-of-range code, oversized dict.
+        let err = Column::dict16(vec![0u16, 9], Column::f64(vec![1.0, 2.0])).unwrap_err();
+        assert_eq!(
+            err,
+            EncodingError::CodeOutOfRange {
+                code: 9,
+                dict_len: 2
+            }
+        );
+        assert_eq!(
+            Column::dict16(vec![0u16], dict.clone()).unwrap_err(),
+            EncodingError::Nested
+        );
+        let err = Column::Dict16 {
+            codes: Arc::new(vec![0u16]),
+            dict: Box::new(Column::i32((0..70_000).collect::<Vec<i32>>())),
+        }
+        .validate_encoding()
+        .unwrap_err();
+        assert_eq!(
+            err,
+            EncodingError::DictTooLarge {
+                distinct: 70_000,
+                max: 65536
+            }
         );
     }
 
@@ -1072,6 +1260,14 @@ mod tests {
             }
             .to_string(),
             "dictionary code 9 out of range (dict has 4 entries)"
+        );
+        assert_eq!(
+            EncodingError::DictTooLarge {
+                distinct: 65537,
+                max: 65536
+            }
+            .to_string(),
+            "dictionary would need 65537 entries (codes allow at most 65536)"
         );
         assert_eq!(
             EncodingError::RunEndsNotIncreasing { index: 2 }.to_string(),
@@ -1130,5 +1326,97 @@ mod tests {
         );
         // The error fired before any column was permuted.
         assert_eq!(t.column("x").unwrap().as_i32(), &[10, 20]);
+    }
+
+    #[test]
+    fn dict16_round_trips_bitwise_and_reorders() {
+        // 300 distinct doubles force u16 codes.
+        let vals: Vec<f64> = (0..1000).map(|i| (i % 300) as f64 * 0.25 - 30.0).collect();
+        let enc = Column::f64(vals.clone()).dict_encode().unwrap();
+        assert_eq!(enc.storage_name(), "Dict16<F64>");
+        assert_eq!(enc.type_name(), "F64");
+        assert_eq!(enc.len(), vals.len());
+        assert!(enc.is_numeric());
+        assert!(enc.is_encoded());
+        for (a, b) in enc.decode().as_f64().iter().zip(&vals) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        // Reorder permutes the codes copy-on-write, like Dict.
+        let shared = enc.clone();
+        let mut t = Table::new("t");
+        t.add_column("v", enc).unwrap();
+        let perm: Vec<u32> = (0..1000).rev().collect();
+        t.reorder(&perm).unwrap();
+        let reordered = t.column("v").unwrap();
+        assert!(reordered.is_encoded(), "reorder must not decode Dict16");
+        let dec = reordered.decode();
+        for (i, v) in dec.as_f64().iter().enumerate() {
+            assert_eq!(v.to_bits(), vals[999 - i].to_bits());
+        }
+        for (a, b) in shared.decode().as_f64().iter().zip(&vals) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn encode_auto_selects_per_column_encodings() {
+        let n = 4096usize;
+        let mut t = Table::new("t");
+        // Long runs -> RLE.
+        t.add_column(
+            "sorted",
+            Column::i32((0..n).map(|i| (i / 64) as i32).collect::<Vec<_>>()),
+        )
+        .unwrap();
+        // Few distinct, short runs -> Dict (u8 codes).
+        t.add_column(
+            "tag",
+            Column::u8((0..n).map(|i| (i % 7) as u8).collect::<Vec<_>>()),
+        )
+        .unwrap();
+        // 1000 distinct, short runs -> Dict16.
+        t.add_column(
+            "key",
+            Column::u32((0..n).map(|i| (i % 1000) as u32).collect::<Vec<_>>()),
+        )
+        .unwrap();
+        // All-distinct doubles -> stays plain.
+        t.add_column(
+            "price",
+            Column::f64((0..n).map(|i| i as f64 * 1.0625).collect::<Vec<_>>()),
+        )
+        .unwrap();
+        // Already encoded -> untouched.
+        t.add_column(
+            "pre",
+            Column::dict(vec![0u8; n], Column::f64(vec![1.5])).unwrap(),
+        )
+        .unwrap();
+        let before_pre = t.column("pre").unwrap().clone();
+        t.encode_auto(EncodePolicy::default());
+        assert_eq!(t.column("sorted").unwrap().storage_name(), "Rle<I32>");
+        assert_eq!(t.column("tag").unwrap().storage_name(), "Dict<U8>");
+        assert_eq!(t.column("key").unwrap().storage_name(), "Dict16<U32>");
+        assert_eq!(t.column("price").unwrap().storage_name(), "F64");
+        assert_eq!(t.column("pre").unwrap(), &before_pre);
+        // Logical content survives bit-for-bit.
+        assert_eq!(t.column("sorted").unwrap().decode().as_i32()[4095 - 64], 62);
+        // A policy capping dictionaries below 1000 keeps "key" plain.
+        let mut t2 = Table::new("t2");
+        t2.add_column(
+            "key",
+            Column::u32((0..n).map(|i| (i % 1000) as u32).collect::<Vec<_>>()),
+        )
+        .unwrap();
+        t2.encode_auto(EncodePolicy {
+            max_dict: 256,
+            ..EncodePolicy::default()
+        });
+        assert_eq!(t2.column("key").unwrap().storage_name(), "U32");
+        // Tiny tables stay plain.
+        let mut t3 = Table::new("t3");
+        t3.add_column("x", Column::i32(vec![1, 1, 1])).unwrap();
+        t3.encode_auto(EncodePolicy::default());
+        assert_eq!(t3.column("x").unwrap().storage_name(), "I32");
     }
 }

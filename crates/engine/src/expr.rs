@@ -300,6 +300,7 @@ enum ColData<'t> {
     U32(&'t [u32]),
     U8(&'t [u8]),
     Dict { codes: &'t [u8], vals: Vals<'t> },
+    Dict16 { codes: &'t [u16], vals: Vals<'t> },
     Rle { run_ends: &'t [u32], vals: Vals<'t> },
 }
 
@@ -371,6 +372,11 @@ impl ColData<'_> {
                     *r = vals.get(codes[i as usize] as usize);
                 }
             }
+            ColData::Dict16 { codes, vals } => {
+                for (r, &i) in out.iter_mut().zip(sel) {
+                    *r = vals.get(codes[i as usize] as usize);
+                }
+            }
             ColData::Rle { run_ends, vals } => {
                 let mut run = 0usize;
                 for (r, &i) in out.iter_mut().zip(sel) {
@@ -405,6 +411,10 @@ fn bind_numeric<'t>(table: &'t Table, name: &ColRef) -> Result<ColData<'t>, Tabl
         Column::U32(v) => Ok(ColData::U32(v)),
         Column::U8(v) => Ok(ColData::U8(v)),
         Column::Dict { codes, dict } => Ok(ColData::Dict {
+            codes,
+            vals: vals_of(dict, name)?,
+        }),
+        Column::Dict16 { codes, dict } => Ok(ColData::Dict16 {
             codes,
             vals: vals_of(dict, name)?,
         }),
@@ -500,6 +510,15 @@ enum BoundFast<'t> {
     DictInSet {
         codes: &'t [u8],
         keep: Box<[i32; 256]>,
+    },
+    /// Wide-dictionary predicate pushdown: same once-per-entry evaluation
+    /// as [`BoundFast::DictInSet`], but the membership set is a 65536-bit
+    /// bitset (1024 × u64) indexed by the `u16` code — row `r` matches iff
+    /// bit `codes[r]` is set. Codes past the dictionary stay 0 (validation
+    /// rejects them before any scan).
+    Dict16InSet {
+        codes: &'t [u16],
+        keep: Box<[u64; 1024]>,
     },
     /// RLE predicate pushdown: the comparison ran once per run. `fill`
     /// emits whole row ranges of matching runs (O(selected), no per-row
@@ -943,6 +962,18 @@ fn bind_fast<'t>(shape: &FastShape, table: &'t Table) -> Result<Option<BoundFast
             }
             Some(BoundFast::DictInSet { codes, keep })
         }
+        (shape, Column::Dict16 { codes, dict }) => {
+            let Ok(vals) = vals_of(dict, col_name) else {
+                return Ok(None);
+            };
+            let mut keep = Box::new([0u64; 1024]);
+            for c in 0..dict.len() {
+                if shape_test(shape, vals.get(c)) {
+                    keep[c >> 6] |= 1u64 << (c & 63);
+                }
+            }
+            Some(BoundFast::Dict16InSet { codes, keep })
+        }
         (shape, Column::Rle { run_ends, values }) => {
             let Ok(vals) = vals_of(values, col_name) else {
                 return Ok(None);
@@ -1064,9 +1095,11 @@ impl BoundFast<'_> {
                 BoundFast::DictInSet { codes, keep } => {
                     simd_sel::fill_u8_in_set(codes, keep, _lo, _hi, _sel)
                 }
-                // Range emission is already O(selected rows); nothing for
-                // a per-row kernel to speed up.
-                BoundFast::RleRuns { .. } => false,
+                // The u16 bitset test is two scalar ops per row; no
+                // dedicated kernel yet. Range emission is already
+                // O(selected rows); nothing for a per-row kernel to speed
+                // up there either.
+                BoundFast::Dict16InSet { .. } | BoundFast::RleRuns { .. } => false,
             }
         }
         #[cfg(not(target_arch = "x86_64"))]
@@ -1093,7 +1126,9 @@ impl BoundFast<'_> {
                 }
                 // An i32 gather over u8 codes would read past the column's
                 // end; the scalar LUT loop is the refine path for codes.
-                BoundFast::DictInSet { .. } | BoundFast::RleRuns { .. } => false,
+                BoundFast::DictInSet { .. }
+                | BoundFast::Dict16InSet { .. }
+                | BoundFast::RleRuns { .. } => false,
             }
         }
         #[cfg(not(target_arch = "x86_64"))]
@@ -1118,6 +1153,10 @@ impl BoundFast<'_> {
             BoundFast::DictInSet { codes, keep } => {
                 fill_with(lo, hi, sel, |r| keep[codes[r] as usize] != 0)
             }
+            BoundFast::Dict16InSet { codes, keep } => fill_with(lo, hi, sel, |r| {
+                let c = codes[r] as usize;
+                keep[c >> 6] >> (c & 63) & 1 != 0
+            }),
             BoundFast::RleRuns { run_ends, keep } => {
                 // Walk the runs overlapping [lo, hi) and append whole row
                 // ranges for the matching ones — per-run work, not per-row.
@@ -1154,6 +1193,10 @@ impl BoundFast<'_> {
             BoundFast::DictInSet { codes, keep } => {
                 refine_with(sel, |r| keep[codes[r] as usize] != 0)
             }
+            BoundFast::Dict16InSet { codes, keep } => refine_with(sel, |r| {
+                let c = codes[r] as usize;
+                keep[c >> 6] >> (c & 63) & 1 != 0
+            }),
             BoundFast::RleRuns { run_ends, keep } => {
                 // Selection vectors are increasing, so every run covers a
                 // contiguous span of candidates: keep or drop whole spans
@@ -1844,6 +1887,50 @@ mod tests {
         let c = e_enc.eval(&t, &rev).unwrap();
         for (i, v) in c.iter().enumerate() {
             assert_eq!(v.to_bits(), a[199 - i].to_bits());
+        }
+    }
+
+    #[test]
+    fn dict16_pushdown_and_gathers_match_plain() {
+        // 300 distinct values force u16 codes.
+        let n = 2000usize;
+        let vals: Vec<f64> = (0..n)
+            .map(|i| ((i * 7) % 300) as f64 * 0.25 - 20.0)
+            .collect();
+        let mut t = Table::new("w");
+        t.add_column("v", Column::f64(vals.clone()).dict_encode().unwrap())
+            .unwrap();
+        t.add_column("v_plain", Column::f64(vals)).unwrap();
+        assert_eq!(t.column("v").unwrap().storage_name(), "Dict16<F64>");
+        // The comparison binds the 65536-bit code-membership fast path.
+        let p = Expr::col("v").lt(Expr::lit(11.5)).compile();
+        let bound = p.bind(&t).unwrap();
+        assert!(matches!(bound.fast, Some(BoundFast::Dict16InSet { .. })));
+        let q = Expr::col("v_plain").lt(Expr::lit(11.5)).compile();
+        let plain = q.bind(&t).unwrap();
+        let mut scratch = EvalScratch::new();
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        bound.fill(5, n - 3, &mut a, &mut scratch);
+        plain.fill(5, n - 3, &mut b, &mut scratch);
+        assert_eq!(a, b);
+        bound.refine(&mut a, &mut scratch);
+        plain.refine(&mut b, &mut scratch);
+        assert_eq!(a, b);
+        // Composite predicates and gathers go through the codes too.
+        check_pred(
+            &Expr::col("v").between(Expr::lit(-5.0), Expr::lit(30.25)),
+            &t,
+        );
+        let e = Expr::col("v").mul(Expr::lit(1.5));
+        let f = Expr::col("v_plain").mul(Expr::lit(1.5));
+        let rows: Vec<u32> = (0..n as u32).collect();
+        for (x, y) in e
+            .eval(&t, &rows)
+            .unwrap()
+            .iter()
+            .zip(&f.eval(&t, &rows).unwrap())
+        {
+            assert_eq!(x.to_bits(), y.to_bits());
         }
     }
 

@@ -59,6 +59,28 @@
 //! per-row deposits for the vectorized block kernel (`simd::add_slice`),
 //! which §III-D proves bit-transparent.
 //!
+//! **Algebraic aggregation over encoded inputs.** When a SUM / MIN / MAX
+//! input is a *bare* encoded column (`Rle`, `Dict` or `Dict16` over plain
+//! numeric storage), the executor skips the per-row gather entirely: each
+//! selected RLE run span deposits its value once with its repetition
+//! count, and dictionary columns accumulate per-`(group, code)` row
+//! counts across the batch, flushing one deposit per touched dictionary
+//! entry at batch end. The `k·v` deposit
+//! ([`crate::GroupedSums::update_scaled`] →
+//! [`rfa_core::ReproSum::add_scaled`]) folds into the reproducible
+//! accumulators bit-identically to `k` per-row additions, and those
+//! states are pure functions of the input *multiset*, so neither the
+//! collapse nor the flush order can change any output bit (DESIGN.md
+//! §26). Plain doubles are order-sensitive with no algebraic shortcut —
+//! their SUMs keep the per-row path ([`SumBackend::merges_exactly`] gates
+//! the fast path), while MIN / MAX comparison folds, being idempotent and
+//! order-insensitive, run once per run / per code on every backend.
+//! Dictionary batches only go algebraic when the histogram pays: a
+//! dictionary larger than half the batch's selection (or a
+//! `groups × entries` table past `ALG_HIST_MAX`) would flush about one
+//! deposit per row, so those batches keep per-row deposits — the two
+//! paths are bit-identical, so mixing them per batch is free.
+//!
 //! **Parallelism.** With `threads > 1` the scan runs morsel-driven on the
 //! work-stealing pool: each morsel ([`ExecOptions::morsel_rows`] rows)
 //! processes its batches into private states, merged along the
@@ -554,6 +576,13 @@ enum U8Src<'t> {
         codes: &'t [u8],
         dict: &'t [u8],
     },
+    /// Wide-dictionary storage (`u16` codes). A `U8` inner dictionary has
+    /// ≤256 distinct values so [`Column::dict_encode`] never *produces*
+    /// this shape, but reordered or hand-built tables can carry it.
+    Dict16 {
+        codes: &'t [u16],
+        dict: &'t [u8],
+    },
     Rle {
         run_ends: &'t [u32],
         values: &'t [u8],
@@ -571,6 +600,7 @@ impl<'t> U8Src<'t> {
         match *self {
             U8Src::Plain(col) => col[row],
             U8Src::Dict { codes, dict } => dict[codes[row] as usize],
+            U8Src::Dict16 { codes, dict } => dict[codes[row] as usize],
             U8Src::Rle { run_ends, values } => {
                 *cursor = advance_run(run_ends, *cursor, row as u32);
                 values[*cursor]
@@ -603,6 +633,12 @@ enum KeyCol<'t> {
         codes: &'t [u8],
         keys: Vec<u32>,
     },
+    /// Wide-dictionary key column (`u16` codes, ≤65536 entries): same
+    /// per-code key table, two-byte loads.
+    Dict16 {
+        codes: &'t [u16],
+        keys: Vec<u32>,
+    },
     /// RLE key column: `keys[run]` is the key of every row in `run`.
     Rle {
         run_ends: &'t [u32],
@@ -627,6 +663,7 @@ impl KeyCol<'_> {
             KeyCol::U32(col) => col[row],
             KeyCol::U8(col) => col[row] as u32,
             KeyCol::Dict { codes, keys } => keys[codes[row] as usize],
+            KeyCol::Dict16 { codes, keys } => keys[codes[row] as usize],
             KeyCol::Rle { run_ends, keys } => {
                 cur.a = advance_run(run_ends, cur.a, row as u32);
                 keys[cur.a]
@@ -639,8 +676,9 @@ impl KeyCol<'_> {
 }
 
 /// The per-code (dictionary) or per-run (RLE) `u32` hash keys of an
-/// encoded key column's inner values — one widening pass over ≤256
-/// dictionary entries or the run values, never over n rows.
+/// encoded key column's inner values — one widening pass over the
+/// dictionary entries (≤256 for `Dict`, ≤65536 for `Dict16`) or the run
+/// values, never over n rows.
 fn inner_keys(col: &Column) -> Vec<u32> {
     match col {
         Column::I32(v) => v.iter().map(|&x| x as u32).collect(),
@@ -698,6 +736,226 @@ enum Deposit {
     Segs,
 }
 
+/// Ceiling on the dictionary algebraic path's flat `(group, code)`
+/// histogram, in entries (`groups × dictionary size`). Beyond this the
+/// histogram's footprint would dwarf the per-row deposits it saves, so
+/// the batch falls back to the per-row path — the deposit algebra is
+/// exact, so results are bit-identical either way.
+const ALG_HIST_MAX: usize = 1 << 22;
+
+/// A SUM / MIN / MAX input that is a *bare encoded column*, bound for
+/// algebraic aggregation: instead of gathering one `f64` per selected
+/// row, each selected RLE run span deposits once with its repetition
+/// count, and each batch accumulates per-`(group, code)` row counts for
+/// dictionary columns, flushing one deposit per touched entry at batch
+/// end ([`GroupedStates::deposit_scaled`] — the exact `k·v` fold). The
+/// inner values widen to `f64` here, once per run / per code, with the
+/// same `as f64` conversion the gather path applies per row, so the
+/// deposited values are bit-identical to the per-row path's.
+enum AlgSrc<'t> {
+    Rle {
+        run_ends: &'t [u32],
+        values: Vec<f64>,
+    },
+    Dict {
+        codes: DictCodes<'t>,
+        vals: Vec<f64>,
+    },
+}
+
+/// Dictionary codes at either width, read as `usize` indexes.
+#[derive(Clone, Copy)]
+enum DictCodes<'t> {
+    U8(&'t [u8]),
+    U16(&'t [u16]),
+}
+
+impl DictCodes<'_> {
+    #[inline(always)]
+    fn get(&self, row: usize) -> usize {
+        match *self {
+            DictCodes::U8(c) => c[row] as usize,
+            DictCodes::U16(c) => c[row] as usize,
+        }
+    }
+}
+
+/// Widens a plain numeric column to `f64` — the identical conversion the
+/// gather path's `Vals::get` performs per row, hoisted to once per
+/// dictionary entry / run value.
+fn widen_plain(col: &Column) -> Option<Vec<f64>> {
+    Some(match col {
+        Column::F64(v) => v.to_vec(),
+        Column::I32(v) => v.iter().map(|&x| x as f64).collect(),
+        Column::U32(v) => v.iter().map(|&x| x as f64).collect(),
+        Column::U8(v) => v.iter().map(|&x| x as f64).collect(),
+        _ => return None,
+    })
+}
+
+/// Binds `expr` for algebraic aggregation if it is a bare encoded column
+/// over plain numeric storage. Anything else — expression compositions,
+/// plain columns, nested encodings — returns `None` and takes the
+/// per-row gather path.
+fn bind_alg<'t>(expr: &Expr, table: &'t Table) -> Option<AlgSrc<'t>> {
+    let Expr::Col(name) = expr else { return None };
+    match table.column(name.as_str()).ok()? {
+        Column::Rle { run_ends, values } => Some(AlgSrc::Rle {
+            run_ends,
+            values: widen_plain(values)?,
+        }),
+        Column::Dict { codes, dict } => Some(AlgSrc::Dict {
+            codes: DictCodes::U8(codes),
+            vals: widen_plain(dict)?,
+        }),
+        Column::Dict16 { codes, dict } => Some(AlgSrc::Dict {
+            codes: DictCodes::U16(codes),
+            vals: widen_plain(dict)?,
+        }),
+        _ => None,
+    }
+}
+
+/// Which state array an algebraic deposit feeds.
+#[derive(Clone, Copy)]
+enum AlgAgg {
+    Sum(usize),
+    Min(usize),
+    Max(usize),
+}
+
+/// Calls `f(group, start, end)` for each maximal span `sel[start..end)`
+/// of the batch's selection whose rows share one group id, in selection
+/// order.
+fn for_each_group_span(
+    deposit: Deposit,
+    sel_len: usize,
+    gids: &[u32],
+    segs: &[(u32, usize)],
+    mut f: impl FnMut(u32, usize, usize) -> Result<(), FusedError>,
+) -> Result<(), FusedError> {
+    match deposit {
+        Deposit::Single => {
+            if sel_len > 0 {
+                f(0, 0, sel_len)?;
+            }
+        }
+        Deposit::Segs => {
+            let mut start = 0;
+            for &(g, end) in segs {
+                f(g, start, end)?;
+                start = end;
+            }
+        }
+        Deposit::Rows => {
+            let mut i = 0;
+            while i < sel_len {
+                let g = gids[i];
+                let mut j = i + 1;
+                while j < sel_len && gids[j] == g {
+                    j += 1;
+                }
+                f(g, i, j)?;
+                i = j;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Deposits one batch of an algebraic source: once per `(group, run)`
+/// span for RLE, once per touched `(group, code)` pair for dictionaries.
+/// `cursor` is this source's RLE run position, carried across the range's
+/// batches (selections are increasing, so advancing is amortized O(1)).
+/// Returns `Ok(false)` *without depositing* when the dictionary histogram
+/// would exceed [`ALG_HIST_MAX`]; the caller then runs the per-row path
+/// for this batch.
+#[allow(clippy::too_many_arguments)]
+fn deposit_algebraic(
+    states: &mut GroupedStates,
+    agg: AlgAgg,
+    src: &AlgSrc<'_>,
+    cursor: &mut usize,
+    sel: &[u32],
+    deposit: Deposit,
+    gids: &[u32],
+    segs: &[(u32, usize)],
+    groups: usize,
+    hist: &mut Vec<u32>,
+    touched: &mut Vec<u32>,
+) -> Result<bool, FusedError> {
+    match src {
+        AlgSrc::Rle { run_ends, values } => {
+            for_each_group_span(deposit, sel.len(), gids, segs, |g, start, end| {
+                let mut i = start;
+                while i < end {
+                    *cursor = advance_run(run_ends, *cursor, sel[i]);
+                    // The deposit span ends where the value run does (or
+                    // where the selection / group span leaves it).
+                    let bound = run_ends[*cursor];
+                    let mut j = i + 1;
+                    while j < end && sel[j] < bound {
+                        j += 1;
+                    }
+                    let v = values[*cursor];
+                    match agg {
+                        AlgAgg::Sum(s) => {
+                            states.deposit_scaled(s, g as usize, v, (j - i) as u64)?
+                        }
+                        AlgAgg::Min(s) => states.update_min_value(s, g as usize, v),
+                        AlgAgg::Max(s) => states.update_max_value(s, g as usize, v),
+                    }
+                    i = j;
+                }
+                Ok(())
+            })?;
+        }
+        AlgSrc::Dict { codes, vals } => {
+            let dict_len = vals.len();
+            // The histogram only pays when codes repeat within the batch.
+            // A dictionary comparable to the batch's selection would
+            // flush nearly one k·v deposit per row — pricier than the
+            // per-row deposits it replaces — so such batches fall back.
+            if dict_len > sel.len() / 2 {
+                return Ok(false);
+            }
+            let need = groups * dict_len;
+            if need > ALG_HIST_MAX {
+                return Ok(false);
+            }
+            if hist.len() < need {
+                hist.resize(need, 0);
+            }
+            for_each_group_span(deposit, sel.len(), gids, segs, |g, start, end| {
+                let base = g as usize * dict_len;
+                for &row in &sel[start..end] {
+                    let key = base + codes.get(row as usize);
+                    if hist[key] == 0 {
+                        touched.push(key as u32);
+                    }
+                    hist[key] += 1;
+                }
+                Ok(())
+            })?;
+            // Flush order is touch order, not row order: fine, because
+            // this path only runs for states that are pure functions of
+            // the input multiset (and idempotent MIN / MAX folds).
+            for &key in touched.iter() {
+                let key = key as usize;
+                let (g, c) = (key / dict_len, key % dict_len);
+                match agg {
+                    AlgAgg::Sum(s) => states.deposit_scaled(s, g, vals[c], hist[key] as u64)?,
+                    AlgAgg::Min(s) => states.update_min_value(s, g, vals[c]),
+                    AlgAgg::Max(s) => states.update_max_value(s, g, vals[c]),
+                }
+                hist[key] = 0;
+            }
+            touched.clear();
+        }
+    }
+    Ok(true)
+}
+
 /// Scans `[lo, hi)` batch-at-a-time into fresh per-call states. All
 /// scratch is batch-sized and reused across the range's batches. Each
 /// batch boundary is a cancellation point (`check`) and a fault-injection
@@ -729,6 +987,29 @@ fn scan_range(
     let bound_mins: Vec<BoundExpr> = compiled.mins.iter().map(|c| bind_expr(c, table)).collect();
     let bound_maxs: Vec<BoundExpr> = compiled.maxs.iter().map(|c| bind_expr(c, table)).collect();
 
+    // Algebraic sources: bare encoded SUM inputs take the once-per-run /
+    // once-per-code deposit path only on backends whose state is a pure
+    // function of the input multiset (`merges_exactly`) — there the k·v
+    // fold is bit-identical to k per-row adds (DESIGN.md §26). Plain
+    // doubles are order-sensitive with no algebraic shortcut, so they
+    // keep the per-row path by design. MIN / MAX comparison folds are
+    // idempotent and order-insensitive, so they fold once per span on
+    // every backend.
+    let alg_sums: Vec<Option<AlgSrc>> = if backend.merges_exactly() {
+        query.sums.iter().map(|e| bind_alg(e, table)).collect()
+    } else {
+        query.sums.iter().map(|_| None).collect()
+    };
+    let alg_mins: Vec<Option<AlgSrc>> = query.mins.iter().map(|e| bind_alg(e, table)).collect();
+    let alg_maxs: Vec<Option<AlgSrc>> = query.maxs.iter().map(|e| bind_alg(e, table)).collect();
+    // Per-state-array RLE value-run cursors, carried across batches.
+    let mut sum_cur = vec![0usize; alg_sums.len()];
+    let mut min_cur = vec![0usize; alg_mins.len()];
+    let mut max_cur = vec![0usize; alg_maxs.len()];
+    // Dictionary (group, code) histogram scratch, all-zero between uses.
+    let mut hist: Vec<u32> = Vec::new();
+    let mut touched: Vec<u32> = Vec::new();
+
     let bind_u8 = |name: &ColRef| -> U8Src {
         let col = table
             .column(name.as_str())
@@ -739,6 +1020,13 @@ fn scan_range(
                 Column::U8(d) => U8Src::Dict { codes, dict: d },
                 other => panic!(
                     "dense group key must be a U8 column, found Dict<{}>",
+                    other.type_name()
+                ),
+            },
+            Column::Dict16 { codes, dict } => match &**dict {
+                Column::U8(d) => U8Src::Dict16 { codes, dict: d },
+                other => panic!(
+                    "dense group key must be a U8 column, found Dict16<{}>",
                     other.type_name()
                 ),
             },
@@ -781,6 +1069,10 @@ fn scan_range(
                     Column::U32(v) => KeyCol::U32(v),
                     Column::U8(v) => KeyCol::U8(v),
                     Column::Dict { codes, dict } => KeyCol::Dict {
+                        codes,
+                        keys: inner_keys(dict),
+                    },
+                    Column::Dict16 { codes, dict } => KeyCol::Dict16 {
                         codes,
                         keys: inner_keys(dict),
                     },
@@ -852,10 +1144,10 @@ fn scan_range(
         // maximal spans of rows sharing one group (`segs`), the group id
         // is computed once per span — per run, not per row — and counts
         // and state deposits happen in one block call per span.
-        let deposit = match &ctx {
+        let (deposit, batch_groups) = match &ctx {
             GroupCtx::Single => {
                 states.add_count_single(sel.len() as u64);
-                Deposit::Single
+                (Deposit::Single, 1)
             }
             GroupCtx::Dense {
                 a,
@@ -888,7 +1180,7 @@ fn scan_range(
                         segs.push((g, j));
                         i = j;
                     }
-                    Deposit::Segs
+                    (Deposit::Segs, *groups)
                 } else {
                     gids.clear();
                     for &row in &sel {
@@ -905,7 +1197,7 @@ fn scan_range(
                         gids.push(g);
                     }
                     states.add_counts(&gids);
-                    Deposit::Rows
+                    (Deposit::Rows, *groups)
                 }
             }
             GroupCtx::Hash { col, key_col } => {
@@ -959,7 +1251,7 @@ fn scan_range(
                         segs.push((g, j));
                         i = j;
                     }
-                    Deposit::Segs
+                    (Deposit::Segs, h.keys.len())
                 } else {
                     key_buf.clear();
                     for &row in &sel {
@@ -983,7 +1275,7 @@ fn scan_range(
                         });
                     states.ensure_groups(keys.len());
                     states.add_counts(&gids);
-                    Deposit::Rows
+                    (Deposit::Rows, keys.len())
                 }
             }
         };
@@ -994,6 +1286,26 @@ fn scan_range(
             e.eval_into(&sel, scratch, out);
         };
         for (s, expr) in bound_sums.iter().enumerate() {
+            if let Some(src) = &alg_sums[s] {
+                let t2 = Instant::now();
+                let done = deposit_algebraic(
+                    &mut states,
+                    AlgAgg::Sum(s),
+                    src,
+                    &mut sum_cur[s],
+                    &sel,
+                    deposit,
+                    &gids,
+                    &segs,
+                    batch_groups,
+                    &mut hist,
+                    &mut touched,
+                )?;
+                timing.aggregation += t2.elapsed();
+                if done {
+                    continue;
+                }
+            }
             let t1 = Instant::now();
             values(&mut scratch, &mut out[..sel.len()], expr);
             timing.scan += t1.elapsed();
@@ -1012,6 +1324,26 @@ fn scan_range(
             timing.aggregation += t2.elapsed();
         }
         for (s, expr) in bound_mins.iter().enumerate() {
+            if let Some(src) = &alg_mins[s] {
+                let t2 = Instant::now();
+                let done = deposit_algebraic(
+                    &mut states,
+                    AlgAgg::Min(s),
+                    src,
+                    &mut min_cur[s],
+                    &sel,
+                    deposit,
+                    &gids,
+                    &segs,
+                    batch_groups,
+                    &mut hist,
+                    &mut touched,
+                )?;
+                timing.aggregation += t2.elapsed();
+                if done {
+                    continue;
+                }
+            }
             let t1 = Instant::now();
             values(&mut scratch, &mut out[..sel.len()], expr);
             timing.scan += t1.elapsed();
@@ -1030,6 +1362,26 @@ fn scan_range(
             timing.aggregation += t2.elapsed();
         }
         for (s, expr) in bound_maxs.iter().enumerate() {
+            if let Some(src) = &alg_maxs[s] {
+                let t2 = Instant::now();
+                let done = deposit_algebraic(
+                    &mut states,
+                    AlgAgg::Max(s),
+                    src,
+                    &mut max_cur[s],
+                    &sel,
+                    deposit,
+                    &gids,
+                    &segs,
+                    batch_groups,
+                    &mut hist,
+                    &mut touched,
+                )?;
+                timing.aggregation += t2.elapsed();
+                if done {
+                    continue;
+                }
+            }
             let t1 = Instant::now();
             values(&mut scratch, &mut out[..sel.len()], expr);
             timing.scan += t1.elapsed();
@@ -1912,6 +2264,272 @@ mod tests {
         }
     }
 
+    /// Tentpole: bare-column SUM / MIN / MAX over RLE, `Dict` and `Dict16`
+    /// inputs take the algebraic path — one deposit per value-run span,
+    /// one per touched dictionary code — and must be bit-identical to the
+    /// per-row path over the plain twin, across every grouping mode,
+    /// backend, thread count and batch shape. `Double` is gated to the
+    /// per-row path and must *also* match (the gate itself is under test).
+    #[test]
+    fn algebraic_deposits_match_per_row_bitwise() {
+        let n = 12_000usize;
+        let mut keys: Vec<(u8, u8, i32)> = (0..n)
+            .map(|i| ((i % 3) as u8, (i % 5) as u8, (i % 31) as i32))
+            .collect();
+        keys.sort_unstable();
+        let ga: Vec<u8> = keys.iter().map(|r| r.0).collect();
+        let gb: Vec<u8> = keys.iter().map(|r| r.1).collect();
+        let k: Vec<i32> = keys.iter().map(|r| r.2).collect();
+        // Post-sort value with genuine runs (RLE), a 23-entry dictionary
+        // (u8 codes) and a 300-entry dictionary (u16 codes). The odd
+        // epsilon makes order-sensitivity visible if a path reorders.
+        let v: Vec<f64> = (0..n)
+            .map(|i| {
+                let (a, b, _) = keys[i];
+                a as f64 * 5.0 + b as f64 * 0.75 + ((i / 100) % 4) as f64 * 0.03125 - 6.0 + 2.5e-16
+            })
+            .collect();
+        let vd: Vec<f64> = (0..n).map(|i| (i % 23) as f64 * 0.4375 - 4.0).collect();
+        let vw: Vec<f64> = (0..n).map(|i| (i % 300) as f64 * 0.09375 - 13.0).collect();
+
+        let mut plain = Table::new("t");
+        let mut enc = Table::new("t");
+        for (name, col) in [
+            ("ga", Column::u8(ga)),
+            ("gb", Column::u8(gb)),
+            ("k", Column::i32(k)),
+            ("v", Column::f64(v)),
+            ("vd", Column::f64(vd)),
+            ("vw", Column::f64(vw)),
+        ] {
+            let encoded = match name {
+                "ga" | "gb" | "k" | "v" => Column::rle_encode(&col).unwrap(),
+                _ => Column::dict_encode(&col).unwrap(),
+            };
+            enc.add_column(name, encoded).unwrap();
+            plain.add_column(name, col).unwrap();
+        }
+        assert_eq!(enc.column("vd").unwrap().storage_name(), "Dict<F64>");
+        assert_eq!(enc.column("vw").unwrap().storage_name(), "Dict16<F64>");
+
+        let bare_aggs = |group_by: GroupKey| FusedQuery {
+            filter: vec![Expr::col("k").ge(Expr::lit(3.0))],
+            sums: vec![Expr::col("v"), Expr::col("vd"), Expr::col("vw")],
+            mins: vec![Expr::col("v"), Expr::col("vw")],
+            maxs: vec![Expr::col("vd")],
+            group_by,
+        };
+        let queries = [
+            bare_aggs(GroupKey::None),
+            bare_aggs(GroupKey::Dense {
+                spec: GroupSpec {
+                    a: "ga".into(),
+                    b: "gb".into(),
+                    encode: encode_low_bit,
+                },
+                groups: 4,
+            }),
+            bare_aggs(GroupKey::Hash {
+                col: "k".into(),
+                hash: HashKind::Identity,
+            }),
+            bare_aggs(GroupKey::HashPair {
+                a: "ga".into(),
+                b: "gb".into(),
+                hash: HashKind::Identity,
+            }),
+        ];
+        for (q, query) in queries.iter().enumerate() {
+            for backend in [
+                SumBackend::Double,
+                SumBackend::ReproUnbuffered,
+                SumBackend::ReproBuffered { buffer_size: 64 },
+                SumBackend::Rsum { levels: 2 },
+                SumBackend::RsumBuffered {
+                    levels: 3,
+                    buffer_size: 32,
+                },
+            ] {
+                for (threads, batch_rows) in [(1, 4096), (1, 73), (4, 128)] {
+                    let opts = ExecOptions {
+                        threads,
+                        batch_rows,
+                        morsel_rows: 512,
+                        ..ExecOptions::default()
+                    };
+                    let want = run_fused(&plain, query, backend, &opts).unwrap();
+                    let got = run_fused(&enc, query, backend, &opts).unwrap();
+                    let tag = format!("q{q} {backend:?} t{threads} b{batch_rows}");
+                    assert_eq!(got.counts, want.counts, "{tag}");
+                    assert_eq!(got.keys, want.keys, "{tag}");
+                    for (arrays, ref_arrays) in [
+                        (&got.sums, &want.sums),
+                        (&got.mins, &want.mins),
+                        (&got.maxs, &want.maxs),
+                    ] {
+                        for (a, (xs, ys)) in arrays.iter().zip(ref_arrays.iter()).enumerate() {
+                            for (g, (x, y)) in xs.iter().zip(ys.iter()).enumerate() {
+                                assert_eq!(x.to_bits(), y.to_bits(), "{tag} agg {a} group {g}");
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Satellite: `Dict16` group keys — a wide-dictionary hash key column
+    /// (1000 distinct `I32` keys, `u16` codes) and a hand-built
+    /// `Dict16<U8>` dense key leg — group bit-identically to plain keys.
+    #[test]
+    fn dict16_group_keys_match_plain() {
+        use std::sync::Arc;
+        let n = 8_000usize;
+        let k: Vec<i32> = (0..n).map(|i| (i * 7 % 1000) as i32).collect();
+        let ga: Vec<u8> = (0..n).map(|i| (i % 3) as u8).collect();
+        let gb: Vec<u8> = (0..n).map(|i| (i % 5) as u8).collect();
+        let x: Vec<f64> = (0..n).map(|i| (i % 97) as f64 * 0.25 - 8.0).collect();
+
+        let mut plain = Table::new("t");
+        plain.add_column("k", Column::i32(k.clone())).unwrap();
+        plain.add_column("ga", Column::u8(ga.clone())).unwrap();
+        plain.add_column("gb", Column::u8(gb)).unwrap();
+        plain.add_column("x", Column::f64(x.clone())).unwrap();
+
+        let mut enc = Table::new("t");
+        let k16 = Column::dict_encode(&Column::i32(k)).unwrap();
+        assert_eq!(k16.storage_name(), "Dict16<I32>");
+        enc.add_column("k", k16).unwrap();
+        // dict_encode never widens a U8 dictionary past 256 entries, so
+        // build the Dict16<U8> leg by hand (identity codes into a 3-entry
+        // dictionary).
+        enc.add_column(
+            "ga",
+            Column::dict16(
+                Arc::new(ga.iter().map(|&a| a as u16).collect()),
+                Column::u8(vec![0, 1, 2]),
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        enc.add_column("gb", plain.column("gb").unwrap().clone())
+            .unwrap();
+        enc.add_column("x", Column::f64(x)).unwrap();
+
+        let queries = [
+            FusedQuery {
+                filter: vec![Expr::col("x").lt(Expr::lit(9.5))],
+                sums: vec![Expr::col("x")],
+                mins: vec![Expr::col("x")],
+                maxs: vec![Expr::col("x")],
+                group_by: GroupKey::Hash {
+                    col: "k".into(),
+                    hash: HashKind::Multiplicative,
+                },
+            },
+            FusedQuery {
+                filter: vec![],
+                sums: vec![Expr::col("x")],
+                mins: vec![],
+                maxs: vec![],
+                group_by: GroupKey::Dense {
+                    spec: GroupSpec {
+                        a: "ga".into(),
+                        b: "gb".into(),
+                        encode: encode_low_bit,
+                    },
+                    groups: 4,
+                },
+            },
+            FusedQuery {
+                filter: vec![],
+                sums: vec![Expr::col("x")],
+                mins: vec![],
+                maxs: vec![],
+                group_by: GroupKey::HashPair {
+                    a: "ga".into(),
+                    b: "gb".into(),
+                    hash: HashKind::Identity,
+                },
+            },
+        ];
+        for (q, query) in queries.iter().enumerate() {
+            for threads in [1usize, 4] {
+                let opts = ExecOptions {
+                    threads,
+                    batch_rows: 129,
+                    morsel_rows: 512,
+                    ..ExecOptions::default()
+                };
+                let want = run_fused(&plain, query, SumBackend::ReproUnbuffered, &opts).unwrap();
+                let got = run_fused(&enc, query, SumBackend::ReproUnbuffered, &opts).unwrap();
+                assert_eq!(got.keys, want.keys, "q{q} t{threads}");
+                assert_eq!(got.counts, want.counts, "q{q} t{threads}");
+                for (a, b) in want.sums[0].iter().zip(got.sums[0].iter()) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "q{q} t{threads}");
+                }
+            }
+        }
+    }
+
+    /// When `groups × dictionary size` outgrows the flat histogram cap
+    /// ([`ALG_HIST_MAX`]) the dictionary path falls back to per-row
+    /// deposits for that batch — early small-group batches still take the
+    /// algebraic path, so this exercises *mixed* batches, which must stay
+    /// bit-identical because the deposit algebra is exact.
+    #[test]
+    fn dict_histogram_cap_falls_back_bitwise() {
+        let n = 12_000usize;
+        let k: Vec<i32> = (0..n).map(|i| (i % 1000) as i32).collect();
+        // 6000 distinct values => Dict16; 1000 groups × 6000 codes = 6M
+        // histogram entries, past the 4M cap.
+        let vw: Vec<f64> = (0..n)
+            .map(|i| (i % 6000) as f64 * 0.015625 - 42.0)
+            .collect();
+        let mut plain = Table::new("t");
+        plain.add_column("k", Column::i32(k.clone())).unwrap();
+        plain.add_column("vw", Column::f64(vw.clone())).unwrap();
+        let mut enc = Table::new("t");
+        enc.add_column("k", Column::i32(k)).unwrap();
+        let dict = Column::dict_encode(&Column::f64(vw)).unwrap();
+        assert_eq!(dict.storage_name(), "Dict16<F64>");
+        assert!(1000 * dict.logical().len() > ALG_HIST_MAX);
+        enc.add_column("vw", dict).unwrap();
+        let query = FusedQuery {
+            filter: vec![],
+            sums: vec![Expr::col("vw")],
+            mins: vec![Expr::col("vw")],
+            maxs: vec![Expr::col("vw")],
+            group_by: GroupKey::Hash {
+                col: "k".into(),
+                hash: HashKind::Identity,
+            },
+        };
+        for threads in [1usize, 4] {
+            let opts = ExecOptions {
+                threads,
+                batch_rows: 4096,
+                morsel_rows: 4096,
+                ..ExecOptions::default()
+            };
+            let want = run_fused(&plain, &query, SumBackend::ReproUnbuffered, &opts).unwrap();
+            let got = run_fused(&enc, &query, SumBackend::ReproUnbuffered, &opts).unwrap();
+            assert_eq!(got.keys, want.keys);
+            assert_eq!(got.counts, want.counts);
+            for arrays in [
+                (&got.sums, &want.sums),
+                (&got.mins, &want.mins),
+                (&got.maxs, &want.maxs),
+            ] {
+                for (xs, ys) in arrays.0.iter().zip(arrays.1.iter()) {
+                    for (x, y) in xs.iter().zip(ys.iter()) {
+                        assert_eq!(x.to_bits(), y.to_bits(), "t{threads}");
+                    }
+                }
+            }
+        }
+    }
+
     /// Tentpole: a malformed encoding built around the validating
     /// constructors surfaces as the typed [`FusedError::Encoding`] before
     /// any batch is scanned — never a panic or an out-of-bounds read.
@@ -1999,7 +2617,7 @@ mod tests {
         fn slow_encode(a: u8, b: u8) -> u32 {
             // ~1ms per 64-row batch: a 20k-row scan takes ~300ms, far past
             // the 10ms budget, so expiry is guaranteed to land mid-scan.
-            if CALLS.fetch_add(1, Ordering::Relaxed) % 64 == 0 {
+            if CALLS.fetch_add(1, Ordering::Relaxed).is_multiple_of(64) {
                 std::thread::sleep(Duration::from_millis(1));
             }
             encode_low_bit(a, b)

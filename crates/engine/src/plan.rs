@@ -624,6 +624,52 @@ mod tests {
         assert_eq!(r.columns[4].f64s(), &[20.0, 25.0, 18.0]);
     }
 
+    /// Lowering is encoding-agnostic: the same plan over a table whose
+    /// measure and hash-key columns are `Dict16`-encoded (u16 codes)
+    /// validates, executes, and finalizes bit-identically to the plain
+    /// twin — the encoded measure takes the algebraic deposit path.
+    #[test]
+    fn plans_over_dict16_columns_match_plain_bitwise() {
+        let n = 5_000usize;
+        let key: Vec<i32> = (0..n).map(|i| (i * 13 % 700) as i32).collect();
+        let val: Vec<f64> = (0..n).map(|i| (i % 400) as f64 * 0.1875 - 31.0).collect();
+        let mut plain = Table::new("t");
+        plain.add_column("key", Column::i32(key.clone())).unwrap();
+        plain.add_column("val", Column::f64(val.clone())).unwrap();
+        let mut enc = Table::new("t");
+        for (name, col) in [("key", Column::i32(key)), ("val", Column::f64(val))] {
+            let encoded = Column::dict_encode(&col).unwrap();
+            assert!(encoded.storage_name().starts_with("Dict16<"), "{name}");
+            enc.add_column(name, encoded).unwrap();
+        }
+        let plan = QueryPlan::scan("t")
+            .filter(Expr::col("val").ge(Expr::lit(-30.0)))
+            .group_by_key("key")
+            .sum(Expr::col("val"))
+            .avg(Expr::col("val"))
+            .min(Expr::col("val"))
+            .max(Expr::col("val"))
+            .count();
+        for backend in [SumBackend::ReproUnbuffered, SumBackend::Double] {
+            let want = plan
+                .execute(&plain, backend, &ExecOptions::serial())
+                .unwrap();
+            let got = plan.execute(&enc, backend, &ExecOptions::serial()).unwrap();
+            assert_eq!(got.keys, want.keys, "{backend:?}");
+            for (c, (a, b)) in want.columns.iter().zip(got.columns.iter()).enumerate() {
+                match (a, b) {
+                    (AggColumn::F64(xs), AggColumn::F64(ys)) => {
+                        for (x, y) in xs.iter().zip(ys.iter()) {
+                            assert_eq!(x.to_bits(), y.to_bits(), "{backend:?} col {c}");
+                        }
+                    }
+                    (AggColumn::U64(xs), AggColumn::U64(ys)) => assert_eq!(xs, ys),
+                    _ => panic!("mismatched result column kinds"),
+                }
+            }
+        }
+    }
+
     #[test]
     fn avg_shares_the_sum_state_and_divides_its_bits() {
         let t = sensor_table();

@@ -118,43 +118,19 @@ pub fn lineitem_table(t: &Lineitem) -> Table {
 /// RLE group keys assign ids per run) — results are bit-identical to the
 /// plain layout.
 ///
-/// Per column, the best encoding *for the table's current physical
-/// order* is chosen: RLE when the layout gives the column long runs
-/// (at most one run per 4 rows — e.g. the flag pair after
+/// Per column, [`Table::encode_auto`] chooses the best encoding *for the
+/// table's current physical order*: RLE when the layout gives the column
+/// long runs (at most one run per 4 rows — e.g. the flag pair after
 /// [`Lineitem::sorted_by_q1_group`], or `l_shipdate` after
-/// [`Lineitem::sorted_by_shipdate`]), else a ≤256-entry dictionary
-/// (`l_quantity` has 50 distinct values, `l_discount` 11, `l_tax` 9,
-/// the flags 3 and 2), else plain (`l_extendedprice`, `l_suppkey`).
+/// [`Lineitem::sorted_by_shipdate`]), else a dictionary when it pays —
+/// u8 codes for ≤256 distinct values (`l_quantity` has 50, `l_discount`
+/// 11, `l_tax` 9, the flags 3 and 2), u16 codes up to 65 536
+/// (`l_suppkey` spans the 10 000-supplier domain) — else plain
+/// (`l_extendedprice` is near-unique: a dictionary would cost more than
+/// the codes save).
 pub fn lineitem_table_encoded(t: &Lineitem) -> Table {
-    use crate::column::Column;
-    fn best(col: Column) -> Column {
-        if col.len() >= 4 {
-            if let Ok(rle) = col.rle_encode() {
-                if let Column::Rle { ref run_ends, .. } = rle {
-                    if run_ends.len() * 4 <= col.len() {
-                        return rle;
-                    }
-                }
-            }
-        }
-        match col.dict_encode() {
-            Ok(dict) => dict,
-            Err(_) => col,
-        }
-    }
-    let mut table = Table::new("lineitem");
-    for (name, col) in [
-        ("l_quantity", best(Column::F64(t.quantity.clone()))),
-        ("l_extendedprice", Column::F64(t.extendedprice.clone())),
-        ("l_discount", best(Column::F64(t.discount.clone()))),
-        ("l_tax", best(Column::F64(t.tax.clone()))),
-        ("l_shipdate", best(Column::I32(t.shipdate.clone()))),
-        ("l_returnflag", best(Column::U8(t.returnflag.clone()))),
-        ("l_linestatus", best(Column::U8(t.linestatus.clone()))),
-        ("l_suppkey", Column::I32(t.suppkey.clone())),
-    ] {
-        table.add_column(name, col).expect("fresh table");
-    }
+    let mut table = lineitem_table(t);
+    table.encode_auto(crate::column::EncodePolicy::default());
     table
 }
 
@@ -685,6 +661,17 @@ mod tests {
             dict.column("l_quantity").unwrap(),
             Column::Dict { .. }
         ));
+        // The auto-encoder widens to u16 codes where 256 entries don't
+        // fit (the 10 000-supplier key) and leaves near-unique columns
+        // plain (a dictionary over l_extendedprice would outgrow it).
+        assert_eq!(
+            dict.column("l_suppkey").unwrap().storage_name(),
+            "Dict16<I32>"
+        );
+        assert_eq!(
+            dict.column("l_extendedprice").unwrap().storage_name(),
+            "F64"
+        );
 
         fn assert_bitwise(a: &crate::plan::PlanResult, b: &crate::plan::PlanResult, ctx: &str) {
             use crate::plan::AggColumn;

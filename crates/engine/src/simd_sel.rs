@@ -24,16 +24,28 @@
 //! (ordered-quiet for everything except `!=`, which is true on NaN and
 //! therefore maps to `NEQ_UQ`), and compaction preserves row order.
 //!
+//! ## AVX-512
+//!
+//! The dictionary-code membership fill additionally has an `avx512f`
+//! variant processing **16** codes per iteration: widen 16 u8 codes to
+//! i32 lanes (`vpmovzxbd zmm`), gather their 0 / -1 entries from the
+//! same 256-entry LUT (`vpgatherdd zmm`), turn the non-zero lanes into a
+//! `__mmask16` (`vptestmd`), left-pack with `vpcompressd`, and store all
+//! 16 lanes unconditionally. Kernels without an AVX-512 variant keep
+//! their AVX2 flavour when [`cpu::active`] reports
+//! [`SimdLevel::Avx512`] (every `avx512f` CPU supports AVX2).
+//!
 //! ## Safety boundary
 //!
-//! All `unsafe fn`s here are `#[target_feature(enable = "avx2")]` and are
-//! reached only through the `pub(crate)` wrappers, which check
-//! [`cpu::active`] — the cached CPUID probe (overridable via `RFA_SIMD`)
-//! — and return `false` so the caller falls back to the scalar loop when
-//! AVX2 is not in effect. The unconditional 8-lane stores never write out
-//! of bounds: the output cursor `k` trails the input cursor `i` (at most
-//! one id is kept per row seen), so `k + 8 <= i + 8 <= len` whenever a
-//! full group is stored; partial tails run scalar.
+//! All `unsafe fn`s here are `#[target_feature(enable = "avx2")]` (or
+//! `"avx512f"`) and are reached only through the `pub(crate)` wrappers,
+//! which check [`cpu::active`] — the cached CPUID probe (overridable via
+//! `RFA_SIMD`) — and return `false` so the caller falls back to the
+//! scalar loop when no explicit kernel is in effect. The unconditional
+//! 8-lane (16-lane) stores never write out of bounds: the output cursor
+//! `k` trails the input cursor `i` (at most one id is kept per row seen),
+//! so `k + 8 <= i + 8 <= len` whenever a full group is stored — same
+//! argument with 16 for the AVX-512 kernel; partial tails run scalar.
 
 #![cfg(target_arch = "x86_64")]
 
@@ -41,10 +53,12 @@ use crate::expr::CmpOp;
 use core::arch::x86_64::*;
 use rfa_core::cpu::{self, SimdLevel};
 
-/// Is the AVX2 path in effect for this process (hardware + policy)?
+/// Are the explicit AVX2 kernels in effect for this process (hardware +
+/// policy)? True at the AVX-512 level too: kernels without an AVX-512
+/// variant run their AVX2 flavour there.
 #[inline]
 pub(crate) fn enabled() -> bool {
-    cpu::active() == SimdLevel::Avx2
+    matches!(cpu::active(), SimdLevel::Avx2 | SimdLevel::Avx512)
 }
 
 /// `lut[m]` holds the lane indices whose bit is set in `m`, left-packed;
@@ -407,6 +421,51 @@ unsafe fn fill_u8_in_set_avx2(
     );
 }
 
+/// AVX-512 dictionary-code membership fill: 16 codes per iteration. The
+/// widen / gather steps mirror [`fill_u8_in_set_avx2`] at twice the
+/// width; the left-pack uses the native `vpcompressd` instead of a
+/// permutation LUT, and the keep mask comes straight from `vptestmd`
+/// (keep entries are `-1`, so "lane non-zero" is exactly membership).
+/// All 16 lanes store unconditionally; as in [`fill_groups`], `k <= i`
+/// keeps the store in bounds, and partial tails run scalar.
+#[target_feature(enable = "avx512f")]
+unsafe fn fill_u8_in_set_avx512(
+    codes: &[u8],
+    keep: &[i32; 256],
+    lo: usize,
+    hi: usize,
+    sel: &mut Vec<u32>,
+) {
+    let n = hi - lo;
+    sel.clear();
+    sel.resize(n, 0);
+    let base = codes.as_ptr();
+    let lut = keep.as_ptr();
+    let dst = sel.as_mut_ptr();
+    let iota = _mm512_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15);
+    let mut k = 0usize;
+    let mut i = 0usize;
+    while i + 16 <= n {
+        let row = lo + i;
+        let bytes = _mm_loadu_si128(base.add(row) as *const __m128i);
+        let idx = _mm512_cvtepu8_epi32(bytes);
+        let hit = _mm512_i32gather_epi32::<4>(idx, lut);
+        let mask = _mm512_test_epi32_mask(hit, hit);
+        let ids = _mm512_add_epi32(_mm512_set1_epi32(row as i32), iota);
+        let packed = _mm512_maskz_compress_epi32(mask, ids);
+        _mm512_storeu_si512(dst.add(k) as *mut __m512i, packed);
+        k += mask.count_ones() as usize;
+        i += 16;
+    }
+    while i < n {
+        let row = lo + i;
+        *dst.add(k) = row as u32;
+        k += (keep[codes[row] as usize] != 0) as usize;
+        i += 1;
+    }
+    sel.truncate(k);
+}
+
 /// In-place compaction of `sel` by a 0/1 byte mask (one byte per entry).
 /// Eight mask bytes collapse to eight bits via a carry-free multiply:
 /// byte `i` contributes `2^(8i)`, the constant contributes `2^(7 + 7j)`,
@@ -532,11 +591,17 @@ pub(crate) fn fill_u8_in_set(
     hi: usize,
     sel: &mut Vec<u32>,
 ) -> bool {
-    if !enabled() {
-        return false;
+    match cpu::active() {
+        SimdLevel::Scalar => false,
+        SimdLevel::Avx2 => {
+            unsafe { fill_u8_in_set_avx2(codes, keep, lo, hi, sel) };
+            true
+        }
+        SimdLevel::Avx512 => {
+            unsafe { fill_u8_in_set_avx512(codes, keep, lo, hi, sel) };
+            true
+        }
     }
-    unsafe { fill_u8_in_set_avx2(codes, keep, lo, hi, sel) };
-    true
 }
 
 pub(crate) fn compact_by_mask(sel: &mut Vec<u32>, mask: &[u8]) -> bool {
@@ -710,6 +775,38 @@ mod tests {
                 .map(|r| r as u32)
                 .collect();
             assert_eq!(sel, expected, "[{lo},{hi})");
+        }
+    }
+
+    #[test]
+    fn u8_in_set_fill_avx512_matches_scalar_and_avx2() {
+        if !cpu::avx512_supported() {
+            return;
+        }
+        let codes: Vec<u8> = (0..2003).map(|i| ((i * 131 + i / 7) % 253) as u8).collect();
+        let mut keep = [0i32; 256];
+        for c in [0usize, 3, 7, 10, 100, 200, 252, 255] {
+            keep[c] = -1;
+        }
+        for &(lo, hi) in &[
+            (0usize, 2003usize),
+            (5, 2000),
+            (7, 15),
+            (9, 30),
+            (100, 103),
+            (3, 3),
+        ] {
+            let mut sel = Vec::new();
+            unsafe { fill_u8_in_set_avx512(&codes, &keep, lo, hi, &mut sel) };
+            let expected: Vec<u32> = (lo..hi)
+                .filter(|&r| keep[codes[r] as usize] != 0)
+                .map(|r| r as u32)
+                .collect();
+            assert_eq!(sel, expected, "avx512 vs scalar [{lo},{hi})");
+
+            let mut sel2 = Vec::new();
+            unsafe { fill_u8_in_set_avx2(&codes, &keep, lo, hi, &mut sel2) };
+            assert_eq!(sel, sel2, "avx512 vs avx2 [{lo},{hi})");
         }
     }
 

@@ -1327,6 +1327,46 @@ mod tests {
         assert_eq!(r.columns[4], SqlColumn::F64(vec![25.0]));
     }
 
+    /// SQL is encoding-agnostic end to end: the same statement over a
+    /// `Dict16`-encoded twin of the table (u16 codes on the key and the
+    /// measure) produces bit-identical rows — lowering validates by
+    /// logical type and the executor aggregates the codes algebraically.
+    #[test]
+    fn sql_over_dict16_columns_matches_plain() {
+        let n = 3_000usize;
+        let station: Vec<i32> = (0..n).map(|i| (i * 11 % 500) as i32).collect();
+        let temp: Vec<f64> = (0..n).map(|i| (i % 300) as f64 * 0.3125 - 17.0).collect();
+        let mut plain = Table::new("sensors");
+        plain
+            .add_column("station", Column::i32(station.clone()))
+            .unwrap();
+        plain.add_column("temp", Column::f64(temp.clone())).unwrap();
+        let mut enc = Table::new("sensors");
+        for (name, col) in [
+            ("station", Column::i32(station)),
+            ("temp", Column::f64(temp)),
+        ] {
+            let encoded = Column::dict_encode(&col).unwrap();
+            assert!(encoded.storage_name().starts_with("Dict16<"), "{name}");
+            enc.add_column(name, encoded).unwrap();
+        }
+        let sql = "SELECT station, SUM(temp), AVG(temp), MIN(temp), COUNT(*) \
+                   FROM sensors WHERE temp >= -16.5 GROUP BY station";
+        let want = run(sql, &plain);
+        let got = run(sql, &enc);
+        assert_eq!(want.rows, got.rows);
+        for (c, (a, b)) in want.columns.iter().zip(got.columns.iter()).enumerate() {
+            match (a, b) {
+                (SqlColumn::F64(xs), SqlColumn::F64(ys)) => {
+                    for (x, y) in xs.iter().zip(ys.iter()) {
+                        assert_eq!(x.to_bits(), y.to_bits(), "col {c}");
+                    }
+                }
+                (a, b) => assert_eq!(a, b, "col {c}"),
+            }
+        }
+    }
+
     #[test]
     fn where_and_group_by_hash_key() {
         let t = sensor_table();

@@ -112,6 +112,13 @@ impl<const L: usize> ReproStates<L> {
         simd::add_slice(&mut self.0[group], values);
     }
 
+    /// Algebraic deposit of `k` copies of `v` (RLE runs / dictionary
+    /// histograms over *value* columns). Bit-identical to `k` per-row
+    /// adds by the exact scaled fold of [`ReproSum::add_scaled`].
+    fn update_scaled(&mut self, group: usize, v: f64, k: u64) {
+        self.0[group].add_scaled(v, k);
+    }
+
     fn merge(&mut self, other: &Self) {
         for (a, b) in self.0.iter_mut().zip(other.0.iter()) {
             a.merge(b);
@@ -165,6 +172,14 @@ impl<const L: usize> BufStates<L> {
     /// [`ReproStates::update_run`]).
     fn update_run(&mut self, group: usize, values: &[f64]) {
         self.states[group].push_slice(values);
+    }
+
+    /// Algebraic deposit of `k` copies of `v` (see
+    /// [`ReproStates::update_scaled`]; flush boundaries are exact, so the
+    /// staged values are folded first and the scaled deposit lands
+    /// directly in the accumulator).
+    fn update_scaled(&mut self, group: usize, v: f64, k: u64) {
+        self.states[group].push_scaled(v, k);
     }
 
     fn merge(&mut self, other: &mut Self) {
@@ -306,6 +321,42 @@ impl GroupedSums {
             Inner::Buf2(s) => s.update_run(group, values),
             Inner::Buf3(s) => s.update_run(group, values),
             Inner::Buf4(s) => s.update_run(group, values),
+        }
+        Ok(())
+    }
+
+    /// Deposits `k` copies of `v` into group `group` *algebraically* —
+    /// one exact k·v fold instead of `k` additions. For every repro
+    /// backend the result is bit-identical to `k` per-row deposits
+    /// ([`rfa_core::ReproSum::add_scaled`], DESIGN.md §26); this is the
+    /// state-level primitive behind the fused executor's RLE-run and
+    /// dictionary-histogram aggregate pushdown.
+    ///
+    /// The `Double` backend has no algebraic shortcut — plain doubles are
+    /// order-sensitive, `k·v ≠ v + … + v` in general — so it keeps the
+    /// per-element overflow-checked loop. The fused executor never routes
+    /// `Double` here (it gates the rewrite on
+    /// [`SumBackend::merges_exactly`]); the loop exists so this method is
+    /// semantics-preserving for every backend regardless of caller.
+    pub fn update_scaled(&mut self, group: usize, v: f64, k: u64) -> Result<(), OverflowError> {
+        match &mut self.0 {
+            Inner::Double(acc) => {
+                let slot = &mut acc[group];
+                for _ in 0..k {
+                    *slot += v;
+                    if !slot.is_finite() {
+                        return Err(OverflowError);
+                    }
+                }
+            }
+            Inner::Repro1(s) => s.update_scaled(group, v, k),
+            Inner::Repro2(s) => s.update_scaled(group, v, k),
+            Inner::Repro3(s) => s.update_scaled(group, v, k),
+            Inner::Repro4(s) => s.update_scaled(group, v, k),
+            Inner::Buf1(s) => s.update_scaled(group, v, k),
+            Inner::Buf2(s) => s.update_scaled(group, v, k),
+            Inner::Buf3(s) => s.update_scaled(group, v, k),
+            Inner::Buf4(s) => s.update_scaled(group, v, k),
         }
         Ok(())
     }
@@ -538,6 +589,42 @@ impl GroupedStates {
         values: &[f64],
     ) -> Result<(), OverflowError> {
         self.sums[slot].update_run(group, values)
+    }
+
+    /// Algebraic SUM deposit: `k` copies of `v` folded into group `group`
+    /// of state array `slot` as one exact k·v deposit (see
+    /// [`GroupedSums::update_scaled`]). Bit-identical to `k` per-row
+    /// deposits for every backend that
+    /// [merges exactly](SumBackend::merges_exactly); the `Double` backend
+    /// falls back to a per-element loop.
+    pub fn deposit_scaled(
+        &mut self,
+        slot: usize,
+        group: usize,
+        v: f64,
+        k: u64,
+    ) -> Result<(), OverflowError> {
+        self.sums[slot].update_scaled(group, v, k)
+    }
+
+    /// MIN deposit of a single candidate value — the once-per-run /
+    /// once-per-dictionary-entry fold of encoded aggregate pushdown
+    /// (comparisons are idempotent, so one fold of `v` is trivially
+    /// bit-identical to `k` folds of `v`).
+    pub fn update_min_value(&mut self, slot: usize, group: usize, v: f64) {
+        let cur = &mut self.mins[slot][group];
+        if v < *cur {
+            *cur = v;
+        }
+    }
+
+    /// MAX deposit of a single candidate value (see
+    /// [`GroupedStates::update_min_value`]).
+    pub fn update_max_value(&mut self, slot: usize, group: usize, v: f64) {
+        let cur = &mut self.maxs[slot][group];
+        if v > *cur {
+            *cur = v;
+        }
     }
 
     /// MIN deposit: strict `<` fold, first minimal value in row order wins.
@@ -1137,6 +1224,69 @@ mod tests {
                 assert_eq!(per_row.maxs[0][g].to_bits(), blocked.maxs[0][g].to_bits());
             }
         }
+    }
+
+    #[test]
+    fn scaled_deposits_match_per_row_updates_bitwise() {
+        // The algebraic-pushdown contract: depositing k copies of v as one
+        // update_scaled call finalizes to the same bits as k per-row
+        // deposits — for every backend, including Double (which takes a
+        // literal per-element loop rather than an algebraic fold).
+        let runs: Vec<(u32, f64, u64)> = (0..200)
+            .map(|i| {
+                let g = (i % 4) as u32;
+                let v = ((i * 37) % 101) as f64 * 0.017 - 0.85;
+                let k = (i * 2_654_435_761u64) % 23;
+                (g, v, k)
+            })
+            .collect();
+        for backend in [
+            SumBackend::Double,
+            SumBackend::SortedDouble,
+            SumBackend::ReproUnbuffered,
+            SumBackend::ReproBuffered { buffer_size: 96 },
+            SumBackend::Rsum { levels: 2 },
+            SumBackend::RsumBuffered {
+                levels: 3,
+                buffer_size: 64,
+            },
+        ] {
+            let mut per_row = GroupedStates::new(backend, 4, 1, 1, 1);
+            let mut scaled = GroupedStates::new(backend, 4, 1, 1, 1);
+            for &(g, v, k) in &runs {
+                for _ in 0..k {
+                    per_row.update_sum(0, &[g], &[v]).unwrap();
+                }
+                per_row.update_min_run(0, g as usize, &vec![v; k as usize]);
+                per_row.update_max_run(0, g as usize, &vec![v; k as usize]);
+                per_row.add_count_run(g as usize, k);
+
+                scaled.deposit_scaled(0, g as usize, v, k).unwrap();
+                if k > 0 {
+                    scaled.update_min_value(0, g as usize, v);
+                    scaled.update_max_value(0, g as usize, v);
+                }
+                scaled.add_count_run(g as usize, k);
+            }
+            let per_row = per_row.finalize();
+            let scaled = scaled.finalize();
+            assert_eq!(per_row.counts, scaled.counts, "{backend:?}");
+            for g in 0..4 {
+                assert_eq!(
+                    per_row.sums[0][g].to_bits(),
+                    scaled.sums[0][g].to_bits(),
+                    "{backend:?} group {g}"
+                );
+                assert_eq!(per_row.mins[0][g].to_bits(), scaled.mins[0][g].to_bits());
+                assert_eq!(per_row.maxs[0][g].to_bits(), scaled.maxs[0][g].to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn scaled_deposit_double_detects_overflow() {
+        let mut s = GroupedStates::new(SumBackend::Double, 1, 1, 0, 0);
+        assert_eq!(s.deposit_scaled(0, 0, f64::MAX, 3), Err(OverflowError));
     }
 
     #[test]

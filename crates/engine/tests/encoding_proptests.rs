@@ -1,21 +1,23 @@
 //! Property tests of the compressed-column scan paths: for arbitrary
 //! (values, encoding) pairs, encode → decode must round-trip **exactly**
-//! (same storage bits), and Q1/Q6-shaped plans over Dict/Rle columns must
-//! be bit-identical to the same plans over plain columns — across every
-//! fused backend, thread count, and batch/morsel shape.
+//! (same storage bits), and Q1/Q6/Q15-shaped plans over Dict/Dict16/Rle
+//! columns must be bit-identical to the same plans over plain columns —
+//! across every fused backend, thread count, and batch/morsel shape.
 //!
 //! Why bit-identity holds: dictionary pushdown evaluates the predicate
 //! once per dictionary *entry* over the same f64/i32 bits a plain scan
-//! would load per row, and RLE run-blocked aggregation deposits each
-//! run's rows through the same block kernels (`AggFn::step_slice`) the
-//! plain fused path uses — kernels that are themselves proptested
-//! bit-transparent to per-row deposits.
+//! would load per row, and the aggregate legs are *algebraic* — an RLE
+//! run deposits once as an exact k·v product split, a dictionary batch
+//! accumulates per-(group, code) counts and flushes each touched entry
+//! once — transforms proven bit-transparent to the per-row order for
+//! every backend whose merge is exact (`Double` keeps the per-row path
+//! and is covered here too).
 
 use proptest::collection::vec;
 use proptest::prelude::*;
 use rfa_engine::{
-    lineitem_table, lineitem_table_encoded, q1_plan, q6_plan, AggColumn, Column, ExecOptions,
-    PlanResult, QueryPlan, SumBackend, Table,
+    lineitem_table, lineitem_table_encoded, q15_plan, q1_plan, q6_plan, AggColumn, Column,
+    ExecOptions, PlanResult, QueryPlan, SumBackend, Table,
 };
 use rfa_workloads::Lineitem;
 
@@ -154,8 +156,9 @@ fn assert_results_bitwise(a: &PlanResult, b: &PlanResult, ctx: &str) {
 }
 
 /// Re-encodes each column of a plain lineitem table per the chosen
-/// per-column encoding (0 = plain, 1 = dict, 2 = rle), falling back to
-/// plain when the encoding does not apply (e.g. >256 distinct values).
+/// per-column encoding (0 = plain, 1 = dict, 2 = rle, 3 = dict16 with
+/// codes force-widened to u16), falling back to plain when the encoding
+/// does not apply (e.g. >65536 distinct values).
 fn encoded_twin(plain: &Table, choices: &[u8]) -> Table {
     let names = [
         "l_quantity",
@@ -170,9 +173,20 @@ fn encoded_twin(plain: &Table, choices: &[u8]) -> Table {
     let mut table = Table::new("lineitem");
     for (i, name) in names.iter().enumerate() {
         let col = plain.column(name).expect("lineitem column").clone();
-        let col = match choices[i % choices.len()] % 3 {
+        let col = match choices[i % choices.len()] % 4 {
             1 => col.dict_encode().unwrap_or(col),
             2 => col.rle_encode().unwrap_or(col),
+            // `dict_encode` only emits u16 codes past 256 entries; widen
+            // small dictionaries by hand so Dict16 scan paths see the
+            // same tiny domains as Dict.
+            3 => match col.dict_encode() {
+                Ok(Column::Dict { codes, dict }) => {
+                    let wide: Vec<u16> = codes.iter().map(|&c| c as u16).collect();
+                    Column::dict16(wide, *dict).expect("widened codes stay valid")
+                }
+                Ok(other) => other,
+                Err(_) => col,
+            },
             _ => col,
         };
         table.add_column(*name, col).expect("fresh table");
@@ -181,7 +195,7 @@ fn encoded_twin(plain: &Table, choices: &[u8]) -> Table {
 }
 
 fn check_plans_over(plain: &Table, encoded: &Table, ctx: &str) {
-    for (plan, which) in [(q1_plan(), "q1"), (q6_plan(), "q6")] {
+    for (plan, which) in [(q1_plan(), "q1"), (q6_plan(), "q6"), (q15_plan(), "q15")] {
         let plan: QueryPlan = plan;
         for backend in FUSED_BACKENDS {
             for opts in shapes() {
@@ -219,13 +233,14 @@ proptest! {
         }
     }
 
-    /// Q1/Q6 plans over per-column (dict | rle | plain) storage choices
-    /// produce bitwise the results of the all-plain table, for every
-    /// fused backend × thread count × batch/morsel shape.
+    /// Q1/Q6/Q15 plans over per-column (dict | dict16 | rle | plain)
+    /// storage choices produce bitwise the results of the all-plain
+    /// table, for every fused backend × thread count × batch/morsel
+    /// shape.
     #[test]
     fn plans_over_random_encodings_match_plain_bitwise(
         t in lineitem_strategy(400),
-        choices in vec(0u8..3, 8..9),
+        choices in vec(0u8..4, 8..9),
     ) {
         force_pool();
         let plain = lineitem_table(&t);

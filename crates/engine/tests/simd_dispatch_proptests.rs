@@ -5,10 +5,10 @@
 //!
 //! `RFA_SIMD` flips the dispatch level process-wide; these tests flip it
 //! programmatically via [`rfa_core::cpu::set_override`] (serialized by a
-//! local mutex — the engine's own parallel workers are fine because both
+//! local mutex — the engine's own parallel workers are fine because all
 //! levels are bit-identical, which is exactly what is being asserted).
-//! On hardware without AVX2 the forced-AVX2 leg is skipped and the tests
-//! reduce to scalar self-consistency.
+//! On hardware without AVX2 / AVX-512F the corresponding forced leg is
+//! skipped and the tests reduce to scalar self-consistency.
 
 use proptest::collection::vec;
 use proptest::prelude::*;
@@ -36,13 +36,17 @@ fn with_level<R>(level: SimdLevel, f: impl FnOnce() -> R) -> R {
     r
 }
 
-/// Runs `f` under forced scalar, then forced AVX2 (if supported), and
-/// asserts the two equal.
+/// Runs `f` under forced scalar, then forced AVX2 and AVX-512 (where
+/// supported), and asserts every level equals scalar.
 fn both_levels<R: PartialEq + std::fmt::Debug>(mut f: impl FnMut() -> R) -> R {
     let scalar = with_level(SimdLevel::Scalar, &mut f);
     if cpu::avx2_supported() {
         let avx2 = with_level(SimdLevel::Avx2, &mut f);
         assert_eq!(scalar, avx2, "scalar and AVX2 pipelines disagree");
+    }
+    if cpu::avx512_supported() {
+        let avx512 = with_level(SimdLevel::Avx512, &mut f);
+        assert_eq!(scalar, avx512, "scalar and AVX-512 pipelines disagree");
     }
     scalar
 }
@@ -217,8 +221,16 @@ proptest! {
         table
             .add_column("k", rfa_engine::Column::i32(i32s[..n].to_vec()))
             .unwrap();
+        // Low-cardinality dict leg: a Cmp over a Dict column compiles to
+        // the code-membership fill (`fill_u8_in_set`), which has distinct
+        // AVX2 and AVX-512 kernels.
+        let dicted: Vec<i32> = i32s[..n].iter().map(|v| v.rem_euclid(97)).collect();
+        let dicted = rfa_engine::Column::i32(dicted).dict_encode();
+        if n > 0 {
+            table.add_column("d", dicted.unwrap()).unwrap();
+        }
 
-        let preds = [
+        let mut preds = vec![
             BoolExpr::Cmp(rfa_engine::CmpOp::Lt, Box::new(Expr::col("x")), Box::new(Expr::lit(threshold))),
             BoolExpr::Cmp(rfa_engine::CmpOp::Ge, Box::new(Expr::col("x")), Box::new(Expr::lit(threshold))),
             BoolExpr::Cmp(rfa_engine::CmpOp::Ne, Box::new(Expr::col("x")), Box::new(Expr::lit(threshold))),
@@ -232,6 +244,13 @@ proptest! {
             // program + AVX2 mask compaction.
             BoolExpr::Cmp(rfa_engine::CmpOp::Gt, Box::new(Expr::col("x")), Box::new(Expr::col("k"))),
         ];
+        if n > 0 {
+            preds.push(BoolExpr::Cmp(
+                rfa_engine::CmpOp::Lt,
+                Box::new(Expr::col("d")),
+                Box::new(Expr::lit(48.0)),
+            ));
+        }
         for pred in &preds {
             let compiled = pred.compile();
             let bound = compiled.bind(&table).unwrap();
