@@ -110,29 +110,27 @@ impl<S: Clone> AggHashTable<S> {
 
     /// Batched probe: resolves the slot of every key in `keys` (inserting
     /// clones of `template` for unseen keys) into the reused `slots`
-    /// scratch vector, then invokes `apply(state, i)` for each batch
-    /// position `i` on that key's state. This is the batch-at-a-time
-    /// building block for hash-grouped aggregation:
-    /// [`crate::hash_agg::hash_aggregate_batched`] drives whole
-    /// aggregations through it, and the engine's fused scan routes its
-    /// non-dense GROUP BY arm (`GroupKey::Hash` — e.g. TPC-H Q15's
-    /// revenue-by-supplier) through this entry point for per-batch
-    /// group-id assignment.
+    /// scratch vector (`slots[i]` is `keys[i]`'s slot). This is the
+    /// probe half of the batch-at-a-time building block for hash-grouped
+    /// aggregation; [`Self::upsert_batch`] pairs it with an apply pass.
     ///
     /// Splitting probe from update turns the inner loop into the
     /// probe-then-apply structure vectorized engines use, and amortizes
     /// the growth check to once per batch: capacity for the worst case
     /// (every key new) is ensured *up front*, so slot indices stay valid
-    /// across the whole batch even when the table resizes. Per-key update
-    /// order equals input order, so results are bit-identical to the
-    /// scalar [`Self::slot_mut`] loop for any batch size.
-    pub fn upsert_batch(
-        &mut self,
-        keys: &[u32],
-        template: &S,
-        slots: &mut Vec<u32>,
-        mut apply: impl FnMut(&mut S, usize),
-    ) {
+    /// across the whole batch even when the table resizes.
+    ///
+    /// Under an active SIMD dispatch level (`RFA_SIMD`), the probe runs
+    /// the `simd_probe` gather-compare kernels: 8 (AVX2) or
+    /// 16 (AVX-512) keys hash per iteration, keys found at their *home
+    /// slot* resolve in bulk, and the remaining lanes — empty home slots,
+    /// collision chains, unseen keys — drain through the scalar probe in
+    /// batch index order. Hits never mutate the table and the miss drain
+    /// inserts in exactly the order the all-scalar loop would, so slot
+    /// placement and first-seen key order are bit-identical at every
+    /// dispatch level; at the scalar level this *is* the original
+    /// per-key loop.
+    pub fn probe_batch(&mut self, keys: &[u32], template: &S, slots: &mut Vec<u32>) {
         // Worst-case pre-growth: every key in the batch is new. Capacity
         // may overshoot by up to one doubling versus scalar insertion
         // (duplicates are unknowable up front), then converges: once
@@ -141,12 +139,55 @@ impl<S: Clone> AggHashTable<S> {
             self.grow(template);
         }
         slots.clear();
-        for &k in keys {
-            slots.push(self.probe_insert(k) as u32);
+        slots.resize(keys.len(), 0);
+        match crate::simd_probe::probe_home_hits(self.hash, &self.keys, self.mask, keys, slots) {
+            None => {
+                // Scalar dispatch level: the original probe loop.
+                slots.clear();
+                for &k in keys {
+                    slots.push(self.probe_insert(k) as u32);
+                }
+            }
+            Some(0) => {}
+            Some(_) => {
+                for (i, s) in slots.iter_mut().enumerate() {
+                    if *s == crate::simd_probe::MISS {
+                        *s = self.probe_insert(keys[i]) as u32;
+                    }
+                }
+            }
         }
+    }
+
+    /// [`Self::probe_batch`] plus an update pass: invokes `apply(state,
+    /// i)` for each batch position `i` on that key's state, in batch
+    /// index order. [`crate::hash_agg::hash_aggregate_batched`] drives
+    /// whole aggregations through this, and the engine's fused scan
+    /// routes its non-dense GROUP BY arm (`GroupKey::Hash` — e.g. TPC-H
+    /// Q15's revenue-by-supplier) through it for per-batch group-id
+    /// assignment. Per-key update order equals input order, so results
+    /// are bit-identical to the scalar [`Self::slot_mut`] loop for any
+    /// batch size and any SIMD dispatch level.
+    pub fn upsert_batch(
+        &mut self,
+        keys: &[u32],
+        template: &S,
+        slots: &mut Vec<u32>,
+        mut apply: impl FnMut(&mut S, usize),
+    ) {
+        self.probe_batch(keys, template, slots);
         for (i, &s) in slots.iter().enumerate() {
             apply(&mut self.states[s as usize], i);
         }
+    }
+
+    /// The state at a slot index produced by [`Self::probe_batch`].
+    /// Callers that separate probe from update resolve their slot scratch
+    /// through this (the indices stay valid until the next growth, i.e.
+    /// until the next insert-capable call).
+    #[inline]
+    pub fn state_mut(&mut self, slot: usize) -> &mut S {
+        &mut self.states[slot]
     }
 
     /// Looks up a key without inserting.
@@ -197,6 +238,73 @@ impl<S: Clone> AggHashTable<S> {
             .zip(self.states.iter())
             .filter(|(k, _)| **k != EMPTY)
             .map(|(k, s)| (*k, s))
+    }
+}
+
+impl AggHashTable<u32> {
+    /// Batched key→group-id assignment — the `AggHashTable<u32>` ("gid
+    /// table") specialization of [`Self::probe_batch`]. Appends one gid
+    /// per batch key to `out`; `new_gid(key)` is called for each
+    /// first-seen key **in batch index order** and must return the id to
+    /// assign (typically recording the key in a first-seen list on the
+    /// side).
+    ///
+    /// The unassigned-state sentinel is `u32::MAX`, so `new_gid` must
+    /// never return it (dense gids cannot: the table itself would
+    /// overflow first). This lets the SIMD pass fuse the slot→state
+    /// indirection into the kernel: alongside the resident-key gather it
+    /// gathers the resident *gid*, so a home-slot hit lane produces its
+    /// answer directly and no per-row apply loop runs over the batch.
+    /// Only miss lanes — empty home slots, collision chains, unseen
+    /// keys — drain through the scalar probe, in batch index order, so
+    /// gid assignment order and values are bit-identical to the scalar
+    /// loop at every dispatch level.
+    pub fn probe_gids(
+        &mut self,
+        batch: &[u32],
+        out: &mut Vec<u32>,
+        mut new_gid: impl FnMut(u32) -> u32,
+    ) {
+        const UNASSIGNED: u32 = u32::MAX;
+        while (self.len + batch.len()) * 4 > self.keys.len() * 3 {
+            self.grow(&UNASSIGNED);
+        }
+        let base = out.len();
+        out.resize(base + batch.len(), 0);
+        let dst = &mut out[base..];
+        let bulk = crate::simd_probe::probe_home_gids(
+            self.hash,
+            &self.keys,
+            &self.states,
+            self.mask,
+            batch,
+            dst,
+        );
+        match bulk {
+            None => {
+                // Scalar dispatch level: the original probe loop.
+                for (g, &k) in dst.iter_mut().zip(batch) {
+                    let s = self.probe_insert(k);
+                    if self.states[s] == UNASSIGNED {
+                        self.states[s] = new_gid(k);
+                    }
+                    *g = self.states[s];
+                }
+            }
+            Some(0) => {}
+            Some(_) => {
+                for (i, g) in dst.iter_mut().enumerate() {
+                    if *g == crate::simd_probe::MISS {
+                        let k = batch[i];
+                        let s = self.probe_insert(k);
+                        if self.states[s] == UNASSIGNED {
+                            self.states[s] = new_gid(k);
+                        }
+                        *g = self.states[s];
+                    }
+                }
+            }
+        }
     }
 }
 
@@ -311,6 +419,37 @@ mod tests {
         assert_eq!(slots.len(), 6);
         assert_eq!(slots[0], slots[2]);
         assert_eq!(slots[0], slots[3]);
+    }
+
+    #[test]
+    fn probe_gids_assigns_first_seen_order_across_growth() {
+        // capacity_hint 8 -> 16 slots; 97 distinct keys force several
+        // growths mid-stream. Gids must come out in first-seen input
+        // order regardless.
+        let mut t = AggHashTable::<u32>::with_capacity(8, HashKind::Identity, &u32::MAX);
+        let keys: Vec<u32> = (0..300u32).map(|i| (i * 13) % 97).collect();
+        let mut order: Vec<u32> = Vec::new();
+        let mut gids: Vec<u32> = Vec::new();
+        for chunk in keys.chunks(32) {
+            t.probe_gids(chunk, &mut gids, |k| {
+                order.push(k);
+                (order.len() - 1) as u32
+            });
+        }
+        let mut ref_order: Vec<u32> = Vec::new();
+        let ref_gids: Vec<u32> = keys
+            .iter()
+            .map(|&k| match ref_order.iter().position(|&o| o == k) {
+                Some(g) => g as u32,
+                None => {
+                    ref_order.push(k);
+                    (ref_order.len() - 1) as u32
+                }
+            })
+            .collect();
+        assert_eq!(order, ref_order);
+        assert_eq!(gids, ref_gids);
+        assert_eq!(t.len(), 97);
     }
 
     #[test]

@@ -43,6 +43,7 @@ pub mod hash_table;
 pub mod partition;
 pub mod partition_agg;
 pub mod shared_agg;
+mod simd_probe;
 pub mod sort_agg;
 
 pub use adaptive::{adaptive_aggregate, AdaptiveConfig};

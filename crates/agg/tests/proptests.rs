@@ -7,8 +7,27 @@ use proptest::collection::vec;
 use proptest::prelude::*;
 use rfa_agg::{
     hash_aggregate, hash_aggregate_batched, partition_and_aggregate, partition_serial,
-    shared_aggregate, sort_aggregate, GroupByConfig, HashKind, ReproAgg, SharedAggConfig, SumAgg,
+    shared_aggregate, sort_aggregate, AggHashTable, GroupByConfig, HashKind, ReproAgg,
+    SharedAggConfig, SumAgg,
 };
+use rfa_core::cpu::{self, SimdLevel};
+use std::sync::Mutex;
+
+/// Serializes tests that force a dispatch level: the override is
+/// process-global.
+static OVERRIDE_LOCK: Mutex<()> = Mutex::new(());
+
+/// Every dispatch level this machine can force.
+fn supported_levels() -> Vec<SimdLevel> {
+    let mut levels = vec![SimdLevel::Scalar];
+    if cpu::avx2_supported() {
+        levels.push(SimdLevel::Avx2);
+    }
+    if cpu::avx512_supported() {
+        levels.push(SimdLevel::Avx512);
+    }
+    levels
+}
 
 /// Requests an 8-worker pool for this test binary so the parallel
 /// machinery genuinely runs multi-threaded even on small CI boxes. Every
@@ -278,6 +297,89 @@ proptest! {
         for (a, b) in scalar.iter().zip(batched.iter()) {
             prop_assert_eq!(a.0, b.0);
             prop_assert_eq!(a.1.to_bits(), b.1.to_bits(), "batch {} group {}", batch, a.0);
+        }
+    }
+
+    #[test]
+    fn probe_batch_is_dispatch_level_independent(
+        (keys, _values) in pairs(1600, 500),
+        batch in 1usize..300,
+        hint in 0usize..64,
+        multiplicative in any::<bool>(),
+    ) {
+        // probe_batch at every forced dispatch level must reproduce the
+        // scalar slot_mut loop exactly: the same first-seen key order,
+        // the same per-row group ids, and the same growth behaviour —
+        // tiny capacity hints against up to 1600 inserts straddle several
+        // doubling boundaries mid-stream. The table maps key → group id
+        // (the engine's GroupKey::Hash shape), so any divergence in probe
+        // order or slot placement surfaces as a gid/order mismatch.
+        let hash = if multiplicative { HashKind::Multiplicative } else { HashKind::Identity };
+        const NO_GROUP: u32 = u32::MAX;
+
+        // Scalar reference: one key at a time through slot_mut.
+        let mut rt = AggHashTable::<u32>::with_capacity(hint, hash, &NO_GROUP);
+        let mut ref_order: Vec<u32> = Vec::new();
+        let mut ref_gids: Vec<u32> = Vec::new();
+        for &k in &keys {
+            let slot = rt.slot_mut(k, &NO_GROUP);
+            if *slot == NO_GROUP {
+                *slot = ref_order.len() as u32;
+                ref_order.push(k);
+            }
+            ref_gids.push(*slot);
+        }
+
+        let _guard = OVERRIDE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        for level in supported_levels() {
+            cpu::set_override(Some(level));
+            let mut t = AggHashTable::<u32>::with_capacity(hint, hash, &NO_GROUP);
+            let mut order: Vec<u32> = Vec::new();
+            let mut gids: Vec<u32> = Vec::new();
+            let mut slots = Vec::new();
+            for chunk in keys.chunks(batch) {
+                t.probe_batch(chunk, &NO_GROUP, &mut slots);
+                for (i, &s) in slots.iter().enumerate() {
+                    let gid = t.state_mut(s as usize);
+                    if *gid == NO_GROUP {
+                        *gid = order.len() as u32;
+                        order.push(chunk[i]);
+                    }
+                    gids.push(*gid);
+                }
+            }
+            cpu::set_override(None);
+            prop_assert_eq!(&order, &ref_order, "first-seen order at {}", level);
+            prop_assert_eq!(&gids, &ref_gids, "group ids at {}", level);
+            prop_assert_eq!(t.len(), rt.len(), "distinct keys at {}", level);
+        }
+    }
+
+    #[test]
+    fn upsert_batch_sums_are_level_independent_bitwise(
+        (keys, values) in pairs(1000, 120),
+        batch in 1usize..200,
+    ) {
+        // End-to-end through the aggregation driver: plain f64 sums are
+        // order-sensitive, so bit-equality across forced levels proves
+        // the SIMD probe preserves per-key update order exactly.
+        let f = SumAgg::<f64>::new();
+        let _guard = OVERRIDE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let mut per_level = Vec::new();
+        for level in supported_levels() {
+            cpu::set_override(Some(level));
+            let out =
+                hash_aggregate_batched(&f, &keys, &values, HashKind::Multiplicative, 16, batch);
+            cpu::set_override(None);
+            per_level.push((level, out));
+        }
+        let (_, reference) = &per_level[0];
+        for (level, out) in &per_level[1..] {
+            prop_assert_eq!(reference.len(), out.len());
+            for (a, b) in reference.iter().zip(out.iter()) {
+                prop_assert_eq!(a.0, b.0, "key order at {}", level);
+                prop_assert_eq!(a.1.to_bits(), b.1.to_bits(), "sum bits at {}", level);
+            }
         }
     }
 

@@ -11,12 +11,12 @@
 //! serial/parallel pair into `results/bench_smoke.json` — the CI smoke
 //! artifact for parallel speedup.
 
-use rfa_agg::BufferedReproAgg;
+use rfa_agg::{BufferedReproAgg, HashKind};
 use rfa_bench::{
     f2, ns_per_elem,
     runner::{groupby_ns, groupby_ns_threads},
-    time_min, write_bench_smoke, BenchConfig, BenchSmoke, HashGroupSmoke, ResultTable, ScanSmoke,
-    SimdSmoke, SqlSmoke,
+    time_min, time_min_set, write_bench_smoke, BenchConfig, BenchSmoke, HashGroupSmoke,
+    ResultTable, ScanSmoke, SimdSmoke, SqlSmoke,
 };
 use rfa_core::cpu::{self, SimdLevel};
 use rfa_core::{CacheModel, ReproSum};
@@ -149,8 +149,12 @@ fn main() {
     // --- hash-group panel: hash vs dense group-id assignment -------------
     // The identical plan-layer aggregation (one reproducible SUM over a
     // 2^14-key domain) grouped (a) densely via a dictionary-encoded U8
-    // pair and (b) through the hash arm's `upsert_batch` probe on the raw
-    // i32 key column. The gap is pure group-id assignment cost.
+    // pair, (b) through the hash arm's SIMD batched probe on the raw i32
+    // key column, and (c) through the same probe over a *sparse* strided
+    // key domain with `HashKind::Multiplicative` — identity hashing would
+    // pile the ×1000 stride onto every 8th home slot, so this arm is the
+    // real-hash configuration of the paper's §VI-A remark. The dense gap
+    // is pure group-id assignment cost.
     let ge = 14u32.min(max_exp);
     let domain = 1usize << ge;
     let w = GroupedPairs::generate(cfg.n, domain as u32, ValueDist::Uniform01, 70 + ge as u64);
@@ -159,6 +163,14 @@ fn main() {
         .add_column(
             "key",
             Column::i32(w.keys.iter().map(|&k| k as i32).collect::<Vec<_>>()),
+        )
+        .unwrap();
+    // Hash-hostile sparse keys: ×1000 = 8 · 125 strides, so under
+    // identity hashing every key aliases into an eighth of the slots.
+    grouped
+        .add_column(
+            "skey",
+            Column::i32(w.keys.iter().map(|&k| k as i32 * 1000).collect::<Vec<_>>()),
         )
         .unwrap();
     grouped
@@ -186,34 +198,97 @@ fn main() {
         .group_by_dense("hi", "lo", encode_hi_lo, domain)
         .sum(Expr::col("v"));
     let hash_plan = QueryPlan::scan("g").group_by_key("key").sum(Expr::col("v"));
+    let sparse_plan = QueryPlan::scan("g")
+        .group_by_key_with("skey", HashKind::Multiplicative)
+        .sum(Expr::col("v"));
     let opts = ExecOptions::serial();
-    let dense_d = time_min(cfg.reps, || {
-        std::hint::black_box(dense_plan.execute(&grouped, group_backend, &opts).unwrap());
-    });
-    let hash_d = time_min(cfg.reps, || {
-        std::hint::black_box(hash_plan.execute(&grouped, group_backend, &opts).unwrap());
-    });
-    let dense_ns = ns_per_elem(dense_d, cfg.n);
-    let hash_ns = ns_per_elem(hash_d, cfg.n);
-    // Sanity: both arms aggregate the same groups to the same bits —
-    // every group, not a sample.
+    // Cross-assert *before* measuring: every arm must agree with the
+    // dense reference AND with its own forced-scalar-dispatch run,
+    // bit-for-bit over every group — the smoke numbers are only written
+    // for semantically interchangeable arms.
     {
         let d = dense_plan.execute(&grouped, group_backend, &opts).unwrap();
-        let h = hash_plan.execute(&grouped, group_backend, &opts).unwrap();
-        assert_eq!(d.keys, h.keys, "hash and dense grouping disagree on keys");
-        for (g, (a, b)) in d.columns[0]
-            .f64s()
-            .iter()
-            .zip(h.columns[0].f64s())
-            .enumerate()
-        {
+        for (name, plan) in [("hash", &hash_plan), ("sparse", &sparse_plan)] {
+            let auto = plan.execute(&grouped, group_backend, &opts).unwrap();
+            cpu::set_override(Some(SimdLevel::Scalar));
+            let scalar = plan.execute(&grouped, group_backend, &opts).unwrap();
+            cpu::set_override(None);
             assert_eq!(
-                a.to_bits(),
-                b.to_bits(),
-                "hash and dense grouping disagree on the sum of group {g}"
+                auto.keys, scalar.keys,
+                "{name} arm: dispatched and scalar runs disagree on keys"
             );
+            for (g, (a, b)) in auto.columns[0]
+                .f64s()
+                .iter()
+                .zip(scalar.columns[0].f64s())
+                .enumerate()
+            {
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "{name} arm: dispatched and scalar runs disagree on group {g}"
+                );
+            }
+            if name == "hash" {
+                assert_eq!(
+                    d.keys, auto.keys,
+                    "hash and dense grouping disagree on keys"
+                );
+                for (g, (a, b)) in d.columns[0]
+                    .f64s()
+                    .iter()
+                    .zip(auto.columns[0].f64s())
+                    .enumerate()
+                {
+                    assert_eq!(
+                        a.to_bits(),
+                        b.to_bits(),
+                        "hash and dense grouping disagree on the sum of group {g}"
+                    );
+                }
+            } else {
+                // Same rows, strided keys: group g holds the identical
+                // value sequence as dense group g (key = dense key ×1000),
+                // so the sums must match the dense arm bit-for-bit too.
+                assert_eq!(d.keys.len(), auto.keys.len());
+                for (g, (&k, &dk)) in auto.keys.iter().zip(&d.keys).enumerate() {
+                    assert_eq!(k, dk * 1000, "sparse arm key mismatch at group {g}");
+                }
+                for (g, (a, b)) in d.columns[0]
+                    .f64s()
+                    .iter()
+                    .zip(auto.columns[0].f64s())
+                    .enumerate()
+                {
+                    assert_eq!(
+                        a.to_bits(),
+                        b.to_bits(),
+                        "sparse and dense grouping disagree on the sum of group {g}"
+                    );
+                }
+            }
         }
     }
+    // The headline number is a ratio of arms, so the arms are measured
+    // interleaved (see `time_min_set`): back-to-back minima would hand
+    // each arm different machine noise.
+    let [dense_d, hash_d, sparse_d] = time_min_set(
+        cfg.reps.max(5),
+        [
+            &mut || {
+                std::hint::black_box(dense_plan.execute(&grouped, group_backend, &opts).unwrap());
+            },
+            &mut || {
+                std::hint::black_box(hash_plan.execute(&grouped, group_backend, &opts).unwrap());
+            },
+            &mut || {
+                std::hint::black_box(sparse_plan.execute(&grouped, group_backend, &opts).unwrap());
+            },
+        ],
+    );
+    let dense_ns = ns_per_elem(dense_d, cfg.n);
+    let hash_ns = ns_per_elem(hash_d, cfg.n);
+    let sparse_ns = ns_per_elem(sparse_d, cfg.n);
     let mut hash_table = ResultTable::new(
         format!(
             "Figure 9 (hash group): plan-layer SUM by 2^{ge} keys, hash vs dense ids, n = {}",
@@ -222,9 +297,14 @@ fn main() {
         &["group-id assignment", "ns/elem", "vs dense"],
     );
     hash_table.row(vec![
-        "hash (upsert_batch)".into(),
+        "hash (simd probe_batch)".into(),
         f2(hash_ns),
         format!("{:.2}x", hash_ns / dense_ns),
+    ]);
+    hash_table.row(vec![
+        "hash sparse ×1000 (multiplicative)".into(),
+        f2(sparse_ns),
+        format!("{:.2}x", sparse_ns / dense_ns),
     ]);
     hash_table.row(vec![
         "dense (dictionary)".into(),
@@ -232,7 +312,7 @@ fn main() {
         "1.00x".into(),
     ]);
     hash_table.print();
-    hash_table.write_csv("fig9_hash_group");
+    hash_table.write_csv("fig9_hash");
 
     // --- sql panel: Q6 SQL text, cold vs cached, vs the builder plan -----
     // The cold SQL arm re-parses, re-resolves and re-lowers the pinned Q6
@@ -246,26 +326,61 @@ fn main() {
     let opts = ExecOptions::serial();
     let builder_q6 = q6_plan();
     let plan_cache = PlanCache::new();
-    let sql_d = time_min(cfg.reps, || {
-        let q = sql_query(&q6_sql(), &engine_table).expect("pinned Q6 SQL resolves");
-        std::hint::black_box(q.execute(&engine_table, backend, &opts).expect("q6 sql"));
-    });
-    let cached_d = time_min(cfg.reps, || {
-        let q = plan_cache
-            .get_or_resolve(&q6_sql(), &engine_table)
-            .expect("pinned Q6 SQL resolves");
-        std::hint::black_box(q.execute(&engine_table, backend, &opts).expect("q6 cached"));
-    });
-    let builder_d = time_min(cfg.reps, || {
-        std::hint::black_box(
-            builder_q6
-                .execute(&engine_table, backend, &opts)
-                .expect("q6 plan"),
-        );
-    });
+    // The three arms are *ratios of each other*, and at smoke scale one
+    // iteration is ~100 µs — short enough that measuring the arms
+    // back-to-back hands each a different slice of machine noise and can
+    // order them arbitrarily (the PR 9 artifact recorded the warm-cache
+    // arm 59% above the builder it collapses to). Interleave the arms
+    // round-robin so every rep samples the same noise windows, and take
+    // extra reps: these loops are cheap.
+    let sql_reps = cfg.reps.max(7);
+    let measure_sql_panel = || {
+        time_min_set(
+            sql_reps,
+            [
+                &mut || {
+                    let q = sql_query(&q6_sql(), &engine_table).expect("pinned Q6 SQL resolves");
+                    std::hint::black_box(q.execute(&engine_table, backend, &opts).expect("q6 sql"));
+                },
+                &mut || {
+                    let q = plan_cache
+                        .get_or_resolve(&q6_sql(), &engine_table)
+                        .expect("pinned Q6 SQL resolves");
+                    std::hint::black_box(
+                        q.execute(&engine_table, backend, &opts).expect("q6 cached"),
+                    );
+                },
+                &mut || {
+                    std::hint::black_box(
+                        builder_q6
+                            .execute(&engine_table, backend, &opts)
+                            .expect("q6 plan"),
+                    );
+                },
+            ],
+        )
+    };
+    let mut sql_panel = measure_sql_panel();
+    // Acceptance gate (PR 6): a warm cache hit is one lookup on top of
+    // plan execution, ≤ 5% of the scan at any realistic size. One
+    // re-measure before failing — a single preempted rep can still lose
+    // the gate on a shared host — then the assert genuinely fires: a
+    // regression here means the cache hit path grew real work.
+    if sql_panel[1].as_secs_f64() > sql_panel[2].as_secs_f64() * 1.05 {
+        sql_panel = measure_sql_panel();
+    }
+    let [sql_d, cached_d, builder_d] = sql_panel;
     let sql_ns = ns_per_elem(sql_d, scan_rows);
     let cached_ns = ns_per_elem(cached_d, scan_rows);
     let builder_ns = ns_per_elem(builder_d, scan_rows);
+    assert!(
+        cached_ns <= builder_ns * 1.05,
+        "warm plan-cache arm regressed: {:.3} ns/elem vs builder {:.3} ns/elem \
+         (cached_over_builder {:.3} > 1.05)",
+        cached_ns,
+        builder_ns,
+        cached_ns / builder_ns
+    );
     let cache_stats = plan_cache.stats();
     assert_eq!(cache_stats.entries, 1, "one pinned query, one cached plan");
     assert!(cache_stats.hits > 0, "warm iterations must hit the cache");
@@ -400,6 +515,7 @@ fn main() {
                 groups: domain,
                 hash_ns_per_elem: hash_ns,
                 dense_ns_per_elem: dense_ns,
+                sparse_ns_per_elem: sparse_ns,
             }),
             sql: Some(SqlSmoke {
                 query: "tpch_q6 serial repro<d,4> buffered",
@@ -423,8 +539,10 @@ fn main() {
          (the split tree is identical — only the scheduling differs).\n  \
          scan shape: fused ns/elem at or below materializing — same arithmetic,\n  \
          no n-sized intermediates (bit-identical output, proptest-enforced).\n  \
-         hash-group shape: hash within a small constant of dense ids — the batched\n  \
-         probe amortizes; results are bit-identical between the two arms.\n  \
+         hash-group shape: hash within a small constant of dense ids — the SIMD\n  \
+         gather-compare probe resolves resident keys in bulk; the sparse ×1000 arm\n  \
+         pays the multiplicative hash on top. All arms bit-identical (asserted,\n  \
+         including vs forced-scalar dispatch) before the smoke object is written.\n  \
          sql shape: the cold SQL arm re-parses and re-lowers per run yet stays near\n  \
          1.00x of the prebuilt plan; the warm plan-cache arm must sit within a few\n  \
          percent of the builder (all three cross-asserted bit-identical).\n  \

@@ -96,6 +96,33 @@ pub fn time_min<F: FnMut()>(reps: usize, mut f: F) -> Duration {
     best
 }
 
+/// Times a *set* of alternative arms under the same noise environment:
+/// every arm is warmed once, then the arms run round-robin `reps` times
+/// and each keeps its minimum.
+///
+/// Back-to-back [`time_min`] calls hand each arm a *different* slice of
+/// machine noise — frequency ramps, interrupts, a neighbouring tenant —
+/// and at smoke scale (tens of microseconds per iteration) that slice,
+/// not the code, can order the arms. Round-robin interleaving samples
+/// every arm across the same windows, so ratios between the returned
+/// minima are meaningful even on a noisy single-core host. Use this
+/// whenever the reported number is a *ratio of arms* rather than an
+/// absolute.
+pub fn time_min_set<const K: usize>(reps: usize, mut arms: [&mut dyn FnMut(); K]) -> [Duration; K] {
+    for f in arms.iter_mut() {
+        f(); // warm-up: page in data, warm branch predictors and caches
+    }
+    let mut best = [Duration::MAX; K];
+    for _ in 0..reps {
+        for (b, f) in best.iter_mut().zip(arms.iter_mut()) {
+            let t = Instant::now();
+            f();
+            *b = (*b).min(t.elapsed());
+        }
+    }
+    best
+}
+
 /// Wall-clock time per element in nanoseconds. For single-threaded runs
 /// this is the paper's "CPU time per element" (§VI-A: `T · P / n` with
 /// `P = 1`); for pool runs it is wall clock, so serial ÷ parallel reads
@@ -226,6 +253,11 @@ pub struct HashGroupSmoke {
     pub groups: usize,
     pub hash_ns_per_elem: f64,
     pub dense_ns_per_elem: f64,
+    /// The same aggregation over a sparse, identity-hostile key domain
+    /// (keys strided far apart) probed with `HashKind::Multiplicative` —
+    /// the non-dense-domain configuration the paper's §VI-A "real hash
+    /// function" remark covers.
+    pub sparse_ns_per_elem: f64,
 }
 
 /// The SQL-frontend entry of the smoke artifact: the same query executed
@@ -335,13 +367,20 @@ pub fn write_bench_smoke(smoke: &BenchSmoke) {
             } else {
                 0.0
             };
+            let sparse_ratio = if h.dense_ns_per_elem > 0.0 {
+                h.sparse_ns_per_elem / h.dense_ns_per_elem
+            } else {
+                0.0
+            };
             format!(
                 ",\n  \"hash_group\": {{\n    \"query\": \"{}\",\n    \
                  \"groups\": {},\n    \
                  \"hash_ns_per_elem\": {:.3},\n    \
                  \"dense_ns_per_elem\": {:.3},\n    \
-                 \"hash_over_dense\": {ratio:.3}\n  }}",
-                h.query, h.groups, h.hash_ns_per_elem, h.dense_ns_per_elem
+                 \"hash_over_dense\": {ratio:.3},\n    \
+                 \"sparse_ns_per_elem\": {:.3},\n    \
+                 \"sparse_over_dense\": {sparse_ratio:.3}\n  }}",
+                h.query, h.groups, h.hash_ns_per_elem, h.dense_ns_per_elem, h.sparse_ns_per_elem
             )
         }
     };

@@ -107,6 +107,7 @@ use crate::q1::PhaseTiming;
 use crate::sum_op::{GroupedStates, OverflowError, SumBackend, SCAN_MORSEL_ROWS};
 use rayon::prelude::*;
 use rfa_agg::{AggHashTable, HashKind};
+use rfa_core::cpu::{self, SimdLevel};
 use rfa_core::{faults, CancelToken};
 use std::time::{Duration, Instant};
 
@@ -508,20 +509,159 @@ fn validate_encodings(
 /// yet" (distinct from the table's own empty-*key* sentinel).
 const NO_GROUP: u32 = u32::MAX;
 
+/// Direct-mapped slot count of the last-seen key→group-id cache. Small
+/// enough to stay L1-resident next to the scan's other working state.
+const GID_CACHE_SLOTS: usize = 512;
+
+/// Batches to sit out after the hit-rate gate trips before retrying.
+const GID_CACHE_COOLDOWN: u32 = 32;
+
+/// A direct-mapped last-seen key→group-id cache in front of the hash
+/// table. Group keys arrive with heavy run locality in real scans —
+/// Q15's suppkey after sorting, RLE-adjacent encodings, time-clustered
+/// facts — and for those streams a key's group id was almost always
+/// assigned a few rows ago. One array lookup then replaces the whole
+/// hash-probe.
+///
+/// The cache is *bit-invisible* by construction: it only ever returns
+/// group ids the table already assigned (entries are written at
+/// assignment time and a key's id never changes), and a key's **first**
+/// occurrence can never hit, so first-seen ordering is decided solely by
+/// the table probe, exactly as without the cache. Stale entries are
+/// therefore still-correct mappings, never wrong ones — no invalidation
+/// exists anywhere.
+///
+/// Adversarial streams (uniform random keys over a domain much larger
+/// than the cache) pay the lookup and miss almost always; a per-batch
+/// hit-rate gate switches the front-end off for [`GID_CACHE_COOLDOWN`]
+/// batches when fewer than 1-in-8 lookups hit, then retries (the stream
+/// may turn clustered again).
+struct GidCache {
+    /// `u32::MAX` marks an empty entry — it is the engine's reserved
+    /// group key, rejected before any key reaches the cache.
+    keys: Vec<u32>,
+    gids: Vec<u32>,
+    cooldown: u32,
+}
+
+impl GidCache {
+    fn new() -> Self {
+        GidCache {
+            keys: vec![u32::MAX; GID_CACHE_SLOTS],
+            gids: vec![0; GID_CACHE_SLOTS],
+            cooldown: 0,
+        }
+    }
+
+    /// Whether the front-end runs for this batch (counting down a trip).
+    #[inline]
+    fn admit(&mut self) -> bool {
+        if self.cooldown > 0 {
+            self.cooldown -= 1;
+            false
+        } else {
+            true
+        }
+    }
+
+    /// Post-batch gate on the observed hit rate.
+    #[inline]
+    fn observe(&mut self, hits: usize, lookups: usize) {
+        if hits * 8 < lookups {
+            self.cooldown = GID_CACHE_COOLDOWN;
+        }
+    }
+}
+
 /// The hash arm's group-id assignment state: an open-addressing table
-/// mapping key → dense local group id, plus the inverse slot→key list in
-/// first-seen row order.
+/// mapping key → dense local group id, the inverse slot→key list in
+/// first-seen row order, and the [`GidCache`] front-end.
 struct HashGroups {
     table: AggHashTable<u32>,
     keys: Vec<u32>,
+    cache: GidCache,
 }
 
 impl HashGroups {
-    fn new(hash: HashKind) -> Self {
+    /// `rows` is the scan range's row count: the table is pre-sized for
+    /// `rows / 4` distinct keys (capped at 64 Ki ≈ 1 MiB of table) so the
+    /// common analytics shape — cardinality well below row count —
+    /// reaches its final size without walking the doubling chain, whose
+    /// rehashes otherwise re-insert every key once per doubling. Capacity
+    /// is bit-invisible: group ids are assigned in first-seen row order
+    /// whatever the slot count.
+    fn new(hash: HashKind, rows: usize) -> Self {
         HashGroups {
-            table: AggHashTable::with_capacity(64, hash, &NO_GROUP),
+            table: AggHashTable::with_capacity((rows / 4).clamp(64, 1 << 16), hash, &NO_GROUP),
             keys: Vec::new(),
+            cache: GidCache::new(),
         }
+    }
+
+    /// Assigns a group id to every key in `key_buf`, appending to `gids`
+    /// in row order and registering unseen keys in first-seen order.
+    /// `gid_buf`/`miss_pos`/`miss_keys` are reused scratch.
+    ///
+    /// At SIMD dispatch levels the [`GidCache`] front-end short-circuits
+    /// run-local keys and the remainder goes through the table's fused
+    /// gather-compare-gather probe ([`AggHashTable::probe_gids`]): hit
+    /// lanes produce their gid straight from the kernel, only first-seen
+    /// keys and collision chains run scalar code. Under
+    /// `RFA_SIMD=scalar` this is the plain batched loop of PR 8, which
+    /// doubles as the bit-identity reference for the dispatch matrix
+    /// tests.
+    fn assign_gids(
+        &mut self,
+        key_buf: &[u32],
+        gids: &mut Vec<u32>,
+        gid_buf: &mut Vec<u32>,
+        miss_pos: &mut Vec<u32>,
+        miss_keys: &mut Vec<u32>,
+    ) {
+        let HashGroups { table, keys, cache } = self;
+        // Cardinality pre-gate: once the table holds several times more
+        // groups than the cache has slots, the direct-mapped front-end
+        // cannot sustain a useful hit rate on anything but pathological
+        // skew — skip it without burning a probe batch to find out.
+        let fronted = cpu::active() != SimdLevel::Scalar
+            && table.len() <= GID_CACHE_SLOTS * 4
+            && cache.admit();
+        if !fronted {
+            table.probe_gids(key_buf, gids, |k| {
+                let g = keys.len() as u32;
+                keys.push(k);
+                g
+            });
+            return;
+        }
+        let base = gids.len();
+        gids.resize(base + key_buf.len(), NO_GROUP);
+        miss_pos.clear();
+        miss_keys.clear();
+        for (i, &k) in key_buf.iter().enumerate() {
+            let c = k as usize & (GID_CACHE_SLOTS - 1);
+            if cache.keys[c] == k {
+                gids[base + i] = cache.gids[c];
+            } else {
+                miss_pos.push(i as u32);
+                miss_keys.push(k);
+            }
+        }
+        let hits = key_buf.len() - miss_keys.len();
+        gid_buf.clear();
+        table.probe_gids(miss_keys, gid_buf, |k| {
+            let g = keys.len() as u32;
+            keys.push(k);
+            g
+        });
+        for (j, &g) in gid_buf.iter().enumerate() {
+            let k = miss_keys[j];
+            let c = k as usize & (GID_CACHE_SLOTS - 1);
+            cache.keys[c] = k;
+            cache.gids[c] = g;
+            gids[base + miss_pos[j] as usize] = g;
+        }
+        cache.observe(hits, key_buf.len());
     }
 }
 
@@ -672,6 +812,29 @@ impl KeyCol<'_> {
                 ((a.get(row, &mut cur.a) as u32) << 8) | b.get(row, &mut cur.b) as u32
             }
         }
+    }
+
+    /// Bulk key extraction for a contiguous row range `lo..lo + len` —
+    /// the no-predicate scan case, where the per-row [`Self::get`] +
+    /// sentinel-check + push loop reduces to a widening slice copy (or a
+    /// gather through the ≤2^16-entry dictionary) that the compiler
+    /// vectorizes, with the reserved-key check hoisted into one compare
+    /// scan afterwards. Returns `false` for the run-cursor shapes, which
+    /// keep the per-row loop.
+    fn fill_contiguous(&self, lo: usize, len: usize, out: &mut Vec<u32>) -> bool {
+        match self {
+            KeyCol::I32(col) => out.extend(col[lo..lo + len].iter().map(|&v| v as u32)),
+            KeyCol::U32(col) => out.extend_from_slice(&col[lo..lo + len]),
+            KeyCol::U8(col) => out.extend(col[lo..lo + len].iter().map(|&v| v as u32)),
+            KeyCol::Dict { codes, keys } => {
+                out.extend(codes[lo..lo + len].iter().map(|&c| keys[c as usize]))
+            }
+            KeyCol::Dict16 { codes, keys } => {
+                out.extend(codes[lo..lo + len].iter().map(|&c| keys[c as usize]))
+            }
+            KeyCol::Rle { .. } | KeyCol::U8Pair(..) => return false,
+        }
+        true
     }
 }
 
@@ -1087,7 +1250,7 @@ fn scan_range(
                 },
             },
             0,
-            Some(HashGroups::new(*hash)),
+            Some(HashGroups::new(*hash, hi - lo)),
         ),
         GroupKey::HashPair { a, b, hash } => (
             GroupCtx::Hash {
@@ -1095,7 +1258,7 @@ fn scan_range(
                 key_col: KeyCol::U8Pair(bind_u8(a), bind_u8(b)),
             },
             0,
-            Some(HashGroups::new(*hash)),
+            Some(HashGroups::new(*hash, hi - lo)),
         ),
     };
 
@@ -1106,12 +1269,21 @@ fn scan_range(
         bound_mins.len(),
         bound_maxs.len(),
     );
+    if hash.is_some() {
+        // Mirror the hash table's pre-size (see [`HashGroups::new`]): the
+        // state vectors reach working capacity up front, so incremental
+        // `ensure_groups` growth extends in place instead of realloc-
+        // moving every existing group state at each doubling.
+        states.reserve_groups(((hi - lo) / 4).clamp(64, 1 << 16));
+    }
     let mut timing = PhaseTiming::default();
 
     let mut sel: Vec<u32> = Vec::with_capacity(opts.batch_rows);
     let mut gids: Vec<u32> = Vec::with_capacity(opts.batch_rows);
     let mut key_buf: Vec<u32> = Vec::new();
     let mut slot_buf: Vec<u32> = Vec::new();
+    let mut miss_pos: Vec<u32> = Vec::new();
+    let mut miss_keys: Vec<u32> = Vec::new();
     let mut out: Vec<f64> = vec![0.0; opts.batch_rows];
     let mut scratch = EvalScratch::new();
     // Run-blocked grouping state: `(group id, end index in sel)` spans of
@@ -1254,28 +1426,43 @@ fn scan_range(
                     (Deposit::Segs, h.keys.len())
                 } else {
                     key_buf.clear();
-                    for &row in &sel {
-                        let k = key_col.get(row as usize, &mut cur);
-                        if k == u32::MAX {
+                    // An unfiltered batch selects the whole contiguous
+                    // range; bulk-extract its keys and fold the per-row
+                    // reserved-key branch into one compare scan.
+                    let bulk = match (sel.first(), sel.last()) {
+                        (Some(&f), Some(&l)) if (l - f) as usize + 1 == sel.len() => {
+                            key_col.fill_contiguous(f as usize, sel.len(), &mut key_buf)
+                        }
+                        _ => false,
+                    };
+                    if bulk {
+                        if key_buf.contains(&u32::MAX) {
                             return Err(FusedError::ReservedKey {
                                 col: col.to_string(),
                             });
                         }
-                        key_buf.push(k);
+                    } else {
+                        for &row in &sel {
+                            let k = key_col.get(row as usize, &mut cur);
+                            if k == u32::MAX {
+                                return Err(FusedError::ReservedKey {
+                                    col: col.to_string(),
+                                });
+                            }
+                            key_buf.push(k);
+                        }
                     }
                     gids.clear();
-                    let keys = &mut h.keys;
-                    h.table
-                        .upsert_batch(&key_buf, &NO_GROUP, &mut slot_buf, |gid, i| {
-                            if *gid == NO_GROUP {
-                                *gid = keys.len() as u32;
-                                keys.push(key_buf[i]);
-                            }
-                            gids.push(*gid);
-                        });
-                    states.ensure_groups(keys.len());
+                    h.assign_gids(
+                        &key_buf,
+                        &mut gids,
+                        &mut slot_buf,
+                        &mut miss_pos,
+                        &mut miss_keys,
+                    );
+                    states.ensure_groups(h.keys.len());
                     states.add_counts(&gids);
-                    (Deposit::Rows, keys.len())
+                    (Deposit::Rows, h.keys.len())
                 }
             }
         };

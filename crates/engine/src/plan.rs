@@ -388,25 +388,16 @@ impl QueryPlan {
         let t0 = Instant::now();
 
         // Output group rows, in deterministic order.
-        let key_of = |slot: usize| -> i64 {
-            match (&run.keys, lowered.key_signed) {
-                (Some(keys), true) => (keys[slot] as i32) as i64,
-                (Some(keys), false) => keys[slot] as i64,
-                (None, _) => slot as i64,
-            }
-        };
         let mut rows: Vec<(i64, usize)> = match &self.group_by {
             GroupKey::None => vec![(0, 0)],
             GroupKey::Dense { .. } => (0..run.counts.len())
                 .filter(|&g| run.counts[g] > 0)
                 .map(|g| (g as i64, g))
                 .collect(),
-            GroupKey::Hash { .. } | GroupKey::HashPair { .. } => {
-                let mut rows: Vec<(i64, usize)> =
-                    (0..run.counts.len()).map(|g| (key_of(g), g)).collect();
-                rows.sort_unstable();
-                rows
-            }
+            GroupKey::Hash { .. } | GroupKey::HashPair { .. } => sort_hash_groups(
+                run.keys.as_deref().expect("hash scan returns keys"),
+                lowered.key_signed,
+            ),
         };
         // (Hash groups only exist once seen, dense empties were dropped;
         // the single un-grouped row is kept even at count 0.)
@@ -538,6 +529,61 @@ impl QueryPlan {
             key_signed,
         })
     }
+}
+
+/// Orders the hash arm's first-seen group slots by output key.
+///
+/// Keys are distinct by construction (one table slot per key), so the
+/// order is fully decided by the key alone. That lets the sort run on a
+/// packed `u64` — the key biased into 33 unsigned bits (covering both
+/// `i32` and `u32` source domains) above the 31-bit group id — with a
+/// three-pass LSD radix over just the key bits. Counting sort per digit
+/// is deterministic, and ties cannot arise, so the result is the exact
+/// permutation `sort_unstable` on `(key, gid)` tuples produced before.
+fn sort_hash_groups(keys: &[u32], signed: bool) -> Vec<(i64, usize)> {
+    const BIAS: i64 = 1 << 31;
+    const GID_BITS: u32 = 31;
+    debug_assert!(keys.len() < (1 << GID_BITS));
+    let mut a: Vec<u64> = if signed {
+        keys.iter()
+            .enumerate()
+            .map(|(g, &k)| (((k as i32 as i64 + BIAS) as u64) << GID_BITS) | g as u64)
+            .collect()
+    } else {
+        keys.iter()
+            .enumerate()
+            .map(|(g, &k)| (((k as i64 + BIAS) as u64) << GID_BITS) | g as u64)
+            .collect()
+    };
+    let mut b = vec![0u64; a.len()];
+    // Three 11-bit digits cover bits 31..64 — the full biased key range
+    // [0, 3·2^31) < 2^33; the gid bits below never decide the order.
+    for shift in [GID_BITS, GID_BITS + 11, GID_BITS + 22] {
+        let mut hist = [0u32; 1 << 11];
+        for &x in &a {
+            hist[((x >> shift) & 0x7FF) as usize] += 1;
+        }
+        let mut sum = 0u32;
+        for h in hist.iter_mut() {
+            let c = *h;
+            *h = sum;
+            sum += c;
+        }
+        for &x in &a {
+            let d = ((x >> shift) & 0x7FF) as usize;
+            b[hist[d] as usize] = x;
+            hist[d] += 1;
+        }
+        core::mem::swap(&mut a, &mut b);
+    }
+    a.iter()
+        .map(|&p| {
+            (
+                (p >> GID_BITS) as i64 - BIAS,
+                (p & ((1 << GID_BITS) - 1)) as usize,
+            )
+        })
+        .collect()
 }
 
 /// Finds or appends `e` in the state-input list, returning its slot.

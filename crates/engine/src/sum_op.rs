@@ -392,6 +392,22 @@ impl GroupedSums {
         }
     }
 
+    /// Pre-reserves room for `additional` more group slots without
+    /// creating any state — allocation policy only, invisible to results.
+    pub fn reserve_groups(&mut self, additional: usize) {
+        match &mut self.0 {
+            Inner::Double(acc) => acc.reserve(additional),
+            Inner::Repro1(s) => s.0.reserve(additional),
+            Inner::Repro2(s) => s.0.reserve(additional),
+            Inner::Repro3(s) => s.0.reserve(additional),
+            Inner::Repro4(s) => s.0.reserve(additional),
+            Inner::Buf1(s) => s.states.reserve(additional),
+            Inner::Buf2(s) => s.states.reserve(additional),
+            Inner::Buf3(s) => s.states.reserve(additional),
+            Inner::Buf4(s) => s.states.reserve(additional),
+        }
+    }
+
     /// Merges one group slot of `other` into one slot of `self` — the
     /// keyed merge of hash-grouped partials, where the same group key may
     /// live at different dense slots on different morsels. Exact for the
@@ -521,6 +537,25 @@ impl GroupedStates {
     /// Current number of group slots.
     pub fn groups(&self) -> usize {
         self.counts.len()
+    }
+
+    /// Pre-reserves capacity for `groups` total slots in every state
+    /// array without creating them. The hash-grouped scan calls this once
+    /// with its cardinality hint so incremental [`Self::ensure_groups`]
+    /// growth appends in place instead of realloc-moving the state
+    /// vectors at every doubling. Capacity never affects results.
+    pub fn reserve_groups(&mut self, groups: usize) {
+        let additional = groups.saturating_sub(self.counts.len());
+        self.counts.reserve(additional);
+        for s in &mut self.sums {
+            s.reserve_groups(additional);
+        }
+        for m in &mut self.mins {
+            m.reserve(additional);
+        }
+        for m in &mut self.maxs {
+            m.reserve(additional);
+        }
     }
 
     /// Grows every state array to at least `groups` slots (hash grouping

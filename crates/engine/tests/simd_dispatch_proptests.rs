@@ -12,10 +12,11 @@
 
 use proptest::collection::vec;
 use proptest::prelude::*;
+use rfa_agg::HashKind;
 use rfa_core::cpu::{self, SimdLevel};
 use rfa_engine::{
-    run_q15_with, run_q1_with, run_q6_with, BoolExpr, EvalScratch, ExecOptions, Expr, SumBackend,
-    Table,
+    run_q15_with, run_q1_with, run_q6_with, AggColumn, BoolExpr, Column, EvalScratch, ExecOptions,
+    Expr, QueryPlan, SumBackend, Table,
 };
 use rfa_workloads::Lineitem;
 use std::sync::{Mutex, MutexGuard};
@@ -161,8 +162,71 @@ fn q1_bits(
         .collect()
 }
 
+/// A hash-grouped plan's full result (keys, then every aggregate column
+/// as bit patterns) — the comparable unit for the probe-kernel matrix.
+fn hash_group_bits(
+    t: &Table,
+    key_col: &str,
+    hash: HashKind,
+    backend: SumBackend,
+    opts: &ExecOptions,
+) -> (Vec<i64>, Vec<Vec<u64>>) {
+    let r = QueryPlan::scan("t")
+        .group_by_key_with(key_col, hash)
+        .sum(Expr::col("v"))
+        .count()
+        .execute(t, backend, opts)
+        .unwrap();
+    let cols = r
+        .columns
+        .iter()
+        .map(|c| match c {
+            AggColumn::F64(v) => v.iter().map(|x| x.to_bits()).collect(),
+            AggColumn::U64(v) => v.clone(),
+        })
+        .collect();
+    (r.keys, cols)
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The SIMD batched probe + gid-cache front-end (`GroupKey::Hash`):
+    /// every key distribution the probe kernels specialize for —
+    /// run-clustered (cache-friendly), uniform random (cache-adversarial,
+    /// gate must trip harmlessly), and hash-hostile strides under both
+    /// hash kinds — produces bit-identical group keys, sums and counts
+    /// at every dispatch level, backend and thread shape. The Double
+    /// backend's sums are order-sensitive, so this also proves per-row
+    /// deposit order is level-invariant.
+    #[test]
+    fn hash_grouped_probe_is_dispatch_level_independent(
+        rows in vec((0u32..600, -1.0e4..1.0e4f64), 0..900),
+        stride in prop_oneof![Just(1u32), Just(977), Just(1 << 16)],
+        run_len in 1usize..40,
+    ) {
+        force_pool();
+        let n = rows.len();
+        // Clustered stream: keys repeat in runs of `run_len` (the shape
+        // the gid cache exploits), then strided to sparse domains.
+        let keys: Vec<i32> = (0..n)
+            .map(|i| {
+                let (base, _) = rows[i / run_len.max(1) % n.max(1)];
+                (base * stride) as i32
+            })
+            .collect();
+        let values: Vec<f64> = rows.iter().map(|&(_, v)| v).collect();
+        let mut t = Table::new("t");
+        t.add_column("k", Column::i32(keys)).unwrap();
+        t.add_column("v", Column::f64(values)).unwrap();
+        for hash in [HashKind::Identity, HashKind::Multiplicative] {
+            for backend in [SumBackend::Double, SumBackend::ReproBuffered { buffer_size: 64 }] {
+                for opts in shapes() {
+                    both_levels(|| hash_group_bits(&t, "k", hash, backend, &opts));
+                }
+            }
+        }
+    }
 
     /// Q1 (grouped, expression-heavy) is dispatch-level independent for
     /// every backend and thread shape.
